@@ -1,0 +1,156 @@
+// Ablations of the implementation's two load-bearing design choices
+// (DESIGN.md):
+//   1. the generator's decided-content acceptance shortcut (without it,
+//      every accepting path of a decided configuration is re-enumerated);
+//   2. answering the right-restricted safety questions on the two-way
+//      behaviour monoid instead of materialising the paper's crossing
+//      automaton A'' (which explodes factorially even on the manifold
+//      machine).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/rng.h"
+#include "fsa/compile.h"
+#include "fsa/normalize.h"
+#include "queries/sat_encoding.h"
+#include "safety/behavior.h"
+#include "safety/crossing.h"
+
+namespace strdb {
+namespace bench {
+namespace {
+
+CnfInstance SmallCnf(int vars, uint64_t seed) {
+  Rng rng(seed);
+  CnfInstance cnf;
+  cnf.num_vars = vars;
+  for (int c = 0; c < 2 * vars; ++c) {
+    std::vector<int> clause;
+    for (int l = 0; l < 3; ++l) {
+      int var = rng.Range(1, vars);
+      clause.push_back(rng.Coin() ? var : -var);
+    }
+    cnf.clauses.push_back(std::move(clause));
+  }
+  return cnf;
+}
+
+void BM_GeneratorWithShortcut(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  CnfInstance cnf = SmallCnf(n, 7);
+  GenerateOptions opts;
+  opts.decided_acceptance_shortcut = true;
+  for (auto _ : state) {
+    Result<std::optional<std::vector<bool>>> model =
+        SolveSatViaAlignment(cnf, opts);
+    if (!model.ok()) {
+      state.SkipWithError(model.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(model);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_GeneratorWithShortcut)->DenseRange(2, 6, 2)->Complexity();
+
+void BM_GeneratorWithoutShortcut(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  CnfInstance cnf = SmallCnf(n, 7);
+  GenerateOptions opts;
+  opts.decided_acceptance_shortcut = false;
+  for (auto _ : state) {
+    Result<std::optional<std::vector<bool>>> model =
+        SolveSatViaAlignment(cnf, opts);
+    if (!model.ok()) {
+      state.SkipWithError(model.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(model);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_GeneratorWithoutShortcut)->DenseRange(2, 6, 2)->Complexity();
+
+// Safety-question engines on a machine small enough for both: the
+// two-way probe formula.
+Fsa ProbeMachine() {
+  Alphabet bin = Alphabet::Binary();
+  Fsa fsa = OrDie(
+      CompileStringFormula(
+          Parse("([x]l(x = 'a'))* . [x]r(true) . [x]l(x = 'a') . "
+                "[x]l(x = ~)"),
+          bin),
+      "probe");
+  ReadAdvisedFsa advised = OrDie(ConsistifyReads(fsa), "consistify");
+  Fsa m = advised.fsa;
+  m.PruneToTrim();
+  return m;
+}
+
+void BM_NonemptinessViaBehaviorMonoid(benchmark::State& state) {
+  Alphabet bin = Alphabet::Binary();
+  Fsa m = ProbeMachine();
+  BMachine bm = OrDie(BuildBMachine(m, 0, {false}), "bmachine");
+  for (auto _ : state) {
+    BehaviorEngine engine(bm, bin);
+    Result<bool> r = engine.NonemptyWith(0, nullptr, 4000);
+    if (!r.ok() || !*r) state.SkipWithError("expected nonempty");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_NonemptinessViaBehaviorMonoid);
+
+void BM_NonemptinessViaCrossingAutomaton(benchmark::State& state) {
+  Alphabet bin = Alphabet::Binary();
+  Fsa m = ProbeMachine();
+  BMachine bm = OrDie(BuildBMachine(m, 0, {false}), "bmachine");
+  int64_t states = 0;
+  for (auto _ : state) {
+    Result<CrossingAutomaton> aut =
+        BuildCrossingAutomaton(bm, bin, 200'000, 20'000'000);
+    if (!aut.ok()) {
+      state.SkipWithError(aut.status().ToString().c_str());
+      break;
+    }
+    if (!CrossingNonempty(*aut)) state.SkipWithError("expected nonempty");
+    states = aut->num_states();
+  }
+  state.counters["crossing_states"] = static_cast<double>(states);
+}
+BENCHMARK(BM_NonemptinessViaCrossingAutomaton);
+
+void BM_CompileWithReduction(benchmark::State& state) {
+  StringFormula f = Parse(kManifoldText);
+  CompileOptions opts;
+  opts.reduce_states = true;
+  int states = 0;
+  for (auto _ : state) {
+    Result<Fsa> fsa = CompileStringFormula(f, Alphabet::Binary(),
+                                           f.Vars(), opts);
+    if (!fsa.ok()) state.SkipWithError("compile failed");
+    states = fsa->num_states();
+  }
+  state.counters["states"] = states;
+}
+BENCHMARK(BM_CompileWithReduction);
+
+void BM_CompileWithoutReduction(benchmark::State& state) {
+  StringFormula f = Parse(kManifoldText);
+  CompileOptions opts;
+  opts.reduce_states = false;
+  int states = 0;
+  for (auto _ : state) {
+    Result<Fsa> fsa = CompileStringFormula(f, Alphabet::Binary(),
+                                           f.Vars(), opts);
+    if (!fsa.ok()) state.SkipWithError("compile failed");
+    states = fsa->num_states();
+  }
+  state.counters["states"] = states;
+}
+BENCHMARK(BM_CompileWithoutReduction);
+
+}  // namespace
+}  // namespace bench
+}  // namespace strdb
+
+BENCHMARK_MAIN();

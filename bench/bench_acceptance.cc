@@ -1,0 +1,115 @@
+// E6 — Theorem 3.3: acceptance of a fixed k-FSA is polynomial in the
+// input lengths.  Sweeps input length for the workhorse §2 formulae and
+// reports the measured complexity alongside configuration counts.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "fsa/accept.h"
+#include "fsa/compile.h"
+
+namespace strdb {
+namespace bench {
+namespace {
+
+const Fsa& EqualityFsa() {
+  static const Fsa* fsa = new Fsa(OrDie(
+      CompileStringFormula(Parse(kEqualityText), Alphabet::Binary()),
+      "equality"));
+  return *fsa;
+}
+
+const Fsa& ManifoldFsa() {
+  static const Fsa* fsa = new Fsa(OrDie(
+      CompileStringFormula(Parse(kManifoldText), Alphabet::Binary()),
+      "manifold"));
+  return *fsa;
+}
+
+const Fsa& ShuffleFsa() {
+  static const Fsa* fsa = new Fsa(OrDie(
+      CompileStringFormula(Parse(kShuffleText), Alphabet::Binary()),
+      "shuffle"));
+  return *fsa;
+}
+
+const Fsa& ConcatFsa() {
+  static const Fsa* fsa = new Fsa(OrDie(
+      CompileStringFormula(Parse(kConcatText), Alphabet::Binary()),
+      "concat"));
+  return *fsa;
+}
+
+void BM_AcceptEquality(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::string w(static_cast<size_t>(n), 'a');
+  int64_t configs = 0;
+  for (auto _ : state) {
+    Result<AcceptStats> r = AcceptsWithStats(EqualityFsa(), {w, w});
+    if (!r.ok() || !r->accepted) state.SkipWithError("acceptance failed");
+    configs = r->configurations_visited;
+  }
+  state.counters["configs"] = static_cast<double>(configs);
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_AcceptEquality)->RangeMultiplier(2)->Range(8, 512)->Complexity();
+
+void BM_AcceptManifold(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::string y = "ab";
+  std::string x;
+  for (int i = 0; i < n / 2; ++i) x += y;
+  for (auto _ : state) {
+    Result<bool> r = Accepts(ManifoldFsa(), {x, y});
+    if (!r.ok() || !*r) state.SkipWithError("acceptance failed");
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_AcceptManifold)->RangeMultiplier(2)->Range(8, 512)->Complexity();
+
+void BM_AcceptShuffle(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::string y(static_cast<size_t>(n), 'a');
+  std::string z(static_cast<size_t>(n), 'b');
+  std::string x;
+  for (int i = 0; i < n; ++i) x += "ab";
+  for (auto _ : state) {
+    Result<bool> r = Accepts(ShuffleFsa(), {x, y, z});
+    if (!r.ok() || !*r) state.SkipWithError("acceptance failed");
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_AcceptShuffle)->RangeMultiplier(2)->Range(4, 64)->Complexity();
+
+void BM_AcceptConcat(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::string y(static_cast<size_t>(n), 'a');
+  std::string z(static_cast<size_t>(n), 'b');
+  std::string x = y + z;
+  for (auto _ : state) {
+    Result<bool> r = Accepts(ConcatFsa(), {x, y, z});
+    if (!r.ok() || !*r) state.SkipWithError("acceptance failed");
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_AcceptConcat)->RangeMultiplier(2)->Range(4, 64)->Complexity();
+
+// Rejection is as cheap as acceptance (the configuration space bounds
+// both).
+void BM_RejectEquality(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::string w(static_cast<size_t>(n), 'a');
+  std::string v = w;
+  v.back() = 'b';
+  for (auto _ : state) {
+    Result<bool> r = Accepts(EqualityFsa(), {w, v});
+    if (!r.ok() || *r) state.SkipWithError("unexpected accept");
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_RejectEquality)->RangeMultiplier(2)->Range(8, 512)->Complexity();
+
+}  // namespace
+}  // namespace bench
+}  // namespace strdb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// E2 — Theorem 3.1 / Figure 6: the string-formula-to-FSA construction.
+// Measures compilation time and reports automaton sizes for the §2
+// query formulae (including the Fig. 6 concatenation checker) and for
+// growing alphabets.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "fsa/compile.h"
+#include "fsa/to_formula.h"
+
+namespace strdb {
+namespace bench {
+namespace {
+
+void CompileBench(benchmark::State& state, const char* text,
+                  const Alphabet& alphabet) {
+  StringFormula f = Parse(text);
+  int states = 0;
+  int transitions = 0;
+  for (auto _ : state) {
+    Result<Fsa> fsa = CompileStringFormula(f, alphabet);
+    if (!fsa.ok()) {
+      state.SkipWithError(fsa.status().ToString().c_str());
+      break;
+    }
+    states = fsa->num_states();
+    transitions = fsa->num_transitions();
+    benchmark::DoNotOptimize(fsa);
+  }
+  state.counters["states"] = states;
+  state.counters["transitions"] = transitions;
+  state.counters["formula_size"] = f.Size();
+}
+
+void BM_CompileEquality(benchmark::State& state) {
+  CompileBench(state, kEqualityText, Alphabet::Binary());
+}
+BENCHMARK(BM_CompileEquality);
+
+void BM_CompileFigureSixConcat(benchmark::State& state) {
+  CompileBench(state, kConcatText, Alphabet::Binary());
+}
+BENCHMARK(BM_CompileFigureSixConcat);
+
+void BM_CompileManifold(benchmark::State& state) {
+  CompileBench(state, kManifoldText, Alphabet::Binary());
+}
+BENCHMARK(BM_CompileManifold);
+
+void BM_CompileShuffle(benchmark::State& state) {
+  CompileBench(state, kShuffleText, Alphabet::Binary());
+}
+BENCHMARK(BM_CompileShuffle);
+
+void BM_CompileEqualityDna(benchmark::State& state) {
+  // The (|Σ|+2)^k factor: the same formula over the 4-letter DNA
+  // alphabet.
+  CompileBench(state, kEqualityText, Alphabet::Dna());
+}
+BENCHMARK(BM_CompileEqualityDna);
+
+void BM_CompileConcatDna(benchmark::State& state) {
+  CompileBench(state, kConcatText, Alphabet::Dna());
+}
+BENCHMARK(BM_CompileConcatDna);
+
+// Growing formula: edit-distance blocks (the ^k power of §2 Example 8).
+void BM_CompileEditDistanceK(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  std::string text = "([x,y]l(x = y))* . (([x,y]l(true) + [x]l(true) + "
+                     "[y]l(true)) . ([x,y]l(x = y))*)^" +
+                     std::to_string(k) + " . [x,y]l(x = y = ~)";
+  CompileBench(state, text.c_str(), Alphabet::Binary());
+  state.SetComplexityN(k);
+}
+BENCHMARK(BM_CompileEditDistanceK)->DenseRange(1, 6)->Complexity();
+
+// Theorem 3.2, the reverse direction: state elimination cost.
+void BM_ToFormulaEquality(benchmark::State& state) {
+  Fsa fsa = OrDie(
+      CompileStringFormula(Parse(kEqualityText), Alphabet::Binary()),
+      "equality");
+  int64_t size = 0;
+  for (auto _ : state) {
+    Result<StringFormula> back = FsaToStringFormula(fsa, {"x", "y"});
+    if (!back.ok()) {
+      state.SkipWithError(back.status().ToString().c_str());
+      break;
+    }
+    size = back->Size();
+  }
+  state.counters["formula_size"] = static_cast<double>(size);
+}
+BENCHMARK(BM_ToFormulaEquality);
+
+}  // namespace
+}  // namespace bench
+}  // namespace strdb
+
+BENCHMARK_MAIN();

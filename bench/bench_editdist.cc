@@ -1,0 +1,78 @@
+// E17 — §2 Example 8: edit distance <= k.  The dynamic-programming
+// baseline versus the alignment-calculus automaton; the automaton pays
+// a factor for its generality but shares the baseline's polynomial
+// shape in the string length.
+#include <benchmark/benchmark.h>
+
+#include "baseline/matchers.h"
+#include "bench_util.h"
+#include "core/rng.h"
+#include "fsa/accept.h"
+#include "fsa/compile.h"
+#include "queries/examples.h"
+
+namespace strdb {
+namespace bench {
+namespace {
+
+std::pair<std::string, std::string> NearbyPair(int n, int edits,
+                                               uint64_t seed) {
+  Rng rng(seed);
+  Alphabet bin = Alphabet::Binary();
+  std::string a = rng.String(bin, n);
+  std::string b = a;
+  for (int e = 0; e < edits && !b.empty(); ++e) {
+    size_t pos = rng.Below(b.size());
+    b[pos] = (b[pos] == 'a') ? 'b' : 'a';
+  }
+  return {a, b};
+}
+
+void BM_EditDistanceDp(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto [a, b] = NearbyPair(n, 2, 11);
+  for (auto _ : state) {
+    int d = EditDistance(a, b);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_EditDistanceDp)->RangeMultiplier(2)->Range(8, 256)->Complexity();
+
+void BM_EditDistanceFsa(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int k = 2;
+  Fsa fsa = OrDie(CompileStringFormula(EditDistanceAtMostFormula("x", "y", k),
+                                       Alphabet::Binary()),
+                  "edit distance");
+  auto [a, b] = NearbyPair(n, k, 11);
+  for (auto _ : state) {
+    Result<bool> r = Accepts(fsa, {a, b});
+    if (!r.ok() || !*r) state.SkipWithError("expected within distance");
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_EditDistanceFsa)->RangeMultiplier(2)->Range(8, 128)->Complexity();
+
+void BM_EditDistanceFsaByK(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const int n = 24;
+  Fsa fsa = OrDie(CompileStringFormula(EditDistanceAtMostFormula("x", "y", k),
+                                       Alphabet::Binary()),
+                  "edit distance");
+  auto [a, b] = NearbyPair(n, k, 13);
+  int transitions = fsa.num_transitions();
+  for (auto _ : state) {
+    Result<bool> r = Accepts(fsa, {a, b});
+    if (!r.ok() || !*r) state.SkipWithError("expected within distance");
+  }
+  state.counters["transitions"] = transitions;
+  state.SetComplexityN(k);
+}
+BENCHMARK(BM_EditDistanceFsaByK)->DenseRange(1, 4)->Complexity();
+
+}  // namespace
+}  // namespace bench
+}  // namespace strdb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// E15 — Theorem 6.6: expression complexity.  The LBA-acceptance formula
+// grows linearly with the input, and deciding its satisfiability (here
+// by searching for the computation witness with the bounded generator)
+// grows much faster — the PSPACE-hardness shape.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "fsa/compile.h"
+#include "fsa/generate.h"
+#include "queries/lba.h"
+
+namespace strdb {
+namespace bench {
+namespace {
+
+Lba WalkerLba() {
+  Lba m;
+  m.start_state = 'P';
+  m.accept_state = 'A';
+  m.states = {'P', 'A'};
+  m.tape_alphabet = {'a', 'b'};
+  m.rules = {{'P', 'a', 'P', 'a', true}, {'P', 'b', 'A', 'b', true}};
+  return m;
+}
+
+Alphabet LbaAlphabet() {
+  return OrDie(Alphabet::Create("abPALR"), "alphabet");
+}
+
+void BM_LbaFormulaSize(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::string input(static_cast<size_t>(n - 1), 'a');
+  input += 'b';
+  Alphabet sigma = LbaAlphabet();
+  int64_t size = 0;
+  for (auto _ : state) {
+    Result<StringFormula> phi =
+        LbaAcceptanceFormula(WalkerLba(), input, "x", 'L', 'R', sigma);
+    if (!phi.ok()) {
+      state.SkipWithError(phi.status().ToString().c_str());
+      break;
+    }
+    size = phi->Size();
+  }
+  state.counters["formula_size"] = static_cast<double>(size);
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_LbaFormulaSize)->DenseRange(1, 6)->Complexity(benchmark::oN);
+
+void BM_LbaSatisfiability(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::string input(static_cast<size_t>(n - 1), 'a');
+  input += 'b';
+  Alphabet sigma = LbaAlphabet();
+  StringFormula phi = OrDie(
+      LbaAcceptanceFormula(WalkerLba(), input, "x", 'L', 'R', sigma),
+      "lba formula");
+  Fsa fsa = OrDie(CompileStringFormula(phi, sigma, phi.Vars()), "compile");
+  // The accepting witness is (n+1)(n+3) characters long.
+  GenerateOptions opts;
+  opts.max_len = (n + 1) * (n + 3);
+  bool satisfiable = false;
+  for (auto _ : state) {
+    Result<std::set<std::vector<std::string>>> witnesses =
+        EnumerateLanguage(fsa, opts);
+    if (!witnesses.ok()) {
+      state.SkipWithError(witnesses.status().ToString().c_str());
+      break;
+    }
+    satisfiable = !witnesses->empty();
+  }
+  state.counters["satisfiable"] = satisfiable ? 1 : 0;
+  state.counters["witness_budget"] = opts.max_len;
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_LbaSatisfiability)->DenseRange(1, 3)->Complexity();
+
+}  // namespace
+}  // namespace bench
+}  // namespace strdb
+
+BENCHMARK_MAIN();

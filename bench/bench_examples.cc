@@ -1,0 +1,125 @@
+// E3 — the twelve §2 example queries as compiled automata: acceptance
+// time per query family on inputs of growing length, plus the calculus
+// queries (9-12) through the naive truth definitions at a fixed small
+// truncation.  This is the per-example companion to bench_acceptance.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "calculus/eval.h"
+#include "fsa/accept.h"
+#include "fsa/compile.h"
+#include "queries/examples.h"
+
+namespace strdb {
+namespace bench {
+namespace {
+
+void AcceptSweep(benchmark::State& state, const StringFormula& formula,
+                 const std::vector<std::string>& tuple) {
+  Fsa fsa = OrDie(CompileStringFormula(formula, Alphabet::Binary()),
+                  "compile");
+  for (auto _ : state) {
+    Result<bool> r = Accepts(fsa, tuple);
+    if (!r.ok() || !*r) state.SkipWithError("expected accept");
+  }
+  state.SetComplexityN(static_cast<int64_t>(tuple[0].size()));
+}
+
+void BM_Example2Equality(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::string w(static_cast<size_t>(n), 'a');
+  AcceptSweep(state, StringEqualityFormula("x", "y"), {w, w});
+}
+BENCHMARK(BM_Example2Equality)->RangeMultiplier(4)->Range(8, 512)->Complexity();
+
+void BM_Example3Concatenation(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::string y(static_cast<size_t>(n), 'a');
+  std::string z(static_cast<size_t>(n), 'b');
+  AcceptSweep(state, ConcatenationFormula("x", "y", "z"), {y + z, y, z});
+}
+BENCHMARK(BM_Example3Concatenation)
+    ->RangeMultiplier(4)
+    ->Range(8, 128)
+    ->Complexity();
+
+void BM_Example4Manifold(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::string y = "aab";
+  std::string x;
+  for (int i = 0; i < n; ++i) x += y;
+  AcceptSweep(state, ManifoldFormula("x", "y"), {x, y});
+}
+BENCHMARK(BM_Example4Manifold)->RangeMultiplier(4)->Range(4, 64)->Complexity();
+
+void BM_Example5Shuffle(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::string y(static_cast<size_t>(n), 'a');
+  std::string z(static_cast<size_t>(n), 'b');
+  std::string x;
+  for (int i = 0; i < n; ++i) x += "ab";
+  AcceptSweep(state, ShuffleFormula("x", "y", "z"), {x, y, z});
+}
+BENCHMARK(BM_Example5Shuffle)->RangeMultiplier(2)->Range(4, 32)->Complexity();
+
+void BM_Example7OccursIn(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::string y(static_cast<size_t>(n), 'a');
+  y += "bba";
+  AcceptSweep(state, OccursInFormula("x", "y"), {"bb", y});
+}
+BENCHMARK(BM_Example7OccursIn)->RangeMultiplier(4)->Range(8, 512)->Complexity();
+
+void BM_Example8EditDistance(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::string x(static_cast<size_t>(n), 'a');
+  std::string y = x;
+  y[static_cast<size_t>(n) / 2] = 'b';
+  AcceptSweep(state, EditDistanceAtMostFormula("x", "y", 2), {x, y});
+}
+BENCHMARK(BM_Example8EditDistance)
+    ->RangeMultiplier(2)
+    ->Range(8, 64)
+    ->Complexity();
+
+// The quantified examples (9-12) through the reference truth
+// definitions at a small truncation: their cost is dominated by the
+// |Σ^{<=l}|^quantifiers enumeration — the motivation for the algebra.
+void QuantifiedSweep(benchmark::State& state, const CalcFormula& f,
+                     const std::string& witness, int truncation) {
+  Database db(Alphabet::Binary());
+  CalcEvalOptions opts;
+  opts.truncation = truncation;
+  opts.max_steps = 1'000'000'000;
+  for (auto _ : state) {
+    Result<bool> r = HoldsAt(f, db, {{"x", witness}}, opts);
+    if (!r.ok() || !*r) state.SkipWithError("expected true");
+  }
+}
+
+void BM_Example9AXbXa(benchmark::State& state) {
+  CalcFormula f =
+      OrDie(AXbXaQuery("x", "y", "z", Alphabet::Binary()), "ex9");
+  QuantifiedSweep(state, f, "abbba", 5);
+}
+BENCHMARK(BM_Example9AXbXa);
+
+void BM_Example10EqualAsBs(benchmark::State& state) {
+  CalcFormula f =
+      OrDie(EqualAsAndBsQuery("x", "y", "z", Alphabet::Binary()), "ex10");
+  QuantifiedSweep(state, f, "abba", 4);
+}
+BENCHMARK(BM_Example10EqualAsBs);
+
+void BM_Example12Translation(benchmark::State& state) {
+  CalcFormula f = OrDie(
+      TranslationHalvesQuery("x", "y", "z", Alphabet::Binary()), "ex12");
+  QuantifiedSweep(state, f, "abba", 4);
+}
+BENCHMARK(BM_Example12Translation);
+
+}  // namespace
+}  // namespace bench
+}  // namespace strdb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// E10 — Theorem 5.2's quantitative claim: the B_s family's outputs grow
+// *linearly* with the input length (a^{s(|w|+1)}) and the B'_s family's
+// *quadratically*, and both stay below the analyser's declared bound.
+// Measured by running the machines as generators; the shape lives in
+// the reported counters.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "fsa/generate.h"
+#include "safety/limitation.h"
+
+namespace strdb {
+namespace bench {
+namespace {
+
+int64_t MaxOutputLen(const std::set<std::vector<std::string>>& outs) {
+  int64_t max_len = 0;
+  for (const auto& tuple : outs) {
+    for (const std::string& s : tuple) {
+      max_len = std::max<int64_t>(max_len, static_cast<int64_t>(s.size()));
+    }
+  }
+  return max_len;
+}
+
+void BM_BsOutputGrowth(benchmark::State& state) {
+  const int s = 3;
+  const int n = static_cast<int>(state.range(0));
+  Fsa fsa = MakeBs(Alphabet::Binary(), s);
+  LimitationReport report =
+      OrDie(AnalyzeLimitation(fsa, {true, false}), "analysis");
+  std::string w(static_cast<size_t>(n), 'a');
+  GenerateOptions opts;
+  opts.max_len = static_cast<int>(report.bound.Eval({n}));
+  int64_t measured = 0;
+  for (auto _ : state) {
+    Result<std::set<std::vector<std::string>>> outs =
+        GenerateAccepted(fsa, {w, std::nullopt}, opts);
+    if (!outs.ok()) {
+      state.SkipWithError(outs.status().ToString().c_str());
+      break;
+    }
+    measured = MaxOutputLen(*outs);
+  }
+  // The paper's exact value and our declared bound.
+  state.counters["measured"] = static_cast<double>(measured);
+  state.counters["paper_exact"] = static_cast<double>(s) * (n + 1);
+  state.counters["declared_bound"] =
+      static_cast<double>(report.bound.Eval({n}));
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_BsOutputGrowth)->DenseRange(1, 9, 2)->Complexity(benchmark::oN);
+
+void BM_BsPrimeOutputGrowth(benchmark::State& state) {
+  const int s = 2;
+  const int n = static_cast<int>(state.range(0));
+  Fsa fsa = MakeBsPrime(Alphabet::Binary(), s);
+  LimitationReport report =
+      OrDie(AnalyzeLimitation(fsa, {true, true, false}), "analysis");
+  std::string x(static_cast<size_t>(n), 'a');
+  std::string y(static_cast<size_t>(n), 'a');
+  GenerateOptions opts;
+  opts.max_len = static_cast<int>(
+      std::min<int64_t>(report.bound.Eval({n, n}), 4000));
+  int64_t measured = 0;
+  for (auto _ : state) {
+    Result<std::set<std::vector<std::string>>> outs =
+        GenerateAccepted(fsa, {x, y, std::nullopt}, opts);
+    if (!outs.ok()) {
+      state.SkipWithError(outs.status().ToString().c_str());
+      break;
+    }
+    measured = MaxOutputLen(*outs);
+  }
+  state.counters["measured"] = static_cast<double>(measured);
+  state.counters["declared_bound"] =
+      static_cast<double>(report.bound.Eval({n, n}));
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_BsPrimeOutputGrowth)
+    ->DenseRange(1, 5, 2)
+    ->Complexity(benchmark::oNSquared);
+
+}  // namespace
+}  // namespace bench
+}  // namespace strdb
+
+BENCHMARK_MAIN();

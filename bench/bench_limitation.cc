@@ -1,0 +1,92 @@
+// E10 — Theorem 5.2: cost of the limitation (safety) analysis for the
+// §2 query formulae and the B_s machine family.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "safety/limitation.h"
+
+namespace strdb {
+namespace bench {
+namespace {
+
+void AnalyzeBench(benchmark::State& state, const char* text,
+                  const std::vector<std::string>& inputs,
+                  LimitationVerdict expect) {
+  StringFormula f = Parse(text);
+  for (auto _ : state) {
+    Result<LimitationReport> r =
+        AnalyzeStringFormulaLimitation(f, Alphabet::Binary(), inputs);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      break;
+    }
+    if (r->verdict != expect) {
+      state.SkipWithError("unexpected verdict");
+      break;
+    }
+    benchmark::DoNotOptimize(r);
+  }
+}
+
+void BM_AnalyzeEqualityForward(benchmark::State& state) {
+  AnalyzeBench(state, kEqualityText, {"x"}, LimitationVerdict::kLimited);
+}
+BENCHMARK(BM_AnalyzeEqualityForward);
+
+void BM_AnalyzeConcatForward(benchmark::State& state) {
+  AnalyzeBench(state, kConcatText, {"y", "z"}, LimitationVerdict::kLimited);
+}
+BENCHMARK(BM_AnalyzeConcatForward);
+
+void BM_AnalyzeManifoldForward(benchmark::State& state) {
+  // The right-restricted case: crossing/behaviour analysis.
+  AnalyzeBench(state, kManifoldText, {"x"}, LimitationVerdict::kLimited);
+}
+BENCHMARK(BM_AnalyzeManifoldForward);
+
+void BM_AnalyzeManifoldBackward(benchmark::State& state) {
+  AnalyzeBench(state, kManifoldText, {"y"},
+               LimitationVerdict::kUnlimitedHard);
+}
+BENCHMARK(BM_AnalyzeManifoldBackward);
+
+void BM_AnalyzeBsFamily(benchmark::State& state) {
+  const int s = static_cast<int>(state.range(0));
+  Fsa fsa = MakeBs(Alphabet::Binary(), s);
+  for (auto _ : state) {
+    Result<LimitationReport> r = AnalyzeLimitation(fsa, {true, false});
+    if (!r.ok() || r->verdict != LimitationVerdict::kLimited) {
+      state.SkipWithError("expected limited");
+      break;
+    }
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(s);
+}
+BENCHMARK(BM_AnalyzeBsFamily)->DenseRange(2, 10, 2)->Complexity();
+
+void BM_AnalyzeBsPrimeFamily(benchmark::State& state) {
+  const int s = static_cast<int>(state.range(0));
+  Fsa fsa = MakeBsPrime(Alphabet::Binary(), s);
+  int degree = 0;
+  for (auto _ : state) {
+    Result<LimitationReport> r =
+        AnalyzeLimitation(fsa, {true, true, false});
+    if (!r.ok() || r->verdict != LimitationVerdict::kLimited) {
+      state.SkipWithError(r.ok() ? r->explanation.c_str()
+                                 : r.status().ToString().c_str());
+      break;
+    }
+    degree = r->bound.degree;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["bound_degree"] = degree;
+  state.SetComplexityN(s);
+}
+BENCHMARK(BM_AnalyzeBsPrimeFamily)->DenseRange(2, 6, 2)->Complexity();
+
+}  // namespace
+}  // namespace bench
+}  // namespace strdb
+
+BENCHMARK_MAIN();

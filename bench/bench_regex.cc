@@ -1,0 +1,81 @@
+// E11 — Theorem 6.1: regular-set queries.  Compares the special-purpose
+// Thompson-NFA baseline with the alignment-calculus route (the §1
+// pattern (gc+a)* over DNA).  The baseline wins on constants — the
+// calculus buys expressiveness beyond regular sets, not regex speed —
+// but both are linear in the string length.
+#include <benchmark/benchmark.h>
+
+#include "baseline/regex.h"
+#include "bench_util.h"
+#include "core/rng.h"
+#include "fsa/accept.h"
+#include "fsa/compile.h"
+#include "queries/regex_formula.h"
+
+namespace strdb {
+namespace bench {
+namespace {
+
+std::string GcaString(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::string out;
+  while (static_cast<int>(out.size()) < n) {
+    out += rng.Coin() ? "gc" : "a";
+  }
+  return out;
+}
+
+void BM_RegexBaselineNfa(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Alphabet dna = Alphabet::Dna();
+  RegexMatcher matcher(OrDie(Regex::Parse("(gc+a)*", dna), "regex"));
+  std::string w = GcaString(n, 5);
+  for (auto _ : state) {
+    bool ok = matcher.Matches(w);
+    if (!ok) state.SkipWithError("baseline rejected");
+    benchmark::DoNotOptimize(ok);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_RegexBaselineNfa)->RangeMultiplier(4)->Range(16, 1024)->Complexity();
+
+void BM_RegexViaCompiledFsa(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Alphabet dna = Alphabet::Dna();
+  StringFormula f =
+      OrDie(RegexMembershipFormula("(gc+a)*", "y", dna), "formula");
+  Fsa fsa = OrDie(CompileStringFormula(f, dna), "compile");
+  std::string w = GcaString(n, 5);
+  for (auto _ : state) {
+    Result<bool> r = Accepts(fsa, {w});
+    if (!r.ok() || !*r) state.SkipWithError("fsa rejected");
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_RegexViaCompiledFsa)
+    ->RangeMultiplier(4)
+    ->Range(16, 1024)
+    ->Complexity();
+
+void BM_RegexViaDirectSemantics(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Alphabet dna = Alphabet::Dna();
+  StringFormula f =
+      OrDie(RegexMembershipFormula("(gc+a)*", "y", dna), "formula");
+  std::string w = GcaString(n, 5);
+  for (auto _ : state) {
+    Result<bool> r = f.AcceptsStrings({"y"}, {w});
+    if (!r.ok() || !*r) state.SkipWithError("formula rejected");
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_RegexViaDirectSemantics)
+    ->RangeMultiplier(4)
+    ->Range(16, 256)
+    ->Complexity();
+
+}  // namespace
+}  // namespace bench
+}  // namespace strdb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// E14 — Theorem 6.5 at the Σ^p_1 level: satisfiability through the
+// quantifier-limited machinery versus brute-force truth tables.  Both
+// are exponential in the variable count (as they must be); the curves'
+// shapes are the result.
+#include <benchmark/benchmark.h>
+
+#include "baseline/sat_solver.h"
+#include "bench_util.h"
+#include "core/rng.h"
+#include "queries/sat_encoding.h"
+
+namespace strdb {
+namespace bench {
+namespace {
+
+CnfInstance RandomCnf(int vars, int clauses, uint64_t seed) {
+  Rng rng(seed);
+  CnfInstance cnf;
+  cnf.num_vars = vars;
+  for (int c = 0; c < clauses; ++c) {
+    std::vector<int> clause;
+    for (int l = 0; l < 3; ++l) {
+      int var = rng.Range(1, vars);
+      clause.push_back(rng.Coin() ? var : -var);
+    }
+    cnf.clauses.push_back(std::move(clause));
+  }
+  return cnf;
+}
+
+void BM_SatBruteForce(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  CnfInstance cnf = RandomCnf(n, 3 * n, 1234);
+  for (auto _ : state) {
+    std::optional<std::vector<bool>> model = SolveSatBruteForce(cnf);
+    benchmark::DoNotOptimize(model);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_SatBruteForce)->DenseRange(2, 10, 2)->Complexity();
+
+void BM_SatViaAlignment(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  CnfInstance cnf = RandomCnf(n, 3 * n, 1234);
+  for (auto _ : state) {
+    Result<std::optional<std::vector<bool>>> model =
+        SolveSatViaAlignment(cnf);
+    if (!model.ok()) {
+      state.SkipWithError(model.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(model);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_SatViaAlignment)->DenseRange(2, 8, 2)->Complexity();
+
+void BM_SatAgreement(benchmark::State& state) {
+  // Not a timing benchmark so much as a continuous cross-check: both
+  // deciders agree on a fresh instance every iteration.
+  const int n = 4;
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    CnfInstance cnf = RandomCnf(n, 6, seed++);
+    std::optional<std::vector<bool>> brute = SolveSatBruteForce(cnf);
+    Result<std::optional<std::vector<bool>>> via = SolveSatViaAlignment(cnf);
+    if (!via.ok() || via->has_value() != brute.has_value()) {
+      state.SkipWithError("deciders disagree");
+      break;
+    }
+  }
+}
+BENCHMARK(BM_SatAgreement);
+
+}  // namespace
+}  // namespace bench
+}  // namespace strdb
+
+BENCHMARK_MAIN();

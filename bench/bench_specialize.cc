@@ -1,0 +1,67 @@
+// E5 — Lemma 3.1: specialising a k-FSA on constant inputs is polynomial
+// in |A| · Π(|u_i|+2).  Sweeps the constant length and reports the
+// product-automaton size.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "fsa/compile.h"
+#include "fsa/specialize.h"
+
+namespace strdb {
+namespace bench {
+namespace {
+
+void BM_SpecializeEqualityOnConstant(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Fsa fsa = OrDie(
+      CompileStringFormula(Parse(kEqualityText), Alphabet::Binary()),
+      "equality");
+  std::string u;
+  for (int i = 0; i < n; ++i) u += (i % 2 == 0) ? 'a' : 'b';
+  int transitions = 0;
+  for (auto _ : state) {
+    Result<Fsa> spec = Specialize(fsa, {u, std::nullopt});
+    if (!spec.ok()) {
+      state.SkipWithError(spec.status().ToString().c_str());
+      break;
+    }
+    transitions = spec->num_transitions();
+    benchmark::DoNotOptimize(spec);
+  }
+  state.counters["transitions"] = transitions;
+  state.counters["bound"] =
+      static_cast<double>(fsa.num_transitions()) * (n + 2);
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_SpecializeEqualityOnConstant)
+    ->RangeMultiplier(2)
+    ->Range(4, 256)
+    ->Complexity(benchmark::oN);
+
+void BM_SpecializeManifoldOnConstant(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Fsa fsa = OrDie(
+      CompileStringFormula(Parse(kManifoldText), Alphabet::Binary()),
+      "manifold");
+  std::string u;
+  for (int i = 0; i < n; ++i) u += "ab";
+  for (auto _ : state) {
+    Result<Fsa> spec = Specialize(fsa, {u, std::nullopt});
+    if (!spec.ok()) {
+      state.SkipWithError(spec.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(spec);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_SpecializeManifoldOnConstant)
+    ->RangeMultiplier(2)
+    ->Range(4, 128)
+    ->Complexity(benchmark::oN);
+
+}  // namespace
+}  // namespace bench
+}  // namespace strdb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,129 @@
+#include "bench_util.h"
+
+namespace strdb {
+namespace bench {
+
+namespace {
+
+void MustAdd(Fsa* fsa, Transition t) {
+  Status s = fsa->AddTransition(std::move(t));
+  if (!s.ok()) {
+    std::fprintf(stderr, "bad bench transition: %s\n", s.ToString().c_str());
+    std::abort();
+  }
+}
+
+}  // namespace
+
+Fsa MakeBs(const Alphabet& alphabet, int s) {
+  Fsa fsa(alphabet, 2);
+  std::vector<int> ring = {fsa.start()};
+  for (int i = 1; i < s; ++i) ring.push_back(fsa.AddState());
+  int accept = fsa.AddState();
+  fsa.SetFinal(accept);
+
+  const Sym a = 0;  // the printed output character
+  std::vector<Sym> out_reads = {kLeftEnd, a};
+  std::vector<Sym> in_any = alphabet.TapeSymbols();
+  std::vector<Sym> in_consumable = {kLeftEnd};
+  for (Sym c = 0; c < alphabet.size(); ++c) in_consumable.push_back(c);
+
+  for (int i = 0; i < s; ++i) {
+    int next = (i + 1) % s;
+    if (i + 1 < s) {
+      // Non-reading ring edges: print one output symbol.
+      for (Sym x : in_any) {
+        for (Sym z : out_reads) {
+          MustAdd(&fsa, Transition{ring[static_cast<size_t>(i)],
+                                   ring[static_cast<size_t>(next)],
+                                   {x, z},
+                                   {0, +1}});
+        }
+      }
+    } else {
+      // The circle-closing edge consumes one input square.
+      for (Sym x : in_consumable) {
+        for (Sym z : out_reads) {
+          MustAdd(&fsa, Transition{ring[static_cast<size_t>(i)],
+                                   ring[static_cast<size_t>(next)],
+                                   {x, z},
+                                   {+1, +1}});
+        }
+      }
+    }
+  }
+  // Accept once the input is exhausted and the output ends exactly
+  // here: pin the final output character before stepping onto its ⊣,
+  // so the generated output is exactly a^{s(|w|+1)}.
+  int pre_accept = fsa.AddState();
+  MustAdd(&fsa, Transition{ring[0], pre_accept, {kRightEnd, a}, {0, +1}});
+  MustAdd(&fsa,
+          Transition{pre_accept, accept, {kRightEnd, kRightEnd}, {0, 0}});
+  return fsa;
+}
+
+Fsa MakeBsPrime(const Alphabet& alphabet, int s) {
+  Fsa fsa(alphabet, 3);
+  std::vector<int> ring = {fsa.start()};
+  for (int i = 1; i < s; ++i) ring.push_back(fsa.AddState());
+  int accept = fsa.AddState();
+  fsa.SetFinal(accept);
+
+  const Sym a = 0;
+  std::vector<Sym> out_reads = {kLeftEnd, a};
+  std::vector<Sym> x_any = alphabet.TapeSymbols();
+  std::vector<Sym> x_consumable = {kLeftEnd};
+  for (Sym c = 0; c < alphabet.size(); ++c) x_consumable.push_back(c);
+  std::vector<Sym> y_fwd = {kLeftEnd};  // can move +1 from ⊢ or a char
+  for (Sym c = 0; c < alphabet.size(); ++c) y_fwd.push_back(c);
+  std::vector<Sym> y_bwd = {kRightEnd};
+  for (Sym c = 0; c < alphabet.size(); ++c) y_bwd.push_back(c);
+
+  for (int i = 0; i < s; ++i) {
+    int next = (i + 1) % s;
+    bool odd = (i % 2) == 1;
+    // Winding loops: odd states sweep y to ⊣, even states rewind it,
+    // printing output all the while.
+    for (Sym y : odd ? y_fwd : y_bwd) {
+      for (Sym x : x_any) {
+        for (Sym z : out_reads) {
+          MustAdd(&fsa, Transition{ring[static_cast<size_t>(i)],
+                                   ring[static_cast<size_t>(i)],
+                                   {x, y, z},
+                                   {0, static_cast<Move>(odd ? +1 : -1),
+                                    +1}});
+        }
+      }
+    }
+    // Ring edges fire only once the wind is complete.
+    Sym y_parked = odd ? kRightEnd : kLeftEnd;
+    if (i + 1 < s) {
+      for (Sym x : x_any) {
+        for (Sym z : out_reads) {
+          MustAdd(&fsa, Transition{ring[static_cast<size_t>(i)],
+                                   ring[static_cast<size_t>(next)],
+                                   {x, y_parked, z},
+                                   {0, 0, +1}});
+        }
+      }
+    } else {
+      for (Sym x : x_consumable) {
+        for (Sym z : out_reads) {
+          MustAdd(&fsa, Transition{ring[static_cast<size_t>(i)],
+                                   ring[static_cast<size_t>(next)],
+                                   {x, y_parked, z},
+                                   {+1, 0, +1}});
+        }
+      }
+    }
+  }
+  int pre_accept = fsa.AddState();
+  MustAdd(&fsa, Transition{ring[0], pre_accept, {kRightEnd, kLeftEnd, a},
+                           {0, 0, +1}});
+  MustAdd(&fsa, Transition{pre_accept, accept,
+                           {kRightEnd, kLeftEnd, kRightEnd}, {0, 0, 0}});
+  return fsa;
+}
+
+}  // namespace bench
+}  // namespace strdb

@@ -1,0 +1,56 @@
+#ifndef STRDB_BENCH_BENCH_UTIL_H_
+#define STRDB_BENCH_BENCH_UTIL_H_
+
+#include <cstdlib>
+#include <string>
+
+#include "core/result.h"
+#include "fsa/fsa.h"
+#include "strform/parser.h"
+#include "strform/string_formula.h"
+
+namespace strdb {
+namespace bench {
+
+// Benches abort loudly on setup failures (no gtest here).
+template <typename T>
+T OrDie(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "bench setup failed (%s): %s\n", what,
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(result).value();
+}
+
+inline StringFormula Parse(const std::string& text) {
+  return OrDie(ParseStringFormula(text), text.c_str());
+}
+
+// The recurring §2 formulae.
+inline const char kEqualityText[] =
+    "([x,y]l(x = y))* . [x,y]l(x = y = ~)";
+inline const char kConcatText[] =
+    "([x,y]l(x = y))* . ([x,z]l(x = z))* . [x,y,z]l(x = y = z = ~)";
+inline const char kManifoldText[] =
+    "(([x,y]l(x = y))* . [y]l(y = ~) . ([y]r(!(y = ~)))* . [y]r(y = ~))* "
+    ". ([x,y]l(x = y))* . [x,y]l(x = y = ~)";
+inline const char kShuffleText[] =
+    "(([x,y]l(x = y)) + ([x,z]l(x = z)))* . [x,y,z]l(x = y = z = ~)";
+
+// The B_s machine family of Eq. (8) with one unidirectional input x:
+// recognises (w, a^{s(|w|+1)}) — the witness that the linear limitation
+// bound of Theorem 5.2 is tight.  Tape 0 = input, tape 1 = output.
+Fsa MakeBs(const Alphabet& alphabet, int s);
+
+// The quadratic family B'_s (s even): a second, *bidirectional* input y
+// is wound to ⊣ in odd ring states and rewound in even ones, each step
+// printing output — outputs grow with (|y|+2)·(|x|+1), the Theorem 5.2
+// quadratic witness.  Tape 0 = x (uni input), tape 1 = y (bidi input),
+// tape 2 = output.
+Fsa MakeBsPrime(const Alphabet& alphabet, int s);
+
+}  // namespace bench
+}  // namespace strdb
+
+#endif  // STRDB_BENCH_BENCH_UTIL_H_

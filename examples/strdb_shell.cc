@@ -1,0 +1,164 @@
+// An interactive alignment-calculus shell.
+//
+//   $ ./strdb_shell [alphabet]        (default alphabet: ab)
+//
+// Commands:
+//   rel NAME tuple [tuple ...]    define a relation; a tuple is either a
+//                                 single string or comma-joined strings
+//                                 ("ab,ba"); "-" denotes the empty string
+//   show                          list the relations
+//   safe QUERY                    run the safety analysis only
+//   plan QUERY                    show the Theorem 4.2 algebra plan
+//   QUERY                         evaluate (inferred truncation, falling
+//                                 back to !N for an explicit one: "!4 QUERY")
+//   :quit
+//
+// Example session:
+//   > rel R1 ab ba
+//   > rel R3 a bb
+//   > x | exists y, z: R1(y) & R3(z) & ([x,y]l(x = y))* .
+//         ([x,z]l(x = z))* . [x,y,z]l(x = y = z = ~)
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "calculus/query.h"
+#include "relational/relation.h"
+
+namespace {
+
+using namespace strdb;
+
+std::vector<std::string> SplitWords(const std::string& line) {
+  std::istringstream in(line);
+  std::vector<std::string> words;
+  std::string w;
+  while (in >> w) words.push_back(w);
+  return words;
+}
+
+Status HandleRel(Database* db, const std::vector<std::string>& words) {
+  if (words.size() < 3) {
+    return Status::InvalidArgument("usage: rel NAME tuple [tuple ...]");
+  }
+  const std::string& name = words[1];
+  int arity = -1;
+  std::vector<Tuple> tuples;
+  for (size_t i = 2; i < words.size(); ++i) {
+    Tuple tuple;
+    std::istringstream in(words[i]);
+    std::string part;
+    while (std::getline(in, part, ',')) {
+      tuple.push_back(part == "-" ? "" : part);
+    }
+    if (tuple.empty()) tuple.push_back("");
+    if (arity < 0) arity = static_cast<int>(tuple.size());
+    if (static_cast<int>(tuple.size()) != arity) {
+      return Status::InvalidArgument("tuples of unequal arity");
+    }
+    tuples.push_back(std::move(tuple));
+  }
+  STRDB_RETURN_IF_ERROR(db->Put(name, arity, std::move(tuples)));
+  std::printf("defined %s/%d with %zu tuples\n", name.c_str(), arity,
+              words.size() - 2);
+  return Status::OK();
+}
+
+void HandleQuery(const Database& db, const std::string& text) {
+  int explicit_trunc = -1;
+  std::string body = text;
+  if (!body.empty() && body[0] == '!') {
+    size_t sp = body.find(' ');
+    if (sp == std::string::npos) {
+      std::printf("error: usage !N QUERY\n");
+      return;
+    }
+    explicit_trunc = std::atoi(body.substr(1, sp - 1).c_str());
+    body = body.substr(sp + 1);
+  }
+  Result<Query> q = Query::Parse(body, db.alphabet());
+  if (!q.ok()) {
+    std::printf("parse error: %s\n", q.status().ToString().c_str());
+    return;
+  }
+  Result<StringRelation> answer =
+      explicit_trunc >= 0 ? q->ExecuteTruncated(db, explicit_trunc)
+                          : q->Execute(db);
+  if (!answer.ok()) {
+    std::printf("error: %s\n", answer.status().ToString().c_str());
+    if (explicit_trunc < 0) {
+      std::printf("hint: \"!N <query>\" evaluates at explicit "
+                  "truncation N\n");
+    }
+    return;
+  }
+  std::printf("%s   (%lld tuples)\n", answer->ToString().c_str(),
+              static_cast<long long>(answer->size()));
+}
+
+void HandleSafe(const Database& db, const std::string& text) {
+  Result<Query> q = Query::Parse(text, db.alphabet());
+  if (!q.ok()) {
+    std::printf("parse error: %s\n", q.status().ToString().c_str());
+    return;
+  }
+  Result<int> w = q->InferTruncation(db);
+  if (w.ok()) {
+    std::printf("SAFE; inferred truncation W(db) = %d\n", *w);
+  } else {
+    std::printf("NOT certified: %s\n", w.status().ToString().c_str());
+  }
+}
+
+void HandlePlan(const Database& db, const std::string& text) {
+  Result<Query> q = Query::Parse(text, db.alphabet());
+  if (!q.ok()) {
+    std::printf("parse error: %s\n", q.status().ToString().c_str());
+    return;
+  }
+  std::printf("formula: %s\n", q->formula().ToString().c_str());
+  std::printf("plan:    %s\n", q->plan().ToString().c_str());
+  std::printf("finitely evaluable: %s\n",
+              q->plan().IsFinitelyEvaluable() ? "yes" : "no");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string chars = argc > 1 ? argv[1] : "ab";
+  Result<Alphabet> alphabet = Alphabet::Create(chars);
+  if (!alphabet.ok()) {
+    std::fprintf(stderr, "bad alphabet: %s\n",
+                 alphabet.status().ToString().c_str());
+    return 1;
+  }
+  Database db(*alphabet);
+  std::printf("strdb shell over Sigma = {%s}; :quit to exit\n",
+              chars.c_str());
+
+  std::string line;
+  while (std::printf("> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (line == ":quit" || line == ":q") break;
+    std::vector<std::string> words = SplitWords(line);
+    if (words.empty()) continue;
+    if (words[0] == "rel") {
+      Status s = HandleRel(&db, words);
+      if (!s.ok()) std::printf("error: %s\n", s.ToString().c_str());
+    } else if (words[0] == "show") {
+      for (const auto& [name, rel] : db.relations()) {
+        std::printf("%s/%d = %s\n", name.c_str(), rel.arity(),
+                    rel.ToString().c_str());
+      }
+    } else if (words[0] == "safe") {
+      HandleSafe(db, line.substr(5));
+    } else if (words[0] == "plan") {
+      HandlePlan(db, line.substr(5));
+    } else {
+      HandleQuery(db, line);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,113 @@
+#include "align/alignment.h"
+
+#include <algorithm>
+
+namespace strdb {
+
+namespace {
+const std::string kEmptyString;
+}  // namespace
+
+Alignment Alignment::Initial(std::vector<std::string> rows) {
+  Alignment a;
+  a.rows_.reserve(rows.size());
+  for (std::string& s : rows) {
+    a.rows_.push_back(Row{std::move(s), 0});
+  }
+  return a;
+}
+
+const std::string& Alignment::StringOf(int row) const {
+  if (row < 0 || row >= num_rows()) return kEmptyString;
+  return rows_[static_cast<size_t>(row)].content;
+}
+
+int Alignment::PosOf(int row) const {
+  if (row < 0 || row >= num_rows()) return 0;
+  return rows_[static_cast<size_t>(row)].pos;
+}
+
+std::optional<char> Alignment::At(int row, int col) const {
+  const std::string& s = StringOf(row);
+  // Character index is 1-based: index pos+col sits in the window-relative
+  // column `col`.
+  int idx = PosOf(row) + col;
+  if (idx >= 1 && idx <= static_cast<int>(s.size())) {
+    return s[static_cast<size_t>(idx - 1)];
+  }
+  return std::nullopt;
+}
+
+Status Alignment::SetRow(int row, std::string content, int pos) {
+  if (row < 0) return Status::OutOfRange("negative row number");
+  if (pos < 0 || pos > static_cast<int>(content.size()) + 1) {
+    return Status::OutOfRange(
+        "row position must be within [0, |content|+1]: the window column "
+        "must touch the string");
+  }
+  EnsureRow(row);
+  rows_[static_cast<size_t>(row)] = Row{std::move(content), pos};
+  return Status::OK();
+}
+
+void Alignment::EnsureRow(int row) {
+  if (row >= num_rows()) rows_.resize(static_cast<size_t>(row) + 1);
+}
+
+void Alignment::Apply(const RowTranspose& t) {
+  for (int row : t.rows) {
+    if (row < 0) continue;
+    EnsureRow(row);
+    Row& r = rows_[static_cast<size_t>(row)];
+    int len = static_cast<int>(r.content.size());
+    if (t.dir == Dir::kLeft) {
+      // Shift left relative to the window: head moves right, saturating
+      // at the right endmarker position |w|+1.
+      if (r.pos <= len) ++r.pos;
+    } else {
+      if (r.pos >= 1) --r.pos;
+    }
+  }
+}
+
+Alignment Alignment::Transposed(const RowTranspose& t) const {
+  Alignment copy = *this;
+  copy.Apply(t);
+  return copy;
+}
+
+bool Alignment::IsInitial() const {
+  return std::all_of(rows_.begin(), rows_.end(),
+                     [](const Row& r) { return r.pos == 0; });
+}
+
+std::string Alignment::ToString() const {
+  std::string out;
+  for (const Row& r : rows_) {
+    // Render "prefix|suffix" where '|' sits just left of the window
+    // column, i.e. between characters pos-1 and pos ... we mark the
+    // window character by brackets instead for readability.
+    out += '[';
+    for (int i = 1; i <= static_cast<int>(r.content.size()); ++i) {
+      if (i == r.pos) out += '(';
+      out += r.content[static_cast<size_t>(i - 1)];
+      if (i == r.pos) out += ')';
+    }
+    if (r.pos == 0) out += " pos=<";
+    if (r.pos == static_cast<int>(r.content.size()) + 1) out += " pos=>";
+    out += "]\n";
+  }
+  return out;
+}
+
+bool Alignment::operator==(const Alignment& other) const {
+  int n = std::max(num_rows(), other.num_rows());
+  for (int i = 0; i < n; ++i) {
+    if (StringOf(i) != other.StringOf(i) || PosOf(i) != other.PosOf(i)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace strdb

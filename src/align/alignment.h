@@ -1,0 +1,99 @@
+#ifndef STRDB_ALIGN_ALIGNMENT_H_
+#define STRDB_ALIGN_ALIGNMENT_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/result.h"
+#include "core/status.h"
+
+namespace strdb {
+
+// Which way a transpose slides its rows (paper §2).  A *left* transpose
+// shifts the mentioned rows one position to the left relative to the
+// fixed window column ("forward" string processing); a *right* transpose
+// shifts them to the right ("reverse").
+enum class Dir : int8_t { kLeft = +1, kRight = -1 };
+
+// A transpose [i1,...,ik]_l / [i1,...,ik]_r over concrete row numbers.
+struct RowTranspose {
+  Dir dir = Dir::kLeft;
+  std::vector<int> rows;
+};
+
+// An alignment of strings (paper §2, Fig. 1): a partial function
+// A: N x Z -> Σ where row i holds one finite string positioned relative
+// to the window column 0.
+//
+// Internally row i is a pair (content, pos) with pos in [0, |content|+1]:
+// pos is the 1-based index of the character currently in the window
+// column, pos = 0 meaning the window is just left of the string (the
+// initial alignment) and pos = |content|+1 meaning the string has been
+// slid entirely past the window.  This range is exactly the paper's
+// requirement that the window column touches the defined area
+// (K_i ∩ [-1,1] ≠ ∅), and coincides with the head positions of the k-FSA
+// correspondence in Theorem 3.1 (pos 0 ≙ scanning ⊢, pos |w|+1 ≙ ⊣).
+//
+// Rows not explicitly materialised hold the empty string ε, mirroring the
+// paper's convention that an alignment assigns a string to every i ∈ N.
+class Alignment {
+ public:
+  Alignment() = default;
+
+  // The initial alignment A0: every string placed with its leftmost
+  // symbol one position right of the window (pos = 0 for every row).
+  static Alignment Initial(std::vector<std::string> rows);
+
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+
+  // The string σ_A(i) represented by row i (ε for unmaterialised rows).
+  const std::string& StringOf(int row) const;
+
+  // Head position of row i in [0, |σ_A(i)|+1].
+  int PosOf(int row) const;
+
+  // A(i, col): the character at window-relative column `col` of row i,
+  // or nullopt where A is undefined.
+  std::optional<char> At(int row, int col) const;
+
+  // A(i, 0): the character in the window column (nullopt = "x == ε").
+  std::optional<char> WindowChar(int row) const { return At(row, 0); }
+
+  // Sets row `row` to `content` at head position `pos`.
+  // Fails if pos is outside [0, |content|+1].
+  Status SetRow(int row, std::string content, int pos);
+
+  // Applies a transpose in place.  Rows at the saturating end do not
+  // move (paper: "unless the window column is already at the right end
+  // of the row").  Row numbers outside the materialised area denote ε
+  // rows and saturate immediately.
+  void Apply(const RowTranspose& t);
+
+  // Functional form: a copy with `t` applied.
+  Alignment Transposed(const RowTranspose& t) const;
+
+  // True iff every row sits at pos = 0 (an initial alignment).
+  bool IsInitial() const;
+
+  // Multi-line debug rendering in the style of the paper's Fig. 1: one
+  // row per line with '|' marking the window column.
+  std::string ToString() const;
+
+  bool operator==(const Alignment& other) const;
+
+ private:
+  struct Row {
+    std::string content;
+    int pos = 0;
+  };
+
+  // Grows rows_ so that `row` is materialised (as ε if new).
+  void EnsureRow(int row);
+
+  std::vector<Row> rows_;
+};
+
+}  // namespace strdb
+
+#endif  // STRDB_ALIGN_ALIGNMENT_H_

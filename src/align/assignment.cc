@@ -1,0 +1,61 @@
+#include "align/assignment.h"
+
+#include <set>
+
+namespace strdb {
+
+Result<Assignment> Assignment::Create(
+    const std::vector<std::pair<std::string, int>>& bindings) {
+  Assignment a;
+  for (const auto& [var, row] : bindings) {
+    STRDB_RETURN_IF_ERROR(a.Bind(var, row));
+  }
+  return a;
+}
+
+Status Assignment::Bind(const std::string& var, int row) {
+  if (row < 0) return Status::OutOfRange("row numbers are natural numbers");
+  if (row_of_.count(var) > 0) {
+    return Status::AlreadyExists("variable '" + var + "' already bound");
+  }
+  for (const auto& [other, r] : row_of_) {
+    if (r == row) {
+      return Status::AlreadyExists("row " + std::to_string(row) +
+                                   " already bound to variable '" + other +
+                                   "' (assignments are injective)");
+    }
+  }
+  row_of_[var] = row;
+  return Status::OK();
+}
+
+Result<int> Assignment::RowOf(const std::string& var) const {
+  auto it = row_of_.find(var);
+  if (it == row_of_.end()) {
+    return Status::NotFound("variable '" + var + "' is unbound");
+  }
+  return it->second;
+}
+
+Assignment Assignment::With(const std::string& var, int row) const {
+  Assignment out = *this;
+  for (auto it = out.row_of_.begin(); it != out.row_of_.end();) {
+    if (it->second == row && it->first != var) {
+      it = out.row_of_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  out.row_of_[var] = row;
+  return out;
+}
+
+int Assignment::FirstFreeRow() const {
+  std::set<int> used;
+  for (const auto& [var, row] : row_of_) used.insert(row);
+  int candidate = 0;
+  while (used.count(candidate) > 0) ++candidate;
+  return candidate;
+}
+
+}  // namespace strdb

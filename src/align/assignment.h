@@ -1,0 +1,53 @@
+#ifndef STRDB_ALIGN_ASSIGNMENT_H_
+#define STRDB_ALIGN_ASSIGNMENT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/result.h"
+#include "core/status.h"
+
+namespace strdb {
+
+// An assignment θ: V -> N mapping variable names to alignment rows
+// (paper §2).  Injective: no two variables may share a row, which is what
+// lets distinct variables denote independently slidable strings.
+class Assignment {
+ public:
+  Assignment() = default;
+
+  // Builds an assignment from (variable, row) pairs; fails on duplicate
+  // variables or rows.
+  static Result<Assignment> Create(
+      const std::vector<std::pair<std::string, int>>& bindings);
+
+  // Binds `var` to `row`.  Fails if `var` is already bound or the row is
+  // already in use by another variable.
+  Status Bind(const std::string& var, int row);
+
+  // θ(x); kNotFound if x is unbound.
+  Result<int> RowOf(const std::string& var) const;
+
+  bool Contains(const std::string& var) const {
+    return row_of_.count(var) > 0;
+  }
+
+  // θ[x = row] (truth definition 13): a copy where `var` maps to `row`.
+  // Any variable previously occupying `row` is evicted, preserving
+  // injectivity.
+  Assignment With(const std::string& var, int row) const;
+
+  // The smallest row number not in the assignment's range; used when the
+  // evaluator invents rows for quantified variables.
+  int FirstFreeRow() const;
+
+  const std::map<std::string, int>& bindings() const { return row_of_; }
+
+ private:
+  std::map<std::string, int> row_of_;
+};
+
+}  // namespace strdb
+
+#endif  // STRDB_ALIGN_ASSIGNMENT_H_

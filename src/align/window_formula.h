@@ -1,0 +1,114 @@
+#ifndef STRDB_ALIGN_WINDOW_FORMULA_H_
+#define STRDB_ALIGN_WINDOW_FORMULA_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "align/alignment.h"
+#include "align/assignment.h"
+#include "core/result.h"
+
+namespace strdb {
+
+// A window formula (paper §2): a Boolean combination of the atomic
+// propositions x = ε ("the window position of row θx is undefined"),
+// x = a for a ∈ Σ, and x = y, evaluated on the window column (column 0)
+// of an alignment.
+//
+// WindowFormula is an immutable value type sharing its AST; all factory
+// functions are cheap.  The textual syntax (used by the parser and
+// printer) is:
+//
+//   atom   := var "=" "~"            (x = ε)
+//           | var "=" "'" char "'"   (x = a)
+//           | var "=" var            (x = y)
+//           | "true"
+//   unary  := "!" formula
+//   binary := formula "&" formula | formula "|" formula
+//   sugar  := var "!=" ... (negated atom)
+class WindowFormula {
+ public:
+  enum class Kind : uint8_t { kTrue, kUndef, kCharEq, kVarEq, kNot, kAnd, kOr };
+
+  // The tautological window formula ⊤ (the paper writes it as e.g. x=x).
+  static WindowFormula True();
+  // x = ε.
+  static WindowFormula Undef(std::string var);
+  // x = a.
+  static WindowFormula CharEq(std::string var, char c);
+  // x = y: the partial values A(θx,0) and A(θy,0) coincide — both
+  // defined and equal, or both undefined.  (The paper's chains
+  // "x = y = ε" in Examples 2, 10 and 12 rely on two undefined window
+  // positions comparing equal.)
+  static WindowFormula VarEq(std::string x, std::string y);
+
+  static WindowFormula Not(WindowFormula f);
+  static WindowFormula And(WindowFormula a, WindowFormula b);
+  static WindowFormula Or(WindowFormula a, WindowFormula b);
+
+  // Shorthands from the paper: x ≠ y, x ≠ ε, x ≠ a, and the chained
+  // x1 = x2 = ... = xm (conjunction of adjacent equalities).
+  static WindowFormula NotVarEq(std::string x, std::string y);
+  static WindowFormula NotUndef(std::string var);
+  static WindowFormula NotCharEq(std::string var, char c);
+  static WindowFormula AllEqual(const std::vector<std::string>& vars);
+  // x1 = x2 = ... = xm = ε.
+  static WindowFormula AllUndef(const std::vector<std::string>& vars);
+
+  Kind kind() const { return node_->kind; }
+
+  // Evaluates against a "window oracle" giving each variable's window
+  // character (nullopt = undefined).  This is the primitive the other
+  // two evaluators and the FSA compiler share.
+  bool EvalWith(
+      const std::function<std::optional<char>(const std::string&)>& window)
+      const;
+
+  // Truth definitions 1-5: A ⊨ φ θ.  Fails if a variable is unbound.
+  Result<bool> Eval(const Alignment& alignment,
+                    const Assignment& assignment) const;
+
+  // The set of variables occurring in the formula.
+  std::set<std::string> Vars() const;
+
+  // A copy with every variable occurrence renamed through `renaming`
+  // (variables absent from the map are kept).  Used by the
+  // algebra-to-calculus translation (Theorem 4.1).
+  WindowFormula RenameVars(
+      const std::map<std::string, std::string>& renaming) const;
+
+  // Parser-compatible rendering.
+  std::string ToString() const;
+
+  bool operator==(const WindowFormula& other) const;
+
+ private:
+  struct Node {
+    Kind kind;
+    std::string var_a;  // kUndef, kCharEq, kVarEq
+    std::string var_b;  // kVarEq
+    char ch = 0;        // kCharEq
+    std::shared_ptr<const Node> left;   // kNot, kAnd, kOr
+    std::shared_ptr<const Node> right;  // kAnd, kOr
+  };
+
+  explicit WindowFormula(std::shared_ptr<const Node> node)
+      : node_(std::move(node)) {}
+
+  static bool EvalNode(
+      const Node& node,
+      const std::function<std::optional<char>(const std::string&)>& window);
+  static void CollectVars(const Node& node, std::set<std::string>* out);
+  static std::string NodeToString(const Node& node);
+  static bool NodeEquals(const Node& a, const Node& b);
+
+  std::shared_ptr<const Node> node_;
+};
+
+}  // namespace strdb
+
+#endif  // STRDB_ALIGN_WINDOW_FORMULA_H_

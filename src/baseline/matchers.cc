@@ -1,0 +1,73 @@
+#include "baseline/matchers.h"
+
+#include <algorithm>
+
+namespace strdb {
+
+int EditDistance(const std::string& a, const std::string& b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  std::vector<int> prev(m + 1);
+  std::vector<int> cur(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = static_cast<int>(j);
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = static_cast<int>(i);
+    for (size_t j = 1; j <= m; ++j) {
+      int sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+bool IsShuffle(const std::string& s, const std::string& a,
+               const std::string& b) {
+  if (s.size() != a.size() + b.size()) return false;
+  const size_t n = a.size();
+  const size_t m = b.size();
+  // dp[j] = can s[0..i+j) be formed from a[0..i) and b[0..j).
+  std::vector<bool> dp(m + 1, false);
+  dp[0] = true;
+  for (size_t j = 1; j <= m; ++j) dp[j] = dp[j - 1] && s[j - 1] == b[j - 1];
+  for (size_t i = 1; i <= n; ++i) {
+    dp[0] = dp[0] && s[i - 1] == a[i - 1];
+    for (size_t j = 1; j <= m; ++j) {
+      dp[j] = (dp[j] && s[i + j - 1] == a[i - 1]) ||
+              (dp[j - 1] && s[i + j - 1] == b[j - 1]);
+    }
+  }
+  return dp[m];
+}
+
+bool ContainsSubstring(const std::string& haystack,
+                       const std::string& needle) {
+  if (needle.empty()) return true;
+  // KMP failure function.
+  std::vector<size_t> fail(needle.size(), 0);
+  for (size_t i = 1; i < needle.size(); ++i) {
+    size_t k = fail[i - 1];
+    while (k > 0 && needle[i] != needle[k]) k = fail[k - 1];
+    if (needle[i] == needle[k]) ++k;
+    fail[i] = k;
+  }
+  size_t k = 0;
+  for (char c : haystack) {
+    while (k > 0 && c != needle[k]) k = fail[k - 1];
+    if (c == needle[k]) ++k;
+    if (k == needle.size()) return true;
+  }
+  return false;
+}
+
+bool IsManifold(const std::string& x, const std::string& y) {
+  if (y.empty()) return x.empty();
+  if (x.empty()) return false;  // the paper's formula forces m >= 1
+  if (x.size() % y.size() != 0) return false;
+  for (size_t i = 0; i < x.size(); i += y.size()) {
+    if (x.compare(i, y.size(), y) != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace strdb

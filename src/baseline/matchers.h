@@ -1,0 +1,33 @@
+#ifndef STRDB_BASELINE_MATCHERS_H_
+#define STRDB_BASELINE_MATCHERS_H_
+
+#include <string>
+#include <vector>
+
+namespace strdb {
+
+// Special-purpose string algorithms used as baselines for the queries of
+// §2: the alignment-calculus formulation must agree with these and the
+// benches compare their performance profiles.
+
+// Levenshtein edit distance (unit costs, as in the paper's Example 8 and
+// [24]).  O(|a|·|b|) dynamic programming.
+int EditDistance(const std::string& a, const std::string& b);
+
+// True iff `s` is a shuffle (interleaving) of `a` and `b` (Example 5).
+// O(|a|·|b|) dynamic programming.
+bool IsShuffle(const std::string& s, const std::string& a,
+               const std::string& b);
+
+// True iff `needle` occurs in `haystack` as a contiguous substring
+// (Example 7): Knuth-Morris-Pratt, O(n+m).
+bool ContainsSubstring(const std::string& haystack,
+                       const std::string& needle);
+
+// True iff x = y^m for some m >= 1, or x = y = ε (Example 4's exact
+// semantics).
+bool IsManifold(const std::string& x, const std::string& y);
+
+}  // namespace strdb
+
+#endif  // STRDB_BASELINE_MATCHERS_H_

@@ -1,0 +1,73 @@
+#ifndef STRDB_BASELINE_REGEX_H_
+#define STRDB_BASELINE_REGEX_H_
+
+#include <memory>
+#include <string>
+
+#include "core/alphabet.h"
+#include "core/result.h"
+
+namespace strdb {
+
+// A classical regular expression over an alphabet Σ: the comparison
+// baseline for Theorem 6.1 (unidirectional unquantified string formulae
+// = regular languages) and the pattern language of queries like §1's
+// "(gc+a)*".
+//
+// Textual syntax: characters stand for themselves, '+' is union, '.'
+// or juxtaposition is concatenation, '*' is Kleene closure, '%' is the
+// empty word ε, parentheses group.  (The paper writes union as '+',
+// matching the string-formula syntax.)
+class Regex {
+ public:
+  enum class Kind : uint8_t { kEpsilon, kChar, kConcat, kUnion, kStar };
+
+  static Regex Epsilon();
+  static Regex Char(char c);
+  static Regex Concat(Regex a, Regex b);
+  static Regex Union(Regex a, Regex b);
+  static Regex Star(Regex r);
+
+  // Parses the textual syntax; fails on characters outside Σ.
+  static Result<Regex> Parse(const std::string& pattern,
+                             const Alphabet& alphabet);
+
+  Kind kind() const;
+  char ch() const;          // kChar
+  const Regex Left() const;   // kConcat/kUnion/kStar
+  const Regex Right() const;  // kConcat/kUnion
+
+  std::string ToString() const;
+
+ private:
+  struct Node;
+  explicit Regex(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
+  std::shared_ptr<const Node> node_;
+};
+
+// A Thompson-construction NFA matcher: the "selection predicate"
+// baseline approach the paper cites ([13, 19, 25]).
+class RegexMatcher {
+ public:
+  explicit RegexMatcher(const Regex& regex);
+
+  // True iff `s` ∈ L(regex).  Linear in |s| x NFA size.
+  bool Matches(const std::string& s) const;
+
+  int num_states() const { return static_cast<int>(edges_.size()); }
+
+ private:
+  struct Edge {
+    int to;
+    char ch;  // 0 = ε
+  };
+  std::vector<std::vector<Edge>> edges_;
+  int start_ = 0;
+  int accept_ = 0;
+
+  void Closure(std::vector<bool>* states) const;
+};
+
+}  // namespace strdb
+
+#endif  // STRDB_BASELINE_REGEX_H_

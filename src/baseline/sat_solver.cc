@@ -1,0 +1,38 @@
+#include "baseline/sat_solver.h"
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace strdb {
+
+bool EvaluateCnf(const CnfInstance& cnf, const std::vector<bool>& assignment) {
+  for (const std::vector<int>& clause : cnf.clauses) {
+    bool satisfied = false;
+    for (int literal : clause) {
+      int var = std::abs(literal) - 1;
+      if (var < 0 || var >= static_cast<int>(assignment.size())) continue;
+      bool value = assignment[static_cast<size_t>(var)];
+      if ((literal > 0) == value) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) return false;
+  }
+  return true;
+}
+
+std::optional<std::vector<bool>> SolveSatBruteForce(const CnfInstance& cnf) {
+  if (cnf.num_vars < 0 || cnf.num_vars > 30) return std::nullopt;
+  const uint64_t limit = 1ull << cnf.num_vars;
+  std::vector<bool> assignment(static_cast<size_t>(cnf.num_vars), false);
+  for (uint64_t bits = 0; bits < limit; ++bits) {
+    for (int v = 0; v < cnf.num_vars; ++v) {
+      assignment[static_cast<size_t>(v)] = ((bits >> v) & 1) != 0;
+    }
+    if (EvaluateCnf(cnf, assignment)) return assignment;
+  }
+  return std::nullopt;
+}
+
+}  // namespace strdb

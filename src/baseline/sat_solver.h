@@ -1,0 +1,27 @@
+#ifndef STRDB_BASELINE_SAT_SOLVER_H_
+#define STRDB_BASELINE_SAT_SOLVER_H_
+
+#include <optional>
+#include <vector>
+
+namespace strdb {
+
+// A propositional CNF instance: variables are 1-based; a literal is +v
+// or -v.  The baseline comparator for the Theorem 6.5 (Σ^p_1 = NP)
+// demonstration.
+struct CnfInstance {
+  int num_vars = 0;
+  std::vector<std::vector<int>> clauses;
+};
+
+// Exhaustive DPLL-free truth-table search (deliberately the naive
+// baseline): returns a satisfying assignment (index i = variable i+1)
+// or nullopt.
+std::optional<std::vector<bool>> SolveSatBruteForce(const CnfInstance& cnf);
+
+// Evaluates `cnf` under `assignment` (index i = variable i+1).
+bool EvaluateCnf(const CnfInstance& cnf, const std::vector<bool>& assignment);
+
+}  // namespace strdb
+
+#endif  // STRDB_BASELINE_SAT_SOLVER_H_

@@ -1,0 +1,42 @@
+#ifndef STRDB_CALCULUS_EVAL_H_
+#define STRDB_CALCULUS_EVAL_H_
+
+#include <map>
+#include <string>
+
+#include "calculus/formula.h"
+#include "core/result.h"
+#include "relational/relation.h"
+
+namespace strdb {
+
+struct CalcEvalOptions {
+  // The truncation level l of ⟦φ⟧^l_db: quantifiers and free variables
+  // range over Σ^{<=l}.
+  int truncation = 2;
+  // Budget on string-formula evaluations (the naive evaluator is
+  // exponential in the number of variables: |Σ^{<=l}|^vars).
+  int64_t max_steps = 20'000'000;
+};
+
+// Truth definitions 10-13 for (A^l_0, db) ⊨ φ θ, with `binding` giving
+// the strings assigned to φ's free variables (every free variable must
+// be bound, and every string must have length <= truncation).
+//
+// This is the *reference* semantics of the calculus; the Theorem 4.2
+// translation to alignment algebra is property-tested against it.  It is
+// deliberately naive — quantifiers enumerate Σ^{<=l} — and only suitable
+// for small l.
+Result<bool> HoldsAt(const CalcFormula& formula, const Database& db,
+                     const std::map<std::string, std::string>& binding,
+                     const CalcEvalOptions& options);
+
+// The truncated answer ⟦φ⟧^l_db: all tuples over Σ^{<=l} (free variables
+// in ascending name order) satisfying φ.
+Result<StringRelation> EvalCalcNaive(const CalcFormula& formula,
+                                     const Database& db,
+                                     const CalcEvalOptions& options);
+
+}  // namespace strdb
+
+#endif  // STRDB_CALCULUS_EVAL_H_

@@ -1,0 +1,84 @@
+#ifndef STRDB_CALCULUS_FORMULA_H_
+#define STRDB_CALCULUS_FORMULA_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "strform/string_formula.h"
+
+namespace strdb {
+
+// A formula of full alignment calculus (paper §2, truth definitions
+// 10-13): string formulae and atomic relational formulae closed under
+// ∧, ¬ and ∃, with ∨, →, ∀ kept as first-class nodes for faithful
+// printing (they are desugared where the theory requires the minimal
+// set, e.g. in the Theorem 4.2 translation).
+//
+// The two-level design of the paper is enforced by construction: window
+// formulae live inside atomic string formulae, string formulae are
+// leaves of the calculus, and quantifiers/connectives never cross into
+// the modal level.
+class CalcFormula {
+ public:
+  enum class Kind : uint8_t {
+    kString,   // a string formula leaf
+    kRelAtom,  // R(v1, ..., vk) with variable arguments
+    kAnd,
+    kOr,
+    kNot,
+    kExists,  // ∃x. φ (one variable per node; the factory nests)
+    kForAll,  // ∀x. φ
+  };
+
+  static CalcFormula Str(StringFormula f);
+  static CalcFormula RelAtom(std::string relation,
+                             std::vector<std::string> args);
+  static CalcFormula And(CalcFormula a, CalcFormula b);
+  static CalcFormula Or(CalcFormula a, CalcFormula b);
+  static CalcFormula Not(CalcFormula f);
+  // φ → ψ, the paper's shorthand for (¬φ) ∨ ψ.
+  static CalcFormula Implies(CalcFormula a, CalcFormula b);
+  static CalcFormula Exists(const std::vector<std::string>& vars,
+                            CalcFormula body);
+  static CalcFormula ForAll(const std::vector<std::string>& vars,
+                            CalcFormula body);
+
+  Kind kind() const;
+  const StringFormula& str() const;            // kString
+  const std::string& relation() const;         // kRelAtom
+  const std::vector<std::string>& args() const;  // kRelAtom
+  const CalcFormula Left() const;   // kAnd/kOr (left), kNot/kExists/kForAll body
+  const CalcFormula Right() const;  // kAnd/kOr
+  const std::string& var() const;   // kExists/kForAll
+
+  // Free variables, ascending by name (the paper's implicit ordering of
+  // query outputs).
+  std::vector<std::string> FreeVars() const;
+
+  // True iff the formula contains no atomic relational formulae (pure
+  // alignment calculus; its answers do not depend on the database).
+  bool IsPure() const;
+
+  // A copy with free occurrences of the map's keys renamed
+  // (simultaneous substitution).  A quantifier over a key shadows it:
+  // occurrences in its scope are left alone.  The caller must ensure no
+  // capture (targets should be fresh relative to the quantified names).
+  CalcFormula RenameFreeVars(
+      const std::map<std::string, std::string>& renaming) const;
+
+  std::string ToString() const;
+
+ private:
+  struct Node;
+  explicit CalcFormula(std::shared_ptr<const Node> node)
+      : node_(std::move(node)) {}
+
+  std::shared_ptr<const Node> node_;
+};
+
+}  // namespace strdb
+
+#endif  // STRDB_CALCULUS_FORMULA_H_

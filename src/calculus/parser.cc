@@ -1,0 +1,132 @@
+#include "calculus/parser.h"
+
+#include <vector>
+
+#include "strform/lexer.h"
+#include "strform/parser.h"
+
+namespace strdb {
+
+namespace {
+
+Result<CalcFormula> ParseCalc(TokenStream* ts);
+
+bool ContinuesStringFormula(const Token& t) {
+  return t.kind == TokenKind::kStar || t.kind == TokenKind::kCaret ||
+         t.kind == TokenKind::kDot || t.kind == TokenKind::kPlus ||
+         t.kind == TokenKind::kLBracket ||
+         (t.kind == TokenKind::kIdent && t.text == "lambda");
+}
+
+Result<CalcFormula> ParsePrimary(TokenStream* ts) {
+  const Token& tok = ts->Peek();
+  if (tok.kind == TokenKind::kIdent &&
+      (tok.text == "exists" || tok.text == "forall")) {
+    return ParseCalc(ts);
+  }
+  if (tok.kind == TokenKind::kIdent && tok.text == "lambda") {
+    STRDB_ASSIGN_OR_RETURN(StringFormula f, ParseStringFormula(ts));
+    return CalcFormula::Str(std::move(f));
+  }
+  if (tok.kind == TokenKind::kLBracket) {
+    STRDB_ASSIGN_OR_RETURN(StringFormula f, ParseStringFormula(ts));
+    return CalcFormula::Str(std::move(f));
+  }
+  if (tok.kind == TokenKind::kIdent) {
+    std::string name = ts->Next().text;
+    STRDB_RETURN_IF_ERROR(
+        ts->Expect(TokenKind::kLParen, "'(' after relation name"));
+    std::vector<std::string> args;
+    if (!ts->Eat(TokenKind::kRParen)) {
+      for (;;) {
+        if (ts->Peek().kind != TokenKind::kIdent) {
+          return ts->ErrorHere("expected variable in relational atom");
+        }
+        args.push_back(ts->Next().text);
+        if (!ts->Eat(TokenKind::kComma)) break;
+      }
+      STRDB_RETURN_IF_ERROR(ts->Expect(TokenKind::kRParen, "')'"));
+    }
+    return CalcFormula::RelAtom(std::move(name), std::move(args));
+  }
+  if (ts->Eat(TokenKind::kLParen)) {
+    STRDB_ASSIGN_OR_RETURN(CalcFormula inner, ParseCalc(ts));
+    STRDB_RETURN_IF_ERROR(ts->Expect(TokenKind::kRParen, "')'"));
+    if (inner.kind() == CalcFormula::Kind::kString &&
+        ContinuesStringFormula(ts->Peek())) {
+      STRDB_ASSIGN_OR_RETURN(StringFormula f,
+                             ContinueStringFormula(inner.str(), ts));
+      return CalcFormula::Str(std::move(f));
+    }
+    return inner;
+  }
+  return ts->ErrorHere("expected formula");
+}
+
+Result<CalcFormula> ParseUnary(TokenStream* ts) {
+  if (ts->Eat(TokenKind::kBang)) {
+    STRDB_ASSIGN_OR_RETURN(CalcFormula inner, ParseUnary(ts));
+    return CalcFormula::Not(std::move(inner));
+  }
+  return ParsePrimary(ts);
+}
+
+Result<CalcFormula> ParseAnd(TokenStream* ts) {
+  STRDB_ASSIGN_OR_RETURN(CalcFormula out, ParseUnary(ts));
+  while (ts->Eat(TokenKind::kAmp)) {
+    STRDB_ASSIGN_OR_RETURN(CalcFormula rhs, ParseUnary(ts));
+    out = CalcFormula::And(std::move(out), std::move(rhs));
+  }
+  return out;
+}
+
+Result<CalcFormula> ParseOr(TokenStream* ts) {
+  STRDB_ASSIGN_OR_RETURN(CalcFormula out, ParseAnd(ts));
+  while (ts->Eat(TokenKind::kPipe)) {
+    STRDB_ASSIGN_OR_RETURN(CalcFormula rhs, ParseAnd(ts));
+    out = CalcFormula::Or(std::move(out), std::move(rhs));
+  }
+  return out;
+}
+
+Result<CalcFormula> ParseImplies(TokenStream* ts) {
+  STRDB_ASSIGN_OR_RETURN(CalcFormula out, ParseOr(ts));
+  if (ts->Eat(TokenKind::kArrow)) {
+    STRDB_ASSIGN_OR_RETURN(CalcFormula rhs, ParseCalc(ts));
+    return CalcFormula::Implies(std::move(out), std::move(rhs));
+  }
+  return out;
+}
+
+Result<CalcFormula> ParseCalc(TokenStream* ts) {
+  if (ts->Peek().kind == TokenKind::kIdent &&
+      (ts->Peek().text == "exists" || ts->Peek().text == "forall")) {
+    bool is_exists = ts->Next().text == "exists";
+    std::vector<std::string> vars;
+    for (;;) {
+      if (ts->Peek().kind != TokenKind::kIdent) {
+        return ts->ErrorHere("expected quantified variable");
+      }
+      vars.push_back(ts->Next().text);
+      if (!ts->Eat(TokenKind::kComma)) break;
+    }
+    STRDB_RETURN_IF_ERROR(
+        ts->Expect(TokenKind::kColon, "':' after quantifier variables"));
+    STRDB_ASSIGN_OR_RETURN(CalcFormula body, ParseCalc(ts));
+    return is_exists ? CalcFormula::Exists(vars, std::move(body))
+                     : CalcFormula::ForAll(vars, std::move(body));
+  }
+  return ParseImplies(ts);
+}
+
+}  // namespace
+
+Result<CalcFormula> ParseCalcFormula(const std::string& input) {
+  STRDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  TokenStream ts(std::move(tokens));
+  STRDB_ASSIGN_OR_RETURN(CalcFormula out, ParseCalc(&ts));
+  if (!ts.AtEnd()) return ts.ErrorHere("trailing input after formula");
+  return out;
+}
+
+}  // namespace strdb

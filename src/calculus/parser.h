@@ -1,0 +1,36 @@
+#ifndef STRDB_CALCULUS_PARSER_H_
+#define STRDB_CALCULUS_PARSER_H_
+
+#include <string>
+
+#include "calculus/formula.h"
+#include "core/result.h"
+
+namespace strdb {
+
+// Parses the textual alignment-calculus syntax, e.g. Example 3 of §2:
+//
+//   exists y, z: R1(y,z) & R2(x) &
+//     ([x,y]l(x = y))* . ([x,z]l(x = z))* . [x,y,z]l(x = y = z = ~)
+//
+// Grammar (precedence low to high):
+//   calc  := ('exists' | 'forall') var (',' var)* ':' calc
+//          | imp
+//   imp   := or ('->' calc)?                       (right associative)
+//   or    := and ('|' and)*
+//   and   := unary ('&' unary)*
+//   unary := '!' unary | primary
+//   primary :=
+//       Ident '(' var (',' var)* ')'               relational atom
+//     | Ident '(' ')'                              nullary relational atom
+//     | string formula (starts with '[', 'lambda' or '(')
+//     | '(' calc ')'
+//
+// A parenthesised subformula that is a pure string formula may be
+// followed by string-formula operators ('*', '^', '.', '+',
+// juxtaposition), which continue the string formula.
+Result<CalcFormula> ParseCalcFormula(const std::string& input);
+
+}  // namespace strdb
+
+#endif  // STRDB_CALCULUS_PARSER_H_

@@ -1,0 +1,237 @@
+#include "calculus/query.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "calculus/parser.h"
+#include "strform/lexer.h"
+
+namespace strdb {
+
+namespace {
+
+// Recognises and consumes a "x, y |" head; returns the listed
+// variables, or nullopt (with the stream untouched conceptually — the
+// caller re-tokenises) when the input has no head.
+std::optional<std::vector<std::string>> TryParseHead(
+    const std::vector<Token>& tokens) {
+  std::vector<std::string> head;
+  size_t i = 0;
+  for (;;) {
+    if (i >= tokens.size() || tokens[i].kind != TokenKind::kIdent) {
+      return std::nullopt;
+    }
+    head.push_back(tokens[i].text);
+    ++i;
+    if (i < tokens.size() && tokens[i].kind == TokenKind::kComma) {
+      ++i;
+      continue;
+    }
+    break;
+  }
+  if (i < tokens.size() && tokens[i].kind == TokenKind::kPipe) {
+    return head;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+Result<Query> Query::Parse(const std::string& text, const Alphabet& alphabet) {
+  STRDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  std::optional<std::vector<std::string>> head = TryParseHead(tokens);
+  std::string body = text;
+  if (head.has_value()) {
+    size_t pipe = text.find('|');
+    body = text.substr(pipe + 1);
+  }
+  STRDB_ASSIGN_OR_RETURN(CalcFormula formula, ParseCalcFormula(body));
+  STRDB_ASSIGN_OR_RETURN(Query q, FromFormula(std::move(formula), alphabet));
+  if (!head.has_value()) return q;
+
+  // Validate the head covers exactly the free variables and reorder the
+  // plan columns to match it.
+  std::vector<std::string> free_vars = q.formula_.FreeVars();
+  std::set<std::string> head_set(head->begin(), head->end());
+  if (head->size() != head_set.size()) {
+    return Status::InvalidArgument("duplicate variable in the query head");
+  }
+  if (head_set != std::set<std::string>(free_vars.begin(), free_vars.end())) {
+    return Status::InvalidArgument(
+        "the query head must list exactly the free variables");
+  }
+  std::vector<int> columns;
+  for (const std::string& v : *head) {
+    auto it = std::find(free_vars.begin(), free_vars.end(), v);
+    columns.push_back(static_cast<int>(it - free_vars.begin()));
+  }
+  STRDB_ASSIGN_OR_RETURN(AlgebraExpr reordered,
+                         AlgebraExpr::Project(q.plan_, std::move(columns)));
+  q.plan_ = std::move(reordered);
+  q.outputs_ = *head;
+  return q;
+}
+
+Result<Query> Query::FromFormula(CalcFormula formula,
+                                 const Alphabet& alphabet) {
+  STRDB_ASSIGN_OR_RETURN(AlgebraExpr plan, CalcToAlgebra(formula, alphabet));
+  std::vector<std::string> outputs = formula.FreeVars();
+  return Query(std::move(formula), std::move(outputs), std::move(plan));
+}
+
+namespace {
+
+constexpr int64_t kMaxTruncation = 4096;
+
+// Flattens the ∃/∧ spine of a positive-existential query into its
+// relational and string-formula leaves (the class the §5 programme
+// certifies; negation, disjunction and ∀ fall back to explicit
+// truncation).
+Status FlattenConjunction(const CalcFormula& f,
+                          std::vector<CalcFormula>* rel_atoms,
+                          std::vector<CalcFormula>* str_leaves,
+                          std::vector<CalcFormula>* neg_filters) {
+  switch (f.kind()) {
+    case CalcFormula::Kind::kRelAtom:
+      rel_atoms->push_back(f);
+      return Status::OK();
+    case CalcFormula::Kind::kString:
+      str_leaves->push_back(f);
+      return Status::OK();
+    case CalcFormula::Kind::kAnd:
+      STRDB_RETURN_IF_ERROR(
+          FlattenConjunction(f.Left(), rel_atoms, str_leaves, neg_filters));
+      return FlattenConjunction(f.Right(), rel_atoms, str_leaves,
+                                neg_filters);
+    case CalcFormula::Kind::kExists:
+      return FlattenConjunction(f.Left(), rel_atoms, str_leaves,
+                                neg_filters);
+    case CalcFormula::Kind::kNot:
+      // Guarded negation: a negated conjunct only *filters* — it binds
+      // nothing, so it is safe exactly when its variables are bounded
+      // by the other conjuncts.
+      neg_filters->push_back(f);
+      return Status::OK();
+    case CalcFormula::Kind::kOr:
+    case CalcFormula::Kind::kForAll:
+      return Status::InvalidArgument(
+          "limit inference handles positive-existential conjunctive "
+          "queries with guarded negation (the §5 safe class); use "
+          "ExecuteTruncated for this query shape");
+  }
+  return Status::Internal("unknown calculus node");
+}
+
+// The limit-function expansion the paper points to at the end of §5:
+// variables bound by database relations get Eq. (2)'s max(R, db);
+// string formulae propagate bounds to their remaining variables through
+// the Theorem 5.2 limitation analysis, iterated to a fixpoint.
+Result<int64_t> InferFromFormula(const CalcFormula& formula,
+                                 const Database& db,
+                                 const Alphabet& alphabet) {
+  std::vector<CalcFormula> rel_atoms;
+  std::vector<CalcFormula> str_leaves;
+  std::vector<CalcFormula> neg_filters;
+  STRDB_RETURN_IF_ERROR(
+      FlattenConjunction(formula, &rel_atoms, &str_leaves, &neg_filters));
+
+  std::map<std::string, int64_t> limit;
+  std::set<std::string> all_vars;
+  for (const CalcFormula& atom : rel_atoms) {
+    STRDB_ASSIGN_OR_RETURN(const StringRelation* rel,
+                           db.Get(atom.relation()));
+    int64_t w = rel->MaxStringLength();
+    for (const std::string& v : atom.args()) {
+      all_vars.insert(v);
+      auto it = limit.find(v);
+      // A variable constrained by several relations takes the tightest
+      // bound.
+      if (it == limit.end() || w < it->second) limit[v] = w;
+    }
+  }
+  for (const CalcFormula& leaf : str_leaves) {
+    for (const std::string& v : leaf.str().Vars()) all_vars.insert(v);
+  }
+  for (const CalcFormula& filter : neg_filters) {
+    for (const std::string& v : filter.FreeVars()) all_vars.insert(v);
+  }
+
+  // Propagate through the string formulae until nothing new is bound.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (const CalcFormula& leaf : str_leaves) {
+      std::vector<std::string> vars = leaf.str().Vars();
+      std::vector<std::string> known;
+      bool any_unknown = false;
+      for (const std::string& v : vars) {
+        if (limit.count(v) > 0) {
+          known.push_back(v);
+        } else {
+          any_unknown = true;
+        }
+      }
+      if (!any_unknown) continue;
+      Result<LimitationReport> report =
+          AnalyzeStringFormulaLimitation(leaf.str(), alphabet, known);
+      if (!report.ok()) return report.status();
+      if (!report->limited()) continue;  // try other leaves first
+      std::vector<int> input_lens;
+      for (const std::string& v : vars) {
+        if (limit.count(v) > 0) {
+          input_lens.push_back(static_cast<int>(limit[v]));
+        }
+      }
+      int64_t bound = report->bound.Eval(input_lens);
+      for (const std::string& v : vars) {
+        if (limit.count(v) == 0) {
+          limit[v] = bound;
+          progress = true;
+        }
+      }
+    }
+  }
+
+  int64_t w = 0;
+  for (const std::string& v : all_vars) {
+    auto it = limit.find(v);
+    if (it == limit.end()) {
+      return Status::InvalidArgument(
+          "unsafe query: no database relation or limited string formula "
+          "bounds variable '" +
+          v + "' (§5's limitation condition fails)");
+    }
+    w = std::max(w, it->second);
+  }
+  return w;
+}
+
+}  // namespace
+
+Result<int> Query::InferTruncation(const Database& db) const {
+  STRDB_ASSIGN_OR_RETURN(int64_t w,
+                         InferFromFormula(formula_, db, db.alphabet()));
+  if (w > kMaxTruncation) {
+    return Status::ResourceExhausted(
+        "the inferred limit " + std::to_string(w) +
+        " exceeds the evaluation cap " + std::to_string(kMaxTruncation));
+  }
+  return static_cast<int>(w);
+}
+
+Result<StringRelation> Query::Execute(const Database& db) const {
+  STRDB_ASSIGN_OR_RETURN(int truncation, InferTruncation(db));
+  return ExecuteTruncated(db, truncation);
+}
+
+Result<StringRelation> Query::ExecuteTruncated(const Database& db,
+                                               int truncation) const {
+  EvalOptions opts;
+  opts.truncation = truncation;
+  return EvalAlgebra(plan_, db, opts);
+}
+
+}  // namespace strdb

@@ -1,0 +1,77 @@
+#ifndef STRDB_CALCULUS_QUERY_H_
+#define STRDB_CALCULUS_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "calculus/formula.h"
+#include "calculus/translate.h"
+#include "core/result.h"
+#include "relational/algebra.h"
+#include "relational/relation.h"
+#include "safety/limitation.h"
+
+namespace strdb {
+
+// The end-to-end query facility a string-database engine would expose:
+// parse a query x1,...,xk | φ, translate it to alignment algebra
+// (Theorem 4.2), *infer a limit function* W_φ (the §5 programme: the
+// paper's Eq. (6) evaluates db(E_φ ↓ W_φ(db))), and evaluate.
+//
+// The limit inference is syntactic and compositional, mirroring the
+// proof of Theorem 4.1:
+//   W(R)           = max(R, db)                     (Eq. (2))
+//   W(Σ^k)         = k
+//   W(E ∪ F), (E\F), (E×F) = max of the parts
+//   W(π E) = W(restrict E) = W(E)
+//   W(σ_A(F × (Σ*)^n)) = max(W(F), bound_A(W(F), ..., W(F)))
+// where bound_A comes from AnalyzeLimitation with the F-columns as
+// inputs — the query is *rejected as unsafe* when the limitation
+// [F-columns] ↝ [Σ*-columns] fails, exactly as §5 prescribes.  A bare
+// Σ* outside that form (negation produces one) has no finite limit:
+// such queries are rejected as not (syntactically) domain independent.
+class Query {
+ public:
+  // Parses "x, y | <calculus formula>"; the head lists the output
+  // variables, which must be exactly the formula's free variables
+  // (ascending order is imposed, as in the paper).  The head may be
+  // omitted ("<formula>" alone), in which case the outputs are the free
+  // variables in ascending order.
+  static Result<Query> Parse(const std::string& text,
+                             const Alphabet& alphabet);
+
+  // Wraps an already-built formula.
+  static Result<Query> FromFormula(CalcFormula formula,
+                                   const Alphabet& alphabet);
+
+  const CalcFormula& formula() const { return formula_; }
+  const std::vector<std::string>& outputs() const { return outputs_; }
+  const AlgebraExpr& plan() const { return plan_; }
+
+  // The inferred limit W_φ(db), or an error naming the unsafe part.
+  Result<int> InferTruncation(const Database& db) const;
+
+  // Evaluates at the inferred truncation: the paper's
+  // ⟦φ⟧_db = db(E_φ ↓ W_φ(db)) for domain-independent φ (Eq. (6)).
+  Result<StringRelation> Execute(const Database& db) const;
+
+  // Evaluates at an explicit truncation (the ⟦φ⟧^l semantics), for
+  // queries the safety analysis cannot certify.
+  Result<StringRelation> ExecuteTruncated(const Database& db,
+                                          int truncation) const;
+
+ private:
+  Query(CalcFormula formula, std::vector<std::string> outputs,
+        AlgebraExpr plan)
+      : formula_(std::move(formula)),
+        outputs_(std::move(outputs)),
+        plan_(std::move(plan)) {}
+
+  CalcFormula formula_;
+  std::vector<std::string> outputs_;
+  AlgebraExpr plan_;
+};
+
+}  // namespace strdb
+
+#endif  // STRDB_CALCULUS_QUERY_H_

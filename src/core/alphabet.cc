@@ -1,0 +1,109 @@
+#include "core/alphabet.h"
+
+#include <algorithm>
+
+namespace strdb {
+
+Result<Alphabet> Alphabet::Create(const std::string& chars) {
+  std::string unique;
+  for (char c : chars) {
+    if (unique.find(c) == std::string::npos) unique.push_back(c);
+  }
+  if (unique.size() < 2) {
+    return Status::InvalidArgument(
+        "alphabet needs at least two distinct characters (paper §2)");
+  }
+  if (unique.size() > 64) {
+    return Status::InvalidArgument("alphabet larger than 64 characters");
+  }
+  for (char c : unique) {
+    if (c <= ' ' || c == '<' || c == '>') {
+      return Status::InvalidArgument(
+          "alphabet characters must be printable and not '<'/'>'");
+    }
+  }
+  return Alphabet(std::move(unique));
+}
+
+Alphabet Alphabet::Binary() { return Alphabet("ab"); }
+
+Alphabet Alphabet::Dna() { return Alphabet("acgt"); }
+
+char Alphabet::CharOf(Sym s) const {
+  if (s == kLeftEnd) return '<';
+  if (s == kRightEnd) return '>';
+  if (s >= 0 && s < size()) return chars_[static_cast<size_t>(s)];
+  return '?';
+}
+
+Result<Sym> Alphabet::SymOf(char c) const {
+  size_t pos = chars_.find(c);
+  if (pos == std::string::npos) {
+    return Status::InvalidArgument(std::string("character '") + c +
+                                   "' not in alphabet \"" + chars_ + "\"");
+  }
+  return static_cast<Sym>(pos);
+}
+
+bool Alphabet::Contains(const std::string& s) const {
+  return std::all_of(s.begin(), s.end(), [this](char c) {
+    return chars_.find(c) != std::string::npos;
+  });
+}
+
+Result<std::vector<Sym>> Alphabet::Encode(const std::string& s) const {
+  std::vector<Sym> out;
+  out.reserve(s.size());
+  for (char c : s) {
+    STRDB_ASSIGN_OR_RETURN(Sym sym, SymOf(c));
+    out.push_back(sym);
+  }
+  return out;
+}
+
+Result<std::string> Alphabet::Decode(const std::vector<Sym>& syms) const {
+  std::string out;
+  out.reserve(syms.size());
+  for (Sym s : syms) {
+    if (IsEndmarker(s) || s >= size()) {
+      return Status::InvalidArgument("symbol id outside alphabet");
+    }
+    out.push_back(chars_[static_cast<size_t>(s)]);
+  }
+  return out;
+}
+
+std::vector<std::string> Alphabet::StringsOfLength(int len) const {
+  std::vector<std::string> out;
+  if (len < 0) return out;
+  out.push_back("");
+  for (int i = 0; i < len; ++i) {
+    std::vector<std::string> next;
+    next.reserve(out.size() * chars_.size());
+    for (const std::string& prefix : out) {
+      for (char c : chars_) next.push_back(prefix + c);
+    }
+    out = std::move(next);
+  }
+  return out;
+}
+
+std::vector<std::string> Alphabet::StringsUpTo(int max_len) const {
+  std::vector<std::string> out;
+  for (int len = 0; len <= max_len; ++len) {
+    std::vector<std::string> layer = StringsOfLength(len);
+    out.insert(out.end(), layer.begin(), layer.end());
+  }
+  return out;
+}
+
+std::vector<Sym> Alphabet::TapeSymbols() const {
+  std::vector<Sym> out;
+  out.reserve(static_cast<size_t>(size()) + 2);
+  for (Sym s = 0; s < size(); ++s) out.push_back(s);
+  out.push_back(kLeftEnd);
+  out.push_back(kRightEnd);
+  return out;
+}
+
+}  // namespace strdb

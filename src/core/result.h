@@ -1,0 +1,77 @@
+#ifndef STRDB_CORE_RESULT_H_
+#define STRDB_CORE_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "core/status.h"
+
+namespace strdb {
+
+// A value-or-error holder: either an OK `Status` together with a `T`, or a
+// non-OK `Status` and no value.  Accessing the value of an errored Result
+// is a programming error and asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value (success) or a Status (failure)
+  // keeps `return value;` / `return SomeError();` ergonomic, mirroring
+  // arrow::Result.  Constructing from an OK status is an internal error.
+  Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {      // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the contained value or `fallback` when errored.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace strdb
+
+// Evaluates `rexpr` (a Result<T>), propagating its error; on success binds
+// the moved-out value to `lhs`.  `lhs` may include a declaration, e.g.
+//   STRDB_ASSIGN_OR_RETURN(auto fsa, CompileStringFormula(...));
+#define STRDB_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#define STRDB_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define STRDB_ASSIGN_OR_RETURN_NAME(a, b) STRDB_ASSIGN_OR_RETURN_CONCAT(a, b)
+
+#define STRDB_ASSIGN_OR_RETURN(lhs, rexpr)                                  \
+  STRDB_ASSIGN_OR_RETURN_IMPL(                                              \
+      STRDB_ASSIGN_OR_RETURN_NAME(_strdb_result_, __LINE__), lhs, rexpr)
+
+#endif  // STRDB_CORE_RESULT_H_

@@ -1,0 +1,57 @@
+#ifndef STRDB_CORE_RNG_H_
+#define STRDB_CORE_RNG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/alphabet.h"
+
+namespace strdb {
+
+// A small deterministic PRNG (splitmix64) used by tests, benches and the
+// synthetic-workload generators.  Seeded explicitly so every experiment is
+// reproducible bit-for-bit.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + 0x9e3779b97f4a7c15ULL) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform integer in [0, bound).  `bound` must be positive.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int Range(int lo, int hi) {
+    return lo + static_cast<int>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  bool Coin() { return (Next() & 1) != 0; }
+
+  // A uniform random Σ-string of length exactly `len`.
+  std::string String(const Alphabet& alphabet, int len) {
+    std::string out;
+    out.reserve(static_cast<size_t>(len));
+    for (int i = 0; i < len; ++i) {
+      out.push_back(alphabet.CharOf(
+          static_cast<Sym>(Below(static_cast<uint64_t>(alphabet.size())))));
+    }
+    return out;
+  }
+
+  // A uniform random Σ-string with length in [min_len, max_len].
+  std::string String(const Alphabet& alphabet, int min_len, int max_len) {
+    return String(alphabet, Range(min_len, max_len));
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace strdb
+
+#endif  // STRDB_CORE_RNG_H_

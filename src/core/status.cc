@@ -1,0 +1,39 @@
+#include "core/status.h"
+
+namespace strdb {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid-argument";
+    case StatusCode::kNotFound:
+      return "not-found";
+    case StatusCode::kAlreadyExists:
+      return "already-exists";
+    case StatusCode::kOutOfRange:
+      return "out-of-range";
+    case StatusCode::kResourceExhausted:
+      return "resource-exhausted";
+    case StatusCode::kUnimplemented:
+      return "unimplemented";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+}  // namespace strdb

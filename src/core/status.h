@@ -1,0 +1,83 @@
+#ifndef STRDB_CORE_STATUS_H_
+#define STRDB_CORE_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace strdb {
+
+// Canonical error codes, modelled after the usual database-library set
+// (Arrow/RocksDB style).  `kOk` is the absence of an error.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,    // caller passed something malformed
+  kNotFound,           // a named entity (relation, variable) does not exist
+  kAlreadyExists,      // attempt to redefine a named entity
+  kOutOfRange,         // index/length outside the permitted range
+  kResourceExhausted,  // an analysis or search exceeded its explicit budget
+  kUnimplemented,      // feature intentionally not (yet) supported
+  kInternal,           // invariant violation inside the library
+};
+
+// Returns the canonical lower-case name of `code`, e.g. "invalid-argument".
+const char* StatusCodeName(StatusCode code);
+
+// A cheap, copyable success-or-error value.  Functions in this library that
+// can fail return `Status` (or `Result<T>`, see result.h) instead of
+// throwing: the style guides this project follows forbid exceptions.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<code-name>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace strdb
+
+// Propagates a non-OK status out of the current function.
+#define STRDB_RETURN_IF_ERROR(expr)                    \
+  do {                                                 \
+    ::strdb::Status _strdb_status = (expr);            \
+    if (!_strdb_status.ok()) return _strdb_status;     \
+  } while (false)
+
+#endif  // STRDB_CORE_STATUS_H_

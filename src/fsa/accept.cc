@@ -1,0 +1,129 @@
+#include "fsa/accept.h"
+
+#include <deque>
+
+namespace strdb {
+
+namespace {
+
+// Dense configuration indexing: state-major, then tape positions in
+// mixed radix with radix |w_i|+2 per tape.
+class ConfigSpace {
+ public:
+  ConfigSpace(const Fsa& fsa, const std::vector<std::vector<Sym>>& tapes)
+      : fsa_(fsa), tapes_(tapes) {
+    radix_.reserve(tapes.size());
+    stride_.reserve(tapes.size());
+    int64_t stride = 1;
+    for (const std::vector<Sym>& w : tapes) {
+      radix_.push_back(static_cast<int64_t>(w.size()) + 2);
+      stride_.push_back(stride);
+      stride *= radix_.back();
+    }
+    per_state_ = stride;
+  }
+
+  int64_t total() const { return per_state_ * fsa_.num_states(); }
+
+  int64_t Encode(int state, const std::vector<int>& pos) const {
+    int64_t idx = static_cast<int64_t>(state) * per_state_;
+    for (size_t i = 0; i < pos.size(); ++i) {
+      idx += stride_[i] * pos[i];
+    }
+    return idx;
+  }
+
+  void Decode(int64_t idx, int* state, std::vector<int>* pos) const {
+    *state = static_cast<int>(idx / per_state_);
+    int64_t rest = idx % per_state_;
+    pos->resize(tapes_.size());
+    for (size_t i = 0; i < tapes_.size(); ++i) {
+      (*pos)[i] = static_cast<int>(rest % radix_[i]);
+      rest /= radix_[i];
+    }
+  }
+
+  // The symbol scanned by tape i at position p (0 = ⊢, len+1 = ⊣).
+  Sym Scan(size_t tape, int p) const {
+    if (p == 0) return kLeftEnd;
+    if (p == static_cast<int>(tapes_[tape].size()) + 1) return kRightEnd;
+    return tapes_[tape][static_cast<size_t>(p - 1)];
+  }
+
+ private:
+  const Fsa& fsa_;
+  const std::vector<std::vector<Sym>>& tapes_;
+  std::vector<int64_t> radix_;
+  std::vector<int64_t> stride_;
+  int64_t per_state_ = 1;
+};
+
+}  // namespace
+
+Result<AcceptStats> AcceptsWithStats(const Fsa& fsa,
+                                     const std::vector<std::string>& strings) {
+  if (static_cast<int>(strings.size()) != fsa.num_tapes()) {
+    return Status::InvalidArgument("input arity differs from tape count");
+  }
+  std::vector<std::vector<Sym>> tapes;
+  tapes.reserve(strings.size());
+  for (const std::string& s : strings) {
+    STRDB_ASSIGN_OR_RETURN(std::vector<Sym> enc, fsa.alphabet().Encode(s));
+    tapes.push_back(std::move(enc));
+  }
+
+  ConfigSpace space(fsa, tapes);
+  std::vector<bool> visited(static_cast<size_t>(space.total()), false);
+  std::deque<int64_t> frontier;
+
+  std::vector<int> zero(static_cast<size_t>(fsa.num_tapes()), 0);
+  int64_t init = space.Encode(fsa.start(), zero);
+  visited[static_cast<size_t>(init)] = true;
+  frontier.push_back(init);
+
+  AcceptStats stats;
+  std::vector<int> pos;
+  std::vector<int> next_pos;
+  while (!frontier.empty()) {
+    int64_t idx = frontier.front();
+    frontier.pop_front();
+    ++stats.configurations_visited;
+    int state;
+    space.Decode(idx, &state, &pos);
+
+    bool has_successor = false;
+    for (int ti : fsa.TransitionsFrom(state)) {
+      const Transition& t = fsa.transitions()[static_cast<size_t>(ti)];
+      ++stats.transitions_tried;
+      bool applies = true;
+      for (size_t i = 0; i < pos.size(); ++i) {
+        if (space.Scan(i, pos[i]) != t.read[i]) {
+          applies = false;
+          break;
+        }
+      }
+      if (!applies) continue;
+      has_successor = true;
+      next_pos = pos;
+      for (size_t i = 0; i < pos.size(); ++i) next_pos[i] += t.move[i];
+      int64_t next = space.Encode(t.to, next_pos);
+      if (!visited[static_cast<size_t>(next)]) {
+        visited[static_cast<size_t>(next)] = true;
+        frontier.push_back(next);
+      }
+    }
+    if (fsa.IsFinal(state) && !has_successor) {
+      stats.accepted = true;
+      return stats;
+    }
+  }
+  stats.accepted = false;
+  return stats;
+}
+
+Result<bool> Accepts(const Fsa& fsa, const std::vector<std::string>& strings) {
+  STRDB_ASSIGN_OR_RETURN(AcceptStats stats, AcceptsWithStats(fsa, strings));
+  return stats.accepted;
+}
+
+}  // namespace strdb

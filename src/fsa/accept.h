@@ -1,0 +1,32 @@
+#ifndef STRDB_FSA_ACCEPT_H_
+#define STRDB_FSA_ACCEPT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/result.h"
+#include "fsa/fsa.h"
+
+namespace strdb {
+
+// Decides whether `fsa` accepts the input tuple `strings` (one string per
+// tape), by breadth-first search over the configuration graph — the
+// algorithm of Theorem 3.3, polynomial in Π(|w_i|+2) for a fixed
+// automaton.  Acceptance is the paper's: some reachable configuration is
+// in a final state and has no successor.
+//
+// Fails if the tuple arity mismatches or a string leaves the alphabet.
+Result<bool> Accepts(const Fsa& fsa, const std::vector<std::string>& strings);
+
+// Statistics-reporting variant used by benches and tests.
+struct AcceptStats {
+  bool accepted = false;
+  int64_t configurations_visited = 0;
+  int64_t transitions_tried = 0;
+};
+Result<AcceptStats> AcceptsWithStats(const Fsa& fsa,
+                                     const std::vector<std::string>& strings);
+
+}  // namespace strdb
+
+#endif  // STRDB_FSA_ACCEPT_H_

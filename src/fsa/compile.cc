@@ -1,0 +1,457 @@
+#include "fsa/compile.h"
+
+#include <map>
+#include <optional>
+
+namespace strdb {
+
+namespace {
+
+// A fragment under construction: an Fsa whose start is fsa.start() and
+// which has at most one final state.
+struct Frag {
+  Fsa fsa;
+  int final = -1;  // -1: rejecting fragment (single nonfinal start state)
+
+  explicit Frag(Fsa f) : fsa(std::move(f)) {}
+
+  // Re-derives `final` after pruning (fragments hold <= 1 final state).
+  void Refresh() {
+    fsa.PruneToTrim();
+    std::vector<int> finals = fsa.FinalStates();
+    final = finals.empty() ? -1 : finals[0];
+  }
+};
+
+class Compiler {
+ public:
+  Compiler(const Alphabet& alphabet, std::vector<std::string> vars,
+           const CompileOptions& options)
+      : alphabet_(alphabet), vars_(std::move(vars)), options_(options) {
+    for (size_t i = 0; i < vars_.size(); ++i) {
+      tape_of_[vars_[i]] = static_cast<int>(i);
+    }
+    symbols_ = alphabet_.TapeSymbols();
+  }
+
+  Result<Fsa> Compile(const StringFormula& formula) {
+    STRDB_ASSIGN_OR_RETURN(Frag body, Build(formula));
+    // Prefix with the initial-configuration test ((s,⊢..⊢),(f,0..0)).
+    Fsa init(alphabet_, k());
+    int f0 = init.AddState();
+    init.SetFinal(f0);
+    Transition t;
+    t.from = init.start();
+    t.to = f0;
+    t.read.assign(static_cast<size_t>(k()), kLeftEnd);
+    t.move.assign(static_cast<size_t>(k()), kStay);
+    STRDB_RETURN_IF_ERROR(init.AddTransition(std::move(t)));
+    Frag init_frag(std::move(init));
+    init_frag.final = f0;
+    STRDB_ASSIGN_OR_RETURN(Frag out, Concat(init_frag, body));
+    if (options_.reduce_states) {
+      out.fsa.ReduceByBisimulation();
+      out.fsa.PruneToTrim();
+    }
+    return std::move(out.fsa);
+  }
+
+ private:
+  int k() const { return static_cast<int>(vars_.size()); }
+
+  Status CheckBudget(const Fsa& fsa) const {
+    if (fsa.num_transitions() > options_.max_transitions) {
+      return Status::ResourceExhausted(
+          "compiled automaton exceeds max_transitions = " +
+          std::to_string(options_.max_transitions));
+    }
+    return Status::OK();
+  }
+
+  Frag Rejecting() const { return Frag(Fsa(alphabet_, k())); }
+
+  // The λ automaton: s → f by a stationary transition on every character
+  // combination (vacuously true in every alignment).
+  Result<Frag> LambdaFrag() const {
+    Frag frag(Fsa(alphabet_, k()));
+    int f = frag.fsa.AddState();
+    frag.fsa.SetFinal(f);
+    frag.final = f;
+    std::vector<Sym> combo(static_cast<size_t>(k()), 0);
+    STRDB_RETURN_IF_ERROR(ForEachCombo(
+        std::vector<int>(), &combo, [&](const std::vector<Sym>& c) {
+          Transition t;
+          t.from = frag.fsa.start();
+          t.to = f;
+          t.read = c;
+          t.move.assign(static_cast<size_t>(k()), kStay);
+          return frag.fsa.AddTransition(std::move(t));
+        }));
+    return frag;
+  }
+
+  // Calls `fn` for every combination assigning each tape in `free_tapes`
+  // a value from Σ∪{⊢,⊣}; other entries of *combo are left as-is.  When
+  // `free_tapes` covers no tape, `fn` is called once on *combo.  The
+  // overload with an empty free list iterates over *all* tapes.
+  template <typename Fn>
+  Status ForEachCombo(std::vector<int> free_tapes, std::vector<Sym>* combo,
+                      Fn&& fn) const {
+    if (free_tapes.empty()) {
+      free_tapes.resize(static_cast<size_t>(k()));
+      for (int i = 0; i < k(); ++i) free_tapes[static_cast<size_t>(i)] = i;
+    }
+    return ForEachComboOn(free_tapes, 0, combo, fn);
+  }
+
+  template <typename Fn>
+  Status ForEachComboOn(const std::vector<int>& tapes, size_t depth,
+                        std::vector<Sym>* combo, Fn&& fn) const {
+    if (depth == tapes.size()) return fn(*combo);
+    for (Sym s : symbols_) {
+      (*combo)[static_cast<size_t>(tapes[depth])] = s;
+      STRDB_RETURN_IF_ERROR(ForEachComboOn(tapes, depth + 1, combo, fn));
+    }
+    return Status::OK();
+  }
+
+  // Evaluates the window formula on a character combination, mapping
+  // endmarkers to "undefined".
+  bool WindowTrue(const WindowFormula& window,
+                  const std::vector<Sym>& combo) const {
+    return window.EvalWith(
+        [&](const std::string& var) -> std::optional<char> {
+          auto it = tape_of_.find(var);
+          if (it == tape_of_.end()) return std::nullopt;  // unreachable
+          Sym s = combo[static_cast<size_t>(it->second)];
+          if (IsEndmarker(s)) return std::nullopt;
+          return alphabet_.CharOf(s);
+        });
+  }
+
+  Result<Frag> Build(const StringFormula& f) {
+    switch (f.kind()) {
+      case StringFormula::Kind::kLambda:
+        return LambdaFrag();
+      case StringFormula::Kind::kAtomic:
+        return BuildAtomic(f.atom());
+      case StringFormula::Kind::kConcat: {
+        STRDB_ASSIGN_OR_RETURN(Frag left, Build(f.Left()));
+        if (left.final < 0) return Rejecting();
+        STRDB_ASSIGN_OR_RETURN(Frag right, Build(f.Right()));
+        if (right.final < 0) return Rejecting();
+        return Concat(left, right);
+      }
+      case StringFormula::Kind::kUnion: {
+        STRDB_ASSIGN_OR_RETURN(Frag left, Build(f.Left()));
+        STRDB_ASSIGN_OR_RETURN(Frag right, Build(f.Right()));
+        return Union(left, right);
+      }
+      case StringFormula::Kind::kStar: {
+        STRDB_ASSIGN_OR_RETURN(Frag body, Build(f.Left()));
+        return Star(body);
+      }
+    }
+    return Status::Internal("unknown string formula kind");
+  }
+
+  // Fig. 4 / Fig. 5: the two-edge paths s → q_(b1..bk) → f, with
+  // stationary first edges bypassed into direct s → f edges.
+  Result<Frag> BuildAtomic(const AtomicStringFormula& atom) {
+    Frag frag(Fsa(alphabet_, k()));
+    int s = frag.fsa.start();
+    int f = frag.fsa.AddState();
+    frag.fsa.SetFinal(f);
+    frag.final = f;
+
+    // Which tapes does the transpose mention?
+    std::vector<bool> transposed(static_cast<size_t>(k()), false);
+    for (const std::string& var : atom.transposed) {
+      auto it = tape_of_.find(var);
+      if (it == tape_of_.end()) {
+        return Status::InvalidArgument("variable '" + var +
+                                       "' not in the tape order");
+      }
+      transposed[static_cast<size_t>(it->second)] = true;
+    }
+    const Sym saturating_end =
+        (atom.dir == Dir::kLeft) ? kRightEnd : kLeftEnd;
+    const Move step = (atom.dir == Dir::kLeft) ? kFwd : kBack;
+
+    // Intermediate states q_(b1..bk), one per window-satisfying target
+    // combination (with its stationary edge into f).
+    std::map<std::vector<Sym>, int> q_of;
+    auto intermediate = [&](const std::vector<Sym>& b) -> Result<int> {
+      auto it = q_of.find(b);
+      if (it != q_of.end()) return it->second;
+      int q = frag.fsa.AddState();
+      q_of[b] = q;
+      Transition into_f;
+      into_f.from = q;
+      into_f.to = f;
+      into_f.read = b;
+      into_f.move.assign(static_cast<size_t>(k()), kStay);
+      STRDB_RETURN_IF_ERROR(frag.fsa.AddTransition(std::move(into_f)));
+      return q;
+    };
+
+    std::vector<Sym> a(static_cast<size_t>(k()), 0);
+    Status status = ForEachCombo(
+        {}, &a, [&](const std::vector<Sym>& a_combo) -> Status {
+          // Decide per-tape movement: transposed tapes step unless
+          // already on the saturating endmarker.
+          std::vector<Move> move(static_cast<size_t>(k()), kStay);
+          std::vector<int> moving;
+          for (int i = 0; i < k(); ++i) {
+            if (transposed[static_cast<size_t>(i)] &&
+                a_combo[static_cast<size_t>(i)] != saturating_end) {
+              move[static_cast<size_t>(i)] = step;
+              moving.push_back(i);
+            }
+          }
+          if (moving.empty()) {
+            // Fig. 5 bypass: a stationary first edge collapses into a
+            // direct stationary s → f edge (kept only when ψ holds).
+            if (WindowTrue(atom.window, a_combo)) {
+              Transition t;
+              t.from = s;
+              t.to = f;
+              t.read = a_combo;
+              t.move.assign(static_cast<size_t>(k()), kStay);
+              STRDB_RETURN_IF_ERROR(frag.fsa.AddTransition(std::move(t)));
+            }
+            return CheckBudget(frag.fsa);
+          }
+          // Enumerate the symbols appearing under the moved heads after
+          // the step: anything except the endmarker being stepped away
+          // from (a head moving forward can see Σ or ⊣, never ⊢).
+          std::vector<Sym> b = a_combo;
+          const Sym forbidden =
+              (atom.dir == Dir::kLeft) ? kLeftEnd : kRightEnd;
+          return ForEachCombo(
+              moving, &b, [&](const std::vector<Sym>& b_combo) -> Status {
+                for (int i : moving) {
+                  if (b_combo[static_cast<size_t>(i)] == forbidden) {
+                    return Status::OK();
+                  }
+                }
+                if (!WindowTrue(atom.window, b_combo)) return Status::OK();
+                STRDB_ASSIGN_OR_RETURN(int q, intermediate(b_combo));
+                Transition t;
+                t.from = s;
+                t.to = q;
+                t.read = a_combo;
+                t.move = move;
+                STRDB_RETURN_IF_ERROR(frag.fsa.AddTransition(std::move(t)));
+                return CheckBudget(frag.fsa);
+              });
+        });
+    STRDB_RETURN_IF_ERROR(status);
+    frag.Refresh();
+    return frag;
+  }
+
+  // Merges `right`'s start into `left`'s final state, bypassing the
+  // stationary-transition pairs as in the proof of Thm 3.1.
+  Result<Frag> Concat(const Frag& left, const Frag& right) {
+    if (left.final < 0 || right.final < 0) return Rejecting();
+    Frag frag(Fsa(alphabet_, k()));
+    // State mapping: left states keep ids (left.final becomes a hole we
+    // simply never target); right states (except its start) get offsets.
+    while (frag.fsa.num_states() < left.fsa.num_states()) frag.fsa.AddState();
+    std::vector<int> right_map(static_cast<size_t>(right.fsa.num_states()),
+                               -1);
+    for (int st = 0; st < right.fsa.num_states(); ++st) {
+      if (st == right.fsa.start()) continue;
+      right_map[static_cast<size_t>(st)] = frag.fsa.AddState();
+    }
+    frag.fsa.SetStart(left.fsa.start());
+    frag.final = right_map[static_cast<size_t>(right.final)];
+    frag.fsa.SetFinal(frag.final);
+
+    // Left transitions not entering left.final survive unchanged.
+    for (const Transition& t : left.fsa.transitions()) {
+      if (t.to == left.final) continue;
+      STRDB_RETURN_IF_ERROR(frag.fsa.AddTransition(t));
+    }
+    // Right transitions not leaving right's start survive (remapped).
+    for (const Transition& t : right.fsa.transitions()) {
+      if (t.from == right.fsa.start()) continue;
+      Transition nt = t;
+      nt.from = right_map[static_cast<size_t>(t.from)];
+      nt.to = right_map[static_cast<size_t>(t.to)];
+      STRDB_RETURN_IF_ERROR(frag.fsa.AddTransition(std::move(nt)));
+    }
+    // Bypass: (p,c) → (left.final, 0) composed with (s2,c) → (q,d)
+    // becomes (p,c) → (q,d).  Group the right start transitions by read
+    // combo for the matching.
+    std::map<std::vector<Sym>, std::vector<const Transition*>> by_read;
+    for (int idx : right.fsa.TransitionsFrom(right.fsa.start())) {
+      const Transition& t =
+          right.fsa.transitions()[static_cast<size_t>(idx)];
+      by_read[t.read].push_back(&t);
+    }
+    for (const Transition& t_in : left.fsa.transitions()) {
+      if (t_in.to != left.final) continue;
+      auto it = by_read.find(t_in.read);
+      if (it == by_read.end()) continue;
+      for (const Transition* t_out : it->second) {
+        Transition nt;
+        nt.from = t_in.from;
+        nt.to = right_map[static_cast<size_t>(t_out->to)];
+        nt.read = t_in.read;
+        nt.move = t_out->move;
+        STRDB_RETURN_IF_ERROR(frag.fsa.AddTransition(std::move(nt)));
+        STRDB_RETURN_IF_ERROR(CheckBudget(frag.fsa));
+      }
+    }
+    frag.Refresh();
+    return frag;
+  }
+
+  // Merges the two start states and the two final states.
+  Result<Frag> Union(const Frag& left, const Frag& right) {
+    if (left.final < 0 && right.final < 0) return Rejecting();
+    Frag frag(Fsa(alphabet_, k()));
+    int s = frag.fsa.start();
+    int f = frag.fsa.AddState();
+    frag.fsa.SetFinal(f);
+    frag.final = f;
+    auto splice = [&](const Frag& part) -> Status {
+      std::vector<int> map(static_cast<size_t>(part.fsa.num_states()), -1);
+      map[static_cast<size_t>(part.fsa.start())] = s;
+      if (part.final >= 0) map[static_cast<size_t>(part.final)] = f;
+      for (int st = 0; st < part.fsa.num_states(); ++st) {
+        if (map[static_cast<size_t>(st)] < 0) {
+          map[static_cast<size_t>(st)] = frag.fsa.AddState();
+        }
+      }
+      for (const Transition& t : part.fsa.transitions()) {
+        Transition nt = t;
+        nt.from = map[static_cast<size_t>(t.from)];
+        nt.to = map[static_cast<size_t>(t.to)];
+        STRDB_RETURN_IF_ERROR(frag.fsa.AddTransition(std::move(nt)));
+      }
+      return CheckBudget(frag.fsa);
+    };
+    STRDB_RETURN_IF_ERROR(splice(left));
+    STRDB_RETURN_IF_ERROR(splice(right));
+    frag.Refresh();
+    return frag;
+  }
+
+  // Kleene closure: new final f' reachable from s by stationary
+  // transitions on every combination; the body's final state is folded
+  // back into s with bypassing.
+  Result<Frag> Star(const Frag& body) {
+    // Deviation from the paper's text (documented in compile.h): when the
+    // body automaton rejects everything, φ* still contains λ.
+    if (body.final < 0) return LambdaFrag();
+
+    Frag frag(Fsa(alphabet_, k()));
+    // Copy the body (its start stays the start; its final f becomes a
+    // hole after bypassing).
+    while (frag.fsa.num_states() < body.fsa.num_states()) frag.fsa.AddState();
+    frag.fsa.SetStart(body.fsa.start());
+    int fprime = frag.fsa.AddState();
+    frag.fsa.SetFinal(fprime);
+    frag.final = fprime;
+    const int s = frag.fsa.start();
+    const int f = body.final;
+
+    // New stationary s → f' transitions on every character combination
+    // ("not entering the loop at all").
+    std::vector<Sym> combo(static_cast<size_t>(k()), 0);
+    STRDB_RETURN_IF_ERROR(ForEachCombo(
+        {}, &combo, [&](const std::vector<Sym>& c) {
+          Transition t;
+          t.from = s;
+          t.to = fprime;
+          t.read = c;
+          t.move.assign(static_cast<size_t>(k()), kStay);
+          return frag.fsa.AddTransition(std::move(t));
+        }));
+
+    // Body transitions survive except (a) stationary s → f ones (already
+    // represented by the new s → f' edges) and (b) edges into f, which
+    // get bypassed below.
+    for (const Transition& t : body.fsa.transitions()) {
+      if (t.to == f) continue;
+      STRDB_RETURN_IF_ERROR(frag.fsa.AddTransition(t));
+    }
+    // Bypass (p,c) → (f,0) with every (s,c) → (q,d) of the *new*
+    // automaton (which includes the fresh s → f' stationary edges, so a
+    // completed loop iteration can exit).
+    std::map<std::vector<Sym>, std::vector<std::pair<int, std::vector<Move>>>>
+        from_start;
+    for (int idx : body.fsa.TransitionsFrom(s)) {
+      const Transition& t = body.fsa.transitions()[static_cast<size_t>(idx)];
+      if (t.to == f && t.IsStationary()) continue;  // removed above
+      from_start[t.read].push_back({t.to, t.move});
+    }
+    // The fresh exits: (s,c) → (f',0) for every c.
+    {
+      std::vector<Sym> c(static_cast<size_t>(k()), 0);
+      STRDB_RETURN_IF_ERROR(ForEachCombo(
+          {}, &c, [&](const std::vector<Sym>& cc) {
+            from_start[cc].push_back(
+                {fprime,
+                 std::vector<Move>(static_cast<size_t>(k()), kStay)});
+            return Status::OK();
+          }));
+    }
+    for (const Transition& t_in : body.fsa.transitions()) {
+      if (t_in.to != f) continue;
+      if (t_in.from == s && t_in.IsStationary()) continue;  // removed
+      auto it = from_start.find(t_in.read);
+      if (it == from_start.end()) continue;
+      for (const auto& [to, move] : it->second) {
+        Transition nt;
+        nt.from = t_in.from;
+        nt.to = to;
+        nt.read = t_in.read;
+        nt.move = move;
+        STRDB_RETURN_IF_ERROR(frag.fsa.AddTransition(std::move(nt)));
+        STRDB_RETURN_IF_ERROR(CheckBudget(frag.fsa));
+      }
+    }
+    frag.Refresh();
+    return frag;
+  }
+
+  const Alphabet& alphabet_;
+  std::vector<std::string> vars_;
+  CompileOptions options_;
+  std::map<std::string, int> tape_of_;
+  std::vector<Sym> symbols_;
+};
+
+}  // namespace
+
+Result<Fsa> CompileStringFormula(const StringFormula& formula,
+                                 const Alphabet& alphabet,
+                                 const std::vector<std::string>& vars,
+                                 const CompileOptions& options) {
+  // Every formula variable must have a tape.
+  std::map<std::string, bool> known;
+  for (const std::string& v : vars) known[v] = true;
+  for (const std::string& v : formula.Vars()) {
+    if (!known.count(v)) {
+      return Status::InvalidArgument("formula variable '" + v +
+                                     "' missing from tape order");
+    }
+  }
+  if (vars.empty()) {
+    return Status::InvalidArgument("need at least one tape");
+  }
+  Compiler compiler(alphabet, vars, options);
+  return compiler.Compile(formula);
+}
+
+Result<Fsa> CompileStringFormula(const StringFormula& formula,
+                                 const Alphabet& alphabet,
+                                 const CompileOptions& options) {
+  return CompileStringFormula(formula, alphabet, formula.Vars(), options);
+}
+
+}  // namespace strdb

@@ -1,0 +1,66 @@
+#ifndef STRDB_FSA_COMPILE_H_
+#define STRDB_FSA_COMPILE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/result.h"
+#include "fsa/fsa.h"
+#include "strform/string_formula.h"
+
+namespace strdb {
+
+struct CompileOptions {
+  // Abort with kResourceExhausted when an intermediate automaton exceeds
+  // this many transitions; the construction is worst-case exponential in
+  // the number of tapes ((|Σ|+2)^k combinations per atomic formula).
+  int max_transitions = 2'000'000;
+  // Merge forward-bisimilar states after construction (the Fig. 4
+  // intermediates are highly redundant); preserves the language and the
+  // theorem's structural properties.
+  bool reduce_states = true;
+};
+
+// Theorem 3.1: builds a k-FSA A_φ with L(A_φ) = ⟦φ⟧, where tape i holds
+// the string assigned to vars[i].  `vars` fixes the tape order and must
+// contain every variable of `formula` (it may name extra variables,
+// which become unconstrained tapes).  The construction follows the
+// paper's proof:
+//
+//  * an atomic string formula becomes the two-edge paths of Fig. 4
+//    (s → q_(b1..bk) → f), with stationary first steps bypassed as in
+//    Fig. 5;
+//  * concatenation merges the final state of the first automaton with
+//    the start state of the second, bypassing the resulting stationary
+//    transition pairs;
+//  * Kleene closure adds a fresh final state reachable by stationary
+//    transitions on every character combination and folds the loop back
+//    into the start state;
+//  * union merges start states and final states;
+//  * finally the automaton is prefixed (by concatenation) with the
+//    single-transition FSA testing the all-⊢ initial configuration.
+//
+// The resulting automaton enjoys the theorem's properties 1-5: tape i is
+// bidirectional only if vars[i] is, the start state has no incoming
+// transitions, there is at most one final state, that state has no
+// outgoing transitions and its incoming transitions are exactly the
+// stationary ones, and (disregarding bidirectional tapes) every
+// start-to-final path is traced by some computation.
+//
+// Deviation from the paper's text: for φ* where L(A_φ) = ∅ the paper
+// says the rejecting automaton "suffices unmodified", but λ ∈ L(φ*)
+// must be accepted; we return the λ automaton instead.
+Result<Fsa> CompileStringFormula(const StringFormula& formula,
+                                 const Alphabet& alphabet,
+                                 const std::vector<std::string>& vars,
+                                 const CompileOptions& options = {});
+
+// As above with the tape order taken from formula.Vars() (variable names
+// in ascending order, matching the paper's convention for queries).
+Result<Fsa> CompileStringFormula(const StringFormula& formula,
+                                 const Alphabet& alphabet,
+                                 const CompileOptions& options = {});
+
+}  // namespace strdb
+
+#endif  // STRDB_FSA_COMPILE_H_

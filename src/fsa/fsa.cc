@@ -1,0 +1,345 @@
+#include "fsa/fsa.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <tuple>
+
+namespace strdb {
+
+bool Transition::IsStationary() const {
+  return std::all_of(move.begin(), move.end(),
+                     [](Move m) { return m == kStay; });
+}
+
+bool Transition::operator==(const Transition& other) const {
+  return from == other.from && to == other.to && read == other.read &&
+         move == other.move;
+}
+
+bool Transition::operator<(const Transition& other) const {
+  if (from != other.from) return from < other.from;
+  if (to != other.to) return to < other.to;
+  if (read != other.read) return read < other.read;
+  return move < other.move;
+}
+
+Fsa::Fsa(Alphabet alphabet, int num_tapes)
+    : alphabet_(std::move(alphabet)), num_tapes_(num_tapes) {
+  is_final_.push_back(false);
+  out_.emplace_back();
+}
+
+int Fsa::AddState() {
+  is_final_.push_back(false);
+  out_.emplace_back();
+  return num_states() - 1;
+}
+
+void Fsa::SetFinal(int state, bool is_final) {
+  is_final_[static_cast<size_t>(state)] = is_final;
+}
+
+void Fsa::SetStart(int state) { start_ = state; }
+
+Status Fsa::AddTransition(Transition t) {
+  if (t.from < 0 || t.from >= num_states() || t.to < 0 ||
+      t.to >= num_states()) {
+    return Status::OutOfRange("transition references unknown state");
+  }
+  if (static_cast<int>(t.read.size()) != num_tapes_ ||
+      static_cast<int>(t.move.size()) != num_tapes_) {
+    return Status::InvalidArgument(
+        "transition read/move vectors must have one entry per tape");
+  }
+  for (int i = 0; i < num_tapes_; ++i) {
+    Sym c = t.read[static_cast<size_t>(i)];
+    Move d = t.move[static_cast<size_t>(i)];
+    if (c != kLeftEnd && c != kRightEnd && (c < 0 || c >= alphabet_.size())) {
+      return Status::InvalidArgument("transition reads foreign symbol");
+    }
+    if (d < -1 || d > 1) {
+      return Status::InvalidArgument("tape moves are in {-1, 0, +1}");
+    }
+    // The endmarker restriction of §3.
+    if (c == kLeftEnd && d == kBack) {
+      return Status::InvalidArgument("cannot move left off the left endmarker");
+    }
+    if (c == kRightEnd && d == kFwd) {
+      return Status::InvalidArgument(
+          "cannot move right off the right endmarker");
+    }
+  }
+  // Ignore exact duplicates to keep constructions idempotent.
+  for (int idx : out_[static_cast<size_t>(t.from)]) {
+    if (transitions_[static_cast<size_t>(idx)] == t) return Status::OK();
+  }
+  out_[static_cast<size_t>(t.from)].push_back(num_transitions());
+  transitions_.push_back(std::move(t));
+  return Status::OK();
+}
+
+Status Fsa::AddTransitionSpec(int from, int to, const std::string& reads,
+                              const std::string& moves) {
+  if (static_cast<int>(reads.size()) != num_tapes_ ||
+      static_cast<int>(moves.size()) != num_tapes_) {
+    return Status::InvalidArgument("spec length must equal tape count");
+  }
+  Transition t;
+  t.from = from;
+  t.to = to;
+  for (int i = 0; i < num_tapes_; ++i) {
+    char rc = reads[static_cast<size_t>(i)];
+    if (rc == '<') {
+      t.read.push_back(kLeftEnd);
+    } else if (rc == '>') {
+      t.read.push_back(kRightEnd);
+    } else {
+      STRDB_ASSIGN_OR_RETURN(Sym s, alphabet_.SymOf(rc));
+      t.read.push_back(s);
+    }
+    char mc = moves[static_cast<size_t>(i)];
+    if (mc == '+') {
+      t.move.push_back(kFwd);
+    } else if (mc == '-') {
+      t.move.push_back(kBack);
+    } else if (mc == '0') {
+      t.move.push_back(kStay);
+    } else {
+      return Status::InvalidArgument("moves must be '+', '-' or '0'");
+    }
+  }
+  return AddTransition(std::move(t));
+}
+
+const std::vector<int>& Fsa::TransitionsFrom(int state) const {
+  return out_[static_cast<size_t>(state)];
+}
+
+std::vector<int> Fsa::FinalStates() const {
+  std::vector<int> out;
+  for (int s = 0; s < num_states(); ++s) {
+    if (IsFinal(s)) out.push_back(s);
+  }
+  return out;
+}
+
+bool Fsa::IsTapeBidirectional(int tape) const {
+  return std::any_of(transitions_.begin(), transitions_.end(),
+                     [tape](const Transition& t) {
+                       return t.move[static_cast<size_t>(tape)] == kBack;
+                     });
+}
+
+int Fsa::NumBidirectionalTapes() const {
+  int n = 0;
+  for (int i = 0; i < num_tapes_; ++i) {
+    if (IsTapeBidirectional(i)) ++n;
+  }
+  return n;
+}
+
+bool Fsa::FinalStatesHaveNoExits() const {
+  for (int s = 0; s < num_states(); ++s) {
+    if (IsFinal(s) && !TransitionsFrom(s).empty()) return false;
+  }
+  return true;
+}
+
+void Fsa::PruneToTrim() {
+  int n = num_states();
+  // Forward reachability from the start state.
+  std::vector<bool> fwd(static_cast<size_t>(n), false);
+  std::deque<int> queue = {start_};
+  fwd[static_cast<size_t>(start_)] = true;
+  while (!queue.empty()) {
+    int s = queue.front();
+    queue.pop_front();
+    for (int idx : out_[static_cast<size_t>(s)]) {
+      int to = transitions_[static_cast<size_t>(idx)].to;
+      if (!fwd[static_cast<size_t>(to)]) {
+        fwd[static_cast<size_t>(to)] = true;
+        queue.push_back(to);
+      }
+    }
+  }
+  // Backward reachability from final states.
+  std::vector<std::vector<int>> in(static_cast<size_t>(n));
+  for (const Transition& t : transitions_) {
+    in[static_cast<size_t>(t.to)].push_back(t.from);
+  }
+  std::vector<bool> bwd(static_cast<size_t>(n), false);
+  for (int s = 0; s < n; ++s) {
+    if (IsFinal(s)) {
+      bwd[static_cast<size_t>(s)] = true;
+      queue.push_back(s);
+    }
+  }
+  while (!queue.empty()) {
+    int s = queue.front();
+    queue.pop_front();
+    for (int from : in[static_cast<size_t>(s)]) {
+      if (!bwd[static_cast<size_t>(from)]) {
+        bwd[static_cast<size_t>(from)] = true;
+        queue.push_back(from);
+      }
+    }
+  }
+  // Keep states that are live (or the start state).
+  std::vector<int> remap(static_cast<size_t>(n), -1);
+  int next = 0;
+  for (int s = 0; s < n; ++s) {
+    bool keep = (fwd[static_cast<size_t>(s)] && bwd[static_cast<size_t>(s)]) ||
+                s == start_;
+    if (keep) remap[static_cast<size_t>(s)] = next++;
+  }
+  std::vector<bool> new_final(static_cast<size_t>(next), false);
+  for (int s = 0; s < n; ++s) {
+    if (remap[static_cast<size_t>(s)] >= 0) {
+      new_final[static_cast<size_t>(remap[static_cast<size_t>(s)])] =
+          is_final_[static_cast<size_t>(s)];
+    }
+  }
+  std::vector<Transition> new_transitions;
+  std::vector<std::vector<int>> new_out(static_cast<size_t>(next));
+  for (const Transition& t : transitions_) {
+    int f = remap[static_cast<size_t>(t.from)];
+    int to = remap[static_cast<size_t>(t.to)];
+    if (f < 0 || to < 0) continue;
+    Transition nt = t;
+    nt.from = f;
+    nt.to = to;
+    new_out[static_cast<size_t>(f)].push_back(
+        static_cast<int>(new_transitions.size()));
+    new_transitions.push_back(std::move(nt));
+  }
+  start_ = remap[static_cast<size_t>(start_)];
+  is_final_ = std::move(new_final);
+  transitions_ = std::move(new_transitions);
+  out_ = std::move(new_out);
+}
+
+int Fsa::ReduceByBisimulation() {
+  const int n = num_states();
+  if (n <= 1) return 0;
+  // Partition refinement: start from finality, split by outgoing
+  // signatures until stable.
+  std::vector<int> cls(static_cast<size_t>(n));
+  for (int s = 0; s < n; ++s) cls[static_cast<size_t>(s)] = IsFinal(s) ? 1 : 0;
+  for (;;) {
+    // Signature: (class, sorted set of (read, move, class(target))).
+    std::map<std::pair<int, std::set<std::tuple<std::vector<Sym>,
+                                                std::vector<Move>, int>>>,
+             int>
+        ids;
+    std::vector<int> next(static_cast<size_t>(n));
+    for (int s = 0; s < n; ++s) {
+      std::set<std::tuple<std::vector<Sym>, std::vector<Move>, int>> out;
+      for (int ti : TransitionsFrom(s)) {
+        const Transition& t = transitions_[static_cast<size_t>(ti)];
+        out.insert({t.read, t.move, cls[static_cast<size_t>(t.to)]});
+      }
+      auto key = std::make_pair(cls[static_cast<size_t>(s)], std::move(out));
+      auto [it, inserted] =
+          ids.try_emplace(std::move(key), static_cast<int>(ids.size()));
+      next[static_cast<size_t>(s)] = it->second;
+    }
+    if (next == cls) break;
+    cls = std::move(next);
+  }
+  // Keep the start state un-merged: Theorem 3.1's property 2 (no
+  // incoming transitions at the start) must survive the reduction.
+  cls[static_cast<size_t>(start_)] = -1;
+  // Rebuild on class representatives.
+  std::map<int, int> rep;  // class -> new id
+  std::vector<int> remap(static_cast<size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    auto [it, inserted] =
+        rep.try_emplace(cls[static_cast<size_t>(s)],
+                        static_cast<int>(rep.size()));
+    remap[static_cast<size_t>(s)] = it->second;
+  }
+  const int merged = n - static_cast<int>(rep.size());
+  if (merged == 0) return 0;
+  std::vector<bool> new_final(rep.size(), false);
+  for (int s = 0; s < n; ++s) {
+    if (IsFinal(s)) new_final[static_cast<size_t>(remap[static_cast<size_t>(s)])] = true;
+  }
+  std::vector<Transition> old = std::move(transitions_);
+  transitions_.clear();
+  out_.assign(rep.size(), {});
+  is_final_ = std::move(new_final);
+  start_ = remap[static_cast<size_t>(start_)];
+  for (Transition t : old) {
+    t.from = remap[static_cast<size_t>(t.from)];
+    t.to = remap[static_cast<size_t>(t.to)];
+    Status s = AddTransition(std::move(t));  // dedupes merged duplicates
+    (void)s;  // cannot fail: inputs were validated
+  }
+  return merged;
+}
+
+Fsa Fsa::DisregardTape(int tape) const {
+  Fsa out(alphabet_, num_tapes_);
+  while (out.num_states() < num_states()) out.AddState();
+  out.SetStart(start_);
+  for (int s = 0; s < num_states(); ++s) out.SetFinal(s, IsFinal(s));
+  for (Transition t : transitions_) {
+    t.read[static_cast<size_t>(tape)] = kLeftEnd;
+    t.move[static_cast<size_t>(tape)] = kStay;
+    Status st = out.AddTransition(std::move(t));
+    (void)st;  // Cannot fail: the source transitions were validated.
+  }
+  return out;
+}
+
+std::string Fsa::ToString() const {
+  std::string s = "FSA tapes=" + std::to_string(num_tapes_) +
+                  " states=" + std::to_string(num_states()) +
+                  " transitions=" + std::to_string(num_transitions()) +
+                  " start=" + std::to_string(start_) + " finals={";
+  bool first = true;
+  for (int f : FinalStates()) {
+    if (!first) s += ",";
+    s += std::to_string(f);
+    first = false;
+  }
+  s += "}\n";
+  for (const Transition& t : transitions_) {
+    s += "  " + std::to_string(t.from) + " -> " + std::to_string(t.to) + "  ";
+    for (int i = 0; i < num_tapes_; ++i) {
+      s += alphabet_.CharOf(t.read[static_cast<size_t>(i)]);
+      Move m = t.move[static_cast<size_t>(i)];
+      s += (m == kFwd) ? '+' : (m == kBack) ? '-' : '0';
+      if (i + 1 < num_tapes_) s += ' ';
+    }
+    s += "\n";
+  }
+  return s;
+}
+
+std::string Fsa::ToDot() const {
+  std::string s = "digraph fsa {\n  rankdir=LR;\n";
+  for (int st = 0; st < num_states(); ++st) {
+    s += "  q" + std::to_string(st) + " [shape=" +
+         (IsFinal(st) ? "doublecircle" : "circle") + "];\n";
+  }
+  s += "  _start [shape=point];\n  _start -> q" + std::to_string(start_) +
+       ";\n";
+  for (const Transition& t : transitions_) {
+    s += "  q" + std::to_string(t.from) + " -> q" + std::to_string(t.to) +
+         " [label=\"";
+    for (int i = 0; i < num_tapes_; ++i) {
+      s += alphabet_.CharOf(t.read[static_cast<size_t>(i)]);
+      Move m = t.move[static_cast<size_t>(i)];
+      s += (m == kFwd) ? '+' : (m == kBack) ? '-' : '0';
+      if (i + 1 < num_tapes_) s += ' ';
+    }
+    s += "\"];\n";
+  }
+  s += "}\n";
+  return s;
+}
+
+}  // namespace strdb

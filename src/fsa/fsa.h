@@ -1,0 +1,123 @@
+#ifndef STRDB_FSA_FSA_H_
+#define STRDB_FSA_FSA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/alphabet.h"
+#include "core/result.h"
+#include "core/status.h"
+
+namespace strdb {
+
+// Head movement of one tape in one transition.
+using Move = int8_t;
+inline constexpr Move kStay = 0;
+inline constexpr Move kFwd = +1;   // towards the right endmarker
+inline constexpr Move kBack = -1;  // towards the left endmarker
+
+// One transition ((p, c1..ck), (q, d1..dk)) of a k-FSA (paper §3).
+struct Transition {
+  int from = 0;
+  int to = 0;
+  std::vector<Sym> read;    // one symbol per tape, in Σ ∪ {⊢, ⊣}
+  std::vector<Move> move;   // one direction per tape
+
+  // True iff no tape moves (the FSA counterpart of an ε-transition).
+  bool IsStationary() const;
+
+  bool operator==(const Transition& other) const;
+  bool operator<(const Transition& other) const;
+};
+
+// A k-tape two-way nondeterministic finite state acceptor with endmarkers
+// (paper §3).  The endmarker restriction — never step left off ⊢ nor
+// right off ⊣ — is enforced at AddTransition time.
+//
+// A configuration on input (w1..wk) is (state, n1..nk) with
+// 0 <= ni <= |wi|+1; position 0 scans ⊢ and |wi|+1 scans ⊣.  A
+// computation *accepts* iff it starts in (start, 0..0), is finite, ends
+// in a final state, and the final configuration has no successor (the
+// paper's definition; for automata whose final states have no outgoing
+// transitions this is plain final-state acceptance).
+class Fsa {
+ public:
+  // An automaton with `num_tapes` tapes and a single (start) state 0,
+  // initially non-final: the "single rejecting start state" of Thm 3.1.
+  Fsa(Alphabet alphabet, int num_tapes);
+
+  const Alphabet& alphabet() const { return alphabet_; }
+  int num_tapes() const { return num_tapes_; }
+  int num_states() const { return static_cast<int>(is_final_.size()); }
+  // |A|: the paper measures automaton size by its number of transitions.
+  int num_transitions() const { return static_cast<int>(transitions_.size()); }
+
+  int start() const { return start_; }
+  bool IsFinal(int state) const { return is_final_[static_cast<size_t>(state)]; }
+
+  // Adds a fresh non-final state, returning its id.
+  int AddState();
+  void SetFinal(int state, bool is_final = true);
+  void SetStart(int state);
+
+  // Adds a transition after validating tape counts, symbol ranges and the
+  // endmarker restriction (read ⊢ ⇒ move ≠ -1, read ⊣ ⇒ move ≠ +1).
+  // Duplicate transitions are silently ignored.
+  Status AddTransition(Transition t);
+
+  // Convenience for tests/hand-built machines: reads and moves given as
+  // strings, e.g. reads "<a>" = (⊢, 'a', ⊣) and moves "+0-" per tape.
+  Status AddTransitionSpec(int from, int to, const std::string& reads,
+                           const std::string& moves);
+
+  const std::vector<Transition>& transitions() const { return transitions_; }
+  // Indices into transitions() of those leaving `state`.
+  const std::vector<int>& TransitionsFrom(int state) const;
+
+  std::vector<int> FinalStates() const;
+
+  // Paper §3: tape i is *bidirectional* iff some transition moves it -1.
+  bool IsTapeBidirectional(int tape) const;
+  // Number of bidirectional tapes (0 = unidirectional automaton,
+  // <= 1 = right-restricted).
+  int NumBidirectionalTapes() const;
+
+  // True iff no final state has outgoing transitions, in which case the
+  // paper's stuck-acceptance equals ordinary final-state acceptance.
+  bool FinalStatesHaveNoExits() const;
+
+  // Removes states not on a path start →* final, compacting ids.  The
+  // start state is always kept (possibly as a lone rejecting state).
+  void PruneToTrim();
+
+  // Merges states that are forward-bisimilar (same finality and, after
+  // the merge closure, identical outgoing transition sets).  This is
+  // language-preserving — also under the paper's stuck-acceptance,
+  // since merged states admit exactly the same computations — and
+  // typically shrinks Theorem 3.1's output considerably (the
+  // q_(b1..bk) intermediates are highly redundant).  Returns the number
+  // of states removed.
+  int ReduceByBisimulation();
+
+  // A k-FSA can be modified to disregard tape l (paper §3): the tape is
+  // retained but every transition pins it to ⊢ and never moves it.
+  Fsa DisregardTape(int tape) const;
+
+  // Multi-line debug listing of states and transitions.
+  std::string ToString() const;
+  // Graphviz rendering, in the spirit of the paper's Fig. 6.
+  std::string ToDot() const;
+
+ private:
+  Alphabet alphabet_;
+  int num_tapes_;
+  int start_ = 0;
+  std::vector<bool> is_final_;
+  std::vector<Transition> transitions_;
+  std::vector<std::vector<int>> out_;  // per-state transition indices
+};
+
+}  // namespace strdb
+
+#endif  // STRDB_FSA_FSA_H_

@@ -1,0 +1,274 @@
+#include "fsa/generate.h"
+
+#include "fsa/specialize.h"
+
+namespace strdb {
+
+namespace {
+
+class Generator {
+ public:
+  Generator(const Fsa& fsa, const GenerateOptions& options)
+      : fsa_(fsa), options_(options) {
+    tapes_.resize(static_cast<size_t>(fsa.num_tapes()));
+  }
+
+  Result<std::set<std::vector<std::string>>> Run() {
+    STRDB_RETURN_IF_ERROR(Dfs(fsa_.start()));
+    return std::move(results_);
+  }
+
+ private:
+  // Lazily-guessed content of one output tape.
+  struct Tape {
+    std::vector<Sym> known;  // guessed prefix
+    bool decided = false;    // true once the length is fixed to |known|
+    int pos = 0;             // head position (0 = ⊢)
+  };
+
+  // What applying a transition's requirement does to one tape.
+  enum class Action : uint8_t { kFail, kNone, kExtend, kDecide };
+
+  Action Classify(const Tape& tape, Sym required) const {
+    int len = static_cast<int>(tape.known.size());
+    if (tape.pos == 0) return required == kLeftEnd ? Action::kNone : Action::kFail;
+    if (tape.pos <= len) {
+      return tape.known[static_cast<size_t>(tape.pos - 1)] == required
+                 ? Action::kNone
+                 : Action::kFail;
+    }
+    // pos == len + 1: either the decided right endmarker or open frontier.
+    if (tape.decided) {
+      return required == kRightEnd ? Action::kNone : Action::kFail;
+    }
+    if (required == kRightEnd) return Action::kDecide;
+    if (required == kLeftEnd) return Action::kFail;
+    if (len >= options_.max_len) return Action::kFail;  // Σ^l truncation
+    return Action::kExtend;
+  }
+
+  std::vector<int> PathKey(int state) const {
+    std::vector<int> key;
+    key.reserve(1 + tapes_.size() * 3);
+    key.push_back(state);
+    for (const Tape& t : tapes_) {
+      key.push_back(t.pos);
+      key.push_back(static_cast<int>(t.known.size()));
+      key.push_back(t.decided ? 1 : 0);
+    }
+    return key;
+  }
+
+  Status Record() {
+    const Alphabet& alphabet = fsa_.alphabet();
+    std::vector<std::vector<std::string>> candidates;
+    candidates.reserve(tapes_.size());
+    for (const Tape& t : tapes_) {
+      STRDB_ASSIGN_OR_RETURN(std::string prefix, alphabet.Decode(t.known));
+      std::vector<std::string> c;
+      if (t.decided) {
+        c.push_back(std::move(prefix));
+      } else {
+        // The computation accepted without constraining the tail: every
+        // completion up to the length budget is accepted.
+        for (const std::string& suffix : alphabet.StringsUpTo(
+                 options_.max_len - static_cast<int>(prefix.size()))) {
+          c.push_back(prefix + suffix);
+        }
+      }
+      candidates.push_back(std::move(c));
+    }
+    // Cartesian product of per-tape candidates.
+    std::vector<size_t> idx(candidates.size(), 0);
+    for (;;) {
+      std::vector<std::string> tuple;
+      tuple.reserve(candidates.size());
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        tuple.push_back(candidates[i][idx[i]]);
+      }
+      results_.insert(std::move(tuple));
+      if (static_cast<int64_t>(results_.size()) > options_.max_results) {
+        return Status::ResourceExhausted(
+            "generation exceeded max_results = " +
+            std::to_string(options_.max_results));
+      }
+      size_t d = 0;
+      while (d < idx.size() && ++idx[d] == candidates[d].size()) idx[d++] = 0;
+      if (d == idx.size()) break;
+    }
+    return Status::OK();
+  }
+
+  // Once every tape's content is fully decided the remaining question is
+  // plain (memoisable) acceptance from the current configuration — the
+  // path-enumerating DFS would otherwise revisit the same decided
+  // configurations once per accepting path, which is exponential for
+  // machines with many interchangeable choices.
+  Result<bool> AcceptsFromHere(int state) {
+    std::vector<int64_t> radix;
+    std::vector<int64_t> stride;
+    int64_t per_state = 1;
+    for (const Tape& t : tapes_) {
+      radix.push_back(static_cast<int64_t>(t.known.size()) + 2);
+      stride.push_back(per_state);
+      per_state *= radix.back();
+    }
+    auto encode = [&](int st, const std::vector<int>& pos) {
+      int64_t idx = static_cast<int64_t>(st) * per_state;
+      for (size_t i = 0; i < pos.size(); ++i) idx += stride[i] * pos[i];
+      return idx;
+    };
+    auto scan = [&](size_t tape, int p) -> Sym {
+      if (p == 0) return kLeftEnd;
+      if (p == static_cast<int>(tapes_[tape].known.size()) + 1) {
+        return kRightEnd;
+      }
+      return tapes_[tape].known[static_cast<size_t>(p - 1)];
+    };
+    std::vector<bool> visited(
+        static_cast<size_t>(per_state * fsa_.num_states()), false);
+    std::vector<int64_t> frontier;
+    std::vector<int> pos;
+    for (const Tape& t : tapes_) pos.push_back(t.pos);
+    int64_t init = encode(state, pos);
+    visited[static_cast<size_t>(init)] = true;
+    frontier.push_back(init);
+    while (!frontier.empty()) {
+      if (++steps_ > options_.max_steps) {
+        return Status::ResourceExhausted("generation exceeded max_steps = " +
+                                         std::to_string(options_.max_steps));
+      }
+      int64_t idx = frontier.back();
+      frontier.pop_back();
+      int st = static_cast<int>(idx / per_state);
+      if (fsa_.IsFinal(st)) return true;
+      int64_t rest = idx % per_state;
+      for (size_t i = 0; i < tapes_.size(); ++i) {
+        pos[i] = static_cast<int>(rest % radix[i]);
+        rest /= radix[i];
+      }
+      for (int ti : fsa_.TransitionsFrom(st)) {
+        const Transition& t = fsa_.transitions()[static_cast<size_t>(ti)];
+        bool applies = true;
+        for (size_t i = 0; i < pos.size(); ++i) {
+          if (scan(i, pos[i]) != t.read[i]) {
+            applies = false;
+            break;
+          }
+        }
+        if (!applies) continue;
+        int64_t next = encode(t.to, pos);
+        for (size_t i = 0; i < pos.size(); ++i) {
+          next += stride[i] * t.move[i];
+        }
+        if (!visited[static_cast<size_t>(next)]) {
+          visited[static_cast<size_t>(next)] = true;
+          frontier.push_back(next);
+        }
+      }
+    }
+    return false;
+  }
+
+  Status Dfs(int state) {
+    if (++steps_ > options_.max_steps) {
+      return Status::ResourceExhausted("generation exceeded max_steps = " +
+                                       std::to_string(options_.max_steps));
+    }
+    if (fsa_.IsFinal(state)) {
+      // Final states have no outgoing transitions (checked by the entry
+      // point), so this configuration accepts.
+      return Record();
+    }
+    bool all_decided = options_.decided_acceptance_shortcut;
+    for (const Tape& t : tapes_) all_decided &= t.decided;
+    if (all_decided) {
+      STRDB_ASSIGN_OR_RETURN(bool accepted, AcceptsFromHere(state));
+      if (accepted) {
+        STRDB_RETURN_IF_ERROR(Record());
+      }
+      return Status::OK();
+    }
+    std::vector<int> key = PathKey(state);
+    if (!on_path_.insert(key).second) return Status::OK();  // no-progress loop
+
+    for (int ti : fsa_.TransitionsFrom(state)) {
+      const Transition& t = fsa_.transitions()[static_cast<size_t>(ti)];
+      // First classify all tapes; apply knowledge updates only if every
+      // tape is consistent.
+      bool feasible = true;
+      std::vector<Action> actions(tapes_.size(), Action::kNone);
+      for (size_t i = 0; i < tapes_.size(); ++i) {
+        actions[i] = Classify(tapes_[i], t.read[i]);
+        if (actions[i] == Action::kFail) {
+          feasible = false;
+          break;
+        }
+      }
+      if (!feasible) continue;
+      for (size_t i = 0; i < tapes_.size(); ++i) {
+        if (actions[i] == Action::kExtend) tapes_[i].known.push_back(t.read[i]);
+        if (actions[i] == Action::kDecide) tapes_[i].decided = true;
+        tapes_[i].pos += t.move[i];
+      }
+      Status status = Dfs(t.to);
+      for (size_t i = 0; i < tapes_.size(); ++i) {
+        tapes_[i].pos -= t.move[i];
+        if (actions[i] == Action::kExtend) tapes_[i].known.pop_back();
+        if (actions[i] == Action::kDecide) tapes_[i].decided = false;
+      }
+      STRDB_RETURN_IF_ERROR(status);
+    }
+    on_path_.erase(key);
+    return Status::OK();
+  }
+
+  const Fsa& fsa_;
+  GenerateOptions options_;
+  std::vector<Tape> tapes_;
+  std::set<std::vector<std::string>> results_;
+  std::set<std::vector<int>> on_path_;
+  int64_t steps_ = 0;
+};
+
+}  // namespace
+
+Result<std::set<std::vector<std::string>>> GenerateAccepted(
+    const Fsa& fsa, const std::vector<std::optional<std::string>>& fixed,
+    const GenerateOptions& options) {
+  if (static_cast<int>(fixed.size()) != fsa.num_tapes()) {
+    return Status::InvalidArgument(
+        "fixed-content vector must have one entry per tape");
+  }
+  bool any_free = false;
+  bool any_fixed = false;
+  for (const auto& f : fixed) {
+    (f.has_value() ? any_fixed : any_free) = true;
+  }
+  if (!any_free) {
+    return Status::InvalidArgument(
+        "no free tapes: use Accepts() for membership");
+  }
+  const Fsa* machine = &fsa;
+  Fsa specialized(fsa.alphabet(), 1);
+  if (any_fixed) {
+    STRDB_ASSIGN_OR_RETURN(specialized, Specialize(fsa, fixed));
+    machine = &specialized;
+  }
+  if (!machine->FinalStatesHaveNoExits()) {
+    return Status::InvalidArgument(
+        "generation requires final states without outgoing transitions "
+        "(automata from CompileStringFormula qualify)");
+  }
+  Generator generator(*machine, options);
+  return generator.Run();
+}
+
+Result<std::set<std::vector<std::string>>> EnumerateLanguage(
+    const Fsa& fsa, const GenerateOptions& options) {
+  std::vector<std::optional<std::string>> fixed(
+      static_cast<size_t>(fsa.num_tapes()), std::nullopt);
+  return GenerateAccepted(fsa, fixed, options);
+}
+
+}  // namespace strdb

@@ -1,0 +1,52 @@
+#ifndef STRDB_FSA_GENERATE_H_
+#define STRDB_FSA_GENERATE_H_
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/result.h"
+#include "fsa/fsa.h"
+
+namespace strdb {
+
+struct GenerateOptions {
+  // Maximum length of any generated string (the Σ^l truncation of §2/§4).
+  int max_len = 6;
+  // Search-step budget; exceeded ⇒ kResourceExhausted.  The generation
+  // problem is inherently exponential for bidirectional free tapes.
+  int64_t max_steps = 50'000'000;
+  // Result-count budget (answers themselves can be exponential in l).
+  int64_t max_results = 2'000'000;
+  // Once every free tape's content is fully decided, switch from the
+  // path-enumerating DFS to memoised configuration-graph acceptance
+  // (exponentially cheaper on machines with many interchangeable
+  // accepting paths).  Disable only for ablation studies.
+  bool decided_acceptance_shortcut = true;
+};
+
+// Runs `fsa` as the "generalized Mealy machine" of Definition 3.1:
+// tapes with a string in `fixed` are inputs, the others are outputs whose
+// contents are guessed lazily during the configuration search.  Returns
+// every tuple of output strings (lengths <= max_len, in tape order) for
+// which some accepting computation exists.
+//
+// Requires the final states to have no outgoing transitions (true for
+// every automaton built by CompileStringFormula), because acceptance of
+// a partially-guessed configuration must not depend on unguessed tape
+// content.  When a computation accepts while an output tape's tail is
+// still unread, every completion of the guessed prefix (up to max_len)
+// is in the answer, exactly as the logic prescribes.
+Result<std::set<std::vector<std::string>>> GenerateAccepted(
+    const Fsa& fsa, const std::vector<std::optional<std::string>>& fixed,
+    const GenerateOptions& options = {});
+
+// Convenience: all tuples of L(A) with every component length <= max_len
+// (every tape free).
+Result<std::set<std::vector<std::string>>> EnumerateLanguage(
+    const Fsa& fsa, const GenerateOptions& options = {});
+
+}  // namespace strdb
+
+#endif  // STRDB_FSA_GENERATE_H_

@@ -1,0 +1,158 @@
+#include "fsa/normalize.h"
+
+#include <deque>
+#include <map>
+
+namespace strdb {
+
+Result<ZonedFsa> NormalizeZones(const Fsa& fsa) {
+  // Zone advice branches per moved tape on the landing zone: a forward
+  // move lands on Σ or ⊣, a backward move on ⊢ or Σ; wrong guesses die
+  // at the next read because transitions are filtered for compatibility.
+  if (!fsa.FinalStatesHaveNoExits()) {
+    return Status::InvalidArgument(
+        "NormalizeZones requires final states without outgoing transitions");
+  }
+  using Key = std::pair<int, std::vector<Zone>>;
+  ZonedFsa out{Fsa(fsa.alphabet(), fsa.num_tapes()), {}, {}};
+  std::map<Key, int> ids;
+  std::deque<Key> worklist;
+
+  Key init{fsa.start(),
+           std::vector<Zone>(static_cast<size_t>(fsa.num_tapes()),
+                             Zone::kLeft)};
+  ids[init] = out.fsa.start();
+  out.fsa.SetFinal(out.fsa.start(), fsa.IsFinal(fsa.start()));
+  out.original_state.push_back(fsa.start());
+  out.zones.push_back(init.second);
+  worklist.push_back(std::move(init));
+
+  while (!worklist.empty()) {
+    Key key = std::move(worklist.front());
+    worklist.pop_front();
+    int from_id = ids[key];
+    const int p = key.first;
+    const std::vector<Zone> adv = key.second;
+    for (int ti : fsa.TransitionsFrom(p)) {
+      const Transition& t = fsa.transitions()[static_cast<size_t>(ti)];
+      bool ok = true;
+      for (size_t i = 0; i < adv.size(); ++i) {
+        if (ZoneOf(t.read[i]) != adv[i]) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      // Enumerate landing-zone choices per moved tape.
+      std::vector<std::vector<Zone>> choices(adv.size());
+      for (size_t i = 0; i < adv.size(); ++i) {
+        if (t.move[i] == kStay) {
+          choices[i] = {ZoneOf(t.read[i])};
+        } else if (t.move[i] == kFwd) {
+          choices[i] = {Zone::kInterior, Zone::kRight};
+        } else {
+          choices[i] = {Zone::kLeft, Zone::kInterior};
+        }
+      }
+      std::vector<size_t> idx(adv.size(), 0);
+      for (;;) {
+        std::vector<Zone> next_adv(adv.size());
+        for (size_t i = 0; i < adv.size(); ++i) {
+          next_adv[i] = choices[i][idx[i]];
+        }
+        Key next{t.to, std::move(next_adv)};
+        auto [it, inserted] = ids.try_emplace(next, -1);
+        if (inserted) {
+          it->second = out.fsa.AddState();
+          out.fsa.SetFinal(it->second, fsa.IsFinal(t.to));
+          out.original_state.push_back(t.to);
+          out.zones.push_back(it->first.second);
+          worklist.push_back(it->first);
+        }
+        Transition nt = t;
+        nt.from = from_id;
+        nt.to = it->second;
+        STRDB_RETURN_IF_ERROR(out.fsa.AddTransition(std::move(nt)));
+        size_t d = 0;
+        while (d < idx.size() && ++idx[d] == choices[d].size()) idx[d++] = 0;
+        if (d == idx.size()) break;
+      }
+    }
+  }
+  return out;
+}
+
+Result<ReadAdvisedFsa> ConsistifyReads(const Fsa& fsa) {
+  if (!fsa.FinalStatesHaveNoExits()) {
+    return Status::InvalidArgument(
+        "ConsistifyReads requires final states without outgoing transitions");
+  }
+  // Advice values: an exact symbol, or one of the two "just moved"
+  // markers constraining only the zone.
+  constexpr Sym kAfterFwd = -3;   // symbol ∈ Σ ∪ {⊣}
+  constexpr Sym kAfterBack = -4;  // symbol ∈ Σ ∪ {⊢}
+  auto compatible = [](Sym advice, Sym c) {
+    if (advice == kAfterFwd) return c != kLeftEnd;
+    if (advice == kAfterBack) return c != kRightEnd;
+    return advice == c;
+  };
+
+  using Key = std::pair<int, std::vector<Sym>>;
+  ReadAdvisedFsa out{Fsa(fsa.alphabet(), fsa.num_tapes()), {}, {}};
+  std::map<Key, int> ids;
+  std::deque<Key> worklist;
+
+  Key init{fsa.start(),
+           std::vector<Sym>(static_cast<size_t>(fsa.num_tapes()), kLeftEnd)};
+  ids[init] = out.fsa.start();
+  out.fsa.SetFinal(out.fsa.start(), fsa.IsFinal(fsa.start()));
+  out.original_state.push_back(fsa.start());
+  out.known_read.push_back(init.second);
+  worklist.push_back(std::move(init));
+
+  while (!worklist.empty()) {
+    Key key = std::move(worklist.front());
+    worklist.pop_front();
+    int from_id = ids[key];
+    const auto& [p, adv] = key;
+    for (int ti : fsa.TransitionsFrom(p)) {
+      const Transition& t = fsa.transitions()[static_cast<size_t>(ti)];
+      bool ok = true;
+      for (size_t i = 0; i < adv.size(); ++i) {
+        if (!compatible(adv[i], t.read[i])) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      std::vector<Sym> next_adv(adv.size());
+      for (size_t i = 0; i < adv.size(); ++i) {
+        next_adv[i] = (t.move[i] == kStay) ? t.read[i]
+                      : (t.move[i] == kFwd) ? kAfterFwd
+                                            : kAfterBack;
+      }
+      Key next{t.to, std::move(next_adv)};
+      auto [it, inserted] = ids.try_emplace(next, -1);
+      if (inserted) {
+        it->second = out.fsa.AddState();
+        out.fsa.SetFinal(it->second, fsa.IsFinal(t.to));
+        out.original_state.push_back(t.to);
+        out.known_read.push_back(it->first.second);
+        worklist.push_back(it->first);
+      }
+      Transition nt = t;
+      nt.from = from_id;
+      nt.to = it->second;
+      STRDB_RETURN_IF_ERROR(out.fsa.AddTransition(std::move(nt)));
+    }
+  }
+  // Replace the internal marker values with kUnknownSym for the caller.
+  for (std::vector<Sym>& row : out.known_read) {
+    for (Sym& s : row) {
+      if (s == kAfterFwd || s == kAfterBack) s = kUnknownSym;
+    }
+  }
+  return out;
+}
+
+}  // namespace strdb

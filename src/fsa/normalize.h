@@ -1,0 +1,67 @@
+#ifndef STRDB_FSA_NORMALIZE_H_
+#define STRDB_FSA_NORMALIZE_H_
+
+#include <vector>
+
+#include "core/result.h"
+#include "fsa/fsa.h"
+
+namespace strdb {
+
+// Which region of its tape a head is known to scan.
+enum class Zone : uint8_t { kLeft, kInterior, kRight };
+
+// The zone a scanned symbol implies.
+inline Zone ZoneOf(Sym s) {
+  if (s == kLeftEnd) return Zone::kLeft;
+  if (s == kRightEnd) return Zone::kRight;
+  return Zone::kInterior;
+}
+
+struct ZonedFsa {
+  Fsa fsa;
+  // Per new state: the original state id and the per-tape zone advice.
+  std::vector<int> original_state;
+  std::vector<std::vector<Zone>> zones;
+};
+
+// The endmarker-advice normalisation used in the proof of Theorem 3.2:
+// indexes each state with, per tape, whether the head rests on ⊢,
+// strictly between the endmarkers, or on ⊣, and keeps only the
+// locally-consistent transitions (a move +1 can never land on ⊢, a move
+// -1 never on ⊣, a stationary tape keeps its zone).  This is what lets a
+// string formula — which cannot tell the two ends of a string apart
+// ("x = ε" holds at both) — faithfully describe the automaton.
+//
+// The start state gets advice ⊢^k (all heads start on the left
+// endmarker).  Only the reachable part is built; states from which no
+// final state is reachable are pruned.
+//
+// Requires final states without outgoing transitions: with exits, the
+// paper's stuck-acceptance could differ between the automaton and its
+// normalisation (a wrongly-guessed zone can make a final state look
+// stuck).  Every automaton from CompileStringFormula qualifies.
+Result<ZonedFsa> NormalizeZones(const Fsa& fsa);
+
+// The finer *read-advice* normalisation: each state additionally
+// remembers the exact symbol under every head that did not move on the
+// way in (kUnknownSym for tapes that just moved).  On unidirectional
+// tapes this enforces exactly the local read-consistency that property 5
+// of Theorem 3.1 requires: every start-to-final path is traced by a
+// computation on suitable tape contents.  Used by the safety analysis
+// to admit hand-built automata.
+inline constexpr Sym kUnknownSym = -3;
+
+struct ReadAdvisedFsa {
+  Fsa fsa;
+  std::vector<int> original_state;
+  // Per new state and tape: the known symbol under the head, or
+  // kUnknownSym right after a move.
+  std::vector<std::vector<Sym>> known_read;
+};
+
+Result<ReadAdvisedFsa> ConsistifyReads(const Fsa& fsa);
+
+}  // namespace strdb
+
+#endif  // STRDB_FSA_NORMALIZE_H_

@@ -1,0 +1,106 @@
+#include "fsa/serialize.h"
+
+#include <sstream>
+
+namespace strdb {
+
+std::string SerializeFsa(const Fsa& fsa) {
+  std::ostringstream out;
+  out << "fsa tapes=" << fsa.num_tapes() << " states=" << fsa.num_states()
+      << " start=" << fsa.start() << " finals=";
+  std::vector<int> finals = fsa.FinalStates();
+  for (size_t i = 0; i < finals.size(); ++i) {
+    if (i > 0) out << ',';
+    out << finals[i];
+  }
+  out << '\n';
+  for (const Transition& t : fsa.transitions()) {
+    out << "t " << t.from << ' ' << t.to << ' ';
+    for (Sym s : t.read) out << fsa.alphabet().CharOf(s);
+    out << ' ';
+    for (Move m : t.move) {
+      out << (m == kFwd ? '+' : m == kBack ? '-' : '0');
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+namespace {
+
+// Parses "key=value" returning the value or an error.
+Result<std::string> Field(const std::string& token, const std::string& key) {
+  std::string prefix = key + "=";
+  if (token.rfind(prefix, 0) != 0) {
+    return Status::InvalidArgument("expected '" + key + "=...', got '" +
+                                   token + "'");
+  }
+  return token.substr(prefix.size());
+}
+
+Result<int> ToInt(const std::string& s) {
+  if (s.empty()) return Status::InvalidArgument("empty number");
+  int value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("bad number '" + s + "'");
+    }
+    value = value * 10 + (c - '0');
+    if (value > 100'000'000) return Status::OutOfRange("number too large");
+  }
+  return value;
+}
+
+}  // namespace
+
+Result<Fsa> DeserializeFsa(const Alphabet& alphabet,
+                           const std::string& text) {
+  std::istringstream in(text);
+  std::string word;
+  if (!(in >> word) || word != "fsa") {
+    return Status::InvalidArgument("missing 'fsa' header");
+  }
+  std::string tapes_tok, states_tok, start_tok, finals_tok;
+  if (!(in >> tapes_tok >> states_tok >> start_tok >> finals_tok)) {
+    return Status::InvalidArgument("truncated header");
+  }
+  STRDB_ASSIGN_OR_RETURN(std::string tapes_s, Field(tapes_tok, "tapes"));
+  STRDB_ASSIGN_OR_RETURN(int tapes, ToInt(tapes_s));
+  STRDB_ASSIGN_OR_RETURN(std::string states_s, Field(states_tok, "states"));
+  STRDB_ASSIGN_OR_RETURN(int states, ToInt(states_s));
+  STRDB_ASSIGN_OR_RETURN(std::string start_s, Field(start_tok, "start"));
+  STRDB_ASSIGN_OR_RETURN(int start, ToInt(start_s));
+  STRDB_ASSIGN_OR_RETURN(std::string finals_s, Field(finals_tok, "finals"));
+  if (tapes < 1 || states < 1 || start < 0 || start >= states) {
+    return Status::InvalidArgument("inconsistent header");
+  }
+
+  Fsa fsa(alphabet, tapes);
+  while (fsa.num_states() < states) fsa.AddState();
+  fsa.SetStart(start);
+  if (!finals_s.empty()) {
+    std::istringstream fin(finals_s);
+    std::string part;
+    while (std::getline(fin, part, ',')) {
+      STRDB_ASSIGN_OR_RETURN(int f, ToInt(part));
+      if (f >= states) return Status::OutOfRange("final state out of range");
+      fsa.SetFinal(f);
+    }
+  }
+  while (in >> word) {
+    if (word != "t") {
+      return Status::InvalidArgument("expected transition line, got '" +
+                                     word + "'");
+    }
+    std::string from_s, to_s, reads, moves;
+    if (!(in >> from_s >> to_s >> reads >> moves)) {
+      return Status::InvalidArgument("truncated transition line");
+    }
+    STRDB_ASSIGN_OR_RETURN(int from, ToInt(from_s));
+    STRDB_ASSIGN_OR_RETURN(int to, ToInt(to_s));
+    STRDB_RETURN_IF_ERROR(fsa.AddTransitionSpec(from, to, reads, moves));
+  }
+  return fsa;
+}
+
+}  // namespace strdb

@@ -1,0 +1,28 @@
+#ifndef STRDB_FSA_SERIALIZE_H_
+#define STRDB_FSA_SERIALIZE_H_
+
+#include <string>
+
+#include "core/result.h"
+#include "fsa/fsa.h"
+
+namespace strdb {
+
+// A stable, human-readable text format for persisting compiled
+// automata (compilation is the expensive step; a cached automaton can
+// be reloaded and used for selection immediately):
+//
+//   fsa tapes=2 states=5 start=0 finals=4
+//   t 0 1 <places> +000+
+//   ...
+//
+// Reads use the AddTransitionSpec syntax ('<' = ⊢, '>' = ⊣), moves use
+// '+', '-', '0'.  The alphabet is not embedded: the caller supplies it
+// on load and it must cover every symbol in the text.
+std::string SerializeFsa(const Fsa& fsa);
+
+Result<Fsa> DeserializeFsa(const Alphabet& alphabet, const std::string& text);
+
+}  // namespace strdb
+
+#endif  // STRDB_FSA_SERIALIZE_H_

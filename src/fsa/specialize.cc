@@ -1,0 +1,92 @@
+#include "fsa/specialize.h"
+
+#include <deque>
+#include <map>
+
+namespace strdb {
+
+Result<Fsa> Specialize(const Fsa& fsa,
+                       const std::vector<std::optional<std::string>>& fixed) {
+  if (static_cast<int>(fixed.size()) != fsa.num_tapes()) {
+    return Status::InvalidArgument(
+        "fixed-content vector must have one entry per tape");
+  }
+  std::vector<int> fixed_tapes;
+  std::vector<int> free_tapes;
+  std::vector<std::vector<Sym>> contents;
+  for (int i = 0; i < fsa.num_tapes(); ++i) {
+    if (fixed[static_cast<size_t>(i)].has_value()) {
+      STRDB_ASSIGN_OR_RETURN(
+          std::vector<Sym> enc,
+          fsa.alphabet().Encode(*fixed[static_cast<size_t>(i)]));
+      fixed_tapes.push_back(i);
+      contents.push_back(std::move(enc));
+    } else {
+      free_tapes.push_back(i);
+    }
+  }
+  if (free_tapes.empty()) {
+    return Status::InvalidArgument(
+        "at least one tape must remain free (use Accepts() to decide "
+        "fully-instantiated membership)");
+  }
+
+  auto scan = [&](size_t which_fixed, int pos) -> Sym {
+    const std::vector<Sym>& w = contents[which_fixed];
+    if (pos == 0) return kLeftEnd;
+    if (pos == static_cast<int>(w.size()) + 1) return kRightEnd;
+    return w[static_cast<size_t>(pos - 1)];
+  };
+
+  // Product states (p, n1..nk) discovered by worklist search.
+  using Key = std::pair<int, std::vector<int>>;
+  std::map<Key, int> ids;
+  std::deque<Key> worklist;
+
+  Fsa out(fsa.alphabet(), static_cast<int>(free_tapes.size()));
+  Key init{fsa.start(), std::vector<int>(fixed_tapes.size(), 0)};
+  ids[init] = out.start();
+  out.SetFinal(out.start(), fsa.IsFinal(fsa.start()));
+  worklist.push_back(init);
+
+  while (!worklist.empty()) {
+    Key key = std::move(worklist.front());
+    worklist.pop_front();
+    int from_id = ids[key];
+    const auto& [p, pos] = key;
+    for (int ti : fsa.TransitionsFrom(p)) {
+      const Transition& t = fsa.transitions()[static_cast<size_t>(ti)];
+      bool applies = true;
+      for (size_t j = 0; j < fixed_tapes.size(); ++j) {
+        if (t.read[static_cast<size_t>(fixed_tapes[j])] !=
+            scan(j, pos[j])) {
+          applies = false;
+          break;
+        }
+      }
+      if (!applies) continue;
+      std::vector<int> next_pos = pos;
+      for (size_t j = 0; j < fixed_tapes.size(); ++j) {
+        next_pos[j] += t.move[static_cast<size_t>(fixed_tapes[j])];
+      }
+      Key next_key{t.to, std::move(next_pos)};
+      auto [it, inserted] = ids.try_emplace(next_key, -1);
+      if (inserted) {
+        it->second = out.AddState();
+        out.SetFinal(it->second, fsa.IsFinal(t.to));
+        worklist.push_back(it->first);
+      }
+      Transition nt;
+      nt.from = from_id;
+      nt.to = it->second;
+      for (int free : free_tapes) {
+        nt.read.push_back(t.read[static_cast<size_t>(free)]);
+        nt.move.push_back(t.move[static_cast<size_t>(free)]);
+      }
+      STRDB_RETURN_IF_ERROR(out.AddTransition(std::move(nt)));
+    }
+  }
+  return out;
+}
+
+}  // namespace strdb

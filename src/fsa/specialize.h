@@ -1,0 +1,29 @@
+#ifndef STRDB_FSA_SPECIALIZE_H_
+#define STRDB_FSA_SPECIALIZE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/result.h"
+#include "fsa/fsa.h"
+
+namespace strdb {
+
+// Lemma 3.1: given a (k+l)-FSA and constant contents for some of its
+// tapes, builds an l-FSA over the remaining tapes accepting
+//   { (v1..vl) : (u1..uk, v1..vl) ∈ L(A) }.
+//
+// `fixed[i]` supplies the constant string for tape i, or nullopt to keep
+// the tape.  The construction tracks the fixed-tape head positions in
+// the state (p, n1..nk), as in the paper, but builds only the part
+// reachable from the initial configuration.  Time and size are
+// polynomial in |A|·Π(|u_i|+2).
+//
+// The free tapes keep their relative order in the result.
+Result<Fsa> Specialize(const Fsa& fsa,
+                       const std::vector<std::optional<std::string>>& fixed);
+
+}  // namespace strdb
+
+#endif  // STRDB_FSA_SPECIALIZE_H_

@@ -1,0 +1,174 @@
+#include "fsa/to_formula.h"
+
+#include <map>
+#include <optional>
+
+#include "fsa/normalize.h"
+
+namespace strdb {
+
+namespace {
+
+// A formula together with its cached node count (state elimination can
+// blow up; Size() itself is linear, so we track sizes incrementally).
+struct Elem {
+  StringFormula formula = StringFormula::Lambda();
+  int64_t size = 1;
+};
+
+using Entry = std::optional<Elem>;  // nullopt = no path (∅)
+
+Entry UnionE(const Entry& a, const Entry& b) {
+  if (!a.has_value()) return b;
+  if (!b.has_value()) return a;
+  return Elem{StringFormula::Union(a->formula, b->formula),
+              a->size + b->size + 1};
+}
+
+Entry CatE(const Entry& a, const Entry& b) {
+  if (!a.has_value() || !b.has_value()) return std::nullopt;
+  return Elem{StringFormula::Concat(a->formula, b->formula),
+              a->size + b->size + 1};
+}
+
+// E* with ∅* = λ.
+Entry StarE(const Entry& a) {
+  if (!a.has_value()) return Elem{StringFormula::Lambda(), 1};
+  return Elem{StringFormula::Star(a->formula), a->size + 1};
+}
+
+}  // namespace
+
+Result<StringFormula> FsaToStringFormula(const Fsa& fsa,
+                                         const std::vector<std::string>& vars,
+                                         const ToFormulaOptions& options) {
+  if (static_cast<int>(vars.size()) != fsa.num_tapes()) {
+    return Status::InvalidArgument("need one variable per tape");
+  }
+  if (fsa.IsFinal(fsa.start())) {
+    return Status::Unimplemented(
+        "translation of automata whose start state is final");
+  }
+  const StringFormula unsatisfiable = StringFormula::Atomic(
+      Dir::kLeft, {}, WindowFormula::Not(WindowFormula::True()));
+  if (fsa.FinalStates().empty()) return unsatisfiable;
+
+  STRDB_ASSIGN_OR_RETURN(ZonedFsa zoned, NormalizeZones(fsa));
+  const Fsa& a = zoned.fsa;
+  if (a.FinalStates().empty()) return unsatisfiable;
+
+  // Describe one normalised transition as a formula word (paper: the
+  // test [ ]l(⋀ x_i = c'_i), then the forward slides, then the backward
+  // slides).
+  auto transition_formula = [&](const Transition& t) -> StringFormula {
+    WindowFormula test = WindowFormula::True();
+    bool first = true;
+    for (int i = 0; i < a.num_tapes(); ++i) {
+      Sym c = t.read[static_cast<size_t>(i)];
+      WindowFormula atom =
+          IsEndmarker(c)
+              ? WindowFormula::Undef(vars[static_cast<size_t>(i)])
+              : WindowFormula::CharEq(vars[static_cast<size_t>(i)],
+                                      a.alphabet().CharOf(c));
+      test = first ? atom : WindowFormula::And(std::move(test), std::move(atom));
+      first = false;
+    }
+    std::vector<StringFormula> parts;
+    parts.push_back(StringFormula::Atomic(Dir::kLeft, {}, std::move(test)));
+    std::vector<std::string> fwd;
+    std::vector<std::string> back;
+    for (int i = 0; i < a.num_tapes(); ++i) {
+      if (t.move[static_cast<size_t>(i)] == kFwd) {
+        fwd.push_back(vars[static_cast<size_t>(i)]);
+      } else if (t.move[static_cast<size_t>(i)] == kBack) {
+        back.push_back(vars[static_cast<size_t>(i)]);
+      }
+    }
+    if (!fwd.empty()) {
+      parts.push_back(StringFormula::Atomic(Dir::kLeft, std::move(fwd),
+                                            WindowFormula::True()));
+    }
+    if (!back.empty()) {
+      parts.push_back(StringFormula::Atomic(Dir::kRight, std::move(back),
+                                            WindowFormula::True()));
+    }
+    return StringFormula::ConcatAll(std::move(parts));
+  };
+
+  // Node set: the normalised states plus a fresh final sink F that all
+  // final states are merged into (they have no outgoing transitions).
+  const int n = a.num_states();
+  const int sink = n;
+  const int start = a.start();
+  std::vector<std::vector<Entry>> e(
+      static_cast<size_t>(n + 1),
+      std::vector<Entry>(static_cast<size_t>(n + 1), std::nullopt));
+  int64_t total_size = 0;
+  for (const Transition& t : a.transitions()) {
+    int to = a.IsFinal(t.to) ? sink : t.to;
+    StringFormula f = transition_formula(t);
+    int64_t size = f.Size();
+    total_size += size;
+    e[static_cast<size_t>(t.from)][static_cast<size_t>(to)] = UnionE(
+        e[static_cast<size_t>(t.from)][static_cast<size_t>(to)],
+        Elem{std::move(f), size});
+  }
+
+  // Eliminate every node except start and sink, cheapest (in-degree ×
+  // out-degree) first.
+  std::vector<bool> alive(static_cast<size_t>(n + 1), true);
+  auto degree_cost = [&](int q) {
+    int64_t in = 0, out = 0;
+    for (int i = 0; i <= n; ++i) {
+      if (!alive[static_cast<size_t>(i)] || i == q) continue;
+      if (e[static_cast<size_t>(i)][static_cast<size_t>(q)]) ++in;
+      if (e[static_cast<size_t>(q)][static_cast<size_t>(i)]) ++out;
+    }
+    return in * out;
+  };
+  for (int round = 0; round < n - 1; ++round) {
+    int q = -1;
+    int64_t best = -1;
+    for (int cand = 0; cand < n; ++cand) {
+      if (!alive[static_cast<size_t>(cand)] || cand == start) continue;
+      int64_t cost = degree_cost(cand);
+      if (q < 0 || cost < best) {
+        q = cand;
+        best = cost;
+      }
+    }
+    if (q < 0) break;
+    alive[static_cast<size_t>(q)] = false;
+    Entry loop = StarE(e[static_cast<size_t>(q)][static_cast<size_t>(q)]);
+    for (int i = 0; i <= n; ++i) {
+      if (!alive[static_cast<size_t>(i)]) continue;
+      const Entry& in = e[static_cast<size_t>(i)][static_cast<size_t>(q)];
+      if (!in.has_value()) continue;
+      for (int j = 0; j <= n; ++j) {
+        if (!alive[static_cast<size_t>(j)]) continue;
+        const Entry& out = e[static_cast<size_t>(q)][static_cast<size_t>(j)];
+        if (!out.has_value()) continue;
+        Entry path = CatE(CatE(in, loop), out);
+        Entry& cell = e[static_cast<size_t>(i)][static_cast<size_t>(j)];
+        total_size += path->size;
+        cell = UnionE(cell, path);
+        if (total_size > options.max_formula_size) {
+          return Status::ResourceExhausted(
+              "state elimination exceeded max_formula_size");
+        }
+      }
+    }
+    for (int i = 0; i <= n; ++i) {
+      e[static_cast<size_t>(q)][static_cast<size_t>(i)] = std::nullopt;
+      e[static_cast<size_t>(i)][static_cast<size_t>(q)] = std::nullopt;
+    }
+  }
+
+  Entry self = e[static_cast<size_t>(start)][static_cast<size_t>(start)];
+  Entry to_sink = e[static_cast<size_t>(start)][static_cast<size_t>(sink)];
+  if (!to_sink.has_value()) return unsatisfiable;
+  if (self.has_value()) to_sink = CatE(StarE(self), to_sink);
+  return to_sink->formula;
+}
+
+}  // namespace strdb

@@ -1,0 +1,44 @@
+#ifndef STRDB_FSA_TO_FORMULA_H_
+#define STRDB_FSA_TO_FORMULA_H_
+
+#include <string>
+#include <vector>
+
+#include "core/result.h"
+#include "fsa/fsa.h"
+#include "strform/string_formula.h"
+
+namespace strdb {
+
+struct ToFormulaOptions {
+  // Abort with kResourceExhausted once the accumulated formula exceeds
+  // this many AST nodes — state elimination is worst-case exponential in
+  // the number of states.
+  int64_t max_formula_size = 5'000'000;
+};
+
+// Theorem 3.2: builds a string formula φ_A on variables vars (one per
+// tape, |vars| = k) with ⟦φ_A⟧ = L(A), and with vars[i] bidirectional
+// only if tape i is.  The construction:
+//
+//  1. normalises the automaton with endmarker advice (NormalizeZones),
+//     which string formulae need because "x = ε" cannot tell ⊢ from ⊣;
+//  2. merges the final states into a single fresh sink;
+//  3. describes each transition t by the formula word
+//     [ ]l(⋀ x_i = c'_i) · τ_l⊤ · τ_r⊤ (test, then slide the moved
+//     variables); and
+//  4. eliminates states with the E_ijk recurrence of [Sippu &
+//     Soisalon-Soininen, Thm 3.17], simplifying away unsatisfiable
+//     branches.
+//
+// Requires final states without outgoing transitions and a non-final
+// start state (automata from CompileStringFormula qualify; for a start
+// state that is final — an automaton accepting by the empty computation
+// — the translation is not defined here and kUnimplemented is returned).
+Result<StringFormula> FsaToStringFormula(const Fsa& fsa,
+                                         const std::vector<std::string>& vars,
+                                         const ToFormulaOptions& options = {});
+
+}  // namespace strdb
+
+#endif  // STRDB_FSA_TO_FORMULA_H_

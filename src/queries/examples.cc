@@ -1,0 +1,260 @@
+#include "queries/examples.h"
+
+#include "fsa/accept.h"
+#include "fsa/compile.h"
+
+namespace strdb {
+
+namespace {
+
+// [vars]l(window) as a one-step StringFormula.
+StringFormula L(std::vector<std::string> vars, WindowFormula window) {
+  return StringFormula::Atomic(Dir::kLeft, std::move(vars),
+                               std::move(window));
+}
+
+StringFormula R(std::vector<std::string> vars, WindowFormula window) {
+  return StringFormula::Atomic(Dir::kRight, std::move(vars),
+                               std::move(window));
+}
+
+}  // namespace
+
+Result<StringFormula> SpellsConstant(const std::string& var,
+                                     const std::string& word,
+                                     const Alphabet& alphabet) {
+  if (!alphabet.Contains(word)) {
+    return Status::InvalidArgument("constant leaves the alphabet");
+  }
+  std::vector<StringFormula> steps;
+  for (char c : word) {
+    steps.push_back(L({var}, WindowFormula::CharEq(var, c)));
+  }
+  steps.push_back(L({var}, WindowFormula::Undef(var)));
+  return StringFormula::ConcatAll(std::move(steps));
+}
+
+StringFormula StringEqualityFormula(const std::string& x,
+                                    const std::string& y) {
+  // ([x,y]l x=y)* . [x,y]l(x = y = ε).
+  return StringFormula::Concat(
+      StringFormula::Star(L({x, y}, WindowFormula::VarEq(x, y))),
+      L({x, y}, WindowFormula::And(WindowFormula::VarEq(x, y),
+                                   WindowFormula::Undef(y))));
+}
+
+StringFormula ConcatenationFormula(const std::string& x, const std::string& y,
+                                   const std::string& z) {
+  // ([x,y]l x=y)* . ([x,z]l x=z)* . [x,y,z]l(x = y = z = ε).
+  return StringFormula::ConcatAll(
+      {StringFormula::Star(L({x, y}, WindowFormula::VarEq(x, y))),
+       StringFormula::Star(L({x, z}, WindowFormula::VarEq(x, z))),
+       L({x, y, z}, WindowFormula::And(WindowFormula::AllEqual({x, y, z}),
+                                       WindowFormula::Undef(z)))});
+}
+
+StringFormula ManifoldFormula(const std::string& x, const std::string& y) {
+  // (([x,y]l x=y)* . [y]l(y=ε) . ([y]r y≠ε)* . [y]r(y=ε))* .
+  // ([x,y]l x=y)* . [x,y]l(x = y = ε).
+  StringFormula round = StringFormula::ConcatAll(
+      {StringFormula::Star(L({x, y}, WindowFormula::VarEq(x, y))),
+       L({y}, WindowFormula::Undef(y)),
+       StringFormula::Star(R({y}, WindowFormula::NotUndef(y))),
+       R({y}, WindowFormula::Undef(y))});
+  return StringFormula::ConcatAll(
+      {StringFormula::Star(std::move(round)),
+       StringFormula::Star(L({x, y}, WindowFormula::VarEq(x, y))),
+       L({x, y}, WindowFormula::And(WindowFormula::VarEq(x, y),
+                                    WindowFormula::Undef(y)))});
+}
+
+StringFormula ShuffleFormula(const std::string& x, const std::string& y,
+                             const std::string& z) {
+  // (([x,y]l x=y) + ([x,z]l x=z))* . [x,y,z]l(x = y = z = ε).
+  return StringFormula::Concat(
+      StringFormula::Star(
+          StringFormula::Union(L({x, y}, WindowFormula::VarEq(x, y)),
+                               L({x, z}, WindowFormula::VarEq(x, z)))),
+      L({x, y, z}, WindowFormula::And(WindowFormula::AllEqual({x, y, z}),
+                                      WindowFormula::Undef(z))));
+}
+
+StringFormula OccursInFormula(const std::string& x, const std::string& y) {
+  // ([y]l ⊤)* . ([x,y]l x=y)* . [x]l(x=ε).
+  return StringFormula::ConcatAll(
+      {StringFormula::Star(L({y}, WindowFormula::True())),
+       StringFormula::Star(L({x, y}, WindowFormula::VarEq(x, y))),
+       L({x}, WindowFormula::Undef(x))});
+}
+
+StringFormula EditDistanceAtMostFormula(const std::string& x,
+                                        const std::string& y, int k) {
+  // ([x,y]l x=y)* . (([x,y]l ⊤ + [x]l ⊤ + [y]l ⊤) . ([x,y]l x=y)*)^k .
+  // [x,y]l(x = y = ε).
+  StringFormula match = StringFormula::Star(L({x, y},
+                                              WindowFormula::VarEq(x, y)));
+  StringFormula edit = StringFormula::UnionAll(
+      {L({x, y}, WindowFormula::True()), L({x}, WindowFormula::True()),
+       L({y}, WindowFormula::True())});
+  StringFormula block =
+      StringFormula::Concat(std::move(edit), match);
+  return StringFormula::ConcatAll(
+      {match, StringFormula::Power(std::move(block), k),
+       L({x, y}, WindowFormula::And(WindowFormula::VarEq(x, y),
+                                    WindowFormula::Undef(y)))});
+}
+
+StringFormula EditDistanceCounterFormula(const std::string& x,
+                                         const std::string& y,
+                                         const std::string& z, char mark) {
+  // ([x,y]l x=y)* .
+  // (([x,y,z]l z=mark + [x,z]l z=mark + [y,z]l z=mark) . ([x,y]l x=y)*)* .
+  // [x,y,z]l(x = y = z = ε).
+  StringFormula match = StringFormula::Star(L({x, y},
+                                              WindowFormula::VarEq(x, y)));
+  StringFormula edit = StringFormula::UnionAll(
+      {L({x, y, z}, WindowFormula::CharEq(z, mark)),
+       L({x, z}, WindowFormula::CharEq(z, mark)),
+       L({y, z}, WindowFormula::CharEq(z, mark))});
+  StringFormula block = StringFormula::Concat(std::move(edit), match);
+  return StringFormula::ConcatAll(
+      {match, StringFormula::Star(std::move(block)),
+       L({x, y, z}, WindowFormula::And(WindowFormula::AllEqual({x, y, z}),
+                                       WindowFormula::Undef(z)))});
+}
+
+Result<int> EditDistanceViaAlignment(const std::string& x,
+                                     const std::string& y,
+                                     const Alphabet& alphabet, int cap) {
+  const char mark = alphabet.CharOf(0);
+  StringFormula counter = EditDistanceCounterFormula("u", "v", "w", mark);
+  STRDB_ASSIGN_OR_RETURN(
+      Fsa fsa, CompileStringFormula(counter, alphabet, {"u", "v", "w"}));
+  std::string z;
+  for (int j = 0; j <= cap; ++j) {
+    STRDB_ASSIGN_OR_RETURN(bool within, Accepts(fsa, {x, y, z}));
+    if (within) return j;
+    z += mark;
+  }
+  return Status::NotFound("edit distance exceeds the probe cap " +
+                          std::to_string(cap));
+}
+
+Result<CalcFormula> AXbXaQuery(const std::string& x, const std::string& y,
+                               const std::string& z,
+                               const Alphabet& alphabet) {
+  if (alphabet.size() < 2) {
+    return Status::InvalidArgument("need at least characters a and b");
+  }
+  const char a = alphabet.CharOf(0);
+  const char b = alphabet.CharOf(1);
+  // [x]l(x=a) . ([x,y]l x=y)* . [x,y]l(x=b ∧ y=ε) .
+  // ([x,z]l x=z)* . [x,z]l(x=a ∧ z=ε) . [x]l(x=ε).
+  StringFormula shape = StringFormula::ConcatAll(
+      {L({x}, WindowFormula::CharEq(x, a)),
+       StringFormula::Star(L({x, y}, WindowFormula::VarEq(x, y))),
+       L({x, y}, WindowFormula::And(WindowFormula::CharEq(x, b),
+                                    WindowFormula::Undef(y))),
+       StringFormula::Star(L({x, z}, WindowFormula::VarEq(x, z))),
+       L({x, z}, WindowFormula::And(WindowFormula::CharEq(x, a),
+                                    WindowFormula::Undef(z))),
+       L({x}, WindowFormula::Undef(x))});
+  return CalcFormula::Exists(
+      {y, z},
+      CalcFormula::And(CalcFormula::Str(StringEqualityFormula(y, z)),
+                       CalcFormula::Str(std::move(shape))));
+}
+
+Result<CalcFormula> EqualAsAndBsQuery(const std::string& x,
+                                      const std::string& y,
+                                      const std::string& z,
+                                      const Alphabet& alphabet) {
+  if (alphabet.size() < 2) {
+    return Status::InvalidArgument("need at least characters a and b");
+  }
+  const char a = alphabet.CharOf(0);
+  const char b = alphabet.CharOf(1);
+  // (([x,y]l(x=a ∧ y≠ε)) + ([x,z]l(x=b ∧ z≠ε)))* . [x,y,z]l(x=y=z=ε)
+  StringFormula count = StringFormula::Concat(
+      StringFormula::Star(StringFormula::Union(
+          L({x, y}, WindowFormula::And(WindowFormula::CharEq(x, a),
+                                       WindowFormula::NotUndef(y))),
+          L({x, z}, WindowFormula::And(WindowFormula::CharEq(x, b),
+                                       WindowFormula::NotUndef(z))))),
+      L({x, y, z}, WindowFormula::And(WindowFormula::AllEqual({x, y, z}),
+                                      WindowFormula::Undef(z))));
+  // ([y,z]l(y≠ε ∧ z≠ε))* . [y,z]l(y = z = ε): equal lengths.
+  StringFormula equal_len = StringFormula::Concat(
+      StringFormula::Star(
+          L({y, z}, WindowFormula::And(WindowFormula::NotUndef(y),
+                                       WindowFormula::NotUndef(z)))),
+      L({y, z}, WindowFormula::And(WindowFormula::VarEq(y, z),
+                                   WindowFormula::Undef(z))));
+  return CalcFormula::Exists(
+      {y, z}, CalcFormula::And(CalcFormula::Str(std::move(count)),
+                               CalcFormula::Str(std::move(equal_len))));
+}
+
+Result<CalcFormula> AnBnCnQuery(const std::string& x, const std::string& y,
+                                const Alphabet& alphabet) {
+  if (alphabet.size() < 3) {
+    return Status::InvalidArgument("need at least characters a, b, c");
+  }
+  const char a = alphabet.CharOf(0);
+  const char b = alphabet.CharOf(1);
+  const char c = alphabet.CharOf(2);
+  // ([x,y]l(x=a ∧ y≠ε))* . [y]l(y=ε) .
+  // ([x]l ⊤ . [y]r(x=b ∧ y≠ε))* . [y]r(y=ε) .
+  // ([x,y]l(x=c ∧ y≠ε))* . [x,y]l(x = y = ε).
+  StringFormula body = StringFormula::ConcatAll(
+      {StringFormula::Star(
+           L({x, y}, WindowFormula::And(WindowFormula::CharEq(x, a),
+                                        WindowFormula::NotUndef(y)))),
+       L({y}, WindowFormula::Undef(y)),
+       StringFormula::Star(StringFormula::Concat(
+           L({x}, WindowFormula::True()),
+           R({y}, WindowFormula::And(WindowFormula::CharEq(x, b),
+                                     WindowFormula::NotUndef(y))))),
+       R({y}, WindowFormula::Undef(y)),
+       StringFormula::Star(
+           L({x, y}, WindowFormula::And(WindowFormula::CharEq(x, c),
+                                        WindowFormula::NotUndef(y)))),
+       L({x, y}, WindowFormula::And(WindowFormula::VarEq(x, y),
+                                    WindowFormula::Undef(y)))});
+  return CalcFormula::Exists({y}, CalcFormula::Str(std::move(body)));
+}
+
+Result<CalcFormula> TranslationHalvesQuery(const std::string& x,
+                                           const std::string& y,
+                                           const std::string& z,
+                                           const Alphabet& alphabet) {
+  if (alphabet.size() < 2) {
+    return Status::InvalidArgument("need at least characters a and b");
+  }
+  const char a = alphabet.CharOf(0);
+  const char b = alphabet.CharOf(1);
+  // ([x,y]l x=y)* . [y]l(y=ε) . ([x,z]l x=z)* . [z]l(z=ε) — plus the
+  // x-exhaustion check the paper's text omits.
+  StringFormula split = StringFormula::ConcatAll(
+      {StringFormula::Star(L({x, y}, WindowFormula::VarEq(x, y))),
+       L({y}, WindowFormula::Undef(y)),
+       StringFormula::Star(L({x, z}, WindowFormula::VarEq(x, z))),
+       L({x, z}, WindowFormula::And(WindowFormula::Undef(x),
+                                    WindowFormula::Undef(z)))});
+  // ([y,z]l((y=a ∧ z=b) ∨ (y=b ∧ z=a)))* . [y,z]l(y = z = ε).
+  StringFormula translated = StringFormula::Concat(
+      StringFormula::Star(L(
+          {y, z},
+          WindowFormula::Or(
+              WindowFormula::And(WindowFormula::CharEq(y, a),
+                                 WindowFormula::CharEq(z, b)),
+              WindowFormula::And(WindowFormula::CharEq(y, b),
+                                 WindowFormula::CharEq(z, a))))),
+      L({y, z}, WindowFormula::And(WindowFormula::VarEq(y, z),
+                                   WindowFormula::Undef(z))));
+  return CalcFormula::Exists(
+      {y, z}, CalcFormula::And(CalcFormula::Str(std::move(split)),
+                               CalcFormula::Str(std::move(translated))));
+}
+
+}  // namespace strdb

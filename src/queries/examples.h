@@ -1,0 +1,90 @@
+#ifndef STRDB_QUERIES_EXAMPLES_H_
+#define STRDB_QUERIES_EXAMPLES_H_
+
+#include <string>
+
+#include "calculus/formula.h"
+#include "core/alphabet.h"
+#include "core/result.h"
+#include "strform/string_formula.h"
+
+namespace strdb {
+
+// Builders for the twelve example queries of §2, written exactly as the
+// paper gives them (variable names are parameters so the formulae can be
+// embedded in larger queries without clashes).
+
+// Example 1 (constant test): `var` spells out `word` and nothing more.
+Result<StringFormula> SpellsConstant(const std::string& var,
+                                     const std::string& word,
+                                     const Alphabet& alphabet);
+
+// Example 2: x =s y (string equality).
+StringFormula StringEqualityFormula(const std::string& x,
+                                    const std::string& y);
+
+// Example 3: x is the concatenation y·z.
+StringFormula ConcatenationFormula(const std::string& x, const std::string& y,
+                                   const std::string& z);
+
+// Example 4: x ∈*s y (x is a manifold of y: x = y^m, m >= 1, or both ε).
+StringFormula ManifoldFormula(const std::string& x, const std::string& y);
+
+// Example 5: x is a shuffle of y and z.
+StringFormula ShuffleFormula(const std::string& x, const std::string& y,
+                             const std::string& z);
+
+// Example 7: x occurs in y as a contiguous substring.
+StringFormula OccursInFormula(const std::string& x, const std::string& y);
+
+// Example 8: the edit distance between x and y is at most k.
+StringFormula EditDistanceAtMostFormula(const std::string& x,
+                                        const std::string& y, int k);
+
+// Example 8, second variant: lists (x, y, z) where z = a^j witnesses at
+// most j edit operations (the "strings as counters" device; `mark` is
+// the character written on z per edit).
+StringFormula EditDistanceCounterFormula(const std::string& x,
+                                         const std::string& y,
+                                         const std::string& z, char mark);
+
+// The counter device turned into a measurement: the smallest j with
+// (x, y, mark^j) in the Example-8-variant relation *is* the edit
+// distance, computed here by probing the compiled automaton with
+// growing counters.  `cap` bounds the search; kNotFound when the
+// distance exceeds it.
+Result<int> EditDistanceViaAlignment(const std::string& x,
+                                     const std::string& y,
+                                     const Alphabet& alphabet, int cap);
+
+// Example 9: x is of the form aXbXa — built as ∃y,z: y =s z ∧ shape,
+// with the shape spelling x = a·y·b·z·a.  Characters a and b are the
+// first two of the alphabet.
+Result<CalcFormula> AXbXaQuery(const std::string& x, const std::string& y,
+                               const std::string& z,
+                               const Alphabet& alphabet);
+
+// Example 10: x has equally many a's and b's and nothing else
+// (∃ counter strings y, z of equal length).
+Result<CalcFormula> EqualAsAndBsQuery(const std::string& x,
+                                      const std::string& y,
+                                      const std::string& z,
+                                      const Alphabet& alphabet);
+
+// Example 11: x ∈ {aⁿbⁿcⁿ} (∃ counter string y; the alphabet must
+// contain at least a, b, c as its first three characters).
+Result<CalcFormula> AnBnCnQuery(const std::string& x, const std::string& y,
+                                const Alphabet& alphabet);
+
+// Example 12: x ∈ (a+b)* and its second half is the a↔b translation of
+// the first (∃ halves y, z).  Note: the paper's printed formula does not
+// re-check that x is exhausted after the two halves; we add the check
+// (without it any extension of such a string would qualify).
+Result<CalcFormula> TranslationHalvesQuery(const std::string& x,
+                                           const std::string& y,
+                                           const std::string& z,
+                                           const Alphabet& alphabet);
+
+}  // namespace strdb
+
+#endif  // STRDB_QUERIES_EXAMPLES_H_

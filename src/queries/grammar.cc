@@ -1,0 +1,259 @@
+#include "queries/grammar.h"
+
+#include <set>
+
+namespace strdb {
+
+namespace {
+
+StringFormula L(std::vector<std::string> vars, WindowFormula window) {
+  return StringFormula::Atomic(Dir::kLeft, std::move(vars),
+                               std::move(window));
+}
+
+StringFormula R(std::vector<std::string> vars, WindowFormula window) {
+  return StringFormula::Atomic(Dir::kRight, std::move(vars),
+                               std::move(window));
+}
+
+Status ValidateGrammar(const Grammar& grammar, char separator,
+                       const Alphabet& alphabet) {
+  auto check_char = [&](char c) -> Status {
+    if (!alphabet.Contains(std::string(1, c))) {
+      return Status::InvalidArgument(std::string("grammar symbol '") + c +
+                                     "' not in the alphabet");
+    }
+    if (c == separator) {
+      return Status::InvalidArgument(
+          "the separator may not occur as a grammar symbol");
+    }
+    return Status::OK();
+  };
+  STRDB_RETURN_IF_ERROR(check_char(grammar.start_symbol));
+  for (const GrammarRule& rule : grammar.rules) {
+    if (rule.lhs.empty()) {
+      return Status::InvalidArgument("grammar rules need a nonempty lhs");
+    }
+    for (char c : rule.lhs) STRDB_RETURN_IF_ERROR(check_char(c));
+    for (char c : rule.rhs) STRDB_RETURN_IF_ERROR(check_char(c));
+  }
+  if (!alphabet.Contains(std::string(1, separator))) {
+    return Status::InvalidArgument("separator not in the alphabet");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+namespace {
+
+struct GrammarPieces {
+  StringFormula phi1;    // structure: x2 = x3 = u > ... > S with u = x1
+  StringFormula rewind;  // reset x2, x3 (bidirectional)
+  StringFormula phi2;    // pairwise derivation steps (does not use x1)
+};
+
+}  // namespace
+
+static GrammarPieces BuildGrammarPieces(const Grammar& grammar,
+                                        char separator,
+                                        const std::string& x1,
+                                        const std::string& x2,
+                                        const std::string& x3);
+
+Result<StringFormula> GrammarDerivationFormula(const Grammar& grammar,
+                                               char separator,
+                                               const std::string& x1,
+                                               const std::string& x2,
+                                               const std::string& x3,
+                                               const Alphabet& alphabet) {
+  STRDB_RETURN_IF_ERROR(ValidateGrammar(grammar, separator, alphabet));
+  GrammarPieces pieces = BuildGrammarPieces(grammar, separator, x1, x2, x3);
+  return StringFormula::ConcatAll({std::move(pieces.phi1),
+                                   std::move(pieces.rewind),
+                                   std::move(pieces.phi2)});
+}
+
+static GrammarPieces BuildGrammarPieces(const Grammar& grammar,
+                                        char separator,
+                                        const std::string& x1,
+                                        const std::string& x2,
+                                        const std::string& x3) {
+
+  // --- φ(1): x2 = x3 = v1 > v2 > ... > vn with v1 = u (= x1), vn = S.
+  StringFormula common_u = StringFormula::Star(
+      L({x1, x2, x3},
+        WindowFormula::And(
+            WindowFormula::And(WindowFormula::AllEqual({x1, x2, x3}),
+                               WindowFormula::NotUndef(x1)),
+            WindowFormula::NotCharEq(x1, separator))));
+  StringFormula u_done = L(
+      {x1, x2, x3},
+      WindowFormula::And(
+          WindowFormula::And(WindowFormula::Undef(x1),
+                             WindowFormula::CharEq(x2, separator)),
+          WindowFormula::CharEq(x3, separator)));
+  StringFormula mid_step =
+      L({x2, x3}, WindowFormula::And(WindowFormula::VarEq(x2, x3),
+                                     WindowFormula::NotUndef(x2)));
+  // Either S follows u's separator directly (n = 2) or the middle
+  // segments run until the final separator before S.
+  StringFormula middle = StringFormula::Union(
+      StringFormula::Lambda(),
+      StringFormula::Concat(
+          StringFormula::Star(mid_step),
+          L({x2, x3},
+            WindowFormula::And(WindowFormula::CharEq(x2, separator),
+                               WindowFormula::CharEq(x3, separator)))));
+  StringFormula s_segment = StringFormula::Concat(
+      L({x2, x3},
+        WindowFormula::And(WindowFormula::CharEq(x2, grammar.start_symbol),
+                           WindowFormula::CharEq(x3, grammar.start_symbol))),
+      L({x2, x3}, WindowFormula::And(WindowFormula::VarEq(x2, x3),
+                                     WindowFormula::Undef(x3))));
+  StringFormula phi1 = StringFormula::ConcatAll(
+      {std::move(common_u), std::move(u_done), std::move(middle),
+       std::move(s_segment)});
+
+  // --- (C): rewind x2 and x3 to the initial alignment.
+  StringFormula rewind = StringFormula::Concat(
+      StringFormula::Star(
+          R({x2, x3}, WindowFormula::And(WindowFormula::VarEq(x2, x3),
+                                         WindowFormula::NotUndef(x2)))),
+      R({x2, x3}, WindowFormula::And(WindowFormula::VarEq(x2, x3),
+                                     WindowFormula::Undef(x3))));
+
+  // --- φ(2): with x2 a segment ahead of x3, every adjacent pair
+  // satisfies v_{i+1} ⇒_G v_i via some rule application.
+  // χ_r: x2 spells the lhs while x3 spells the rhs.
+  std::vector<StringFormula> rule_formulas;
+  for (const GrammarRule& rule : grammar.rules) {
+    std::vector<StringFormula> steps;
+    for (char c : rule.lhs) {
+      steps.push_back(L({x2}, WindowFormula::CharEq(x2, c)));
+    }
+    for (char c : rule.rhs) {
+      steps.push_back(L({x3}, WindowFormula::CharEq(x3, c)));
+    }
+    rule_formulas.push_back(StringFormula::ConcatAll(std::move(steps)));
+  }
+  StringFormula chi_rules = StringFormula::UnionAll(std::move(rule_formulas));
+  auto in_segment_eq = [&]() {
+    return L({x2, x3},
+             WindowFormula::And(
+                 WindowFormula::And(WindowFormula::VarEq(x2, x3),
+                                    WindowFormula::NotUndef(x2)),
+                 WindowFormula::NotCharEq(x2, separator)));
+  };
+  StringFormula chi_g = StringFormula::ConcatAll(
+      {StringFormula::Star(in_segment_eq()), std::move(chi_rules),
+       StringFormula::Star(in_segment_eq())});
+
+  StringFormula skip_first = StringFormula::Concat(
+      StringFormula::Star(
+          L({x2}, WindowFormula::And(WindowFormula::NotUndef(x2),
+                                     WindowFormula::NotCharEq(x2, separator)))),
+      L({x2}, WindowFormula::CharEq(x2, separator)));
+  StringFormula both_sep = L(
+      {x2, x3}, WindowFormula::And(WindowFormula::CharEq(x2, separator),
+                                   WindowFormula::CharEq(x3, separator)));
+  StringFormula last_pair = L(
+      {x2, x3}, WindowFormula::And(WindowFormula::Undef(x2),
+                                   WindowFormula::CharEq(x3, separator)));
+  StringFormula phi2 = StringFormula::ConcatAll(
+      {std::move(skip_first),
+       StringFormula::Star(StringFormula::Concat(chi_g, std::move(both_sep))),
+       chi_g, std::move(last_pair)});
+
+  return GrammarPieces{std::move(phi1), std::move(rewind), std::move(phi2)};
+}
+
+Result<CalcFormula> GrammarLanguageQuery(const Grammar& grammar,
+                                         char separator,
+                                         const std::string& x1,
+                                         const Alphabet& alphabet) {
+  const std::string x2 = x1 + "_d2";
+  const std::string x3 = x1 + "_d3";
+  STRDB_ASSIGN_OR_RETURN(
+      StringFormula phi,
+      GrammarDerivationFormula(grammar, separator, x1, x2, x3, alphabet));
+  return CalcFormula::Exists({x2, x3}, CalcFormula::Str(std::move(phi)));
+}
+
+Result<CalcFormula> GrammarLanguageQueryConjunctive(
+    const Grammar& grammar, char separator, const std::string& x1,
+    const Alphabet& alphabet) {
+  STRDB_RETURN_IF_ERROR(ValidateGrammar(grammar, separator, alphabet));
+  const std::string x2 = x1 + "_d2";
+  const std::string x3 = x1 + "_d3";
+  GrammarPieces pieces = BuildGrammarPieces(grammar, separator, x1, x2, x3);
+  // Both conjuncts are unidirectional (the rewind piece is discarded);
+  // the ∧ evaluates each from the initial alignment.
+  CalcFormula body =
+      CalcFormula::And(CalcFormula::Str(std::move(pieces.phi1)),
+                       CalcFormula::Str(std::move(pieces.phi2)));
+  return CalcFormula::Exists({x2, x3}, std::move(body));
+}
+
+Grammar TuringToBackwardGrammar(const TuringMachine& machine,
+                                char grammar_start, char left_marker,
+                                char visit_marker, char sweeper,
+                                char snippet) {
+  Grammar g;
+  g.start_symbol = grammar_start;
+  const char kSnippet = snippet;  // tape-snippet generator nonterminal
+
+  // Initial rules: S → ⊦ T q T ⊨ for each seed state, with T deriving
+  // arbitrary visited-tape snippets.
+  for (char q : machine.states) {
+    g.rules.push_back(
+        {std::string(1, grammar_start),
+         std::string(1, left_marker) + kSnippet + q + kSnippet +
+             visit_marker});
+  }
+  for (char a : machine.tape_alphabet) {
+    g.rules.push_back({std::string(1, kSnippet), std::string(1, a) + kSnippet});
+  }
+  g.rules.push_back({std::string(1, kSnippet), ""});
+
+  // Final rules: accept when the start state sits at the left end of the
+  // tape holding the input string.
+  g.rules.push_back(
+      {std::string(1, left_marker) + machine.start_state,
+       std::string(1, sweeper)});
+  for (char a : machine.input_alphabet) {
+    g.rules.push_back({std::string(1, sweeper) + a,
+                       std::string(1, a) + sweeper});
+  }
+  g.rules.push_back({std::string(1, sweeper) + visit_marker, ""});
+
+  // Backward-simulation rules (state written left of the scanned cell).
+  for (const TuringMachine::Rule& r : machine.rules) {
+    if (r.move_right) {
+      // q X ⊢ Y p  (head right): backward  Y p → q X.
+      g.rules.push_back({std::string(1, r.write) + r.next_state,
+                         std::string(1, r.state) + r.read});
+      if (r.read == machine.blank) {
+        // Frontier: q ⊨ ⊢ Y p ⊨ : backward  Y p ⊨ → q ⊨.
+        g.rules.push_back(
+            {std::string(1, r.write) + r.next_state + visit_marker,
+             std::string(1, r.state) + visit_marker});
+      }
+    } else {
+      // Z q X ⊢ p Z Y  (head left): backward  p Z Y → Z q X, ∀Z.
+      for (char z : machine.tape_alphabet) {
+        g.rules.push_back(
+            {std::string(1, r.next_state) + z + r.write,
+             std::string(1, z) + r.state + r.read});
+        if (r.read == machine.blank) {
+          g.rules.push_back(
+              {std::string(1, r.next_state) + z + r.write + visit_marker,
+               std::string(1, z) + r.state + visit_marker});
+        }
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace strdb

@@ -1,0 +1,153 @@
+#include "queries/lba.h"
+
+#include <algorithm>
+#include <set>
+
+namespace strdb {
+
+namespace {
+
+StringFormula L(std::vector<std::string> vars, WindowFormula window) {
+  return StringFormula::Atomic(Dir::kLeft, std::move(vars),
+                               std::move(window));
+}
+
+StringFormula R(std::vector<std::string> vars, WindowFormula window) {
+  return StringFormula::Atomic(Dir::kRight, std::move(vars),
+                               std::move(window));
+}
+
+}  // namespace
+
+Result<StringFormula> LbaAcceptanceFormula(const Lba& machine,
+                                           const std::string& input,
+                                           const std::string& var,
+                                           char left_marker,
+                                           char right_marker,
+                                           const Alphabet& alphabet) {
+  // Validation: all characters distinct and inside the alphabet.
+  std::set<char> seen;
+  auto check = [&](char c, const char* what) -> Status {
+    if (!alphabet.Contains(std::string(1, c))) {
+      return Status::InvalidArgument(std::string(what) + " '" + c +
+                                     "' not in the alphabet");
+    }
+    return Status::OK();
+  };
+  STRDB_RETURN_IF_ERROR(check(left_marker, "marker"));
+  STRDB_RETURN_IF_ERROR(check(right_marker, "marker"));
+  for (char q : machine.states) {
+    STRDB_RETURN_IF_ERROR(check(q, "state"));
+    if (!seen.insert(q).second) {
+      return Status::InvalidArgument("duplicate state character");
+    }
+  }
+  for (char a : machine.tape_alphabet) {
+    STRDB_RETURN_IF_ERROR(check(a, "tape symbol"));
+    if (seen.count(a) > 0) {
+      return Status::InvalidArgument(
+          "tape symbols and states must be distinct");
+    }
+  }
+  for (char c : input) {
+    if (std::find(machine.tape_alphabet.begin(), machine.tape_alphabet.end(),
+                  c) == machine.tape_alphabet.end()) {
+      return Status::InvalidArgument("input leaves the tape alphabet");
+    }
+  }
+  if (input.empty()) {
+    return Status::InvalidArgument("LBA inputs must be nonempty");
+  }
+
+  const int n = static_cast<int>(input.size());
+  const int config_len = n + 3;  // ⊦ + state + n cells + ⊨
+
+  // ψ(a, b): window holds a, the same column of the next configuration
+  // holds b, and the window ends one right of a (the paper's device).
+  auto psi = [&](char a, char b) {
+    std::vector<StringFormula> parts;
+    parts.push_back(L({}, WindowFormula::CharEq(var, a)));
+    parts.push_back(StringFormula::Power(
+        L({var}, WindowFormula::NotUndef(var)), config_len - 1));
+    parts.push_back(L({var}, WindowFormula::CharEq(var, b)));
+    parts.push_back(StringFormula::Power(
+        R({var}, WindowFormula::True()), config_len - 1));
+    return StringFormula::ConcatAll(std::move(parts));
+  };
+
+  // χ'': any character copied unchanged into the next configuration.
+  std::vector<StringFormula> copies;
+  std::vector<char> all_chars;
+  for (char q : machine.states) all_chars.push_back(q);
+  for (char a : machine.tape_alphabet) all_chars.push_back(a);
+  for (char c : all_chars) copies.push_back(psi(c, c));
+  StringFormula chi_copy = StringFormula::UnionAll(std::move(copies));
+
+  // χ_r per transition rule.
+  std::vector<StringFormula> rule_formulas;
+  for (const Lba::Rule& r : machine.rules) {
+    if (r.move_right) {
+      // q X  ⊢  Y p.
+      rule_formulas.push_back(StringFormula::Concat(
+          psi(r.state, r.write), psi(r.read, r.next_state)));
+    } else {
+      // Z q X  ⊢  p Z Y for every tape symbol Z.
+      for (char z : machine.tape_alphabet) {
+        rule_formulas.push_back(StringFormula::ConcatAll(
+            {psi(z, r.next_state), psi(r.state, z), psi(r.read, r.write)}));
+      }
+    }
+  }
+  if (rule_formulas.empty()) {
+    rule_formulas.push_back(StringFormula::Atomic(
+        Dir::kLeft, {}, WindowFormula::Not(WindowFormula::True())));
+  }
+  StringFormula chi_rules = StringFormula::UnionAll(std::move(rule_formulas));
+
+  // One derivation step: boundary markers copied, exactly one rule
+  // applied somewhere in between, everything else copied.
+  StringFormula step = StringFormula::ConcatAll(
+      {psi(left_marker, left_marker), StringFormula::Star(chi_copy),
+       std::move(chi_rules), StringFormula::Star(chi_copy),
+       psi(right_marker, right_marker)});
+
+  // Initial configuration: ⊦ p0 c1 .. cn ⊨ spelled out.
+  std::vector<StringFormula> head;
+  head.push_back(L({var}, WindowFormula::CharEq(var, left_marker)));
+  head.push_back(L({var}, WindowFormula::CharEq(var, machine.start_state)));
+  for (char c : input) {
+    head.push_back(L({var}, WindowFormula::CharEq(var, c)));
+  }
+  head.push_back(L({var}, WindowFormula::CharEq(var, right_marker)));
+  StringFormula initial = StringFormula::ConcatAll(std::move(head));
+
+  // Rewind to the start of the first configuration before stepping.
+  StringFormula rewind = StringFormula::Concat(
+      StringFormula::Star(R({var}, WindowFormula::NotUndef(var))),
+      R({var}, WindowFormula::Undef(var)));
+
+  // Final configuration: exactly one configuration remains, it contains
+  // the accept state, and the string ends with its ⊨.
+  WindowFormula interior = WindowFormula::And(
+      WindowFormula::And(WindowFormula::NotCharEq(var, left_marker),
+                         WindowFormula::NotCharEq(var, right_marker)),
+      WindowFormula::NotUndef(var));
+  StringFormula last = StringFormula::ConcatAll(
+      {L({}, WindowFormula::CharEq(var, left_marker)),
+       StringFormula::Star(L({var}, interior)),
+       L({var}, WindowFormula::CharEq(var, machine.accept_state)),
+       StringFormula::Star(L({var}, interior)),
+       L({var}, WindowFormula::CharEq(var, right_marker)),
+       L({var}, WindowFormula::Undef(var))});
+
+  // Position the window on the first configuration's ⊦ (the rewind
+  // parked it one column to the left).
+  StringFormula onto_first =
+      L({var}, WindowFormula::CharEq(var, left_marker));
+
+  return StringFormula::ConcatAll(
+      {std::move(initial), std::move(rewind), std::move(onto_first),
+       StringFormula::Star(std::move(step)), std::move(last)});
+}
+
+}  // namespace strdb

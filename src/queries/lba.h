@@ -1,0 +1,54 @@
+#ifndef STRDB_QUERIES_LBA_H_
+#define STRDB_QUERIES_LBA_H_
+
+#include <string>
+#include <vector>
+
+#include "core/alphabet.h"
+#include "core/result.h"
+#include "strform/string_formula.h"
+
+namespace strdb {
+
+// A linear bounded automaton over single-character states and symbols,
+// for the Theorem 6.6 reduction (PSPACE-complete expression
+// complexity).  The head works on the input cells only: rules never
+// scan the endmarkers, and the machine must not move left from cell 1
+// nor right from cell n (such rules are simply inapplicable there).
+struct Lba {
+  char start_state = 'P';
+  char accept_state = 'A';
+  std::vector<char> states;         // includes start and accept
+  std::vector<char> tape_alphabet;  // working symbols (input ⊆ tape)
+  struct Rule {
+    char state = 0;
+    char read = 0;
+    char next_state = 0;
+    char write = 0;
+    bool move_right = true;
+  };
+  std::vector<Rule> rules;
+};
+
+// Theorem 6.6: builds the right-restricted string formula φ on the one
+// variable `var` that is satisfiable iff `machine` accepts `input`
+// (i.e. reaches its accept state).  The witness value of `var` encodes
+// an accepting computation as a concatenation of configurations
+//   ⊦ w1 .. w_{i-1} q w_i .. w_n ⊨           (state before scanned cell)
+// each of length |input|+3, checked pairwise column by column with the
+// slide-ahead/slide-back device ψ(n,a,b) of the paper's proof.  Formula
+// size is O(|input| · |rules| · |Γ|), matching the theorem's bound.
+//
+// `left_marker` and `right_marker` are the configuration delimiters ⊦
+// and ⊨; they, the states and the tape symbols must all be distinct
+// members of `alphabet`.
+Result<StringFormula> LbaAcceptanceFormula(const Lba& machine,
+                                           const std::string& input,
+                                           const std::string& var,
+                                           char left_marker,
+                                           char right_marker,
+                                           const Alphabet& alphabet);
+
+}  // namespace strdb
+
+#endif  // STRDB_QUERIES_LBA_H_

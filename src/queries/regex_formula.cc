@@ -1,0 +1,42 @@
+#include "queries/regex_formula.h"
+
+namespace strdb {
+
+namespace {
+
+StringFormula Translate(const Regex& regex, const std::string& var) {
+  switch (regex.kind()) {
+    case Regex::Kind::kEpsilon:
+      return StringFormula::Lambda();
+    case Regex::Kind::kChar:
+      return StringFormula::Atomic(Dir::kLeft, {var},
+                                   WindowFormula::CharEq(var, regex.ch()));
+    case Regex::Kind::kConcat:
+      return StringFormula::Concat(Translate(regex.Left(), var),
+                                   Translate(regex.Right(), var));
+    case Regex::Kind::kUnion:
+      return StringFormula::Union(Translate(regex.Left(), var),
+                                  Translate(regex.Right(), var));
+    case Regex::Kind::kStar:
+      return StringFormula::Star(Translate(regex.Left(), var));
+  }
+  return StringFormula::Lambda();
+}
+
+}  // namespace
+
+StringFormula RegexToStringFormula(const Regex& regex,
+                                   const std::string& var) {
+  return StringFormula::Concat(
+      Translate(regex, var),
+      StringFormula::Atomic(Dir::kLeft, {var}, WindowFormula::Undef(var)));
+}
+
+Result<StringFormula> RegexMembershipFormula(const std::string& pattern,
+                                             const std::string& var,
+                                             const Alphabet& alphabet) {
+  STRDB_ASSIGN_OR_RETURN(Regex regex, Regex::Parse(pattern, alphabet));
+  return RegexToStringFormula(regex, var);
+}
+
+}  // namespace strdb

@@ -1,0 +1,26 @@
+#ifndef STRDB_QUERIES_REGEX_FORMULA_H_
+#define STRDB_QUERIES_REGEX_FORMULA_H_
+
+#include <string>
+
+#include "baseline/regex.h"
+#include "core/result.h"
+#include "strform/string_formula.h"
+
+namespace strdb {
+
+// Theorem 6.1 (⊆ direction): translates a regular expression into a
+// unidirectional one-variable string formula defining the same
+// language: every character c becomes [var]l(var = 'c') and the result
+// is capped with [var]l(var = ε) so the whole string must be consumed.
+StringFormula RegexToStringFormula(const Regex& regex,
+                                   const std::string& var);
+
+// Convenience: parse `pattern` (see Regex syntax) and translate.
+Result<StringFormula> RegexMembershipFormula(const std::string& pattern,
+                                             const std::string& var,
+                                             const Alphabet& alphabet);
+
+}  // namespace strdb
+
+#endif  // STRDB_QUERIES_REGEX_FORMULA_H_

@@ -1,0 +1,441 @@
+#include "queries/sat_encoding.h"
+
+#include <cstdlib>
+
+namespace strdb {
+
+Alphabet SatAlphabet() {
+  Result<Alphabet> a = Alphabet::Create("1TFpn,;");
+  // The literal above is well-formed by construction.
+  return a.value_or(Alphabet::Binary());
+}
+
+Result<std::string> EncodeCnf(const CnfInstance& cnf) {
+  if (cnf.num_vars <= 0) {
+    return Status::InvalidArgument("need at least one variable");
+  }
+  std::string out(static_cast<size_t>(cnf.num_vars), '1');
+  out += ';';
+  for (size_t ci = 0; ci < cnf.clauses.size(); ++ci) {
+    const std::vector<int>& clause = cnf.clauses[ci];
+    if (clause.empty()) {
+      return Status::InvalidArgument("empty clause is unsatisfiable");
+    }
+    if (ci > 0) out += ';';
+    for (size_t li = 0; li < clause.size(); ++li) {
+      int literal = clause[li];
+      int var = std::abs(literal);
+      if (var < 1 || var > cnf.num_vars) {
+        return Status::OutOfRange("literal variable out of range");
+      }
+      if (li > 0) out += ',';
+      out += (literal > 0) ? 'p' : 'n';
+      out.append(static_cast<size_t>(var), '1');
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Symbol shorthand for the machines below.
+struct SatSyms {
+  Sym one, t, f, pos, neg, comma, semi;
+};
+
+Result<SatSyms> LookupSyms(const Alphabet& alphabet) {
+  SatSyms s;
+  STRDB_ASSIGN_OR_RETURN(s.one, alphabet.SymOf('1'));
+  STRDB_ASSIGN_OR_RETURN(s.t, alphabet.SymOf('T'));
+  STRDB_ASSIGN_OR_RETURN(s.f, alphabet.SymOf('F'));
+  STRDB_ASSIGN_OR_RETURN(s.pos, alphabet.SymOf('p'));
+  STRDB_ASSIGN_OR_RETURN(s.neg, alphabet.SymOf('n'));
+  STRDB_ASSIGN_OR_RETURN(s.comma, alphabet.SymOf(','));
+  STRDB_ASSIGN_OR_RETURN(s.semi, alphabet.SymOf(';'));
+  return s;
+}
+
+Status Add(Fsa* fsa, int from, int to, Sym x, Sym z, Move dx, Move dz) {
+  Transition t;
+  t.from = from;
+  t.to = to;
+  t.read = {x, z};
+  t.move = {dx, dz};
+  return fsa->AddTransition(std::move(t));
+}
+
+}  // namespace
+
+Result<Fsa> BuildAssignmentShapeMachine(const Alphabet& alphabet) {
+  STRDB_ASSIGN_OR_RETURN(SatSyms s, LookupSyms(alphabet));
+  Fsa fsa(alphabet, 2);
+  const int start = fsa.start();
+  const int header = fsa.AddState();
+  const int rest = fsa.AddState();
+  const int accept = fsa.AddState();
+  fsa.SetFinal(accept);
+
+  STRDB_RETURN_IF_ERROR(Add(&fsa, start, header, kLeftEnd, kLeftEnd, +1, +1));
+  // One z symbol per header '1'.
+  STRDB_RETURN_IF_ERROR(Add(&fsa, header, header, s.one, s.t, +1, +1));
+  STRDB_RETURN_IF_ERROR(Add(&fsa, header, header, s.one, s.f, +1, +1));
+  // Header ends exactly when z does.
+  STRDB_RETURN_IF_ERROR(Add(&fsa, header, rest, s.semi, kRightEnd, +1, 0));
+  // The remainder of the instance is skipped blindly.
+  for (Sym c : {s.one, s.t, s.f, s.pos, s.neg, s.comma, s.semi}) {
+    STRDB_RETURN_IF_ERROR(Add(&fsa, rest, rest, c, kRightEnd, +1, 0));
+  }
+  STRDB_RETURN_IF_ERROR(
+      Add(&fsa, rest, accept, kRightEnd, kRightEnd, 0, 0));
+  return fsa;
+}
+
+Result<Fsa> BuildSatCheckMachine(const Alphabet& alphabet) {
+  STRDB_ASSIGN_OR_RETURN(SatSyms s, LookupSyms(alphabet));
+  Fsa fsa(alphabet, 2);
+  const int start = fsa.start();
+  const int header = fsa.AddState();
+  const int rewind0 = fsa.AddState();  // rewind z after the header pass
+  const int literal = fsa.AddState();  // clause/literal choice point, z at ⊢
+  const int skip = fsa.AddState();     // skipping an unverified literal
+  const int verify_pos = fsa.AddState();
+  const int verify_neg = fsa.AddState();
+  const int done = fsa.AddState();     // clause satisfied: skip its rest
+  const int rewind = fsa.AddState();   // rewind z before the next clause
+  const int accept = fsa.AddState();
+  fsa.SetFinal(accept);
+
+  const std::vector<Sym> kXChars = {s.one, s.t,     s.f,   s.pos,
+                                    s.neg, s.comma, s.semi};
+  const std::vector<Sym> kZValues = {s.t, s.f};
+
+  // Header: z must be exactly {T,F}^n for the declared n.
+  STRDB_RETURN_IF_ERROR(Add(&fsa, start, header, kLeftEnd, kLeftEnd, +1, +1));
+  for (Sym z : kZValues) {
+    STRDB_RETURN_IF_ERROR(Add(&fsa, header, header, s.one, z, +1, +1));
+  }
+  STRDB_RETURN_IF_ERROR(Add(&fsa, header, rewind0, s.semi, kRightEnd, +1, 0));
+  // Rewind z to ⊢ (x waits on the first clause character or ⊣).  The
+  // first backward step leaves z's right endmarker.
+  std::vector<Sym> x_or_end = kXChars;
+  x_or_end.push_back(kRightEnd);
+  for (Sym x : x_or_end) {
+    for (Sym z : {s.t, s.f, static_cast<Sym>(kRightEnd)}) {
+      STRDB_RETURN_IF_ERROR(Add(&fsa, rewind0, rewind0, x, z, 0, -1));
+    }
+    STRDB_RETURN_IF_ERROR(Add(&fsa, rewind0, literal, x, kLeftEnd, 0, 0));
+  }
+
+  // Literal choice point: verify this literal or skip it.
+  STRDB_RETURN_IF_ERROR(Add(&fsa, literal, verify_pos, s.pos, kLeftEnd, +1, 0));
+  STRDB_RETURN_IF_ERROR(Add(&fsa, literal, verify_neg, s.neg, kLeftEnd, +1, 0));
+  STRDB_RETURN_IF_ERROR(Add(&fsa, literal, skip, s.pos, kLeftEnd, +1, 0));
+  STRDB_RETURN_IF_ERROR(Add(&fsa, literal, skip, s.neg, kLeftEnd, +1, 0));
+  // An instance with no clauses at all accepts immediately.
+  STRDB_RETURN_IF_ERROR(
+      Add(&fsa, literal, accept, kRightEnd, kLeftEnd, 0, 0));
+
+  // Skip a literal: consume its '1's; a ',' returns to the choice point.
+  // (Skipping into ';' or ⊣ would leave the clause unverified: no
+  // transition, the branch dies.)
+  STRDB_RETURN_IF_ERROR(Add(&fsa, skip, skip, s.one, kLeftEnd, +1, 0));
+  STRDB_RETURN_IF_ERROR(Add(&fsa, skip, literal, s.comma, kLeftEnd, +1, 0));
+
+  // Verify: advance z one step per index '1', then the literal ends and
+  // z's window holds the variable's value.
+  for (int polarity = 0; polarity < 2; ++polarity) {
+    const int verify = polarity == 0 ? verify_pos : verify_neg;
+    const Sym want = polarity == 0 ? s.t : s.f;
+    for (Sym z : {static_cast<Sym>(kLeftEnd), s.t, s.f}) {
+      STRDB_RETURN_IF_ERROR(Add(&fsa, verify, verify, s.one, z, +1, +1));
+    }
+    // Literal ends at ',' (more literals), ';' (next clause) or ⊣.
+    STRDB_RETURN_IF_ERROR(Add(&fsa, verify, done, s.comma, want, +1, 0));
+    STRDB_RETURN_IF_ERROR(Add(&fsa, verify, rewind, s.semi, want, +1, 0));
+    STRDB_RETURN_IF_ERROR(Add(&fsa, verify, rewind, kRightEnd, want, 0, 0));
+  }
+
+  // Clause satisfied: blindly consume the rest of the clause.
+  for (Sym x : {s.one, s.pos, s.neg, s.comma}) {
+    for (Sym z : kZValues) {
+      STRDB_RETURN_IF_ERROR(Add(&fsa, done, done, x, z, +1, 0));
+    }
+    STRDB_RETURN_IF_ERROR(Add(&fsa, done, done, x, kRightEnd, +1, 0));
+  }
+  for (Sym z :
+       {s.t, s.f, static_cast<Sym>(kRightEnd)}) {
+    STRDB_RETURN_IF_ERROR(Add(&fsa, done, rewind, s.semi, z, +1, 0));
+    STRDB_RETURN_IF_ERROR(Add(&fsa, done, rewind, kRightEnd, z, 0, 0));
+  }
+
+  // Rewind z for the next clause (x already sits on its first char, or
+  // on ⊣ when every clause is done).
+  for (Sym x : {s.pos, s.neg, static_cast<Sym>(kRightEnd)}) {
+    for (Sym z : kZValues) {
+      STRDB_RETURN_IF_ERROR(Add(&fsa, rewind, rewind, x, z, 0, -1));
+    }
+    STRDB_RETURN_IF_ERROR(Add(&fsa, rewind, literal, x, kLeftEnd, 0, 0));
+  }
+  return fsa;
+}
+
+Result<std::string> EncodeQbfPi2(const QbfPi2Instance& qbf) {
+  if (qbf.num_forall <= 0 || qbf.num_exists <= 0) {
+    return Status::InvalidArgument("both quantifier blocks must be nonempty");
+  }
+  std::string out(static_cast<size_t>(qbf.num_forall), '1');
+  out += ';';
+  out.append(static_cast<size_t>(qbf.num_exists), '1');
+  out += ';';
+  const int total = qbf.num_forall + qbf.num_exists;
+  for (size_t ci = 0; ci < qbf.clauses.size(); ++ci) {
+    const std::vector<int>& clause = qbf.clauses[ci];
+    if (clause.empty()) {
+      return Status::InvalidArgument("empty clause");
+    }
+    if (ci > 0) out += ';';
+    for (size_t li = 0; li < clause.size(); ++li) {
+      int literal = clause[li];
+      int var = std::abs(literal);
+      if (var < 1 || var > total) {
+        return Status::OutOfRange("literal variable out of range");
+      }
+      if (li > 0) out += ',';
+      out += (literal > 0) ? 'p' : 'n';
+      out.append(static_cast<size_t>(var), '1');
+    }
+  }
+  return out;
+}
+
+namespace {
+
+Status Add3(Fsa* fsa, int from, int to, Sym x, Sym z1, Sym z2, Move dx,
+            Move dz1, Move dz2) {
+  Transition t;
+  t.from = from;
+  t.to = to;
+  t.read = {x, z1, z2};
+  t.move = {dx, dz1, dz2};
+  return fsa->AddTransition(std::move(t));
+}
+
+}  // namespace
+
+Result<Fsa> BuildQbf2CheckMachine(const Alphabet& alphabet) {
+  STRDB_ASSIGN_OR_RETURN(SatSyms s, LookupSyms(alphabet));
+  Fsa fsa(alphabet, 3);
+  const int start = fsa.start();
+  const int header1 = fsa.AddState();   // z1 lockstep with the ∀ block
+  const int header2 = fsa.AddState();   // z2 lockstep with the ∃ block
+  const int rewind0 = fsa.AddState();   // rewind both, x on first clause
+  const int literal = fsa.AddState();
+  const int skip = fsa.AddState();
+  // Verification: polarity × which assignment tape the index is in.
+  const int vpa = fsa.AddState();  // positive, walking z1
+  const int vpb = fsa.AddState();  // positive, walking z2
+  const int vna = fsa.AddState();
+  const int vnb = fsa.AddState();
+  const int done = fsa.AddState();
+  const int rewind = fsa.AddState();
+  const int accept = fsa.AddState();
+  fsa.SetFinal(accept);
+
+  const std::vector<Sym> kXChars = {s.one, s.t,     s.f,   s.pos,
+                                    s.neg, s.comma, s.semi};
+  const std::vector<Sym> kVal = {s.t, s.f};
+  const std::vector<Sym> kValOrLeft = {s.t, s.f,
+                                       static_cast<Sym>(kLeftEnd)};
+  const std::vector<Sym> kValOrRight = {s.t, s.f,
+                                        static_cast<Sym>(kRightEnd)};
+
+  // Headers: z1 spans the first '1'-block, z2 the second.
+  STRDB_RETURN_IF_ERROR(
+      Add3(&fsa, start, header1, kLeftEnd, kLeftEnd, kLeftEnd, +1, +1, 0));
+  for (Sym z : kVal) {
+    STRDB_RETURN_IF_ERROR(
+        Add3(&fsa, header1, header1, s.one, z, kLeftEnd, +1, +1, 0));
+  }
+  STRDB_RETURN_IF_ERROR(
+      Add3(&fsa, header1, header2, s.semi, kRightEnd, kLeftEnd, +1, 0, +1));
+  for (Sym z : kVal) {
+    STRDB_RETURN_IF_ERROR(
+        Add3(&fsa, header2, header2, s.one, kRightEnd, z, +1, 0, +1));
+  }
+  STRDB_RETURN_IF_ERROR(Add3(&fsa, header2, rewind0, s.semi, kRightEnd,
+                             kRightEnd, +1, 0, 0));
+  // Rewind both assignment tapes (x parked on the first clause or ⊣).
+  std::vector<Sym> x_or_end = kXChars;
+  x_or_end.push_back(kRightEnd);
+  for (Sym x : x_or_end) {
+    for (Sym z1 : kValOrRight) {
+      for (Sym z2 : kValOrRight) {
+        STRDB_RETURN_IF_ERROR(
+            Add3(&fsa, rewind0, rewind0, x, z1, z2, 0, -1, -1));
+      }
+      STRDB_RETURN_IF_ERROR(
+          Add3(&fsa, rewind0, rewind0, x, z1, kLeftEnd, 0, -1, 0));
+    }
+    for (Sym z2 : kValOrRight) {
+      STRDB_RETURN_IF_ERROR(
+          Add3(&fsa, rewind0, rewind0, x, kLeftEnd, z2, 0, 0, -1));
+    }
+    STRDB_RETURN_IF_ERROR(
+        Add3(&fsa, rewind0, literal, x, kLeftEnd, kLeftEnd, 0, 0, 0));
+  }
+
+  // Literal choice point (both assignment heads at ⊢).
+  for (Sym pol : {s.pos, s.neg}) {
+    int verify = (pol == s.pos) ? vpa : vna;
+    STRDB_RETURN_IF_ERROR(
+        Add3(&fsa, literal, verify, pol, kLeftEnd, kLeftEnd, +1, 0, 0));
+    STRDB_RETURN_IF_ERROR(
+        Add3(&fsa, literal, skip, pol, kLeftEnd, kLeftEnd, +1, 0, 0));
+  }
+  STRDB_RETURN_IF_ERROR(
+      Add3(&fsa, literal, accept, kRightEnd, kLeftEnd, kLeftEnd, 0, 0, 0));
+
+  // Skip a literal (dies on ';'/⊣: some literal must be verified).
+  STRDB_RETURN_IF_ERROR(
+      Add3(&fsa, skip, skip, s.one, kLeftEnd, kLeftEnd, +1, 0, 0));
+  STRDB_RETURN_IF_ERROR(
+      Add3(&fsa, skip, literal, s.comma, kLeftEnd, kLeftEnd, +1, 0, 0));
+
+  // Verify: walk z1 per index '1'; once z1 is exhausted the remaining
+  // '1's walk z2 (variables of the existential block).
+  for (int pol = 0; pol < 2; ++pol) {
+    const int va = pol == 0 ? vpa : vna;
+    const int vb = pol == 0 ? vpb : vnb;
+    const Sym want = pol == 0 ? s.t : s.f;
+    for (Sym z1 : kValOrLeft) {
+      STRDB_RETURN_IF_ERROR(
+          Add3(&fsa, va, va, s.one, z1, kLeftEnd, +1, +1, 0));
+      // Nondeterministic block switch: the boundary '1' advances both
+      // heads at once; the guess is verified by every subsequent read
+      // seeing z1 on its right endmarker.
+      STRDB_RETURN_IF_ERROR(
+          Add3(&fsa, va, vb, s.one, z1, kLeftEnd, +1, +1, +1));
+    }
+    for (Sym z2 : kVal) {
+      STRDB_RETURN_IF_ERROR(
+          Add3(&fsa, vb, vb, s.one, kRightEnd, z2, +1, 0, +1));
+    }
+    // Literal end in the ∀ block: test z1's window.
+    STRDB_RETURN_IF_ERROR(
+        Add3(&fsa, va, done, s.comma, want, kLeftEnd, +1, 0, 0));
+    STRDB_RETURN_IF_ERROR(
+        Add3(&fsa, va, rewind, s.semi, want, kLeftEnd, +1, 0, 0));
+    STRDB_RETURN_IF_ERROR(
+        Add3(&fsa, va, rewind, kRightEnd, want, kLeftEnd, 0, 0, 0));
+    // Literal end in the ∃ block: test z2's window.
+    STRDB_RETURN_IF_ERROR(
+        Add3(&fsa, vb, done, s.comma, kRightEnd, want, +1, 0, 0));
+    STRDB_RETURN_IF_ERROR(
+        Add3(&fsa, vb, rewind, s.semi, kRightEnd, want, +1, 0, 0));
+    STRDB_RETURN_IF_ERROR(
+        Add3(&fsa, vb, rewind, kRightEnd, kRightEnd, want, 0, 0, 0));
+  }
+
+  // Clause satisfied: consume its remainder blindly (the assignment
+  // heads can sit anywhere after verification).
+  const std::vector<Sym> kAnyZ = {static_cast<Sym>(kLeftEnd), s.t, s.f,
+                                  static_cast<Sym>(kRightEnd)};
+  for (Sym z1 : kAnyZ) {
+    for (Sym z2 : kAnyZ) {
+      for (Sym x : {s.one, s.pos, s.neg, s.comma}) {
+        STRDB_RETURN_IF_ERROR(Add3(&fsa, done, done, x, z1, z2, +1, 0, 0));
+      }
+      STRDB_RETURN_IF_ERROR(
+          Add3(&fsa, done, rewind, s.semi, z1, z2, +1, 0, 0));
+      STRDB_RETURN_IF_ERROR(
+          Add3(&fsa, done, rewind, kRightEnd, z1, z2, 0, 0, 0));
+    }
+  }
+
+  // Rewind both tapes before the next clause (each head steps back
+  // until it rests on ⊢).
+  for (Sym x : {s.pos, s.neg, static_cast<Sym>(kRightEnd)}) {
+    for (Sym z1 : kAnyZ) {
+      for (Sym z2 : kAnyZ) {
+        Move d1 = (z1 == kLeftEnd) ? 0 : -1;
+        Move d2 = (z2 == kLeftEnd) ? 0 : -1;
+        if (d1 == 0 && d2 == 0) continue;  // handled by the exit below
+        STRDB_RETURN_IF_ERROR(
+            Add3(&fsa, rewind, rewind, x, z1, z2, 0, d1, d2));
+      }
+    }
+    STRDB_RETURN_IF_ERROR(
+        Add3(&fsa, rewind, literal, x, kLeftEnd, kLeftEnd, 0, 0, 0));
+  }
+  return fsa;
+}
+
+bool SolvePi2BruteForce(const QbfPi2Instance& qbf) {
+  CnfInstance cnf;
+  cnf.num_vars = qbf.num_forall + qbf.num_exists;
+  cnf.clauses = qbf.clauses;
+  std::vector<bool> assignment(static_cast<size_t>(cnf.num_vars), false);
+  const uint64_t outer = 1ull << qbf.num_forall;
+  const uint64_t inner = 1ull << qbf.num_exists;
+  for (uint64_t u = 0; u < outer; ++u) {
+    for (int v = 0; v < qbf.num_forall; ++v) {
+      assignment[static_cast<size_t>(v)] = ((u >> v) & 1) != 0;
+    }
+    bool exists = false;
+    for (uint64_t e = 0; e < inner && !exists; ++e) {
+      for (int v = 0; v < qbf.num_exists; ++v) {
+        assignment[static_cast<size_t>(qbf.num_forall + v)] =
+            ((e >> v) & 1) != 0;
+      }
+      exists = EvaluateCnf(cnf, assignment);
+    }
+    if (!exists) return false;
+  }
+  return true;
+}
+
+Result<bool> SolvePi2ViaAlignment(const QbfPi2Instance& qbf,
+                                  const GenerateOptions& options) {
+  STRDB_ASSIGN_OR_RETURN(std::string encoded, EncodeQbfPi2(qbf));
+  Alphabet alphabet = SatAlphabet();
+  STRDB_ASSIGN_OR_RETURN(Fsa check, BuildQbf2CheckMachine(alphabet));
+  // The ∀ block: every z1 of the shape {T,F}^{num_forall}.
+  std::vector<std::string> universals = {""};
+  for (int i = 0; i < qbf.num_forall; ++i) {
+    std::vector<std::string> next;
+    for (const std::string& u : universals) {
+      next.push_back(u + 'T');
+      next.push_back(u + 'F');
+    }
+    universals = std::move(next);
+  }
+  for (const std::string& z1 : universals) {
+    GenerateOptions opts = options;
+    opts.max_len = qbf.num_exists;
+    STRDB_ASSIGN_OR_RETURN(
+        std::set<std::vector<std::string>> witnesses,
+        GenerateAccepted(check, {encoded, z1, std::nullopt}, opts));
+    if (witnesses.empty()) return false;
+  }
+  return true;
+}
+
+Result<std::optional<std::vector<bool>>> SolveSatViaAlignment(
+    const CnfInstance& cnf, const GenerateOptions& options) {
+  STRDB_ASSIGN_OR_RETURN(std::string encoded, EncodeCnf(cnf));
+  Alphabet alphabet = SatAlphabet();
+  STRDB_ASSIGN_OR_RETURN(Fsa check, BuildSatCheckMachine(alphabet));
+  GenerateOptions opts = options;
+  opts.max_len = cnf.num_vars;
+  STRDB_ASSIGN_OR_RETURN(
+      std::set<std::vector<std::string>> answers,
+      GenerateAccepted(check, {encoded, std::nullopt}, opts));
+  if (answers.empty()) return std::optional<std::vector<bool>>(std::nullopt);
+  const std::string& z = (*answers.begin())[0];
+  std::vector<bool> assignment;
+  assignment.reserve(z.size());
+  for (char c : z) assignment.push_back(c == 'T');
+  return std::optional<std::vector<bool>>(std::move(assignment));
+}
+
+}  // namespace strdb

@@ -1,0 +1,91 @@
+#ifndef STRDB_QUERIES_SAT_ENCODING_H_
+#define STRDB_QUERIES_SAT_ENCODING_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baseline/sat_solver.h"
+#include "core/alphabet.h"
+#include "core/result.h"
+#include "fsa/fsa.h"
+#include "fsa/generate.h"
+
+namespace strdb {
+
+// A runnable demonstration of Theorem 6.5's quantifier-limited fragment
+// at the Σ^p_1 (= NP) level: propositional satisfiability expressed as
+// ∃z: shape(x1, z) ∧ check(x1, z), where
+//
+//  * x1 encodes the CNF instance as a string,
+//  * z is the candidate truth assignment in {T,F}^n,
+//  * shape is a *unidirectional* 2-FSA with the limitation property
+//    [x1] ↝ [z] (the fragment's "type qualifier", checkable by the
+//    safety analyser), and
+//  * check is a *right-restricted* 2-FSA whose single bidirectional
+//    tape is z (it rewinds z once per verified literal).
+//
+// Substitution note (see DESIGN.md): the paper's M_k machines use binary
+// variable indices for the hardness direction; this demonstration uses
+// unary indices (variable i is '1'^i), which keeps exactly the
+// structural properties the membership direction of the theorem needs.
+//
+// Encoding over SatAlphabet() = {1, T, F, p, n, ',', ';'}:
+//   instance := '1'^num_vars ';' clause (';' clause)*  |  '1'^num_vars ';'
+//   clause   := literal (',' literal)*
+//   literal  := ('p' | 'n') '1'^i          (positive/negative variable i)
+
+Alphabet SatAlphabet();
+
+// Serialises a CNF instance; fails on empty clauses or variables out of
+// range.
+Result<std::string> EncodeCnf(const CnfInstance& cnf);
+
+// The unidirectional shape machine: accepts (x1, z) iff x1 starts with
+// a well-formed '1'^n ';' header and z ∈ {T,F}^n.
+Result<Fsa> BuildAssignmentShapeMachine(const Alphabet& alphabet);
+
+// The combined machine: shape plus "every clause has a literal
+// satisfied by z" (z is scanned forward per literal and rewound, making
+// it the single bidirectional tape).
+Result<Fsa> BuildSatCheckMachine(const Alphabet& alphabet);
+
+// Decides satisfiability through the alignment machinery: encodes the
+// instance, fixes tape x1, and runs the check machine as a generator
+// over z.  Returns a satisfying assignment or nullopt.
+Result<std::optional<std::vector<bool>>> SolveSatViaAlignment(
+    const CnfInstance& cnf, const GenerateOptions& options = {});
+
+// ---------------------------------------------------------------------------
+// One level up the hierarchy (Theorem 6.5 for Π^p_2): instances
+// ∀ x1..x_{nf} ∃ x_{nf+1}..x_{nf+ne} . CNF, encoded as
+//   '1'^nf ';' '1'^ne ';' clauses
+// and decided as ∀z1 ∃z2: check(x, z1, z2) — the universal block is
+// enumerated from its shape machine, the existential block searched by
+// the generator, exactly mirroring the formula's quantifier structure.
+
+struct QbfPi2Instance {
+  int num_forall = 0;
+  int num_exists = 0;
+  // Literals index 1..num_forall for the universal block, then
+  // num_forall+1..num_forall+num_exists for the existential one.
+  std::vector<std::vector<int>> clauses;
+};
+
+Result<std::string> EncodeQbfPi2(const QbfPi2Instance& qbf);
+
+// The 3-tape checker (x = instance, z1 = universal assignment, z2 =
+// existential assignment).  Both assignment tapes are bidirectional —
+// the evaluation layers the quantifiers outside, as the theorem's
+// formula does.
+Result<Fsa> BuildQbf2CheckMachine(const Alphabet& alphabet);
+
+Result<bool> SolvePi2ViaAlignment(const QbfPi2Instance& qbf,
+                                  const GenerateOptions& options = {});
+
+// Exhaustive baseline.
+bool SolvePi2BruteForce(const QbfPi2Instance& qbf);
+
+}  // namespace strdb
+
+#endif  // STRDB_QUERIES_SAT_ENCODING_H_

@@ -1,0 +1,108 @@
+#include "queries/sequence_predicate.h"
+
+namespace strdb {
+
+namespace {
+
+// Copies one atom from channel `ch` into the target `tgt`.
+StringFormula CopyAtom(const std::string& ch, const std::string& tgt,
+                       std::optional<char> separator) {
+  if (!separator.has_value()) {
+    // One character, which must exist.
+    return StringFormula::Atomic(
+        Dir::kLeft, {ch, tgt},
+        WindowFormula::And(WindowFormula::VarEq(tgt, ch),
+                           WindowFormula::NotUndef(ch)));
+  }
+  // ([ch,tgt]l(tgt = ch ∧ ch ≠ sep))* . [ch,tgt]l(tgt = ch = sep):
+  // copy the segment and its terminator.
+  return StringFormula::Concat(
+      StringFormula::Star(StringFormula::Atomic(
+          Dir::kLeft, {ch, tgt},
+          WindowFormula::And(WindowFormula::VarEq(tgt, ch),
+                             WindowFormula::NotCharEq(ch, *separator)))),
+      StringFormula::Atomic(
+          Dir::kLeft, {ch, tgt},
+          WindowFormula::And(WindowFormula::VarEq(tgt, ch),
+                             WindowFormula::CharEq(ch, *separator))));
+}
+
+Result<StringFormula> Translate(const Regex& pattern,
+                                const std::vector<std::string>& vars,
+                                std::optional<char> separator) {
+  switch (pattern.kind()) {
+    case Regex::Kind::kEpsilon:
+      return StringFormula::Lambda();
+    case Regex::Kind::kChar: {
+      int channel = pattern.ch() - '1';
+      if (channel < 0 || channel + 1 >= static_cast<int>(vars.size())) {
+        return Status::InvalidArgument(
+            std::string("pattern symbol '") + pattern.ch() +
+            "' does not name a channel");
+      }
+      return CopyAtom(vars[static_cast<size_t>(channel)], vars.back(),
+                      separator);
+    }
+    case Regex::Kind::kConcat: {
+      STRDB_ASSIGN_OR_RETURN(StringFormula l,
+                             Translate(pattern.Left(), vars, separator));
+      STRDB_ASSIGN_OR_RETURN(StringFormula r,
+                             Translate(pattern.Right(), vars, separator));
+      return StringFormula::Concat(std::move(l), std::move(r));
+    }
+    case Regex::Kind::kUnion: {
+      STRDB_ASSIGN_OR_RETURN(StringFormula l,
+                             Translate(pattern.Left(), vars, separator));
+      STRDB_ASSIGN_OR_RETURN(StringFormula r,
+                             Translate(pattern.Right(), vars, separator));
+      return StringFormula::Union(std::move(l), std::move(r));
+    }
+    case Regex::Kind::kStar: {
+      STRDB_ASSIGN_OR_RETURN(StringFormula inner,
+                             Translate(pattern.Left(), vars, separator));
+      return StringFormula::Star(std::move(inner));
+    }
+  }
+  return Status::Internal("unknown regex node");
+}
+
+}  // namespace
+
+Result<StringFormula> SequencePredicateFormula(
+    const Regex& pattern, const std::vector<std::string>& vars,
+    std::optional<char> separator) {
+  if (vars.size() < 2) {
+    return Status::InvalidArgument(
+        "need at least one channel and the target variable");
+  }
+  STRDB_ASSIGN_OR_RETURN(StringFormula body,
+                         Translate(pattern, vars, separator));
+  // Final exhaustion check across all channels and the target (the
+  // Theorem 6.4 construction's [x1..xn+1]l(x1 = ... = xn+1 = ε)).
+  WindowFormula done = WindowFormula::And(
+      WindowFormula::AllEqual(vars), WindowFormula::Undef(vars.back()));
+  return StringFormula::Concat(
+      std::move(body),
+      StringFormula::Atomic(Dir::kLeft, vars, std::move(done)));
+}
+
+Result<StringFormula> SequencePredicateFormula(
+    const std::string& pattern, const std::vector<std::string>& vars,
+    std::optional<char> separator) {
+  if (vars.size() < 2 || vars.size() > 10) {
+    return Status::InvalidArgument("supports 1 to 9 channels");
+  }
+  std::string digits;
+  for (size_t i = 1; i < vars.size(); ++i) {
+    digits.push_back(static_cast<char>('0' + i));
+  }
+  STRDB_ASSIGN_OR_RETURN(Alphabet channel_alphabet,
+                         Alphabet::Create(digits + "%"));
+  // '%' is only present to satisfy the two-character minimum for
+  // single-channel patterns; it never occurs in the pattern itself.
+  STRDB_ASSIGN_OR_RETURN(Regex regex,
+                         Regex::Parse(pattern, channel_alphabet));
+  return SequencePredicateFormula(regex, vars, separator);
+}
+
+}  // namespace strdb

@@ -1,0 +1,42 @@
+#ifndef STRDB_QUERIES_SEQUENCE_PREDICATE_H_
+#define STRDB_QUERIES_SEQUENCE_PREDICATE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baseline/regex.h"
+#include "core/result.h"
+#include "strform/string_formula.h"
+
+namespace strdb {
+
+// Theorem 6.4: the sequence predicates of Ginsburg and Wang,
+// x_{n+1} ∈ A^n(x_1, ..., x_n), as unidirectional string formulae.
+// `pattern` is a regular expression over the channel digits '1'..'n'
+// (α_i written as the digit i); operationally it prescribes the order
+// in which items are copied from the input channels into the target,
+// and the predicate holds when every channel is exhausted exactly when
+// the pattern completes.
+//
+// Two granularities:
+//  * separator == nullopt — every single character is an "atom", the
+//    e = identity embedding (enough when U ⊆ Σ);
+//  * separator == c — channels hold '>'-style c-terminated segments
+//    (the paper's e([a1..am]) = e(a1) c ... c e(am) c encoding), and a
+//    pattern step copies one whole segment including its terminator.
+//
+// vars[0..n-1] name the channels, vars[n] the target.
+Result<StringFormula> SequencePredicateFormula(
+    const Regex& pattern, const std::vector<std::string>& vars,
+    std::optional<char> separator);
+
+// Convenience: "x3 ∈ (1*2*)(x1, x2)"-style, parsing the pattern over
+// the digit alphabet.
+Result<StringFormula> SequencePredicateFormula(
+    const std::string& pattern, const std::vector<std::string>& vars,
+    std::optional<char> separator);
+
+}  // namespace strdb
+
+#endif  // STRDB_QUERIES_SEQUENCE_PREDICATE_H_

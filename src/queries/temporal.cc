@@ -1,0 +1,59 @@
+#include "queries/temporal.h"
+
+namespace strdb {
+
+namespace {
+
+StringFormula Step(const std::vector<std::string>& vars, WindowFormula w) {
+  return StringFormula::Atomic(Dir::kLeft, vars, std::move(w));
+}
+
+StringFormula StepBack(const std::vector<std::string>& vars,
+                       WindowFormula w) {
+  return StringFormula::Atomic(Dir::kRight, vars, std::move(w));
+}
+
+}  // namespace
+
+StringFormula TemporalNext(const std::vector<std::string>& vars,
+                           WindowFormula phi) {
+  return Step(vars, std::move(phi));
+}
+
+StringFormula TemporalUntil(const std::vector<std::string>& vars,
+                            WindowFormula phi, WindowFormula psi) {
+  return StringFormula::Concat(
+      StringFormula::Star(Step(vars, std::move(phi))),
+      Step(vars, std::move(psi)));
+}
+
+StringFormula TemporalEventually(const std::vector<std::string>& vars,
+                                 WindowFormula phi) {
+  return TemporalUntil(vars, WindowFormula::True(), std::move(phi));
+}
+
+StringFormula TemporalHenceforth(const std::vector<std::string>& vars,
+                                 WindowFormula phi) {
+  return StringFormula::Concat(
+      StringFormula::Star(Step(vars, std::move(phi))),
+      Step(vars, WindowFormula::AllUndef(vars)));
+}
+
+StringFormula TemporalSince(const std::vector<std::string>& vars,
+                            WindowFormula phi, WindowFormula psi) {
+  return StringFormula::Concat(
+      StringFormula::Star(StepBack(vars, std::move(phi))),
+      StepBack(vars, std::move(psi)));
+}
+
+StringFormula TemporalOccursIn(const std::string& x, const std::string& y) {
+  // eventually along y (x = y along x,y until x = ε): the outer
+  // modality contributes the positioning loop ([y]l ⊤)*, the inner
+  // until matches x against y until x is exhausted.
+  return StringFormula::Concat(
+      StringFormula::Star(Step({y}, WindowFormula::True())),
+      TemporalUntil({x, y}, WindowFormula::VarEq(x, y),
+                    WindowFormula::Undef(x)));
+}
+
+}  // namespace strdb

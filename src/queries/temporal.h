@@ -1,0 +1,41 @@
+#ifndef STRDB_QUERIES_TEMPORAL_H_
+#define STRDB_QUERIES_TEMPORAL_H_
+
+#include <string>
+#include <vector>
+
+#include "strform/string_formula.h"
+
+namespace strdb {
+
+// The temporal-logic reading of transposes (§6): a left transpose is a
+// step into the future of the mentioned rows, a right transpose into
+// their past.  These build the paper's derived modalities.
+
+// next along x1..xk φ  ≡  [x1..xk]l φ.
+StringFormula TemporalNext(const std::vector<std::string>& vars,
+                           WindowFormula phi);
+
+// φ along x1..xk until ψ  ≡  ([x1..xk]l φ)* . ([x1..xk]l ψ).
+StringFormula TemporalUntil(const std::vector<std::string>& vars,
+                            WindowFormula phi, WindowFormula psi);
+
+// eventually along x1..xk φ  ≡  ([x1..xk]l ⊤)* . ([x1..xk]l φ).
+StringFormula TemporalEventually(const std::vector<std::string>& vars,
+                                 WindowFormula phi);
+
+// henceforth along x1..xk φ  ≡  ([x1..xk]l φ)* . [x1..xk]l(x1=..=xk=ε).
+StringFormula TemporalHenceforth(const std::vector<std::string>& vars,
+                                 WindowFormula phi);
+
+// φ along x1..xk since ψ  ≡  ([x1..xk]r φ)* . ([x1..xk]r ψ).
+StringFormula TemporalSince(const std::vector<std::string>& vars,
+                            WindowFormula phi, WindowFormula psi);
+
+// The paper's showcase: "x occurs in y" as
+// eventually along y (x = y along x,y until x = ε).
+StringFormula TemporalOccursIn(const std::string& x, const std::string& y);
+
+}  // namespace strdb
+
+#endif  // STRDB_QUERIES_TEMPORAL_H_

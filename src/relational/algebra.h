@@ -1,0 +1,102 @@
+#ifndef STRDB_RELATIONAL_ALGEBRA_H_
+#define STRDB_RELATIONAL_ALGEBRA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/result.h"
+#include "fsa/fsa.h"
+#include "relational/relation.h"
+
+namespace strdb {
+
+// Alignment algebra (paper §4): relational algebra over string relations
+// whose selection operator is a k-FSA, plus the domain symbols Σ* and
+// Σ^l that let queries *generate* strings not present in the database.
+//
+// Expressions are immutable values sharing their AST.
+class AlgebraExpr {
+ public:
+  enum class Kind : uint8_t {
+    kRelation,    // a named database relation
+    kSigmaStar,   // Σ*, arity 1 (infinite; see evaluation notes)
+    kSigmaL,      // Σ^l = {u : |u| <= l}, arity 1
+    kUnion,       // E ∪ F
+    kDifference,  // E \ F
+    kProduct,     // E × F
+    kProject,     // π_{i1..iu} E (0-based indices here)
+    kSelect,      // σ_A E
+    kRestrict,    // E ∩ (Σ*)^m — identity at full semantics, a length
+                  // filter at the ↓l truncation (avoids materialising
+                  // (Σ^l)^m the way a literal intersection would)
+  };
+
+  // --- factories -----------------------------------------------------------
+  static AlgebraExpr Relation(std::string name, int arity);
+  static AlgebraExpr SigmaStar();
+  static AlgebraExpr SigmaL(int l);
+  static Result<AlgebraExpr> Union(AlgebraExpr a, AlgebraExpr b);
+  static Result<AlgebraExpr> Difference(AlgebraExpr a, AlgebraExpr b);
+  // E ∩ F, the paper's shorthand for E \ (E \ F).
+  static Result<AlgebraExpr> Intersect(AlgebraExpr a, AlgebraExpr b);
+  static AlgebraExpr Product(AlgebraExpr a, AlgebraExpr b);
+  static Result<AlgebraExpr> Project(AlgebraExpr child,
+                                     std::vector<int> columns);
+  static Result<AlgebraExpr> Select(AlgebraExpr child, Fsa fsa);
+  // E ∩ (Σ*)^arity, evaluated at ↓l as a length-<=l filter.
+  static AlgebraExpr RestrictToDomain(AlgebraExpr child);
+
+  Kind kind() const;
+  int arity() const;
+
+  // Accessors (valid for the kinds that carry them).
+  const std::string& relation_name() const;
+  int sigma_l() const;
+  const AlgebraExpr Left() const;
+  const AlgebraExpr Right() const;
+  const std::vector<int>& columns() const;
+  const Fsa& fsa() const;
+
+  // True iff the expression is *finitely evaluable* in the paper's
+  // syntactic sense: every Σ* occurs inside a subexpression
+  // σ_A(F × (Σ*)^n) with F finitely evaluable.  (The limitation
+  // condition on A is a semantic matter checked by the safety analyser,
+  // not here.)
+  bool IsFinitelyEvaluable() const;
+
+  std::string ToString() const;
+
+  struct Node;
+
+ private:
+  explicit AlgebraExpr(std::shared_ptr<const Node> node)
+      : node_(std::move(node)) {}
+
+  std::shared_ptr<const Node> node_;
+
+  friend class AlgebraEvaluator;
+};
+
+struct EvalOptions {
+  // The truncation length l: every Σ* is read as Σ^l (Theorem 4.2's
+  // E↓l semantics) and generated strings are bounded by l.
+  int truncation = 4;
+  // Tuple-count guard for intermediate results.
+  int64_t max_tuples = 5'000'000;
+  // Step budget forwarded to the FSA generator.
+  int64_t max_steps = 50'000'000;
+};
+
+// Evaluates db(E↓l).  Selections over products containing Σ* factors are
+// evaluated with the FSA *generator* (the generalized-Mealy reading of
+// Definition 3.1) instead of materialising Σ^l, which keeps the common
+// finitely-evaluable form σ_A(F × (Σ*)^n) polynomial in the size of F's
+// value; a bare Σ* elsewhere is materialised as Σ^l (exponential in l).
+Result<StringRelation> EvalAlgebra(const AlgebraExpr& expr,
+                                   const Database& db,
+                                   const EvalOptions& options);
+
+}  // namespace strdb
+
+#endif  // STRDB_RELATIONAL_ALGEBRA_H_

@@ -1,0 +1,88 @@
+#ifndef STRDB_RELATIONAL_RELATION_H_
+#define STRDB_RELATIONAL_RELATION_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/alphabet.h"
+#include "core/result.h"
+
+namespace strdb {
+
+// A tuple of strings.
+using Tuple = std::vector<std::string>;
+
+// A finite relation over Σ*: a finite subset of (Σ*)^arity (paper §2).
+// Arity 0 is allowed: the empty relation ∅ and the full relation {()}
+// play the role of boolean query results (§4).
+class StringRelation {
+ public:
+  explicit StringRelation(int arity) : arity_(arity) {}
+
+  static Result<StringRelation> Create(int arity,
+                                       std::vector<Tuple> tuples);
+
+  int arity() const { return arity_; }
+  int64_t size() const { return static_cast<int64_t>(tuples_.size()); }
+  bool empty() const { return tuples_.empty(); }
+
+  Status Insert(Tuple tuple);
+  bool Contains(const Tuple& tuple) const { return tuples_.count(tuple) > 0; }
+
+  const std::set<Tuple>& tuples() const { return tuples_; }
+
+  // Length of the longest string in the relation (the paper's
+  // max(R, db), Eq. (2)); 0 for empty relations.
+  int MaxStringLength() const;
+
+  // Restriction to tuples whose components all have length <= l (the
+  // ⟦·⟧^l truncation semantics keep only such tuples).
+  StringRelation TruncatedTo(int l) const;
+
+  bool operator==(const StringRelation& other) const {
+    return arity_ == other.arity_ && tuples_ == other.tuples_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  int arity_;
+  std::set<Tuple> tuples_;
+};
+
+// A database db: a mapping from relation names to finite string
+// relations (paper §2), with a fixed alphabet all strings must use.
+class Database {
+ public:
+  explicit Database(Alphabet alphabet) : alphabet_(std::move(alphabet)) {}
+
+  const Alphabet& alphabet() const { return alphabet_; }
+
+  // Defines or replaces relation `name`.  Every string must be over the
+  // database alphabet.
+  Status Put(const std::string& name, StringRelation relation);
+
+  // Convenience: define from a tuple list.
+  Status Put(const std::string& name, int arity, std::vector<Tuple> tuples);
+
+  Result<const StringRelation*> Get(const std::string& name) const;
+  bool Has(const std::string& name) const { return relations_.count(name) > 0; }
+
+  // max over all relations of max(R, db); the quantity limit functions
+  // depend on (§3, Definition 3.2 discussion).
+  int MaxStringLength() const;
+
+  const std::map<std::string, StringRelation>& relations() const {
+    return relations_;
+  }
+
+ private:
+  Alphabet alphabet_;
+  std::map<std::string, StringRelation> relations_;
+};
+
+}  // namespace strdb
+
+#endif  // STRDB_RELATIONAL_RELATION_H_

@@ -1,0 +1,331 @@
+#include "safety/behavior.h"
+
+#include <deque>
+#include <map>
+#include <set>
+
+namespace strdb {
+
+namespace {
+
+// Entry helpers: bit 0 = reach, bits 1.. = mask-bit evidence.
+constexpr uint32_t kReachBit = 1u;
+
+inline uint32_t EntryFromMask(uint32_t mask) {
+  return kReachBit | (mask << 1);
+}
+
+// Combines two path segments: reachable iff both are; evidence unions.
+inline uint32_t CombineEntries(uint32_t a, uint32_t b) {
+  if ((a & kReachBit) == 0 || (b & kReachBit) == 0) return 0;
+  return kReachBit | ((a | b) & ~kReachBit);
+}
+
+}  // namespace
+
+bool TwoWayBehavior::operator<(const TwoWayBehavior& o) const {
+  if (ll != o.ll) return ll < o.ll;
+  if (lr != o.lr) return lr < o.lr;
+  if (rl != o.rl) return rl < o.rl;
+  return rr < o.rr;
+}
+
+bool TwoWayBehavior::operator==(const TwoWayBehavior& o) const {
+  return ll == o.ll && lr == o.lr && rl == o.rl && rr == o.rr;
+}
+
+TwoWayBehavior BehaviorEngine::CharBehavior(
+    Sym c, const TransitionFilter& filter) const {
+  TwoWayBehavior b;
+  b.n = machine_.num_states;
+  size_t nn = static_cast<size_t>(b.n) * b.n;
+  b.ll.assign(nn, 0);
+  b.lr.assign(nn, 0);
+  for (const BTransition& t : machine_.transitions) {
+    if (t.read_b != c) continue;
+    if (filter && !filter(t)) continue;
+    uint32_t entry = EntryFromMask(t.mask);
+    size_t idx = static_cast<size_t>(t.from) * b.n + t.to;
+    if (t.b_move == kBack) {
+      b.ll[idx] |= entry;
+    } else {
+      b.lr[idx] |= entry;
+    }
+  }
+  // A single square behaves identically from either side.
+  b.rl = b.ll;
+  b.rr = b.lr;
+  return b;
+}
+
+TwoWayBehavior BehaviorEngine::Compose(const TwoWayBehavior& u,
+                                       const TwoWayBehavior& v) const {
+  const int n = u.n;
+  const int N = 2 * n;  // bounce nodes: A_q = 0..n-1, B_q = n..2n-1
+  // Transitive bounce closure across the seam.
+  std::vector<uint32_t> closure(static_cast<size_t>(N) * N, 0);
+  for (int x = 0; x < N; ++x) {
+    closure[static_cast<size_t>(x) * N + x] = kReachBit;
+  }
+  auto edge = [&](int x, int y) -> uint32_t {
+    if (x < n && y >= n) return u.rr[static_cast<size_t>(x) * n + (y - n)];
+    if (x >= n && y < n) return v.ll[static_cast<size_t>(x - n) * n + y];
+    return 0;
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int x = 0; x < N; ++x) {
+      for (int y = 0; y < N; ++y) {
+        uint32_t xy = closure[static_cast<size_t>(x) * N + y];
+        if ((xy & kReachBit) == 0) continue;
+        for (int z = 0; z < N; ++z) {
+          uint32_t yz = edge(y, z);
+          if ((yz & kReachBit) == 0) continue;
+          uint32_t bits = CombineEntries(xy, yz);
+          uint32_t& cell = closure[static_cast<size_t>(x) * N + z];
+          if ((cell | bits) != cell) {
+            cell |= bits;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  TwoWayBehavior w;
+  w.n = n;
+  size_t nn = static_cast<size_t>(n) * n;
+  w.ll.assign(nn, 0);
+  w.lr.assign(nn, 0);
+  w.rl.assign(nn, 0);
+  w.rr.assign(nn, 0);
+
+  auto bounce_exits = [&](int start_node, uint32_t entry_bits,
+                          std::vector<uint32_t>* out_left,
+                          std::vector<uint32_t>* out_right, int q) {
+    for (int z = 0; z < N; ++z) {
+      uint32_t path = closure[static_cast<size_t>(start_node) * N + z];
+      uint32_t acc = CombineEntries(entry_bits, path);
+      if (acc == 0) continue;
+      if (z < n) {
+        // A_z: may exit left of w.
+        for (int q2 = 0; q2 < n; ++q2) {
+          uint32_t leg = u.rl[static_cast<size_t>(z) * n + q2];
+          uint32_t bits = CombineEntries(acc, leg);
+          if (bits) (*out_left)[static_cast<size_t>(q) * n + q2] |= bits;
+        }
+      } else {
+        // B_z: may exit right of w.
+        for (int q2 = 0; q2 < n; ++q2) {
+          uint32_t leg = v.lr[static_cast<size_t>(z - n) * n + q2];
+          uint32_t bits = CombineEntries(acc, leg);
+          if (bits) (*out_right)[static_cast<size_t>(q) * n + q2] |= bits;
+        }
+      }
+    }
+  };
+
+  for (int q = 0; q < n; ++q) {
+    for (int q2 = 0; q2 < n; ++q2) {
+      w.ll[static_cast<size_t>(q) * n + q2] |=
+          u.ll[static_cast<size_t>(q) * n + q2];
+      w.rr[static_cast<size_t>(q) * n + q2] |=
+          v.rr[static_cast<size_t>(q) * n + q2];
+    }
+    for (int p = 0; p < n; ++p) {
+      uint32_t first = u.lr[static_cast<size_t>(q) * n + p];
+      if (first & kReachBit) bounce_exits(n + p, first, &w.ll, &w.lr, q);
+      uint32_t rfirst = v.rl[static_cast<size_t>(q) * n + p];
+      if (rfirst & kReachBit) bounce_exits(p, rfirst, &w.rl, &w.rr, q);
+    }
+  }
+  return w;
+}
+
+Result<std::vector<TwoWayBehavior>> BehaviorEngine::SaturateInterior(
+    const TransitionFilter& filter, int64_t max_behaviors) const {
+  std::vector<TwoWayBehavior> generators;
+  for (Sym c = 0; c < alphabet_.size(); ++c) {
+    generators.push_back(CharBehavior(c, filter));
+  }
+  std::set<TwoWayBehavior> seen;
+  std::deque<const TwoWayBehavior*> frontier;
+  auto visit = [&](TwoWayBehavior b) -> Status {
+    if (static_cast<int64_t>(seen.size()) >= max_behaviors) {
+      return Status::ResourceExhausted(
+          "behaviour saturation exceeded max_behaviors");
+    }
+    auto [it, inserted] = seen.insert(std::move(b));
+    if (inserted) frontier.push_back(&*it);
+    return Status::OK();
+  };
+  for (const TwoWayBehavior& g : generators) {
+    STRDB_RETURN_IF_ERROR(visit(g));
+  }
+  while (!frontier.empty()) {
+    const TwoWayBehavior* b = frontier.front();
+    frontier.pop_front();
+    for (const TwoWayBehavior& g : generators) {
+      STRDB_RETURN_IF_ERROR(visit(Compose(*b, g)));
+    }
+  }
+  return std::vector<TwoWayBehavior>(seen.begin(), seen.end());
+}
+
+namespace {
+
+// Acceptance over a chain of segment behaviours: the head starts on the
+// leftmost square of segment 0 in the machine's start state and must
+// eventually step off the right end of the last segment in the exit
+// state.  Nodes are (segment, state, entering-side, evidence-satisfied);
+// evidence tracks whether the path so far covers `required` (all bits).
+// `required` with more than one bit asks for a single path covering all
+// of them, which the per-flag evidence entries cannot certify exactly —
+// callers pass at most one bit.
+bool AcceptsChainImpl(const std::vector<const TwoWayBehavior*>& segments,
+                      int start_state, int exit_state, uint32_t required) {
+  if (segments.empty()) return false;
+  const int n = segments[0]->n;
+  const int k = static_cast<int>(segments.size());
+  const uint32_t need = required << 1;  // entry-space evidence bits
+  // node id: ((seg * n + state) * 2 + side) * 2 + satisfied
+  auto node = [&](int seg, int q, int side, int sat) {
+    return ((seg * n + q) * 2 + side) * 2 + sat;
+  };
+  std::vector<bool> visited(static_cast<size_t>(k) * n * 4, false);
+  std::deque<int> queue;
+  auto push = [&](int seg, int q, int side, int sat) {
+    int id = node(seg, q, side, sat);
+    if (!visited[static_cast<size_t>(id)]) {
+      visited[static_cast<size_t>(id)] = true;
+      queue.push_back(id);
+    }
+  };
+  bool accepted = false;
+  push(0, start_state, /*side=left*/ 0, need == 0 ? 1 : 0);
+  while (!queue.empty() && !accepted) {
+    int id = queue.front();
+    queue.pop_front();
+    int sat = id & 1;
+    int side = (id >> 1) & 1;
+    int q = (id >> 2) % n;
+    int seg = (id >> 2) / n;
+    const TwoWayBehavior& b = *segments[static_cast<size_t>(seg)];
+    const std::vector<uint32_t>& to_left = (side == 0) ? b.ll : b.rl;
+    const std::vector<uint32_t>& to_right = (side == 0) ? b.lr : b.rr;
+    for (int q2 = 0; q2 < n; ++q2) {
+      uint32_t left = to_left[static_cast<size_t>(q) * n + q2];
+      if (left & kReachBit) {
+        int sat2 = sat;
+        if (need != 0 && (left & need) == need) sat2 = 1;
+        // Exiting left of the whole word is impossible past ⊢; such a
+        // run simply drops.
+        if (seg > 0) push(seg - 1, q2, /*side=right*/ 1, sat2);
+      }
+      uint32_t right = to_right[static_cast<size_t>(q) * n + q2];
+      if (right & kReachBit) {
+        int sat2 = sat;
+        if (need != 0 && (right & need) == need) sat2 = 1;
+        if (seg + 1 < k) {
+          push(seg + 1, q2, /*side=left*/ 0, sat2);
+        } else if (q2 == exit_state && sat2 == 1) {
+          accepted = true;
+          break;
+        }
+      }
+    }
+  }
+  return accepted;
+}
+
+}  // namespace
+
+bool BehaviorEngine::Accepts(const TwoWayBehavior* interior,
+                             uint32_t required_mask_bits,
+                             const TransitionFilter& filter) const {
+  TwoWayBehavior left = CharBehavior(kLeftEnd, filter);
+  TwoWayBehavior right = CharBehavior(kRightEnd, filter);
+  std::vector<const TwoWayBehavior*> chain;
+  chain.push_back(&left);
+  if (interior != nullptr) chain.push_back(interior);
+  chain.push_back(&right);
+  return AcceptsChainImpl(chain, machine_.start, machine_.exit_state,
+                          required_mask_bits);
+}
+
+Result<bool> BehaviorEngine::NonemptyWith(uint32_t required_mask_bits,
+                                          const TransitionFilter& filter,
+                                          int64_t max_behaviors) const {
+  if (Accepts(nullptr, required_mask_bits, filter)) return true;
+  STRDB_ASSIGN_OR_RETURN(std::vector<TwoWayBehavior> interior,
+                         SaturateInterior(filter, max_behaviors));
+  for (const TwoWayBehavior& b : interior) {
+    if (Accepts(&b, required_mask_bits, filter)) return true;
+  }
+  return false;
+}
+
+Result<bool> BehaviorEngine::HasGrowingPump(int64_t max_behaviors) const {
+  auto read_free = [](const BTransition& t) {
+    return (t.mask & kMaskReads) == 0;
+  };
+  STRDB_ASSIGN_OR_RETURN(std::vector<TwoWayBehavior> full,
+                         SaturateInterior(nullptr, max_behaviors));
+  STRDB_ASSIGN_OR_RETURN(std::vector<TwoWayBehavior> free,
+                         SaturateInterior(read_free, max_behaviors));
+  TwoWayBehavior left = CharBehavior(kLeftEnd, nullptr);
+  TwoWayBehavior right = CharBehavior(kRightEnd, nullptr);
+
+  for (const TwoWayBehavior& e : free) {
+    // Powers of e until the sequence cycles: acceptance with any power
+    // in the cycle happens for infinitely many exponents.
+    std::vector<TwoWayBehavior> powers = {e};
+    std::map<TwoWayBehavior, size_t> index = {{e, 0}};
+    size_t cycle_start = 0;
+    for (;;) {
+      TwoWayBehavior next = Compose(powers.back(), e);
+      auto it = index.find(next);
+      if (it != index.end()) {
+        cycle_start = it->second;
+        break;
+      }
+      index[next] = powers.size();
+      powers.push_back(std::move(next));
+      if (static_cast<int64_t>(powers.size()) > max_behaviors) {
+        return Status::ResourceExhausted("pump power iteration exceeded "
+                                         "max_behaviors");
+      }
+    }
+    for (size_t pi = cycle_start; pi < powers.size(); ++pi) {
+      const TwoWayBehavior& q = powers[pi];
+      // ∃ prefix u, suffix w (possibly empty) with ⊢ u q w ⊣ accepted.
+      auto try_chain = [&](const TwoWayBehavior* m1,
+                           const TwoWayBehavior* m2) {
+        std::vector<const TwoWayBehavior*> chain;
+        chain.push_back(&left);
+        if (m1 != nullptr) chain.push_back(m1);
+        chain.push_back(&q);
+        if (m2 != nullptr) chain.push_back(m2);
+        chain.push_back(&right);
+        return AcceptsChainImpl(chain, machine_.start, machine_.exit_state,
+                                0);
+      };
+      if (try_chain(nullptr, nullptr)) return true;
+      for (const TwoWayBehavior& m1 : full) {
+        if (try_chain(&m1, nullptr)) return true;
+      }
+      for (const TwoWayBehavior& m2 : full) {
+        if (try_chain(nullptr, &m2)) return true;
+      }
+      for (const TwoWayBehavior& m1 : full) {
+        for (const TwoWayBehavior& m2 : full) {
+          if (try_chain(&m1, &m2)) return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace strdb

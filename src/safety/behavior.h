@@ -1,0 +1,83 @@
+#ifndef STRDB_SAFETY_BEHAVIOR_H_
+#define STRDB_SAFETY_BEHAVIOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/result.h"
+#include "safety/crossing.h"
+
+namespace strdb {
+
+// A Shepherdson/Birget-style *two-way behaviour* of a word w on the
+// normalised b-machine: four n×n matrices describing how a head that
+// enters w from either side can leave it, with per-path label evidence.
+//
+// Entry layout (uint32): bit 0 = some path exists; bit 1+i = some path
+// exists that uses a transition whose BTransition::mask has bit i set.
+//
+// Behaviours compose associatively (Compose iterates the head's bounces
+// across the seam), and the set of behaviours of all words is a finite
+// monoid — the canonical, permutation-free counterpart of the paper's
+// crossing-sequence automaton A''.  The limitation analysis saturates
+// this monoid instead of materialising A'' (whose explicit state space
+// is factorial in practice; see crossing.h for the faithful reference
+// construction, which remains available for small machines).
+struct TwoWayBehavior {
+  int n = 0;
+  std::vector<uint32_t> ll, lr, rl, rr;  // n*n each
+
+  bool operator<(const TwoWayBehavior& o) const;
+  bool operator==(const TwoWayBehavior& o) const;
+};
+
+// Keep transitions for which the filter returns true (null = keep all).
+using TransitionFilter = std::function<bool(const BTransition&)>;
+
+class BehaviorEngine {
+ public:
+  BehaviorEngine(const BMachine& machine, const Alphabet& alphabet)
+      : machine_(machine), alphabet_(alphabet) {}
+
+  // Behaviour of the one-square word holding `c`.
+  TwoWayBehavior CharBehavior(Sym c, const TransitionFilter& filter) const;
+
+  TwoWayBehavior Compose(const TwoWayBehavior& a,
+                         const TwoWayBehavior& b) const;
+
+  // Behaviours of all nonempty interior (Σ-only) words under `filter`,
+  // saturated left to right.  kResourceExhausted past `max_behaviors`.
+  Result<std::vector<TwoWayBehavior>> SaturateInterior(
+      const TransitionFilter& filter, int64_t max_behaviors) const;
+
+  // True iff the behaviour of the complete word ⊢w⊣ accepts: a path
+  // enters at the start state on ⊢ and leaves past ⊣ in the exit state.
+  // `interior` is the behaviour of w (nullptr for w = ε), and
+  // `required_mask_bits` restricts to paths whose label evidence covers
+  // all the given BTransition-mask bits.
+  bool Accepts(const TwoWayBehavior* interior, uint32_t required_mask_bits,
+               const TransitionFilter& filter) const;
+
+  // ∃ w: ⊢w⊣ accepted through a path covering `required_mask_bits`,
+  // with transitions restricted by `filter`.
+  Result<bool> NonemptyWith(uint32_t required_mask_bits,
+                            const TransitionFilter& filter,
+                            int64_t max_behaviors) const;
+
+  // The horizontal ("hard") pumping check for a bidirectional *output*:
+  // ∃ u, v, w with v nonempty and read-free (no unidirectional input
+  // moves while the head is inside v) such that ⊢ u v^j w ⊣ is accepted
+  // for infinitely many j.  Detected through the eventual cycle of
+  // E-powers for every read-free interior behaviour E, composed with
+  // arbitrary full-machine prefixes and suffixes.
+  Result<bool> HasGrowingPump(int64_t max_behaviors) const;
+
+ private:
+  const BMachine& machine_;
+  const Alphabet& alphabet_;
+};
+
+}  // namespace strdb
+
+#endif  // STRDB_SAFETY_BEHAVIOR_H_

@@ -1,0 +1,687 @@
+#include "safety/crossing.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+namespace strdb {
+
+namespace {
+
+// Adds a transition to the machine under construction.
+void AddB(BMachine* m, int from, int to, Sym read_b, int b_move,
+          uint32_t mask) {
+  int idx = static_cast<int>(m->transitions.size());
+  m->transitions.push_back(BTransition{from, to, read_b, b_move, mask});
+  m->out[static_cast<size_t>(from)].push_back(idx);
+}
+
+}  // namespace
+
+Result<BMachine> BuildBMachine(const Fsa& fsa, int b,
+                               const std::vector<bool>& is_input) {
+  if (static_cast<int>(is_input.size()) != fsa.num_tapes()) {
+    return Status::InvalidArgument("is_input must have one entry per tape");
+  }
+  if (!fsa.FinalStatesHaveNoExits()) {
+    return Status::InvalidArgument(
+        "crossing analysis requires final states without outgoing "
+        "transitions");
+  }
+  // Unidirectional output tape numbering (for the easy-flag bits).
+  std::vector<int> output_index(static_cast<size_t>(fsa.num_tapes()), -1);
+  int num_outputs = 0;
+  for (int i = 0; i < fsa.num_tapes(); ++i) {
+    if (i != b && !is_input[static_cast<size_t>(i)]) {
+      output_index[static_cast<size_t>(i)] = num_outputs++;
+    }
+  }
+  if (num_outputs > 24) {
+    return Status::InvalidArgument("too many output tapes for the mask");
+  }
+
+  BMachine m;
+  m.num_uni_outputs = num_outputs;
+  const int wind = fsa.num_states();
+  const int exit = wind + 1;
+  m.num_states = exit + 1;
+  m.start = fsa.start();
+  m.exit_state = exit;
+  m.out.resize(static_cast<size_t>(m.num_states));
+
+  // The cleanup winding loop: sweep b rightwards to ⊣ and step off it
+  // (the paper's pseudo-move past the endmarker; it exists only here).
+  for (Sym c = 0; c < fsa.alphabet().size(); ++c) {
+    AddB(&m, wind, wind, c, +1, 0);
+  }
+  AddB(&m, wind, exit, kRightEnd, +1, 0);
+
+  auto uni_labels = [&](const Transition& t) {
+    uint32_t mask = 0;
+    for (int i = 0; i < fsa.num_tapes(); ++i) {
+      if (i == b || t.move[static_cast<size_t>(i)] == 0) continue;
+      mask |= is_input[static_cast<size_t>(i)] ? kMaskReads : kMaskWrites;
+    }
+    return mask;
+  };
+
+  for (const Transition& t : fsa.transitions()) {
+    const Sym cb = t.read[static_cast<size_t>(b)];
+    const uint32_t lbl = uni_labels(t) | kMaskReal;
+    if (fsa.IsFinal(t.to)) {
+      // Cleanup: the accepting transition becomes an entry into the
+      // winding loop (or straight off ⊣ when it already scans it).  It
+      // keeps its labels and records which outputs still had unread
+      // tails — the "easy way" evidence.
+      uint32_t easy = 0;
+      for (int i = 0; i < fsa.num_tapes(); ++i) {
+        if (output_index[static_cast<size_t>(i)] < 0) continue;
+        if (t.read[static_cast<size_t>(i)] != kRightEnd) {
+          easy |= 1u << (kMaskEasyShift +
+                         output_index[static_cast<size_t>(i)]);
+        }
+      }
+      if (cb == kRightEnd) {
+        AddB(&m, t.from, exit, kRightEnd, +1, lbl | easy);
+      } else {
+        AddB(&m, t.from, wind, cb, +1, lbl | easy);
+      }
+      continue;
+    }
+    if (t.move[static_cast<size_t>(b)] != 0) {
+      AddB(&m, t.from, t.to, cb, t.move[static_cast<size_t>(b)], lbl);
+      continue;
+    }
+    // Dancing: a transition that does not move b gets split into a
+    // fake step away and back.  The first edge genuinely tests the
+    // square (kMaskReal); the second carries the unidirectional labels
+    // but reads the neighbouring square blindly.
+    int d = m.num_states++;
+    m.out.emplace_back();
+    if (cb != kLeftEnd) {
+      AddB(&m, t.from, d, cb, -1, kMaskReal);
+      for (Sym c = 0; c < fsa.alphabet().size(); ++c) {
+        AddB(&m, d, t.to, c, +1, uni_labels(t));
+      }
+      AddB(&m, d, t.to, kLeftEnd, +1, uni_labels(t));
+    } else {
+      AddB(&m, t.from, d, kLeftEnd, +1, kMaskReal);
+      for (Sym c = 0; c < fsa.alphabet().size(); ++c) {
+        AddB(&m, d, t.to, c, -1, uni_labels(t));
+      }
+      AddB(&m, d, t.to, kRightEnd, -1, uni_labels(t));
+    }
+  }
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Crossing-sequence automaton
+
+namespace {
+
+using Pair = std::pair<int, int>;        // (state, direction)
+using Sequence = std::vector<Pair>;
+
+// Enumerates the matches m(L; R; c; T) with L given, generating every
+// consistent right-border sequence R together with the aggregated label
+// mask of the match.  The head-visit simulation follows the inductive
+// definition in the paper: a visit enters the square from the left
+// (consuming an L element of direction +1) or from the right (guessing
+// a fresh R element of direction -1), takes one transition reading the
+// square's character, and exits left (consuming the next L element) or
+// right (appending to R).
+class MatchEnumerator {
+ public:
+  MatchEnumerator(const BMachine& machine, Sym c, const Sequence& left,
+                  int64_t max_steps)
+      : machine_(machine), c_(c), left_(left), max_steps_(max_steps) {
+    // States with at least one transition on c, as re-entry guesses.
+    for (int s = 0; s < machine.num_states; ++s) {
+      for (int ti : machine.out[static_cast<size_t>(s)]) {
+        if (machine.transitions[static_cast<size_t>(ti)].read_b == c_) {
+          reentry_states_.push_back(s);
+          break;
+        }
+      }
+    }
+  }
+
+  Status Run(std::set<std::pair<Sequence, uint32_t>>* results) {
+    results_ = results;
+    Sequence right;
+    std::map<Pair, int> occurrences;
+    return Between(0, /*side_right=*/false, &right, 0u, &occurrences);
+  }
+
+ private:
+  Status Tick() {
+    if (++steps_ > max_steps_) {
+      return Status::ResourceExhausted(
+          "match enumeration exceeded its step budget");
+    }
+    return Status::OK();
+  }
+
+  // The head is outside the square; `i` indexes the next unconsumed
+  // element of L; `side_right` tells which side it is on.
+  Status Between(size_t i, bool side_right, Sequence* right, uint32_t mask,
+                 std::map<Pair, int>* occurrences) {
+    STRDB_RETURN_IF_ERROR(Tick());
+    if (side_right) {
+      if (i == left_.size()) {
+        // The whole computation ends to the right of every border:
+        // this is a completed match.  (Other continuations below may
+        // re-enter and produce longer right sequences; matches with the
+        // same right sequence but different label masks are all kept.)
+        results_->insert({*right, mask});
+      }
+      // Guess a re-entry from the right.  Sequences are kept *direct*
+      // (every pair at most once): the paper's cutting argument shows
+      // direct computations suffice for the nonemptiness, easy and
+      // hard questions answered on A'' (the indirect behaviour needed
+      // for the Fig. 9-12 pump question is handled separately by the
+      // behaviour-monoid search).
+      for (int p : reentry_states_) {
+        Pair pr{p, -1};
+        int& occ = (*occurrences)[pr];
+        if (occ >= 1) continue;  // direct
+        ++occ;
+        right->push_back(pr);
+        Status status = Visit(p, i, right, mask, occurrences);
+        right->pop_back();
+        --occ;
+        STRDB_RETURN_IF_ERROR(status);
+      }
+      return Status::OK();
+    }
+    // Head to the left: the next event must be the next L element,
+    // which (by alternation of valid sequences) has direction +1.
+    if (i < left_.size() && left_[i].second == +1) {
+      return Visit(left_[i].first, i + 1, right, mask, occurrences);
+    }
+    return Status::OK();
+  }
+
+  // The head is on the square in state `p`; `i` indexes L's next
+  // unconsumed element.
+  Status Visit(int p, size_t i, Sequence* right, uint32_t mask,
+               std::map<Pair, int>* occurrences) {
+    STRDB_RETURN_IF_ERROR(Tick());
+    for (int ti : machine_.out[static_cast<size_t>(p)]) {
+      const BTransition& t = machine_.transitions[static_cast<size_t>(ti)];
+      if (t.read_b != c_) continue;
+      if (t.b_move == +1) {
+        Pair pr{t.to, +1};
+        int& occ = (*occurrences)[pr];
+        if (occ >= 1) continue;  // direct
+        ++occ;
+        right->push_back(pr);
+        Status status =
+            Between(i, /*side_right=*/true, right, mask | t.mask, occurrences);
+        right->pop_back();
+        --occ;
+        STRDB_RETURN_IF_ERROR(status);
+      } else {
+        // Exit left: consume the matching L element.
+        if (i < left_.size() && left_[i] == Pair{t.to, -1}) {
+          STRDB_RETURN_IF_ERROR(Between(i + 1, /*side_right=*/false, right,
+                                        mask | t.mask, occurrences));
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  const BMachine& machine_;
+  Sym c_;
+  const Sequence& left_;
+  int64_t max_steps_;
+  int64_t steps_ = 0;
+  std::vector<int> reentry_states_;
+  std::set<std::pair<Sequence, uint32_t>>* results_ = nullptr;
+};
+
+}  // namespace
+
+Result<CrossingAutomaton> BuildCrossingAutomaton(const BMachine& machine,
+                                                 const Alphabet& alphabet,
+                                                 int64_t max_states,
+                                                 int64_t max_match_steps) {
+  CrossingAutomaton aut;
+  std::map<Sequence, int> ids;
+  std::deque<int> worklist;
+
+  auto intern = [&](const Sequence& seq) {
+    auto [it, inserted] = ids.try_emplace(seq, -1);
+    if (inserted) {
+      it->second = static_cast<int>(aut.sequences.size());
+      aut.sequences.push_back(seq);
+      aut.out.emplace_back();
+      worklist.push_back(it->second);
+    }
+    return it->second;
+  };
+
+  Sequence start_seq = {{machine.start, +1}};
+  aut.start = intern(start_seq);
+  Sequence accept_seq = {{machine.exit_state, +1}};
+
+  std::vector<Sym> chars = alphabet.TapeSymbols();  // Σ then ⊢, ⊣
+  while (!worklist.empty()) {
+    int id = worklist.front();
+    worklist.pop_front();
+    if (aut.sequences[static_cast<size_t>(id)] == accept_seq) {
+      aut.accept = id;
+      continue;  // the exit sequence needs no outgoing edges
+    }
+    for (Sym c : chars) {
+      MatchEnumerator enumerator(machine, c,
+                                 aut.sequences[static_cast<size_t>(id)],
+                                 max_match_steps);
+      std::set<std::pair<Sequence, uint32_t>> results;
+      STRDB_RETURN_IF_ERROR(enumerator.Run(&results));
+      auto add_edge = [&](const Sequence& seq, uint32_t mask) -> Status {
+        if (static_cast<int64_t>(aut.sequences.size()) > max_states) {
+          return Status::ResourceExhausted(
+              "crossing automaton exceeded max_states");
+        }
+        int to = intern(seq);
+        int eidx = static_cast<int>(aut.edges.size());
+        aut.edges.push_back(CrossingEdge{id, to, c, mask});
+        aut.out[static_cast<size_t>(id)].push_back(eidx);
+        return Status::OK();
+      };
+      for (const auto& [seq, mask] : results) {
+        STRDB_RETURN_IF_ERROR(add_edge(seq, mask));
+      }
+    }
+  }
+  if (aut.accept < 0) {
+    auto it = ids.find(accept_seq);
+    if (it != ids.end()) aut.accept = it->second;
+  }
+  return aut;
+}
+
+// ---------------------------------------------------------------------------
+// Queries
+
+CrossingReachability ComputeReachability(const CrossingAutomaton& aut) {
+  CrossingReachability r;
+  size_t n = aut.sequences.size();
+  r.forward.assign(n, false);
+  r.backward.assign(n, false);
+  // Forward: after the initial ⊢ edge, close over interior (Σ) edges.
+  std::deque<int> queue;
+  for (int ei : aut.out[static_cast<size_t>(aut.start)]) {
+    const CrossingEdge& e = aut.edges[static_cast<size_t>(ei)];
+    if (e.ch == kLeftEnd && !r.forward[static_cast<size_t>(e.to)]) {
+      r.forward[static_cast<size_t>(e.to)] = true;
+      queue.push_back(e.to);
+    }
+  }
+  while (!queue.empty()) {
+    int s = queue.front();
+    queue.pop_front();
+    for (int ei : aut.out[static_cast<size_t>(s)]) {
+      const CrossingEdge& e = aut.edges[static_cast<size_t>(ei)];
+      if (IsEndmarker(e.ch)) continue;
+      if (!r.forward[static_cast<size_t>(e.to)]) {
+        r.forward[static_cast<size_t>(e.to)] = true;
+        queue.push_back(e.to);
+      }
+    }
+  }
+  // Backward: states with a ⊣ edge into accept, closed over reversed
+  // interior edges.
+  if (aut.accept < 0) return r;
+  std::vector<std::vector<int>> rev(n);
+  for (size_t ei = 0; ei < aut.edges.size(); ++ei) {
+    const CrossingEdge& e = aut.edges[ei];
+    if (!IsEndmarker(e.ch)) rev[static_cast<size_t>(e.to)].push_back(e.from);
+    if (e.ch == kRightEnd && e.to == aut.accept &&
+        !r.backward[static_cast<size_t>(e.from)]) {
+      r.backward[static_cast<size_t>(e.from)] = true;
+      queue.push_back(e.from);
+    }
+  }
+  while (!queue.empty()) {
+    int s = queue.front();
+    queue.pop_front();
+    for (int from : rev[static_cast<size_t>(s)]) {
+      if (!r.backward[static_cast<size_t>(from)]) {
+        r.backward[static_cast<size_t>(from)] = true;
+        queue.push_back(from);
+      }
+    }
+  }
+  return r;
+}
+
+bool CrossingNonempty(const CrossingAutomaton& aut) {
+  if (aut.accept < 0) return false;
+  CrossingReachability r = ComputeReachability(aut);
+  for (const CrossingEdge& e : aut.edges) {
+    if (e.ch == kRightEnd && e.to == aut.accept &&
+        r.forward[static_cast<size_t>(e.from)]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool CrossingHasAcceptingEdgeWith(const CrossingAutomaton& aut,
+                                  uint32_t required) {
+  if (aut.accept < 0) return false;
+  CrossingReachability r = ComputeReachability(aut);
+  for (const CrossingEdge& e : aut.edges) {
+    if ((e.mask & required) != required) continue;
+    if (e.ch == kLeftEnd) {
+      if (e.from == aut.start && r.backward[static_cast<size_t>(e.to)]) {
+        return true;
+      }
+    } else if (e.ch == kRightEnd) {
+      if (e.to == aut.accept && r.forward[static_cast<size_t>(e.from)]) {
+        return true;
+      }
+    } else {
+      if (r.forward[static_cast<size_t>(e.from)] &&
+          r.backward[static_cast<size_t>(e.to)]) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool CrossingHasAcceptingLastEdgeWithout(const CrossingAutomaton& aut,
+                                         uint32_t forbidden) {
+  if (aut.accept < 0) return false;
+  CrossingReachability r = ComputeReachability(aut);
+  for (const CrossingEdge& e : aut.edges) {
+    if (e.ch == kRightEnd && e.to == aut.accept &&
+        r.forward[static_cast<size_t>(e.from)] && (e.mask & forbidden) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool CrossingHasLiveCycleWithout(const CrossingAutomaton& aut,
+                                 uint32_t forbidden) {
+  if (aut.accept < 0) return false;
+  CrossingReachability r = ComputeReachability(aut);
+  size_t n = aut.sequences.size();
+  // Iterative Tarjan-free cycle detection: repeated DFS with colors on
+  // the live subgraph of interior edges lacking the forbidden bits.
+  std::vector<int> color(n, 0);  // 0 white, 1 on stack, 2 done
+  std::vector<std::pair<int, size_t>> stack;
+  for (size_t root = 0; root < n; ++root) {
+    if (color[root] != 0) continue;
+    if (!r.forward[root] || !r.backward[root]) continue;
+    stack.push_back({static_cast<int>(root), 0});
+    color[root] = 1;
+    while (!stack.empty()) {
+      int s = stack.back().first;
+      size_t& next = stack.back().second;
+      bool descended = false;
+      while (next < aut.out[static_cast<size_t>(s)].size()) {
+        int ei = aut.out[static_cast<size_t>(s)][next++];
+        const CrossingEdge& e = aut.edges[static_cast<size_t>(ei)];
+        if (IsEndmarker(e.ch) || (e.mask & forbidden) != 0) continue;
+        if (!r.forward[static_cast<size_t>(e.to)] ||
+            !r.backward[static_cast<size_t>(e.to)]) {
+          continue;
+        }
+        if (color[static_cast<size_t>(e.to)] == 1) return true;  // back edge
+        if (color[static_cast<size_t>(e.to)] == 0) {
+          color[static_cast<size_t>(e.to)] = 1;
+          stack.push_back({e.to, 0});
+          descended = true;
+          break;
+        }
+      }
+      if (!descended) {
+        color[static_cast<size_t>(s)] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Computation-pump detection by behaviour-monoid saturation
+
+namespace {
+
+// 2-bit reachability entries: bit 0 = reachable, bit 1 = reachable with
+// at least one write on the way.
+using Mat = std::vector<uint8_t>;  // n*n entries
+
+struct Behavior {
+  // LL: enter left / exit left; LR: enter left / exit right;
+  // RL: enter right / exit left; RR: enter right / exit right.
+  Mat ll, lr, rl, rr;
+  bool write_cycle = false;
+
+  bool operator<(const Behavior& o) const {
+    if (write_cycle != o.write_cycle) return write_cycle < o.write_cycle;
+    if (ll != o.ll) return ll < o.ll;
+    if (lr != o.lr) return lr < o.lr;
+    if (rl != o.rl) return rl < o.rl;
+    return rr < o.rr;
+  }
+};
+
+class PumpSearch {
+ public:
+  PumpSearch(const BMachine& machine, const Alphabet& alphabet)
+      : m_(machine), n_(machine.num_states), alphabet_(alphabet) {}
+
+  // The behaviour of the one-square word holding symbol c, over the
+  // non-reading transitions.
+  Behavior CharBehavior(Sym c) const {
+    Behavior b;
+    b.ll.assign(static_cast<size_t>(n_) * n_, 0);
+    b.lr.assign(static_cast<size_t>(n_) * n_, 0);
+    for (const BTransition& t : m_.transitions) {
+      if (t.read_b != c) continue;
+      if ((t.mask & kMaskReads) != 0) continue;  // pump may not read input
+      uint8_t bits = 1;
+      if ((t.mask & kMaskWrites) != 0) bits |= 2;
+      size_t idx = static_cast<size_t>(t.from) * n_ + t.to;
+      Mat& mat = (t.b_move == kBack) ? b.ll : b.lr;
+      mat[idx] |= bits;
+    }
+    // One square: behaviour does not depend on the entry side.
+    b.rl = b.ll;
+    b.rr = b.lr;
+    return b;
+  }
+
+  // Sequential composition w = u · v, iterating head bounces across the
+  // seam.
+  Behavior Compose(const Behavior& u, const Behavior& v) const {
+    // Bounce graph over 2n nodes: A_q = entering u from its right in
+    // state q; B_q = entering v from its left in state q.
+    // Edges: A_q -> B_{q'} via u.rr; B_q -> A_{q'} via v.ll.
+    const int N = 2 * n_;
+    auto node_a = [&](int q) { return q; };
+    auto node_b = [&](int q) { return n_ + q; };
+    // Closure with write bits: closure[x*N+y] in {0,1,3}.
+    Mat closure(static_cast<size_t>(N) * N, 0);
+    for (int x = 0; x < N; ++x) {
+      closure[static_cast<size_t>(x) * N + x] = 1;  // empty path
+    }
+    auto edge_bits = [&](int x, int y) -> uint8_t {
+      if (x < n_ && y >= n_) {
+        return u.rr[static_cast<size_t>(x) * n_ + (y - n_)];
+      }
+      if (x >= n_ && y < n_) {
+        return v.ll[static_cast<size_t>(x - n_) * n_ + y];
+      }
+      return 0;
+    };
+    // Saturate (small graphs: simple fixpoint).
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (int x = 0; x < N; ++x) {
+        for (int y = 0; y < N; ++y) {
+          uint8_t xy = closure[static_cast<size_t>(x) * N + y];
+          if (!(xy & 1)) continue;
+          for (int z = 0; z < N; ++z) {
+            uint8_t yz = edge_bits(y, z);
+            if (!(yz & 1)) continue;
+            uint8_t bits =
+                static_cast<uint8_t>(1 | ((xy | yz) & 2));
+            uint8_t& cell = closure[static_cast<size_t>(x) * N + z];
+            if ((cell | bits) != cell) {
+              cell |= bits;
+              changed = true;
+            }
+          }
+        }
+      }
+    }
+
+    Behavior w;
+    w.ll.assign(static_cast<size_t>(n_) * n_, 0);
+    w.lr.assign(static_cast<size_t>(n_) * n_, 0);
+    w.rl.assign(static_cast<size_t>(n_) * n_, 0);
+    w.rr.assign(static_cast<size_t>(n_) * n_, 0);
+    w.write_cycle = u.write_cycle || v.write_cycle;
+    // A write-carrying cycle in the bounce graph is a pump.
+    for (int x = 0; x < N && !w.write_cycle; ++x) {
+      for (int y = 0; y < N; ++y) {
+        uint8_t e = edge_bits(x, y);
+        if ((e & 3) == 3 &&
+            (closure[static_cast<size_t>(y) * N + x] & 1) != 0) {
+          w.write_cycle = true;
+          break;
+        }
+        // A plain edge on a cycle that carries a write elsewhere.
+        if ((e & 1) != 0 &&
+            (closure[static_cast<size_t>(y) * N + x] & 2) != 0) {
+          w.write_cycle = true;
+          break;
+        }
+      }
+    }
+
+    // Entering w from the LEFT in state q = entering u from the left.
+    //  * exit left directly: u.ll
+    //  * reach B via u.lr, bounce, then exit:
+    //      - exit left: ... A_p with u.rl[p][q']
+    //      - exit right: ... B_p with v.lr[p][q']
+    auto bounce_exit = [&](int start_node, uint8_t entry_bits, Mat* out_l,
+                           Mat* out_r, int q) {
+      for (int z = 0; z < N; ++z) {
+        uint8_t path = closure[static_cast<size_t>(start_node) * N + z];
+        if (!(path & 1)) continue;
+        uint8_t acc = static_cast<uint8_t>(1 | ((entry_bits | path) & 2));
+        if (z < n_) {
+          // A_z: may exit left of w via u.rl.
+          for (int q2 = 0; q2 < n_; ++q2) {
+            uint8_t leg = u.rl[static_cast<size_t>(z) * n_ + q2];
+            if (!(leg & 1)) continue;
+            uint8_t bits = static_cast<uint8_t>(1 | ((acc | leg) & 2));
+            (*out_l)[static_cast<size_t>(q) * n_ + q2] |= bits;
+          }
+        } else {
+          // B_z: may exit right of w via v.lr.
+          for (int q2 = 0; q2 < n_; ++q2) {
+            uint8_t leg = v.lr[static_cast<size_t>(z - n_) * n_ + q2];
+            if (!(leg & 1)) continue;
+            uint8_t bits = static_cast<uint8_t>(1 | ((acc | leg) & 2));
+            (*out_r)[static_cast<size_t>(q) * n_ + q2] |= bits;
+          }
+        }
+      }
+    };
+
+    for (int q = 0; q < n_; ++q) {
+      // Direct passes.
+      for (int q2 = 0; q2 < n_; ++q2) {
+        w.ll[static_cast<size_t>(q) * n_ + q2] |=
+            u.ll[static_cast<size_t>(q) * n_ + q2];
+        w.rr[static_cast<size_t>(q) * n_ + q2] |=
+            v.rr[static_cast<size_t>(q) * n_ + q2];
+      }
+      // Left entry reaching the seam: u.lr lands in B.
+      for (int p = 0; p < n_; ++p) {
+        uint8_t first = u.lr[static_cast<size_t>(q) * n_ + p];
+        if (first & 1) bounce_exit(node_b(p), first, &w.ll, &w.lr, q);
+      }
+      // Right entry reaching the seam: v.rl lands in A.
+      for (int p = 0; p < n_; ++p) {
+        uint8_t first = v.rl[static_cast<size_t>(q) * n_ + p];
+        if (first & 1) bounce_exit(node_a(p), first, &w.rl, &w.rr, q);
+      }
+    }
+    return w;
+  }
+
+  Result<bool> Run(int64_t max_behaviors) {
+    // Generators.
+    std::vector<Behavior> sigma_gens;
+    for (Sym c = 0; c < alphabet_.size(); ++c) {
+      sigma_gens.push_back(CharBehavior(c));
+    }
+    Behavior left_end = CharBehavior(kLeftEnd);
+    Behavior right_end = CharBehavior(kRightEnd);
+
+    // BFS over reachable word behaviours.  Key: (behaviour, has ⊢, has ⊣).
+    std::set<std::pair<Behavior, std::pair<bool, bool>>> seen;
+    std::deque<std::pair<Behavior, std::pair<bool, bool>>> frontier;
+    auto visit = [&](Behavior b, bool l, bool r) -> Result<bool> {
+      if (b.write_cycle) return true;
+      if (static_cast<int64_t>(seen.size()) >
+          max_behaviors) {
+        return Status::ResourceExhausted(
+            "pump search exceeded max_pump_behaviors");
+      }
+      auto key = std::make_pair(std::move(b), std::make_pair(l, r));
+      if (seen.insert(key).second) frontier.push_back(*seen.find(key));
+      return false;
+    };
+    STRDB_ASSIGN_OR_RETURN(bool found, visit(left_end, true, false));
+    if (found) return true;
+    for (const Behavior& g : sigma_gens) {
+      STRDB_ASSIGN_OR_RETURN(found, visit(g, false, false));
+      if (found) return true;
+    }
+    while (!frontier.empty()) {
+      auto [b, flags] = frontier.front();
+      frontier.pop_front();
+      auto [has_left, has_right] = flags;
+      if (has_right) continue;  // cannot extend past ⊣
+      for (const Behavior& g : sigma_gens) {
+        STRDB_ASSIGN_OR_RETURN(found, visit(Compose(b, g), has_left, false));
+        if (found) return true;
+      }
+      STRDB_ASSIGN_OR_RETURN(found,
+                             visit(Compose(b, right_end), has_left, true));
+      if (found) return true;
+    }
+    return false;
+  }
+
+ private:
+  const BMachine& m_;
+  int n_;
+  const Alphabet& alphabet_;
+};
+
+}  // namespace
+
+Result<bool> FindOutputPump(const BMachine& machine, const Alphabet& alphabet,
+                            int64_t max_behaviors) {
+  PumpSearch search(machine, alphabet);
+  return search.Run(max_behaviors);
+}
+
+}  // namespace strdb

@@ -1,0 +1,133 @@
+#ifndef STRDB_SAFETY_CROSSING_H_
+#define STRDB_SAFETY_CROSSING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/result.h"
+#include "fsa/fsa.h"
+
+namespace strdb {
+
+// Internal machinery for the right-restricted limitation analysis
+// (Theorem 5.2): the bidirectional tape b is singled out, the automaton
+// is normalised so that *every* transition moves b by one square
+// (cleanup winding + dancing, as in the paper), and the behaviour on b
+// is abstracted into the crossing-sequence automaton A''.
+//
+// Unidirectional tapes are "disregarded" as in the paper: property 5
+// (guaranteed by ConsistifyReads) makes any path realisable on them, so
+// transitions only keep aggregate labels — whether they advance a
+// unidirectional input (reading) or output (writing).
+
+// Bits of the aggregate label mask carried by crossing-automaton edges.
+inline constexpr uint32_t kMaskReads = 1u << 0;   // advances a uni input
+inline constexpr uint32_t kMaskWrites = 1u << 1;  // advances a uni output
+inline constexpr uint32_t kMaskReal = 1u << 2;    // not cleanup/dancing
+// Bits 3.. flag, per unidirectional output tape (in output order), an
+// accepting transition that fired before that output's ⊣ was read.
+inline constexpr int kMaskEasyShift = 3;
+
+// One transition of the normalised single-bidirectional-tape view.
+struct BTransition {
+  int from = 0;
+  int to = 0;
+  Sym read_b = kLeftEnd;  // symbol under b's head
+  int b_move = +1;        // ±1 (+1 "past ⊣" only into the exit state)
+  uint32_t mask = 0;      // label bits as above
+};
+
+struct BMachine {
+  int num_states = 0;
+  int start = 0;
+  int exit_state = 0;  // the unique accepting sink after cleanup
+  std::vector<BTransition> transitions;
+  std::vector<std::vector<int>> out;  // transition indices by from-state
+  int num_uni_outputs = 0;            // easy-flag width
+};
+
+// Builds the normalised b-machine from a *trimmed, read-consistified*
+// automaton whose final states have no outgoing transitions.  `b` is
+// the bidirectional tape; `is_input[i]` classifies the tapes.
+Result<BMachine> BuildBMachine(const Fsa& fsa, int b,
+                               const std::vector<bool>& is_input);
+
+// The crossing-sequence automaton A'': a one-way NFA over Σ ∪ {⊢, ⊣}
+// whose states are valid almost-direct crossing sequences of the
+// b-machine and whose edges carry the match's aggregate label mask.
+struct CrossingEdge {
+  int from = 0;
+  int to = 0;
+  Sym ch = kLeftEnd;
+  uint32_t mask = 0;
+};
+
+struct CrossingAutomaton {
+  // sequences[i] is state i: (b-machine state, direction ±1) pairs.
+  std::vector<std::vector<std::pair<int, int>>> sequences;
+  int start = 0;
+  int accept = -1;  // index of ⟨(exit,+1)⟩, or -1 if never reached
+  std::vector<CrossingEdge> edges;
+  std::vector<std::vector<int>> out;  // edge indices by from-state
+
+  int64_t num_states() const {
+    return static_cast<int64_t>(sequences.size());
+  }
+};
+
+// Builds A'' breadth-first from ⟨(start,+1)⟩.  Fails with
+// kResourceExhausted when more than `max_states` sequences appear or a
+// single match enumeration exceeds `max_match_steps`.
+Result<CrossingAutomaton> BuildCrossingAutomaton(const BMachine& machine,
+                                                 const Alphabet& alphabet,
+                                                 int64_t max_states,
+                                                 int64_t max_match_steps);
+
+// Answers on A'' (all phase-aware: a run is ⊢ · Σ* · ⊣):
+
+// States reachable from the start (after the initial ⊢ edge ... interior
+// phase) and states from which the accept state is reachable; both over
+// the interior (Σ) phase.  Exposed for the query helpers below.
+struct CrossingReachability {
+  std::vector<bool> forward;   // reachable in the interior phase
+  std::vector<bool> backward;  // can still reach accept
+};
+CrossingReachability ComputeReachability(const CrossingAutomaton& aut);
+
+// Is there an accepting run at all?
+bool CrossingNonempty(const CrossingAutomaton& aut);
+
+// Is there an accepting run through an edge whose mask has all bits of
+// `required` set?
+bool CrossingHasAcceptingEdgeWith(const CrossingAutomaton& aut,
+                                  uint32_t required);
+
+// Is there an accepting run whose final (⊣) edge lacks all bits of
+// `forbidden`?
+bool CrossingHasAcceptingLastEdgeWithout(const CrossingAutomaton& aut,
+                                         uint32_t forbidden);
+
+// Is there a cycle, inside the live interior phase, using only edges
+// without any bit of `forbidden`?
+bool CrossingHasLiveCycleWithout(const CrossingAutomaton& aut,
+                                 uint32_t forbidden);
+
+// The "computation pump" check (paper Figs. 9-12): does the b-machine
+// admit a cyclic computation fragment over *some* fixed content of tape
+// b that moves no unidirectional input but advances a unidirectional
+// output?  Such a pump makes outputs unbounded for fixed inputs.
+//
+// Decided exactly (up to the behaviour budget) by saturating the
+// two-way behaviour monoid of the machine restricted to non-reading
+// transitions: the behaviour of a window word w records, as
+// reach/reach-with-write matrices, how a head entering w from either
+// side can leave it, plus whether a write-carrying internal cycle
+// exists; composition of behaviours iterates the head's bounces across
+// the seam.  The search enumerates the finitely many reachable
+// behaviours of ⊢?Σ*⊣? windows.
+Result<bool> FindOutputPump(const BMachine& machine, const Alphabet& alphabet,
+                            int64_t max_behaviors);
+
+}  // namespace strdb
+
+#endif  // STRDB_SAFETY_CROSSING_H_

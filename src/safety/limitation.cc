@@ -1,0 +1,327 @@
+#include "safety/limitation.h"
+
+#include <algorithm>
+
+#include "fsa/compile.h"
+#include "fsa/normalize.h"
+#include "safety/behavior.h"
+#include "safety/crossing.h"
+
+namespace strdb {
+
+int64_t LimitBound::Eval(const std::vector<int>& input_lens) const {
+  int64_t rho = 1;
+  for (int n : input_lens) rho += n + 1;
+  int64_t out = scale;
+  for (int d = 0; d < degree; ++d) out *= rho;
+  return out;
+}
+
+namespace {
+
+// The easy/hard checks for automata with no bidirectional tape
+// (Theorem 5.2, the simpler half).  `fsa` must be trimmed, consistified
+// and have final states without exits.
+LimitationReport AnalyzeUnidirectional(const Fsa& fsa,
+                                       const std::vector<bool>& is_input) {
+  LimitationReport report;
+  // The easy way: an accepting transition fires while some output tape
+  // has not yet scanned its right endmarker — the unread tail is then
+  // arbitrary, so infinitely many outputs are accepted.
+  for (const Transition& t : fsa.transitions()) {
+    if (!fsa.IsFinal(t.to)) continue;
+    for (int o = 0; o < fsa.num_tapes(); ++o) {
+      if (is_input[static_cast<size_t>(o)]) continue;
+      if (t.read[static_cast<size_t>(o)] != kRightEnd) {
+        report.verdict = LimitationVerdict::kUnlimitedEasy;
+        report.explanation =
+            "accepts while output tape " + std::to_string(o) +
+            " still has an unread tail (transition " +
+            std::to_string(t.from) + "->" + std::to_string(t.to) + ")";
+        return report;
+      }
+    }
+  }
+  // The hard way: a cycle of non-reading transitions that includes a
+  // writing transition keeps producing output without consuming input.
+  // Detect with a colour DFS over the non-reading subgraph.
+  auto is_reading = [&](const Transition& t) {
+    for (int i = 0; i < fsa.num_tapes(); ++i) {
+      if (is_input[static_cast<size_t>(i)] &&
+          t.move[static_cast<size_t>(i)] != 0) {
+        return true;
+      }
+    }
+    return false;
+  };
+  auto is_writing = [&](const Transition& t) {
+    for (int i = 0; i < fsa.num_tapes(); ++i) {
+      if (!is_input[static_cast<size_t>(i)] &&
+          t.move[static_cast<size_t>(i)] != 0) {
+        return true;
+      }
+    }
+    return false;
+  };
+  // Tarjan-style SCC via iterative Kosaraju: simpler — compute SCC ids
+  // with two DFS passes over the non-reading subgraph.
+  int n = fsa.num_states();
+  std::vector<std::vector<int>> fwd(static_cast<size_t>(n));
+  std::vector<std::vector<int>> bwd(static_cast<size_t>(n));
+  for (const Transition& t : fsa.transitions()) {
+    if (is_reading(t)) continue;
+    fwd[static_cast<size_t>(t.from)].push_back(t.to);
+    bwd[static_cast<size_t>(t.to)].push_back(t.from);
+  }
+  std::vector<int> order;
+  std::vector<bool> seen(static_cast<size_t>(n), false);
+  for (int root = 0; root < n; ++root) {
+    if (seen[static_cast<size_t>(root)]) continue;
+    // Iterative post-order.
+    std::vector<std::pair<int, size_t>> stack = {{root, 0}};
+    seen[static_cast<size_t>(root)] = true;
+    while (!stack.empty()) {
+      auto& [s, idx] = stack.back();
+      if (idx < fwd[static_cast<size_t>(s)].size()) {
+        int to = fwd[static_cast<size_t>(s)][idx++];
+        if (!seen[static_cast<size_t>(to)]) {
+          seen[static_cast<size_t>(to)] = true;
+          stack.push_back({to, 0});
+        }
+      } else {
+        order.push_back(s);
+        stack.pop_back();
+      }
+    }
+  }
+  std::vector<int> scc(static_cast<size_t>(n), -1);
+  int num_scc = 0;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if (scc[static_cast<size_t>(*it)] >= 0) continue;
+    std::vector<int> stack = {*it};
+    scc[static_cast<size_t>(*it)] = num_scc;
+    while (!stack.empty()) {
+      int s = stack.back();
+      stack.pop_back();
+      for (int from : bwd[static_cast<size_t>(s)]) {
+        if (scc[static_cast<size_t>(from)] < 0) {
+          scc[static_cast<size_t>(from)] = num_scc;
+          stack.push_back(from);
+        }
+      }
+    }
+    ++num_scc;
+  }
+  for (const Transition& t : fsa.transitions()) {
+    if (is_reading(t) || !is_writing(t)) continue;
+    if (scc[static_cast<size_t>(t.from)] == scc[static_cast<size_t>(t.to)]) {
+      report.verdict = LimitationVerdict::kUnlimitedHard;
+      report.explanation =
+          "output-producing loop through states " + std::to_string(t.from) +
+          " and " + std::to_string(t.to) + " consumes no input";
+      return report;
+    }
+  }
+  report.verdict = LimitationVerdict::kLimited;
+  report.bound.scale = std::max(1, fsa.num_transitions());
+  report.bound.degree = 1;
+  report.explanation =
+      "no easy acceptance and no input-free writing loop: outputs are "
+      "bounded by |A| * rho(inputs) (Theorem 5.2, linear case)";
+  return report;
+}
+
+}  // namespace
+
+Result<LimitationReport> AnalyzeLimitation(const Fsa& fsa,
+                                           const std::vector<bool>& is_input,
+                                           const LimitationOptions& options) {
+  if (static_cast<int>(is_input.size()) != fsa.num_tapes()) {
+    return Status::InvalidArgument("is_input must have one entry per tape");
+  }
+  if (!fsa.FinalStatesHaveNoExits()) {
+    return Status::InvalidArgument(
+        "limitation analysis requires final states without outgoing "
+        "transitions (CompileStringFormula automata qualify)");
+  }
+  bool has_output = false;
+  for (bool b : is_input) has_output |= !b;
+  if (!has_output) {
+    LimitationReport report;
+    report.verdict = LimitationVerdict::kLimited;
+    report.bound = LimitBound{0, 1};
+    report.explanation = "no output tapes: trivially limited";
+    return report;
+  }
+
+  // Normalise: read-advice consistification makes every surviving path
+  // realisable on the unidirectional tapes (property 5), and trimming
+  // removes states that cannot take part in an accepting computation.
+  STRDB_ASSIGN_OR_RETURN(ReadAdvisedFsa advised, ConsistifyReads(fsa));
+  Fsa machine = std::move(advised.fsa);
+  machine.PruneToTrim();
+
+  LimitationReport report;
+  if (machine.FinalStates().empty()) {
+    report.verdict = LimitationVerdict::kEmptyLanguage;
+    report.bound = LimitBound{0, 1};
+    report.explanation = "L(A) is empty: vacuously limited";
+    return report;
+  }
+  if (machine.IsFinal(machine.start())) {
+    // Accepts by the empty computation: nothing constrains any tape.
+    report.verdict = LimitationVerdict::kUnlimitedEasy;
+    report.explanation = "the start state is final: outputs unconstrained";
+    return report;
+  }
+
+  // Classify tapes on the trimmed machine (dead transitions must not
+  // count towards bidirectionality).
+  std::vector<int> bidi_tapes;
+  for (int i = 0; i < machine.num_tapes(); ++i) {
+    if (machine.IsTapeBidirectional(i)) bidi_tapes.push_back(i);
+  }
+  if (bidi_tapes.empty()) {
+    return AnalyzeUnidirectional(machine, is_input);
+  }
+  if (bidi_tapes.size() > 1) {
+    return Status::Unimplemented(
+        "limitation with two or more bidirectional tapes is undecidable "
+        "in general (Theorem 5.1); this analyser handles the "
+        "right-restricted class");
+  }
+
+  const int b = bidi_tapes[0];
+  const bool b_is_output = !is_input[static_cast<size_t>(b)];
+  STRDB_ASSIGN_OR_RETURN(BMachine bmachine,
+                         BuildBMachine(machine, b, is_input));
+  // The questions of Theorem 5.2 are answered on the two-way behaviour
+  // monoid of the normalised machine — the canonical counterpart of the
+  // paper's crossing-sequence automaton A'' (see safety/behavior.h).
+  BehaviorEngine engine(bmachine, machine.alphabet());
+  const int64_t budget = options.max_behaviors;
+  STRDB_ASSIGN_OR_RETURN(bool nonempty,
+                         engine.NonemptyWith(0, nullptr, budget));
+  if (!nonempty) {
+    report.verdict = LimitationVerdict::kEmptyLanguage;
+    report.bound = LimitBound{0, 1};
+    report.explanation = "L(A) is empty (no accepting crossing picture)";
+    return report;
+  }
+
+  // Easy way on each unidirectional output.
+  for (int o = 0; o < bmachine.num_uni_outputs; ++o) {
+    uint32_t bit = 1u << (kMaskEasyShift + o);
+    STRDB_ASSIGN_OR_RETURN(bool easy,
+                           engine.NonemptyWith(bit, nullptr, budget));
+    if (easy) {
+      report.verdict = LimitationVerdict::kUnlimitedEasy;
+      report.explanation =
+          "accepts while unidirectional output #" + std::to_string(o) +
+          " still has an unread tail";
+      return report;
+    }
+  }
+  if (b_is_output) {
+    // Easy way on b itself: some accepting run never genuinely reads
+    // b's right endmarker (only cleanup winding and dancing touch ⊣),
+    // so b's tail is unconstrained.
+    auto no_real_end = [](const BTransition& t) {
+      return !((t.mask & kMaskReal) != 0 && t.read_b == kRightEnd);
+    };
+    STRDB_ASSIGN_OR_RETURN(bool easy_b,
+                           engine.NonemptyWith(0, no_real_end, budget));
+    if (easy_b) {
+      report.verdict = LimitationVerdict::kUnlimitedEasy;
+      report.explanation =
+          "accepts without ever genuinely reading the bidirectional "
+          "output's right endmarker";
+      return report;
+    }
+    // Hard way on b: a read-free pumpable mid-section grows b without
+    // consuming input (the A''-cycle of the paper).
+    STRDB_ASSIGN_OR_RETURN(bool hard_b, engine.HasGrowingPump(budget));
+    if (hard_b) {
+      report.verdict = LimitationVerdict::kUnlimitedHard;
+      report.explanation =
+          "an input-free pumpable section grows the bidirectional "
+          "output square by square";
+      return report;
+    }
+  }
+  // Hard way on unidirectional outputs: a computation pump that leaves
+  // every input head (and b's window) in place while writing output.
+  if (bmachine.num_uni_outputs > 0) {
+    STRDB_ASSIGN_OR_RETURN(bool pump,
+                           FindOutputPump(bmachine, machine.alphabet(),
+                                          budget));
+    if (pump) {
+      report.verdict = LimitationVerdict::kUnlimitedHard;
+      report.explanation =
+          "a two-way computation pump writes unidirectional output "
+          "without consuming input (Figs. 9-12)";
+      return report;
+    }
+  }
+
+  report.verdict = LimitationVerdict::kLimited;
+  report.bound.scale =
+      std::max<int64_t>(1, static_cast<int64_t>(bmachine.transitions.size()));
+  report.bound.degree = 2;
+  report.explanation =
+      "right-restricted and free of easy/hard violations: outputs are "
+      "bounded by scale * rho(inputs)^2 (Theorem 5.2, quadratic case)";
+  return report;
+}
+
+Result<bool> LanguageNonempty(const Fsa& fsa,
+                              const LimitationOptions& options) {
+  if (!fsa.FinalStatesHaveNoExits()) {
+    return Status::InvalidArgument(
+        "nonemptiness requires final states without outgoing transitions");
+  }
+  STRDB_ASSIGN_OR_RETURN(ReadAdvisedFsa advised, ConsistifyReads(fsa));
+  Fsa machine = std::move(advised.fsa);
+  machine.PruneToTrim();
+  if (machine.FinalStates().empty()) return false;
+  std::vector<int> bidi_tapes;
+  for (int i = 0; i < machine.num_tapes(); ++i) {
+    if (machine.IsTapeBidirectional(i)) bidi_tapes.push_back(i);
+  }
+  if (bidi_tapes.empty()) {
+    // Property 5 (read consistency) makes every surviving start-to-final
+    // path realisable: graph reachability decides.
+    return true;
+  }
+  if (bidi_tapes.size() > 1) {
+    return Status::Unimplemented(
+        "nonemptiness beyond one bidirectional tape (use the bounded "
+        "generator instead)");
+  }
+  std::vector<bool> all_inputs(static_cast<size_t>(machine.num_tapes()),
+                               true);
+  STRDB_ASSIGN_OR_RETURN(BMachine bmachine,
+                         BuildBMachine(machine, bidi_tapes[0], all_inputs));
+  BehaviorEngine engine(bmachine, machine.alphabet());
+  return engine.NonemptyWith(0, nullptr, options.max_behaviors);
+}
+
+Result<LimitationReport> AnalyzeStringFormulaLimitation(
+    const StringFormula& formula, const Alphabet& alphabet,
+    const std::vector<std::string>& inputs,
+    const LimitationOptions& options) {
+  std::vector<std::string> vars = formula.Vars();
+  STRDB_ASSIGN_OR_RETURN(Fsa fsa, CompileStringFormula(formula, alphabet));
+  std::vector<bool> is_input(vars.size(), false);
+  for (const std::string& name : inputs) {
+    auto it = std::find(vars.begin(), vars.end(), name);
+    if (it == vars.end()) {
+      return Status::NotFound("input variable '" + name +
+                              "' does not occur in the formula");
+    }
+    is_input[static_cast<size_t>(it - vars.begin())] = true;
+  }
+  return AnalyzeLimitation(fsa, is_input, options);
+}
+
+}  // namespace strdb

@@ -1,0 +1,100 @@
+#ifndef STRDB_SAFETY_LIMITATION_H_
+#define STRDB_SAFETY_LIMITATION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/result.h"
+#include "fsa/fsa.h"
+#include "strform/string_formula.h"
+
+namespace strdb {
+
+// The limitation problem (Definition 3.1): given a k-FSA viewed as a
+// generalized Mealy machine with the tapes partitioned into inputs and
+// outputs, do the input lengths bound the output lengths?
+// [inputs] ↝ [outputs].
+
+// Why an analysis concluded what it did.
+enum class LimitationVerdict : uint8_t {
+  kLimited,           // a limit function exists (bound below)
+  kUnlimitedEasy,     // accepts with an output tail unread ("easy" way)
+  kUnlimitedHard,     // output-producing loop without input consumption
+  kEmptyLanguage,     // L(A) = ∅: vacuously limited with W ≡ 0
+};
+
+// The shape of the limit function W (Theorem 5.2): with
+// ρ(n) = 1 + Σ_i (n_i + 1) over the input tapes,
+//   W(n) <= scale · ρ(n)^degree,
+// degree 1 for unidirectional automata and 2 for right-restricted ones
+// (the paper's (n_b+2)-factor and the κ(n)-composition both majorise to
+// an extra ρ(n) factor).
+struct LimitBound {
+  int64_t scale = 0;
+  int degree = 1;
+
+  // Evaluates the bound for the given input-tape lengths (tape order).
+  int64_t Eval(const std::vector<int>& input_lens) const;
+};
+
+struct LimitationReport {
+  LimitationVerdict verdict = LimitationVerdict::kLimited;
+  bool limited() const {
+    return verdict == LimitationVerdict::kLimited ||
+           verdict == LimitationVerdict::kEmptyLanguage;
+  }
+  // Human-readable explanation of the verdict (which check fired, or
+  // how the bound was obtained).
+  std::string explanation;
+  // Valid when limited(): an upper bound on every output length.
+  LimitBound bound;
+};
+
+struct LimitationOptions {
+  // Budget for the crossing-sequence automaton A'' (its state count is
+  // worst-case exponential in the analysed automaton's size).
+  int64_t max_crossing_states = 200'000;
+  // Budget on the per-state match-enumeration search of the reference
+  // A'' construction.
+  int64_t max_match_steps = 2'000'000;
+  // Budget on the behaviour-monoid saturations that answer the
+  // right-restricted questions in production (see safety/behavior.h);
+  // exceeding it yields kResourceExhausted rather than an unsound
+  // answer.
+  int64_t max_behaviors = 4'000;
+};
+
+// Decides [inputs] ↝ [outputs] for `fsa`, where is_input[i] says tape i
+// is an input.  Supported classes, as in the paper:
+//  * unidirectional automata (no tape moved backwards): always decided;
+//  * right-restricted automata (exactly one bidirectional tape): decided
+//    via the crossing-sequence construction of Theorem 5.2, within the
+//    stated budgets;
+//  * two or more bidirectional tapes: kUnimplemented — the problem is
+//    undecidable in general (Theorem 5.1).
+//
+// Requires final states without outgoing transitions (all automata from
+// CompileStringFormula qualify).
+Result<LimitationReport> AnalyzeLimitation(
+    const Fsa& fsa, const std::vector<bool>& is_input,
+    const LimitationOptions& options = {});
+
+// Convenience wrapper for string formulae: compiles φ over its variables
+// (ascending) and asks whether the variables named in `inputs` limit all
+// the others.
+Result<LimitationReport> AnalyzeStringFormulaLimitation(
+    const StringFormula& formula, const Alphabet& alphabet,
+    const std::vector<std::string>& inputs,
+    const LimitationOptions& options = {});
+
+// Decides L(A) ≠ ∅ exactly for automata with at most one bidirectional
+// tape: plain reachability on the consistified machine when every tape
+// is one-way, the behaviour-monoid nonemptiness otherwise.  This is the
+// decision procedure behind the Theorem 6.6 (expression complexity)
+// experiments.  kUnimplemented with two or more bidirectional tapes.
+Result<bool> LanguageNonempty(const Fsa& fsa,
+                              const LimitationOptions& options = {});
+
+}  // namespace strdb
+
+#endif  // STRDB_SAFETY_LIMITATION_H_

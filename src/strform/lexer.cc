@@ -1,0 +1,163 @@
+#include "strform/lexer.h"
+
+#include <cctype>
+
+namespace strdb {
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> out;
+  size_t i = 0;
+  auto push = [&](TokenKind kind, size_t at, std::string text = "",
+                  int value = 0) {
+    out.push_back(Token{kind, std::move(text), value, at});
+  };
+  while (i < input.size()) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t at = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < input.size() &&
+             (std::isalnum(static_cast<unsigned char>(input[j])) ||
+              input[j] == '_')) {
+        ++j;
+      }
+      push(TokenKind::kIdent, at, input.substr(i, j - i));
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      int value = 0;
+      while (j < input.size() &&
+             std::isdigit(static_cast<unsigned char>(input[j]))) {
+        value = value * 10 + (input[j] - '0');
+        ++j;
+      }
+      push(TokenKind::kInt, at, input.substr(i, j - i), value);
+      i = j;
+      continue;
+    }
+    switch (c) {
+      case '\'': {
+        if (i + 2 >= input.size() || input[i + 2] != '\'') {
+          return Status::InvalidArgument(
+              "unterminated character literal at offset " +
+              std::to_string(at));
+        }
+        push(TokenKind::kChar, at, std::string(1, input[i + 1]));
+        i += 3;
+        continue;
+      }
+      case '[':
+        push(TokenKind::kLBracket, at);
+        break;
+      case ']':
+        push(TokenKind::kRBracket, at);
+        break;
+      case '(':
+        push(TokenKind::kLParen, at);
+        break;
+      case ')':
+        push(TokenKind::kRParen, at);
+        break;
+      case ',':
+        push(TokenKind::kComma, at);
+        break;
+      case '=':
+        push(TokenKind::kEq, at);
+        break;
+      case '!':
+        if (i + 1 < input.size() && input[i + 1] == '=') {
+          push(TokenKind::kNeq, at);
+          ++i;
+        } else {
+          push(TokenKind::kBang, at);
+        }
+        break;
+      case '&':
+        push(TokenKind::kAmp, at);
+        break;
+      case '|':
+        push(TokenKind::kPipe, at);
+        break;
+      case '~':
+        push(TokenKind::kTilde, at);
+        break;
+      case '*':
+        push(TokenKind::kStar, at);
+        break;
+      case '+':
+        push(TokenKind::kPlus, at);
+        break;
+      case '.':
+        push(TokenKind::kDot, at);
+        break;
+      case '^':
+        push(TokenKind::kCaret, at);
+        break;
+      case ':':
+        push(TokenKind::kColon, at);
+        break;
+      case '-':
+        if (i + 1 < input.size() && input[i + 1] == '>') {
+          push(TokenKind::kArrow, at);
+          ++i;
+        } else {
+          return Status::InvalidArgument("stray '-' at offset " +
+                                         std::to_string(at));
+        }
+        break;
+      default:
+        return Status::InvalidArgument(std::string("unexpected character '") +
+                                       c + "' at offset " +
+                                       std::to_string(at));
+    }
+    ++i;
+  }
+  out.push_back(Token{TokenKind::kEnd, "", 0, input.size()});
+  return out;
+}
+
+const Token& TokenStream::PeekAt(size_t lookahead) const {
+  size_t idx = pos_ + lookahead;
+  if (idx >= tokens_.size()) idx = tokens_.size() - 1;
+  return tokens_[idx];
+}
+
+Token TokenStream::Next() {
+  Token t = tokens_[pos_];
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return t;
+}
+
+bool TokenStream::Eat(TokenKind kind) {
+  if (Peek().kind == kind) {
+    Next();
+    return true;
+  }
+  return false;
+}
+
+bool TokenStream::EatKeyword(const std::string& word) {
+  if (Peek().kind == TokenKind::kIdent && Peek().text == word) {
+    Next();
+    return true;
+  }
+  return false;
+}
+
+Status TokenStream::Expect(TokenKind kind, const std::string& what) {
+  if (Eat(kind)) return Status::OK();
+  return ErrorHere("expected " + what);
+}
+
+Status TokenStream::ErrorHere(const std::string& message) const {
+  return Status::InvalidArgument(message + " at offset " +
+                                 std::to_string(Peek().offset));
+}
+
+}  // namespace strdb

@@ -1,0 +1,79 @@
+#ifndef STRDB_STRFORM_LEXER_H_
+#define STRDB_STRFORM_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/result.h"
+#include "core/status.h"
+
+namespace strdb {
+
+// Token kinds shared by the string-formula and alignment-calculus parsers.
+enum class TokenKind : uint8_t {
+  kIdent,     // variable / relation / keyword (lambda, true, exists, ...)
+  kChar,      // 'a' — a quoted alphabet character
+  kInt,       // non-negative integer literal
+  kLBracket,  // [
+  kRBracket,  // ]
+  kLParen,    // (
+  kRParen,    // )
+  kComma,     // ,
+  kEq,        // =
+  kNeq,       // !=
+  kBang,      // !
+  kAmp,       // &
+  kPipe,      // |
+  kTilde,     // ~  (ε / undefined)
+  kStar,      // *
+  kPlus,      // +
+  kDot,       // .
+  kCaret,     // ^
+  kColon,     // :
+  kArrow,     // ->
+  kEnd,       // end of input
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;  // identifier text / character / digits
+  int value = 0;     // kInt
+  size_t offset = 0;  // byte offset in the input, for error messages
+};
+
+// Splits `input` into tokens.  Whitespace separates tokens and is
+// otherwise ignored.  Fails on unknown characters and unterminated
+// character literals.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+// A simple cursor over a token vector with error-message helpers shared
+// by the parsers.
+class TokenStream {
+ public:
+  explicit TokenStream(std::vector<Token> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& PeekAt(size_t lookahead) const;
+  Token Next();
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+
+  // True (and advances) iff the next token has kind `kind`.
+  bool Eat(TokenKind kind);
+  // True (and advances) iff the next token is the identifier `word`.
+  bool EatKeyword(const std::string& word);
+
+  // Consumes a token of kind `kind` or fails with a message naming
+  // `what` and the offending position.
+  Status Expect(TokenKind kind, const std::string& what);
+
+  Status ErrorHere(const std::string& message) const;
+
+ private:
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace strdb
+
+#endif  // STRDB_STRFORM_LEXER_H_

@@ -1,0 +1,40 @@
+#ifndef STRDB_STRFORM_PARSER_H_
+#define STRDB_STRFORM_PARSER_H_
+
+#include <string>
+
+#include "align/window_formula.h"
+#include "core/result.h"
+#include "strform/lexer.h"
+#include "strform/string_formula.h"
+
+namespace strdb {
+
+// Parses the textual string-formula syntax (see StringFormula docs), e.g.
+//
+//   ([x,y]l(x = y))* . [x,y]l(x = ~ & y = ~)
+//
+// Operator precedence: '*' / '^N' (postfix) > '.' (concatenation, which
+// may also be written by juxtaposition) > '+' (union).  Window formulae
+// use '!', '&', '|' with the usual precedence, atoms "x = 'a'",
+// "x = y", "x = ~" (ε), "true" and the "!=" negated forms.
+Result<StringFormula> ParseStringFormula(const std::string& input);
+
+// Parses a window formula on its own (mostly for tests).
+Result<WindowFormula> ParseWindowFormula(const std::string& input);
+
+// Implementation entry points shared with the calculus parser: parse from
+// an existing token stream without requiring end-of-input afterwards.
+Result<StringFormula> ParseStringFormula(TokenStream* tokens);
+Result<WindowFormula> ParseWindowFormula(TokenStream* tokens);
+
+// Continues parsing string-formula operators ('*', '^N', concatenation,
+// '+') that follow an already-parsed left operand; used by the calculus
+// parser when a parenthesised string formula turns out to be part of a
+// larger one, e.g. "([x]l(true))* . [x]l(x = ~)".
+Result<StringFormula> ContinueStringFormula(StringFormula left,
+                                            TokenStream* tokens);
+
+}  // namespace strdb
+
+#endif  // STRDB_STRFORM_PARSER_H_

@@ -1,0 +1,136 @@
+#ifndef STRDB_STRFORM_STRING_FORMULA_H_
+#define STRDB_STRFORM_STRING_FORMULA_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "align/alignment.h"
+#include "align/assignment.h"
+#include "align/window_formula.h"
+#include "core/alphabet.h"
+#include "core/result.h"
+
+namespace strdb {
+
+// An atomic string formula τα (paper §2): a transpose over variable
+// names followed by a window formula, e.g. [x,z]r(z='a' | y='b').
+// The transpose list may be empty ("[ ]l", the identity transpose).
+struct AtomicStringFormula {
+  Dir dir = Dir::kLeft;
+  std::vector<std::string> transposed;  // variables slid by the transpose
+  WindowFormula window = WindowFormula::True();
+
+  // Truth definitions 6-7: transposes the mentioned rows, then evaluates
+  // the window formula in the resulting alignment.  On success also
+  // returns the transposed alignment via `out` (may be null).
+  Result<bool> Eval(const Alignment& alignment, const Assignment& assignment,
+                    Alignment* out) const;
+
+  std::string ToString() const;
+  std::set<std::string> Vars() const;
+
+  bool operator==(const AtomicStringFormula& other) const;
+};
+
+// A formula word: a (possibly empty = λ) sequence of atomic string
+// formulae, applied left to right (truth definition 8).
+using FormulaWord = std::vector<AtomicStringFormula>;
+
+// A string formula (paper §2): a regular expression over the alphabet of
+// atomic string formulae.  Immutable value type sharing its AST.
+//
+// Textual syntax (see parser.h):
+//   phi := phi '+' phi            union
+//        | phi '.' phi            concatenation
+//        | phi '*'                Kleene closure
+//        | phi '^' N              N-fold concatenation (phi^0 = lambda)
+//        | '[' vars ']' ('l'|'r') '(' window ')'
+//        | 'lambda'
+//        | '(' phi ')'
+class StringFormula {
+ public:
+  enum class Kind : uint8_t { kLambda, kAtomic, kConcat, kUnion, kStar };
+
+  // The empty formula word λ, vacuously true everywhere.
+  static StringFormula Lambda();
+  static StringFormula Atomic(AtomicStringFormula atom);
+  static StringFormula Atomic(Dir dir, std::vector<std::string> transposed,
+                              WindowFormula window);
+  static StringFormula Concat(StringFormula a, StringFormula b);
+  // Concatenation of a whole sequence (λ for the empty sequence).
+  static StringFormula ConcatAll(std::vector<StringFormula> parts);
+  static StringFormula Union(StringFormula a, StringFormula b);
+  static StringFormula UnionAll(std::vector<StringFormula> parts);
+  static StringFormula Star(StringFormula f);
+  // φ+ = φ.φ* (paper shorthand).
+  static StringFormula Plus(StringFormula f);
+  // φ^n with φ^0 = λ (paper shorthand).
+  static StringFormula Power(StringFormula f, int n);
+
+  Kind kind() const;
+  // Valid for kAtomic only.
+  const AtomicStringFormula& atom() const;
+  // Valid for kConcat/kUnion (left/right) and kStar (left).
+  const StringFormula Left() const;
+  const StringFormula Right() const;
+
+  // All variables occurring in the formula (in transposes or window
+  // formulae), in name order.
+  std::vector<std::string> Vars() const;
+
+  // Variables occurring in right transposes (paper: a variable is
+  // *bidirectional* if it appears in right transposes, else
+  // *unidirectional*).
+  std::set<std::string> BidirectionalVars() const;
+
+  // True iff at most one variable is bidirectional (the right-restricted
+  // class of §2/§5 for which safety is decidable).
+  bool IsRightRestricted() const;
+
+  // True iff no variable is bidirectional.
+  bool IsUnidirectional() const;
+
+  // Truth definition 9: A ⊨ φ θ, i.e. some formula word of L(φ) is true
+  // in `alignment` under `assignment`.  This is the *reference*
+  // (logic-side) semantics, implemented as a product search of the
+  // formula's word-NFA with alignment states; the k-FSA compiler of
+  // Theorem 3.1 is property-tested against it.  Fails if a variable is
+  // unbound or a string strays outside the alphabet-independent position
+  // range (it cannot).
+  Result<bool> Satisfies(const Alignment& alignment,
+                         const Assignment& assignment) const;
+
+  // Convenience entry point matching the paper's query semantics: binds
+  // `vars[i]` to row i of the initial alignment of `strings` and
+  // evaluates.  `vars` and `strings` must have equal lengths.
+  Result<bool> AcceptsStrings(const std::vector<std::string>& vars,
+                              const std::vector<std::string>& strings) const;
+
+  // Enumerates L(φ) members of word length <= max_len (for tests; the
+  // language is infinite in the presence of *).
+  std::vector<FormulaWord> WordsUpTo(int max_len) const;
+
+  // Number of AST nodes; the |φ| of the expression-complexity results.
+  int Size() const;
+
+  // A copy with every variable occurrence renamed through `renaming`
+  // (simultaneous substitution; unmapped variables are kept).
+  StringFormula RenameVars(
+      const std::map<std::string, std::string>& renaming) const;
+
+  std::string ToString() const;
+
+ private:
+  struct Node;
+  explicit StringFormula(std::shared_ptr<const Node> node)
+      : node_(std::move(node)) {}
+
+  std::shared_ptr<const Node> node_;
+};
+
+}  // namespace strdb
+
+#endif  // STRDB_STRFORM_STRING_FORMULA_H_

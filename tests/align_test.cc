@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include "align/alignment.h"
+#include "align/assignment.h"
+#include "align/window_formula.h"
+
+namespace strdb {
+namespace {
+
+// E1: Figure 1 — the alignment of abc / abb / cacd with the window over
+// positions as drawn (row 2's 'a' in the window, i.e. A(2,-1)=c,
+// A(2,0)=a, A(2,1)=c, A(2,2)=d).
+Alignment FigureOneAlignment() {
+  Alignment a;
+  EXPECT_TRUE(a.SetRow(0, "abc", 1).ok());   // 'a' in the window
+  EXPECT_TRUE(a.SetRow(1, "abb", 2).ok());   // 'b' in the window
+  EXPECT_TRUE(a.SetRow(2, "cacd", 2).ok());  // 'a' in the window
+  return a;
+}
+
+TEST(AlignmentTest, FigureOnePartialFunction) {
+  Alignment a = FigureOneAlignment();
+  EXPECT_EQ(a.At(2, -1), 'c');
+  EXPECT_EQ(a.At(2, 0), 'a');
+  EXPECT_EQ(a.At(2, 1), 'c');
+  EXPECT_EQ(a.At(2, 2), 'd');
+  EXPECT_FALSE(a.At(2, 3).has_value());
+  EXPECT_FALSE(a.At(2, -2).has_value());
+  EXPECT_EQ(a.StringOf(2), "cacd");
+}
+
+TEST(AlignmentTest, FigureOneWindowPropositions) {
+  Alignment a = FigureOneAlignment();
+  Assignment theta;
+  ASSERT_TRUE(theta.Bind("x", 0).ok());
+  ASSERT_TRUE(theta.Bind("y", 1).ok());
+  ASSERT_TRUE(theta.Bind("z", 2).ok());
+  // The paper: "window position of the topmost string equals a or the
+  // window position of the middle string is different from c" is true...
+  WindowFormula f1 = WindowFormula::Or(WindowFormula::CharEq("x", 'a'),
+                                       WindowFormula::NotCharEq("y", 'c'));
+  Result<bool> r1 = f1.Eval(a, theta);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_TRUE(*r1);
+  // ... and "middle and bottom string are equal" is false.
+  WindowFormula f2 = WindowFormula::VarEq("y", "z");
+  Result<bool> r2 = f2.Eval(a, theta);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_FALSE(*r2);
+  // The worked example after truth definitions: A ⊨ (x='a' ∨ ¬(y='c'))
+  // and A ⊭ x=z.
+  WindowFormula f3 = WindowFormula::VarEq("x", "z");
+  EXPECT_TRUE(*f3.Eval(a, theta));  // both show 'a'
+}
+
+TEST(AlignmentTest, InitialAlignmentAllUndefined) {
+  Alignment a0 = Alignment::Initial({"abc", "", "cacd"});
+  EXPECT_TRUE(a0.IsInitial());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(a0.WindowChar(i).has_value());
+  }
+  // min K_i = 1: the first character sits one right of the window.
+  EXPECT_EQ(a0.At(0, 1), 'a');
+  EXPECT_EQ(a0.At(2, 1), 'c');
+}
+
+// E1: Figure 2 — transposing the Fig. 1 alignment.
+TEST(AlignmentTest, FigureTwoTransposes) {
+  Alignment a = FigureOneAlignment();
+  // [0]l slides the top row left: its window char was 'a' (pos 1), now 'b'.
+  Alignment left = a.Transposed(RowTranspose{Dir::kLeft, {0}});
+  EXPECT_EQ(left.WindowChar(0), 'b');
+  EXPECT_EQ(left.WindowChar(1), 'b');  // unchanged
+  // [0,2]r slides rows 0 and 2 right.
+  Alignment right = a.Transposed(RowTranspose{Dir::kRight, {0, 2}});
+  EXPECT_FALSE(right.WindowChar(0).has_value());  // 'a' was leftmost
+  EXPECT_EQ(right.WindowChar(2), 'c');
+}
+
+TEST(AlignmentTest, LeftTransposeSaturatesAtRightEnd) {
+  Alignment a;
+  ASSERT_TRUE(a.SetRow(0, "ab", 0).ok());
+  RowTranspose left{Dir::kLeft, {0}};
+  for (int i = 0; i < 10; ++i) a.Apply(left);
+  EXPECT_EQ(a.PosOf(0), 3);  // |ab|+1, parked on the right end
+  EXPECT_FALSE(a.WindowChar(0).has_value());
+}
+
+TEST(AlignmentTest, RightTransposeSaturatesAtLeftEnd) {
+  Alignment a;
+  ASSERT_TRUE(a.SetRow(0, "ab", 2).ok());
+  RowTranspose right{Dir::kRight, {0}};
+  for (int i = 0; i < 10; ++i) a.Apply(right);
+  EXPECT_EQ(a.PosOf(0), 0);
+}
+
+TEST(AlignmentTest, TransposeOfUnmentionedRowsIsIdentity) {
+  Alignment a = FigureOneAlignment();
+  Alignment b = a.Transposed(RowTranspose{Dir::kLeft, {5}});
+  // Row 5 is ε; other rows untouched.
+  EXPECT_EQ(b.StringOf(0), "abc");
+  EXPECT_EQ(b.PosOf(0), 1);
+}
+
+TEST(AlignmentTest, SetRowValidatesPosition) {
+  Alignment a;
+  EXPECT_FALSE(a.SetRow(0, "abc", 5).ok());
+  EXPECT_FALSE(a.SetRow(0, "abc", -1).ok());
+  EXPECT_FALSE(a.SetRow(-1, "abc", 0).ok());
+  EXPECT_TRUE(a.SetRow(0, "abc", 4).ok());
+}
+
+TEST(AssignmentTest, InjectivityEnforced) {
+  Assignment theta;
+  ASSERT_TRUE(theta.Bind("x", 0).ok());
+  EXPECT_FALSE(theta.Bind("x", 1).ok());  // re-binding
+  EXPECT_FALSE(theta.Bind("y", 0).ok());  // row collision
+  ASSERT_TRUE(theta.Bind("y", 1).ok());
+  EXPECT_EQ(*theta.RowOf("y"), 1);
+  EXPECT_FALSE(theta.RowOf("z").ok());
+}
+
+TEST(AssignmentTest, WithEvictsRowOccupant) {
+  Assignment theta;
+  ASSERT_TRUE(theta.Bind("x", 0).ok());
+  ASSERT_TRUE(theta.Bind("y", 1).ok());
+  Assignment theta2 = theta.With("z", 1);
+  EXPECT_EQ(*theta2.RowOf("z"), 1);
+  EXPECT_FALSE(theta2.Contains("y"));  // evicted, injectivity kept
+  EXPECT_EQ(*theta2.RowOf("x"), 0);
+}
+
+TEST(AssignmentTest, FirstFreeRow) {
+  Assignment theta;
+  ASSERT_TRUE(theta.Bind("a", 0).ok());
+  ASSERT_TRUE(theta.Bind("b", 2).ok());
+  EXPECT_EQ(theta.FirstFreeRow(), 1);
+}
+
+TEST(WindowFormulaTest, UndefSemantics) {
+  Alignment a0 = Alignment::Initial({"abc"});
+  Assignment theta;
+  ASSERT_TRUE(theta.Bind("x", 0).ok());
+  EXPECT_TRUE(*WindowFormula::Undef("x").Eval(a0, theta));
+  Alignment a1 = a0.Transposed(RowTranspose{Dir::kLeft, {0}});
+  EXPECT_FALSE(*WindowFormula::Undef("x").Eval(a1, theta));
+}
+
+TEST(WindowFormulaTest, VarEqComparesPartialValues) {
+  // x = y holds when both are undefined (Kleene equality of partial
+  // values): the paper's chain "x = y = ε" depends on it.
+  Alignment a0 = Alignment::Initial({"a", "a"});
+  Assignment theta;
+  ASSERT_TRUE(theta.Bind("x", 0).ok());
+  ASSERT_TRUE(theta.Bind("y", 1).ok());
+  EXPECT_TRUE(*WindowFormula::VarEq("x", "y").Eval(a0, theta));
+  Alignment a1 = a0.Transposed(RowTranspose{Dir::kLeft, {0, 1}});
+  EXPECT_TRUE(*WindowFormula::VarEq("x", "y").Eval(a1, theta));
+  // Mixed defined/undefined compares unequal.
+  Alignment a2 = a0.Transposed(RowTranspose{Dir::kLeft, {0}});
+  EXPECT_FALSE(*WindowFormula::VarEq("x", "y").Eval(a2, theta));
+}
+
+TEST(WindowFormulaTest, PaperChainXEqualsYEqualsEps) {
+  // The exact final conjunct of Example 2: (x = y) ∧ (y = ε).
+  WindowFormula chain = WindowFormula::And(WindowFormula::VarEq("x", "y"),
+                                           WindowFormula::Undef("y"));
+  Alignment both_done = Alignment::Initial({"", ""});
+  Assignment theta;
+  ASSERT_TRUE(theta.Bind("x", 0).ok());
+  ASSERT_TRUE(theta.Bind("y", 1).ok());
+  EXPECT_TRUE(*chain.Eval(both_done, theta));
+  Alignment x_longer;
+  ASSERT_TRUE(x_longer.SetRow(0, "a", 1).ok());
+  ASSERT_TRUE(x_longer.SetRow(1, "", 1).ok());
+  EXPECT_FALSE(*chain.Eval(x_longer, theta));
+}
+
+TEST(WindowFormulaTest, BooleanConnectives) {
+  Alignment a;
+  ASSERT_TRUE(a.SetRow(0, "ab", 1).ok());
+  Assignment theta;
+  ASSERT_TRUE(theta.Bind("x", 0).ok());
+  WindowFormula is_a = WindowFormula::CharEq("x", 'a');
+  WindowFormula is_b = WindowFormula::CharEq("x", 'b');
+  EXPECT_TRUE(*WindowFormula::Or(is_a, is_b).Eval(a, theta));
+  EXPECT_FALSE(*WindowFormula::And(is_a, is_b).Eval(a, theta));
+  EXPECT_TRUE(*WindowFormula::Not(is_b).Eval(a, theta));
+  EXPECT_TRUE(*WindowFormula::True().Eval(a, theta));
+}
+
+TEST(WindowFormulaTest, ChainedEqualitySugar) {
+  Alignment a;
+  ASSERT_TRUE(a.SetRow(0, "x", 1).ok());
+  ASSERT_TRUE(a.SetRow(1, "x", 1).ok());
+  ASSERT_TRUE(a.SetRow(2, "x", 1).ok());
+  Assignment theta;
+  ASSERT_TRUE(theta.Bind("p", 0).ok());
+  ASSERT_TRUE(theta.Bind("q", 1).ok());
+  ASSERT_TRUE(theta.Bind("r", 2).ok());
+  EXPECT_TRUE(*WindowFormula::AllEqual({"p", "q", "r"}).Eval(a, theta));
+  Alignment b = a;
+  ASSERT_TRUE(b.SetRow(2, "y", 1).ok());
+  EXPECT_FALSE(*WindowFormula::AllEqual({"p", "q", "r"}).Eval(b, theta));
+}
+
+TEST(WindowFormulaTest, UnboundVariableIsError) {
+  Alignment a0 = Alignment::Initial({"a"});
+  Assignment theta;
+  Result<bool> r = WindowFormula::CharEq("x", 'a').Eval(a0, theta);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(WindowFormulaTest, VarsCollectsAll) {
+  WindowFormula f = WindowFormula::And(
+      WindowFormula::VarEq("x", "y"),
+      WindowFormula::Not(WindowFormula::Undef("z")));
+  std::set<std::string> vars = f.Vars();
+  EXPECT_EQ(vars, (std::set<std::string>{"x", "y", "z"}));
+}
+
+TEST(WindowFormulaTest, ToStringRoundTripsStructure) {
+  WindowFormula f = WindowFormula::Or(WindowFormula::CharEq("x", 'a'),
+                                      WindowFormula::NotVarEq("y", "z"));
+  EXPECT_EQ(f.ToString(), "(x = 'a' | !(y = z))");
+}
+
+}  // namespace
+}  // namespace strdb

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "baseline/matchers.h"
+#include "baseline/sat_solver.h"
+
+namespace strdb {
+namespace {
+
+TEST(EditDistanceTest, KnownValues) {
+  EXPECT_EQ(EditDistance("", ""), 0);
+  EXPECT_EQ(EditDistance("abc", "abc"), 0);
+  EXPECT_EQ(EditDistance("abc", ""), 3);
+  EXPECT_EQ(EditDistance("", "ab"), 2);
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3);
+  EXPECT_EQ(EditDistance("ab", "ba"), 2);
+  EXPECT_EQ(EditDistance("abc", "abd"), 1);
+}
+
+TEST(EditDistanceTest, Symmetry) {
+  EXPECT_EQ(EditDistance("gattaca", "gatc"), EditDistance("gatc", "gattaca"));
+}
+
+TEST(ShuffleTest, Basics) {
+  EXPECT_TRUE(IsShuffle("", "", ""));
+  EXPECT_TRUE(IsShuffle("ab", "a", "b"));
+  EXPECT_TRUE(IsShuffle("ab", "ab", ""));
+  EXPECT_TRUE(IsShuffle("aabb", "ab", "ab"));
+  EXPECT_TRUE(IsShuffle("abab", "aa", "bb"));
+  EXPECT_FALSE(IsShuffle("ba", "a", "a"));
+  EXPECT_FALSE(IsShuffle("ab", "a", "a"));
+  EXPECT_FALSE(IsShuffle("a", "a", "a"));
+}
+
+TEST(SubstringTest, KmpAgainstStdFind) {
+  std::vector<std::string> haystacks = {"", "a", "abab", "aaaa", "abcabcab"};
+  std::vector<std::string> needles = {"", "a", "ab", "abc", "cab", "zzz"};
+  for (const std::string& h : haystacks) {
+    for (const std::string& n : needles) {
+      EXPECT_EQ(ContainsSubstring(h, n), h.find(n) != std::string::npos)
+          << n << " in " << h;
+    }
+  }
+}
+
+TEST(ManifoldBaselineTest, Basics) {
+  EXPECT_TRUE(IsManifold("", ""));
+  EXPECT_FALSE(IsManifold("", "ab"));
+  EXPECT_TRUE(IsManifold("ab", "ab"));
+  EXPECT_TRUE(IsManifold("ababab", "ab"));
+  EXPECT_FALSE(IsManifold("abab", "aba"));
+  EXPECT_FALSE(IsManifold("a", ""));
+}
+
+TEST(SatSolverTest, SimpleInstances) {
+  CnfInstance sat;
+  sat.num_vars = 2;
+  sat.clauses = {{1, 2}, {-1, 2}};
+  std::optional<std::vector<bool>> model = SolveSatBruteForce(sat);
+  ASSERT_TRUE(model.has_value());
+  EXPECT_TRUE(EvaluateCnf(sat, *model));
+
+  CnfInstance unsat;
+  unsat.num_vars = 1;
+  unsat.clauses = {{1}, {-1}};
+  EXPECT_FALSE(SolveSatBruteForce(unsat).has_value());
+}
+
+TEST(SatSolverTest, EmptyCnfIsSatisfiable) {
+  CnfInstance cnf;
+  cnf.num_vars = 1;
+  EXPECT_TRUE(SolveSatBruteForce(cnf).has_value());
+}
+
+TEST(SatSolverTest, EvaluateCnf) {
+  CnfInstance cnf;
+  cnf.num_vars = 3;
+  cnf.clauses = {{1, -2}, {3}};
+  EXPECT_TRUE(EvaluateCnf(cnf, {true, true, true}));
+  EXPECT_FALSE(EvaluateCnf(cnf, {false, true, true}));
+  EXPECT_FALSE(EvaluateCnf(cnf, {true, true, false}));
+}
+
+}  // namespace
+}  // namespace strdb

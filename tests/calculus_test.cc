@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "calculus/eval.h"
+#include "calculus/parser.h"
+
+namespace strdb {
+namespace {
+
+CalcFormula P(const std::string& text) {
+  Result<CalcFormula> r = ParseCalcFormula(text);
+  EXPECT_TRUE(r.ok()) << r.status() << " while parsing: " << text;
+  return *r;
+}
+
+TEST(CalcParserTest, RelationalAtom) {
+  CalcFormula f = P("R1(x,y)");
+  EXPECT_EQ(f.kind(), CalcFormula::Kind::kRelAtom);
+  EXPECT_EQ(f.relation(), "R1");
+  EXPECT_EQ(f.args(), (std::vector<std::string>{"x", "y"}));
+  EXPECT_EQ(f.FreeVars(), (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(CalcParserTest, NullaryAtom) {
+  CalcFormula f = P("Flag()");
+  EXPECT_EQ(f.kind(), CalcFormula::Kind::kRelAtom);
+  EXPECT_TRUE(f.args().empty());
+}
+
+TEST(CalcParserTest, StringFormulaLeaf) {
+  CalcFormula f = P("([x,y]l(x = y))* . [x,y]l(x = y = ~)");
+  EXPECT_EQ(f.kind(), CalcFormula::Kind::kString);
+  EXPECT_EQ(f.FreeVars(), (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(CalcParserTest, ParenthesisedStringFormulaContinues) {
+  // The '(' case must keep consuming '*' and '.' when the inside was a
+  // pure string formula.
+  CalcFormula f = P("([x]l(true))* . [x]l(x = ~)");
+  EXPECT_EQ(f.kind(), CalcFormula::Kind::kString);
+}
+
+TEST(CalcParserTest, QuantifiersAndConnectives) {
+  CalcFormula f = P("exists y, z: R1(y,z) & !R2(x) | lambda");
+  EXPECT_EQ(f.kind(), CalcFormula::Kind::kExists);
+  EXPECT_EQ(f.var(), "y");
+  EXPECT_EQ(f.Left().kind(), CalcFormula::Kind::kExists);
+  EXPECT_EQ(f.FreeVars(), (std::vector<std::string>{"x"}));
+}
+
+TEST(CalcParserTest, ImplicationDesugars) {
+  CalcFormula f = P("R1(x) -> R2(x)");
+  EXPECT_EQ(f.kind(), CalcFormula::Kind::kOr);
+  EXPECT_EQ(f.Left().kind(), CalcFormula::Kind::kNot);
+}
+
+TEST(CalcParserTest, ForAll) {
+  CalcFormula f = P("forall x: R1(x)");
+  EXPECT_EQ(f.kind(), CalcFormula::Kind::kForAll);
+  EXPECT_TRUE(f.FreeVars().empty());
+}
+
+TEST(CalcParserTest, Example3Text) {
+  CalcFormula f = P(
+      "exists y, z: R1(y,z) & R2(x) & "
+      "([x,y]l(x = y))* . ([x,z]l(x = z))* . [x,y,z]l(x = y = z = ~)");
+  EXPECT_EQ(f.FreeVars(), (std::vector<std::string>{"x"}));
+  EXPECT_FALSE(f.IsPure());
+}
+
+TEST(CalcParserTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseCalcFormula("R1(x").ok());
+  EXPECT_FALSE(ParseCalcFormula("exists : R1(x)").ok());
+  EXPECT_FALSE(ParseCalcFormula("R1(x) &").ok());
+  EXPECT_FALSE(ParseCalcFormula("R1(x) extra").ok());
+}
+
+TEST(CalcFormulaTest, BoundVariablesNotFree) {
+  CalcFormula f = P("exists x: R2(x,y)");
+  EXPECT_EQ(f.FreeVars(), (std::vector<std::string>{"y"}));
+}
+
+TEST(CalcFormulaTest, IsPure) {
+  EXPECT_TRUE(P("[x]l(true)").IsPure());
+  EXPECT_TRUE(P("exists x: [x]l(true)").IsPure());
+  EXPECT_FALSE(P("[x]l(true) & R1(x)").IsPure());
+}
+
+TEST(CalcFormulaTest, RenameFreeVarsRespectsShadowing) {
+  CalcFormula f = P("R1(x) & exists x: R2(x,y)");
+  CalcFormula renamed = f.RenameFreeVars({{"x", "z"}, {"y", "w"}});
+  EXPECT_EQ(renamed.ToString(),
+            "(R1(z) & exists x: (R2(x,w)))");
+}
+
+// --- naive evaluation (truth definitions 10-13) ----------------------------
+
+Database MakeDb() {
+  Database db(Alphabet::Binary());
+  EXPECT_TRUE(db.Put("R1", 2, {{"ab", "ab"}, {"ab", "ba"}, {"a", "b"}}).ok());
+  EXPECT_TRUE(db.Put("R2", 1, {{"ab"}, {"bb"}}).ok());
+  return db;
+}
+
+const CalcEvalOptions kOpts{.truncation = 2, .max_steps = 50'000'000};
+
+TEST(NaiveEvalTest, RelationalAtomLookup) {
+  Database db = MakeDb();
+  CalcFormula f = P("R1(x,y)");
+  Result<bool> r = HoldsAt(f, db, {{"x", "ab"}, {"y", "ba"}}, kOpts);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(*r);
+  EXPECT_FALSE(*HoldsAt(f, db, {{"x", "ba"}, {"y", "ab"}}, kOpts));
+}
+
+TEST(NaiveEvalTest, UnboundVariableIsError) {
+  Database db = MakeDb();
+  EXPECT_FALSE(HoldsAt(P("R2(x)"), db, {}, kOpts).ok());
+}
+
+TEST(NaiveEvalTest, Connectives) {
+  Database db = MakeDb();
+  std::map<std::string, std::string> b = {{"x", "ab"}};
+  EXPECT_TRUE(*HoldsAt(P("R2(x) & [x]l(x = 'a')"), db, b, kOpts));
+  EXPECT_FALSE(*HoldsAt(P("R2(x) & [x]l(x = 'b')"), db, b, kOpts));
+  EXPECT_TRUE(*HoldsAt(P("R2(x) | [x]l(x = 'b')"), db, b, kOpts));
+  EXPECT_FALSE(*HoldsAt(P("!R1(x,x)"), db, b, kOpts));  // ("ab","ab") ∈ R1
+  EXPECT_TRUE(*HoldsAt(P("R1(x,x) -> R2(x)"), db, b, kOpts));
+}
+
+TEST(NaiveEvalTest, QuantifiersRangeOverTruncatedDomain) {
+  Database db = MakeDb();
+  // Some y with R1(x,y): true for x=ab.
+  EXPECT_TRUE(*HoldsAt(P("exists y: R1(x,y)"), db, {{"x", "ab"}}, kOpts));
+  EXPECT_FALSE(*HoldsAt(P("exists y: R1(x,y)"), db, {{"x", "bb"}}, kOpts));
+  // forall y: R2(y) is false (e.g. y = ε).
+  EXPECT_FALSE(*HoldsAt(P("forall y: R2(y)"), db, {}, kOpts));
+  // forall y: R2(y) | !R2(y) is a tautology.
+  EXPECT_TRUE(*HoldsAt(P("forall y: R2(y) | !R2(y)"), db, {}, kOpts));
+}
+
+TEST(NaiveEvalTest, ShadowedQuantifierRestoresBinding) {
+  Database db = MakeDb();
+  // Outer x = "ab"; inner exists x rebinds; outer conjunct sees "ab".
+  CalcFormula f = P("(exists x: R1(x,x)) & R2(x)");
+  Result<bool> r = HoldsAt(f, db, {{"x", "ab"}}, kOpts);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(*r);
+}
+
+TEST(NaiveEvalTest, AnswerRelation) {
+  Database db = MakeDb();
+  // Example 2 flavour: pairs in R1 whose components are equal.
+  CalcFormula f = P("R1(x,y) & ([x,y]l(x = y))* . [x,y]l(x = y = ~)");
+  Result<StringRelation> r = EvalCalcNaive(f, db, kOpts);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->tuples(), (std::set<Tuple>{{"ab", "ab"}}));
+}
+
+TEST(NaiveEvalTest, Example1FirstComponentConstant) {
+  // Example 1 with the constant "ab" over Σ = {a,b}.
+  Database db = MakeDb();
+  CalcFormula f = P(
+      "exists y: R1(y,x) & [y]l(y = 'a') . [y]l(y = 'b') . [y]l(y = ~)");
+  Result<StringRelation> r = EvalCalcNaive(f, db, kOpts);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->tuples(), (std::set<Tuple>{{"ab"}, {"ba"}}));
+}
+
+TEST(NaiveEvalTest, BooleanQueryNoFreeVars) {
+  Database db = MakeDb();
+  Result<StringRelation> yes =
+      EvalCalcNaive(P("exists x: R2(x)"), db, kOpts);
+  ASSERT_TRUE(yes.ok());
+  EXPECT_EQ(yes->size(), 1);  // {()}
+  Result<StringRelation> no =
+      EvalCalcNaive(P("exists x: R2(x) & !R2(x)"), db, kOpts);
+  ASSERT_TRUE(no.ok());
+  EXPECT_EQ(no->size(), 0);  // ∅
+}
+
+TEST(NaiveEvalTest, BindingValidation) {
+  Database db = MakeDb();
+  EXPECT_FALSE(HoldsAt(P("R2(x)"), db, {{"x", "aaaaaa"}}, kOpts).ok());
+  EXPECT_FALSE(HoldsAt(P("R2(x)"), db, {{"x", "zz"}}, kOpts).ok());
+}
+
+}  // namespace
+}  // namespace strdb

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "core/alphabet.h"
+#include "core/result.h"
+#include "core/rng.h"
+#include "core/status.h"
+
+namespace strdb {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "invalid-argument: bad thing");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "ok");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "not-found");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "resource-exhausted");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "internal");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnimplemented), "unimplemented");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kAlreadyExists), "already-exists");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOutOfRange), "out-of-range");
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Result<int> DoublePositive(int x) {
+  STRDB_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return 2 * v;
+}
+
+TEST(ResultTest, ValueRoundTrip) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, ErrorPropagates) {
+  Result<int> r = DoublePositive(-1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, AssignOrReturnUnwraps) {
+  Result<int> r = DoublePositive(21);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(AlphabetTest, CreateRejectsTiny) {
+  EXPECT_FALSE(Alphabet::Create("a").ok());
+  EXPECT_FALSE(Alphabet::Create("aa").ok());
+  EXPECT_TRUE(Alphabet::Create("ab").ok());
+}
+
+TEST(AlphabetTest, CreateRejectsReservedChars) {
+  EXPECT_FALSE(Alphabet::Create("a<").ok());
+  EXPECT_FALSE(Alphabet::Create("a>").ok());
+  EXPECT_FALSE(Alphabet::Create("a b").ok());
+}
+
+TEST(AlphabetTest, DnaRoundTrip) {
+  Alphabet dna = Alphabet::Dna();
+  EXPECT_EQ(dna.size(), 4);
+  Result<std::vector<Sym>> enc = dna.Encode("gattaca");
+  ASSERT_TRUE(enc.ok());
+  Result<std::string> dec = dna.Decode(*enc);
+  ASSERT_TRUE(dec.ok());
+  EXPECT_EQ(*dec, "gattaca");
+}
+
+TEST(AlphabetTest, EncodeRejectsForeign) {
+  Alphabet dna = Alphabet::Dna();
+  EXPECT_FALSE(dna.Encode("gattaca!").ok());
+  EXPECT_FALSE(dna.Contains("xyz"));
+  EXPECT_TRUE(dna.Contains("acgt"));
+  EXPECT_TRUE(dna.Contains(""));
+}
+
+TEST(AlphabetTest, SymOfAndCharOf) {
+  Alphabet bin = Alphabet::Binary();
+  Result<Sym> a = bin.SymOf('a');
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(bin.CharOf(*a), 'a');
+  EXPECT_FALSE(bin.SymOf('z').ok());
+  EXPECT_EQ(bin.CharOf(kLeftEnd), '<');
+  EXPECT_EQ(bin.CharOf(kRightEnd), '>');
+}
+
+TEST(AlphabetTest, StringsOfLength) {
+  Alphabet bin = Alphabet::Binary();
+  EXPECT_EQ(bin.StringsOfLength(0), std::vector<std::string>{""});
+  EXPECT_EQ(bin.StringsOfLength(2).size(), 4u);
+  EXPECT_EQ(bin.StringsUpTo(3).size(), 1u + 2u + 4u + 8u);
+}
+
+TEST(AlphabetTest, TapeSymbolsIncludesEndmarkers) {
+  Alphabet bin = Alphabet::Binary();
+  std::vector<Sym> syms = bin.TapeSymbols();
+  EXPECT_EQ(syms.size(), 4u);
+  EXPECT_EQ(syms[2], kLeftEnd);
+  EXPECT_EQ(syms[3], kRightEnd);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, RangeInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int v = rng.Range(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, StringUsesAlphabet) {
+  Rng rng(9);
+  Alphabet dna = Alphabet::Dna();
+  std::string s = rng.String(dna, 50);
+  EXPECT_EQ(s.size(), 50u);
+  EXPECT_TRUE(dna.Contains(s));
+}
+
+}  // namespace
+}  // namespace strdb

@@ -1,0 +1,47 @@
+#include <gtest/gtest.h>
+
+#include "baseline/matchers.h"
+#include "core/rng.h"
+#include "queries/examples.h"
+
+namespace strdb {
+namespace {
+
+// E17 extension: the counter-string device of §2 Example 8 measures the
+// distance, not just tests a fixed k — cross-checked against the DP.
+TEST(EditDistanceViaAlignmentTest, MatchesDpOnRandomPairs) {
+  Alphabet bin = Alphabet::Binary();
+  Rng rng(31337);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::string a = rng.String(bin, 0, 5);
+    std::string b = rng.String(bin, 0, 5);
+    int expect = EditDistance(a, b);
+    Result<int> got = EditDistanceViaAlignment(a, b, bin, 6);
+    ASSERT_TRUE(got.ok()) << got.status() << " on " << a << "," << b;
+    EXPECT_EQ(*got, expect) << a << " ~ " << b;
+  }
+}
+
+TEST(EditDistanceViaAlignmentTest, DnaProbe) {
+  Alphabet dna = Alphabet::Dna();
+  Result<int> d = EditDistanceViaAlignment("gattaca", "gatc", dna, 8);
+  ASSERT_TRUE(d.ok()) << d.status();
+  EXPECT_EQ(*d, EditDistance("gattaca", "gatc"));
+}
+
+TEST(EditDistanceViaAlignmentTest, CapIsRespected) {
+  Alphabet bin = Alphabet::Binary();
+  Result<int> d = EditDistanceViaAlignment("aaaa", "bbbb", bin, 2);
+  EXPECT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kNotFound);
+}
+
+TEST(EditDistanceViaAlignmentTest, ZeroForEqualStrings) {
+  Alphabet bin = Alphabet::Binary();
+  Result<int> d = EditDistanceViaAlignment("abab", "abab", bin, 4);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(*d, 0);
+}
+
+}  // namespace
+}  // namespace strdb

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "baseline/matchers.h"
+#include "calculus/eval.h"
+#include "core/rng.h"
+#include "fsa/accept.h"
+#include "fsa/compile.h"
+#include "queries/examples.h"
+
+namespace strdb {
+namespace {
+
+bool Holds(const StringFormula& f, const std::vector<std::string>& vars,
+           const std::vector<std::string>& strings) {
+  Result<bool> r = f.AcceptsStrings(vars, strings);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.ok() && *r;
+}
+
+// E3: §2 examples against independent baselines.
+
+TEST(ExamplesTest, SpellsConstant) {
+  Result<StringFormula> f = SpellsConstant("y", "gat", Alphabet::Dna());
+  ASSERT_TRUE(f.ok());
+  EXPECT_TRUE(Holds(*f, {"y"}, {"gat"}));
+  EXPECT_FALSE(Holds(*f, {"y"}, {"gac"}));
+  EXPECT_FALSE(Holds(*f, {"y"}, {"gatt"}));
+  EXPECT_FALSE(Holds(*f, {"y"}, {"ga"}));
+  EXPECT_FALSE(SpellsConstant("y", "xyz", Alphabet::Dna()).ok());
+}
+
+TEST(ExamplesTest, StringEqualityExhaustive) {
+  StringFormula eq = StringEqualityFormula("x", "y");
+  Alphabet bin = Alphabet::Binary();
+  for (const std::string& a : bin.StringsUpTo(3)) {
+    for (const std::string& b : bin.StringsUpTo(3)) {
+      EXPECT_EQ(Holds(eq, {"x", "y"}, {a, b}), a == b) << a << " vs " << b;
+    }
+  }
+}
+
+TEST(ExamplesTest, ConcatenationExhaustive) {
+  StringFormula f = ConcatenationFormula("x", "y", "z");
+  Alphabet bin = Alphabet::Binary();
+  for (const std::string& y : bin.StringsUpTo(2)) {
+    for (const std::string& z : bin.StringsUpTo(2)) {
+      for (const std::string& x : bin.StringsUpTo(4)) {
+        EXPECT_EQ(Holds(f, {"x", "y", "z"}, {x, y, z}), x == y + z);
+      }
+    }
+  }
+}
+
+TEST(ExamplesTest, ManifoldAgainstBaseline) {
+  StringFormula f = ManifoldFormula("x", "y");
+  Alphabet bin = Alphabet::Binary();
+  Rng rng(41);
+  for (int i = 0; i < 120; ++i) {
+    std::string y = rng.String(bin, 0, 3);
+    std::string x;
+    if (rng.Coin() && !y.empty()) {
+      for (int r = rng.Range(0, 3); r > 0; --r) x += y;
+    } else {
+      x = rng.String(bin, 0, 6);
+    }
+    EXPECT_EQ(Holds(f, {"x", "y"}, {x, y}), IsManifold(x, y))
+        << "x=" << x << " y=" << y;
+  }
+}
+
+TEST(ExamplesTest, ShuffleAgainstBaseline) {
+  StringFormula f = ShuffleFormula("x", "y", "z");
+  Alphabet bin = Alphabet::Binary();
+  for (const std::string& y : bin.StringsUpTo(2)) {
+    for (const std::string& z : bin.StringsUpTo(2)) {
+      for (const std::string& x : bin.StringsUpTo(3)) {
+        EXPECT_EQ(Holds(f, {"x", "y", "z"}, {x, y, z}),
+                  IsShuffle(x, y, z))
+            << x << " | " << y << " | " << z;
+      }
+    }
+  }
+}
+
+TEST(ExamplesTest, OccursInAgainstKmp) {
+  StringFormula f = OccursInFormula("x", "y");
+  Alphabet bin = Alphabet::Binary();
+  Rng rng(43);
+  for (int i = 0; i < 150; ++i) {
+    std::string needle = rng.String(bin, 0, 3);
+    std::string haystack = rng.String(bin, 0, 6);
+    EXPECT_EQ(Holds(f, {"x", "y"}, {needle, haystack}),
+              ContainsSubstring(haystack, needle))
+        << needle << " in " << haystack;
+  }
+}
+
+TEST(ExamplesTest, EditDistanceAgainstDp) {
+  Alphabet bin = Alphabet::Binary();
+  Rng rng(47);
+  for (int k = 0; k <= 2; ++k) {
+    StringFormula f = EditDistanceAtMostFormula("x", "y", k);
+    for (int i = 0; i < 60; ++i) {
+      std::string a = rng.String(bin, 0, 4);
+      std::string b = rng.String(bin, 0, 4);
+      EXPECT_EQ(Holds(f, {"x", "y"}, {a, b}), EditDistance(a, b) <= k)
+          << a << " ~ " << b << " k=" << k;
+    }
+  }
+}
+
+TEST(ExamplesTest, EditDistanceCounterBoundsEdits) {
+  // (x, y, a^j) accepted iff edit distance <= j (and z = mark^j).
+  StringFormula f = EditDistanceCounterFormula("x", "y", "z", 'a');
+  EXPECT_TRUE(Holds(f, {"x", "y", "z"}, {"ab", "bb", "a"}));
+  EXPECT_FALSE(Holds(f, {"x", "y", "z"}, {"ab", "ba", "a"}));
+  EXPECT_TRUE(Holds(f, {"x", "y", "z"}, {"ab", "ba", "aa"}));
+  EXPECT_TRUE(Holds(f, {"x", "y", "z"}, {"ab", "ab", ""}));
+  // A counter containing the wrong mark never matches an edit.
+  EXPECT_FALSE(Holds(f, {"x", "y", "z"}, {"ab", "bb", "b"}));
+}
+
+Database EmptyDb() { return Database(Alphabet::Binary()); }
+
+TEST(ExamplesTest, AXbXaShape) {
+  Result<CalcFormula> q = AXbXaQuery("x", "y", "z", Alphabet::Binary());
+  ASSERT_TRUE(q.ok()) << q.status();
+  Database db = EmptyDb();
+  CalcEvalOptions opts;
+  opts.truncation = 5;
+  // aXbXa with X = ε → "aba"; X = "b" → "abbba".
+  EXPECT_TRUE(*HoldsAt(*q, db, {{"x", "aba"}}, opts));
+  EXPECT_TRUE(*HoldsAt(*q, db, {{"x", "abbba"}}, opts));
+  EXPECT_FALSE(*HoldsAt(*q, db, {{"x", "abba"}}, opts));
+  EXPECT_FALSE(*HoldsAt(*q, db, {{"x", "ab"}}, opts));
+  EXPECT_FALSE(*HoldsAt(*q, db, {{"x", ""}}, opts));
+}
+
+TEST(ExamplesTest, EqualAsAndBs) {
+  Result<CalcFormula> q = EqualAsAndBsQuery("x", "y", "z", Alphabet::Binary());
+  ASSERT_TRUE(q.ok()) << q.status();
+  Database db = EmptyDb();
+  CalcEvalOptions opts;
+  opts.truncation = 4;
+  for (const std::string& x : Alphabet::Binary().StringsUpTo(4)) {
+    int as = 0, bs = 0;
+    for (char c : x) (c == 'a' ? as : bs)++;
+    Result<bool> r = HoldsAt(*q, db, {{"x", x}}, opts);
+    ASSERT_TRUE(r.ok()) << r.status();
+    EXPECT_EQ(*r, as == bs) << x;
+  }
+}
+
+TEST(ExamplesTest, AnBnCn) {
+  Alphabet abc = *Alphabet::Create("abc");
+  Result<CalcFormula> q = AnBnCnQuery("x", "y", abc);
+  ASSERT_TRUE(q.ok()) << q.status();
+  Database db(abc);
+  CalcEvalOptions opts;
+  opts.truncation = 6;
+  opts.max_steps = 500'000'000;
+  for (const std::string& x :
+       {std::string(""), std::string("abc"), std::string("aabbcc")}) {
+    EXPECT_TRUE(*HoldsAt(*q, db, {{"x", x}}, opts)) << x;
+  }
+  for (const std::string& x :
+       {std::string("ab"), std::string("aabbc"), std::string("acb"),
+        std::string("ba")}) {
+    EXPECT_FALSE(*HoldsAt(*q, db, {{"x", x}}, opts)) << x;
+  }
+}
+
+TEST(ExamplesTest, TranslationHalves) {
+  Result<CalcFormula> q =
+      TranslationHalvesQuery("x", "y", "z", Alphabet::Binary());
+  ASSERT_TRUE(q.ok()) << q.status();
+  Database db = EmptyDb();
+  CalcEvalOptions opts;
+  opts.truncation = 4;
+  EXPECT_TRUE(*HoldsAt(*q, db, {{"x", "ab"}}, opts));     // a|b
+  EXPECT_TRUE(*HoldsAt(*q, db, {{"x", "abba"}}, opts));   // ab|ba
+  EXPECT_TRUE(*HoldsAt(*q, db, {{"x", ""}}, opts));
+  EXPECT_FALSE(*HoldsAt(*q, db, {{"x", "aa"}}, opts));
+  EXPECT_FALSE(*HoldsAt(*q, db, {{"x", "aba"}}, opts));   // odd length
+  EXPECT_FALSE(*HoldsAt(*q, db, {{"x", "abab"}}, opts));  // ab|ab
+}
+
+// Compiled counterparts agree with the direct semantics on the
+// genomically-flavoured DNA alphabet (the §1 motivation).
+TEST(ExamplesTest, DnaCompiledAgreement) {
+  Alphabet dna = Alphabet::Dna();
+  StringFormula occurs = OccursInFormula("x", "y");
+  Result<Fsa> fsa = CompileStringFormula(occurs, dna, {"x", "y"});
+  ASSERT_TRUE(fsa.ok()) << fsa.status();
+  Rng rng(20260706);
+  for (int i = 0; i < 50; ++i) {
+    std::string motif = rng.String(dna, 1, 3);
+    std::string genome = rng.String(dna, 0, 8);
+    Result<bool> via = Accepts(*fsa, {motif, genome});
+    ASSERT_TRUE(via.ok());
+    EXPECT_EQ(*via, ContainsSubstring(genome, motif));
+  }
+}
+
+}  // namespace
+}  // namespace strdb

@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "fsa/accept.h"
+#include "fsa/compile.h"
+#include "strform/parser.h"
+
+namespace strdb {
+namespace {
+
+StringFormula P(const std::string& text) {
+  Result<StringFormula> r = ParseStringFormula(text);
+  EXPECT_TRUE(r.ok()) << r.status() << " while parsing: " << text;
+  return *r;
+}
+
+Fsa Compile(const std::string& text, const Alphabet& alphabet,
+            const std::vector<std::string>& vars) {
+  Result<Fsa> r = CompileStringFormula(P(text), alphabet, vars);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return *r;
+}
+
+bool FsaAccepts(const Fsa& fsa, const std::vector<std::string>& input) {
+  Result<bool> r = Accepts(fsa, input);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.ok() && *r;
+}
+
+// Checks that the compiled automaton and the direct (logic-side)
+// semantics agree on every tuple of strings over `alphabet` with
+// lengths <= max_len.
+void ExpectAgreesWithDirectSemantics(const std::string& text,
+                                     const Alphabet& alphabet,
+                                     const std::vector<std::string>& vars,
+                                     int max_len) {
+  StringFormula f = P(text);
+  Result<Fsa> fsa = CompileStringFormula(f, alphabet, vars);
+  ASSERT_TRUE(fsa.ok()) << fsa.status();
+  std::vector<std::string> domain = alphabet.StringsUpTo(max_len);
+  std::vector<size_t> idx(vars.size(), 0);
+  for (;;) {
+    std::vector<std::string> tuple;
+    for (size_t i : idx) tuple.push_back(domain[i]);
+    Result<bool> direct = f.AcceptsStrings(vars, tuple);
+    ASSERT_TRUE(direct.ok()) << direct.status();
+    Result<bool> via_fsa = Accepts(*fsa, tuple);
+    ASSERT_TRUE(via_fsa.ok()) << via_fsa.status();
+    EXPECT_EQ(*direct, *via_fsa)
+        << text << " disagrees on (" << tuple[0]
+        << (tuple.size() > 1 ? "," + tuple[1] : "")
+        << (tuple.size() > 2 ? "," + tuple[2] : "") << ")";
+    // Odometer.
+    size_t d = 0;
+    while (d < idx.size() && ++idx[d] == domain.size()) idx[d++] = 0;
+    if (d == idx.size()) break;
+  }
+}
+
+const char kEquality[] = "([x,y]l(x = y))* . [x,y]l(x = ~ & y = ~)";
+
+TEST(CompileTest, EqualityAutomaton) {
+  Fsa fsa = Compile(kEquality, Alphabet::Binary(), {"x", "y"});
+  EXPECT_TRUE(FsaAccepts(fsa, {"abba", "abba"}));
+  EXPECT_TRUE(FsaAccepts(fsa, {"", ""}));
+  EXPECT_FALSE(FsaAccepts(fsa, {"ab", "ba"}));
+  EXPECT_FALSE(FsaAccepts(fsa, {"ab", "abb"}));
+  EXPECT_FALSE(FsaAccepts(fsa, {"abb", "ab"}));
+}
+
+TEST(CompileTest, EqualityAgreesExhaustively) {
+  ExpectAgreesWithDirectSemantics(kEquality, Alphabet::Binary(), {"x", "y"},
+                                  3);
+}
+
+TEST(CompileTest, SingleAtomAgrees) {
+  ExpectAgreesWithDirectSemantics("[x]l(x = 'a')", Alphabet::Binary(), {"x"},
+                                  4);
+}
+
+TEST(CompileTest, EmptyTransposeAgrees) {
+  ExpectAgreesWithDirectSemantics("[]l(x = ~)", Alphabet::Binary(), {"x"}, 3);
+}
+
+TEST(CompileTest, LambdaAcceptsEverything) {
+  Fsa fsa = Compile("lambda", Alphabet::Binary(), {"x"});
+  EXPECT_TRUE(FsaAccepts(fsa, {""}));
+  EXPECT_TRUE(FsaAccepts(fsa, {"abab"}));
+}
+
+TEST(CompileTest, UnsatisfiableAtomRejectsEverything) {
+  Fsa fsa = Compile("[x]l(!true)", Alphabet::Binary(), {"x"});
+  EXPECT_EQ(fsa.num_states(), 1);
+  EXPECT_FALSE(FsaAccepts(fsa, {""}));
+  EXPECT_FALSE(FsaAccepts(fsa, {"a"}));
+}
+
+TEST(CompileTest, StarOfUnsatisfiableIsLambda) {
+  // Deviation note in compile.h: λ ∈ L(φ*) even when ⟦φ⟧ = ∅.
+  Fsa fsa = Compile("([x]l(!true))*", Alphabet::Binary(), {"x"});
+  EXPECT_TRUE(FsaAccepts(fsa, {""}));
+  EXPECT_TRUE(FsaAccepts(fsa, {"ab"}));
+}
+
+TEST(CompileTest, UnionAgrees) {
+  ExpectAgreesWithDirectSemantics(
+      "[x]l(x = 'a') + [x]l(x = 'b') . [x]l(x = ~)", Alphabet::Binary(),
+      {"x"}, 3);
+}
+
+TEST(CompileTest, StarBoundaryAgrees) {
+  ExpectAgreesWithDirectSemantics("([x]l(x = 'a'))* . [x]l(x = ~)",
+                                  Alphabet::Binary(), {"x"}, 4);
+}
+
+TEST(CompileTest, NestedStarAgrees) {
+  ExpectAgreesWithDirectSemantics(
+      "(([x]l(x = 'a') . [x]l(x = 'b'))* . [x]l(x = 'a'))* . [x]l(x = ~)",
+      Alphabet::Binary(), {"x"}, 4);
+}
+
+TEST(CompileTest, RightTransposeAgrees) {
+  ExpectAgreesWithDirectSemantics(
+      "[x]l(true) . [x]l(true) . [x]r(x = 'a') . [x]l(true)",
+      Alphabet::Binary(), {"x"}, 3);
+}
+
+TEST(CompileTest, TwoVariableManifoldAgrees) {
+  ExpectAgreesWithDirectSemantics(
+      "(([x,y]l(x = y))* . [y]l(y = ~) . ([y]r(!(y = ~)))* . [y]r(y = ~))* "
+      ". ([x,y]l(x = y))* . [x,y]l(x = ~ & y = ~)",
+      Alphabet::Binary(), {"x", "y"}, 3);
+}
+
+TEST(CompileTest, ShuffleThreeVariablesAgrees) {
+  ExpectAgreesWithDirectSemantics(
+      "(([x,y]l(x = y)) + ([x,z]l(x = z)))* . [x,y,z]l(x = ~ & y = ~ & z = "
+      "~)",
+      Alphabet::Binary(), {"x", "y", "z"}, 2);
+}
+
+// E2: Figure 6 — the string formula whose 3-FSA the paper draws is the
+// concatenation checker ψ(x,y,z) of Example 3 over Σ = {a,b}.
+const char kConcatFormula[] =
+    "([x,y]l(x = y))* . ([x,z]l(x = z))* . [x,y,z]l(x = ~ & y = ~ & z = ~)";
+
+TEST(CompileTest, FigureSixConcatenation) {
+  Fsa fsa = Compile(kConcatFormula, Alphabet::Binary(), {"x", "y", "z"});
+  EXPECT_TRUE(FsaAccepts(fsa, {"abba", "ab", "ba"}));
+  EXPECT_TRUE(FsaAccepts(fsa, {"ab", "", "ab"}));
+  EXPECT_TRUE(FsaAccepts(fsa, {"ab", "ab", ""}));
+  EXPECT_TRUE(FsaAccepts(fsa, {"", "", ""}));
+  EXPECT_FALSE(FsaAccepts(fsa, {"abba", "ab", "ab"}));
+  EXPECT_FALSE(FsaAccepts(fsa, {"ab", "b", "a"}));
+  EXPECT_FALSE(FsaAccepts(fsa, {"abb", "ab", ""}));
+}
+
+TEST(CompileTest, FigureSixAgreesExhaustively) {
+  ExpectAgreesWithDirectSemantics(kConcatFormula, Alphabet::Binary(),
+                                  {"x", "y", "z"}, 2);
+}
+
+// Theorem 3.1 structural properties.
+TEST(CompileTest, PropertyOneDirectionality) {
+  // Only y is transposed right, so only tape 1 may be bidirectional.
+  Fsa fsa = Compile(
+      "([x,y]l(x = y))* . [y]r(true) . [x]l(true)", Alphabet::Binary(),
+      {"x", "y"});
+  EXPECT_FALSE(fsa.IsTapeBidirectional(0));
+}
+
+TEST(CompileTest, PropertyTwoStartHasNoIncoming) {
+  Fsa fsa = Compile(kEquality, Alphabet::Binary(), {"x", "y"});
+  for (const Transition& t : fsa.transitions()) {
+    EXPECT_NE(t.to, fsa.start());
+  }
+}
+
+TEST(CompileTest, PropertyThreeFourFinalStateShape) {
+  for (const char* text :
+       {kEquality, kConcatFormula, "[x]l(x = 'a')", "lambda",
+        "([x]l(x = 'a'))* . [x]l(x = ~)"}) {
+    Result<Fsa> r = CompileStringFormula(
+        P(text), Alphabet::Binary(),
+        std::vector<std::string>{"x", "y", "z"});
+    ASSERT_TRUE(r.ok()) << r.status();
+    std::vector<int> finals = r->FinalStates();
+    ASSERT_LE(finals.size(), 1u) << text;
+    if (finals.empty()) continue;
+    int f = finals[0];
+    EXPECT_NE(f, r->start()) << text;
+    EXPECT_TRUE(r->TransitionsFrom(f).empty()) << text;
+    // Property 4: incoming transitions of f are exactly the stationary
+    // transitions of the automaton.
+    for (const Transition& t : r->transitions()) {
+      EXPECT_EQ(t.to == f, t.IsStationary())
+          << text << " transition " << t.from << "->" << t.to;
+    }
+  }
+}
+
+TEST(CompileTest, StartTransitionsTestInitialConfiguration) {
+  // The final concatenation step makes every start transition read ⊢^k.
+  Fsa fsa = Compile(kConcatFormula, Alphabet::Binary(), {"x", "y", "z"});
+  for (int idx : fsa.TransitionsFrom(fsa.start())) {
+    for (Sym s : fsa.transitions()[static_cast<size_t>(idx)].read) {
+      EXPECT_EQ(s, kLeftEnd);
+    }
+  }
+}
+
+TEST(CompileTest, MissingVariableInTapeOrderFails) {
+  Result<Fsa> r = CompileStringFormula(P("[x]l(true)"), Alphabet::Binary(),
+                                       std::vector<std::string>{"y"});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CompileTest, BudgetIsEnforced) {
+  CompileOptions opts;
+  opts.max_transitions = 5;
+  Result<Fsa> r = CompileStringFormula(P(kConcatFormula), Alphabet::Binary(),
+                                       std::vector<std::string>{"x", "y", "z"},
+                                       opts);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(CompileTest, DnaAlphabetWorksToo) {
+  Fsa fsa = Compile(kEquality, Alphabet::Dna(), {"x", "y"});
+  EXPECT_TRUE(FsaAccepts(fsa, {"gattaca", "gattaca"}));
+  EXPECT_FALSE(FsaAccepts(fsa, {"gattaca", "gattacc"}));
+}
+
+std::string kManifoldText() {
+  return "(([x,y]l(x = y))* . [y]l(y = ~) . ([y]r(!(y = ~)))* . [y]r(y = "
+         "~))* . ([x,y]l(x = y))* . [x,y]l(x = ~ & y = ~)";
+}
+
+// Randomised cross-check on longer strings than the exhaustive sweep.
+TEST(CompileTest, RandomLongStringsAgree) {
+  Alphabet bin = Alphabet::Binary();
+  StringFormula f = P(kManifoldText());
+  Result<Fsa> fsa = CompileStringFormula(f, bin, {"x", "y"});
+  ASSERT_TRUE(fsa.ok()) << fsa.status();
+  Rng rng(2024);
+  for (int i = 0; i < 60; ++i) {
+    std::string y = rng.String(bin, 0, 3);
+    std::string x;
+    if (rng.Coin()) {
+      int reps = rng.Range(0, 4);
+      for (int r = 0; r < reps; ++r) x += y;
+    } else {
+      x = rng.String(bin, 0, 8);
+    }
+    Result<bool> direct = f.AcceptsStrings({"x", "y"}, {x, y});
+    Result<bool> via = Accepts(*fsa, {x, y});
+    ASSERT_TRUE(direct.ok() && via.ok());
+    EXPECT_EQ(*direct, *via) << "x=" << x << " y=" << y;
+  }
+}
+
+}  // namespace
+}  // namespace strdb

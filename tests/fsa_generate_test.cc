@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "fsa/accept.h"
+#include "fsa/compile.h"
+#include "fsa/generate.h"
+#include "strform/parser.h"
+
+namespace strdb {
+namespace {
+
+Fsa Compile(const std::string& text, const Alphabet& alphabet,
+            const std::vector<std::string>& vars) {
+  Result<StringFormula> f = ParseStringFormula(text);
+  EXPECT_TRUE(f.ok()) << f.status();
+  Result<Fsa> r = CompileStringFormula(*f, alphabet, vars);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return *r;
+}
+
+const char kEquality[] = "([x,y]l(x = y))* . [x,y]l(x = ~ & y = ~)";
+const char kConcatFormula[] =
+    "([x,y]l(x = y))* . ([x,z]l(x = z))* . [x,y,z]l(x = ~ & y = ~ & z = ~)";
+
+TEST(GenerateTest, EqualityGeneratesTheCopy) {
+  Fsa fsa = Compile(kEquality, Alphabet::Binary(), {"x", "y"});
+  GenerateOptions opts;
+  opts.max_len = 6;
+  Result<std::set<std::vector<std::string>>> out =
+      GenerateAccepted(fsa, {std::string("abab"), std::nullopt}, opts);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(*out, (std::set<std::vector<std::string>>{{"abab"}}));
+}
+
+TEST(GenerateTest, ConcatGeneratesTheJoin) {
+  // The §4 workhorse: x = y·z with y, z given.
+  Fsa fsa = Compile(kConcatFormula, Alphabet::Binary(), {"x", "y", "z"});
+  Result<std::set<std::vector<std::string>>> out =
+      GenerateAccepted(fsa, {std::nullopt, std::string("ab"), std::string("ba")});
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(*out, (std::set<std::vector<std::string>>{{"abba"}}));
+}
+
+TEST(GenerateTest, ConcatGeneratesAllSplits) {
+  // Fix x, generate all (y,z) with x = y·z.
+  Fsa fsa = Compile(kConcatFormula, Alphabet::Binary(), {"x", "y", "z"});
+  Result<std::set<std::vector<std::string>>> out =
+      GenerateAccepted(fsa, {std::string("aba"), std::nullopt, std::nullopt});
+  ASSERT_TRUE(out.ok()) << out.status();
+  std::set<std::vector<std::string>> expect = {
+      {"", "aba"}, {"a", "ba"}, {"ab", "a"}, {"aba", ""}};
+  EXPECT_EQ(*out, expect);
+}
+
+TEST(GenerateTest, UnconstrainedTailEnumeratesCompletions) {
+  // φ = [x]l(x='a'): any string starting with 'a' is accepted; with
+  // max_len = 2 that is {a, aa, ab}.
+  Fsa fsa = Compile("[x]l(x = 'a')", Alphabet::Binary(), {"x"});
+  GenerateOptions opts;
+  opts.max_len = 2;
+  Result<std::set<std::vector<std::string>>> out =
+      EnumerateLanguage(fsa, opts);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(*out, (std::set<std::vector<std::string>>{{"a"}, {"aa"}, {"ab"}}));
+}
+
+TEST(GenerateTest, EnumerationMatchesAcceptanceExhaustively) {
+  Alphabet bin = Alphabet::Binary();
+  for (const char* text :
+       {kEquality, "([x]l(x = 'a'))* . [x]l(x = ~)",
+        "([x,y]l(x = y))* . [x,y]l(!(x = y))"}) {
+    Result<StringFormula> f = ParseStringFormula(text);
+    ASSERT_TRUE(f.ok());
+    std::vector<std::string> vars = f->Vars();
+    Result<Fsa> fsa = CompileStringFormula(*f, bin, vars);
+    ASSERT_TRUE(fsa.ok()) << fsa.status();
+    GenerateOptions opts;
+    opts.max_len = 3;
+    Result<std::set<std::vector<std::string>>> gen =
+        EnumerateLanguage(*fsa, opts);
+    ASSERT_TRUE(gen.ok()) << gen.status();
+    // Cross-check against brute-force acceptance.
+    std::set<std::vector<std::string>> expect;
+    std::vector<std::string> domain = bin.StringsUpTo(3);
+    std::vector<size_t> idx(vars.size(), 0);
+    for (;;) {
+      std::vector<std::string> tuple;
+      for (size_t i : idx) tuple.push_back(domain[i]);
+      Result<bool> acc = Accepts(*fsa, tuple);
+      ASSERT_TRUE(acc.ok());
+      if (*acc) expect.insert(tuple);
+      size_t d = 0;
+      while (d < idx.size() && ++idx[d] == domain.size()) idx[d++] = 0;
+      if (d == idx.size()) break;
+    }
+    EXPECT_EQ(*gen, expect) << text;
+  }
+}
+
+TEST(GenerateTest, ManifoldGeneration) {
+  // E10 flavour: x ∈*s y with y fixed generates y^1..y^m up to the
+  // length budget (the paper's formula forces at least one copy when
+  // y ≠ ε: its final conjunct checks both strings are exhausted
+  // *after* a transpose, which y = "ab" survives only via the loop).
+  const char kManifold[] =
+      "(([x,y]l(x = y))* . [y]l(y = ~) . ([y]r(!(y = ~)))* . [y]r(y = ~))* "
+      ". ([x,y]l(x = y))* . [x,y]l(x = ~ & y = ~)";
+  Fsa fsa = Compile(kManifold, Alphabet::Binary(), {"x", "y"});
+  GenerateOptions opts;
+  opts.max_len = 7;
+  Result<std::set<std::vector<std::string>>> out =
+      GenerateAccepted(fsa, {std::nullopt, std::string("ab")}, opts);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(*out, (std::set<std::vector<std::string>>{
+                      {"ab"}, {"abab"}, {"ababab"}}));
+}
+
+TEST(GenerateTest, RejectingAutomatonGeneratesNothing) {
+  Fsa fsa = Compile("[x]l(!true)", Alphabet::Binary(), {"x"});
+  Result<std::set<std::vector<std::string>>> out = EnumerateLanguage(fsa);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_TRUE(out->empty());
+}
+
+TEST(GenerateTest, NoFreeTapesIsAnError) {
+  Fsa fsa = Compile(kEquality, Alphabet::Binary(), {"x", "y"});
+  Result<std::set<std::vector<std::string>>> out =
+      GenerateAccepted(fsa, {std::string("a"), std::string("a")});
+  EXPECT_FALSE(out.ok());
+}
+
+TEST(GenerateTest, StepBudgetIsEnforced) {
+  Fsa fsa = Compile(kConcatFormula, Alphabet::Binary(), {"x", "y", "z"});
+  GenerateOptions opts;
+  opts.max_len = 4;
+  opts.max_steps = 3;
+  Result<std::set<std::vector<std::string>>> out =
+      EnumerateLanguage(fsa, opts);
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(GenerateTest, ShortcutAblationProducesIdenticalAnswers) {
+  // The decided-content acceptance shortcut is a pure optimisation: the
+  // produced sets must match with it disabled.
+  Alphabet bin = Alphabet::Binary();
+  for (const char* text :
+       {kEquality, kConcatFormula, "([x]l(x = 'a'))* . [x]l(x = ~)"}) {
+    Result<StringFormula> f = ParseStringFormula(text);
+    ASSERT_TRUE(f.ok());
+    Result<Fsa> fsa = CompileStringFormula(*f, bin, f->Vars());
+    ASSERT_TRUE(fsa.ok());
+    GenerateOptions with;
+    with.max_len = 3;
+    GenerateOptions without = with;
+    without.decided_acceptance_shortcut = false;
+    Result<std::set<std::vector<std::string>>> a =
+        EnumerateLanguage(*fsa, with);
+    Result<std::set<std::vector<std::string>>> b =
+        EnumerateLanguage(*fsa, without);
+    ASSERT_TRUE(a.ok() && b.ok()) << text;
+    EXPECT_EQ(*a, *b) << text;
+  }
+}
+
+}  // namespace
+}  // namespace strdb

@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "core/rng.h"
+#include "fsa/accept.h"
+#include "fsa/compile.h"
+#include "fsa/normalize.h"
+#include "fsa/to_formula.h"
+#include "strform/parser.h"
+
+namespace strdb {
+namespace {
+
+StringFormula P(const std::string& text) {
+  Result<StringFormula> r = ParseStringFormula(text);
+  EXPECT_TRUE(r.ok()) << r.status() << " while parsing: " << text;
+  return *r;
+}
+
+// E4: Theorems 3.1 + 3.2 round trip — φ, A_φ and φ_{A_φ} all agree on
+// every small input tuple.
+void ExpectRoundTripAgrees(const std::string& text, const Alphabet& alphabet,
+                           const std::vector<std::string>& vars,
+                           int max_len) {
+  StringFormula f = P(text);
+  Result<Fsa> fsa = CompileStringFormula(f, alphabet, vars);
+  ASSERT_TRUE(fsa.ok()) << fsa.status();
+  Result<StringFormula> back = FsaToStringFormula(*fsa, vars);
+  ASSERT_TRUE(back.ok()) << back.status();
+  // Direction preservation (Thm 3.2): vars[i] bidirectional only if
+  // tape i is.
+  for (size_t i = 0; i < vars.size(); ++i) {
+    if (back->BidirectionalVars().count(vars[i]) > 0) {
+      EXPECT_TRUE(fsa->IsTapeBidirectional(static_cast<int>(i)));
+    }
+  }
+  std::vector<std::string> domain = alphabet.StringsUpTo(max_len);
+  std::vector<size_t> idx(vars.size(), 0);
+  for (;;) {
+    std::vector<std::string> tuple;
+    for (size_t i : idx) tuple.push_back(domain[i]);
+    Result<bool> via_fsa = Accepts(*fsa, tuple);
+    Result<bool> via_back = back->AcceptsStrings(vars, tuple);
+    ASSERT_TRUE(via_fsa.ok() && via_back.ok())
+        << via_fsa.status() << " / " << via_back.status();
+    EXPECT_EQ(*via_fsa, *via_back)
+        << text << " round trip disagrees on tuple of arity " << vars.size();
+    size_t d = 0;
+    while (d < idx.size() && ++idx[d] == domain.size()) idx[d++] = 0;
+    if (d == idx.size()) break;
+  }
+}
+
+TEST(RoundTripTest, SingleAtom) {
+  ExpectRoundTripAgrees("[x]l(x = 'a')", Alphabet::Binary(), {"x"}, 3);
+}
+
+TEST(RoundTripTest, Equality) {
+  ExpectRoundTripAgrees("([x,y]l(x = y))* . [x,y]l(x = ~ & y = ~)",
+                        Alphabet::Binary(), {"x", "y"}, 2);
+}
+
+TEST(RoundTripTest, UnionAndStar) {
+  ExpectRoundTripAgrees("([x]l(x = 'a') + [x]l(x = 'b') . [x]l(x = 'a'))*",
+                        Alphabet::Binary(), {"x"}, 3);
+}
+
+TEST(RoundTripTest, RightTranspose) {
+  ExpectRoundTripAgrees("[x]l(true) . [x]r(true) . [x]l(x = 'a')",
+                        Alphabet::Binary(), {"x"}, 3);
+}
+
+TEST(RoundTripTest, Lambda) {
+  ExpectRoundTripAgrees("lambda", Alphabet::Binary(), {"x"}, 2);
+}
+
+TEST(RoundTripTest, Unsatisfiable) {
+  ExpectRoundTripAgrees("[x]l(!true)", Alphabet::Binary(), {"x"}, 2);
+}
+
+// Hand-built automata exercise the normalisation path of Thm 3.2 (zone
+// advice distinguishing the two ends a string formula cannot tell apart).
+TEST(RoundTripTest, HandBuiltEvenLength) {
+  Alphabet bin = Alphabet::Binary();
+  Fsa fsa(bin, 1);
+  int odd = fsa.AddState();
+  int even_mid = fsa.AddState();
+  int accept = fsa.AddState();
+  fsa.SetFinal(accept);
+  // start -⊢-> even_mid; even_mid -c-> odd -c-> even_mid; even_mid -⊣->
+  // accept: even-length strings.
+  ASSERT_TRUE(fsa.AddTransitionSpec(fsa.start(), even_mid, "<", "+").ok());
+  ASSERT_TRUE(fsa.AddTransitionSpec(even_mid, odd, "a", "+").ok());
+  ASSERT_TRUE(fsa.AddTransitionSpec(even_mid, odd, "b", "+").ok());
+  ASSERT_TRUE(fsa.AddTransitionSpec(odd, even_mid, "a", "+").ok());
+  ASSERT_TRUE(fsa.AddTransitionSpec(odd, even_mid, "b", "+").ok());
+  ASSERT_TRUE(fsa.AddTransitionSpec(even_mid, accept, ">", "0").ok());
+
+  Result<StringFormula> back = FsaToStringFormula(fsa, {"x"});
+  ASSERT_TRUE(back.ok()) << back.status();
+  for (const std::string& s : bin.StringsUpTo(4)) {
+    Result<bool> via_fsa = Accepts(fsa, {s});
+    Result<bool> via_back = back->AcceptsStrings({"x"}, {s});
+    ASSERT_TRUE(via_fsa.ok() && via_back.ok());
+    EXPECT_EQ(*via_fsa, *via_back) << s;
+    EXPECT_EQ(*via_fsa, s.size() % 2 == 0) << s;
+  }
+}
+
+TEST(RoundTripTest, HandBuiltTwoWayPalindromeish) {
+  // A 1-tape two-way automaton: walk to ⊣, walk back, accept on ⊢ —
+  // accepts everything but exercises bidirectional translation.
+  Alphabet bin = Alphabet::Binary();
+  Fsa fsa(bin, 1);
+  int fwd = fsa.start();
+  int bwd = fsa.AddState();
+  int accept = fsa.AddState();
+  fsa.SetFinal(accept);
+  ASSERT_TRUE(fsa.AddTransitionSpec(fwd, fwd, "a", "+").ok());
+  ASSERT_TRUE(fsa.AddTransitionSpec(fwd, fwd, "b", "+").ok());
+  ASSERT_TRUE(fsa.AddTransitionSpec(fwd, fwd, "<", "+").ok());
+  ASSERT_TRUE(fsa.AddTransitionSpec(fwd, bwd, ">", "-").ok());
+  ASSERT_TRUE(fsa.AddTransitionSpec(bwd, bwd, "a", "-").ok());
+  ASSERT_TRUE(fsa.AddTransitionSpec(bwd, bwd, "b", "-").ok());
+  ASSERT_TRUE(fsa.AddTransitionSpec(bwd, accept, "<", "0").ok());
+
+  Result<StringFormula> back = FsaToStringFormula(fsa, {"x"});
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_FALSE(back->IsUnidirectional());
+  for (const std::string& s : bin.StringsUpTo(3)) {
+    Result<bool> via_back = back->AcceptsStrings({"x"}, {s});
+    ASSERT_TRUE(via_back.ok()) << via_back.status();
+    EXPECT_TRUE(*via_back) << s;
+  }
+}
+
+TEST(RoundTripTest, StartStateFinalUnimplemented) {
+  Fsa fsa(Alphabet::Binary(), 1);
+  fsa.SetFinal(fsa.start());
+  Result<StringFormula> r = FsaToStringFormula(fsa, {"x"});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(RoundTripTest, NoFinalStatesGivesUnsatisfiable) {
+  Fsa fsa(Alphabet::Binary(), 1);
+  Result<StringFormula> r = FsaToStringFormula(fsa, {"x"});
+  ASSERT_TRUE(r.ok()) << r.status();
+  Result<bool> sat = r->AcceptsStrings({"x"}, {""});
+  ASSERT_TRUE(sat.ok());
+  EXPECT_FALSE(*sat);
+}
+
+// Randomised round trips over random small formulae.
+TEST(RoundTripTest, RandomFormulae) {
+  Rng rng(7777);
+  Alphabet bin = Alphabet::Binary();
+  std::vector<std::string> vars = {"x", "y"};
+  auto random_atom = [&]() {
+    std::vector<std::string> transposed;
+    if (rng.Coin()) transposed.push_back("x");
+    if (rng.Coin()) transposed.push_back("y");
+    WindowFormula w =
+        rng.Coin()
+            ? WindowFormula::CharEq(vars[rng.Below(2)], rng.Coin() ? 'a' : 'b')
+            : (rng.Coin() ? WindowFormula::VarEq("x", "y")
+                          : WindowFormula::Undef(vars[rng.Below(2)]));
+    if (rng.Range(0, 3) == 0) w = WindowFormula::Not(std::move(w));
+    return StringFormula::Atomic(Dir::kLeft, std::move(transposed),
+                                 std::move(w));
+  };
+  std::function<StringFormula(int)> random_formula = [&](int depth) {
+    if (depth == 0 || rng.Range(0, 2) == 0) return random_atom();
+    switch (rng.Range(0, 2)) {
+      case 0:
+        return StringFormula::Concat(random_formula(depth - 1),
+                                     random_formula(depth - 1));
+      case 1:
+        return StringFormula::Union(random_formula(depth - 1),
+                                    random_formula(depth - 1));
+      default:
+        return StringFormula::Star(random_formula(depth - 1));
+    }
+  };
+  for (int trial = 0; trial < 12; ++trial) {
+    StringFormula f = random_formula(2);
+    Result<Fsa> fsa = CompileStringFormula(f, bin, vars);
+    ASSERT_TRUE(fsa.ok()) << fsa.status();
+    ToFormulaOptions opts;
+    Result<StringFormula> back = FsaToStringFormula(*fsa, vars, opts);
+    if (!back.ok()) {
+      // Elimination size budget may trip on unlucky shapes; that is an
+      // accepted outcome, not a wrong one.
+      EXPECT_EQ(back.status().code(), StatusCode::kResourceExhausted)
+          << back.status();
+      continue;
+    }
+    for (const std::string& x : bin.StringsUpTo(2)) {
+      for (const std::string& y : bin.StringsUpTo(2)) {
+        Result<bool> via_fsa = Accepts(*fsa, {x, y});
+        Result<bool> via_back = back->AcceptsStrings(vars, {x, y});
+        ASSERT_TRUE(via_fsa.ok() && via_back.ok());
+        EXPECT_EQ(*via_fsa, *via_back)
+            << f.ToString() << " on (" << x << "," << y << ")";
+      }
+    }
+  }
+}
+
+// Zone normalisation preserves the language.
+TEST(NormalizeTest, ZonesPreserveLanguage) {
+  Alphabet bin = Alphabet::Binary();
+  Result<StringFormula> f =
+      ParseStringFormula("([x]l(x = 'a'))* . [x]r(true) . [x]l(x = 'a')");
+  ASSERT_TRUE(f.ok());
+  Result<Fsa> fsa = CompileStringFormula(*f, bin, {"x"});
+  ASSERT_TRUE(fsa.ok());
+  Result<ZonedFsa> zoned = NormalizeZones(*fsa);
+  ASSERT_TRUE(zoned.ok()) << zoned.status();
+  for (const std::string& s : bin.StringsUpTo(4)) {
+    Result<bool> a = Accepts(*fsa, {s});
+    Result<bool> b = Accepts(zoned->fsa, {s});
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(*a, *b) << s;
+  }
+  // The advice tables track the new state space.
+  EXPECT_EQ(zoned->original_state.size(),
+            static_cast<size_t>(zoned->fsa.num_states()));
+  EXPECT_EQ(zoned->zones.size(),
+            static_cast<size_t>(zoned->fsa.num_states()));
+}
+
+TEST(NormalizeTest, ConsistifyPreservesLanguage) {
+  Alphabet bin = Alphabet::Binary();
+  Result<StringFormula> f = ParseStringFormula(
+      "([x,y]l(x = y))* . [x,y]l(x = ~ & y = ~)");
+  ASSERT_TRUE(f.ok());
+  Result<Fsa> fsa = CompileStringFormula(*f, bin, {"x", "y"});
+  ASSERT_TRUE(fsa.ok());
+  Result<ReadAdvisedFsa> adv = ConsistifyReads(*fsa);
+  ASSERT_TRUE(adv.ok()) << adv.status();
+  for (const std::string& x : bin.StringsUpTo(2)) {
+    for (const std::string& y : bin.StringsUpTo(2)) {
+      Result<bool> a = Accepts(*fsa, {x, y});
+      Result<bool> b = Accepts(adv->fsa, {x, y});
+      ASSERT_TRUE(a.ok() && b.ok());
+      EXPECT_EQ(*a, *b) << x << "," << y;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace strdb

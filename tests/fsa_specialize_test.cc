@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "fsa/accept.h"
+#include "fsa/compile.h"
+#include "fsa/specialize.h"
+#include "strform/parser.h"
+
+namespace strdb {
+namespace {
+
+Fsa Compile(const std::string& text, const Alphabet& alphabet,
+            const std::vector<std::string>& vars) {
+  Result<StringFormula> f = ParseStringFormula(text);
+  EXPECT_TRUE(f.ok()) << f.status();
+  Result<Fsa> r = CompileStringFormula(*f, alphabet, vars);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return *r;
+}
+
+const char kEquality[] = "([x,y]l(x = y))* . [x,y]l(x = ~ & y = ~)";
+const char kConcatFormula[] =
+    "([x,y]l(x = y))* . ([x,z]l(x = z))* . [x,y,z]l(x = ~ & y = ~ & z = ~)";
+
+TEST(SpecializeTest, EqualityWithFirstFixed) {
+  Fsa fsa = Compile(kEquality, Alphabet::Binary(), {"x", "y"});
+  Result<Fsa> spec = Specialize(fsa, {std::string("abba"), std::nullopt});
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_EQ(spec->num_tapes(), 1);
+  EXPECT_TRUE(*Accepts(*spec, {"abba"}));
+  EXPECT_FALSE(*Accepts(*spec, {"abb"}));
+  EXPECT_FALSE(*Accepts(*spec, {"abbab"}));
+}
+
+TEST(SpecializeTest, AgreesWithFullAcceptanceExhaustively) {
+  Alphabet bin = Alphabet::Binary();
+  Fsa fsa = Compile(kConcatFormula, bin, {"x", "y", "z"});
+  for (const std::string& y : bin.StringsUpTo(2)) {
+    for (const std::string& z : bin.StringsUpTo(2)) {
+      Result<Fsa> spec = Specialize(fsa, {std::nullopt, y, z});
+      ASSERT_TRUE(spec.ok()) << spec.status();
+      for (const std::string& x : bin.StringsUpTo(4)) {
+        Result<bool> direct = Accepts(fsa, {x, y, z});
+        Result<bool> via = Accepts(*spec, {x});
+        ASSERT_TRUE(direct.ok() && via.ok());
+        EXPECT_EQ(*direct, *via) << x << "|" << y << "|" << z;
+      }
+    }
+  }
+}
+
+TEST(SpecializeTest, EmptyStringConstant) {
+  Fsa fsa = Compile(kEquality, Alphabet::Binary(), {"x", "y"});
+  Result<Fsa> spec = Specialize(fsa, {std::nullopt, std::string("")});
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_TRUE(*Accepts(*spec, {""}));
+  EXPECT_FALSE(*Accepts(*spec, {"a"}));
+}
+
+TEST(SpecializeTest, ArityValidation) {
+  Fsa fsa = Compile(kEquality, Alphabet::Binary(), {"x", "y"});
+  EXPECT_FALSE(Specialize(fsa, {std::nullopt}).ok());
+  EXPECT_FALSE(
+      Specialize(fsa, {std::string("a"), std::string("a")}).ok());
+  EXPECT_FALSE(Specialize(fsa, {std::string("zz"), std::nullopt}).ok());
+}
+
+TEST(SpecializeTest, SizeIsPolynomialInConstantLength) {
+  // Lemma 3.1's bound: |B| = O(|A| · Π(|u_i|+2)); check the product
+  // construction stays within that envelope.
+  Fsa fsa = Compile(kEquality, Alphabet::Binary(), {"x", "y"});
+  std::string u(16, 'a');
+  Result<Fsa> spec = Specialize(fsa, {u, std::nullopt});
+  ASSERT_TRUE(spec.ok());
+  EXPECT_LE(spec->num_transitions(),
+            fsa.num_transitions() * (static_cast<int>(u.size()) + 2));
+}
+
+}  // namespace
+}  // namespace strdb

@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include "fsa/accept.h"
+#include "fsa/fsa.h"
+#include "fsa/serialize.h"
+
+namespace strdb {
+namespace {
+
+TEST(FsaTest, FreshAutomatonShape) {
+  Fsa fsa(Alphabet::Binary(), 2);
+  EXPECT_EQ(fsa.num_tapes(), 2);
+  EXPECT_EQ(fsa.num_states(), 1);
+  EXPECT_EQ(fsa.num_transitions(), 0);
+  EXPECT_EQ(fsa.start(), 0);
+  EXPECT_FALSE(fsa.IsFinal(0));
+  EXPECT_TRUE(fsa.FinalStates().empty());
+  EXPECT_TRUE(fsa.FinalStatesHaveNoExits());
+}
+
+TEST(FsaTest, AddTransitionValidation) {
+  Fsa fsa(Alphabet::Binary(), 1);
+  int q = fsa.AddState();
+  // Wrong arity.
+  EXPECT_FALSE(fsa.AddTransition(Transition{0, q, {0, 0}, {0, 0}}).ok());
+  // Unknown states.
+  EXPECT_FALSE(fsa.AddTransition(Transition{0, 7, {0}, {0}}).ok());
+  EXPECT_FALSE(fsa.AddTransition(Transition{-1, q, {0}, {0}}).ok());
+  // Foreign symbol.
+  EXPECT_FALSE(fsa.AddTransition(Transition{0, q, {9}, {0}}).ok());
+  // Endmarker restriction (§3): never step off the tape area.
+  EXPECT_FALSE(
+      fsa.AddTransition(Transition{0, q, {kLeftEnd}, {kBack}}).ok());
+  EXPECT_FALSE(
+      fsa.AddTransition(Transition{0, q, {kRightEnd}, {kFwd}}).ok());
+  // Legal moves at the markers.
+  EXPECT_TRUE(fsa.AddTransition(Transition{0, q, {kLeftEnd}, {kFwd}}).ok());
+  EXPECT_TRUE(
+      fsa.AddTransition(Transition{0, q, {kRightEnd}, {kBack}}).ok());
+}
+
+TEST(FsaTest, DuplicateTransitionsIgnored) {
+  Fsa fsa(Alphabet::Binary(), 1);
+  int q = fsa.AddState();
+  ASSERT_TRUE(fsa.AddTransitionSpec(0, q, "a", "+").ok());
+  ASSERT_TRUE(fsa.AddTransitionSpec(0, q, "a", "+").ok());
+  EXPECT_EQ(fsa.num_transitions(), 1);
+}
+
+TEST(FsaTest, AddTransitionSpecSyntax) {
+  Fsa fsa(Alphabet::Binary(), 3);
+  int q = fsa.AddState();
+  ASSERT_TRUE(fsa.AddTransitionSpec(0, q, "<a>", "+0-").ok());
+  const Transition& t = fsa.transitions()[0];
+  EXPECT_EQ(t.read, (std::vector<Sym>{kLeftEnd, 0, kRightEnd}));
+  EXPECT_EQ(t.move, (std::vector<Move>{kFwd, kStay, kBack}));
+  EXPECT_FALSE(fsa.AddTransitionSpec(0, q, "ab", "+0").ok());   // arity
+  EXPECT_FALSE(fsa.AddTransitionSpec(0, q, "abz", "+00").ok());  // symbol
+  EXPECT_FALSE(fsa.AddTransitionSpec(0, q, "aba", "+0x").ok());  // move
+}
+
+TEST(FsaTest, DirectionClassification) {
+  Fsa fsa(Alphabet::Binary(), 2);
+  int q = fsa.AddState();
+  ASSERT_TRUE(fsa.AddTransitionSpec(0, q, "aa", "+0").ok());
+  EXPECT_FALSE(fsa.IsTapeBidirectional(0));
+  EXPECT_FALSE(fsa.IsTapeBidirectional(1));
+  ASSERT_TRUE(fsa.AddTransitionSpec(q, 0, "aa", "0-").ok());
+  EXPECT_FALSE(fsa.IsTapeBidirectional(0));
+  EXPECT_TRUE(fsa.IsTapeBidirectional(1));
+  EXPECT_EQ(fsa.NumBidirectionalTapes(), 1);
+}
+
+TEST(FsaTest, PruneToTrimDropsDeadStates) {
+  Fsa fsa(Alphabet::Binary(), 1);
+  int live = fsa.AddState();
+  int accept = fsa.AddState();
+  int dead_unreachable = fsa.AddState();
+  int dead_sink = fsa.AddState();
+  fsa.SetFinal(accept);
+  ASSERT_TRUE(fsa.AddTransitionSpec(0, live, "<", "+").ok());
+  ASSERT_TRUE(fsa.AddTransitionSpec(live, accept, ">", "0").ok());
+  ASSERT_TRUE(fsa.AddTransitionSpec(live, dead_sink, "a", "+").ok());
+  ASSERT_TRUE(
+      fsa.AddTransitionSpec(dead_unreachable, accept, ">", "0").ok());
+  fsa.PruneToTrim();
+  EXPECT_EQ(fsa.num_states(), 3);  // start, live, accept
+  EXPECT_EQ(fsa.num_transitions(), 2);
+  EXPECT_EQ(fsa.FinalStates().size(), 1u);
+  // The trimmed automaton still accepts ε and nothing else.
+  EXPECT_TRUE(*Accepts(fsa, {""}));
+  EXPECT_FALSE(*Accepts(fsa, {"a"}));
+}
+
+TEST(FsaTest, PruneKeepsLoneStart) {
+  Fsa fsa(Alphabet::Binary(), 1);
+  fsa.AddState();
+  fsa.PruneToTrim();
+  EXPECT_EQ(fsa.num_states(), 1);
+  EXPECT_EQ(fsa.start(), 0);
+}
+
+TEST(FsaTest, DisregardTapePinsIt) {
+  Fsa fsa(Alphabet::Binary(), 2);
+  int accept = fsa.AddState();
+  fsa.SetFinal(accept);
+  ASSERT_TRUE(fsa.AddTransitionSpec(0, accept, "a<", "+0").ok());
+  Fsa pinned = fsa.DisregardTape(0);
+  ASSERT_EQ(pinned.num_transitions(), 1);
+  EXPECT_EQ(pinned.transitions()[0].read[0], kLeftEnd);
+  EXPECT_EQ(pinned.transitions()[0].move[0], kStay);
+  // The disregarded tape never constrains acceptance beyond ⊢.
+  EXPECT_TRUE(*Accepts(pinned, {"", ""}));
+  EXPECT_TRUE(*Accepts(pinned, {"abba", ""}));
+}
+
+TEST(FsaTest, RenderersProduceSomething) {
+  Fsa fsa(Alphabet::Binary(), 1);
+  int q = fsa.AddState();
+  fsa.SetFinal(q);
+  ASSERT_TRUE(fsa.AddTransitionSpec(0, q, "a", "+").ok());
+  std::string text = fsa.ToString();
+  EXPECT_NE(text.find("states=2"), std::string::npos);
+  EXPECT_NE(text.find("a+"), std::string::npos);
+  std::string dot = fsa.ToDot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);
+}
+
+TEST(AcceptTest, StuckAcceptanceSemantics) {
+  // A final state *with* outgoing transitions accepts only where no
+  // transition applies (the paper's definition).
+  Fsa fsa(Alphabet::Binary(), 1);
+  int f = fsa.AddState();
+  fsa.SetFinal(f);
+  ASSERT_TRUE(fsa.AddTransitionSpec(0, f, "<", "+").ok());
+  // From f, 'a' keeps computing (back to f), so f is only stuck when
+  // the scanned square is not 'a'.
+  ASSERT_TRUE(fsa.AddTransitionSpec(f, f, "a", "+").ok());
+  EXPECT_FALSE(fsa.FinalStatesHaveNoExits());
+  EXPECT_TRUE(*Accepts(fsa, {""}));     // stuck on ⊣ immediately
+  EXPECT_TRUE(*Accepts(fsa, {"a"}));    // consumes a, stuck on ⊣
+  EXPECT_TRUE(*Accepts(fsa, {"ab"}));   // stuck on 'b'... in state f
+  EXPECT_TRUE(*Accepts(fsa, {"ba"}));   // stuck on 'b' right away
+}
+
+TEST(AcceptTest, InputValidation) {
+  Fsa fsa(Alphabet::Binary(), 2);
+  EXPECT_FALSE(Accepts(fsa, {"a"}).ok());
+  EXPECT_FALSE(Accepts(fsa, {"a", "xyz"}).ok());
+}
+
+TEST(AcceptTest, StatsCountConfigurations) {
+  Fsa fsa(Alphabet::Binary(), 1);
+  int q = fsa.AddState();
+  fsa.SetFinal(q);
+  ASSERT_TRUE(fsa.AddTransitionSpec(0, 0, "<", "+").ok());
+  ASSERT_TRUE(fsa.AddTransitionSpec(0, 0, "a", "+").ok());
+  ASSERT_TRUE(fsa.AddTransitionSpec(0, q, ">", "0").ok());
+  Result<AcceptStats> stats = AcceptsWithStats(fsa, {"aaaa"});
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats->accepted);
+  EXPECT_GE(stats->configurations_visited, 5);
+  EXPECT_LE(stats->configurations_visited, 2 * (4 + 2));
+}
+
+TEST(FsaTest, BisimulationReductionPreservesLanguage) {
+  // Build a deliberately redundant automaton: two parallel equivalent
+  // branches.
+  Fsa fsa(Alphabet::Binary(), 1);
+  int p1 = fsa.AddState();
+  int p2 = fsa.AddState();
+  int accept = fsa.AddState();
+  fsa.SetFinal(accept);
+  ASSERT_TRUE(fsa.AddTransitionSpec(0, p1, "<", "+").ok());
+  ASSERT_TRUE(fsa.AddTransitionSpec(0, p2, "<", "+").ok());
+  ASSERT_TRUE(fsa.AddTransitionSpec(p1, accept, ">", "0").ok());
+  ASSERT_TRUE(fsa.AddTransitionSpec(p2, accept, ">", "0").ok());
+  ASSERT_TRUE(fsa.AddTransitionSpec(p1, p1, "a", "+").ok());
+  ASSERT_TRUE(fsa.AddTransitionSpec(p2, p2, "a", "+").ok());
+  Fsa reduced = fsa;
+  int removed = reduced.ReduceByBisimulation();
+  EXPECT_EQ(removed, 1);  // p1 and p2 merge
+  for (const std::string& s : Alphabet::Binary().StringsUpTo(3)) {
+    Result<bool> a = Accepts(fsa, {s});
+    Result<bool> b = Accepts(reduced, {s});
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(*a, *b) << s;
+  }
+}
+
+TEST(FsaTest, BisimulationKeepsStartSeparate) {
+  // Even when the start state is bisimilar to another state, it stays
+  // un-merged so compiled automata keep property 2 (no incoming edges).
+  Fsa fsa(Alphabet::Binary(), 1);
+  int twin = fsa.AddState();
+  int accept = fsa.AddState();
+  fsa.SetFinal(accept);
+  ASSERT_TRUE(fsa.AddTransitionSpec(0, accept, "<", "0").ok());
+  ASSERT_TRUE(fsa.AddTransitionSpec(twin, accept, "<", "0").ok());
+  // `twin` mirrors the start exactly; it must merge with nothing that
+  // gives the start incoming edges.
+  ASSERT_TRUE(fsa.AddTransitionSpec(accept, twin, "a", "+").ok());
+  fsa.SetFinal(accept, false);
+  int mid = accept;
+  int real_accept = fsa.AddState();
+  fsa.SetFinal(real_accept);
+  ASSERT_TRUE(fsa.AddTransitionSpec(mid, real_accept, ">", "0").ok());
+  fsa.ReduceByBisimulation();
+  for (const Transition& t : fsa.transitions()) {
+    EXPECT_NE(t.to, fsa.start());
+  }
+}
+
+TEST(SerializeTest, RoundTripPreservesEverything) {
+  Fsa fsa(Alphabet::Dna(), 2);
+  int q = fsa.AddState();
+  int f = fsa.AddState();
+  fsa.SetFinal(f);
+  ASSERT_TRUE(fsa.AddTransitionSpec(0, q, "<g", "+0").ok());
+  ASSERT_TRUE(fsa.AddTransitionSpec(q, q, "at", "+-").ok());
+  ASSERT_TRUE(fsa.AddTransitionSpec(q, f, ">>", "00").ok());
+  std::string text = SerializeFsa(fsa);
+  Result<Fsa> back = DeserializeFsa(Alphabet::Dna(), text);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->num_tapes(), fsa.num_tapes());
+  EXPECT_EQ(back->num_states(), fsa.num_states());
+  EXPECT_EQ(back->start(), fsa.start());
+  EXPECT_EQ(back->FinalStates(), fsa.FinalStates());
+  ASSERT_EQ(back->num_transitions(), fsa.num_transitions());
+  for (int i = 0; i < fsa.num_transitions(); ++i) {
+    EXPECT_TRUE(back->transitions()[static_cast<size_t>(i)] ==
+                fsa.transitions()[static_cast<size_t>(i)]);
+  }
+  // And it serialises back to the identical text.
+  EXPECT_EQ(SerializeFsa(*back), text);
+}
+
+TEST(SerializeTest, AcceptanceSurvivesRoundTrip) {
+  Fsa fsa(Alphabet::Binary(), 1);
+  int f = fsa.AddState();
+  fsa.SetFinal(f);
+  ASSERT_TRUE(fsa.AddTransitionSpec(0, 0, "<", "+").ok());
+  ASSERT_TRUE(fsa.AddTransitionSpec(0, 0, "a", "+").ok());
+  ASSERT_TRUE(fsa.AddTransitionSpec(0, f, ">", "0").ok());
+  Result<Fsa> back =
+      DeserializeFsa(Alphabet::Binary(), SerializeFsa(fsa));
+  ASSERT_TRUE(back.ok());
+  for (const std::string& s : Alphabet::Binary().StringsUpTo(3)) {
+    EXPECT_EQ(*Accepts(fsa, {s}), *Accepts(*back, {s})) << s;
+  }
+}
+
+TEST(SerializeTest, RejectsMalformedInput) {
+  Alphabet bin = Alphabet::Binary();
+  EXPECT_FALSE(DeserializeFsa(bin, "").ok());
+  EXPECT_FALSE(DeserializeFsa(bin, "nope tapes=1").ok());
+  EXPECT_FALSE(
+      DeserializeFsa(bin, "fsa tapes=1 states=1 start=5 finals=").ok());
+  EXPECT_FALSE(DeserializeFsa(
+                   bin, "fsa tapes=1 states=2 start=0 finals=1\nt 0 1 z +")
+                   .ok());
+  EXPECT_FALSE(DeserializeFsa(
+                   bin, "fsa tapes=1 states=2 start=0 finals=9\nt 0 1 a +")
+                   .ok());
+}
+
+}  // namespace
+}  // namespace strdb

@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <optional>
+
+#include "calculus/eval.h"
+#include "fsa/compile.h"
+#include "fsa/generate.h"
+#include "queries/grammar.h"
+
+namespace strdb {
+namespace {
+
+// Breadth-first derivation search: a chain start-symbol ⇒* target with
+// every sentential form bounded, or nullopt.
+std::optional<std::vector<std::string>> FindDerivation(
+    const Grammar& grammar, const std::string& target, size_t max_len,
+    int max_forms = 200000) {
+  std::string start(1, grammar.start_symbol);
+  std::map<std::string, std::string> parent;  // form -> predecessor
+  std::deque<std::string> queue = {start};
+  parent[start] = start;
+  int seen = 0;
+  while (!queue.empty() && seen < max_forms) {
+    std::string form = std::move(queue.front());
+    queue.pop_front();
+    ++seen;
+    if (form == target) {
+      std::vector<std::string> chain = {form};
+      while (chain.back() != start) chain.push_back(parent[chain.back()]);
+      std::reverse(chain.begin(), chain.end());
+      return chain;
+    }
+    for (const GrammarRule& rule : grammar.rules) {
+      for (size_t pos = 0; pos + rule.lhs.size() <= form.size(); ++pos) {
+        if (form.compare(pos, rule.lhs.size(), rule.lhs) != 0) continue;
+        std::string next = form.substr(0, pos) + rule.rhs +
+                           form.substr(pos + rule.lhs.size());
+        if (next.size() > max_len) continue;
+        if (parent.emplace(next, form).second) queue.push_back(next);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+// Encodes a derivation chain [S, ..., u] as the paper's witness string
+// u > v_{n-1} > ... > S.
+std::string EncodeWitness(const std::vector<std::string>& chain, char sep) {
+  std::string out;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    if (!out.empty()) out += sep;
+    out += *it;
+  }
+  return out;
+}
+
+bool Holds(const StringFormula& f, const std::vector<std::string>& vars,
+           const std::vector<std::string>& strings) {
+  Result<bool> r = f.AcceptsStrings(vars, strings);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.ok() && *r;
+}
+
+// E9: Theorem 5.1's φ_G on a small (context-free, viewed as
+// unrestricted) grammar: S → ab | aSb.
+Grammar AnbnGrammar() {
+  Grammar g;
+  g.start_symbol = 'S';
+  g.rules = {{"S", "ab"}, {"S", "aSb"}};
+  return g;
+}
+
+TEST(GrammarFormulaTest, AcceptsGenuineDerivationWitness) {
+  Alphabet sigma = *Alphabet::Create("abS#");
+  Grammar g = AnbnGrammar();
+  Result<StringFormula> phi =
+      GrammarDerivationFormula(g, '#', "x1", "x2", "x3", sigma);
+  ASSERT_TRUE(phi.ok()) << phi.status();
+  EXPECT_FALSE(phi->IsRightRestricted());  // two bidirectional variables
+
+  for (const std::string& u : {std::string("ab"), std::string("aabb")}) {
+    std::optional<std::vector<std::string>> chain =
+        FindDerivation(g, u, u.size() + 2);
+    ASSERT_TRUE(chain.has_value()) << u;
+    std::string witness = EncodeWitness(*chain, '#');
+    EXPECT_TRUE(Holds(*phi, {"x1", "x2", "x3"}, {u, witness, witness}))
+        << "witness " << witness;
+  }
+}
+
+TEST(GrammarFormulaTest, RejectsTamperedWitnesses) {
+  Alphabet sigma = *Alphabet::Create("abS#");
+  Grammar g = AnbnGrammar();
+  Result<StringFormula> phi =
+      GrammarDerivationFormula(g, '#', "x1", "x2", "x3", sigma);
+  ASSERT_TRUE(phi.ok()) << phi.status();
+  const std::string good = "aabb#aSb#S";
+  // Mismatched u.
+  EXPECT_FALSE(Holds(*phi, {"x1", "x2", "x3"}, {"abab", good, good}));
+  // x2 ≠ x3.
+  EXPECT_FALSE(
+      Holds(*phi, {"x1", "x2", "x3"}, {"aabb", good, "aabb#aSb#S "}));
+  // A non-derivation step (aSb does not derive abb... wrong segment).
+  EXPECT_FALSE(Holds(*phi, {"x1", "x2", "x3"},
+                     {"aabb", "aabb#abb#S", "aabb#abb#S"}));
+  // Missing the final S segment.
+  EXPECT_FALSE(
+      Holds(*phi, {"x1", "x2", "x3"}, {"aabb", "aabb#aSb", "aabb#aSb"}));
+  // ε witnesses.
+  EXPECT_FALSE(Holds(*phi, {"x1", "x2", "x3"}, {"", "", ""}));
+}
+
+TEST(GrammarFormulaTest, OneStepDerivation) {
+  Alphabet sigma = *Alphabet::Create("abS#");
+  Grammar g = AnbnGrammar();
+  Result<StringFormula> phi =
+      GrammarDerivationFormula(g, '#', "x1", "x2", "x3", sigma);
+  ASSERT_TRUE(phi.ok());
+  EXPECT_TRUE(Holds(*phi, {"x1", "x2", "x3"}, {"ab", "ab#S", "ab#S"}));
+  EXPECT_FALSE(Holds(*phi, {"x1", "x2", "x3"}, {"ba", "ba#S", "ba#S"}));
+}
+
+TEST(GrammarFormulaTest, ValidatesSymbols) {
+  Alphabet sigma = *Alphabet::Create("abS#");
+  Grammar bad;
+  bad.start_symbol = 'S';
+  bad.rules = {{"S", "xy"}};
+  EXPECT_FALSE(
+      GrammarDerivationFormula(bad, '#', "x1", "x2", "x3", sigma).ok());
+  Grammar sep_clash;
+  sep_clash.start_symbol = 'S';
+  sep_clash.rules = {{"S", "#"}};
+  EXPECT_FALSE(
+      GrammarDerivationFormula(sep_clash, '#', "x1", "x2", "x3", sigma).ok());
+}
+
+// E12: Theorems 5.1/6.2 — the backward Turing machine simulation.
+TuringMachine TinyMachine() {
+  // Q scans 'a's rightwards; a 'b' sends it to the halting state H.
+  TuringMachine m;
+  m.start_state = 'Q';
+  m.states = {'H'};  // seed derivations only from the halting state
+  m.input_alphabet = {'a', 'b'};
+  m.tape_alphabet = {'a', 'b', '_'};
+  m.blank = '_';
+  m.rules = {{'Q', 'a', 'Q', 'a', true}, {'Q', 'b', 'H', 'b', true}};
+  return m;
+}
+
+// Reference forward simulation: does the machine reach 'H' on `input`?
+bool ReachesHalt(const std::string& input) {
+  // For TinyMachine: a* b (anything).
+  size_t i = 0;
+  while (i < input.size() && input[i] == 'a') ++i;
+  return i < input.size() && input[i] == 'b';
+}
+
+TEST(TuringGrammarTest, BackwardGrammarDerivesAcceptedInputs) {
+  TuringMachine m = TinyMachine();
+  Grammar g = TuringToBackwardGrammar(m, 'G', 'L', 'V', 'F');
+  for (const std::string& u :
+       {std::string("b"), std::string("ab"), std::string("aab"),
+        std::string("a"), std::string("aa"), std::string("ba")}) {
+    std::optional<std::vector<std::string>> chain =
+        FindDerivation(g, u, u.size() + 6);
+    EXPECT_EQ(chain.has_value(), ReachesHalt(u)) << u;
+  }
+}
+
+TEST(TuringGrammarTest, WitnessSatisfiesPhiG) {
+  TuringMachine m = TinyMachine();
+  Grammar g = TuringToBackwardGrammar(m, 'G', 'L', 'V', 'F');
+  Alphabet sigma = *Alphabet::Create("abGLVFTQH_#");
+  Result<StringFormula> phi =
+      GrammarDerivationFormula(g, '#', "x1", "x2", "x3", sigma);
+  ASSERT_TRUE(phi.ok()) << phi.status();
+
+  const std::string u = "ab";
+  std::optional<std::vector<std::string>> chain =
+      FindDerivation(g, u, u.size() + 6);
+  ASSERT_TRUE(chain.has_value());
+  std::string witness = EncodeWitness(*chain, '#');
+  EXPECT_TRUE(Holds(*phi, {"x1", "x2", "x3"}, {u, witness, witness}))
+      << witness;
+  // The not-accepted input has no witness of this shape; a forged one
+  // must be rejected.
+  EXPECT_FALSE(Holds(*phi, {"x1", "x2", "x3"}, {"aa", witness, witness}));
+}
+
+// Theorem 6.2 over the whole pipeline: ∃x2,x3: φ_G decided by the
+// bounded generator — derivable inputs have witnesses, others have
+// none at any length the budget covers.
+TEST(GrammarFormulaTest, LanguageMembershipViaGeneration) {
+  Alphabet sigma = *Alphabet::Create("abS#");
+  Grammar g = AnbnGrammar();
+  Result<StringFormula> phi =
+      GrammarDerivationFormula(g, '#', "x1", "x2", "x3", sigma);
+  ASSERT_TRUE(phi.ok()) << phi.status();
+  Result<Fsa> fsa =
+      CompileStringFormula(*phi, sigma, {"x1", "x2", "x3"});
+  ASSERT_TRUE(fsa.ok()) << fsa.status();
+
+  auto derivable = [&](const std::string& u, int budget) -> bool {
+    GenerateOptions opts;
+    opts.max_len = budget;
+    opts.max_steps = 200'000'000;
+    Result<std::set<std::vector<std::string>>> witnesses =
+        GenerateAccepted(*fsa, {u, std::nullopt, std::nullopt}, opts);
+    EXPECT_TRUE(witnesses.ok()) << witnesses.status();
+    return witnesses.ok() && !witnesses->empty();
+  };
+  // "ab" derives with witness "ab#S" (4 chars).
+  EXPECT_TRUE(derivable("ab", 5));
+  // "ba" and "aab" derive nothing at any witness length; probe a
+  // budget big enough for every sentential chain of that size.
+  EXPECT_FALSE(derivable("ba", 7));
+  EXPECT_FALSE(derivable("aa", 7));
+}
+
+// Corollary 6.1: the conjunction of two *unidirectional* formulae does
+// the rewind's job — each conjunct starts from the initial alignment.
+TEST(GrammarFormulaTest, Corollary61ConjunctiveForm) {
+  Alphabet sigma = *Alphabet::Create("abS#");
+  Grammar g = AnbnGrammar();
+  Result<CalcFormula> q =
+      GrammarLanguageQueryConjunctive(g, '#', "x1", sigma);
+  ASSERT_TRUE(q.ok()) << q.status();
+  // Both string-formula conjuncts must be unidirectional, and the
+  // second must not mention x1.
+  ASSERT_EQ(q->kind(), CalcFormula::Kind::kExists);
+  const CalcFormula body = q->Left().Left();  // under two ∃
+  ASSERT_EQ(body.kind(), CalcFormula::Kind::kAnd);
+  EXPECT_TRUE(body.Left().str().IsUnidirectional());
+  EXPECT_TRUE(body.Right().str().IsUnidirectional());
+  std::vector<std::string> rhs_vars = body.Right().str().Vars();
+  EXPECT_EQ(std::count(rhs_vars.begin(), rhs_vars.end(), "x1"), 0);
+
+  // Semantics: witnesses satisfy the body, tampered ones do not.
+  Database db(sigma);
+  CalcEvalOptions opts;
+  opts.truncation = 10;
+  opts.max_steps = 500'000'000;
+  for (const std::string& u : {std::string("ab"), std::string("aabb")}) {
+    std::optional<std::vector<std::string>> chain =
+        FindDerivation(g, u, u.size() + 2);
+    ASSERT_TRUE(chain.has_value());
+    std::string witness = EncodeWitness(*chain, '#');
+    Result<bool> ok = HoldsAt(
+        body, db,
+        {{"x1", u}, {"x1_d2", witness}, {"x1_d3", witness}}, opts);
+    ASSERT_TRUE(ok.ok()) << ok.status();
+    EXPECT_TRUE(*ok) << witness;
+    Result<bool> bad = HoldsAt(
+        body, db,
+        {{"x1", "ba"}, {"x1_d2", witness}, {"x1_d3", witness}}, opts);
+    ASSERT_TRUE(bad.ok());
+    EXPECT_FALSE(*bad);
+  }
+}
+
+}  // namespace
+}  // namespace strdb

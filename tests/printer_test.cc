@@ -1,0 +1,130 @@
+// Printer/parser round trips at every syntax level: re-parsing a
+// printed formula yields the same semantics (and usually the same
+// print), so stored/logged queries are always reloadable.
+#include <gtest/gtest.h>
+
+#include "calculus/eval.h"
+#include "calculus/parser.h"
+#include "strform/parser.h"
+
+namespace strdb {
+namespace {
+
+class WindowRoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(WindowRoundTripTest, PrintParsePrintIsStable) {
+  Result<WindowFormula> once = ParseWindowFormula(GetParam());
+  ASSERT_TRUE(once.ok()) << once.status();
+  Result<WindowFormula> twice = ParseWindowFormula(once->ToString());
+  ASSERT_TRUE(twice.ok()) << twice.status() << " re-parsing "
+                          << once->ToString();
+  EXPECT_EQ(once->ToString(), twice->ToString());
+  EXPECT_TRUE(*once == *twice);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WindowCorpus, WindowRoundTripTest,
+    ::testing::Values("x = 'a'", "x = ~", "x = y", "true", "!(x = y)",
+                      "x = 'a' & y = 'b' | !(z = ~)",
+                      "x = y & y = z & z = ~",
+                      "!(!(x = 'a'))"));
+
+class StrformRoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(StrformRoundTripTest, PrintParseSemanticsAgree) {
+  Result<StringFormula> once = ParseStringFormula(GetParam());
+  ASSERT_TRUE(once.ok()) << once.status();
+  Result<StringFormula> twice = ParseStringFormula(once->ToString());
+  ASSERT_TRUE(twice.ok()) << twice.status() << " re-parsing "
+                          << once->ToString();
+  EXPECT_EQ(once->ToString(), twice->ToString());
+  // Semantic agreement on small tuples.
+  Alphabet bin = Alphabet::Binary();
+  std::vector<std::string> vars = once->Vars();
+  if (vars.empty()) return;
+  std::vector<std::string> domain = bin.StringsUpTo(2);
+  std::vector<size_t> idx(vars.size(), 0);
+  for (;;) {
+    std::vector<std::string> tuple;
+    for (size_t i : idx) tuple.push_back(domain[i]);
+    Result<bool> a = once->AcceptsStrings(vars, tuple);
+    Result<bool> b = twice->AcceptsStrings(vars, tuple);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(*a, *b);
+    size_t d = 0;
+    while (d < idx.size() && ++idx[d] == domain.size()) idx[d++] = 0;
+    if (d == idx.size()) break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StrformCorpus, StrformRoundTripTest,
+    ::testing::Values(
+        "lambda", "[x]l(x = 'a')", "([x,y]l(x = y))* . [x,y]l(x = y = ~)",
+        "[x]l(true)^3", "[x]r(true) + [x]l(x = ~) . [x]l(true)",
+        "(([x,y]l(x = y))* . [y]l(y = ~) . ([y]r(!(y = ~)))* . "
+        "[y]r(y = ~))* . ([x,y]l(x = y))* . [x,y]l(x = y = ~)"));
+
+class CalcRoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CalcRoundTripTest, PrintParseSemanticsAgree) {
+  Result<CalcFormula> once = ParseCalcFormula(GetParam());
+  ASSERT_TRUE(once.ok()) << once.status();
+  Result<CalcFormula> twice = ParseCalcFormula(once->ToString());
+  ASSERT_TRUE(twice.ok()) << twice.status() << " re-parsing "
+                          << once->ToString();
+  EXPECT_EQ(once->ToString(), twice->ToString());
+
+  Database db(Alphabet::Binary());
+  ASSERT_TRUE(db.Put("R1", 2, {{"ab", "b"}, {"a", "a"}}).ok());
+  ASSERT_TRUE(db.Put("R2", 1, {{"ab"}, {""}}).ok());
+  CalcEvalOptions opts;
+  opts.truncation = 2;
+  Result<StringRelation> a = EvalCalcNaive(*once, db, opts);
+  Result<StringRelation> b = EvalCalcNaive(*twice, db, opts);
+  ASSERT_TRUE(a.ok() && b.ok()) << a.status() << b.status();
+  EXPECT_EQ(a->tuples(), b->tuples());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CalcCorpus, CalcRoundTripTest,
+    ::testing::Values(
+        "R1(x,y)", "exists y: R1(x,y) & R2(x)",
+        "forall y: R2(y) -> R2(y)", "!R2(x) | R2(x)",
+        "R2(x) & ([x]l(x = 'a') + [x]l(x = 'b'))",
+        "exists y, z: R2(y) & R2(z) & ([x,y]l(x = y))* . "
+        "([x,z]l(x = z))* . [x,y,z]l(x = y = z = ~)"));
+
+// Variable renaming invariants (used by the Theorem 4.1 translation).
+TEST(RenameTest, StringFormulaRenameIsSemanticSubstitution) {
+  Result<StringFormula> f = ParseStringFormula(
+      "([x,y]l(x = y))* . [x,y]l(x = y = ~)");
+  ASSERT_TRUE(f.ok());
+  StringFormula renamed = f->RenameVars({{"x", "u"}, {"y", "v"}});
+  EXPECT_EQ(renamed.Vars(), (std::vector<std::string>{"u", "v"}));
+  for (const std::string& a : Alphabet::Binary().StringsUpTo(2)) {
+    for (const std::string& b : Alphabet::Binary().StringsUpTo(2)) {
+      EXPECT_EQ(*f->AcceptsStrings({"x", "y"}, {a, b}),
+                *renamed.AcceptsStrings({"u", "v"}, {a, b}));
+    }
+  }
+}
+
+TEST(RenameTest, SwapIsSimultaneous) {
+  Result<StringFormula> f = ParseStringFormula("[x]l(x = 'a') . [y]l(y = 'b')");
+  ASSERT_TRUE(f.ok());
+  StringFormula swapped = f->RenameVars({{"x", "y"}, {"y", "x"}});
+  // x and y trade places: now y must start with 'a' and x with 'b'.
+  EXPECT_TRUE(*swapped.AcceptsStrings({"x", "y"}, {"b", "a"}));
+  EXPECT_FALSE(*swapped.AcceptsStrings({"x", "y"}, {"a", "b"}));
+}
+
+TEST(RenameTest, WindowRenameKeepsUnmapped) {
+  WindowFormula w = WindowFormula::And(WindowFormula::VarEq("x", "y"),
+                                       WindowFormula::Undef("z"));
+  WindowFormula renamed = w.RenameVars({{"x", "a"}});
+  EXPECT_EQ(renamed.Vars(), (std::set<std::string>{"a", "y", "z"}));
+}
+
+}  // namespace
+}  // namespace strdb

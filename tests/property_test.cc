@@ -1,0 +1,317 @@
+// Parameterized property sweeps over the paper's formula corpus: every
+// case runs the full pipeline invariants —
+//   logic semantics ≡ compiled automaton          (Theorem 3.1)
+//   automaton → formula → logic semantics          (Theorem 3.2)
+//   bounded generation ≡ acceptance               (Definition 3.1 reading)
+//   naive calculus ≡ algebra translation          (Theorem 4.2)
+//   safety verdicts and bound domination          (Theorem 5.2)
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "calculus/eval.h"
+#include "calculus/parser.h"
+#include "calculus/translate.h"
+#include "fsa/accept.h"
+#include "fsa/compile.h"
+#include "fsa/generate.h"
+#include "fsa/to_formula.h"
+#include "relational/algebra.h"
+#include "safety/limitation.h"
+#include "strform/parser.h"
+
+namespace strdb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Pipeline invariants per string formula
+
+struct FormulaCase {
+  const char* name;
+  const char* text;
+  const char* alphabet;
+  int sweep_len;  // exhaustive tuple sweep bound (|Σ|^(len·vars) cases)
+};
+
+std::ostream& operator<<(std::ostream& os, const FormulaCase& c) {
+  return os << c.name;
+}
+
+class StringFormulaPipelineTest
+    : public ::testing::TestWithParam<FormulaCase> {};
+
+TEST_P(StringFormulaPipelineTest, CompiledFsaAgreesWithLogic) {
+  const FormulaCase& c = GetParam();
+  Alphabet sigma = *Alphabet::Create(c.alphabet);
+  Result<StringFormula> f = ParseStringFormula(c.text);
+  ASSERT_TRUE(f.ok()) << f.status();
+  std::vector<std::string> vars = f->Vars();
+  if (vars.empty()) vars = {"x"};  // λ etc.: one unconstrained tape
+  Result<Fsa> fsa = CompileStringFormula(*f, sigma, vars);
+  ASSERT_TRUE(fsa.ok()) << fsa.status();
+
+  std::vector<std::string> domain = sigma.StringsUpTo(c.sweep_len);
+  std::vector<size_t> idx(vars.size(), 0);
+  for (;;) {
+    std::vector<std::string> tuple;
+    for (size_t i : idx) tuple.push_back(domain[i]);
+    Result<bool> direct = f->AcceptsStrings(vars, tuple);
+    Result<bool> via = Accepts(*fsa, tuple);
+    ASSERT_TRUE(direct.ok() && via.ok());
+    EXPECT_EQ(*direct, *via) << c.name;
+    size_t d = 0;
+    while (d < idx.size() && ++idx[d] == domain.size()) idx[d++] = 0;
+    if (d == idx.size()) break;
+  }
+}
+
+TEST_P(StringFormulaPipelineTest, GenerationMatchesAcceptance) {
+  const FormulaCase& c = GetParam();
+  Alphabet sigma = *Alphabet::Create(c.alphabet);
+  Result<StringFormula> f = ParseStringFormula(c.text);
+  ASSERT_TRUE(f.ok());
+  std::vector<std::string> vars = f->Vars();
+  if (vars.empty()) vars = {"x"};
+  Result<Fsa> fsa = CompileStringFormula(*f, sigma, vars);
+  ASSERT_TRUE(fsa.ok());
+  GenerateOptions opts;
+  opts.max_len = c.sweep_len;
+  Result<std::set<std::vector<std::string>>> generated =
+      EnumerateLanguage(*fsa, opts);
+  ASSERT_TRUE(generated.ok()) << generated.status();
+  // Generation must produce exactly the accepted tuples within bounds.
+  std::vector<std::string> domain = sigma.StringsUpTo(c.sweep_len);
+  std::vector<size_t> idx(vars.size(), 0);
+  for (;;) {
+    std::vector<std::string> tuple;
+    for (size_t i : idx) tuple.push_back(domain[i]);
+    Result<bool> via = Accepts(*fsa, tuple);
+    ASSERT_TRUE(via.ok());
+    EXPECT_EQ(*via, generated->count(tuple) > 0) << c.name;
+    size_t d = 0;
+    while (d < idx.size() && ++idx[d] == domain.size()) idx[d++] = 0;
+    if (d == idx.size()) break;
+  }
+}
+
+TEST_P(StringFormulaPipelineTest, StructuralPropertiesOfTheoremOne) {
+  const FormulaCase& c = GetParam();
+  Alphabet sigma = *Alphabet::Create(c.alphabet);
+  Result<StringFormula> f = ParseStringFormula(c.text);
+  ASSERT_TRUE(f.ok());
+  std::vector<std::string> tape_vars = f->Vars();
+  if (tape_vars.empty()) tape_vars = {"x"};
+  Result<Fsa> fsa = CompileStringFormula(*f, sigma, tape_vars);
+  ASSERT_TRUE(fsa.ok());
+  // Property 2: no incoming transitions at the start state.
+  for (const Transition& t : fsa->transitions()) {
+    EXPECT_NE(t.to, fsa->start()) << c.name;
+  }
+  // Properties 3/4: at most one final state; stationary ⇔ accepting.
+  std::vector<int> finals = fsa->FinalStates();
+  ASSERT_LE(finals.size(), 1u) << c.name;
+  if (!finals.empty()) {
+    EXPECT_TRUE(fsa->TransitionsFrom(finals[0]).empty()) << c.name;
+    for (const Transition& t : fsa->transitions()) {
+      EXPECT_EQ(t.to == finals[0], t.IsStationary()) << c.name;
+    }
+  }
+  // Property 1: tapes bidirectional only when the variable is.
+  std::vector<std::string> vars = f->Vars();
+  std::set<std::string> bidi = f->BidirectionalVars();
+  for (size_t i = 0; i < vars.size(); ++i) {
+    if (!bidi.count(vars[i])) {
+      EXPECT_FALSE(fsa->IsTapeBidirectional(static_cast<int>(i)))
+          << c.name << " tape " << vars[i];
+    }
+  }
+}
+
+TEST_P(StringFormulaPipelineTest, RoundTripThroughStateElimination) {
+  const FormulaCase& c = GetParam();
+  Alphabet sigma = *Alphabet::Create(c.alphabet);
+  Result<StringFormula> f = ParseStringFormula(c.text);
+  ASSERT_TRUE(f.ok());
+  std::vector<std::string> vars = f->Vars();
+  if (vars.empty()) vars = {"x"};
+  Result<Fsa> fsa = CompileStringFormula(*f, sigma, vars);
+  ASSERT_TRUE(fsa.ok());
+  ToFormulaOptions opts;
+  opts.max_formula_size = 20'000'000;
+  Result<StringFormula> back = FsaToStringFormula(*fsa, vars, opts);
+  if (!back.ok()) {
+    // The elimination blow-up tripping its budget is acceptable.
+    EXPECT_EQ(back.status().code(), StatusCode::kResourceExhausted)
+        << back.status();
+    return;
+  }
+  const int len = std::min(c.sweep_len, 2);
+  std::vector<std::string> domain = sigma.StringsUpTo(len);
+  std::vector<size_t> idx(vars.size(), 0);
+  for (;;) {
+    std::vector<std::string> tuple;
+    for (size_t i : idx) tuple.push_back(domain[i]);
+    Result<bool> via_fsa = Accepts(*fsa, tuple);
+    Result<bool> via_back = back->AcceptsStrings(vars, tuple);
+    ASSERT_TRUE(via_fsa.ok() && via_back.ok());
+    EXPECT_EQ(*via_fsa, *via_back) << c.name;
+    size_t d = 0;
+    while (d < idx.size() && ++idx[d] == domain.size()) idx[d++] = 0;
+    if (d == idx.size()) break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperFormulae, StringFormulaPipelineTest,
+    ::testing::Values(
+        FormulaCase{"equality", "([x,y]l(x = y))* . [x,y]l(x = y = ~)",
+                    "ab", 2},
+        FormulaCase{"constant_ab",
+                    "[x]l(x = 'a') . [x]l(x = 'b') . [x]l(x = ~)", "ab", 3},
+        FormulaCase{"prefix_star", "([x,y]l(x = y))*", "ab", 2},
+        FormulaCase{"concat",
+                    "([x,y]l(x = y))* . ([x,z]l(x = z))* . "
+                    "[x,y,z]l(x = y = z = ~)",
+                    "ab", 1},
+        FormulaCase{"manifold",
+                    "(([x,y]l(x = y))* . [y]l(y = ~) . ([y]r(!(y = ~)))* . "
+                    "[y]r(y = ~))* . ([x,y]l(x = y))* . [x,y]l(x = y = ~)",
+                    "ab", 2},
+        FormulaCase{"shuffle",
+                    "(([x,y]l(x = y)) + ([x,z]l(x = z)))* . "
+                    "[x,y,z]l(x = y = z = ~)",
+                    "ab", 1},
+        FormulaCase{"occurs_in",
+                    "([y]l(true))* . ([x,y]l(x = y))* . [x]l(x = ~)", "ab",
+                    2},
+        FormulaCase{"edit_distance_1",
+                    "([x,y]l(x = y))* . (([x,y]l(true) + [x]l(true) + "
+                    "[y]l(true)) . ([x,y]l(x = y))*)^1 . [x,y]l(x = y = ~)",
+                    "ab", 2},
+        FormulaCase{"regex_gc_a", "(([y]l(y = 'g') . [y]l(y = 'c')) + "
+                                  "[y]l(y = 'a'))* . [y]l(y = ~)",
+                    "acg", 3},
+        FormulaCase{"two_way_probe",
+                    "([x]l(x = 'a'))* . [x]r(true) . [x]l(x = 'a') . "
+                    "[x]l(x = ~)",
+                    "ab", 3},
+        FormulaCase{"lambda", "lambda", "ab", 2},
+        FormulaCase{"unsat", "[x]l(!true)", "ab", 2}),
+    [](const ::testing::TestParamInfo<FormulaCase>& info) {
+      return info.param.name;
+    });
+
+// ---------------------------------------------------------------------------
+// Safety verdicts per (formula, inputs)
+
+struct LimitationCase {
+  const char* name;
+  const char* text;
+  std::vector<const char*> inputs;
+  LimitationVerdict verdict;
+  int degree;  // checked only when limited
+};
+
+class LimitationSweepTest
+    : public ::testing::TestWithParam<LimitationCase> {};
+
+TEST_P(LimitationSweepTest, VerdictMatches) {
+  const LimitationCase& c = GetParam();
+  Result<StringFormula> f = ParseStringFormula(c.text);
+  ASSERT_TRUE(f.ok()) << f.status();
+  std::vector<std::string> inputs(c.inputs.begin(), c.inputs.end());
+  Result<LimitationReport> r =
+      AnalyzeStringFormulaLimitation(*f, Alphabet::Binary(), inputs);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(static_cast<int>(r->verdict), static_cast<int>(c.verdict))
+      << c.name << ": " << r->explanation;
+  if (r->limited() && r->verdict != LimitationVerdict::kEmptyLanguage) {
+    EXPECT_EQ(r->bound.degree, c.degree) << c.name;
+    EXPECT_GE(r->bound.scale, 0) << c.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperSafetyCases, LimitationSweepTest,
+    ::testing::Values(
+        LimitationCase{"equality_fwd",
+                       "([x,y]l(x = y))* . [x,y]l(x = y = ~)", {"x"},
+                       LimitationVerdict::kLimited, 1},
+        LimitationCase{"equality_none",
+                       "([x,y]l(x = y))* . [x,y]l(x = y = ~)", {},
+                       LimitationVerdict::kUnlimitedHard, 0},
+        LimitationCase{"prefix_tail_easy", "[x]l(x = 'a')", {},
+                       LimitationVerdict::kUnlimitedEasy, 0},
+        LimitationCase{"omega",
+                       "([x,y]l(x = y))* . [x,y]l(x = ~ & !(y = ~))", {"x"},
+                       LimitationVerdict::kUnlimitedEasy, 0},
+        LimitationCase{"concat_fwd",
+                       "([x,y]l(x = y))* . ([x,z]l(x = z))* . "
+                       "[x,y,z]l(x = y = z = ~)",
+                       {"y", "z"}, LimitationVerdict::kLimited, 1},
+        LimitationCase{"concat_bwd",
+                       "([x,y]l(x = y))* . ([x,z]l(x = z))* . "
+                       "[x,y,z]l(x = y = z = ~)",
+                       {"x"}, LimitationVerdict::kLimited, 1},
+        LimitationCase{"manifold_fwd",
+                       "(([x,y]l(x = y))* . [y]l(y = ~) . "
+                       "([y]r(!(y = ~)))* . [y]r(y = ~))* . "
+                       "([x,y]l(x = y))* . [x,y]l(x = y = ~)",
+                       {"x"}, LimitationVerdict::kLimited, 2},
+        LimitationCase{"manifold_bwd",
+                       "(([x,y]l(x = y))* . [y]l(y = ~) . "
+                       "([y]r(!(y = ~)))* . [y]r(y = ~))* . "
+                       "([x,y]l(x = y))* . [x,y]l(x = y = ~)",
+                       {"y"}, LimitationVerdict::kUnlimitedHard, 0},
+        LimitationCase{"unsat_vacuous", "[x]l(!true)", {},
+                       LimitationVerdict::kEmptyLanguage, 0},
+        LimitationCase{"no_outputs",
+                       "([x,y]l(x = y))* . [x,y]l(x = y = ~)", {"x", "y"},
+                       LimitationVerdict::kLimited, 1}),
+    [](const ::testing::TestParamInfo<LimitationCase>& info) {
+      return info.param.name;
+    });
+
+// ---------------------------------------------------------------------------
+// Calculus ⇄ algebra agreement per query
+
+class TranslationSweepTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TranslationSweepTest, NaiveAndAlgebraAgree) {
+  Database db(Alphabet::Binary());
+  ASSERT_TRUE(db.Put("R1", 2, {{"ab", "ab"}, {"a", "b"}, {"", "b"}}).ok());
+  ASSERT_TRUE(db.Put("R2", 1, {{"ab"}, {"bb"}, {""}}).ok());
+  Result<CalcFormula> f = ParseCalcFormula(GetParam());
+  ASSERT_TRUE(f.ok()) << f.status();
+  CalcEvalOptions naive_opts;
+  naive_opts.truncation = 2;
+  naive_opts.max_steps = 500'000'000;
+  Result<StringRelation> naive = EvalCalcNaive(*f, db, naive_opts);
+  ASSERT_TRUE(naive.ok()) << naive.status();
+  Result<AlgebraExpr> plan = CalcToAlgebra(*f, db.alphabet());
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EvalOptions opts;
+  opts.truncation = 2;
+  Result<StringRelation> algebra = EvalAlgebra(*plan, db, opts);
+  ASSERT_TRUE(algebra.ok()) << algebra.status();
+  EXPECT_EQ(naive->tuples(), algebra->tuples()) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    QueryCorpus, TranslationSweepTest,
+    ::testing::Values(
+        "R1(x,y)", "R1(x,x)", "R2(x) & R2(y)",
+        "R1(x,y) & ([x,y]l(x = y))* . [x,y]l(x = y = ~)",
+        "exists y: R1(x,y) & [y]l(y = 'b')",
+        "exists y: R1(y,x) | R2(x)",
+        "R2(x) & !([x]l(x = 'a'))",
+        "forall y: R2(y) -> R2(y)",
+        "exists x: R1(x,y) & R2(x)",
+        "exists y, z: R2(y) & R2(z) & ([x,y]l(x = y))* . "
+        "([x,z]l(x = z))* . [x,y,z]l(x = y = z = ~)",
+        "[x]l(x = 'a') & [x]l(true) . [x]l(x = ~)",
+        "exists z: R2(z) & (([x,z]l(x = z))* . [x,z]l(x = z = ~) | "
+        "R1(z,x))"));
+
+}  // namespace
+}  // namespace strdb

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "baseline/regex.h"
+#include "core/rng.h"
+#include "fsa/accept.h"
+#include "fsa/compile.h"
+#include "queries/regex_formula.h"
+
+namespace strdb {
+namespace {
+
+// E11: Theorem 6.1 — regex, Thompson-NFA baseline and the
+// string-formula translation all agree.
+
+TEST(RegexTest, ParseAndPrint) {
+  Alphabet bin = Alphabet::Binary();
+  Result<Regex> r = Regex::Parse("(ab+b)*a", bin);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_FALSE(Regex::Parse("(ab", bin).ok());
+  EXPECT_FALSE(Regex::Parse("xy", bin).ok());
+  EXPECT_FALSE(Regex::Parse("ab)", bin).ok());
+}
+
+TEST(RegexTest, MatcherBasics) {
+  Alphabet bin = Alphabet::Binary();
+  RegexMatcher m(*Regex::Parse("(ab+b)*a", bin));
+  EXPECT_TRUE(m.Matches("a"));
+  EXPECT_TRUE(m.Matches("aba"));
+  EXPECT_TRUE(m.Matches("ba"));
+  EXPECT_TRUE(m.Matches("abbaba"));
+  EXPECT_FALSE(m.Matches(""));
+  EXPECT_FALSE(m.Matches("ab"));
+  EXPECT_FALSE(m.Matches("aa"));
+}
+
+TEST(RegexTest, EpsilonAndEmptyIsh) {
+  Alphabet bin = Alphabet::Binary();
+  RegexMatcher m(*Regex::Parse("%", bin));
+  EXPECT_TRUE(m.Matches(""));
+  EXPECT_FALSE(m.Matches("a"));
+  RegexMatcher star(*Regex::Parse("a*", bin));
+  EXPECT_TRUE(star.Matches(""));
+  EXPECT_TRUE(star.Matches("aaaa"));
+  EXPECT_FALSE(star.Matches("ab"));
+}
+
+// The paper's §1 pattern over DNA: the second component is (gc+a)*.
+TEST(RegexTest, GcaPatternViaFormula) {
+  Alphabet dna = Alphabet::Dna();
+  Result<StringFormula> f = RegexMembershipFormula("(gc+a)*", "y", dna);
+  ASSERT_TRUE(f.ok()) << f.status();
+  EXPECT_TRUE(*f->AcceptsStrings({"y"}, {""}));
+  EXPECT_TRUE(*f->AcceptsStrings({"y"}, {"gcagc"}));
+  EXPECT_TRUE(*f->AcceptsStrings({"y"}, {"aaa"}));
+  EXPECT_FALSE(*f->AcceptsStrings({"y"}, {"g"}));
+  EXPECT_FALSE(*f->AcceptsStrings({"y"}, {"gca" "t"}));
+  // The translation stays unidirectional, as Theorem 6.1 requires.
+  EXPECT_TRUE(f->IsUnidirectional());
+}
+
+// Random regexes: baseline NFA vs formula vs compiled FSA, exhaustively
+// over short strings.
+TEST(RegexTest, RandomRegexAgreement) {
+  Alphabet bin = Alphabet::Binary();
+  Rng rng(777);
+  std::function<Regex(int)> random_regex = [&](int depth) -> Regex {
+    if (depth == 0 || rng.Range(0, 3) == 0) {
+      if (rng.Range(0, 4) == 0) return Regex::Epsilon();
+      return Regex::Char(rng.Coin() ? 'a' : 'b');
+    }
+    switch (rng.Range(0, 2)) {
+      case 0:
+        return Regex::Concat(random_regex(depth - 1),
+                             random_regex(depth - 1));
+      case 1:
+        return Regex::Union(random_regex(depth - 1), random_regex(depth - 1));
+      default:
+        return Regex::Star(random_regex(depth - 1));
+    }
+  };
+  for (int trial = 0; trial < 15; ++trial) {
+    Regex regex = random_regex(3);
+    RegexMatcher matcher(regex);
+    StringFormula formula = RegexToStringFormula(regex, "x");
+    Result<Fsa> fsa = CompileStringFormula(formula, bin, {"x"});
+    ASSERT_TRUE(fsa.ok()) << fsa.status();
+    for (const std::string& s : bin.StringsUpTo(4)) {
+      bool expect = matcher.Matches(s);
+      Result<bool> via_formula = formula.AcceptsStrings({"x"}, {s});
+      Result<bool> via_fsa = Accepts(*fsa, {s});
+      ASSERT_TRUE(via_formula.ok() && via_fsa.ok());
+      EXPECT_EQ(*via_formula, expect)
+          << regex.ToString() << " on \"" << s << "\"";
+      EXPECT_EQ(*via_fsa, expect)
+          << regex.ToString() << " on \"" << s << "\" (compiled)";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace strdb

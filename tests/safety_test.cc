@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+
+#include "fsa/compile.h"
+#include "fsa/generate.h"
+#include "safety/limitation.h"
+#include "strform/parser.h"
+
+namespace strdb {
+namespace {
+
+StringFormula P(const std::string& text) {
+  Result<StringFormula> r = ParseStringFormula(text);
+  EXPECT_TRUE(r.ok()) << r.status() << " while parsing: " << text;
+  return *r;
+}
+
+LimitationReport Analyze(const std::string& text,
+                         const std::vector<std::string>& inputs,
+                         const Alphabet& alphabet = Alphabet::Binary()) {
+  Result<LimitationReport> r =
+      AnalyzeStringFormulaLimitation(P(text), alphabet, inputs);
+  EXPECT_TRUE(r.ok()) << r.status() << " for " << text;
+  return r.value_or(LimitationReport{});
+}
+
+const char kEquality[] = "([x,y]l(x = y))* . [x,y]l(x = y = ~)";
+const char kManifold[] =
+    "(([x,y]l(x = y))* . [y]l(y = ~) . ([y]r(!(y = ~)))* . [y]r(y = ~))* "
+    ". ([x,y]l(x = y))* . [x,y]l(x = y = ~)";
+const char kConcat[] =
+    "([x,y]l(x = y))* . ([x,z]l(x = z))* . [x,y,z]l(x = y = z = ~)";
+
+// --- unidirectional cases ---------------------------------------------------
+
+TEST(LimitationTest, EqualityInputLimitsOutput) {
+  LimitationReport r = Analyze(kEquality, {"x"});
+  EXPECT_EQ(r.verdict, LimitationVerdict::kLimited) << r.explanation;
+  EXPECT_EQ(r.bound.degree, 1);
+  // |y| = |x|, and the bound must majorise that.
+  EXPECT_GE(r.bound.Eval({10}), 10);
+}
+
+TEST(LimitationTest, EqualityWithNoInputsIsUnlimited) {
+  LimitationReport r = Analyze(kEquality, {});
+  EXPECT_EQ(r.verdict, LimitationVerdict::kUnlimitedHard) << r.explanation;
+}
+
+TEST(LimitationTest, UnreadTailIsEasyUnlimited) {
+  // φ = [x]l(x='a') accepts every string starting with 'a'.
+  LimitationReport r = Analyze("[x]l(x = 'a')", {});
+  EXPECT_EQ(r.verdict, LimitationVerdict::kUnlimitedEasy) << r.explanation;
+}
+
+TEST(LimitationTest, ProperPrefixOmegaIsEasyUnlimited) {
+  // The paper's ω: y has x as a proper prefix — infinitely many y per x.
+  LimitationReport r =
+      Analyze("([x,y]l(x = y))* . [x,y]l(x = ~ & !(y = ~))", {"x"});
+  EXPECT_EQ(r.verdict, LimitationVerdict::kUnlimitedEasy) << r.explanation;
+}
+
+TEST(LimitationTest, AStarUnlimitedWithoutInputs) {
+  LimitationReport r = Analyze("([x]l(x = 'a'))* . [x]l(x = ~)", {});
+  EXPECT_EQ(r.verdict, LimitationVerdict::kUnlimitedHard) << r.explanation;
+}
+
+TEST(LimitationTest, ConcatenationBothDirections) {
+  // {y,z} ↝ {x}: |x| = |y|+|z| — limited (the §4 example's condition).
+  LimitationReport fwd = Analyze(kConcat, {"y", "z"});
+  EXPECT_EQ(fwd.verdict, LimitationVerdict::kLimited) << fwd.explanation;
+  EXPECT_GE(fwd.bound.Eval({3, 4}), 7);
+  // {x} ↝ {y,z}: components of a split are no longer than x — limited.
+  LimitationReport bwd = Analyze(kConcat, {"x"});
+  EXPECT_EQ(bwd.verdict, LimitationVerdict::kLimited) << bwd.explanation;
+  // {} ↝ {x,y,z}: unlimited.
+  LimitationReport none = Analyze(kConcat, {});
+  EXPECT_FALSE(none.limited()) << none.explanation;
+}
+
+TEST(LimitationTest, UnsatisfiableFormulaIsVacuouslyLimited) {
+  LimitationReport r = Analyze("[x]l(!true)", {});
+  EXPECT_EQ(r.verdict, LimitationVerdict::kEmptyLanguage);
+  EXPECT_EQ(r.bound.Eval({5}), 0);
+}
+
+// --- right-restricted cases (crossing-sequence analysis) -------------------
+
+TEST(LimitationTest, ManifoldInputLimitsCounter) {
+  // y | ∃x: R(x) ∧ x ∈*s y — "x limits y" (§5's positive example).
+  LimitationReport r = Analyze(kManifold, {"x"});
+  EXPECT_EQ(r.verdict, LimitationVerdict::kLimited) << r.explanation;
+  EXPECT_EQ(r.bound.degree, 2);
+  EXPECT_GE(r.bound.Eval({6}), 6);  // |y| <= |x| must be majorised
+}
+
+TEST(LimitationTest, ManifoldOutputUnlimited) {
+  // y | ∃x: R(x) ∧ y ∈*s x — swapped: y ranges over all manifolds of x,
+  // unboundedly (§5's negative example).  Here y (the generated
+  // manifold) is the unidirectional variable x of the formula; the
+  // formula's y is the input.  Swap roles: inputs {y}.
+  LimitationReport r = Analyze(kManifold, {"y"});
+  EXPECT_FALSE(r.limited()) << r.explanation;
+}
+
+TEST(LimitationTest, AnBnCnBothDirections) {
+  const char kAnBnCn[] =
+      "([x,y]l(x = 'a' & !(y = ~)))* . [y]l(y = ~) . "
+      "([x]l(true) . [y]r(x = 'b' & !(y = ~)))* . [y]r(y = ~) . "
+      "([x,y]l(x = 'c' & !(y = ~)))* . [x,y]l(x = ~ & y = ~)";
+  Alphabet abc = *Alphabet::Create("abc");
+  // {x} ↝ {y}: |y| = |x|/3.
+  LimitationReport fwd = Analyze(kAnBnCn, {"x"}, abc);
+  EXPECT_EQ(fwd.verdict, LimitationVerdict::kLimited) << fwd.explanation;
+  // {y} ↝ {x}: |x| = 3|y|.
+  LimitationReport bwd = Analyze(kAnBnCn, {"y"}, abc);
+  EXPECT_EQ(bwd.verdict, LimitationVerdict::kLimited) << bwd.explanation;
+  EXPECT_GE(bwd.bound.Eval({4}), 12);
+  // {} ↝ {x,y}: unlimited.
+  LimitationReport none = Analyze(kAnBnCn, {}, abc);
+  EXPECT_FALSE(none.limited()) << none.explanation;
+}
+
+TEST(LimitationTest, BidirectionalOutputPumpDetected) {
+  // x copies y over and over: with y input, x (unidirectional output)
+  // grows without bound while the bidirectional y rewinds — the
+  // "computation pump" of Figs. 9-12.  This is the manifold formula
+  // with roles swapped, already covered; here a minimal pump: y is
+  // scanned forward and back while x advances one 'a' per round trip.
+  const char kPump[] =
+      "(([y]l(!(y = ~)))* . [y]l(y = ~) . ([y]r(!(y = ~)))* . [y]r(y = ~) . "
+      "[x]l(x = 'a'))* . [x]l(x = ~)";
+  LimitationReport r = Analyze(kPump, {"y"});
+  EXPECT_EQ(r.verdict, LimitationVerdict::kUnlimitedHard) << r.explanation;
+}
+
+TEST(LimitationTest, TwoBidirectionalVariablesUnimplemented) {
+  // Both variables genuinely move backwards (a right transpose at the
+  // start position saturates, so slide forward first).
+  Result<LimitationReport> r = AnalyzeStringFormulaLimitation(
+      P("[x,y]l(true) . [x]r(true) . [y]r(true)"), Alphabet::Binary(),
+      {"x"});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(LimitationTest, NoOutputsTriviallyLimited) {
+  LimitationReport r = Analyze(kEquality, {"x", "y"});
+  EXPECT_TRUE(r.limited());
+  EXPECT_EQ(r.bound.Eval({3, 3}), 0);
+}
+
+// --- empirical validation of the bounds -------------------------------------
+
+// For limited verdicts the analyser's bound must dominate the actual
+// maximum output length, measured by running the automaton as a
+// generator.
+void ExpectBoundDominatesGeneration(const std::string& text,
+                                    const std::vector<std::string>& inputs,
+                                    const std::vector<std::string>& values,
+                                    int gen_max_len) {
+  StringFormula f = P(text);
+  Alphabet bin = Alphabet::Binary();
+  Result<LimitationReport> report =
+      AnalyzeStringFormulaLimitation(f, bin, inputs);
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_TRUE(report->limited()) << report->explanation;
+
+  std::vector<std::string> vars = f.Vars();
+  Result<Fsa> fsa = CompileStringFormula(f, bin);
+  ASSERT_TRUE(fsa.ok());
+  std::vector<std::optional<std::string>> fixed(vars.size(), std::nullopt);
+  std::vector<int> input_lens;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    auto it = std::find(vars.begin(), vars.end(), inputs[i]);
+    ASSERT_NE(it, vars.end());
+    fixed[static_cast<size_t>(it - vars.begin())] = values[i];
+    input_lens.push_back(static_cast<int>(values[i].size()));
+  }
+  GenerateOptions opts;
+  opts.max_len = gen_max_len;
+  Result<std::set<std::vector<std::string>>> out =
+      GenerateAccepted(*fsa, fixed, opts);
+  ASSERT_TRUE(out.ok()) << out.status();
+  int64_t bound = report->bound.Eval(input_lens);
+  for (const std::vector<std::string>& tuple : *out) {
+    for (const std::string& s : tuple) {
+      EXPECT_LE(static_cast<int64_t>(s.size()), bound)
+          << text << " produced an output longer than the declared bound";
+    }
+  }
+}
+
+TEST(LimitationTest, EqualityBoundDominates) {
+  ExpectBoundDominatesGeneration(kEquality, {"x"}, {"abba"}, 8);
+}
+
+TEST(LimitationTest, ConcatBoundDominates) {
+  ExpectBoundDominatesGeneration(kConcat, {"y", "z"}, {"ab", "ba"}, 8);
+}
+
+TEST(LimitationTest, ManifoldBoundDominates) {
+  ExpectBoundDominatesGeneration(kManifold, {"x"}, {"abab"}, 8);
+}
+
+}  // namespace
+}  // namespace strdb

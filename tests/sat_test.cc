@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "fsa/accept.h"
+#include "queries/sat_encoding.h"
+#include "safety/limitation.h"
+
+namespace strdb {
+namespace {
+
+// E14: Theorem 6.5 at the Σ^p_1 level — SAT through the alignment
+// machinery, cross-checked against brute force.
+
+TEST(SatEncodingTest, EncodeBasics) {
+  CnfInstance cnf;
+  cnf.num_vars = 3;
+  cnf.clauses = {{1, -2}, {3}};
+  Result<std::string> enc = EncodeCnf(cnf);
+  ASSERT_TRUE(enc.ok()) << enc.status();
+  EXPECT_EQ(*enc, "111;p1,n11;p111");
+  cnf.clauses = {{}};
+  EXPECT_FALSE(EncodeCnf(cnf).ok());
+  cnf.clauses = {{4}};
+  EXPECT_FALSE(EncodeCnf(cnf).ok());
+}
+
+TEST(SatEncodingTest, ShapeMachineChecksHeader) {
+  Alphabet sigma = SatAlphabet();
+  Result<Fsa> shape = BuildAssignmentShapeMachine(sigma);
+  ASSERT_TRUE(shape.ok()) << shape.status();
+  EXPECT_TRUE(shape->NumBidirectionalTapes() == 0);
+  EXPECT_TRUE(*Accepts(*shape, {"11;p1", "TF"}));
+  EXPECT_TRUE(*Accepts(*shape, {"11;p1", "FT"}));
+  EXPECT_FALSE(*Accepts(*shape, {"11;p1", "T"}));
+  EXPECT_FALSE(*Accepts(*shape, {"11;p1", "TFT"}));
+  EXPECT_FALSE(*Accepts(*shape, {"11;p1", "T1"}));
+}
+
+TEST(SatEncodingTest, ShapeMachineHasLimitationProperty) {
+  // The quantifier-limited fragment's type qualifier: [x1] ↝ [z],
+  // verified by our own analyser (the paper's Mk machines' property).
+  Alphabet sigma = SatAlphabet();
+  Result<Fsa> shape = BuildAssignmentShapeMachine(sigma);
+  ASSERT_TRUE(shape.ok());
+  Result<LimitationReport> report =
+      AnalyzeLimitation(*shape, {true, false});
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->verdict, LimitationVerdict::kLimited)
+      << report->explanation;
+  EXPECT_EQ(report->bound.degree, 1);  // unidirectional: linear
+}
+
+TEST(SatEncodingTest, CheckMachineIsRightRestricted) {
+  Alphabet sigma = SatAlphabet();
+  Result<Fsa> check = BuildSatCheckMachine(sigma);
+  ASSERT_TRUE(check.ok()) << check.status();
+  EXPECT_EQ(check->NumBidirectionalTapes(), 1);
+  EXPECT_FALSE(check->IsTapeBidirectional(0));  // the instance tape
+  EXPECT_TRUE(check->IsTapeBidirectional(1));   // the assignment tape
+}
+
+TEST(SatEncodingTest, CheckMachineVerifiesAssignments) {
+  Alphabet sigma = SatAlphabet();
+  Result<Fsa> check = BuildSatCheckMachine(sigma);
+  ASSERT_TRUE(check.ok());
+  // (x1 ∨ ¬x2) ∧ (x2): satisfied by TT, not by TF or FT.
+  const std::string inst = "11;p1,n11;p11";
+  EXPECT_TRUE(*Accepts(*check, {inst, "TT"}));
+  EXPECT_FALSE(*Accepts(*check, {inst, "TF"}));
+  EXPECT_FALSE(*Accepts(*check, {inst, "FF"}));
+  EXPECT_FALSE(*Accepts(*check, {inst, "T"}));    // wrong length
+  EXPECT_FALSE(*Accepts(*check, {inst, "TTT"}));  // wrong length
+}
+
+TEST(SatEncodingTest, SolveMatchesBruteForceRandom) {
+  Rng rng(20260707);
+  for (int trial = 0; trial < 25; ++trial) {
+    CnfInstance cnf;
+    cnf.num_vars = rng.Range(1, 4);
+    int num_clauses = rng.Range(1, 5);
+    for (int c = 0; c < num_clauses; ++c) {
+      std::vector<int> clause;
+      int width = rng.Range(1, 3);
+      for (int l = 0; l < width; ++l) {
+        int var = rng.Range(1, cnf.num_vars);
+        clause.push_back(rng.Coin() ? var : -var);
+      }
+      cnf.clauses.push_back(std::move(clause));
+    }
+    std::optional<std::vector<bool>> brute = SolveSatBruteForce(cnf);
+    Result<std::optional<std::vector<bool>>> via =
+        SolveSatViaAlignment(cnf);
+    ASSERT_TRUE(via.ok()) << via.status();
+    EXPECT_EQ(via->has_value(), brute.has_value()) << "trial " << trial;
+    if (via->has_value()) {
+      EXPECT_TRUE(EvaluateCnf(cnf, **via)) << "trial " << trial;
+    }
+  }
+}
+
+TEST(SatEncodingTest, UnsatisfiableInstance) {
+  CnfInstance cnf;
+  cnf.num_vars = 1;
+  cnf.clauses = {{1}, {-1}};
+  Result<std::optional<std::vector<bool>>> via = SolveSatViaAlignment(cnf);
+  ASSERT_TRUE(via.ok()) << via.status();
+  EXPECT_FALSE(via->has_value());
+}
+
+TEST(SatEncodingTest, EmptyClauseListSatisfiable) {
+  CnfInstance cnf;
+  cnf.num_vars = 2;
+  Result<std::optional<std::vector<bool>>> via = SolveSatViaAlignment(cnf);
+  ASSERT_TRUE(via.ok()) << via.status();
+  EXPECT_TRUE(via->has_value());
+}
+
+TEST(QbfPi2Test, EncodeAndValidate) {
+  QbfPi2Instance qbf;
+  qbf.num_forall = 1;
+  qbf.num_exists = 2;
+  qbf.clauses = {{1, -2}, {3}};
+  Result<std::string> enc = EncodeQbfPi2(qbf);
+  ASSERT_TRUE(enc.ok()) << enc.status();
+  EXPECT_EQ(*enc, "1;11;p1,n11;p111");
+  qbf.num_exists = 0;
+  EXPECT_FALSE(EncodeQbfPi2(qbf).ok());
+}
+
+TEST(QbfPi2Test, CheckMachineAcceptsWitnesses) {
+  Alphabet sigma = SatAlphabet();
+  Result<Fsa> check = BuildQbf2CheckMachine(sigma);
+  ASSERT_TRUE(check.ok()) << check.status();
+  // ∀x1 ∃x2: (x1 ∨ x2) ∧ (¬x1 ∨ ¬x2): encoded with x2 existential.
+  QbfPi2Instance qbf;
+  qbf.num_forall = 1;
+  qbf.num_exists = 1;
+  qbf.clauses = {{1, 2}, {-1, -2}};
+  std::string enc = *EncodeQbfPi2(qbf);
+  // z1 = T needs z2 = F; z1 = F needs z2 = T.
+  EXPECT_TRUE(*Accepts(*check, {enc, "T", "F"}));
+  EXPECT_TRUE(*Accepts(*check, {enc, "F", "T"}));
+  EXPECT_FALSE(*Accepts(*check, {enc, "T", "T"}));
+  EXPECT_FALSE(*Accepts(*check, {enc, "F", "F"}));
+  // Wrong assignment lengths die in the headers.
+  EXPECT_FALSE(*Accepts(*check, {enc, "TT", "F"}));
+  EXPECT_FALSE(*Accepts(*check, {enc, "T", ""}));
+}
+
+TEST(QbfPi2Test, SolveMatchesBruteForceRandom) {
+  Rng rng(424242);
+  for (int trial = 0; trial < 20; ++trial) {
+    QbfPi2Instance qbf;
+    qbf.num_forall = rng.Range(1, 2);
+    qbf.num_exists = rng.Range(1, 2);
+    int total = qbf.num_forall + qbf.num_exists;
+    int num_clauses = rng.Range(1, 4);
+    for (int c = 0; c < num_clauses; ++c) {
+      std::vector<int> clause;
+      for (int l = 0, width = rng.Range(1, 2); l < width; ++l) {
+        int var = rng.Range(1, total);
+        clause.push_back(rng.Coin() ? var : -var);
+      }
+      qbf.clauses.push_back(std::move(clause));
+    }
+    bool brute = SolvePi2BruteForce(qbf);
+    Result<bool> via = SolvePi2ViaAlignment(qbf);
+    ASSERT_TRUE(via.ok()) << via.status();
+    EXPECT_EQ(*via, brute) << "trial " << trial;
+  }
+}
+
+TEST(QbfPi2Test, KnownInstances) {
+  // ∀x1 ∃x2: (x1 ∨ x2) ∧ (¬x1 ∨ ¬x2) — true (x2 = ¬x1).
+  QbfPi2Instance yes;
+  yes.num_forall = 1;
+  yes.num_exists = 1;
+  yes.clauses = {{1, 2}, {-1, -2}};
+  EXPECT_TRUE(*SolvePi2ViaAlignment(yes));
+  // ∀x1 ∃x2: (x1) — false (x1 = F refutes).
+  QbfPi2Instance no;
+  no.num_forall = 1;
+  no.num_exists = 1;
+  no.clauses = {{1}};
+  EXPECT_FALSE(*SolvePi2ViaAlignment(no));
+}
+
+}  // namespace
+}  // namespace strdb

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "baseline/matchers.h"
+#include "core/rng.h"
+#include "queries/sequence_predicate.h"
+
+namespace strdb {
+namespace {
+
+bool Holds(const StringFormula& f, const std::vector<std::string>& vars,
+           const std::vector<std::string>& strings) {
+  Result<bool> r = f.AcceptsStrings(vars, strings);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.ok() && *r;
+}
+
+// E13: Theorem 6.4 — Ginsburg-Wang sequence predicates.
+
+TEST(SequencePredicateTest, ConcatenationPattern) {
+  // x3 ∈ 1*2* (x1, x2): the Ginsburg-Wang concatenation example.
+  Result<StringFormula> f =
+      SequencePredicateFormula("1*2*", {"x1", "x2", "x3"}, std::nullopt);
+  ASSERT_TRUE(f.ok()) << f.status();
+  EXPECT_TRUE(Holds(*f, {"x1", "x2", "x3"}, {"ab", "ba", "abba"}));
+  EXPECT_TRUE(Holds(*f, {"x1", "x2", "x3"}, {"", "", ""}));
+  EXPECT_FALSE(Holds(*f, {"x1", "x2", "x3"}, {"ab", "ba", "baab"}));
+  EXPECT_FALSE(Holds(*f, {"x1", "x2", "x3"}, {"ab", "ba", "abb"}));
+  EXPECT_TRUE(f->IsUnidirectional());  // Theorem 6.4's conclusion
+}
+
+TEST(SequencePredicateTest, ShufflePattern) {
+  // x3 ∈ (1+2)* (x1, x2): the regular shuffle.
+  Result<StringFormula> f =
+      SequencePredicateFormula("(1+2)*", {"x1", "x2", "x3"}, std::nullopt);
+  ASSERT_TRUE(f.ok()) << f.status();
+  Alphabet bin = Alphabet::Binary();
+  for (const std::string& a : bin.StringsUpTo(2)) {
+    for (const std::string& b : bin.StringsUpTo(2)) {
+      for (const std::string& s : bin.StringsUpTo(3)) {
+        EXPECT_EQ(Holds(*f, {"x1", "x2", "x3"}, {a, b, s}),
+                  IsShuffle(s, a, b))
+            << s << " from " << a << "," << b;
+      }
+    }
+  }
+}
+
+TEST(SequencePredicateTest, AlternationPattern) {
+  // x3 ∈ (12)*: strict alternation, one item from each channel.
+  Result<StringFormula> f =
+      SequencePredicateFormula("(12)*", {"x1", "x2", "x3"}, std::nullopt);
+  ASSERT_TRUE(f.ok()) << f.status();
+  EXPECT_TRUE(Holds(*f, {"x1", "x2", "x3"}, {"aa", "bb", "abab"}));
+  EXPECT_FALSE(Holds(*f, {"x1", "x2", "x3"}, {"aa", "bb", "aabb"}));
+  EXPECT_FALSE(Holds(*f, {"x1", "x2", "x3"}, {"aa", "b", "aba"}));
+}
+
+TEST(SequencePredicateTest, SeparatorModeCopiesSegments) {
+  // Channels hold ','-terminated segments (the paper's encoded atoms).
+  Alphabet csv = *Alphabet::Create("ab,");
+  (void)csv;
+  Result<StringFormula> f =
+      SequencePredicateFormula("1*2*", {"x1", "x2", "x3"}, ',');
+  ASSERT_TRUE(f.ok()) << f.status();
+  // x1 = [a][bb], x2 = [ab]; concatenation of the sequences.
+  EXPECT_TRUE(Holds(*f, {"x1", "x2", "x3"}, {"a,bb,", "ab,", "a,bb,ab,"}));
+  EXPECT_FALSE(Holds(*f, {"x1", "x2", "x3"}, {"a,bb,", "ab,", "ab,a,bb,"}));
+  // A segment may not be split.
+  EXPECT_FALSE(Holds(*f, {"x1", "x2", "x3"}, {"a,bb,", "ab,", "a,b,bab,"}));
+}
+
+TEST(SequencePredicateTest, SingleChannelIdentity) {
+  Result<StringFormula> f =
+      SequencePredicateFormula("1*", {"x1", "x2"}, std::nullopt);
+  ASSERT_TRUE(f.ok()) << f.status();
+  EXPECT_TRUE(Holds(*f, {"x1", "x2"}, {"abab", "abab"}));
+  EXPECT_FALSE(Holds(*f, {"x1", "x2"}, {"abab", "aba"}));
+}
+
+TEST(SequencePredicateTest, Validation) {
+  EXPECT_FALSE(SequencePredicateFormula("1*3*", {"x1", "x2", "x3"},
+                                        std::nullopt)
+                   .ok());  // channel 3 does not exist
+  EXPECT_FALSE(SequencePredicateFormula("1*", {"x1"}, std::nullopt).ok());
+}
+
+}  // namespace
+}  // namespace strdb

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "baseline/matchers.h"
+#include "core/rng.h"
+#include "queries/temporal.h"
+
+namespace strdb {
+namespace {
+
+bool Holds(const StringFormula& f, const std::vector<std::string>& vars,
+           const std::vector<std::string>& strings) {
+  Result<bool> r = f.AcceptsStrings(vars, strings);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.ok() && *r;
+}
+
+// E16: the §6 temporal sugar.
+
+TEST(TemporalTest, NextIsOneStep) {
+  StringFormula f = TemporalNext({"x"}, WindowFormula::CharEq("x", 'a'));
+  EXPECT_TRUE(Holds(f, {"x"}, {"ab"}));
+  EXPECT_FALSE(Holds(f, {"x"}, {"ba"}));
+  EXPECT_FALSE(Holds(f, {"x"}, {""}));
+}
+
+TEST(TemporalTest, UntilStopsAtPsi) {
+  // a's until b: x ∈ a*b(anything).
+  StringFormula f = TemporalUntil({"x"}, WindowFormula::CharEq("x", 'a'),
+                                  WindowFormula::CharEq("x", 'b'));
+  EXPECT_TRUE(Holds(f, {"x"}, {"b"}));
+  EXPECT_TRUE(Holds(f, {"x"}, {"aab"}));
+  EXPECT_TRUE(Holds(f, {"x"}, {"aabab"}));
+  EXPECT_FALSE(Holds(f, {"x"}, {"aaa"}));
+  EXPECT_FALSE(Holds(f, {"x"}, {""}));
+}
+
+TEST(TemporalTest, EventuallyFindsAnywhere) {
+  StringFormula f =
+      TemporalEventually({"x"}, WindowFormula::CharEq("x", 'b'));
+  EXPECT_TRUE(Holds(f, {"x"}, {"aaab"}));
+  EXPECT_TRUE(Holds(f, {"x"}, {"baaa"}));
+  EXPECT_FALSE(Holds(f, {"x"}, {"aaaa"}));
+}
+
+TEST(TemporalTest, HenceforthHoldsEverywhere) {
+  StringFormula f =
+      TemporalHenceforth({"x"}, WindowFormula::CharEq("x", 'a'));
+  EXPECT_TRUE(Holds(f, {"x"}, {""}));
+  EXPECT_TRUE(Holds(f, {"x"}, {"aaa"}));
+  EXPECT_FALSE(Holds(f, {"x"}, {"aab"}));
+}
+
+TEST(TemporalTest, SinceWalksBackwards) {
+  // Position x mid-string first: evaluate on a non-initial alignment.
+  StringFormula position = StringFormula::Power(
+      TemporalNext({"x"}, WindowFormula::True()), 3);
+  // After 3 steps (window on position 3), walk back over 'b's until 'a'.
+  StringFormula f = StringFormula::Concat(
+      position, TemporalSince({"x"}, WindowFormula::CharEq("x", 'b'),
+                              WindowFormula::CharEq("x", 'a')));
+  EXPECT_TRUE(Holds(f, {"x"}, {"abb"}));   // b,b back then a
+  EXPECT_FALSE(Holds(f, {"x"}, {"bbb"}));
+}
+
+TEST(TemporalTest, OccursInMatchesBaseline) {
+  StringFormula f = TemporalOccursIn("x", "y");
+  Alphabet bin = Alphabet::Binary();
+  Rng rng(99);
+  for (int i = 0; i < 120; ++i) {
+    std::string needle = rng.String(bin, 0, 3);
+    std::string haystack = rng.String(bin, 0, 6);
+    EXPECT_EQ(Holds(f, {"x", "y"}, {needle, haystack}),
+              ContainsSubstring(haystack, needle))
+        << needle << " in " << haystack;
+  }
+}
+
+// Wolper's point (§1/§6): the modalities as *string formulae* can count
+// modulo 2, which plain next/until temporal logic cannot.
+TEST(TemporalTest, EvenPositionsExpressible) {
+  // 'a' at every even position (0-based), i.e. the odd steps are free:
+  // ([x]l(x='a') . [x]l ⊤)* . ([x]l(x=ε) + [x]l(x='a') . [x]l(x=ε)).
+  StringFormula pair = StringFormula::Concat(
+      TemporalNext({"x"}, WindowFormula::CharEq("x", 'a')),
+      TemporalNext({"x"}, WindowFormula::True()));
+  StringFormula tail = StringFormula::Union(
+      TemporalNext({"x"}, WindowFormula::Undef("x")),
+      StringFormula::Concat(
+          TemporalNext({"x"}, WindowFormula::CharEq("x", 'a')),
+          TemporalNext({"x"}, WindowFormula::Undef("x"))));
+  StringFormula f =
+      StringFormula::Concat(StringFormula::Star(std::move(pair)),
+                            std::move(tail));
+  auto even_as = [](const std::string& s) {
+    for (size_t i = 0; i < s.size(); i += 2) {
+      if (s[i] != 'a') return false;
+    }
+    return true;
+  };
+  for (const std::string& s : Alphabet::Binary().StringsUpTo(5)) {
+    EXPECT_EQ(Holds(f, {"x"}, {s}), even_as(s)) << s;
+  }
+}
+
+}  // namespace
+}  // namespace strdb
