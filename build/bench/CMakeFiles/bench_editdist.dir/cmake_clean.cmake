@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_editdist.dir/bench_editdist.cc.o"
+  "CMakeFiles/bench_editdist.dir/bench_editdist.cc.o.d"
+  "bench_editdist"
+  "bench_editdist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_editdist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

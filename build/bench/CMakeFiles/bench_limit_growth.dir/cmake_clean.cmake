@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_limit_growth.dir/bench_limit_growth.cc.o"
+  "CMakeFiles/bench_limit_growth.dir/bench_limit_growth.cc.o.d"
+  "bench_limit_growth"
+  "bench_limit_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_limit_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_limitation.dir/bench_limitation.cc.o"
+  "CMakeFiles/bench_limitation.dir/bench_limitation.cc.o.d"
+  "bench_limitation"
+  "bench_limitation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_limitation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_query_eval.dir/bench_query_eval.cc.o"
+  "CMakeFiles/bench_query_eval.dir/bench_query_eval.cc.o.d"
+  "bench_query_eval"
+  "bench_query_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_query_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

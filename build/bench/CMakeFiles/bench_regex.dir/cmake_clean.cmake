@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_regex.dir/bench_regex.cc.o"
+  "CMakeFiles/bench_regex.dir/bench_regex.cc.o.d"
+  "bench_regex"
+  "bench_regex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_regex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_specialize.dir/bench_specialize.cc.o"
+  "CMakeFiles/bench_specialize.dir/bench_specialize.cc.o.d"
+  "bench_specialize"
+  "bench_specialize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_specialize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strdb_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/strdb_bench_util.dir/bench_util.cc.o.d"
+  "libstrdb_bench_util.a"
+  "libstrdb_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strdb_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

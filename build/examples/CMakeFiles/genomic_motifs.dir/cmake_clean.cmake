@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genomic_motifs.dir/genomic_motifs.cc.o"
+  "CMakeFiles/genomic_motifs.dir/genomic_motifs.cc.o.d"
+  "genomic_motifs"
+  "genomic_motifs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genomic_motifs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safety_advisor.dir/safety_advisor.cc.o"
+  "CMakeFiles/safety_advisor.dir/safety_advisor.cc.o.d"
+  "safety_advisor"
+  "safety_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safety_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sat_via_strings.dir/sat_via_strings.cc.o"
+  "CMakeFiles/sat_via_strings.dir/sat_via_strings.cc.o.d"
+  "sat_via_strings"
+  "sat_via_strings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sat_via_strings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strdb_shell.dir/strdb_shell.cc.o"
+  "CMakeFiles/strdb_shell.dir/strdb_shell.cc.o.d"
+  "strdb_shell"
+  "strdb_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strdb_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/align/alignment.cc" "src/align/CMakeFiles/strdb_align.dir/alignment.cc.o" "gcc" "src/align/CMakeFiles/strdb_align.dir/alignment.cc.o.d"
+  "/root/repo/src/align/assignment.cc" "src/align/CMakeFiles/strdb_align.dir/assignment.cc.o" "gcc" "src/align/CMakeFiles/strdb_align.dir/assignment.cc.o.d"
+  "/root/repo/src/align/window_formula.cc" "src/align/CMakeFiles/strdb_align.dir/window_formula.cc.o" "gcc" "src/align/CMakeFiles/strdb_align.dir/window_formula.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/strdb_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

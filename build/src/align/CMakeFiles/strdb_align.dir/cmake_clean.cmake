@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strdb_align.dir/alignment.cc.o"
+  "CMakeFiles/strdb_align.dir/alignment.cc.o.d"
+  "CMakeFiles/strdb_align.dir/assignment.cc.o"
+  "CMakeFiles/strdb_align.dir/assignment.cc.o.d"
+  "CMakeFiles/strdb_align.dir/window_formula.cc.o"
+  "CMakeFiles/strdb_align.dir/window_formula.cc.o.d"
+  "libstrdb_align.a"
+  "libstrdb_align.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strdb_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/matchers.cc" "src/baseline/CMakeFiles/strdb_baseline.dir/matchers.cc.o" "gcc" "src/baseline/CMakeFiles/strdb_baseline.dir/matchers.cc.o.d"
+  "/root/repo/src/baseline/regex.cc" "src/baseline/CMakeFiles/strdb_baseline.dir/regex.cc.o" "gcc" "src/baseline/CMakeFiles/strdb_baseline.dir/regex.cc.o.d"
+  "/root/repo/src/baseline/sat_solver.cc" "src/baseline/CMakeFiles/strdb_baseline.dir/sat_solver.cc.o" "gcc" "src/baseline/CMakeFiles/strdb_baseline.dir/sat_solver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/strdb_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

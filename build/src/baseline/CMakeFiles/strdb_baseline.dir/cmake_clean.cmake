@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strdb_baseline.dir/matchers.cc.o"
+  "CMakeFiles/strdb_baseline.dir/matchers.cc.o.d"
+  "CMakeFiles/strdb_baseline.dir/regex.cc.o"
+  "CMakeFiles/strdb_baseline.dir/regex.cc.o.d"
+  "CMakeFiles/strdb_baseline.dir/sat_solver.cc.o"
+  "CMakeFiles/strdb_baseline.dir/sat_solver.cc.o.d"
+  "libstrdb_baseline.a"
+  "libstrdb_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strdb_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

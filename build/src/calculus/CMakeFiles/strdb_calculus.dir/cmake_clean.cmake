@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strdb_calculus.dir/eval.cc.o"
+  "CMakeFiles/strdb_calculus.dir/eval.cc.o.d"
+  "CMakeFiles/strdb_calculus.dir/formula.cc.o"
+  "CMakeFiles/strdb_calculus.dir/formula.cc.o.d"
+  "CMakeFiles/strdb_calculus.dir/parser.cc.o"
+  "CMakeFiles/strdb_calculus.dir/parser.cc.o.d"
+  "CMakeFiles/strdb_calculus.dir/query.cc.o"
+  "CMakeFiles/strdb_calculus.dir/query.cc.o.d"
+  "CMakeFiles/strdb_calculus.dir/translate.cc.o"
+  "CMakeFiles/strdb_calculus.dir/translate.cc.o.d"
+  "libstrdb_calculus.a"
+  "libstrdb_calculus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strdb_calculus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strdb_core.dir/alphabet.cc.o"
+  "CMakeFiles/strdb_core.dir/alphabet.cc.o.d"
+  "CMakeFiles/strdb_core.dir/status.cc.o"
+  "CMakeFiles/strdb_core.dir/status.cc.o.d"
+  "libstrdb_core.a"
+  "libstrdb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strdb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fsa/accept.cc" "src/fsa/CMakeFiles/strdb_fsa.dir/accept.cc.o" "gcc" "src/fsa/CMakeFiles/strdb_fsa.dir/accept.cc.o.d"
+  "/root/repo/src/fsa/compile.cc" "src/fsa/CMakeFiles/strdb_fsa.dir/compile.cc.o" "gcc" "src/fsa/CMakeFiles/strdb_fsa.dir/compile.cc.o.d"
+  "/root/repo/src/fsa/fsa.cc" "src/fsa/CMakeFiles/strdb_fsa.dir/fsa.cc.o" "gcc" "src/fsa/CMakeFiles/strdb_fsa.dir/fsa.cc.o.d"
+  "/root/repo/src/fsa/generate.cc" "src/fsa/CMakeFiles/strdb_fsa.dir/generate.cc.o" "gcc" "src/fsa/CMakeFiles/strdb_fsa.dir/generate.cc.o.d"
+  "/root/repo/src/fsa/normalize.cc" "src/fsa/CMakeFiles/strdb_fsa.dir/normalize.cc.o" "gcc" "src/fsa/CMakeFiles/strdb_fsa.dir/normalize.cc.o.d"
+  "/root/repo/src/fsa/serialize.cc" "src/fsa/CMakeFiles/strdb_fsa.dir/serialize.cc.o" "gcc" "src/fsa/CMakeFiles/strdb_fsa.dir/serialize.cc.o.d"
+  "/root/repo/src/fsa/specialize.cc" "src/fsa/CMakeFiles/strdb_fsa.dir/specialize.cc.o" "gcc" "src/fsa/CMakeFiles/strdb_fsa.dir/specialize.cc.o.d"
+  "/root/repo/src/fsa/to_formula.cc" "src/fsa/CMakeFiles/strdb_fsa.dir/to_formula.cc.o" "gcc" "src/fsa/CMakeFiles/strdb_fsa.dir/to_formula.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/strform/CMakeFiles/strdb_strform.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/strdb_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/strdb_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strdb_fsa.dir/accept.cc.o"
+  "CMakeFiles/strdb_fsa.dir/accept.cc.o.d"
+  "CMakeFiles/strdb_fsa.dir/compile.cc.o"
+  "CMakeFiles/strdb_fsa.dir/compile.cc.o.d"
+  "CMakeFiles/strdb_fsa.dir/fsa.cc.o"
+  "CMakeFiles/strdb_fsa.dir/fsa.cc.o.d"
+  "CMakeFiles/strdb_fsa.dir/generate.cc.o"
+  "CMakeFiles/strdb_fsa.dir/generate.cc.o.d"
+  "CMakeFiles/strdb_fsa.dir/normalize.cc.o"
+  "CMakeFiles/strdb_fsa.dir/normalize.cc.o.d"
+  "CMakeFiles/strdb_fsa.dir/serialize.cc.o"
+  "CMakeFiles/strdb_fsa.dir/serialize.cc.o.d"
+  "CMakeFiles/strdb_fsa.dir/specialize.cc.o"
+  "CMakeFiles/strdb_fsa.dir/specialize.cc.o.d"
+  "CMakeFiles/strdb_fsa.dir/to_formula.cc.o"
+  "CMakeFiles/strdb_fsa.dir/to_formula.cc.o.d"
+  "libstrdb_fsa.a"
+  "libstrdb_fsa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strdb_fsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstrdb_fsa.a"
+)

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/queries/examples.cc" "src/queries/CMakeFiles/strdb_queries.dir/examples.cc.o" "gcc" "src/queries/CMakeFiles/strdb_queries.dir/examples.cc.o.d"
+  "/root/repo/src/queries/grammar.cc" "src/queries/CMakeFiles/strdb_queries.dir/grammar.cc.o" "gcc" "src/queries/CMakeFiles/strdb_queries.dir/grammar.cc.o.d"
+  "/root/repo/src/queries/lba.cc" "src/queries/CMakeFiles/strdb_queries.dir/lba.cc.o" "gcc" "src/queries/CMakeFiles/strdb_queries.dir/lba.cc.o.d"
+  "/root/repo/src/queries/regex_formula.cc" "src/queries/CMakeFiles/strdb_queries.dir/regex_formula.cc.o" "gcc" "src/queries/CMakeFiles/strdb_queries.dir/regex_formula.cc.o.d"
+  "/root/repo/src/queries/sat_encoding.cc" "src/queries/CMakeFiles/strdb_queries.dir/sat_encoding.cc.o" "gcc" "src/queries/CMakeFiles/strdb_queries.dir/sat_encoding.cc.o.d"
+  "/root/repo/src/queries/sequence_predicate.cc" "src/queries/CMakeFiles/strdb_queries.dir/sequence_predicate.cc.o" "gcc" "src/queries/CMakeFiles/strdb_queries.dir/sequence_predicate.cc.o.d"
+  "/root/repo/src/queries/temporal.cc" "src/queries/CMakeFiles/strdb_queries.dir/temporal.cc.o" "gcc" "src/queries/CMakeFiles/strdb_queries.dir/temporal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/calculus/CMakeFiles/strdb_calculus.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsa/CMakeFiles/strdb_fsa.dir/DependInfo.cmake"
+  "/root/repo/build/src/strform/CMakeFiles/strdb_strform.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/strdb_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/strdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/strdb_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/safety/CMakeFiles/strdb_safety.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/strdb_align.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

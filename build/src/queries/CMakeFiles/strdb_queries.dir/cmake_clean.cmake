@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strdb_queries.dir/examples.cc.o"
+  "CMakeFiles/strdb_queries.dir/examples.cc.o.d"
+  "CMakeFiles/strdb_queries.dir/grammar.cc.o"
+  "CMakeFiles/strdb_queries.dir/grammar.cc.o.d"
+  "CMakeFiles/strdb_queries.dir/lba.cc.o"
+  "CMakeFiles/strdb_queries.dir/lba.cc.o.d"
+  "CMakeFiles/strdb_queries.dir/regex_formula.cc.o"
+  "CMakeFiles/strdb_queries.dir/regex_formula.cc.o.d"
+  "CMakeFiles/strdb_queries.dir/sat_encoding.cc.o"
+  "CMakeFiles/strdb_queries.dir/sat_encoding.cc.o.d"
+  "CMakeFiles/strdb_queries.dir/sequence_predicate.cc.o"
+  "CMakeFiles/strdb_queries.dir/sequence_predicate.cc.o.d"
+  "CMakeFiles/strdb_queries.dir/temporal.cc.o"
+  "CMakeFiles/strdb_queries.dir/temporal.cc.o.d"
+  "libstrdb_queries.a"
+  "libstrdb_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strdb_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strdb_relational.dir/algebra.cc.o"
+  "CMakeFiles/strdb_relational.dir/algebra.cc.o.d"
+  "CMakeFiles/strdb_relational.dir/relation.cc.o"
+  "CMakeFiles/strdb_relational.dir/relation.cc.o.d"
+  "libstrdb_relational.a"
+  "libstrdb_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strdb_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/safety/behavior.cc" "src/safety/CMakeFiles/strdb_safety.dir/behavior.cc.o" "gcc" "src/safety/CMakeFiles/strdb_safety.dir/behavior.cc.o.d"
+  "/root/repo/src/safety/crossing.cc" "src/safety/CMakeFiles/strdb_safety.dir/crossing.cc.o" "gcc" "src/safety/CMakeFiles/strdb_safety.dir/crossing.cc.o.d"
+  "/root/repo/src/safety/limitation.cc" "src/safety/CMakeFiles/strdb_safety.dir/limitation.cc.o" "gcc" "src/safety/CMakeFiles/strdb_safety.dir/limitation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fsa/CMakeFiles/strdb_fsa.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/strdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/strform/CMakeFiles/strdb_strform.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/strdb_align.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

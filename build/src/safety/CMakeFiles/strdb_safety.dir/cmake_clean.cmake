@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strdb_safety.dir/behavior.cc.o"
+  "CMakeFiles/strdb_safety.dir/behavior.cc.o.d"
+  "CMakeFiles/strdb_safety.dir/crossing.cc.o"
+  "CMakeFiles/strdb_safety.dir/crossing.cc.o.d"
+  "CMakeFiles/strdb_safety.dir/limitation.cc.o"
+  "CMakeFiles/strdb_safety.dir/limitation.cc.o.d"
+  "libstrdb_safety.a"
+  "libstrdb_safety.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strdb_safety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/strform/lexer.cc" "src/strform/CMakeFiles/strdb_strform.dir/lexer.cc.o" "gcc" "src/strform/CMakeFiles/strdb_strform.dir/lexer.cc.o.d"
+  "/root/repo/src/strform/parser.cc" "src/strform/CMakeFiles/strdb_strform.dir/parser.cc.o" "gcc" "src/strform/CMakeFiles/strdb_strform.dir/parser.cc.o.d"
+  "/root/repo/src/strform/string_formula.cc" "src/strform/CMakeFiles/strdb_strform.dir/string_formula.cc.o" "gcc" "src/strform/CMakeFiles/strdb_strform.dir/string_formula.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/align/CMakeFiles/strdb_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/strdb_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strdb_strform.dir/lexer.cc.o"
+  "CMakeFiles/strdb_strform.dir/lexer.cc.o.d"
+  "CMakeFiles/strdb_strform.dir/parser.cc.o"
+  "CMakeFiles/strdb_strform.dir/parser.cc.o.d"
+  "CMakeFiles/strdb_strform.dir/string_formula.cc.o"
+  "CMakeFiles/strdb_strform.dir/string_formula.cc.o.d"
+  "libstrdb_strform.a"
+  "libstrdb_strform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strdb_strform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crossing_test.dir/crossing_test.cc.o"
+  "CMakeFiles/crossing_test.dir/crossing_test.cc.o.d"
+  "crossing_test"
+  "crossing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

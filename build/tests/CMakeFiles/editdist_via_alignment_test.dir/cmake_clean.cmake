@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/editdist_via_alignment_test.dir/editdist_via_alignment_test.cc.o"
+  "CMakeFiles/editdist_via_alignment_test.dir/editdist_via_alignment_test.cc.o.d"
+  "editdist_via_alignment_test"
+  "editdist_via_alignment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/editdist_via_alignment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

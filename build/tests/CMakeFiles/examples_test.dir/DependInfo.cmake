@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/examples_test.cc" "tests/CMakeFiles/examples_test.dir/examples_test.cc.o" "gcc" "tests/CMakeFiles/examples_test.dir/examples_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fsa/CMakeFiles/strdb_fsa.dir/DependInfo.cmake"
+  "/root/repo/build/src/strform/CMakeFiles/strdb_strform.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/strdb_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/strdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/queries/CMakeFiles/strdb_queries.dir/DependInfo.cmake"
+  "/root/repo/build/src/calculus/CMakeFiles/strdb_calculus.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/strdb_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/strdb_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/safety/CMakeFiles/strdb_safety.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsa_compile_test.dir/fsa_compile_test.cc.o"
+  "CMakeFiles/fsa_compile_test.dir/fsa_compile_test.cc.o.d"
+  "fsa_compile_test"
+  "fsa_compile_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsa_compile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsa_generate_test.dir/fsa_generate_test.cc.o"
+  "CMakeFiles/fsa_generate_test.dir/fsa_generate_test.cc.o.d"
+  "fsa_generate_test"
+  "fsa_generate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsa_generate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

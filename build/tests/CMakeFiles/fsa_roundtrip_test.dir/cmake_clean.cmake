@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsa_roundtrip_test.dir/fsa_roundtrip_test.cc.o"
+  "CMakeFiles/fsa_roundtrip_test.dir/fsa_roundtrip_test.cc.o.d"
+  "fsa_roundtrip_test"
+  "fsa_roundtrip_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsa_roundtrip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsa_specialize_test.dir/fsa_specialize_test.cc.o"
+  "CMakeFiles/fsa_specialize_test.dir/fsa_specialize_test.cc.o.d"
+  "fsa_specialize_test"
+  "fsa_specialize_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsa_specialize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsa_test.dir/fsa_test.cc.o"
+  "CMakeFiles/fsa_test.dir/fsa_test.cc.o.d"
+  "fsa_test"
+  "fsa_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequence_predicate_test.dir/sequence_predicate_test.cc.o"
+  "CMakeFiles/sequence_predicate_test.dir/sequence_predicate_test.cc.o.d"
+  "sequence_predicate_test"
+  "sequence_predicate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequence_predicate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strform_test.dir/strform_test.cc.o"
+  "CMakeFiles/strform_test.dir/strform_test.cc.o.d"
+  "strform_test"
+  "strform_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
