@@ -9,6 +9,11 @@
 //   show                          list the relations
 //   safe QUERY                    run the safety analysis only
 //   plan QUERY                    show the Theorem 4.2 algebra plan
+//   explain QUERY                 show the engine's optimised physical plan
+//   engine on|off                 route queries through the execution
+//                                 engine (default) or the naive evaluator
+//   stats on|off                  print per-operator execution statistics
+//                                 after each query (engine route only)
 //   QUERY                         evaluate (inferred truncation, falling
 //                                 back to !N for an explicit one: "!4 QUERY")
 //   :quit
@@ -65,7 +70,8 @@ Status HandleRel(Database* db, const std::vector<std::string>& words) {
   return Status::OK();
 }
 
-void HandleQuery(const Database& db, const std::string& text) {
+void HandleQuery(const Database& db, const std::string& text, bool use_engine,
+                 bool show_stats) {
   int explicit_trunc = -1;
   std::string body = text;
   if (!body.empty() && body[0] == '!') {
@@ -82,9 +88,13 @@ void HandleQuery(const Database& db, const std::string& text) {
     std::printf("parse error: %s\n", q.status().ToString().c_str());
     return;
   }
+  ExecStats stats;
+  QueryOptions opts;
+  opts.use_engine = use_engine;
+  opts.stats = show_stats ? &stats : nullptr;
   Result<StringRelation> answer =
-      explicit_trunc >= 0 ? q->ExecuteTruncated(db, explicit_trunc)
-                          : q->Execute(db);
+      explicit_trunc >= 0 ? q->ExecuteTruncated(db, explicit_trunc, opts)
+                          : q->Execute(db, opts);
   if (!answer.ok()) {
     std::printf("error: %s\n", answer.status().ToString().c_str());
     if (explicit_trunc < 0) {
@@ -95,6 +105,9 @@ void HandleQuery(const Database& db, const std::string& text) {
   }
   std::printf("%s   (%lld tuples)\n", answer->ToString().c_str(),
               static_cast<long long>(answer->size()));
+  if (show_stats && use_engine) {
+    std::printf("%s", stats.ToString().c_str());
+  }
 }
 
 void HandleSafe(const Database& db, const std::string& text) {
@@ -123,6 +136,20 @@ void HandlePlan(const Database& db, const std::string& text) {
               q->plan().IsFinitelyEvaluable() ? "yes" : "no");
 }
 
+void HandleExplain(const Database& db, const std::string& text) {
+  Result<Query> q = Query::Parse(text, db.alphabet());
+  if (!q.ok()) {
+    std::printf("parse error: %s\n", q.status().ToString().c_str());
+    return;
+  }
+  Result<std::string> plan = q->ExplainPlan(db);
+  if (!plan.ok()) {
+    std::printf("error: %s\n", plan.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s", plan->c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -137,6 +164,8 @@ int main(int argc, char** argv) {
   std::printf("strdb shell over Sigma = {%s}; :quit to exit\n",
               chars.c_str());
 
+  bool use_engine = true;
+  bool show_stats = false;
   std::string line;
   while (std::printf("> "), std::fflush(stdout),
          std::getline(std::cin, line)) {
@@ -156,8 +185,16 @@ int main(int argc, char** argv) {
       HandleSafe(db, line.substr(5));
     } else if (words[0] == "plan") {
       HandlePlan(db, line.substr(5));
+    } else if (words[0] == "explain") {
+      HandleExplain(db, line.size() > 8 ? line.substr(8) : "");
+    } else if (words[0] == "engine" && words.size() == 2) {
+      use_engine = words[1] != "off";
+      std::printf("engine %s\n", use_engine ? "on" : "off");
+    } else if (words[0] == "stats" && words.size() == 2) {
+      show_stats = words[1] != "off";
+      std::printf("stats %s\n", show_stats ? "on" : "off");
     } else {
-      HandleQuery(db, line);
+      HandleQuery(db, line, use_engine, show_stats);
     }
   }
   return 0;

@@ -7,6 +7,7 @@
 #include <set>
 
 #include "calculus/parser.h"
+#include "engine/engine.h"
 #include "strform/lexer.h"
 
 namespace strdb {
@@ -222,16 +223,27 @@ Result<int> Query::InferTruncation(const Database& db) const {
   return static_cast<int>(w);
 }
 
-Result<StringRelation> Query::Execute(const Database& db) const {
+Result<StringRelation> Query::Execute(const Database& db,
+                                      const QueryOptions& options) const {
   STRDB_ASSIGN_OR_RETURN(int truncation, InferTruncation(db));
-  return ExecuteTruncated(db, truncation);
+  return ExecuteTruncated(db, truncation, options);
 }
 
-Result<StringRelation> Query::ExecuteTruncated(const Database& db,
-                                               int truncation) const {
+Result<StringRelation> Query::ExecuteTruncated(
+    const Database& db, int truncation, const QueryOptions& options) const {
   EvalOptions opts;
   opts.truncation = truncation;
+  if (options.use_engine) {
+    return Engine::Shared().Execute(plan_, db, opts, options.stats);
+  }
   return EvalAlgebra(plan_, db, opts);
+}
+
+Result<std::string> Query::ExplainPlan(const Database& db) const {
+  STRDB_ASSIGN_OR_RETURN(int truncation, InferTruncation(db));
+  EvalOptions opts;
+  opts.truncation = truncation;
+  return Engine::Shared().Explain(plan_, db, opts);
 }
 
 }  // namespace strdb

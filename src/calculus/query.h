@@ -7,11 +7,23 @@
 #include "calculus/formula.h"
 #include "calculus/translate.h"
 #include "core/result.h"
+#include "engine/plan.h"
 #include "relational/algebra.h"
 #include "relational/relation.h"
 #include "safety/limitation.h"
 
 namespace strdb {
+
+// How Query evaluates its algebra plan.
+struct QueryOptions {
+  // Route through the shared execution engine (rewrites, artifact cache,
+  // parallel selection).  Off = the naïve tree-walking evaluator; the
+  // two agree on every query, so this is a debugging/benchmarking knob.
+  bool use_engine = true;
+  // When non-null, receives wall time, cache counters and the executed
+  // plan (engine route only; untouched on the naïve route).
+  ExecStats* stats = nullptr;
+};
 
 // The end-to-end query facility a string-database engine would expose:
 // parse a query x1,...,xk | φ, translate it to alignment algebra
@@ -53,12 +65,18 @@ class Query {
 
   // Evaluates at the inferred truncation: the paper's
   // ⟦φ⟧_db = db(E_φ ↓ W_φ(db)) for domain-independent φ (Eq. (6)).
-  Result<StringRelation> Execute(const Database& db) const;
+  Result<StringRelation> Execute(const Database& db,
+                                 const QueryOptions& options = {}) const;
 
   // Evaluates at an explicit truncation (the ⟦φ⟧^l semantics), for
   // queries the safety analysis cannot certify.
-  Result<StringRelation> ExecuteTruncated(const Database& db,
-                                          int truncation) const;
+  Result<StringRelation> ExecuteTruncated(
+      const Database& db, int truncation,
+      const QueryOptions& options = {}) const;
+
+  // The engine's physical plan for this query at the inferred
+  // truncation, rendered with planner estimates ("explain").
+  Result<std::string> ExplainPlan(const Database& db) const;
 
  private:
   Query(CalcFormula formula, std::vector<std::string> outputs,

@@ -1,0 +1,80 @@
+#include "core/thread_pool.h"
+
+#include <algorithm>
+
+namespace strdb {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) {
+    num_threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (num_threads <= 0) num_threads = 1;
+  }
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    ++pending_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void ThreadPool::ParallelFor(int64_t n,
+                             const std::function<void(int64_t, int64_t)>& fn,
+                             int max_chunks) {
+  if (n <= 0) return;
+  if (max_chunks <= 0) max_chunks = num_threads() * 4;
+  int64_t chunks = std::min<int64_t>(n, std::max(1, max_chunks));
+  if (num_threads() <= 1 || chunks == 1) {
+    fn(0, n);
+    return;
+  }
+  int64_t per = (n + chunks - 1) / chunks;
+  for (int64_t begin = 0; begin < n; begin += per) {
+    int64_t end = std::min(n, begin + per);
+    Submit([&fn, begin, end] { fn(begin, end); });
+  }
+  Wait();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--pending_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace strdb

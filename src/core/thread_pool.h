@@ -1,0 +1,59 @@
+#ifndef STRDB_CORE_THREAD_POOL_H_
+#define STRDB_CORE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace strdb {
+
+// A fixed-size worker pool.  The engine uses it to partition tuple
+// batches across cores for σ_A acceptance checks; results are merged in
+// submission order by the caller, so parallel evaluation stays
+// deterministic regardless of completion order.
+class ThreadPool {
+ public:
+  // `num_threads` <= 0 picks std::thread::hardware_concurrency().
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues a task.  Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished.  Must be called from
+  // outside the pool: a worker task calling Wait() (or ParallelFor) would
+  // deadlock once every worker blocks.
+  void Wait();
+
+  // Runs fn(begin, end) over [0, n) split into roughly equal chunks (at
+  // most `max_chunks`, default 4 per worker), blocking until all chunks
+  // complete.  With a single worker the chunks run inline on the calling
+  // thread, so single-core machines pay no synchronisation cost.
+  void ParallelFor(int64_t n,
+                   const std::function<void(int64_t, int64_t)>& fn,
+                   int max_chunks = 0);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for tasks
+  std::condition_variable idle_cv_;   // Wait() waits for drain
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int64_t pending_ = 0;  // queued + running tasks
+  bool stop_ = false;
+};
+
+}  // namespace strdb
+
+#endif  // STRDB_CORE_THREAD_POOL_H_

@@ -1,0 +1,92 @@
+#include "engine/cache.h"
+
+#include <optional>
+
+#include "fsa/serialize.h"
+#include "fsa/specialize.h"
+
+namespace strdb {
+
+std::string ArtifactCache::FsaKey(const Fsa& fsa) {
+  return SerializeFsa(fsa);
+}
+
+Result<std::shared_ptr<const Fsa>> ArtifactCache::GetSpecialized(
+    const std::string& base_key, const Fsa& base, int tape,
+    const std::string& value, std::string* derived_key, bool* hit) {
+  std::string key = base_key;
+  key += "\n|s";
+  key += std::to_string(tape);
+  key += '=';
+  key += value;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = specialized_.find(key);
+    if (it != specialized_.end()) {
+      ++stats_.hits;
+      if (hit != nullptr) *hit = true;
+      *derived_key = std::move(key);
+      return it->second;
+    }
+    ++stats_.misses;
+    if (hit != nullptr) *hit = false;
+  }
+  // Build outside the lock; concurrent misses on the same key compute
+  // twice and agree (Specialize is deterministic).
+  std::vector<std::optional<std::string>> fixed(
+      static_cast<size_t>(base.num_tapes()), std::nullopt);
+  fixed[static_cast<size_t>(tape)] = value;
+  STRDB_ASSIGN_OR_RETURN(Fsa specialized, Specialize(base, fixed));
+  auto shared = std::make_shared<const Fsa>(std::move(specialized));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    MaybeEvictLocked();
+    specialized_.emplace(key, shared);
+  }
+  *derived_key = std::move(key);
+  return shared;
+}
+
+std::shared_ptr<const ArtifactCache::GeneratedSet> ArtifactCache::GetGenerated(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = generated_.find(key);
+  if (it == generated_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  return it->second;
+}
+
+void ArtifactCache::PutGenerated(const std::string& key, GeneratedSet set) {
+  auto shared = std::make_shared<const GeneratedSet>(std::move(set));
+  std::lock_guard<std::mutex> lock(mu_);
+  MaybeEvictLocked();
+  generated_[key] = std::move(shared);
+}
+
+ArtifactCache::Stats ArtifactCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void ArtifactCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  specialized_.clear();
+  generated_.clear();
+}
+
+void ArtifactCache::MaybeEvictLocked() {
+  if (static_cast<int64_t>(specialized_.size() + generated_.size()) <
+      max_entries_) {
+    return;
+  }
+  ++stats_.evictions;
+  generated_.clear();
+  if (static_cast<int64_t>(specialized_.size()) >= max_entries_) {
+    specialized_.clear();
+  }
+}
+
+}  // namespace strdb

@@ -1,0 +1,80 @@
+#ifndef STRDB_ENGINE_CACHE_H_
+#define STRDB_ENGINE_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/result.h"
+#include "fsa/fsa.h"
+
+namespace strdb {
+
+// Process-wide cache of compiled σ_A artifacts, keyed by *structural*
+// identity: the stable fsa/serialize text of the base automaton plus the
+// chain of Lemma 3.1 bindings applied to it.  Repeated selections with
+// the same automaton (re-running a Query, the odometer of
+// σ_A(F × (Σ*)^n) revisiting a factor value, two queries sharing a
+// compiled formula) skip respecialisation and regeneration entirely.
+//
+// Two artifact kinds are cached:
+//   * specialised automata   — Specialize(A, tape := constant);
+//   * bounded generations    — EnumerateLanguage(A', max_len) results.
+// Both are pure functions of their key, so the cache never changes a
+// result; only budget *errors* can differ when a previously computed
+// artifact is reused under a smaller step budget.
+//
+// Thread safe.  When the entry count exceeds `max_entries` the cache is
+// cleared wholesale (generation artifacts first) — crude, but bounds
+// memory without bookkeeping on the hot path.
+class ArtifactCache {
+ public:
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t evictions = 0;
+  };
+
+  using GeneratedSet = std::set<std::vector<std::string>>;
+
+  explicit ArtifactCache(int64_t max_entries = 1 << 17)
+      : max_entries_(max_entries) {}
+
+  // The structural key of an automaton: its serialized text.  Stable
+  // across processes (fsa/serialize round-trips byte-identically), so
+  // equal machines share one cache line even when compiled separately.
+  static std::string FsaKey(const Fsa& fsa);
+
+  // Returns Specialize(base, base tape `tape` := value), where `base` is
+  // the machine identified by `base_key`; `*derived_key` receives the
+  // key under which the result is cached (feed it back to specialise
+  // further tapes of the result).
+  Result<std::shared_ptr<const Fsa>> GetSpecialized(
+      const std::string& base_key, const Fsa& base, int tape,
+      const std::string& value, std::string* derived_key, bool* hit);
+
+  // Returns the cached EnumerateLanguage result for `key`, or nullptr.
+  std::shared_ptr<const GeneratedSet> GetGenerated(const std::string& key);
+  void PutGenerated(const std::string& key, GeneratedSet set);
+
+  Stats stats() const;
+  void Clear();
+
+ private:
+  void MaybeEvictLocked();
+
+  const int64_t max_entries_;
+  mutable std::mutex mu_;
+  Stats stats_;
+  std::unordered_map<std::string, std::shared_ptr<const Fsa>> specialized_;
+  std::unordered_map<std::string, std::shared_ptr<const GeneratedSet>>
+      generated_;
+};
+
+}  // namespace strdb
+
+#endif  // STRDB_ENGINE_CACHE_H_

@@ -1,0 +1,489 @@
+#include "engine/engine.h"
+
+#include <chrono>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "fsa/accept.h"
+#include "fsa/generate.h"
+
+namespace strdb {
+
+namespace {
+
+using Kind = AlgebraExpr::Kind;
+using Op = PlanNode::Op;
+using Clock = std::chrono::steady_clock;
+
+int64_t ElapsedNs(Clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              since)
+      .count();
+}
+
+void FlattenProduct(const AlgebraExpr& e, std::vector<AlgebraExpr>* out) {
+  if (e.kind() == Kind::kProduct) {
+    FlattenProduct(e.Left(), out);
+    FlattenProduct(e.Right(), out);
+  } else {
+    out->push_back(e);
+  }
+}
+
+// Lowers the (rewritten) algebra AST to a physical-plan DAG.  Subtrees
+// shared in the AST — including those unified by the CSE rewrite — lower
+// to one PlanNode, which the executor evaluates once.
+class Planner {
+ public:
+  Planner(const Database& db, const EvalOptions& options)
+      : db_(db), options_(options) {}
+
+  Result<std::shared_ptr<PlanNode>> Lower(const AlgebraExpr& e) {
+    auto it = memo_.find(e.node_identity());
+    if (it != memo_.end()) return it->second;
+    STRDB_ASSIGN_OR_RETURN(std::shared_ptr<PlanNode> node, LowerNew(e));
+    node->est_rows = EstimateCardinality(e, db_, options_.truncation);
+    memo_.emplace(e.node_identity(), node);
+    return node;
+  }
+
+ private:
+  Result<std::shared_ptr<PlanNode>> LowerNew(const AlgebraExpr& e) {
+    auto node = std::make_shared<PlanNode>();
+    node->arity = e.arity();
+    switch (e.kind()) {
+      case Kind::kRelation:
+        node->op = Op::kScan;
+        node->relation = e.relation_name();
+        return node;
+      case Kind::kSigmaStar:
+        node->op = Op::kDomain;
+        node->sigma_l = -1;
+        return node;
+      case Kind::kSigmaL:
+        node->op = Op::kDomain;
+        node->sigma_l = e.sigma_l();
+        return node;
+      case Kind::kUnion:
+      case Kind::kDifference:
+      case Kind::kProduct: {
+        node->op = e.kind() == Kind::kUnion        ? Op::kUnion
+                   : e.kind() == Kind::kDifference ? Op::kDifference
+                                                   : Op::kProduct;
+        STRDB_ASSIGN_OR_RETURN(std::shared_ptr<PlanNode> l, Lower(e.Left()));
+        STRDB_ASSIGN_OR_RETURN(std::shared_ptr<PlanNode> r, Lower(e.Right()));
+        node->children = {std::move(l), std::move(r)};
+        return node;
+      }
+      case Kind::kProject: {
+        node->op = Op::kProject;
+        node->columns = e.columns();
+        STRDB_ASSIGN_OR_RETURN(std::shared_ptr<PlanNode> c, Lower(e.Left()));
+        node->children = {std::move(c)};
+        return node;
+      }
+      case Kind::kRestrict: {
+        node->op = Op::kRestrict;
+        STRDB_ASSIGN_OR_RETURN(std::shared_ptr<PlanNode> c, Lower(e.Left()));
+        node->children = {std::move(c)};
+        return node;
+      }
+      case Kind::kSelect:
+        return LowerSelect(e, std::move(node));
+    }
+    return Status::Internal("unknown algebra node kind");
+  }
+
+  Result<std::shared_ptr<PlanNode>> LowerSelect(const AlgebraExpr& e,
+                                                std::shared_ptr<PlanNode> node) {
+    node->fsa = e.shared_fsa();
+    node->fsa_key = ArtifactCache::FsaKey(*node->fsa);
+    std::vector<AlgebraExpr> factors;
+    FlattenProduct(e.Left(), &factors);
+    bool has_star = false;
+    for (const AlgebraExpr& f : factors) {
+      if (f.kind() == Kind::kSigmaStar) has_star = true;
+    }
+    if (!has_star || !node->fsa->FinalStatesHaveNoExits()) {
+      // Plain filtering: evaluate the child (Σ* becomes Σ^l) and keep
+      // the accepted tuples — same semantics as the naïve evaluator.
+      node->op = Op::kFilterSelect;
+      STRDB_ASSIGN_OR_RETURN(std::shared_ptr<PlanNode> c, Lower(e.Left()));
+      node->children = {std::move(c)};
+      return node;
+    }
+    // σ_A(F1×…×Fm×(Σ*)^n): materialise the non-Σ* factors and run the
+    // automaton as a generator over the free columns.
+    node->op = Op::kGenerateSelect;
+    int offset = 0;
+    for (const AlgebraExpr& f : factors) {
+      if (f.kind() == Kind::kSigmaStar) {
+        node->free_columns.push_back(offset);
+      } else {
+        STRDB_ASSIGN_OR_RETURN(std::shared_ptr<PlanNode> c, Lower(f));
+        node->factor_offsets.push_back(offset);
+        node->children.push_back(std::move(c));
+      }
+      offset += f.arity();
+    }
+    return node;
+  }
+
+  const Database& db_;
+  const EvalOptions& options_;
+  std::unordered_map<const AlgebraExpr::Node*, std::shared_ptr<PlanNode>>
+      memo_;
+};
+
+// Runs a plan DAG.  Holds one result per PlanNode (evaluate-once for
+// shared subtrees); Eval returns pointers into the memo, which is
+// node-based and therefore stable across inserts.
+class Executor {
+ public:
+  Executor(const Database& db, const EvalOptions& options,
+           const EngineOptions& engine_options, ArtifactCache* cache,
+           ThreadPool* pool)
+      : db_(db),
+        options_(options),
+        engine_options_(engine_options),
+        cache_(cache),
+        pool_(pool) {}
+
+  Result<const StringRelation*> Eval(PlanNode* node) {
+    auto it = memo_.find(node);
+    if (it != memo_.end()) {
+      ++node->stats.memo_hits;
+      return &it->second;
+    }
+    Clock::time_point start = Clock::now();
+    STRDB_ASSIGN_OR_RETURN(StringRelation out, Compute(node));
+    node->stats.wall_ns += ElapsedNs(start);
+    node->stats.tuples_out = out.size();
+    auto inserted = memo_.emplace(node, std::move(out));
+    return &inserted.first->second;
+  }
+
+ private:
+  Result<StringRelation> CheckSize(StringRelation rel) const {
+    if (rel.size() > options_.max_tuples) {
+      return Status::ResourceExhausted("intermediate relation exceeds " +
+                                       std::to_string(options_.max_tuples) +
+                                       " tuples");
+    }
+    return rel;
+  }
+
+  Result<StringRelation> Compute(PlanNode* node) {
+    switch (node->op) {
+      case Op::kScan: {
+        STRDB_ASSIGN_OR_RETURN(const StringRelation* rel,
+                               db_.Get(node->relation));
+        if (rel->arity() != node->arity) {
+          return Status::InvalidArgument(
+              "relation '" + node->relation + "' has arity " +
+              std::to_string(rel->arity()) + ", expression expects " +
+              std::to_string(node->arity));
+        }
+        return *rel;
+      }
+      case Op::kDomain: {
+        int l = node->sigma_l < 0 ? options_.truncation : node->sigma_l;
+        StringRelation out(1);
+        for (std::string& s : db_.alphabet().StringsUpTo(l)) {
+          STRDB_RETURN_IF_ERROR(out.Insert({std::move(s)}));
+        }
+        return CheckSize(std::move(out));
+      }
+      case Op::kUnion: {
+        STRDB_ASSIGN_OR_RETURN(const StringRelation* a,
+                               Eval(node->children[0].get()));
+        STRDB_ASSIGN_OR_RETURN(const StringRelation* b,
+                               Eval(node->children[1].get()));
+        node->stats.tuples_in = a->size() + b->size();
+        StringRelation out = *a;
+        for (const Tuple& t : b->tuples()) {
+          STRDB_RETURN_IF_ERROR(out.Insert(t));
+        }
+        return CheckSize(std::move(out));
+      }
+      case Op::kDifference: {
+        STRDB_ASSIGN_OR_RETURN(const StringRelation* a,
+                               Eval(node->children[0].get()));
+        STRDB_ASSIGN_OR_RETURN(const StringRelation* b,
+                               Eval(node->children[1].get()));
+        node->stats.tuples_in = a->size() + b->size();
+        StringRelation out(a->arity());
+        for (const Tuple& t : a->tuples()) {
+          if (!b->Contains(t)) {
+            STRDB_RETURN_IF_ERROR(out.Insert(t));
+          }
+        }
+        return out;
+      }
+      case Op::kProduct: {
+        STRDB_ASSIGN_OR_RETURN(const StringRelation* a,
+                               Eval(node->children[0].get()));
+        STRDB_ASSIGN_OR_RETURN(const StringRelation* b,
+                               Eval(node->children[1].get()));
+        node->stats.tuples_in = a->size() + b->size();
+        StringRelation out(a->arity() + b->arity());
+        for (const Tuple& ta : a->tuples()) {
+          for (const Tuple& tb : b->tuples()) {
+            Tuple t = ta;
+            t.insert(t.end(), tb.begin(), tb.end());
+            STRDB_RETURN_IF_ERROR(out.Insert(std::move(t)));
+          }
+          if (out.size() > options_.max_tuples) {
+            return Status::ResourceExhausted("product exceeds max_tuples");
+          }
+        }
+        return out;
+      }
+      case Op::kProject: {
+        STRDB_ASSIGN_OR_RETURN(const StringRelation* child,
+                               Eval(node->children[0].get()));
+        node->stats.tuples_in = child->size();
+        StringRelation out(node->arity);
+        for (const Tuple& t : child->tuples()) {
+          Tuple proj;
+          proj.reserve(node->columns.size());
+          for (int c : node->columns) {
+            proj.push_back(t[static_cast<size_t>(c)]);
+          }
+          STRDB_RETURN_IF_ERROR(out.Insert(std::move(proj)));
+        }
+        return out;
+      }
+      case Op::kRestrict: {
+        STRDB_ASSIGN_OR_RETURN(const StringRelation* child,
+                               Eval(node->children[0].get()));
+        node->stats.tuples_in = child->size();
+        return child->TruncatedTo(options_.truncation);
+      }
+      case Op::kFilterSelect:
+        return FilterSelect(node);
+      case Op::kGenerateSelect:
+        return GenerateSelect(node);
+    }
+    return Status::Internal("unknown plan operator");
+  }
+
+  Result<StringRelation> FilterSelect(PlanNode* node) {
+    STRDB_ASSIGN_OR_RETURN(const StringRelation* child,
+                           Eval(node->children[0].get()));
+    node->stats.tuples_in = child->size();
+    std::vector<const Tuple*> tuples;
+    tuples.reserve(static_cast<size_t>(child->size()));
+    for (const Tuple& t : child->tuples()) tuples.push_back(&t);
+    int64_t n = static_cast<int64_t>(tuples.size());
+
+    std::vector<char> accepted(tuples.size(), 0);
+    std::vector<int64_t> steps(tuples.size(), 0);
+    std::vector<Status> errors(tuples.size());
+    const Fsa& fsa = *node->fsa;
+    auto check_range = [&](int64_t begin, int64_t end) {
+      for (int64_t i = begin; i < end; ++i) {
+        Result<AcceptStats> res = AcceptsWithStats(fsa, *tuples[static_cast<size_t>(i)]);
+        if (!res.ok()) {
+          errors[static_cast<size_t>(i)] = res.status();
+          continue;
+        }
+        accepted[static_cast<size_t>(i)] = res->accepted ? 1 : 0;
+        steps[static_cast<size_t>(i)] = res->configurations_visited;
+      }
+    };
+    bool parallel = engine_options_.enable_parallel &&
+                    pool_->num_threads() > 1 &&
+                    n >= engine_options_.parallel_threshold;
+    if (parallel) {
+      pool_->ParallelFor(n, check_range);
+    } else {
+      check_range(0, n);
+    }
+    // Merge in input order: the result (and the first error surfaced) is
+    // the same no matter how the chunks were scheduled.
+    StringRelation out(node->arity);
+    for (size_t i = 0; i < tuples.size(); ++i) {
+      STRDB_RETURN_IF_ERROR(errors[i]);
+      node->stats.fsa_steps += steps[i];
+      if (accepted[i]) {
+        STRDB_RETURN_IF_ERROR(out.Insert(*tuples[i]));
+      }
+    }
+    return out;
+  }
+
+  Result<StringRelation> GenerateSelect(PlanNode* node) {
+    std::vector<const std::set<Tuple>*> sets;
+    for (const auto& child : node->children) {
+      STRDB_ASSIGN_OR_RETURN(const StringRelation* rel, Eval(child.get()));
+      node->stats.tuples_in += rel->size();
+      sets.push_back(&rel->tuples());
+    }
+    StringRelation out(node->arity);
+    for (const std::set<Tuple>* s : sets) {
+      if (s->empty()) return out;  // empty product
+    }
+    GenerateOptions gen_opts;
+    gen_opts.max_len = options_.truncation;
+    gen_opts.max_steps = options_.max_steps;
+    gen_opts.max_results = options_.max_tuples;
+
+    std::vector<std::set<Tuple>::const_iterator> iters;
+    for (const std::set<Tuple>* s : sets) iters.push_back(s->begin());
+    for (;;) {
+      std::vector<std::optional<std::string>> fixed(
+          static_cast<size_t>(node->arity), std::nullopt);
+      for (size_t fi = 0; fi < iters.size(); ++fi) {
+        const Tuple& t = *iters[fi];
+        for (size_t c = 0; c < t.size(); ++c) {
+          fixed[static_cast<size_t>(node->factor_offsets[fi]) + c] = t[c];
+        }
+      }
+      STRDB_RETURN_IF_ERROR(GenerateCombo(node, fixed, gen_opts, &out));
+      if (out.size() > options_.max_tuples) {
+        return Status::ResourceExhausted("selection exceeds max_tuples");
+      }
+      size_t d = 0;
+      for (; d < iters.size(); ++d) {
+        if (++iters[d] != sets[d]->end()) break;
+        iters[d] = sets[d]->begin();
+      }
+      if (d == iters.size()) break;
+    }
+    return out;
+  }
+
+  // One odometer step of a generate-select: generates the free-column
+  // strings for the given fixed pattern and merges the full tuples into
+  // `out`.  With the cache on, the automaton is specialised one fixed
+  // column at a time so a shared (column, value) prefix across combos is
+  // built once, and the final bounded generation is memoised too.
+  Status GenerateCombo(PlanNode* node,
+                       const std::vector<std::optional<std::string>>& fixed,
+                       const GenerateOptions& gen_opts, StringRelation* out) {
+    ArtifactCache::GeneratedSet computed;
+    std::shared_ptr<const ArtifactCache::GeneratedSet> cached;
+    const ArtifactCache::GeneratedSet* generated = nullptr;
+    if (cache_ != nullptr) {
+      std::string key = node->fsa_key;
+      std::shared_ptr<const Fsa> machine = node->fsa;
+      int already_fixed = 0;
+      for (size_t col = 0; col < fixed.size(); ++col) {
+        if (!fixed[col].has_value()) continue;
+        // In the current (partially specialised) machine, original
+        // column `col` is tape col - #columns fixed before it.
+        int tape = static_cast<int>(col) - already_fixed;
+        bool hit = false;
+        STRDB_ASSIGN_OR_RETURN(
+            machine,
+            cache_->GetSpecialized(key, *machine, tape, *fixed[col], &key,
+                                   &hit));
+        ++(hit ? node->stats.cache_hits : node->stats.cache_misses);
+        ++already_fixed;
+      }
+      std::string gen_key = key + "|g" + std::to_string(gen_opts.max_len);
+      cached = cache_->GetGenerated(gen_key);
+      if (cached != nullptr) {
+        ++node->stats.cache_hits;
+        generated = cached.get();
+      } else {
+        ++node->stats.cache_misses;
+        STRDB_ASSIGN_OR_RETURN(computed, EnumerateLanguage(*machine, gen_opts));
+        cache_->PutGenerated(gen_key, computed);
+        generated = &computed;
+      }
+    } else {
+      STRDB_ASSIGN_OR_RETURN(computed,
+                             GenerateAccepted(*node->fsa, fixed, gen_opts));
+      generated = &computed;
+    }
+    for (const std::vector<std::string>& frees : *generated) {
+      Tuple full(static_cast<size_t>(node->arity));
+      for (size_t c = 0; c < full.size(); ++c) {
+        if (fixed[c].has_value()) full[c] = *fixed[c];
+      }
+      for (size_t fc = 0; fc < node->free_columns.size(); ++fc) {
+        full[static_cast<size_t>(node->free_columns[fc])] = frees[fc];
+      }
+      STRDB_RETURN_IF_ERROR(out->Insert(std::move(full)));
+    }
+    return Status::OK();
+  }
+
+  const Database& db_;
+  const EvalOptions& options_;
+  const EngineOptions& engine_options_;
+  ArtifactCache* cache_;  // nullptr = caching disabled
+  ThreadPool* pool_;
+  std::unordered_map<const PlanNode*, StringRelation> memo_;
+};
+
+void SumStats(const PlanNode& node, std::set<const PlanNode*>* seen,
+              ExecStats* stats) {
+  if (!seen->insert(&node).second) return;
+  stats->cache_hits += node.stats.cache_hits;
+  stats->cache_misses += node.stats.cache_misses;
+  for (const auto& child : node.children) SumStats(*child, seen, stats);
+}
+
+}  // namespace
+
+Engine::Engine(EngineOptions options)
+    : options_(options),
+      pool_(options.enable_parallel ? options.num_threads : 1) {}
+
+Result<std::shared_ptr<PlanNode>> Engine::Plan(const AlgebraExpr& expr,
+                                               const Database& db,
+                                               const EvalOptions& options) {
+  AlgebraExpr target = expr;
+  if (options_.enable_rewrites) {
+    STRDB_ASSIGN_OR_RETURN(target,
+                           RewriteExpr(expr, db, options, options_.rewrites));
+  }
+  Planner planner(db, options);
+  return planner.Lower(target);
+}
+
+Result<StringRelation> Engine::Execute(const AlgebraExpr& expr,
+                                       const Database& db,
+                                       const EvalOptions& options,
+                                       ExecStats* stats) {
+  Clock::time_point start = Clock::now();
+  STRDB_ASSIGN_OR_RETURN(std::shared_ptr<PlanNode> root,
+                         Plan(expr, db, options));
+  Executor executor(db, options, options_,
+                    options_.enable_cache ? &cache_ : nullptr, &pool_);
+  STRDB_ASSIGN_OR_RETURN(const StringRelation* result,
+                         executor.Eval(root.get()));
+  StringRelation out = *result;
+  if (stats != nullptr) {
+    stats->wall_ns = ElapsedNs(start);
+    stats->cache_hits = 0;
+    stats->cache_misses = 0;
+    std::set<const PlanNode*> seen;
+    SumStats(*root, &seen, stats);
+    stats->plan = ExplainPlan(*root, /*with_stats=*/true);
+  }
+  return out;
+}
+
+Result<std::string> Engine::Explain(const AlgebraExpr& expr,
+                                    const Database& db,
+                                    const EvalOptions& options) {
+  STRDB_ASSIGN_OR_RETURN(std::shared_ptr<PlanNode> root,
+                         Plan(expr, db, options));
+  return ExplainPlan(*root, /*with_stats=*/false);
+}
+
+Engine& Engine::Shared() {
+  // Leaked intentionally: the pool's worker threads must not be joined
+  // during static destruction.
+  static Engine* shared = new Engine();
+  return *shared;
+}
+
+}  // namespace strdb

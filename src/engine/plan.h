@@ -1,0 +1,83 @@
+#ifndef STRDB_ENGINE_PLAN_H_
+#define STRDB_ENGINE_PLAN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fsa/fsa.h"
+#include "relational/algebra.h"
+
+namespace strdb {
+
+// Execution counters of one plan operator, filled in while the plan
+// runs.  `fsa_steps` counts configurations visited by σ_A acceptance
+// checks; cache counters refer to the engine-wide artifact cache.
+struct OperatorStats {
+  int64_t tuples_in = 0;
+  int64_t tuples_out = 0;
+  int64_t fsa_steps = 0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t memo_hits = 0;  // result reuses of this (shared) subtree
+  int64_t wall_ns = 0;
+};
+
+// One operator of a physical plan.  Plans are DAGs: subtrees shared in
+// the algebra AST (or unified by the CSE rewrite) lower to a single
+// PlanNode, which the executor evaluates once.
+struct PlanNode {
+  enum class Op : uint8_t {
+    kScan,            // a database relation
+    kDomain,          // Σ^l, or Σ* read as Σ^truncation when sigma_l < 0
+    kUnion,
+    kDifference,
+    kProduct,
+    kProject,
+    kFilterSelect,    // σ_A as a per-tuple acceptance filter
+    kGenerateSelect,  // σ_A(F1×…×Fm×(Σ*)^n) run as a generator
+    kRestrict,        // length-<=l filter (E ∩ (Σ*)^m at ↓l)
+  };
+
+  Op op = Op::kScan;
+  int arity = 0;
+  std::string relation;            // kScan
+  int sigma_l = -1;                // kDomain
+  std::vector<int> columns;        // kProject
+  std::shared_ptr<const Fsa> fsa;  // the two select ops
+  std::string fsa_key;             // structural cache key of `fsa`
+
+  // kGenerateSelect: children are the materialised factors, in column
+  // order; factor_offsets[i] is the first output column of children[i];
+  // free_columns lists the Σ* columns the generator fills in.
+  std::vector<int> factor_offsets;
+  std::vector<int> free_columns;
+
+  std::vector<std::shared_ptr<PlanNode>> children;
+
+  double est_rows = 0;  // planner cardinality estimate
+  OperatorStats stats;  // filled by the executor
+
+  // One-word operator name as rendered by Explain.
+  std::string OpName() const;
+};
+
+// Multi-line, indentation-structured rendering of a plan ("explain").
+// With `with_stats`, each line is annotated with the executor's actual
+// counters; otherwise only the planner estimates are shown.
+std::string ExplainPlan(const PlanNode& root, bool with_stats = false);
+
+// Execution-wide statistics surfaced through the Query facade.
+struct ExecStats {
+  int64_t wall_ns = 0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  std::string plan;  // ExplainPlan(root, /*with_stats=*/true)
+
+  std::string ToString() const;
+};
+
+}  // namespace strdb
+
+#endif  // STRDB_ENGINE_PLAN_H_

@@ -1,0 +1,46 @@
+#ifndef STRDB_ENGINE_REWRITE_H_
+#define STRDB_ENGINE_REWRITE_H_
+
+#include "core/result.h"
+#include "relational/algebra.h"
+#include "relational/relation.h"
+
+namespace strdb {
+
+// Which passes of the rewrite pipeline run (in the order listed).
+struct RewriteOptions {
+  // σ_A(E ∪ F) → σ_A(E) ∪ σ_A(F), and σ_A(E × F) → σ_{A'}(E) × F when
+  // every tape of F is disregarded by A (pinned to ⊢ and never moved):
+  // selections sink towards the data they actually read.
+  bool pushdown_selections = true;
+  // Lemma 3.1 at plan time: a product factor that is a single-tuple
+  // database relation is folded into the automaton (fsa/specialize),
+  // shrinking both the σ input and the machine.
+  bool specialize_constants = true;
+  // Products reassociate cheapest-factor-first by estimated cardinality,
+  // with a projection restoring the original column order.  Products
+  // directly under a σ keep their order (it fixes the tape layout).
+  bool reorder_products = true;
+  // Hash-consing over the shared AST: structurally identical subtrees
+  // are unified into one node, which the executor then evaluates once.
+  bool common_subexpressions = true;
+};
+
+// Applies the pipeline.  The database supplies cardinalities (product
+// reordering) and constant relations (specialisation); the truncation in
+// `options` sizes the Σ*/Σ^l estimates.  Rewrites never change db(E↓l)
+// and preserve IsFinitelyEvaluable(); a pass whose output would violate
+// either guard is skipped wholesale.
+Result<AlgebraExpr> RewriteExpr(const AlgebraExpr& expr, const Database& db,
+                                const EvalOptions& options,
+                                const RewriteOptions& rewrites = {});
+
+// The planner's cardinality estimate for db(E↓truncation), used to order
+// product factors.  A heuristic: relations report their true size,
+// domains their exact Σ^{<=l} count, selections assume 1/4 selectivity.
+double EstimateCardinality(const AlgebraExpr& expr, const Database& db,
+                           int truncation);
+
+}  // namespace strdb
+
+#endif  // STRDB_ENGINE_REWRITE_H_

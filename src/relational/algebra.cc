@@ -13,8 +13,8 @@ struct AlgebraExpr::Node {
   int arity = 1;
   std::string name;                     // kRelation
   int l = 0;                            // kSigmaL
-  std::shared_ptr<const Node> left;     // binary ops, kProject, kSelect
-  std::shared_ptr<const Node> right;    // binary ops
+  std::optional<AlgebraExpr> left;      // binary ops, kProject, kSelect
+  std::optional<AlgebraExpr> right;     // binary ops
   std::vector<int> columns;             // kProject
   std::shared_ptr<const Fsa> fsa;       // kSelect
 };
@@ -49,8 +49,8 @@ Result<AlgebraExpr> AlgebraExpr::Union(AlgebraExpr a, AlgebraExpr b) {
   auto node = std::make_shared<Node>();
   node->kind = Kind::kUnion;
   node->arity = a.arity();
-  node->left = std::move(a.node_);
-  node->right = std::move(b.node_);
+  node->left = std::move(a);
+  node->right = std::move(b);
   return AlgebraExpr(std::move(node));
 }
 
@@ -62,8 +62,8 @@ Result<AlgebraExpr> AlgebraExpr::Difference(AlgebraExpr a, AlgebraExpr b) {
   auto node = std::make_shared<Node>();
   node->kind = Kind::kDifference;
   node->arity = a.arity();
-  node->left = std::move(a.node_);
-  node->right = std::move(b.node_);
+  node->left = std::move(a);
+  node->right = std::move(b);
   return AlgebraExpr(std::move(node));
 }
 
@@ -76,8 +76,8 @@ AlgebraExpr AlgebraExpr::Product(AlgebraExpr a, AlgebraExpr b) {
   auto node = std::make_shared<Node>();
   node->kind = Kind::kProduct;
   node->arity = a.arity() + b.arity();
-  node->left = std::move(a.node_);
-  node->right = std::move(b.node_);
+  node->left = std::move(a);
+  node->right = std::move(b);
   return AlgebraExpr(std::move(node));
 }
 
@@ -96,7 +96,7 @@ Result<AlgebraExpr> AlgebraExpr::Project(AlgebraExpr child,
   auto node = std::make_shared<Node>();
   node->kind = Kind::kProject;
   node->arity = static_cast<int>(columns.size());
-  node->left = std::move(child.node_);
+  node->left = std::move(child);
   node->columns = std::move(columns);
   return AlgebraExpr(std::move(node));
 }
@@ -109,7 +109,7 @@ Result<AlgebraExpr> AlgebraExpr::Select(AlgebraExpr child, Fsa fsa) {
   auto node = std::make_shared<Node>();
   node->kind = Kind::kSelect;
   node->arity = child.arity();
-  node->left = std::move(child.node_);
+  node->left = std::move(child);
   node->fsa = std::make_shared<const Fsa>(std::move(fsa));
   return AlgebraExpr(std::move(node));
 }
@@ -118,7 +118,7 @@ AlgebraExpr AlgebraExpr::RestrictToDomain(AlgebraExpr child) {
   auto node = std::make_shared<Node>();
   node->kind = Kind::kRestrict;
   node->arity = child.arity();
-  node->left = std::move(child.node_);
+  node->left = std::move(child);
   return AlgebraExpr(std::move(node));
 }
 
@@ -126,16 +126,19 @@ AlgebraExpr::Kind AlgebraExpr::kind() const { return node_->kind; }
 int AlgebraExpr::arity() const { return node_->arity; }
 const std::string& AlgebraExpr::relation_name() const { return node_->name; }
 int AlgebraExpr::sigma_l() const { return node_->l; }
-const AlgebraExpr AlgebraExpr::Left() const {
-  assert(node_->left != nullptr);
-  return AlgebraExpr(node_->left);
+const AlgebraExpr& AlgebraExpr::Left() const {
+  assert(node_->left.has_value());
+  return *node_->left;
 }
-const AlgebraExpr AlgebraExpr::Right() const {
-  assert(node_->right != nullptr);
-  return AlgebraExpr(node_->right);
+const AlgebraExpr& AlgebraExpr::Right() const {
+  assert(node_->right.has_value());
+  return *node_->right;
 }
 const std::vector<int>& AlgebraExpr::columns() const { return node_->columns; }
 const Fsa& AlgebraExpr::fsa() const { return *node_->fsa; }
+std::shared_ptr<const Fsa> AlgebraExpr::shared_fsa() const {
+  return node_->fsa;
+}
 
 namespace {
 

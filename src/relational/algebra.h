@@ -53,10 +53,13 @@ class AlgebraExpr {
   // Accessors (valid for the kinds that carry them).
   const std::string& relation_name() const;
   int sigma_l() const;
-  const AlgebraExpr Left() const;
-  const AlgebraExpr Right() const;
+  const AlgebraExpr& Left() const;
+  const AlgebraExpr& Right() const;
   const std::vector<int>& columns() const;
   const Fsa& fsa() const;
+  // The selection automaton, shared with every copy of this expression
+  // (used by the engine's artifact cache to key compiled artifacts).
+  std::shared_ptr<const Fsa> shared_fsa() const;
 
   // True iff the expression is *finitely evaluable* in the paper's
   // syntactic sense: every Σ* occurs inside a subexpression
@@ -68,6 +71,10 @@ class AlgebraExpr {
   std::string ToString() const;
 
   struct Node;
+
+  // Identity of the underlying shared AST node.  Copies of an expression
+  // share their node; the engine keys per-execution memoisation on it.
+  const Node* node_identity() const { return node_.get(); }
 
  private:
   explicit AlgebraExpr(std::shared_ptr<const Node> node)

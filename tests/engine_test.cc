@@ -1,0 +1,520 @@
+// The execution engine's contract: whatever plan the rewriter and
+// planner come up with, Engine::Execute agrees with the naïve
+// tree-walking EvalAlgebra on every expression — property-tested on
+// random expressions over random databases — and the supporting pieces
+// (thread pool, artifact cache, rewrite passes, explain output) behave.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/thread_pool.h"
+#include "engine/cache.h"
+#include "engine/engine.h"
+#include "engine/rewrite.h"
+#include "fsa/compile.h"
+#include "relational/algebra.h"
+#include "strform/parser.h"
+
+namespace strdb {
+namespace {
+
+Fsa Compile(const std::string& text, const Alphabet& alphabet,
+            const std::vector<std::string>& vars) {
+  Result<StringFormula> f = ParseStringFormula(text);
+  EXPECT_TRUE(f.ok()) << f.status();
+  Result<Fsa> r = CompileStringFormula(*f, alphabet, vars);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return *r;
+}
+
+// Appends a tape the machine disregards (pinned to ⊢, never moved) —
+// what a compiled formula does with a variable it never mentions.
+Fsa WithDisregardedTape(const Fsa& fsa) {
+  Fsa out(fsa.alphabet(), fsa.num_tapes() + 1);
+  while (out.num_states() < fsa.num_states()) out.AddState();
+  out.SetStart(fsa.start());
+  for (int s = 0; s < fsa.num_states(); ++s) {
+    if (fsa.IsFinal(s)) out.SetFinal(s);
+  }
+  for (Transition t : fsa.transitions()) {
+    t.read.push_back(kLeftEnd);
+    t.move.push_back(kStay);
+    EXPECT_TRUE(out.AddTransition(std::move(t)).ok());
+  }
+  return out;
+}
+
+Database MakeDb() {
+  Database db(Alphabet::Binary());
+  EXPECT_TRUE(db.Put("R1", 1, {{"ab"}, {"ba"}}).ok());
+  EXPECT_TRUE(db.Put("R3", 1, {{"a"}, {"bb"}}).ok());
+  EXPECT_TRUE(db.Put("Pairs", 2, {{"ab", "ab"}, {"ab", "ba"}, {"", ""}}).ok());
+  EXPECT_TRUE(db.Put("Const", 1, {{"ab"}}).ok());
+  return db;
+}
+
+const EvalOptions kOpts{.truncation = 4, .max_tuples = 100000,
+                        .max_steps = 10'000'000};
+
+// E8: π1 σ_A(Σ* × R1 × R3), the §4 concatenation showcase.
+AlgebraExpr ConcatQuery(const Alphabet& alphabet) {
+  Fsa concat = Compile(
+      "([x,y]l(x = y))* . ([x,z]l(x = z))* . [x,y,z]l(x = ~ & y = ~ & z = ~)",
+      alphabet, {"x", "y", "z"});
+  AlgebraExpr body = AlgebraExpr::Product(
+      AlgebraExpr::SigmaStar(),
+      AlgebraExpr::Product(AlgebraExpr::Relation("R1", 1),
+                           AlgebraExpr::Relation("R3", 1)));
+  Result<AlgebraExpr> sel = AlgebraExpr::Select(body, concat);
+  EXPECT_TRUE(sel.ok()) << sel.status();
+  Result<AlgebraExpr> query = AlgebraExpr::Project(*sel, {0});
+  EXPECT_TRUE(query.ok());
+  return *query;
+}
+
+// --- thread pool -----------------------------------------------------------
+
+TEST(ThreadPoolTest, SubmitAndWait) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  for (int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    std::vector<std::atomic<int>> touched(997);
+    pool.ParallelFor(997, [&touched](int64_t begin, int64_t end) {
+      for (int64_t i = begin; i < end; ++i) {
+        touched[static_cast<size_t>(i)].fetch_add(1);
+      }
+    });
+    for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(0, [&called](int64_t, int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+// --- artifact cache --------------------------------------------------------
+
+TEST(ArtifactCacheTest, SpecializationIsMemoised) {
+  Alphabet sigma = Alphabet::Binary();
+  Fsa eq = Compile("([x,y]l(x = y))* . [x,y]l(x = ~ & y = ~)", sigma,
+                   {"x", "y"});
+  ArtifactCache cache;
+  std::string base = ArtifactCache::FsaKey(eq);
+  std::string key1, key2;
+  bool hit1 = true, hit2 = false;
+  Result<std::shared_ptr<const Fsa>> first =
+      cache.GetSpecialized(base, eq, 0, "ab", &key1, &hit1);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_FALSE(hit1);
+  Result<std::shared_ptr<const Fsa>> second =
+      cache.GetSpecialized(base, eq, 0, "ab", &key2, &hit2);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(hit2);
+  EXPECT_EQ(key1, key2);
+  EXPECT_EQ(first->get(), second->get());  // the same compiled artifact
+  // A different binding is a different artifact.
+  std::string key3;
+  bool hit3 = true;
+  ASSERT_TRUE(cache.GetSpecialized(base, eq, 0, "ba", &key3, &hit3).ok());
+  EXPECT_FALSE(hit3);
+  EXPECT_NE(key3, key1);
+  EXPECT_EQ(cache.stats().hits, 1);
+  EXPECT_EQ(cache.stats().misses, 2);
+}
+
+TEST(ArtifactCacheTest, GeneratedSetsRoundTrip) {
+  ArtifactCache cache;
+  EXPECT_EQ(cache.GetGenerated("k"), nullptr);
+  ArtifactCache::GeneratedSet set = {{"a"}, {"ab"}};
+  cache.PutGenerated("k", set);
+  auto got = cache.GetGenerated("k");
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(*got, set);
+  cache.Clear();
+  EXPECT_EQ(cache.GetGenerated("k"), nullptr);
+}
+
+// --- rewrites --------------------------------------------------------------
+
+TEST(RewriteTest, PushdownPullsDisregardedFactorsOut) {
+  Database db = MakeDb();
+  Fsa eq = Compile("([x,y]l(x = y))* . [x,y]l(x = ~ & y = ~)",
+                   db.alphabet(), {"x", "y"});
+  // σ_A(Pairs × R1) where A disregards R1's column entirely.
+  Fsa padded = WithDisregardedTape(eq);
+  Result<AlgebraExpr> sel = AlgebraExpr::Select(
+      AlgebraExpr::Product(AlgebraExpr::Relation("Pairs", 2),
+                           AlgebraExpr::Relation("R1", 1)),
+      padded);
+  ASSERT_TRUE(sel.ok()) << sel.status();
+  RewriteOptions only_pushdown;
+  only_pushdown.specialize_constants = false;
+  only_pushdown.reorder_products = false;
+  only_pushdown.common_subexpressions = false;
+  Result<AlgebraExpr> rewritten = RewriteExpr(*sel, db, kOpts, only_pushdown);
+  ASSERT_TRUE(rewritten.ok()) << rewritten.status();
+  // The selection now reads only the Pairs columns; R1 joins outside it.
+  EXPECT_EQ(rewritten->kind(), AlgebraExpr::Kind::kProject);
+  EXPECT_EQ(rewritten->arity(), sel->arity());
+  Result<StringRelation> before = EvalAlgebra(*sel, db, kOpts);
+  Result<StringRelation> after = EvalAlgebra(*rewritten, db, kOpts);
+  ASSERT_TRUE(before.ok() && after.ok());
+  EXPECT_EQ(before->tuples(), after->tuples());
+}
+
+TEST(RewriteTest, SpecializeFoldsSingleTupleRelations) {
+  Database db = MakeDb();
+  Fsa eq = Compile("([x,y]l(x = y))* . [x,y]l(x = ~ & y = ~)",
+                   db.alphabet(), {"x", "y"});
+  // σ_eq(Const × R1) with Const = {("ab")}: Lemma 3.1 folds the constant
+  // into the machine.
+  Result<AlgebraExpr> sel = AlgebraExpr::Select(
+      AlgebraExpr::Product(AlgebraExpr::Relation("Const", 1),
+                           AlgebraExpr::Relation("R1", 1)),
+      eq);
+  ASSERT_TRUE(sel.ok()) << sel.status();
+  RewriteOptions only_specialize;
+  only_specialize.pushdown_selections = false;
+  only_specialize.reorder_products = false;
+  only_specialize.common_subexpressions = false;
+  Result<AlgebraExpr> rewritten =
+      RewriteExpr(*sel, db, kOpts, only_specialize);
+  ASSERT_TRUE(rewritten.ok()) << rewritten.status();
+  EXPECT_EQ(rewritten->kind(), AlgebraExpr::Kind::kProject);
+  Result<StringRelation> before = EvalAlgebra(*sel, db, kOpts);
+  Result<StringRelation> after = EvalAlgebra(*rewritten, db, kOpts);
+  ASSERT_TRUE(before.ok() && after.ok());
+  EXPECT_EQ(before->tuples(), after->tuples());
+  EXPECT_EQ(after->tuples(),
+            std::set<Tuple>({{"ab", "ab"}}));
+}
+
+TEST(RewriteTest, PreservesFiniteEvaluabilityAndArity) {
+  Database db = MakeDb();
+  AlgebraExpr query = ConcatQuery(db.alphabet());
+  ASSERT_TRUE(query.IsFinitelyEvaluable());
+  Result<AlgebraExpr> rewritten = RewriteExpr(query, db, kOpts);
+  ASSERT_TRUE(rewritten.ok()) << rewritten.status();
+  EXPECT_EQ(rewritten->arity(), query.arity());
+  EXPECT_TRUE(rewritten->IsFinitelyEvaluable());
+}
+
+TEST(RewriteTest, ReorderPutsSmallFactorsFirst) {
+  Database db = MakeDb();
+  // Σ^2 (7 strings) × R1 (2 tuples): reordering must put R1 first and
+  // restore the column order with a projection.
+  AlgebraExpr prod = AlgebraExpr::Product(AlgebraExpr::SigmaL(2),
+                                          AlgebraExpr::Relation("R1", 1));
+  RewriteOptions only_reorder;
+  only_reorder.pushdown_selections = false;
+  only_reorder.specialize_constants = false;
+  only_reorder.common_subexpressions = false;
+  Result<AlgebraExpr> rewritten = RewriteExpr(prod, db, kOpts, only_reorder);
+  ASSERT_TRUE(rewritten.ok());
+  EXPECT_EQ(rewritten->kind(), AlgebraExpr::Kind::kProject);
+  EXPECT_EQ(rewritten->Left().Left().kind(), AlgebraExpr::Kind::kRelation);
+  Result<StringRelation> before = EvalAlgebra(prod, db, kOpts);
+  Result<StringRelation> after = EvalAlgebra(*rewritten, db, kOpts);
+  ASSERT_TRUE(before.ok() && after.ok());
+  EXPECT_EQ(before->tuples(), after->tuples());
+}
+
+TEST(RewriteTest, EstimateCardinality) {
+  Database db = MakeDb();
+  EXPECT_EQ(EstimateCardinality(AlgebraExpr::Relation("R1", 1), db, 4), 2.0);
+  EXPECT_EQ(EstimateCardinality(AlgebraExpr::SigmaL(2), db, 4), 7.0);
+  EXPECT_EQ(EstimateCardinality(AlgebraExpr::SigmaStar(), db, 2), 7.0);
+  AlgebraExpr prod = AlgebraExpr::Product(AlgebraExpr::Relation("R1", 1),
+                                          AlgebraExpr::Relation("R3", 1));
+  EXPECT_EQ(EstimateCardinality(prod, db, 4), 4.0);
+}
+
+// --- engine end-to-end -----------------------------------------------------
+
+TEST(EngineTest, ConcatQueryMatchesNaiveEvaluator) {
+  Database db = MakeDb();
+  AlgebraExpr query = ConcatQuery(db.alphabet());
+  Engine engine;
+  ExecStats stats;
+  Result<StringRelation> via_engine = engine.Execute(query, db, kOpts, &stats);
+  Result<StringRelation> naive = EvalAlgebra(query, db, kOpts);
+  ASSERT_TRUE(via_engine.ok()) << via_engine.status();
+  ASSERT_TRUE(naive.ok()) << naive.status();
+  EXPECT_EQ(via_engine->tuples(), naive->tuples());
+  EXPECT_NE(stats.plan.find("gen-select"), std::string::npos) << stats.plan;
+  EXPECT_GT(stats.wall_ns, 0);
+}
+
+TEST(EngineTest, RepeatedExecutionHitsTheArtifactCache) {
+  Database db = MakeDb();
+  AlgebraExpr query = ConcatQuery(db.alphabet());
+  Engine engine;
+  ExecStats cold, warm;
+  ASSERT_TRUE(engine.Execute(query, db, kOpts, &cold).ok());
+  ASSERT_TRUE(engine.Execute(query, db, kOpts, &warm).ok());
+  EXPECT_GT(cold.cache_misses, 0);
+  EXPECT_GT(warm.cache_hits, 0);
+  // Steady state: every artifact the query needs is already compiled.
+  EXPECT_EQ(warm.cache_misses, 0);
+}
+
+TEST(EngineTest, ExplainShowsTheOptimisedPlan) {
+  Database db = MakeDb();
+  AlgebraExpr query = ConcatQuery(db.alphabet());
+  Engine engine;
+  Result<std::string> plan = engine.Explain(query, db, kOpts);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_NE(plan->find("project"), std::string::npos) << *plan;
+  EXPECT_NE(plan->find("gen-select"), std::string::npos) << *plan;
+  EXPECT_NE(plan->find("scan R1"), std::string::npos) << *plan;
+}
+
+TEST(EngineTest, SharedSubtreesEvaluateOnce) {
+  Database db = MakeDb();
+  Fsa eq = Compile("([x,y]l(x = y))* . [x,y]l(x = ~ & y = ~)",
+                   db.alphabet(), {"x", "y"});
+  // Two structurally identical selections built independently: CSE must
+  // unify them into one shared plan node.
+  Result<AlgebraExpr> a =
+      AlgebraExpr::Select(AlgebraExpr::Relation("Pairs", 2), Fsa(eq));
+  Result<AlgebraExpr> b =
+      AlgebraExpr::Select(AlgebraExpr::Relation("Pairs", 2), Fsa(eq));
+  ASSERT_TRUE(a.ok() && b.ok());
+  AlgebraExpr prod = AlgebraExpr::Product(*a, *b);
+  Engine engine;
+  Result<std::string> plan = engine.Explain(prod, db, kOpts);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_NE(plan->find("shared, evaluated once"), std::string::npos) << *plan;
+  Result<StringRelation> via_engine = engine.Execute(prod, db, kOpts);
+  Result<StringRelation> naive = EvalAlgebra(prod, db, kOpts);
+  ASSERT_TRUE(via_engine.ok() && naive.ok());
+  EXPECT_EQ(via_engine->tuples(), naive->tuples());
+}
+
+TEST(EngineTest, FilterSelectParallelMatchesSerial) {
+  Database db(Alphabet::Binary());
+  Rng rng(7);
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < 200; ++i) {
+    tuples.push_back({rng.String(db.alphabet(), 0, 4),
+                      rng.String(db.alphabet(), 0, 4)});
+  }
+  ASSERT_TRUE(db.Put("Big", 2, std::move(tuples)).ok());
+  Fsa eq = Compile("([x,y]l(x = y))* . [x,y]l(x = ~ & y = ~)",
+                   db.alphabet(), {"x", "y"});
+  Result<AlgebraExpr> sel =
+      AlgebraExpr::Select(AlgebraExpr::Relation("Big", 2), eq);
+  ASSERT_TRUE(sel.ok());
+  EngineOptions parallel_opts;
+  parallel_opts.num_threads = 4;
+  parallel_opts.parallel_threshold = 1;
+  Engine parallel_engine(parallel_opts);
+  EngineOptions serial_opts;
+  serial_opts.enable_parallel = false;
+  Engine serial_engine(serial_opts);
+  Result<StringRelation> p = parallel_engine.Execute(*sel, db, kOpts);
+  Result<StringRelation> s = serial_engine.Execute(*sel, db, kOpts);
+  ASSERT_TRUE(p.ok() && s.ok()) << p.status() << s.status();
+  EXPECT_EQ(p->tuples(), s->tuples());
+  Result<StringRelation> naive = EvalAlgebra(*sel, db, kOpts);
+  ASSERT_TRUE(naive.ok());
+  EXPECT_EQ(p->tuples(), naive->tuples());
+}
+
+// --- engine ≡ naïve on random expressions ----------------------------------
+
+struct FsaPool {
+  Fsa even1;    // 1 tape: even-length strings
+  Fsa eq2;      // 2 tapes: x = y
+  Fsa prefix2;  // 2 tapes: x a prefix of y
+  Fsa concat3;  // 3 tapes: x = y.z
+};
+
+FsaPool MakePool(const Alphabet& sigma) {
+  return FsaPool{
+      Compile("([x]l(!(x = ~)) . [x]l(!(x = ~)))* . [x]l(x = ~)", sigma,
+              {"x"}),
+      Compile("([x,y]l(x = y))* . [x,y]l(x = ~ & y = ~)", sigma, {"x", "y"}),
+      Compile("([x,y]l(x = y))* . [x,y]l(x = ~)", sigma, {"x", "y"}),
+      Compile("([x,y]l(x = y))* . ([x,z]l(x = z))* . "
+              "[x,y,z]l(x = ~ & y = ~ & z = ~)",
+              sigma, {"x", "y", "z"}),
+  };
+}
+
+const Fsa& PoolMachine(const FsaPool& pool, Rng& rng, int tapes) {
+  switch (tapes) {
+    case 1:
+      return pool.even1;
+    case 2:
+      return rng.Coin() ? pool.eq2 : pool.prefix2;
+    default:
+      return pool.concat3;
+  }
+}
+
+Database RandomDb(Rng& rng, const Alphabet& sigma) {
+  Database db(sigma);
+  auto fill = [&](const std::string& name, int arity) {
+    std::vector<Tuple> tuples;
+    int n = rng.Range(0, 3);
+    for (int i = 0; i < n; ++i) {
+      Tuple t;
+      for (int c = 0; c < arity; ++c) {
+        t.push_back(rng.String(sigma, 0, 2));
+      }
+      tuples.push_back(std::move(t));
+    }
+    EXPECT_TRUE(db.Put(name, arity, std::move(tuples)).ok());
+  };
+  fill("R0", 1);
+  fill("R1", 1);
+  fill("P", 2);
+  return db;
+}
+
+// A random expression of arity <= 3 and depth <= `depth`.  Bare Σ*
+// appears only in the finitely-evaluable form σ_A(F × (Σ*)^n), mirroring
+// the class the paper evaluates; everything else would make the naïve
+// reference explode.
+AlgebraExpr RandomExpr(Rng& rng, const FsaPool& pool, int depth) {
+  if (depth <= 0 || rng.Range(0, 5) == 0) {
+    switch (rng.Range(0, 3)) {
+      case 0:
+        return AlgebraExpr::Relation("R0", 1);
+      case 1:
+        return AlgebraExpr::Relation("R1", 1);
+      case 2:
+        return AlgebraExpr::Relation("P", 2);
+      default:
+        return AlgebraExpr::SigmaL(rng.Range(0, 2));
+    }
+  }
+  switch (rng.Range(0, 6)) {
+    case 0: {  // union / difference of equal-arity parts
+      AlgebraExpr a = RandomExpr(rng, pool, depth - 1);
+      AlgebraExpr b = RandomExpr(rng, pool, depth - 1);
+      if (a.arity() == b.arity()) {
+        Result<AlgebraExpr> r = rng.Coin() ? AlgebraExpr::Union(a, b)
+                                           : AlgebraExpr::Difference(a, b);
+        if (r.ok()) return *r;
+      }
+      return a;
+    }
+    case 1: {  // product, capped at arity 3
+      AlgebraExpr a = RandomExpr(rng, pool, depth - 1);
+      AlgebraExpr b = RandomExpr(rng, pool, depth - 1);
+      if (a.arity() + b.arity() <= 3) return AlgebraExpr::Product(a, b);
+      return a;
+    }
+    case 2: {  // random projection (a permutation of a subset)
+      AlgebraExpr child = RandomExpr(rng, pool, depth - 1);
+      std::vector<int> cols;
+      for (int c = 0; c < child.arity(); ++c) {
+        if (rng.Coin()) cols.push_back(c);
+      }
+      if (rng.Coin() && cols.size() > 1) std::swap(cols.front(), cols.back());
+      Result<AlgebraExpr> r = AlgebraExpr::Project(child, cols);
+      return r.ok() ? *r : child;
+    }
+    case 3: {  // filtering selection
+      AlgebraExpr child = RandomExpr(rng, pool, depth - 1);
+      Result<AlgebraExpr> r = AlgebraExpr::Select(
+          child, Fsa(PoolMachine(pool, rng, child.arity())));
+      return r.ok() ? *r : child;
+    }
+    case 4: {  // generator selection σ_A(... × Σ* × ...)
+      if (rng.Coin()) {
+        AlgebraExpr f = RandomExpr(rng, pool, 0);  // a leaf, arity 1 or 2
+        if (f.arity() == 1) {
+          AlgebraExpr body = rng.Coin()
+                                 ? AlgebraExpr::Product(AlgebraExpr::SigmaStar(), f)
+                                 : AlgebraExpr::Product(f, AlgebraExpr::SigmaStar());
+          Result<AlgebraExpr> r = AlgebraExpr::Select(
+              body, rng.Coin() ? Fsa(pool.eq2) : Fsa(pool.prefix2));
+          if (r.ok()) return *r;
+        }
+      }
+      // E8 shape: σ_concat(Σ* × F1 × F2).
+      AlgebraExpr f1 = RandomExpr(rng, pool, 0);
+      AlgebraExpr f2 = RandomExpr(rng, pool, 0);
+      if (f1.arity() == 1 && f2.arity() == 1) {
+        AlgebraExpr body = AlgebraExpr::Product(
+            AlgebraExpr::SigmaStar(), AlgebraExpr::Product(f1, f2));
+        Result<AlgebraExpr> r = AlgebraExpr::Select(body, Fsa(pool.concat3));
+        if (r.ok()) return *r;
+      }
+      return f1;
+    }
+    default:
+      return AlgebraExpr::RestrictToDomain(RandomExpr(rng, pool, depth - 1));
+  }
+}
+
+TEST(EngineTest, MatchesNaiveEvaluatorOnRandomExpressions) {
+  Alphabet sigma = Alphabet::Binary();
+  FsaPool pool = MakePool(sigma);
+  Rng rng(20260805);
+  EvalOptions opts;
+  opts.truncation = 2;
+  opts.max_tuples = 20000;
+  opts.max_steps = 5'000'000;
+  Engine engine;               // all optimisations on
+  EngineOptions plain_opts;
+  plain_opts.enable_rewrites = false;
+  plain_opts.enable_cache = false;
+  Engine plain_engine(plain_opts);  // pure lowering + execution
+  int checked = 0;
+  for (int trial = 0; trial < 150; ++trial) {
+    Database db = RandomDb(rng, sigma);
+    AlgebraExpr expr = RandomExpr(rng, pool, 4);
+    Result<StringRelation> naive = EvalAlgebra(expr, db, opts);
+    Result<StringRelation> opt = engine.Execute(expr, db, opts);
+    Result<StringRelation> plain = plain_engine.Execute(expr, db, opts);
+    if (!naive.ok()) {
+      // A budget error must surface on every route.
+      EXPECT_FALSE(opt.ok()) << trial << ": " << expr.ToString();
+      EXPECT_FALSE(plain.ok()) << trial << ": " << expr.ToString();
+      continue;
+    }
+    ASSERT_TRUE(opt.ok()) << trial << ": " << expr.ToString() << "\n"
+                          << opt.status();
+    ASSERT_TRUE(plain.ok()) << trial << ": " << expr.ToString() << "\n"
+                            << plain.status();
+    EXPECT_EQ(opt->tuples(), naive->tuples())
+        << trial << ": " << expr.ToString();
+    EXPECT_EQ(plain->tuples(), naive->tuples())
+        << trial << ": " << expr.ToString();
+    // Rewrites must not lose finite evaluability along the way.
+    Result<AlgebraExpr> rewritten = RewriteExpr(expr, db, opts);
+    ASSERT_TRUE(rewritten.ok());
+    EXPECT_EQ(rewritten->arity(), expr.arity());
+    if (expr.IsFinitelyEvaluable()) {
+      EXPECT_TRUE(rewritten->IsFinitelyEvaluable())
+          << trial << ": " << expr.ToString();
+    }
+    ++checked;
+  }
+  // The acceptance bar: at least 100 successfully cross-checked cases.
+  EXPECT_GE(checked, 100);
+}
+
+}  // namespace
+}  // namespace strdb

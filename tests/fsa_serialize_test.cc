@@ -1,0 +1,112 @@
+// Round-trip stability of the fsa/serialize text format.  The engine's
+// artifact cache keys compiled automata by their serialized text, so
+// serialize → deserialize → serialize must be byte-identical: any
+// instability would split cache lines between equal machines.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "fsa/compile.h"
+#include "fsa/serialize.h"
+#include "strform/parser.h"
+
+namespace strdb {
+namespace {
+
+Fsa Compile(const std::string& text, const Alphabet& alphabet,
+            const std::vector<std::string>& vars) {
+  Result<StringFormula> f = ParseStringFormula(text);
+  EXPECT_TRUE(f.ok()) << f.status();
+  Result<Fsa> r = CompileStringFormula(*f, alphabet, vars);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return *r;
+}
+
+void ExpectRoundTrip(const Fsa& fsa, const Alphabet& alphabet) {
+  std::string text = SerializeFsa(fsa);
+  Result<Fsa> reloaded = DeserializeFsa(alphabet, text);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status();
+  EXPECT_EQ(reloaded->num_tapes(), fsa.num_tapes());
+  EXPECT_EQ(reloaded->num_states(), fsa.num_states());
+  EXPECT_EQ(reloaded->num_transitions(), fsa.num_transitions());
+  EXPECT_EQ(reloaded->start(), fsa.start());
+  EXPECT_EQ(SerializeFsa(*reloaded), text);
+}
+
+// The Fig. 6 concatenation automaton: x = y.z via the §2 alignment
+// formula, the machine the engine caches most often.
+TEST(FsaSerializeTest, FigureSixAutomatonRoundTrips) {
+  Alphabet sigma = Alphabet::Binary();
+  Fsa fsa = Compile(
+      "([x,y]l(x = y))* . ([x,z]l(x = z))* . [x,y,z]l(x = ~ & y = ~ & z = ~)",
+      sigma, {"x", "y", "z"});
+  EXPECT_TRUE(fsa.FinalStatesHaveNoExits());
+  ExpectRoundTrip(fsa, sigma);
+}
+
+TEST(FsaSerializeTest, CompiledCorpusRoundTrips) {
+  const char* corpus[] = {
+      "([x,y]l(x = y))* . [x,y]l(x = ~ & y = ~)",
+      "([x,y]l(x = y))* . [x,y]l(x = ~)",
+      "([x]l(!(x = ~)) . [x]l(!(x = ~)))* . [x]l(x = ~)",
+      "(([x,y]l(x = y)) + ([x,z]l(x = z)))* . [x,y,z]l(x = y = z = ~)",
+      "(([x,y]l(x = y))* . [y]l(y = ~) . ([y]r(!(y = ~)))* . [y]r(y = ~))* "
+      ". ([x,y]l(x = y))* . [x,y]l(x = y = ~)",
+  };
+  for (const Alphabet& sigma : {Alphabet::Binary(), Alphabet::Dna()}) {
+    for (const char* text : corpus) {
+      Result<StringFormula> f = ParseStringFormula(text);
+      ASSERT_TRUE(f.ok()) << text << ": " << f.status();
+      Result<Fsa> fsa = CompileStringFormula(*f, sigma, f->Vars());
+      ASSERT_TRUE(fsa.ok()) << text << ": " << fsa.status();
+      ExpectRoundTrip(*fsa, sigma);
+    }
+  }
+}
+
+// Random machines cover reads/moves the compiler never emits (backward
+// moves on several tapes at once, stationary self-loops, ...).
+TEST(FsaSerializeTest, RandomAutomataRoundTrip) {
+  Alphabet sigma = Alphabet::Binary();
+  Rng rng(2026);
+  for (int trial = 0; trial < 50; ++trial) {
+    int tapes = rng.Range(1, 3);
+    Fsa fsa(sigma, tapes);
+    int states = rng.Range(2, 5);
+    while (fsa.num_states() < states) fsa.AddState();
+    for (int s = 0; s < states; ++s) {
+      if (rng.Coin() && rng.Coin()) fsa.SetFinal(s);
+    }
+    int want = rng.Range(3, 10);
+    for (int t = 0; t < want; ++t) {
+      Transition tr;
+      tr.from = rng.Range(0, states - 1);
+      tr.to = rng.Range(0, states - 1);
+      for (int i = 0; i < tapes; ++i) {
+        int pick = rng.Range(0, sigma.size() + 1);
+        Sym read = pick < sigma.size() ? static_cast<Sym>(pick)
+                   : pick == sigma.size() ? kLeftEnd
+                                          : kRightEnd;
+        Move move = static_cast<Move>(rng.Range(-1, 1));
+        // Respect the endmarker restriction so AddTransition accepts.
+        if (read == kLeftEnd && move == kBack) move = kStay;
+        if (read == kRightEnd && move == kFwd) move = kStay;
+        tr.read.push_back(read);
+        tr.move.push_back(move);
+      }
+      ASSERT_TRUE(fsa.AddTransition(std::move(tr)).ok());
+    }
+    ExpectRoundTrip(fsa, sigma);
+  }
+}
+
+TEST(FsaSerializeTest, DeserializeRejectsGarbage) {
+  Alphabet sigma = Alphabet::Binary();
+  EXPECT_FALSE(DeserializeFsa(sigma, "").ok());
+  EXPECT_FALSE(DeserializeFsa(sigma, "not an fsa").ok());
+}
+
+}  // namespace
+}  // namespace strdb
