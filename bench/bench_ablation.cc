@@ -10,9 +10,11 @@
 
 #include "bench_util.h"
 #include "core/rng.h"
+#include "engine/engine.h"
 #include "fsa/compile.h"
 #include "fsa/normalize.h"
 #include "queries/sat_encoding.h"
+#include "relational/algebra.h"
 #include "safety/behavior.h"
 #include "safety/crossing.h"
 
@@ -148,6 +150,71 @@ void BM_CompileWithoutReduction(benchmark::State& state) {
   state.counters["states"] = states;
 }
 BENCHMARK(BM_CompileWithoutReduction);
+
+// Artifact-cache byte-bound ablation: the same query churn (the §4
+// concat query over a rotating set of databases, so specialisation keys
+// keep changing) against a cache big enough to hold everything vs one
+// forced to evict.  Counters report the hit rate and the resident bytes
+// the bound actually buys.
+void BM_QueryChurnWithCacheBound(benchmark::State& state) {
+  const int64_t max_bytes = state.range(0);  // 0 = default (64 MiB)
+  Alphabet bin = Alphabet::Binary();
+  Fsa concat = OrDie(
+      CompileStringFormula(Parse(kConcatText), bin, {"x", "y", "z"}),
+      "concat");
+  AlgebraExpr body = AlgebraExpr::Product(
+      AlgebraExpr::SigmaStar(),
+      AlgebraExpr::Product(AlgebraExpr::Relation("R1", 1),
+                           AlgebraExpr::Relation("R3", 1)));
+  AlgebraExpr query = OrDie(
+      AlgebraExpr::Project(OrDie(AlgebraExpr::Select(body, concat), "select"),
+                           {0}),
+      "project");
+  Rng rng(20260805);
+  std::vector<Database> dbs;
+  for (int i = 0; i < 64; ++i) {
+    Database db(bin);
+    std::vector<Tuple> r1, r3;
+    for (int t = 0; t < 4; ++t) {
+      r1.push_back({rng.String(bin, 1, 4)});
+      r3.push_back({rng.String(bin, 1, 4)});
+    }
+    OrDie(Result<bool>(db.Put("R1", 1, std::move(r1)).ok()), "R1");
+    OrDie(Result<bool>(db.Put("R3", 1, std::move(r3)).ok()), "R3");
+    dbs.push_back(std::move(db));
+  }
+  EvalOptions opts;
+  opts.truncation = 6;
+  EngineOptions engine_opts;
+  if (max_bytes > 0) engine_opts.cache_max_bytes = max_bytes;
+  Engine engine(engine_opts);
+  size_t next = 0;
+  for (auto _ : state) {
+    Result<StringRelation> out =
+        engine.Execute(query, dbs[next % dbs.size()], opts);
+    if (!out.ok()) {
+      state.SkipWithError(out.status().ToString().c_str());
+      break;
+    }
+    ++next;
+    benchmark::DoNotOptimize(out);
+  }
+  ArtifactCache::Stats stats = engine.cache().stats();
+  state.counters["hit_rate"] =
+      stats.hits + stats.misses > 0
+          ? static_cast<double>(stats.hits) /
+                static_cast<double>(stats.hits + stats.misses)
+          : 0.0;
+  state.counters["evictions"] = static_cast<double>(stats.evictions);
+  state.counters["resident_kb"] =
+      static_cast<double>(stats.bytes_in_use) / 1024.0;
+}
+BENCHMARK(BM_QueryChurnWithCacheBound)
+    ->Arg(0)          // default 64 MiB: effectively unbounded here
+    ->Arg(64 << 10)   // 64 KiB: heavy eviction
+    ->Arg(1 << 20)    // 1 MiB: partial working set
+    ->Arg(8 << 20)    // 8 MiB: the ~4 MiB working set fits
+    ->Iterations(1024);
 
 }  // namespace
 }  // namespace bench

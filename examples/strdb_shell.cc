@@ -14,6 +14,12 @@
 //                                 engine (default) or the naive evaluator
 //   stats on|off                  print per-operator execution statistics
 //                                 after each query (engine route only)
+//   budget [DIM N ...]            set per-query resource limits and show
+//                                 the active ones; dimensions: steps,
+//                                 rows, ms, bytes ("budget steps 10000
+//                                 ms 500"); "budget off" clears them
+//   metrics                       dump the process metrics registry
+//                                 (cache, pool, engine instruments) as JSON
 //   QUERY                         evaluate (inferred truncation, falling
 //                                 back to !N for an explicit one: "!4 QUERY")
 //   :quit
@@ -29,6 +35,8 @@
 #include <string>
 
 #include "calculus/query.h"
+#include "core/budget.h"
+#include "core/metrics.h"
 #include "relational/relation.h"
 
 namespace {
@@ -70,8 +78,53 @@ Status HandleRel(Database* db, const std::vector<std::string>& words) {
   return Status::OK();
 }
 
+void PrintLimits(const ResourceLimits& limits) {
+  auto show = [](int64_t v) {
+    return v > 0 ? std::to_string(v) : std::string("-");
+  };
+  std::printf("budget: steps=%s rows=%s ms=%s bytes=%s\n",
+              show(limits.max_steps).c_str(), show(limits.max_rows).c_str(),
+              show(limits.deadline_ms).c_str(),
+              show(limits.max_cached_bytes).c_str());
+}
+
+// "budget" shows the active limits; "budget off" clears them; "budget
+// DIM N [DIM N ...]" sets the listed dimensions (others keep their
+// value).
+void HandleBudget(ResourceLimits* limits,
+                  const std::vector<std::string>& words) {
+  if (words.size() == 2 && words[1] == "off") {
+    *limits = ResourceLimits{};
+    PrintLimits(*limits);
+    return;
+  }
+  if (words.size() % 2 != 1) {
+    std::printf("usage: budget [steps|rows|ms|bytes N ...] | budget off\n");
+    return;
+  }
+  ResourceLimits next = *limits;
+  for (size_t i = 1; i + 1 < words.size(); i += 2) {
+    int64_t value = std::atoll(words[i + 1].c_str());
+    if (words[i] == "steps") {
+      next.max_steps = value;
+    } else if (words[i] == "rows") {
+      next.max_rows = value;
+    } else if (words[i] == "ms") {
+      next.deadline_ms = value;
+    } else if (words[i] == "bytes") {
+      next.max_cached_bytes = value;
+    } else {
+      std::printf("unknown budget dimension '%s' (steps|rows|ms|bytes)\n",
+                  words[i].c_str());
+      return;
+    }
+  }
+  *limits = next;
+  PrintLimits(*limits);
+}
+
 void HandleQuery(const Database& db, const std::string& text, bool use_engine,
-                 bool show_stats) {
+                 bool show_stats, const ResourceLimits& limits) {
   int explicit_trunc = -1;
   std::string body = text;
   if (!body.empty() && body[0] == '!') {
@@ -92,11 +145,17 @@ void HandleQuery(const Database& db, const std::string& text, bool use_engine,
   QueryOptions opts;
   opts.use_engine = use_engine;
   opts.stats = show_stats ? &stats : nullptr;
+  opts.limits = limits;
   Result<StringRelation> answer =
       explicit_trunc >= 0 ? q->ExecuteTruncated(db, explicit_trunc, opts)
                           : q->Execute(db, opts);
   if (!answer.ok()) {
     std::printf("error: %s\n", answer.status().ToString().c_str());
+    // A budget-exhausted query still fills the stats in: the plan
+    // annotations show which operator burnt the budget.
+    if (show_stats && use_engine && !stats.plan.empty()) {
+      std::printf("%s", stats.ToString().c_str());
+    }
     if (explicit_trunc < 0) {
       std::printf("hint: \"!N <query>\" evaluates at explicit "
                   "truncation N\n");
@@ -166,6 +225,7 @@ int main(int argc, char** argv) {
 
   bool use_engine = true;
   bool show_stats = false;
+  ResourceLimits limits;
   std::string line;
   while (std::printf("> "), std::fflush(stdout),
          std::getline(std::cin, line)) {
@@ -193,8 +253,12 @@ int main(int argc, char** argv) {
     } else if (words[0] == "stats" && words.size() == 2) {
       show_stats = words[1] != "off";
       std::printf("stats %s\n", show_stats ? "on" : "off");
+    } else if (words[0] == "budget") {
+      HandleBudget(&limits, words);
+    } else if (words[0] == "metrics" && words.size() == 1) {
+      std::printf("%s\n", MetricsRegistry::Global().DumpJson().c_str());
     } else {
-      HandleQuery(db, line, use_engine, show_stats);
+      HandleQuery(db, line, use_engine, show_stats, limits);
     }
   }
   return 0;

@@ -229,10 +229,26 @@ Result<StringRelation> Query::Execute(const Database& db,
   return ExecuteTruncated(db, truncation, options);
 }
 
+namespace {
+
+bool AnyLimitSet(const ResourceLimits& l) {
+  return l.deadline_ms > 0 || l.max_steps > 0 || l.max_rows > 0 ||
+         l.max_cached_bytes > 0;
+}
+
+}  // namespace
+
 Result<StringRelation> Query::ExecuteTruncated(
     const Database& db, int truncation, const QueryOptions& options) const {
   EvalOptions opts;
   opts.truncation = truncation;
+  // The budget lives on the stack for exactly one execution: charges
+  // accumulate across every operator of this query and no other.
+  std::optional<ResourceBudget> budget;
+  if (AnyLimitSet(options.limits)) {
+    budget.emplace(options.limits);
+    opts.budget = &*budget;
+  }
   if (options.use_engine) {
     return Engine::Shared().Execute(plan_, db, opts, options.stats);
   }

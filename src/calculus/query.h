@@ -6,6 +6,7 @@
 
 #include "calculus/formula.h"
 #include "calculus/translate.h"
+#include "core/budget.h"
 #include "core/result.h"
 #include "engine/plan.h"
 #include "relational/algebra.h"
@@ -23,6 +24,12 @@ struct QueryOptions {
   // When non-null, receives wall time, cache counters and the executed
   // plan (engine route only; untouched on the naïve route).
   ExecStats* stats = nullptr;
+  // Per-query resource limits (0 = unlimited).  When any limit is set, a
+  // ResourceBudget is opened for the execution and every σ_A search
+  // step, operator output row and cold cache insert is charged against
+  // it; an exhausted budget surfaces as kResourceExhausted with partial
+  // ExecStats.  Applies to both routes.
+  ResourceLimits limits;
 };
 
 // The end-to-end query facility a string-database engine would expose:

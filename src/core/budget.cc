@@ -1,0 +1,81 @@
+#include "core/budget.h"
+
+namespace strdb {
+
+namespace {
+
+std::string LimitText(int64_t limit) {
+  return limit > 0 ? std::to_string(limit) : std::string("-");
+}
+
+}  // namespace
+
+ResourceBudget::ResourceBudget(ResourceLimits limits)
+    : limits_(limits), start_(std::chrono::steady_clock::now()) {}
+
+int64_t ResourceBudget::elapsed_ms() const {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+Status ResourceBudget::Exhausted(const char* dimension, int64_t used,
+                                 int64_t limit) const {
+  return Status::ResourceExhausted(
+      std::string("query budget: ") + dimension + " (" + std::to_string(used) +
+      " of " + std::to_string(limit) + ") exhausted");
+}
+
+Status ResourceBudget::ChargeSteps(int64_t n) {
+  int64_t total = steps_.fetch_add(n, std::memory_order_relaxed) + n;
+  if (limits_.max_steps > 0 && total > limits_.max_steps) {
+    return Exhausted("search steps", total, limits_.max_steps);
+  }
+  // The deadline needs a clock read; amortise it over charge batches.
+  if (limits_.deadline_ms > 0 &&
+      total / kDeadlineCheckInterval != (total - n) / kDeadlineCheckInterval) {
+    return CheckDeadline();
+  }
+  return Status::OK();
+}
+
+Status ResourceBudget::ChargeRows(int64_t n) {
+  int64_t total = rows_.fetch_add(n, std::memory_order_relaxed) + n;
+  if (limits_.max_rows > 0 && total > limits_.max_rows) {
+    return Exhausted("result rows", total, limits_.max_rows);
+  }
+  return Status::OK();
+}
+
+Status ResourceBudget::ChargeCachedBytes(int64_t n) {
+  int64_t total = cached_bytes_.fetch_add(n, std::memory_order_relaxed) + n;
+  if (limits_.max_cached_bytes > 0 && total > limits_.max_cached_bytes) {
+    return Exhausted("cached bytes", total, limits_.max_cached_bytes);
+  }
+  return Status::OK();
+}
+
+Status ResourceBudget::CheckDeadline() const {
+  if (limits_.deadline_ms <= 0) return Status::OK();
+  int64_t ms = elapsed_ms();
+  if (ms > limits_.deadline_ms) {
+    return Status::ResourceExhausted(
+        "query budget: wall-clock deadline (" + std::to_string(ms) + "ms of " +
+        std::to_string(limits_.deadline_ms) + "ms) exhausted");
+  }
+  return Status::OK();
+}
+
+std::string ResourceBudget::ToString() const {
+  std::string out = "steps=" + std::to_string(steps_used()) + "/" +
+                    LimitText(limits_.max_steps);
+  out += " rows=" + std::to_string(rows_used()) + "/" +
+         LimitText(limits_.max_rows);
+  out += " cached_bytes=" + std::to_string(cached_bytes_used()) + "/" +
+         LimitText(limits_.max_cached_bytes);
+  out += " elapsed_ms=" + std::to_string(elapsed_ms()) + "/" +
+         LimitText(limits_.deadline_ms);
+  return out;
+}
+
+}  // namespace strdb

@@ -1,0 +1,90 @@
+#ifndef STRDB_CORE_BUDGET_H_
+#define STRDB_CORE_BUDGET_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "core/status.h"
+
+namespace strdb {
+
+// Per-query resource limits.  A zero (or negative) field means
+// "unlimited" for that dimension, so a default-constructed limits object
+// imposes nothing.  The limits are *cumulative across the whole query*:
+// unlike the per-call constants in GenerateOptions, a budget threaded
+// through an evaluation charges every σ_A generation, every acceptance
+// BFS and every operator's output rows against one shared account, so a
+// query with many small factor combinations degrades at the same point
+// as one with a single huge combination.
+struct ResourceLimits {
+  // Wall-clock deadline, measured from ResourceBudget construction.
+  int64_t deadline_ms = 0;
+  // Cumulative configuration-search steps (generation DFS + acceptance
+  // BFS) across every σ_A evaluated by the query.
+  int64_t max_steps = 0;
+  // Cumulative rows produced by plan operators (intermediate results
+  // count: they occupy memory whether or not they survive a later π/σ).
+  int64_t max_rows = 0;
+  // Bytes of compiled-artifact cache this query may *add* (its cold
+  // footprint; cache hits are free).
+  int64_t max_cached_bytes = 0;
+};
+
+// A thread-safe per-query resource account.  One ResourceBudget instance
+// is created per query execution and threaded (as a pointer) through
+// EvalOptions → the engine's executor → GenerateAccepted / Accepts and
+// the artifact cache.  Charging is wait-free (relaxed atomics); the
+// wall-clock deadline is only consulted every kDeadlineCheckInterval
+// charged steps to keep clock reads off the hot path.
+//
+// Every exceeded dimension yields StatusCode::kResourceExhausted with a
+// message naming the dimension, so callers can distinguish a budget
+// error from a per-call GenerateOptions limit.
+class ResourceBudget {
+ public:
+  ResourceBudget() : ResourceBudget(ResourceLimits{}) {}
+  explicit ResourceBudget(ResourceLimits limits);
+
+  ResourceBudget(const ResourceBudget&) = delete;
+  ResourceBudget& operator=(const ResourceBudget&) = delete;
+
+  const ResourceLimits& limits() const { return limits_; }
+
+  // Charges `n` search steps; fails once the cumulative total passes
+  // max_steps or the deadline has passed (checked periodically).
+  Status ChargeSteps(int64_t n);
+  // Charges `n` result rows against max_rows.
+  Status ChargeRows(int64_t n);
+  // Charges `n` bytes of freshly-cached artifacts against
+  // max_cached_bytes.
+  Status ChargeCachedBytes(int64_t n);
+  // Explicit deadline check (operator boundaries, loop heads).
+  Status CheckDeadline() const;
+
+  int64_t steps_used() const { return steps_.load(std::memory_order_relaxed); }
+  int64_t rows_used() const { return rows_.load(std::memory_order_relaxed); }
+  int64_t cached_bytes_used() const {
+    return cached_bytes_.load(std::memory_order_relaxed);
+  }
+  int64_t elapsed_ms() const;
+
+  // "steps=12/1000 rows=3/- ..." (a "-" limit is unlimited).
+  std::string ToString() const;
+
+ private:
+  static constexpr int64_t kDeadlineCheckInterval = 8192;
+
+  Status Exhausted(const char* dimension, int64_t used, int64_t limit) const;
+
+  const ResourceLimits limits_;
+  const std::chrono::steady_clock::time_point start_;
+  std::atomic<int64_t> steps_{0};
+  std::atomic<int64_t> rows_{0};
+  std::atomic<int64_t> cached_bytes_{0};
+};
+
+}  // namespace strdb
+
+#endif  // STRDB_CORE_BUDGET_H_

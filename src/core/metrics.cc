@@ -1,0 +1,150 @@
+#include "core/metrics.h"
+
+#include <sstream>
+
+namespace strdb {
+
+namespace {
+
+// Index of the bucket holding `sample`: 0 for 0, otherwise
+// 1 + floor(log2(sample)), clamped to the last bucket.
+int BucketOf(int64_t sample) {
+  if (sample <= 0) return 0;
+  int bit = 63 - __builtin_clzll(static_cast<uint64_t>(sample));
+  return bit + 1 < Histogram::kBuckets ? bit + 1 : Histogram::kBuckets - 1;
+}
+
+// Upper bound of bucket i (inclusive range end used for quantiles).
+int64_t BucketUpper(int i) {
+  if (i <= 0) return 0;
+  if (i >= 63) return INT64_MAX;
+  return (int64_t{1} << i) - 1;
+}
+
+void UpdateMin(std::atomic<int64_t>* slot, int64_t v) {
+  int64_t cur = slot->load(std::memory_order_relaxed);
+  while (v < cur &&
+         !slot->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void UpdateMax(std::atomic<int64_t>* slot, int64_t v) {
+  int64_t cur = slot->load(std::memory_order_relaxed);
+  while (v > cur &&
+         !slot->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Histogram::Record(int64_t sample) {
+  if (sample < 0) sample = 0;
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(sample, std::memory_order_relaxed);
+  UpdateMin(&min_, sample);
+  UpdateMax(&max_, sample);
+  buckets_[BucketOf(sample)].fetch_add(1, std::memory_order_relaxed);
+}
+
+int64_t Histogram::min() const {
+  int64_t v = min_.load(std::memory_order_relaxed);
+  return v == INT64_MAX ? 0 : v;
+}
+
+int64_t Histogram::max() const {
+  int64_t v = max_.load(std::memory_order_relaxed);
+  return v == INT64_MIN ? 0 : v;
+}
+
+int64_t Histogram::Quantile(double q) const {
+  int64_t n = count();
+  if (n <= 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Rank of the requested sample, 1-based.
+  int64_t rank = static_cast<int64_t>(q * static_cast<double>(n - 1)) + 1;
+  int64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) {
+      int64_t upper = BucketUpper(i);
+      return upper > max() ? max() : upper;
+    }
+  }
+  return max();
+}
+
+void Histogram::ResetForTest() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(INT64_MAX, std::memory_order_relaxed);
+  max_.store(INT64_MIN, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked intentionally: instruments may be bumped by detached pool
+  // workers during static destruction.
+  static MetricsRegistry* global = new MetricsRegistry();
+  return *global;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::string MetricsRegistry::DumpJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out << (first ? "\n" : ",\n") << "    \"" << name << "\": " << c->value();
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out << (first ? "\n" : ",\n") << "    \"" << name << "\": " << g->value();
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out << (first ? "\n" : ",\n") << "    \"" << name << "\": {"
+        << "\"count\": " << h->count() << ", \"sum\": " << h->sum()
+        << ", \"min\": " << h->min() << ", \"max\": " << h->max()
+        << ", \"p50\": " << h->Quantile(0.5)
+        << ", \"p90\": " << h->Quantile(0.9)
+        << ", \"p99\": " << h->Quantile(0.99) << "}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "}\n}\n";
+  return out.str();
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->ResetForTest();
+  for (auto& [name, g] : gauges_) g->ResetForTest();
+  for (auto& [name, h] : histograms_) h->ResetForTest();
+}
+
+}  // namespace strdb

@@ -1,0 +1,98 @@
+#ifndef STRDB_CORE_METRICS_H_
+#define STRDB_CORE_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace strdb {
+
+// A monotonically increasing counter.  Wait-free; safe to bump from pool
+// workers and from concurrent queries.
+class Counter {
+ public:
+  void Increment(int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void ResetForTest() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// A point-in-time value (cache occupancy, pool queue depth): unlike a
+// Counter it may go down.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void ResetForTest() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// A histogram over non-negative int64 samples with fixed power-of-two
+// bucket bounds: bucket i holds samples in [2^(i-1), 2^i) (bucket 0 holds
+// {0}).  Fixed bounds keep Record() wait-free and allocation-free; the
+// exponential grid resolves anything from nanoseconds to row counts to
+// within a factor of two, which is all an operational dashboard needs.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void Record(int64_t sample);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  int64_t min() const;  // 0 when empty
+  int64_t max() const;  // 0 when empty
+  // Approximate quantile (upper bound of the bucket holding it), q in
+  // [0, 1].  Returns 0 when empty.
+  int64_t Quantile(double q) const;
+  void ResetForTest();
+
+ private:
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> min_{INT64_MAX};
+  std::atomic<int64_t> max_{INT64_MIN};
+  std::atomic<int64_t> buckets_[kBuckets] = {};
+};
+
+// A process-wide registry of named metrics, dumped as JSON by the shell's
+// `metrics` command.  Lookup allocates on first use and returns a stable
+// pointer — callers (the artifact cache, the thread pool, the engine)
+// resolve their instruments once and bump them lock-free afterwards.
+// Instruments are never deleted, so the returned pointers stay valid for
+// the life of the process; ResetForTest zeroes values without
+// invalidating them.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  // {"counters": {...}, "gauges": {...}, "histograms": {name:
+  // {"count":..,"sum":..,"min":..,"max":..,"p50":..,"p90":..,"p99":..}}},
+  // keys sorted, no external JSON dependency.
+  std::string DumpJson() const;
+
+  // Zeroes every registered instrument (pointers stay valid).
+  void ResetForTest();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace strdb
+
+#endif  // STRDB_CORE_METRICS_H_

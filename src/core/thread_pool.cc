@@ -1,6 +1,9 @@
 #include "core/thread_pool.h"
 
 #include <algorithm>
+#include <memory>
+
+#include "core/metrics.h"
 
 namespace strdb {
 
@@ -34,8 +37,13 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+  std::exception_ptr rethrow;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return pending_ == 0; });
+    std::swap(rethrow, first_exception_);
+  }
+  if (rethrow != nullptr) std::rethrow_exception(rethrow);
 }
 
 void ThreadPool::ParallelFor(int64_t n,
@@ -48,15 +56,47 @@ void ThreadPool::ParallelFor(int64_t n,
     fn(0, n);
     return;
   }
+  MetricsRegistry::Global().GetCounter("core.pool.parallel_for")->Increment();
+  // One completion latch per call: this caller blocks on its own chunks
+  // only, and a chunk exception lands in this latch, not in the
+  // pool-wide slot (concurrent callers never see each other's failures).
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable done_cv;
+    int64_t remaining = 0;
+    std::exception_ptr first_exception;
+  };
+  auto latch = std::make_shared<Latch>();
   int64_t per = (n + chunks - 1) / chunks;
+  latch->remaining = (n + per - 1) / per;
   for (int64_t begin = 0; begin < n; begin += per) {
     int64_t end = std::min(n, begin + per);
-    Submit([&fn, begin, end] { fn(begin, end); });
+    Submit([latch, &fn, begin, end] {
+      try {
+        fn(begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(latch->mu);
+        if (latch->first_exception == nullptr) {
+          latch->first_exception = std::current_exception();
+        }
+      }
+      std::lock_guard<std::mutex> lock(latch->mu);
+      if (--latch->remaining == 0) latch->done_cv.notify_all();
+    });
   }
-  Wait();
+  std::exception_ptr rethrow;
+  {
+    std::unique_lock<std::mutex> lock(latch->mu);
+    latch->done_cv.wait(lock, [&latch] { return latch->remaining == 0; });
+    rethrow = latch->first_exception;
+  }
+  if (rethrow != nullptr) std::rethrow_exception(rethrow);
 }
 
 void ThreadPool::WorkerLoop() {
+  Counter* executed = MetricsRegistry::Global().GetCounter("core.pool.tasks");
+  Counter* failed =
+      MetricsRegistry::Global().GetCounter("core.pool.task_exceptions");
   for (;;) {
     std::function<void()> task;
     {
@@ -69,9 +109,21 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    std::exception_ptr thrown;
+    try {
+      task();
+    } catch (...) {
+      thrown = std::current_exception();
+    }
+    executed->Increment();
+    if (thrown != nullptr) failed->Increment();
+    // The decrement must happen on every path — a throwing task used to
+    // leave pending_ forever positive and Wait() blocked.
     {
       std::unique_lock<std::mutex> lock(mu_);
+      if (thrown != nullptr && first_exception_ == nullptr) {
+        first_exception_ = thrown;
+      }
       if (--pending_ == 0) idle_cv_.notify_all();
     }
   }

@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -15,10 +16,18 @@ namespace strdb {
 // batches across cores for σ_A acceptance checks; results are merged in
 // submission order by the caller, so parallel evaluation stays
 // deterministic regardless of completion order.
+//
+// Exception safety: a throwing task never terminates the process.  The
+// worker catches it, records the first one, and completion bookkeeping
+// runs regardless, so Wait()/ParallelFor cannot deadlock on a failed
+// task.  Wait() rethrows the first exception from plain Submit() tasks;
+// ParallelFor rethrows the first exception from its own chunks (and only
+// its own — concurrent callers are isolated).
 class ThreadPool {
  public:
   // `num_threads` <= 0 picks std::thread::hardware_concurrency().
   explicit ThreadPool(int num_threads = 0);
+  // Drains the queue (queued tasks still run), then joins the workers.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -26,18 +35,22 @@ class ThreadPool {
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
-  // Enqueues a task.  Tasks must not throw.
+  // Enqueues a task.
   void Submit(std::function<void()> task);
 
-  // Blocks until every submitted task has finished.  Must be called from
+  // Blocks until every submitted task has finished, then rethrows the
+  // first exception any of them threw (if any).  Must be called from
   // outside the pool: a worker task calling Wait() (or ParallelFor) would
   // deadlock once every worker blocks.
   void Wait();
 
   // Runs fn(begin, end) over [0, n) split into roughly equal chunks (at
   // most `max_chunks`, default 4 per worker), blocking until all chunks
-  // complete.  With a single worker the chunks run inline on the calling
-  // thread, so single-core machines pay no synchronisation cost.
+  // complete.  Completion is tracked by a per-call latch, so concurrent
+  // ParallelFor calls from different threads return as soon as their own
+  // chunks drain instead of waiting for the pool to go globally idle.
+  // With a single worker the chunks run inline on the calling thread, so
+  // single-core machines pay no synchronisation cost.
   void ParallelFor(int64_t n,
                    const std::function<void(int64_t, int64_t)>& fn,
                    int max_chunks = 0);
@@ -51,6 +64,7 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
   int64_t pending_ = 0;  // queued + running tasks
+  std::exception_ptr first_exception_;  // from plain Submit() tasks
   bool stop_ = false;
 };
 

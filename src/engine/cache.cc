@@ -1,19 +1,79 @@
 #include "engine/cache.h"
 
 #include <optional>
+#include <utility>
 
+#include "core/metrics.h"
 #include "fsa/serialize.h"
 #include "fsa/specialize.h"
 
 namespace strdb {
 
+namespace {
+
+struct CacheMetrics {
+  Counter* hits;
+  Counter* misses;
+  Counter* evictions;
+  Gauge* bytes;
+  Gauge* entries;
+};
+
+// All ArtifactCache instances report into one set of process-wide
+// instruments (there is normally exactly one cache, Engine::Shared()'s).
+const CacheMetrics& Metrics() {
+  static const CacheMetrics metrics = [] {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    return CacheMetrics{reg.GetCounter("engine.cache.hits"),
+                        reg.GetCounter("engine.cache.misses"),
+                        reg.GetCounter("engine.cache.evictions"),
+                        reg.GetGauge("engine.cache.bytes_in_use"),
+                        reg.GetGauge("engine.cache.entries")};
+  }();
+  return metrics;
+}
+
+}  // namespace
+
+ArtifactCache::ArtifactCache(int64_t max_bytes)
+    : max_bytes_(max_bytes > 0 ? max_bytes : kDefaultMaxBytes) {}
+
 std::string ArtifactCache::FsaKey(const Fsa& fsa) {
   return SerializeFsa(fsa);
 }
 
+int64_t ArtifactCache::FsaCost(const Fsa& fsa) {
+  // Resident footprint, not serialized size: states (finality bit +
+  // per-state out-index vector) plus transitions (fixed header + one
+  // read symbol and one move per tape + the out-index slot).
+  int64_t per_transition =
+      static_cast<int64_t>(sizeof(Transition)) +
+      static_cast<int64_t>(fsa.num_tapes()) *
+          static_cast<int64_t>(sizeof(Sym) + sizeof(Move)) +
+      static_cast<int64_t>(sizeof(int));
+  return static_cast<int64_t>(sizeof(Fsa)) +
+         static_cast<int64_t>(fsa.num_states()) *
+             static_cast<int64_t>(sizeof(std::vector<int>) + 1) +
+         static_cast<int64_t>(fsa.num_transitions()) * per_transition;
+}
+
+int64_t ArtifactCache::GeneratedCost(const GeneratedSet& set) {
+  // Red-black tree node (3 pointers + colour, rounded) + vector header
+  // per tuple, string header + content per component.
+  int64_t bytes = static_cast<int64_t>(sizeof(GeneratedSet));
+  for (const std::vector<std::string>& tuple : set) {
+    bytes += 32 + static_cast<int64_t>(sizeof(tuple));
+    for (const std::string& s : tuple) {
+      bytes += static_cast<int64_t>(sizeof(s) + s.capacity());
+    }
+  }
+  return bytes;
+}
+
 Result<std::shared_ptr<const Fsa>> ArtifactCache::GetSpecialized(
     const std::string& base_key, const Fsa& base, int tape,
-    const std::string& value, std::string* derived_key, bool* hit) {
+    const std::string& value, std::string* derived_key, bool* hit,
+    ResourceBudget* budget) {
   std::string key = base_key;
   key += "\n|s";
   key += std::to_string(tape);
@@ -21,14 +81,16 @@ Result<std::shared_ptr<const Fsa>> ArtifactCache::GetSpecialized(
   key += value;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    auto it = specialized_.find(key);
-    if (it != specialized_.end()) {
-      ++stats_.hits;
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      RecordHitLocked();
+      TouchLocked(it->second);
       if (hit != nullptr) *hit = true;
+      std::shared_ptr<const Fsa> found = it->second->fsa;
       *derived_key = std::move(key);
-      return it->second;
+      return found;
     }
-    ++stats_.misses;
+    RecordMissLocked();
     if (hit != nullptr) *hit = false;
   }
   // Build outside the lock; concurrent misses on the same key compute
@@ -38,10 +100,13 @@ Result<std::shared_ptr<const Fsa>> ArtifactCache::GetSpecialized(
   fixed[static_cast<size_t>(tape)] = value;
   STRDB_ASSIGN_OR_RETURN(Fsa specialized, Specialize(base, fixed));
   auto shared = std::make_shared<const Fsa>(std::move(specialized));
+  int64_t cost = static_cast<int64_t>(key.size()) + FsaCost(*shared);
+  if (budget != nullptr) {
+    STRDB_RETURN_IF_ERROR(budget->ChargeCachedBytes(cost));
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    MaybeEvictLocked();
-    specialized_.emplace(key, shared);
+    InsertLocked(Entry{key, shared, nullptr, cost});
   }
   *derived_key = std::move(key);
   return shared;
@@ -50,20 +115,27 @@ Result<std::shared_ptr<const Fsa>> ArtifactCache::GetSpecialized(
 std::shared_ptr<const ArtifactCache::GeneratedSet> ArtifactCache::GetGenerated(
     const std::string& key) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = generated_.find(key);
-  if (it == generated_.end()) {
-    ++stats_.misses;
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    RecordMissLocked();
     return nullptr;
   }
-  ++stats_.hits;
-  return it->second;
+  RecordHitLocked();
+  TouchLocked(it->second);
+  return it->second->generated;
 }
 
-void ArtifactCache::PutGenerated(const std::string& key, GeneratedSet set) {
+Result<std::shared_ptr<const ArtifactCache::GeneratedSet>>
+ArtifactCache::PutGenerated(const std::string& key, GeneratedSet set,
+                            ResourceBudget* budget) {
   auto shared = std::make_shared<const GeneratedSet>(std::move(set));
+  int64_t cost = static_cast<int64_t>(key.size()) + GeneratedCost(*shared);
+  if (budget != nullptr) {
+    STRDB_RETURN_IF_ERROR(budget->ChargeCachedBytes(cost));
+  }
   std::lock_guard<std::mutex> lock(mu_);
-  MaybeEvictLocked();
-  generated_[key] = std::move(shared);
+  InsertLocked(Entry{key, nullptr, shared, cost});
+  return shared;
 }
 
 ArtifactCache::Stats ArtifactCache::stats() const {
@@ -73,19 +145,68 @@ ArtifactCache::Stats ArtifactCache::stats() const {
 
 void ArtifactCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
-  specialized_.clear();
-  generated_.clear();
+  Metrics().bytes->Add(-stats_.bytes_in_use);
+  Metrics().entries->Add(-stats_.entries);
+  index_.clear();
+  lru_.clear();
+  stats_.bytes_in_use = 0;
+  stats_.entries = 0;
 }
 
-void ArtifactCache::MaybeEvictLocked() {
-  if (static_cast<int64_t>(specialized_.size() + generated_.size()) <
-      max_entries_) {
+void ArtifactCache::TouchLocked(std::list<Entry>::iterator it) {
+  lru_.splice(lru_.begin(), lru_, it);
+}
+
+void ArtifactCache::RecordHitLocked() {
+  ++stats_.hits;
+  Metrics().hits->Increment();
+}
+
+void ArtifactCache::RecordMissLocked() {
+  ++stats_.misses;
+  Metrics().misses->Increment();
+}
+
+void ArtifactCache::InsertLocked(Entry entry) {
+  auto existing = index_.find(entry.key);
+  if (existing != index_.end()) {
+    // A concurrent miss on the same key beat us to the insert; keep the
+    // incumbent (equal by construction) and refresh its recency.
+    TouchLocked(existing->second);
     return;
   }
-  ++stats_.evictions;
-  generated_.clear();
-  if (static_cast<int64_t>(specialized_.size()) >= max_entries_) {
-    specialized_.clear();
+  if (entry.cost > max_bytes_) {
+    // Too large to ever retain under the bound; hand it back uncached so
+    // the invariant bytes_in_use <= max_bytes holds unconditionally.
+    ++stats_.evictions;
+    Metrics().evictions->Increment();
+    return;
+  }
+  // Make room first: the bound must hold at all times, not just between
+  // inserts, so evict before the new entry's cost is ever accounted.
+  EvictUntilFitsLocked(entry.cost);
+  stats_.bytes_in_use += entry.cost;
+  if (stats_.bytes_in_use > stats_.peak_bytes) {
+    stats_.peak_bytes = stats_.bytes_in_use;
+  }
+  ++stats_.entries;
+  Metrics().bytes->Add(entry.cost);
+  Metrics().entries->Add(1);
+  lru_.push_front(std::move(entry));
+  index_.emplace(lru_.front().key, lru_.begin());
+}
+
+void ArtifactCache::EvictUntilFitsLocked(int64_t incoming) {
+  while (stats_.bytes_in_use + incoming > max_bytes_ && !lru_.empty()) {
+    Entry& victim = lru_.back();
+    stats_.bytes_in_use -= victim.cost;
+    --stats_.entries;
+    ++stats_.evictions;
+    Metrics().bytes->Add(-victim.cost);
+    Metrics().entries->Add(-1);
+    Metrics().evictions->Increment();
+    index_.erase(victim.key);
+    lru_.pop_back();
   }
 }
 

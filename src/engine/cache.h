@@ -2,6 +2,7 @@
 #define STRDB_ENGINE_CACHE_H_
 
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -9,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/budget.h"
 #include "core/result.h"
 #include "fsa/fsa.h"
 
@@ -28,51 +30,90 @@ namespace strdb {
 // result; only budget *errors* can differ when a previously computed
 // artifact is reused under a smaller step budget.
 //
-// Thread safe.  When the entry count exceeds `max_entries` the cache is
-// cleared wholesale (generation artifacts first) — crude, but bounds
-// memory without bookkeeping on the hot path.
+// Memory is bounded: each entry carries an estimated byte cost (key +
+// payload), and the cache is a single LRU across both artifact kinds
+// evicted strictly to stay under `max_bytes` — bytes_in_use() never
+// exceeds the bound.  An artifact whose cost alone exceeds the bound is
+// returned to the caller but not retained (counted as an eviction).
+//
+// Thread safe; hits and evictions also feed the process metrics
+// registry ("engine.cache.*") so a churn workload is observable from the
+// shell's `metrics` command.
 class ArtifactCache {
  public:
   struct Stats {
     int64_t hits = 0;
     int64_t misses = 0;
     int64_t evictions = 0;
+    int64_t bytes_in_use = 0;
+    int64_t peak_bytes = 0;
+    int64_t entries = 0;
   };
 
   using GeneratedSet = std::set<std::vector<std::string>>;
 
-  explicit ArtifactCache(int64_t max_entries = 1 << 17)
-      : max_entries_(max_entries) {}
+  static constexpr int64_t kDefaultMaxBytes = 64ll << 20;  // 64 MiB
+
+  explicit ArtifactCache(int64_t max_bytes = kDefaultMaxBytes);
+
+  int64_t max_bytes() const { return max_bytes_; }
 
   // The structural key of an automaton: its serialized text.  Stable
   // across processes (fsa/serialize round-trips byte-identically), so
   // equal machines share one cache line even when compiled separately.
   static std::string FsaKey(const Fsa& fsa);
 
+  // Estimated resident cost of the artifacts, used for LRU accounting
+  // and exposed for tests.
+  static int64_t FsaCost(const Fsa& fsa);
+  static int64_t GeneratedCost(const GeneratedSet& set);
+
   // Returns Specialize(base, base tape `tape` := value), where `base` is
   // the machine identified by `base_key`; `*derived_key` receives the
   // key under which the result is cached (feed it back to specialise
-  // further tapes of the result).
+  // further tapes of the result).  On a miss, the freshly built
+  // artifact's cost is charged to `budget` (when given) before caching.
   Result<std::shared_ptr<const Fsa>> GetSpecialized(
       const std::string& base_key, const Fsa& base, int tape,
-      const std::string& value, std::string* derived_key, bool* hit);
+      const std::string& value, std::string* derived_key, bool* hit,
+      ResourceBudget* budget = nullptr);
 
   // Returns the cached EnumerateLanguage result for `key`, or nullptr.
   std::shared_ptr<const GeneratedSet> GetGenerated(const std::string& key);
-  void PutGenerated(const std::string& key, GeneratedSet set);
+  // Caches `set` under `key`, charging its cost to `budget` (when
+  // given).  Returns the shared artifact so callers keep it alive even
+  // if it is immediately evicted.
+  Result<std::shared_ptr<const GeneratedSet>> PutGenerated(
+      const std::string& key, GeneratedSet set,
+      ResourceBudget* budget = nullptr);
 
   Stats stats() const;
   void Clear();
 
  private:
-  void MaybeEvictLocked();
+  // One artifact, either kind; exactly one payload pointer is set.
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const Fsa> fsa;
+    std::shared_ptr<const GeneratedSet> generated;
+    int64_t cost = 0;
+  };
 
-  const int64_t max_entries_;
+  // Inserts an already-built entry, evicting from the LRU tail first so
+  // the byte bound is never exceeded even transiently.  Caller holds mu_.
+  void InsertLocked(Entry entry);
+  void EvictUntilFitsLocked(int64_t incoming);
+  void TouchLocked(std::list<Entry>::iterator it);
+  void RecordHitLocked();
+  void RecordMissLocked();
+
+  const int64_t max_bytes_;
   mutable std::mutex mu_;
   Stats stats_;
-  std::unordered_map<std::string, std::shared_ptr<const Fsa>> specialized_;
-  std::unordered_map<std::string, std::shared_ptr<const GeneratedSet>>
-      generated_;
+  // Front = most recently used.  The index owns nothing; entries live in
+  // the list so iterators stay stable across splices.
+  std::list<Entry> lru_;
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
 };
 
 }  // namespace strdb

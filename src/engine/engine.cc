@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/metrics.h"
 #include "fsa/accept.h"
 #include "fsa/generate.h"
 
@@ -158,10 +159,18 @@ class Executor {
       ++node->stats.memo_hits;
       return &it->second;
     }
+    if (options_.budget != nullptr) {
+      STRDB_RETURN_IF_ERROR(options_.budget->CheckDeadline());
+    }
     Clock::time_point start = Clock::now();
     STRDB_ASSIGN_OR_RETURN(StringRelation out, Compute(node));
     node->stats.wall_ns += ElapsedNs(start);
     node->stats.tuples_out = out.size();
+    if (options_.budget != nullptr) {
+      // Rows are charged per operator: a memo hit reuses the same
+      // materialisation, so only fresh rows count against the budget.
+      STRDB_RETURN_IF_ERROR(options_.budget->ChargeRows(out.size()));
+    }
     auto inserted = memo_.emplace(node, std::move(out));
     return &inserted.first->second;
   }
@@ -284,9 +293,12 @@ class Executor {
     std::vector<int64_t> steps(tuples.size(), 0);
     std::vector<Status> errors(tuples.size());
     const Fsa& fsa = *node->fsa;
+    AcceptOptions accept_opts;
+    accept_opts.budget = options_.budget;  // shared account; charging is atomic
     auto check_range = [&](int64_t begin, int64_t end) {
       for (int64_t i = begin; i < end; ++i) {
-        Result<AcceptStats> res = AcceptsWithStats(fsa, *tuples[static_cast<size_t>(i)]);
+        Result<AcceptStats> res = AcceptsWithStats(
+            fsa, *tuples[static_cast<size_t>(i)], accept_opts);
         if (!res.ok()) {
           errors[static_cast<size_t>(i)] = res.status();
           continue;
@@ -331,6 +343,7 @@ class Executor {
     gen_opts.max_len = options_.truncation;
     gen_opts.max_steps = options_.max_steps;
     gen_opts.max_results = options_.max_tuples;
+    gen_opts.budget = options_.budget;
 
     std::vector<std::set<Tuple>::const_iterator> iters;
     for (const std::set<Tuple>* s : sets) iters.push_back(s->begin());
@@ -381,7 +394,7 @@ class Executor {
         STRDB_ASSIGN_OR_RETURN(
             machine,
             cache_->GetSpecialized(key, *machine, tape, *fixed[col], &key,
-                                   &hit));
+                                   &hit, options_.budget));
         ++(hit ? node->stats.cache_hits : node->stats.cache_misses);
         ++already_fixed;
       }
@@ -393,8 +406,12 @@ class Executor {
       } else {
         ++node->stats.cache_misses;
         STRDB_ASSIGN_OR_RETURN(computed, EnumerateLanguage(*machine, gen_opts));
-        cache_->PutGenerated(gen_key, computed);
-        generated = &computed;
+        // The returned pointer keeps the set alive even if the LRU
+        // evicts it immediately (it may exceed the remaining headroom).
+        STRDB_ASSIGN_OR_RETURN(
+            cached, cache_->PutGenerated(gen_key, std::move(computed),
+                                         options_.budget));
+        generated = cached.get();
       }
     } else {
       STRDB_ASSIGN_OR_RETURN(computed,
@@ -427,13 +444,51 @@ void SumStats(const PlanNode& node, std::set<const PlanNode*>* seen,
   if (!seen->insert(&node).second) return;
   stats->cache_hits += node.stats.cache_hits;
   stats->cache_misses += node.stats.cache_misses;
+  stats->fsa_steps += node.stats.fsa_steps;
+  stats->memo_hits += node.stats.memo_hits;
   for (const auto& child : node.children) SumStats(*child, seen, stats);
 }
+
+// Fills `stats` from the executed (possibly partially executed) plan and
+// the query's budget account.  Called on success and failure alike.
+void FillStats(const PlanNode& root, const EvalOptions& options,
+               int64_t wall_ns, int64_t rows_out, ExecStats* stats) {
+  stats->wall_ns = wall_ns;
+  stats->cache_hits = 0;
+  stats->cache_misses = 0;
+  stats->fsa_steps = 0;
+  stats->memo_hits = 0;
+  stats->rows_out = rows_out;
+  std::set<const PlanNode*> seen;
+  SumStats(root, &seen, stats);
+  if (options.budget != nullptr) {
+    stats->budget_steps_used = options.budget->steps_used();
+    stats->budget_rows_used = options.budget->rows_used();
+    stats->budget_cached_bytes_used = options.budget->cached_bytes_used();
+  }
+  stats->plan = ExplainPlan(root, /*with_stats=*/true);
+}
+
+// Engine-wide instruments, resolved once.
+struct EngineMetrics {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter* queries = reg.GetCounter("engine.queries");
+  Counter* failures = reg.GetCounter("engine.query_failures");
+  Counter* exhausted = reg.GetCounter("engine.budget_exhausted");
+  Histogram* wall_us = reg.GetHistogram("engine.query_wall_us");
+  Histogram* rows = reg.GetHistogram("engine.query_rows");
+
+  static EngineMetrics& Get() {
+    static EngineMetrics* m = new EngineMetrics();
+    return *m;
+  }
+};
 
 }  // namespace
 
 Engine::Engine(EngineOptions options)
     : options_(options),
+      cache_(options.cache_max_bytes),
       pool_(options.enable_parallel ? options.num_threads : 1) {}
 
 Result<std::shared_ptr<PlanNode>> Engine::Plan(const AlgebraExpr& expr,
@@ -452,21 +507,32 @@ Result<StringRelation> Engine::Execute(const AlgebraExpr& expr,
                                        const Database& db,
                                        const EvalOptions& options,
                                        ExecStats* stats) {
+  EngineMetrics& metrics = EngineMetrics::Get();
   Clock::time_point start = Clock::now();
+  metrics.queries->Increment();
   STRDB_ASSIGN_OR_RETURN(std::shared_ptr<PlanNode> root,
                          Plan(expr, db, options));
   Executor executor(db, options, options_,
                     options_.enable_cache ? &cache_ : nullptr, &pool_);
-  STRDB_ASSIGN_OR_RETURN(const StringRelation* result,
-                         executor.Eval(root.get()));
-  StringRelation out = *result;
+  Result<const StringRelation*> result = executor.Eval(root.get());
+  int64_t wall_ns = ElapsedNs(start);
+  metrics.wall_us->Record(wall_ns / 1000);
+  if (!result.ok()) {
+    // The plan nodes keep whatever counters the partial run accumulated,
+    // so a budget-exhausted query is still fully observable.
+    metrics.failures->Increment();
+    if (result.status().code() == StatusCode::kResourceExhausted) {
+      metrics.exhausted->Increment();
+    }
+    if (stats != nullptr) {
+      FillStats(*root, options, wall_ns, /*rows_out=*/0, stats);
+    }
+    return result.status();
+  }
+  StringRelation out = **result;
+  metrics.rows->Record(out.size());
   if (stats != nullptr) {
-    stats->wall_ns = ElapsedNs(start);
-    stats->cache_hits = 0;
-    stats->cache_misses = 0;
-    std::set<const PlanNode*> seen;
-    SumStats(*root, &seen, stats);
-    stats->plan = ExplainPlan(*root, /*with_stats=*/true);
+    FillStats(*root, options, wall_ns, out.size(), stats);
   }
   return out;
 }

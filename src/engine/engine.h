@@ -21,6 +21,9 @@ struct EngineOptions {
   // Reuse compiled σ_A artifacts (specialised automata, bounded
   // generations) across selections and across Execute calls.
   bool enable_cache = true;
+  // Byte bound of the artifact cache (LRU-evicted; <= 0 picks the
+  // default).  The bound holds at all times, not just between queries.
+  int64_t cache_max_bytes = ArtifactCache::kDefaultMaxBytes;
   // Partition filter-select inputs across the thread pool.  Inputs
   // smaller than `parallel_threshold` tuples run on the calling thread.
   bool enable_parallel = true;
@@ -44,7 +47,9 @@ class Engine {
 
   // Evaluates db(E↓l) like EvalAlgebra(expr, db, options).  When `stats`
   // is non-null it receives wall time, cache counters and the executed
-  // plan annotated with per-operator counters.
+  // plan annotated with per-operator counters — also on failure, where
+  // the partial counters show how far the query got before the error
+  // (a budget-exhausted query is still fully observable).
   Result<StringRelation> Execute(const AlgebraExpr& expr, const Database& db,
                                  const EvalOptions& options,
                                  ExecStats* stats = nullptr);

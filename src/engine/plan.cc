@@ -102,8 +102,14 @@ std::string ExecStats::ToString() const {
   std::ostringstream out;
   out << "wall=" << static_cast<double>(wall_ns) / 1e6
       << "ms cache_hits=" << cache_hits << " cache_misses=" << cache_misses
-      << "\n"
-      << plan;
+      << " fsa_steps=" << fsa_steps << " rows_out=" << rows_out;
+  if (memo_hits > 0) out << " memo_hits=" << memo_hits;
+  if (budget_steps_used + budget_rows_used + budget_cached_bytes_used > 0) {
+    out << " budget[steps=" << budget_steps_used
+        << " rows=" << budget_rows_used
+        << " cached_bytes=" << budget_cached_bytes_used << "]";
+  }
+  out << "\n" << plan;
   return out.str();
 }
 

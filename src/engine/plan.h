@@ -68,11 +68,23 @@ struct PlanNode {
 // counters; otherwise only the planner estimates are shown.
 std::string ExplainPlan(const PlanNode& root, bool with_stats = false);
 
-// Execution-wide statistics surfaced through the Query facade.
+// Execution-wide statistics surfaced through the Query facade.  On a
+// failed execution (budget exhaustion included) the engine still fills
+// these in with whatever the partial run accumulated, so a degraded
+// query remains observable: the plan annotations show exactly which
+// operator burnt the budget.
 struct ExecStats {
   int64_t wall_ns = 0;
   int64_t cache_hits = 0;
   int64_t cache_misses = 0;
+  int64_t fsa_steps = 0;   // acceptance configurations visited
+  int64_t memo_hits = 0;   // shared-subtree result reuses
+  int64_t rows_out = 0;    // rows of the final result (0 on error)
+  // Snapshot of the query's ResourceBudget account; zero when the query
+  // ran without a budget.
+  int64_t budget_steps_used = 0;
+  int64_t budget_rows_used = 0;
+  int64_t budget_cached_bytes_used = 0;
   std::string plan;  // ExplainPlan(root, /*with_stats=*/true)
 
   std::string ToString() const;

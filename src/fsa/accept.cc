@@ -61,7 +61,8 @@ class ConfigSpace {
 }  // namespace
 
 Result<AcceptStats> AcceptsWithStats(const Fsa& fsa,
-                                     const std::vector<std::string>& strings) {
+                                     const std::vector<std::string>& strings,
+                                     const AcceptOptions& options) {
   if (static_cast<int>(strings.size()) != fsa.num_tapes()) {
     return Status::InvalidArgument("input arity differs from tape count");
   }
@@ -85,6 +86,9 @@ Result<AcceptStats> AcceptsWithStats(const Fsa& fsa,
   std::vector<int> pos;
   std::vector<int> next_pos;
   while (!frontier.empty()) {
+    if (options.budget != nullptr) {
+      STRDB_RETURN_IF_ERROR(options.budget->ChargeSteps(1));
+    }
     int64_t idx = frontier.front();
     frontier.pop_front();
     ++stats.configurations_visited;
@@ -121,8 +125,10 @@ Result<AcceptStats> AcceptsWithStats(const Fsa& fsa,
   return stats;
 }
 
-Result<bool> Accepts(const Fsa& fsa, const std::vector<std::string>& strings) {
-  STRDB_ASSIGN_OR_RETURN(AcceptStats stats, AcceptsWithStats(fsa, strings));
+Result<bool> Accepts(const Fsa& fsa, const std::vector<std::string>& strings,
+                     const AcceptOptions& options) {
+  STRDB_ASSIGN_OR_RETURN(AcceptStats stats,
+                         AcceptsWithStats(fsa, strings, options));
   return stats.accepted;
 }
 

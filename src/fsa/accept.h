@@ -4,10 +4,17 @@
 #include <string>
 #include <vector>
 
+#include "core/budget.h"
 #include "core/result.h"
 #include "fsa/fsa.h"
 
 namespace strdb {
+
+struct AcceptOptions {
+  // Optional query-wide account; every configuration visited by the BFS
+  // is charged as one search step.
+  ResourceBudget* budget = nullptr;
+};
 
 // Decides whether `fsa` accepts the input tuple `strings` (one string per
 // tape), by breadth-first search over the configuration graph — the
@@ -15,17 +22,20 @@ namespace strdb {
 // automaton.  Acceptance is the paper's: some reachable configuration is
 // in a final state and has no successor.
 //
-// Fails if the tuple arity mismatches or a string leaves the alphabet.
-Result<bool> Accepts(const Fsa& fsa, const std::vector<std::string>& strings);
+// Fails if the tuple arity mismatches, a string leaves the alphabet, or
+// the attached budget runs out mid-search.
+Result<bool> Accepts(const Fsa& fsa, const std::vector<std::string>& strings,
+                     const AcceptOptions& options = {});
 
-// Statistics-reporting variant used by benches and tests.
+// Statistics-reporting variant used by the engine, benches and tests.
 struct AcceptStats {
   bool accepted = false;
   int64_t configurations_visited = 0;
   int64_t transitions_tried = 0;
 };
 Result<AcceptStats> AcceptsWithStats(const Fsa& fsa,
-                                     const std::vector<std::string>& strings);
+                                     const std::vector<std::string>& strings,
+                                     const AcceptOptions& options = {});
 
 }  // namespace strdb
 

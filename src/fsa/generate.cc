@@ -47,14 +47,24 @@ class Generator {
     return Action::kExtend;
   }
 
+  // The no-progress key of the current configuration.  It must identify
+  // the guessed tape *content*, not just its length: keying on
+  // (state, pos, |known|, decided) alone lets two distinct equal-length
+  // prefixes alias, and an aliased on_path_ hit falsely prunes a live
+  // branch as a loop.  The content is included verbatim (Sym widens to
+  // int losslessly), so keys collide exactly when the configurations are
+  // identical.
   std::vector<int> PathKey(int state) const {
+    size_t content = 0;
+    for (const Tape& t : tapes_) content += t.known.size();
     std::vector<int> key;
-    key.reserve(1 + tapes_.size() * 3);
+    key.reserve(1 + tapes_.size() * 3 + content);
     key.push_back(state);
     for (const Tape& t : tapes_) {
       key.push_back(t.pos);
       key.push_back(static_cast<int>(t.known.size()));
       key.push_back(t.decided ? 1 : 0);
+      for (Sym s : t.known) key.push_back(s);
     }
     return key;
   }
@@ -86,12 +96,17 @@ class Generator {
       for (size_t i = 0; i < candidates.size(); ++i) {
         tuple.push_back(candidates[i][idx[i]]);
       }
-      results_.insert(std::move(tuple));
-      if (static_cast<int64_t>(results_.size()) > options_.max_results) {
+      // The budget check precedes the insert: the old order grew the
+      // result set to max_results + 1 before erroring, busting the very
+      // bound it was enforcing.  A duplicate of an already-recorded
+      // tuple is still fine at the limit — only growth is charged.
+      if (static_cast<int64_t>(results_.size()) >= options_.max_results &&
+          results_.find(tuple) == results_.end()) {
         return Status::ResourceExhausted(
             "generation exceeded max_results = " +
             std::to_string(options_.max_results));
       }
+      results_.insert(std::move(tuple));
       size_t d = 0;
       while (d < idx.size() && ++idx[d] == candidates[d].size()) idx[d++] = 0;
       if (d == idx.size()) break;
@@ -134,10 +149,7 @@ class Generator {
     visited[static_cast<size_t>(init)] = true;
     frontier.push_back(init);
     while (!frontier.empty()) {
-      if (++steps_ > options_.max_steps) {
-        return Status::ResourceExhausted("generation exceeded max_steps = " +
-                                         std::to_string(options_.max_steps));
-      }
+      STRDB_RETURN_IF_ERROR(ChargeStep());
       int64_t idx = frontier.back();
       frontier.pop_back();
       int st = static_cast<int>(idx / per_state);
@@ -170,11 +182,21 @@ class Generator {
     return false;
   }
 
-  Status Dfs(int state) {
+  // Bumps the per-call step counter and, when a query-wide budget is
+  // attached, charges the shared account too.
+  Status ChargeStep() {
     if (++steps_ > options_.max_steps) {
       return Status::ResourceExhausted("generation exceeded max_steps = " +
                                        std::to_string(options_.max_steps));
     }
+    if (options_.budget != nullptr) {
+      return options_.budget->ChargeSteps(1);
+    }
+    return Status::OK();
+  }
+
+  Status Dfs(int state) {
+    STRDB_RETURN_IF_ERROR(ChargeStep());
     if (fsa_.IsFinal(state)) {
       // Final states have no outgoing transitions (checked by the entry
       // point), so this configuration accepts.

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "core/budget.h"
 #include "core/result.h"
 #include "fsa/fsa.h"
 
@@ -14,11 +15,17 @@ namespace strdb {
 struct GenerateOptions {
   // Maximum length of any generated string (the Σ^l truncation of §2/§4).
   int max_len = 6;
-  // Search-step budget; exceeded ⇒ kResourceExhausted.  The generation
-  // problem is inherently exponential for bidirectional free tapes.
+  // Per-call search-step budget; exceeded ⇒ kResourceExhausted.  The
+  // generation problem is inherently exponential for bidirectional free
+  // tapes.
   int64_t max_steps = 50'000'000;
-  // Result-count budget (answers themselves can be exponential in l).
+  // Per-call result-count budget (answers themselves can be exponential
+  // in l).
   int64_t max_results = 2'000'000;
+  // Optional query-wide account: every search step is charged here too,
+  // so a query whose σ_A factors each stay under max_steps still
+  // degrades to kResourceExhausted once their *sum* busts the budget.
+  ResourceBudget* budget = nullptr;
   // Once every free tape's content is fully decided, switch from the
   // path-enumerating DFS to memoised configuration-graph acceptance
   // (exponentially cheaper on machines with many interchangeable

@@ -223,6 +223,18 @@ class AlgebraEvaluatorImpl {
       : db_(db), options_(options) {}
 
   Result<StringRelation> Eval(const AlgebraExpr& e) {
+    if (options_.budget != nullptr) {
+      STRDB_RETURN_IF_ERROR(options_.budget->CheckDeadline());
+    }
+    STRDB_ASSIGN_OR_RETURN(StringRelation out, EvalNode(e));
+    if (options_.budget != nullptr) {
+      STRDB_RETURN_IF_ERROR(options_.budget->ChargeRows(out.size()));
+    }
+    return out;
+  }
+
+ private:
+  Result<StringRelation> EvalNode(const AlgebraExpr& e) {
     switch (e.kind()) {
       case AlgebraExpr::Kind::kRelation: {
         STRDB_ASSIGN_OR_RETURN(const StringRelation* rel,
@@ -329,8 +341,10 @@ class AlgebraEvaluatorImpl {
       // and keep the accepted tuples.
       STRDB_ASSIGN_OR_RETURN(StringRelation child, Eval(e.Left()));
       StringRelation out(e.arity());
+      AcceptOptions accept_opts;
+      accept_opts.budget = options_.budget;
       for (const Tuple& t : child.tuples()) {
-        STRDB_ASSIGN_OR_RETURN(bool acc, Accepts(fsa, t));
+        STRDB_ASSIGN_OR_RETURN(bool acc, Accepts(fsa, t, accept_opts));
         if (acc) {
           STRDB_RETURN_IF_ERROR(out.Insert(t));
         }
@@ -357,6 +371,7 @@ class AlgebraEvaluatorImpl {
     gen_opts.max_len = options_.truncation;
     gen_opts.max_steps = options_.max_steps;
     gen_opts.max_results = options_.max_tuples;
+    gen_opts.budget = options_.budget;
 
     StringRelation out(e.arity());
     // Iterate the cartesian product of the materialised factors.

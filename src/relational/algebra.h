@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/budget.h"
 #include "core/result.h"
 #include "fsa/fsa.h"
 #include "relational/relation.h"
@@ -89,10 +90,17 @@ struct EvalOptions {
   // The truncation length l: every Σ* is read as Σ^l (Theorem 4.2's
   // E↓l semantics) and generated strings are bounded by l.
   int truncation = 4;
-  // Tuple-count guard for intermediate results.
+  // Tuple-count guard for intermediate results (per operator).
   int64_t max_tuples = 5'000'000;
-  // Step budget forwarded to the FSA generator.
+  // Step budget forwarded to the FSA generator (per σ_A call).
   int64_t max_steps = 50'000'000;
+  // Optional query-wide resource account (deadline, cumulative steps,
+  // cumulative rows, cold cache bytes), shared by every operator of the
+  // evaluation — unlike the per-call limits above, one runaway σ_A
+  // factor chain exhausts it and the whole query degrades to a typed
+  // kResourceExhausted instead of burning one call-site limit at a time.
+  // Not owned; must outlive the evaluation.  nullptr = unlimited.
+  ResourceBudget* budget = nullptr;
 };
 
 // Evaluates db(E↓l).  Selections over products containing Σ* factors are

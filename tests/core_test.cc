@@ -1,9 +1,18 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
 #include "core/alphabet.h"
+#include "core/budget.h"
+#include "core/metrics.h"
 #include "core/result.h"
 #include "core/rng.h"
 #include "core/status.h"
+#include "core/thread_pool.h"
 
 namespace strdb {
 namespace {
@@ -137,6 +146,204 @@ TEST(RngTest, StringUsesAlphabet) {
   std::string s = rng.String(dna, 50);
   EXPECT_EQ(s.size(), 50u);
   EXPECT_TRUE(dna.Contains(s));
+}
+
+// --- ThreadPool exception safety -----------------------------------------
+
+TEST(ThreadPoolStressTest, ThrowingSubmitTaskSurfacesInWait) {
+  ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([&ran] { ++ran; });
+  }
+  pool.Submit([] { throw std::runtime_error("task boom"); });
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([&ran] { ++ran; });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 40);
+  // The failure is consumed: the pool stays usable and a clean Wait()
+  // does not replay it.
+  pool.Submit([&ran] { ++ran; });
+  EXPECT_NO_THROW(pool.Wait());
+  EXPECT_EQ(ran.load(), 41);
+}
+
+TEST(ThreadPoolStressTest, ParallelForRethrowsFirstChunkException) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> covered{0};
+  EXPECT_THROW(
+      pool.ParallelFor(1000,
+                       [&covered](int64_t begin, int64_t end) {
+                         covered += end - begin;
+                         if (begin == 0) throw std::runtime_error("chunk boom");
+                       }),
+      std::runtime_error);
+  // The chunk exception belongs to the ParallelFor call, not to the
+  // pool-wide Wait() slot.
+  EXPECT_NO_THROW(pool.Wait());
+  EXPECT_EQ(covered.load(), 1000);
+}
+
+TEST(ThreadPoolStressTest, ConcurrentParallelForCallersAreIndependent) {
+  ThreadPool pool(4);
+  constexpr int kCallers = 6;
+  constexpr int64_t kN = 5000;
+  std::vector<std::atomic<int64_t>> sums(kCallers);
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &sums, c] {
+      pool.ParallelFor(kN, [&sums, c](int64_t begin, int64_t end) {
+        int64_t s = 0;
+        for (int64_t i = begin; i < end; ++i) s += i;
+        sums[static_cast<size_t>(c)] += s;
+      });
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  for (int c = 0; c < kCallers; ++c) {
+    EXPECT_EQ(sums[static_cast<size_t>(c)].load(), kN * (kN - 1) / 2);
+  }
+}
+
+TEST(ThreadPoolStressTest, DestructorDrainsQueuedWorkEvenWhenTasksThrow) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&ran, i] {
+        ++ran;
+        if (i % 7 == 0) throw std::runtime_error("late boom");
+      });
+    }
+    // No Wait(): the destructor must drain the queue without
+    // std::terminate and without deadlocking on the throwing tasks.
+  }
+  EXPECT_EQ(ran.load(), 50);
+}
+
+// --- Metrics --------------------------------------------------------------
+
+TEST(MetricsTest, CounterAndGauge) {
+  Counter c;
+  c.Increment();
+  c.Increment(4);
+  EXPECT_EQ(c.value(), 5);
+  Gauge g;
+  g.Set(10);
+  g.Add(-3);
+  EXPECT_EQ(g.value(), 7);
+}
+
+TEST(MetricsTest, HistogramRecordsAndQuantiles) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.Quantile(0.5), 0);
+  for (int64_t v : {0, 1, 2, 3, 100, 1000}) h.Record(v);
+  EXPECT_EQ(h.count(), 6);
+  EXPECT_EQ(h.sum(), 1106);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 1000);
+  // Quantiles are bucket upper bounds: p100 lands in [512, 1024).
+  EXPECT_GE(h.Quantile(1.0), 1000);
+  EXPECT_LE(h.Quantile(0.0), 1);
+}
+
+TEST(MetricsTest, RegistryReturnsStablePointersAndDumpsJson) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter* c = reg.GetCounter("test.registry.counter");
+  EXPECT_EQ(c, reg.GetCounter("test.registry.counter"));
+  c->Increment(3);
+  reg.GetGauge("test.registry.gauge")->Set(-2);
+  reg.GetHistogram("test.registry.hist")->Record(7);
+  std::string json = reg.DumpJson();
+  EXPECT_NE(json.find("\"test.registry.counter\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"test.registry.gauge\": -2"), std::string::npos);
+  EXPECT_NE(json.find("\"test.registry.hist\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+}
+
+TEST(MetricsTest, HistogramIsThreadSafeUnderConcurrentRecords) {
+  Histogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.Record(i % 128);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(h.count(), int64_t{kThreads} * kPerThread);
+  EXPECT_EQ(h.max(), 127);
+}
+
+// --- ResourceBudget -------------------------------------------------------
+
+TEST(ResourceBudgetTest, UnlimitedByDefault) {
+  ResourceBudget budget;
+  EXPECT_TRUE(budget.ChargeSteps(1 << 20).ok());
+  EXPECT_TRUE(budget.ChargeRows(1 << 20).ok());
+  EXPECT_TRUE(budget.ChargeCachedBytes(1 << 20).ok());
+  EXPECT_TRUE(budget.CheckDeadline().ok());
+  EXPECT_EQ(budget.steps_used(), 1 << 20);
+}
+
+TEST(ResourceBudgetTest, StepsExhaustion) {
+  ResourceLimits limits;
+  limits.max_steps = 100;
+  ResourceBudget budget(limits);
+  EXPECT_TRUE(budget.ChargeSteps(100).ok());
+  Status s = budget.ChargeSteps(1);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(s.ToString().find("steps"), std::string::npos);
+}
+
+TEST(ResourceBudgetTest, RowsAndBytesExhaustion) {
+  ResourceLimits limits;
+  limits.max_rows = 10;
+  limits.max_cached_bytes = 1024;
+  ResourceBudget budget(limits);
+  EXPECT_TRUE(budget.ChargeRows(10).ok());
+  EXPECT_EQ(budget.ChargeRows(1).code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(budget.ChargeCachedBytes(1024).ok());
+  EXPECT_EQ(budget.ChargeCachedBytes(1).code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(ResourceBudgetTest, DeadlineExpires) {
+  ResourceLimits limits;
+  limits.deadline_ms = 1;
+  ResourceBudget budget(limits);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  Status s = budget.CheckDeadline();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(s.ToString().find("deadline"), std::string::npos);
+}
+
+TEST(ResourceBudgetTest, ChargingIsThreadSafe) {
+  ResourceLimits limits;
+  limits.max_steps = 100000;
+  ResourceBudget budget(limits);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 30000;  // kThreads * kPerThread spills over
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&budget, &failures] {
+      for (int i = 0; i < kPerThread; ++i) {
+        if (!budget.ChargeSteps(1).ok()) ++failures;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(budget.steps_used(), int64_t{kThreads} * kPerThread);
+  EXPECT_GT(failures.load(), 0);
 }
 
 }  // namespace

@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "core/budget.h"
+#include "core/metrics.h"
 #include "core/rng.h"
 #include "core/thread_pool.h"
 #include "engine/cache.h"
@@ -149,6 +151,58 @@ TEST(ArtifactCacheTest, GeneratedSetsRoundTrip) {
   EXPECT_EQ(*got, set);
   cache.Clear();
   EXPECT_EQ(cache.GetGenerated("k"), nullptr);
+}
+
+TEST(ArtifactCacheTest, ByteBoundHoldsAndEvictsLeastRecentlyUsed) {
+  ArtifactCache::GeneratedSet payload;
+  for (int i = 0; i < 32; ++i) {
+    payload.insert({std::string(32, 'a' + (i % 2)), std::to_string(i)});
+  }
+  int64_t cost = ArtifactCache::GeneratedCost(payload);
+  // Room for roughly three payloads.
+  ArtifactCache cache(3 * cost + 3 * 64);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(cache.PutGenerated("k" + std::to_string(i), payload).ok());
+    EXPECT_LE(cache.stats().bytes_in_use, cache.max_bytes());
+  }
+  ArtifactCache::Stats stats = cache.stats();
+  EXPECT_GT(stats.evictions, 0);
+  EXPECT_LE(stats.entries, 3);
+  // The oldest keys are gone, the newest survives.
+  EXPECT_EQ(cache.GetGenerated("k0"), nullptr);
+  EXPECT_NE(cache.GetGenerated("k19"), nullptr);
+  // Touching an entry protects it from the next eviction wave.
+  ASSERT_NE(cache.GetGenerated("k17"), nullptr);
+  ASSERT_TRUE(cache.PutGenerated("fresh", payload).ok());
+  EXPECT_NE(cache.GetGenerated("k17"), nullptr);
+}
+
+TEST(ArtifactCacheTest, OversizeArtifactIsReturnedButNotRetained) {
+  ArtifactCache::GeneratedSet payload;
+  for (int i = 0; i < 64; ++i) payload.insert({std::string(64, 'x') + std::to_string(i)});
+  ArtifactCache cache(/*max_bytes=*/128);  // smaller than the payload
+  Result<std::shared_ptr<const ArtifactCache::GeneratedSet>> put =
+      cache.PutGenerated("big", payload);
+  ASSERT_TRUE(put.ok());
+  EXPECT_EQ(**put, payload);  // the caller still gets the artifact
+  EXPECT_EQ(cache.GetGenerated("big"), nullptr);
+  EXPECT_EQ(cache.stats().bytes_in_use, 0);
+  EXPECT_GT(cache.stats().evictions, 0);
+}
+
+TEST(ArtifactCacheTest, ColdInsertsChargeTheBudget) {
+  ArtifactCache cache;
+  ArtifactCache::GeneratedSet payload = {{"aaaa"}, {"bbbb"}};
+  ResourceLimits limits;
+  limits.max_cached_bytes = 1;  // any cold artifact busts it
+  ResourceBudget budget(limits);
+  Result<std::shared_ptr<const ArtifactCache::GeneratedSet>> put =
+      cache.PutGenerated("k", payload, &budget);
+  ASSERT_FALSE(put.ok());
+  EXPECT_EQ(put.status().code(), StatusCode::kResourceExhausted);
+  // A hit is free: cache the artifact without a budget, then re-fetch.
+  ASSERT_TRUE(cache.PutGenerated("k", payload).ok());
+  EXPECT_NE(cache.GetGenerated("k"), nullptr);
 }
 
 // --- rewrites --------------------------------------------------------------
@@ -514,6 +568,139 @@ TEST(EngineTest, MatchesNaiveEvaluatorOnRandomExpressions) {
   }
   // The acceptance bar: at least 100 successfully cross-checked cases.
   EXPECT_GE(checked, 100);
+}
+
+// --- resource governance ---------------------------------------------------
+
+TEST(EngineTest, CacheStaysBoundedUnderQueryChurn) {
+  Alphabet sigma = Alphabet::Binary();
+  FsaPool pool = MakePool(sigma);
+  Rng rng(42);
+  EvalOptions opts;
+  opts.truncation = 2;
+  opts.max_tuples = 20000;
+  opts.max_steps = 5'000'000;
+  EngineOptions engine_opts;
+  engine_opts.cache_max_bytes = 16 << 10;  // 16 KiB: forces churn
+  Engine engine(engine_opts);
+  int64_t checked = 0;
+  for (int trial = 0; trial < 1000; ++trial) {
+    Database db = RandomDb(rng, sigma);
+    AlgebraExpr expr = RandomExpr(rng, pool, 3);
+    Result<StringRelation> via_engine = engine.Execute(expr, db, opts);
+    Result<StringRelation> naive = EvalAlgebra(expr, db, opts);
+    // The byte bound is an invariant, not a steady state: it must hold
+    // after every single query.
+    ArtifactCache::Stats stats = engine.cache().stats();
+    ASSERT_LE(stats.bytes_in_use, engine_opts.cache_max_bytes) << trial;
+    ASSERT_LE(stats.peak_bytes, engine_opts.cache_max_bytes) << trial;
+    EXPECT_EQ(via_engine.ok(), naive.ok()) << trial << ": " << expr.ToString();
+    if (!via_engine.ok() || !naive.ok()) continue;
+    EXPECT_EQ(via_engine->tuples(), naive->tuples())
+        << trial << ": " << expr.ToString();
+    ++checked;
+  }
+  EXPECT_GE(checked, 800);
+  // The workload overflowed the bound (otherwise this test shrank to a
+  // no-op) and the counters saw it.
+  ArtifactCache::Stats stats = engine.cache().stats();
+  EXPECT_GT(stats.evictions, 0);
+  EXPECT_GT(stats.hits, 0);
+  EXPECT_GT(MetricsRegistry::Global()
+                .GetCounter("engine.cache.evictions")
+                ->value(),
+            0);
+}
+
+TEST(EngineTest, BudgetExhaustionReturnsTypedErrorWithPartialStats) {
+  Database db = MakeDb();
+  AlgebraExpr query = ConcatQuery(db.alphabet());
+  Engine engine;
+  ResourceLimits limits;
+  limits.max_steps = 5;  // far below what the generator needs
+  ResourceBudget budget(limits);
+  EvalOptions opts = kOpts;
+  opts.budget = &budget;
+  ExecStats stats;
+  Result<StringRelation> out = engine.Execute(query, db, opts, &stats);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(out.status().ToString().find("query budget"), std::string::npos);
+  // The degraded query is still observable: partial stats and the
+  // annotated plan survive the failure.
+  EXPECT_GT(stats.wall_ns, 0);
+  EXPECT_GT(stats.budget_steps_used, 0);
+  EXPECT_FALSE(stats.plan.empty());
+  EXPECT_NE(stats.ToString().find("budget["), std::string::npos);
+}
+
+TEST(EngineTest, RowBudgetTripsOnIntermediateResults) {
+  Database db = MakeDb();
+  AlgebraExpr query = ConcatQuery(db.alphabet());
+  Engine engine;
+  ResourceLimits limits;
+  limits.max_rows = 2;  // R1 x R3 alone produces 4 rows
+  ResourceBudget budget(limits);
+  EvalOptions opts = kOpts;
+  opts.budget = &budget;
+  Result<StringRelation> out = engine.Execute(query, db, opts);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(out.status().ToString().find("rows"), std::string::npos);
+}
+
+TEST(EngineTest, BudgetedRunsNeverReturnWrongTuples) {
+  // The budget property: a budgeted execution either errors or returns
+  // exactly the unbudgeted answer — never a silently truncated relation.
+  Alphabet sigma = Alphabet::Binary();
+  FsaPool pool = MakePool(sigma);
+  Rng rng(77);
+  EvalOptions opts;
+  opts.truncation = 2;
+  opts.max_tuples = 20000;
+  opts.max_steps = 5'000'000;
+  Engine engine;
+  const int64_t step_limits[] = {1, 10, 100, 1000, 10000};
+  const int64_t row_limits[] = {1, 5, 50, 500, 0};
+  int completed = 0, exhausted = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    Database db = RandomDb(rng, sigma);
+    AlgebraExpr expr = RandomExpr(rng, pool, 3);
+    Result<StringRelation> reference = EvalAlgebra(expr, db, opts);
+    if (!reference.ok()) continue;
+    ResourceLimits limits;
+    limits.max_steps = step_limits[rng.Range(0, 4)];
+    limits.max_rows = row_limits[rng.Range(0, 4)];
+    ResourceBudget budget(limits);
+    EvalOptions budgeted = opts;
+    budgeted.budget = &budget;
+    Result<StringRelation> out = engine.Execute(expr, db, budgeted);
+    if (out.ok()) {
+      EXPECT_EQ(out->tuples(), reference->tuples())
+          << trial << ": " << expr.ToString();
+      ++completed;
+    } else {
+      EXPECT_EQ(out.status().code(), StatusCode::kResourceExhausted)
+          << trial << ": " << out.status().ToString();
+      ++exhausted;
+    }
+  }
+  // The limit grid actually exercised both outcomes.
+  EXPECT_GT(completed, 0);
+  EXPECT_GT(exhausted, 0);
+}
+
+TEST(EngineTest, NaiveEvaluatorHonoursTheBudgetToo) {
+  Database db = MakeDb();
+  AlgebraExpr query = ConcatQuery(db.alphabet());
+  ResourceLimits limits;
+  limits.max_steps = 5;
+  ResourceBudget budget(limits);
+  EvalOptions opts = kOpts;
+  opts.budget = &budget;
+  Result<StringRelation> out = EvalAlgebra(query, db, opts);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kResourceExhausted);
 }
 
 }  // namespace

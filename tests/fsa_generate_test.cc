@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "core/budget.h"
 #include "fsa/accept.h"
 #include "fsa/compile.h"
 #include "fsa/generate.h"
@@ -137,6 +138,62 @@ TEST(GenerateTest, StepBudgetIsEnforced) {
       EnumerateLanguage(fsa, opts);
   EXPECT_FALSE(out.ok());
   EXPECT_EQ(out.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(GenerateTest, MaxResultsBoundaryIsExact) {
+  // "aba" has exactly 4 splits x = y·z.  A limit of exactly 4 must
+  // succeed: the old check errored only after inserting past the bound,
+  // which also meant a run could materialise max_results + 1 tuples.
+  Fsa fsa = Compile(kConcatFormula, Alphabet::Binary(), {"x", "y", "z"});
+  GenerateOptions opts;
+  opts.max_len = 4;
+  opts.max_results = 4;
+  Result<std::set<std::vector<std::string>>> exact =
+      GenerateAccepted(fsa, {std::string("aba"), std::nullopt, std::nullopt},
+                       opts);
+  ASSERT_TRUE(exact.ok()) << exact.status();
+  EXPECT_EQ(exact->size(), 4u);
+  opts.max_results = 3;
+  Result<std::set<std::vector<std::string>>> over =
+      GenerateAccepted(fsa, {std::string("aba"), std::nullopt, std::nullopt},
+                       opts);
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(GenerateTest, DistinctGuessedPrefixesOfEqualLengthAllSurvive) {
+  // Every binary string is accepted, so enumeration to length 2 must
+  // yield all 7 strings.  The guessed prefixes "a" and "b" reach the
+  // same (state, position) pair; the memo key must include the guessed
+  // content, or one branch shadows the other.
+  Fsa fsa = Compile("([x]l(!(x = ~)))* . [x]l(x = ~)", Alphabet::Binary(),
+                    {"x"});
+  GenerateOptions opts;
+  opts.max_len = 2;
+  Result<std::set<std::vector<std::string>>> out = EnumerateLanguage(fsa, opts);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(out->size(), 7u);  // ε, a, b, aa, ab, ba, bb
+}
+
+TEST(GenerateTest, QueryBudgetIsChargedAndEnforced) {
+  Fsa fsa = Compile(kConcatFormula, Alphabet::Binary(), {"x", "y", "z"});
+  // Charging: an unlimited budget accumulates the search steps.
+  ResourceBudget unlimited;
+  GenerateOptions opts;
+  opts.max_len = 3;
+  opts.budget = &unlimited;
+  ASSERT_TRUE(EnumerateLanguage(fsa, opts).ok());
+  EXPECT_GT(unlimited.steps_used(), 0);
+  // Enforcement: a tiny query-wide budget trips even though the per-call
+  // max_steps is generous.
+  ResourceLimits limits;
+  limits.max_steps = 10;
+  ResourceBudget tiny(limits);
+  opts.budget = &tiny;
+  Result<std::set<std::vector<std::string>>> out = EnumerateLanguage(fsa, opts);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(out.status().ToString().find("query budget"), std::string::npos);
 }
 
 TEST(GenerateTest, ShortcutAblationProducesIdenticalAnswers) {
