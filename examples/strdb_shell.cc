@@ -1,12 +1,31 @@
 // An interactive alignment-calculus shell.
 //
-//   $ ./strdb_shell [alphabet]        (default alphabet: ab)
+//   $ ./strdb_shell [alphabet]               (default alphabet: ab)
+//   $ ./strdb_shell [alphabet] --script FILE (non-interactive: run FILE)
+//   $ ./strdb_shell [alphabet] -c "cmd" ...  (non-interactive: run each cmd)
+//
+// In script mode (--script / -c) the shell stops at the first failing
+// command and exits nonzero, so CI and recovery tests can drive it
+// end-to-end.  Both forms compose: -c commands run after the script.
 //
 // Commands:
 //   rel NAME tuple [tuple ...]    define a relation; a tuple is either a
 //                                 single string or comma-joined strings
 //                                 ("ab,ba"); "-" denotes the empty string
+//   insert NAME tuple [...]       add tuples to an existing relation
+//   drop NAME                     remove a relation
 //   show                          list the relations
+//   open DIR                      open (or create) a durable catalog in
+//                                 DIR: replays the write-ahead log,
+//                                 prints the salvage report, and warms
+//                                 the engine's automaton cache from disk;
+//                                 subsequent rel/insert/drop commit
+//                                 through the WAL before applying
+//   save                          checkpoint the durable catalog (fold
+//                                 the WAL into a fresh snapshot) after
+//                                 persisting the engine's cached automata
+//   close                         close the durable session (the catalog
+//                                 stays available in memory)
 //   safe QUERY                    run the safety analysis only
 //   plan QUERY                    show the Theorem 4.2 algebra plan
 //   explain QUERY                 show the engine's optimised physical plan
@@ -19,25 +38,31 @@
 //                                 rows, ms, bytes ("budget steps 10000
 //                                 ms 500"); "budget off" clears them
 //   metrics                       dump the process metrics registry
-//                                 (cache, pool, engine instruments) as JSON
+//                                 (cache, pool, engine, storage) as JSON
 //   QUERY                         evaluate (inferred truncation, falling
 //                                 back to !N for an explicit one: "!4 QUERY")
 //   :quit
 //
 // Example session:
+//   > open /var/lib/strdb
 //   > rel R1 ab ba
-//   > rel R3 a bb
-//   > x | exists y, z: R1(y) & R3(z) & ([x,y]l(x = y))* .
+//   > x | exists y, z: R1(y) & R1(z) & ([x,y]l(x = y))* .
 //         ([x,z]l(x = z))* . [x,y,z]l(x = y = z = ~)
+//   > save
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "calculus/query.h"
 #include "core/budget.h"
 #include "core/metrics.h"
+#include "engine/engine.h"
+#include "fsa/serialize.h"
 #include "relational/relation.h"
+#include "storage/store.h"
 
 namespace {
 
@@ -51,14 +76,11 @@ std::vector<std::string> SplitWords(const std::string& line) {
   return words;
 }
 
-Status HandleRel(Database* db, const std::vector<std::string>& words) {
-  if (words.size() < 3) {
-    return Status::InvalidArgument("usage: rel NAME tuple [tuple ...]");
-  }
-  const std::string& name = words[1];
-  int arity = -1;
+// Parses the shell's tuple syntax ("ab,ba", "-" for the empty string).
+std::vector<Tuple> ParseTuples(const std::vector<std::string>& words,
+                               size_t first) {
   std::vector<Tuple> tuples;
-  for (size_t i = 2; i < words.size(); ++i) {
+  for (size_t i = first; i < words.size(); ++i) {
     Tuple tuple;
     std::istringstream in(words[i]);
     std::string part;
@@ -66,16 +88,9 @@ Status HandleRel(Database* db, const std::vector<std::string>& words) {
       tuple.push_back(part == "-" ? "" : part);
     }
     if (tuple.empty()) tuple.push_back("");
-    if (arity < 0) arity = static_cast<int>(tuple.size());
-    if (static_cast<int>(tuple.size()) != arity) {
-      return Status::InvalidArgument("tuples of unequal arity");
-    }
     tuples.push_back(std::move(tuple));
   }
-  STRDB_RETURN_IF_ERROR(db->Put(name, arity, std::move(tuples)));
-  std::printf("defined %s/%d with %zu tuples\n", name.c_str(), arity,
-              words.size() - 2);
-  return Status::OK();
+  return tuples;
 }
 
 void PrintLimits(const ResourceLimits& limits) {
@@ -88,21 +103,166 @@ void PrintLimits(const ResourceLimits& limits) {
               show(limits.max_cached_bytes).c_str());
 }
 
-// "budget" shows the active limits; "budget off" clears them; "budget
-// DIM N [DIM N ...]" sets the listed dimensions (others keep their
-// value).
-void HandleBudget(ResourceLimits* limits,
-                  const std::vector<std::string>& words) {
+// The shell's state: an in-memory catalog, optionally backed by a
+// durable CatalogStore once `open` has run.  Every command handler
+// returns a Status; script mode turns the first failure into a nonzero
+// exit code.
+class Shell {
+ public:
+  explicit Shell(Alphabet alphabet)
+      : alphabet_(std::move(alphabet)), db_(alphabet_) {}
+
+  // The catalog queries read: the durable store's once open.
+  const Database& db() const { return store_ ? store_->db() : db_; }
+
+  Status Execute(const std::string& line);
+
+ private:
+  Status HandleRel(const std::vector<std::string>& words);
+  Status HandleInsert(const std::vector<std::string>& words);
+  Status HandleDrop(const std::vector<std::string>& words);
+  Status HandleOpen(const std::vector<std::string>& words);
+  Status HandleSave();
+  Status HandleClose();
+  Status HandleBudget(const std::vector<std::string>& words);
+  Status HandleQuery(const std::string& text);
+  Status HandleSafe(const std::string& text);
+  Status HandlePlan(const std::string& text);
+  Status HandleExplain(const std::string& text);
+
+  Alphabet alphabet_;
+  Database db_;
+  std::unique_ptr<CatalogStore> store_;
+  bool use_engine_ = true;
+  bool show_stats_ = false;
+  ResourceLimits limits_;
+};
+
+Status Shell::HandleRel(const std::vector<std::string>& words) {
+  if (words.size() < 3) {
+    return Status::InvalidArgument("usage: rel NAME tuple [tuple ...]");
+  }
+  const std::string& name = words[1];
+  std::vector<Tuple> tuples = ParseTuples(words, 2);
+  int arity = static_cast<int>(tuples.front().size());
+  for (const Tuple& t : tuples) {
+    if (static_cast<int>(t.size()) != arity) {
+      return Status::InvalidArgument("tuples of unequal arity");
+    }
+  }
+  size_t count = tuples.size();
+  if (store_ != nullptr) {
+    STRDB_RETURN_IF_ERROR(store_->PutRelation(name, arity, std::move(tuples)));
+  } else {
+    STRDB_RETURN_IF_ERROR(db_.Put(name, arity, std::move(tuples)));
+  }
+  std::printf("defined %s/%d with %zu tuples%s\n", name.c_str(), arity, count,
+              store_ ? " (durable)" : "");
+  return Status::OK();
+}
+
+Status Shell::HandleInsert(const std::vector<std::string>& words) {
+  if (words.size() < 3) {
+    return Status::InvalidArgument("usage: insert NAME tuple [tuple ...]");
+  }
+  const std::string& name = words[1];
+  std::vector<Tuple> tuples = ParseTuples(words, 2);
+  size_t count = tuples.size();
+  if (store_ != nullptr) {
+    STRDB_RETURN_IF_ERROR(store_->InsertTuples(name, std::move(tuples)));
+  } else {
+    STRDB_RETURN_IF_ERROR(db_.InsertTuples(name, std::move(tuples)));
+  }
+  std::printf("inserted %zu tuple(s) into %s%s\n", count, name.c_str(),
+              store_ ? " (durable)" : "");
+  return Status::OK();
+}
+
+Status Shell::HandleDrop(const std::vector<std::string>& words) {
+  if (words.size() != 2) return Status::InvalidArgument("usage: drop NAME");
+  if (store_ != nullptr) {
+    STRDB_RETURN_IF_ERROR(store_->DropRelation(words[1]));
+  } else {
+    STRDB_RETURN_IF_ERROR(db_.Remove(words[1]));
+  }
+  std::printf("dropped %s%s\n", words[1].c_str(), store_ ? " (durable)" : "");
+  return Status::OK();
+}
+
+Status Shell::HandleOpen(const std::vector<std::string>& words) {
+  if (words.size() != 2) return Status::InvalidArgument("usage: open DIR");
+  if (store_ != nullptr) {
+    return Status::InvalidArgument("a durable session is already open ('" +
+                                   store_->dir() + "'); close it first");
+  }
+  RecoveryReport report;
+  auto opened = CatalogStore::Open(words[1], alphabet_, {}, &report);
+  if (!opened.ok()) return opened.status();
+  store_ = std::move(*opened);
+  std::printf("%s\n", report.ToString().c_str());
+
+  // Warm the engine's artifact cache from the persisted automata, so the
+  // first query after a restart skips recompilation.
+  int warmed = 0;
+  for (const auto& [key, text] : store_->automata()) {
+    Result<Fsa> fsa = DeserializeFsa(alphabet_, text);
+    if (!fsa.ok()) continue;  // recovery already verified; belt and braces
+    Engine::Shared().cache().InstallFsa(
+        key, std::make_shared<const Fsa>(std::move(*fsa)));
+    ++warmed;
+  }
+  if (warmed > 0) {
+    std::printf("warmed %d automata into the engine cache\n", warmed);
+  }
+  return Status::OK();
+}
+
+Status Shell::HandleSave() {
+  if (store_ == nullptr) {
+    return Status::InvalidArgument("no durable session; run 'open DIR' first");
+  }
+  // Harvest the engine's compiled automata so the next open can warm
+  // from disk.  Collect first: ForEachFsa runs under the cache lock and
+  // persistence does real I/O.
+  std::vector<std::pair<std::string, std::string>> artifacts;
+  Engine::Shared().cache().ForEachFsa(
+      [&](const std::string& key, const Fsa& fsa) {
+        artifacts.emplace_back(key, SerializeFsa(fsa));
+      });
+  int persisted = 0;
+  for (auto& [key, text] : artifacts) {
+    STRDB_RETURN_IF_ERROR(store_->InstallAutomatonText(key, std::move(text)));
+    ++persisted;
+  }
+  STRDB_RETURN_IF_ERROR(store_->Checkpoint());
+  std::printf("checkpointed generation %lld (%zu relation(s), %d automata)\n",
+              static_cast<long long>(store_->generation()),
+              store_->db().relations().size(), persisted);
+  return Status::OK();
+}
+
+Status Shell::HandleClose() {
+  if (store_ == nullptr) {
+    return Status::InvalidArgument("no durable session to close");
+  }
+  db_ = store_->db();  // keep working on the catalog, now in memory only
+  Status closed = store_->Close();
+  store_.reset();
+  std::printf("closed durable session (catalog kept in memory)\n");
+  return closed;
+}
+
+Status Shell::HandleBudget(const std::vector<std::string>& words) {
   if (words.size() == 2 && words[1] == "off") {
-    *limits = ResourceLimits{};
-    PrintLimits(*limits);
-    return;
+    limits_ = ResourceLimits{};
+    PrintLimits(limits_);
+    return Status::OK();
   }
   if (words.size() % 2 != 1) {
-    std::printf("usage: budget [steps|rows|ms|bytes N ...] | budget off\n");
-    return;
+    return Status::InvalidArgument(
+        "usage: budget [steps|rows|ms|bytes N ...] | budget off");
   }
-  ResourceLimits next = *limits;
+  ResourceLimits next = limits_;
   for (size_t i = 1; i + 1 < words.size(); i += 2) {
     int64_t value = std::atoll(words[i + 1].c_str());
     if (words[i] == "steps") {
@@ -114,151 +274,197 @@ void HandleBudget(ResourceLimits* limits,
     } else if (words[i] == "bytes") {
       next.max_cached_bytes = value;
     } else {
-      std::printf("unknown budget dimension '%s' (steps|rows|ms|bytes)\n",
-                  words[i].c_str());
-      return;
+      return Status::InvalidArgument("unknown budget dimension '" + words[i] +
+                                     "' (steps|rows|ms|bytes)");
     }
   }
-  *limits = next;
-  PrintLimits(*limits);
+  limits_ = next;
+  PrintLimits(limits_);
+  return Status::OK();
 }
 
-void HandleQuery(const Database& db, const std::string& text, bool use_engine,
-                 bool show_stats, const ResourceLimits& limits) {
+Status Shell::HandleQuery(const std::string& text) {
   int explicit_trunc = -1;
   std::string body = text;
   if (!body.empty() && body[0] == '!') {
     size_t sp = body.find(' ');
     if (sp == std::string::npos) {
-      std::printf("error: usage !N QUERY\n");
-      return;
+      return Status::InvalidArgument("usage: !N QUERY");
     }
     explicit_trunc = std::atoi(body.substr(1, sp - 1).c_str());
     body = body.substr(sp + 1);
   }
-  Result<Query> q = Query::Parse(body, db.alphabet());
-  if (!q.ok()) {
-    std::printf("parse error: %s\n", q.status().ToString().c_str());
-    return;
-  }
+  Result<Query> q = Query::Parse(body, db().alphabet());
+  if (!q.ok()) return q.status();
   ExecStats stats;
   QueryOptions opts;
-  opts.use_engine = use_engine;
-  opts.stats = show_stats ? &stats : nullptr;
-  opts.limits = limits;
+  opts.use_engine = use_engine_;
+  opts.stats = show_stats_ ? &stats : nullptr;
+  opts.limits = limits_;
   Result<StringRelation> answer =
-      explicit_trunc >= 0 ? q->ExecuteTruncated(db, explicit_trunc, opts)
-                          : q->Execute(db, opts);
+      explicit_trunc >= 0 ? q->ExecuteTruncated(db(), explicit_trunc, opts)
+                          : q->Execute(db(), opts);
   if (!answer.ok()) {
-    std::printf("error: %s\n", answer.status().ToString().c_str());
     // A budget-exhausted query still fills the stats in: the plan
     // annotations show which operator burnt the budget.
-    if (show_stats && use_engine && !stats.plan.empty()) {
+    if (show_stats_ && use_engine_ && !stats.plan.empty()) {
       std::printf("%s", stats.ToString().c_str());
     }
     if (explicit_trunc < 0) {
       std::printf("hint: \"!N <query>\" evaluates at explicit "
                   "truncation N\n");
     }
-    return;
+    return answer.status();
   }
   std::printf("%s   (%lld tuples)\n", answer->ToString().c_str(),
               static_cast<long long>(answer->size()));
-  if (show_stats && use_engine) {
+  if (show_stats_ && use_engine_) {
     std::printf("%s", stats.ToString().c_str());
   }
+  return Status::OK();
 }
 
-void HandleSafe(const Database& db, const std::string& text) {
-  Result<Query> q = Query::Parse(text, db.alphabet());
-  if (!q.ok()) {
-    std::printf("parse error: %s\n", q.status().ToString().c_str());
-    return;
-  }
-  Result<int> w = q->InferTruncation(db);
+Status Shell::HandleSafe(const std::string& text) {
+  Result<Query> q = Query::Parse(text, db().alphabet());
+  if (!q.ok()) return q.status();
+  Result<int> w = q->InferTruncation(db());
   if (w.ok()) {
     std::printf("SAFE; inferred truncation W(db) = %d\n", *w);
   } else {
     std::printf("NOT certified: %s\n", w.status().ToString().c_str());
   }
+  return Status::OK();
 }
 
-void HandlePlan(const Database& db, const std::string& text) {
-  Result<Query> q = Query::Parse(text, db.alphabet());
-  if (!q.ok()) {
-    std::printf("parse error: %s\n", q.status().ToString().c_str());
-    return;
-  }
+Status Shell::HandlePlan(const std::string& text) {
+  Result<Query> q = Query::Parse(text, db().alphabet());
+  if (!q.ok()) return q.status();
   std::printf("formula: %s\n", q->formula().ToString().c_str());
   std::printf("plan:    %s\n", q->plan().ToString().c_str());
   std::printf("finitely evaluable: %s\n",
               q->plan().IsFinitelyEvaluable() ? "yes" : "no");
+  return Status::OK();
 }
 
-void HandleExplain(const Database& db, const std::string& text) {
-  Result<Query> q = Query::Parse(text, db.alphabet());
-  if (!q.ok()) {
-    std::printf("parse error: %s\n", q.status().ToString().c_str());
-    return;
-  }
-  Result<std::string> plan = q->ExplainPlan(db);
-  if (!plan.ok()) {
-    std::printf("error: %s\n", plan.status().ToString().c_str());
-    return;
-  }
+Status Shell::HandleExplain(const std::string& text) {
+  Result<Query> q = Query::Parse(text, db().alphabet());
+  if (!q.ok()) return q.status();
+  Result<std::string> plan = q->ExplainPlan(db());
+  if (!plan.ok()) return plan.status();
   std::printf("%s", plan->c_str());
+  return Status::OK();
+}
+
+Status Shell::Execute(const std::string& line) {
+  std::vector<std::string> words = SplitWords(line);
+  if (words.empty()) return Status::OK();
+  if (words[0] == "rel") return HandleRel(words);
+  if (words[0] == "insert") return HandleInsert(words);
+  if (words[0] == "drop") return HandleDrop(words);
+  if (words[0] == "open") return HandleOpen(words);
+  if (words[0] == "save") return HandleSave();
+  if (words[0] == "close") return HandleClose();
+  if (words[0] == "show") {
+    for (const auto& [name, rel] : db().relations()) {
+      std::printf("%s/%d = %s\n", name.c_str(), rel.arity(),
+                  rel.ToString().c_str());
+    }
+    return Status::OK();
+  }
+  if (words[0] == "safe") return HandleSafe(line.substr(5));
+  if (words[0] == "plan") return HandlePlan(line.substr(5));
+  if (words[0] == "explain") {
+    return HandleExplain(line.size() > 8 ? line.substr(8) : "");
+  }
+  if (words[0] == "engine" && words.size() == 2) {
+    use_engine_ = words[1] != "off";
+    std::printf("engine %s\n", use_engine_ ? "on" : "off");
+    return Status::OK();
+  }
+  if (words[0] == "stats" && words.size() == 2) {
+    show_stats_ = words[1] != "off";
+    std::printf("stats %s\n", show_stats_ ? "on" : "off");
+    return Status::OK();
+  }
+  if (words[0] == "budget") return HandleBudget(words);
+  if (words[0] == "metrics" && words.size() == 1) {
+    std::printf("%s\n", MetricsRegistry::Global().DumpJson().c_str());
+    return Status::OK();
+  }
+  return HandleQuery(line);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string chars = argc > 1 ? argv[1] : "ab";
+  std::string chars = "ab";
+  std::vector<std::string> commands;
+  bool script_mode = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "-c") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "-c requires a command argument\n");
+        return 2;
+      }
+      commands.push_back(argv[++i]);
+      script_mode = true;
+    } else if (arg == "--script") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--script requires a file argument\n");
+        return 2;
+      }
+      std::ifstream file(argv[++i]);
+      if (!file) {
+        std::fprintf(stderr, "cannot open script '%s'\n", argv[i]);
+        return 2;
+      }
+      std::string line;
+      while (std::getline(file, line)) {
+        // Blank lines and '#' comments keep scripts readable.
+        size_t first = line.find_first_not_of(" \t");
+        if (first == std::string::npos || line[first] == '#') continue;
+        commands.push_back(line);
+      }
+      script_mode = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      chars = arg;
+    }
+  }
+
   Result<Alphabet> alphabet = Alphabet::Create(chars);
   if (!alphabet.ok()) {
     std::fprintf(stderr, "bad alphabet: %s\n",
                  alphabet.status().ToString().c_str());
     return 1;
   }
-  Database db(*alphabet);
-  std::printf("strdb shell over Sigma = {%s}; :quit to exit\n",
-              chars.c_str());
+  Shell shell(*alphabet);
 
-  bool use_engine = true;
-  bool show_stats = false;
-  ResourceLimits limits;
+  if (script_mode) {
+    for (const std::string& command : commands) {
+      if (command == ":quit" || command == ":q") break;
+      Status status = shell.Execute(command);
+      if (!status.ok()) {
+        std::fprintf(stderr, "error: %s (while executing: %s)\n",
+                     status.ToString().c_str(), command.c_str());
+        return 1;
+      }
+    }
+    return 0;
+  }
+
+  std::printf("strdb shell over Sigma = {%s}; :quit to exit\n", chars.c_str());
   std::string line;
   while (std::printf("> "), std::fflush(stdout),
          std::getline(std::cin, line)) {
     if (line.empty()) continue;
     if (line == ":quit" || line == ":q") break;
-    std::vector<std::string> words = SplitWords(line);
-    if (words.empty()) continue;
-    if (words[0] == "rel") {
-      Status s = HandleRel(&db, words);
-      if (!s.ok()) std::printf("error: %s\n", s.ToString().c_str());
-    } else if (words[0] == "show") {
-      for (const auto& [name, rel] : db.relations()) {
-        std::printf("%s/%d = %s\n", name.c_str(), rel.arity(),
-                    rel.ToString().c_str());
-      }
-    } else if (words[0] == "safe") {
-      HandleSafe(db, line.substr(5));
-    } else if (words[0] == "plan") {
-      HandlePlan(db, line.substr(5));
-    } else if (words[0] == "explain") {
-      HandleExplain(db, line.size() > 8 ? line.substr(8) : "");
-    } else if (words[0] == "engine" && words.size() == 2) {
-      use_engine = words[1] != "off";
-      std::printf("engine %s\n", use_engine ? "on" : "off");
-    } else if (words[0] == "stats" && words.size() == 2) {
-      show_stats = words[1] != "off";
-      std::printf("stats %s\n", show_stats ? "on" : "off");
-    } else if (words[0] == "budget") {
-      HandleBudget(&limits, words);
-    } else if (words[0] == "metrics" && words.size() == 1) {
-      std::printf("%s\n", MetricsRegistry::Global().DumpJson().c_str());
-    } else {
-      HandleQuery(db, line, use_engine, show_stats, limits);
+    Status status = shell.Execute(line);
+    if (!status.ok()) {
+      std::printf("error: %s\n", status.ToString().c_str());
     }
   }
   return 0;

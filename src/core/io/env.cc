@@ -1,0 +1,167 @@
+#include "core/io/env.h"
+
+#include <dirent.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <thread>
+
+namespace strdb {
+
+namespace {
+
+Status ErrnoStatus(const std::string& op, const std::string& path, int err) {
+  std::string msg = op + " '" + path + "': " + strerror(err);
+  // EINTR (and transient resource pressure) are worth retrying; anything
+  // else is a hard error.
+  if (err == EINTR || err == EAGAIN || err == ENOSPC) {
+    return Status::Unavailable(std::move(msg));
+  }
+  if (err == ENOENT) return Status::NotFound(std::move(msg));
+  return Status::Internal(std::move(msg));
+}
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(std::string path, int fd)
+      : path_(std::move(path)), fd_(fd) {}
+
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(const std::string& data) override {
+    const char* p = data.data();
+    size_t left = data.size();
+    while (left > 0) {
+      ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("write", path_, errno);
+      }
+      p += n;
+      left -= static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) return ErrnoStatus("fsync", path_, errno);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return ErrnoStatus("close", path_, errno);
+    return Status::OK();
+  }
+
+ private:
+  std::string path_;
+  int fd_;
+};
+
+class PosixEnv : public Env {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override {
+    int flags = O_WRONLY | O_CREAT | O_CLOEXEC | (truncate ? O_TRUNC : O_APPEND);
+    int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) return ErrnoStatus("open", path, errno);
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<PosixWritableFile>(path, fd));
+  }
+
+  Result<std::string> ReadFile(const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return ErrnoStatus("open", path, errno);
+    std::string out;
+    char buf[1 << 16];
+    for (;;) {
+      ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        int err = errno;
+        ::close(fd);
+        return ErrnoStatus("read", path, err);
+      }
+      if (n == 0) break;
+      out.append(buf, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return out;
+  }
+
+  bool FileExists(const std::string& path) override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+
+  Result<std::vector<std::string>> ListDir(const std::string& path) override {
+    DIR* dir = ::opendir(path.c_str());
+    if (dir == nullptr) return ErrnoStatus("opendir", path, errno);
+    std::vector<std::string> names;
+    while (struct dirent* entry = ::readdir(dir)) {
+      std::string name = entry->d_name;
+      if (name != "." && name != "..") names.push_back(std::move(name));
+    }
+    ::closedir(dir);
+    return names;
+  }
+
+  Status CreateDir(const std::string& path) override {
+    if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) {
+      return Status::OK();
+    }
+    return ErrnoStatus("mkdir", path, errno);
+  }
+
+  Status Rename(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoStatus("rename", from, errno);
+    }
+    return Status::OK();
+  }
+
+  Status Remove(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) return ErrnoStatus("unlink", path, errno);
+    return Status::OK();
+  }
+
+  Status Truncate(const std::string& path, int64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return ErrnoStatus("truncate", path, errno);
+    }
+    return Status::OK();
+  }
+
+  Status SyncDir(const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (fd < 0) return ErrnoStatus("open(dir)", path, errno);
+    Status status;
+    if (::fsync(fd) != 0) status = ErrnoStatus("fsync(dir)", path, errno);
+    ::close(fd);
+    return status;
+  }
+};
+
+}  // namespace
+
+void Env::SleepMs(int64_t ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+Env* Env::Posix() {
+  // Leaked intentionally: storage handles may outlive static destruction
+  // order (same policy as MetricsRegistry::Global).
+  static Env* env = new PosixEnv();
+  return env;
+}
+
+}  // namespace strdb

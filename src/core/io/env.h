@@ -1,0 +1,71 @@
+#ifndef STRDB_CORE_IO_ENV_H_
+#define STRDB_CORE_IO_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/result.h"
+#include "core/status.h"
+
+namespace strdb {
+
+// An append-only file handle.  Durability contract: data is guaranteed
+// on stable storage only after Sync() returns OK — Append alone may sit
+// in OS buffers indefinitely.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  virtual Status Append(const std::string& data) = 0;
+  // fsync(2): flush file data + metadata to stable storage.
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+// The seam between the storage layer and the operating system.  All
+// filesystem access in src/storage goes through an Env so tests can
+// substitute a FaultInjectingEnv (core/io/fault_env.h) and drive the
+// recovery path through every failure the real world can produce.
+//
+// Error taxonomy: kUnavailable marks failures a caller may retry
+// (interrupted syscalls, injected transient faults); kNotFound /
+// kInvalidArgument / kInternal are permanent.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  // Opens `path` for appending; `truncate` discards existing content.
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) = 0;
+
+  // Reads the whole file (storage artifacts are small relative to RAM;
+  // snapshot/WAL recovery wants the bytes contiguously anyway).
+  virtual Result<std::string> ReadFile(const std::string& path) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+  virtual Result<std::vector<std::string>> ListDir(const std::string& path) = 0;
+  // mkdir -p: OK when the directory already exists.
+  virtual Status CreateDir(const std::string& path) = 0;
+  // rename(2): atomic within a filesystem — the commit primitive for
+  // snapshot/CURRENT installation.
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+  virtual Status Remove(const std::string& path) = 0;
+  // Cuts `path` to its first `size` bytes (WAL torn-tail repair).
+  virtual Status Truncate(const std::string& path, int64_t size) = 0;
+  // fsyncs the directory itself so renames/unlinks inside it survive a
+  // crash (POSIX requires a separate sync of the parent directory).
+  virtual Status SyncDir(const std::string& path) = 0;
+
+  // Backoff hook: the retry loop sleeps through the Env so the fault
+  // injector can make backoff instantaneous (and observable) in tests.
+  virtual void SleepMs(int64_t ms);
+
+  // The process-wide real (POSIX) implementation.
+  static Env* Posix();
+};
+
+}  // namespace strdb
+
+#endif  // STRDB_CORE_IO_ENV_H_

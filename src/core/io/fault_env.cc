@@ -1,0 +1,163 @@
+#include "core/io/fault_env.h"
+
+#include <algorithm>
+
+namespace strdb {
+
+// Wraps a base WritableFile, charging every call against the env's plan.
+class FaultInjectedWritableFile : public WritableFile {
+ public:
+  FaultInjectedWritableFile(FaultInjectingEnv* env,
+                            std::unique_ptr<WritableFile> base)
+      : env_(env), base_(std::move(base)) {}
+
+  Status Append(const std::string& data) override {
+    bool crash_now = false;
+    Status gate = env_->Gate("append", &crash_now);
+    if (!gate.ok()) {
+      if (crash_now && env_->torn_write_on_crash()) {
+        // The crash lands mid-write: a strict prefix reaches the disk.
+        size_t torn = env_->TornLength(data.size());
+        if (torn > 0) base_->Append(data.substr(0, torn));
+      }
+      return gate;
+    }
+    return base_->Append(data);
+  }
+
+  Status Sync() override {
+    STRDB_RETURN_IF_ERROR(env_->Gate("sync"));
+    return base_->Sync();
+  }
+
+  Status Close() override {
+    STRDB_RETURN_IF_ERROR(env_->Gate("close"));
+    return base_->Close();
+  }
+
+ private:
+  FaultInjectingEnv* env_;
+  std::unique_ptr<WritableFile> base_;
+};
+
+FaultInjectingEnv::FaultInjectingEnv(Env* base, uint64_t seed)
+    : base_(base), rng_(seed) {}
+
+void FaultInjectingEnv::Reset(FaultPlan plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  plan_ = std::move(plan);
+  ops_ = 0;
+  crashed_ = false;
+  slept_ms_ = 0;
+}
+
+int64_t FaultInjectingEnv::ops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ops_;
+}
+
+bool FaultInjectingEnv::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+int64_t FaultInjectingEnv::slept_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slept_ms_;
+}
+
+Status FaultInjectingEnv::Gate(const char* op, bool* crash_now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t idx = ops_++;
+  if (crash_now != nullptr) *crash_now = false;
+  if (crashed_) {
+    return Status::Unavailable(std::string("simulated crash: ") + op +
+                               " after process death");
+  }
+  if (plan_.crash_at_op >= 0 && idx >= plan_.crash_at_op) {
+    crashed_ = true;
+    if (crash_now != nullptr) *crash_now = true;
+    return Status::Unavailable(std::string("simulated crash at op ") +
+                               std::to_string(idx) + " (" + op + ")");
+  }
+  bool transient =
+      (plan_.transient_every > 0 &&
+       idx % plan_.transient_every == plan_.transient_every - 1) ||
+      std::find(plan_.transient_at.begin(), plan_.transient_at.end(), idx) !=
+          plan_.transient_at.end();
+  if (transient) {
+    return Status::Unavailable(std::string("injected transient fault at op ") +
+                               std::to_string(idx) + " (" + op + ")");
+  }
+  return Status::OK();
+}
+
+size_t FaultInjectingEnv::TornLength(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (n == 0) return 0;
+  return static_cast<size_t>(rng_.Below(static_cast<uint64_t>(n)));
+}
+
+bool FaultInjectingEnv::torn_write_on_crash() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return plan_.torn_write_on_crash;
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectingEnv::NewWritableFile(
+    const std::string& path, bool truncate) {
+  STRDB_RETURN_IF_ERROR(Gate("open"));
+  STRDB_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> base,
+                         base_->NewWritableFile(path, truncate));
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<FaultInjectedWritableFile>(this, std::move(base)));
+}
+
+Result<std::string> FaultInjectingEnv::ReadFile(const std::string& path) {
+  STRDB_RETURN_IF_ERROR(Gate("read"));
+  return base_->ReadFile(path);
+}
+
+bool FaultInjectingEnv::FileExists(const std::string& path) {
+  // Existence probes are metadata-only and failure-free; keeping them out
+  // of the op count keeps sweep indices aligned with effectful I/O.
+  return base_->FileExists(path);
+}
+
+Result<std::vector<std::string>> FaultInjectingEnv::ListDir(
+    const std::string& path) {
+  STRDB_RETURN_IF_ERROR(Gate("listdir"));
+  return base_->ListDir(path);
+}
+
+Status FaultInjectingEnv::CreateDir(const std::string& path) {
+  STRDB_RETURN_IF_ERROR(Gate("mkdir"));
+  return base_->CreateDir(path);
+}
+
+Status FaultInjectingEnv::Rename(const std::string& from,
+                                 const std::string& to) {
+  STRDB_RETURN_IF_ERROR(Gate("rename"));
+  return base_->Rename(from, to);
+}
+
+Status FaultInjectingEnv::Remove(const std::string& path) {
+  STRDB_RETURN_IF_ERROR(Gate("remove"));
+  return base_->Remove(path);
+}
+
+Status FaultInjectingEnv::Truncate(const std::string& path, int64_t size) {
+  STRDB_RETURN_IF_ERROR(Gate("truncate"));
+  return base_->Truncate(path, size);
+}
+
+Status FaultInjectingEnv::SyncDir(const std::string& path) {
+  STRDB_RETURN_IF_ERROR(Gate("syncdir"));
+  return base_->SyncDir(path);
+}
+
+void FaultInjectingEnv::SleepMs(int64_t ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  slept_ms_ += ms;
+}
+
+}  // namespace strdb

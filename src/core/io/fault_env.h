@@ -1,0 +1,99 @@
+#ifndef STRDB_CORE_IO_FAULT_ENV_H_
+#define STRDB_CORE_IO_FAULT_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/io/env.h"
+#include "core/rng.h"
+
+namespace strdb {
+
+class FaultInjectedWritableFile;
+
+// What a FaultInjectingEnv should break.  Operation indices are 0-based
+// and count every Env/WritableFile call that touches the filesystem
+// (Append, Sync, Close, open, read, rename, ...), in execution order —
+// deterministic for a deterministic workload, which is what makes a
+// crash-point *sweep* possible: run once to count the ops, then re-run
+// once per index.
+struct FaultPlan {
+  // Op index at which the simulated process dies: the op itself does not
+  // take effect (except a torn Append, below) and every later op fails.
+  // -1 = never.
+  int64_t crash_at_op = -1;
+  // A crash landing on an Append first persists a seeded-random strict
+  // prefix of the data — the torn write a real power loss produces.
+  bool torn_write_on_crash = true;
+  // Op indices that fail once with kUnavailable.  The retried operation
+  // occupies the *next* index, so a retry loop recovers unless the plan
+  // lists consecutive indices deeper than its retry budget.
+  std::vector<int64_t> transient_at;
+  // > 0: every op with index % transient_every == transient_every - 1
+  // fails with kUnavailable (a flaky-disk soak mode).
+  int64_t transient_every = 0;
+};
+
+// A deterministic fault-injecting Env decorator (cf. LevelDB's
+// FaultInjectionTestEnv, but with a seeded RNG and an op-indexed plan so
+// every run is reproducible bit-for-bit).  All side effects pass through
+// to `base` until the plan says otherwise; after a crash no operation
+// reaches the filesystem again, modelling process death.  SleepMs is
+// recorded but does not sleep, so exponential backoff is instantaneous
+// and observable in tests.
+//
+// Thread safe; WritableFiles it hands out must not outlive the env.
+class FaultInjectingEnv : public Env {
+ public:
+  FaultInjectingEnv(Env* base, uint64_t seed);
+
+  // Installs a new plan and rewinds the op counter and crash flag.
+  void Reset(FaultPlan plan);
+
+  // Ops attempted so far (including faulted ones).
+  int64_t ops() const;
+  bool crashed() const;
+  // Total milliseconds of backoff requested via SleepMs.
+  int64_t slept_ms() const;
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override;
+  Result<std::string> ReadFile(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Result<std::vector<std::string>> ListDir(const std::string& path) override;
+  Status CreateDir(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Remove(const std::string& path) override;
+  Status Truncate(const std::string& path, int64_t size) override;
+  Status SyncDir(const std::string& path) override;
+  void SleepMs(int64_t ms) override;
+
+ private:
+  friend class FaultInjectedWritableFile;
+
+  // Charges one op against the plan.  Returns OK when the op may
+  // proceed; kUnavailable when it is faulted.  `*crash_now` (optional)
+  // is set when this op is the crash point itself (Append uses it to
+  // produce a torn write).
+  Status Gate(const char* op, bool* crash_now = nullptr);
+
+  // Seeded strict-prefix length for a torn write of `n` bytes.
+  size_t TornLength(size_t n);
+
+  bool torn_write_on_crash() const;
+
+  Env* const base_;
+  mutable std::mutex mu_;
+  Rng rng_;
+  FaultPlan plan_;
+  int64_t ops_ = 0;
+  bool crashed_ = false;
+  int64_t slept_ms_ = 0;
+};
+
+}  // namespace strdb
+
+#endif  // STRDB_CORE_IO_FAULT_ENV_H_

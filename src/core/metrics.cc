@@ -35,6 +35,49 @@ void UpdateMax(std::atomic<int64_t>* slot, int64_t v) {
   }
 }
 
+// Metric names are caller-chosen strings; a quote, backslash or control
+// character must not break the JSON dump.
+std::string JsonEscape(const std::string& s) {
+  static const char* hex = "0123456789abcdef";
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    unsigned char u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (u < 0x20) {
+          out += "\\u00";
+          out += hex[u >> 4];
+          out += hex[u & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 void Histogram::Record(int64_t sample) {
@@ -116,19 +159,21 @@ std::string MetricsRegistry::DumpJson() const {
   out << "{\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, c] : counters_) {
-    out << (first ? "\n" : ",\n") << "    \"" << name << "\": " << c->value();
+    out << (first ? "\n" : ",\n") << "    \"" << JsonEscape(name)
+        << "\": " << c->value();
     first = false;
   }
   out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
   first = true;
   for (const auto& [name, g] : gauges_) {
-    out << (first ? "\n" : ",\n") << "    \"" << name << "\": " << g->value();
+    out << (first ? "\n" : ",\n") << "    \"" << JsonEscape(name)
+        << "\": " << g->value();
     first = false;
   }
   out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
   first = true;
   for (const auto& [name, h] : histograms_) {
-    out << (first ? "\n" : ",\n") << "    \"" << name << "\": {"
+    out << (first ? "\n" : ",\n") << "    \"" << JsonEscape(name) << "\": {"
         << "\"count\": " << h->count() << ", \"sum\": " << h->sum()
         << ", \"min\": " << h->min() << ", \"max\": " << h->max()
         << ", \"p50\": " << h->Quantile(0.5)

@@ -20,6 +20,10 @@ const char* StatusCodeName(StatusCode code) {
       return "unimplemented";
     case StatusCode::kInternal:
       return "internal";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+    case StatusCode::kDataLoss:
+      return "data-loss";
   }
   return "unknown";
 }

@@ -18,6 +18,8 @@ enum class StatusCode {
   kResourceExhausted,  // an analysis or search exceeded its explicit budget
   kUnimplemented,      // feature intentionally not (yet) supported
   kInternal,           // invariant violation inside the library
+  kUnavailable,        // transient I/O failure; safe to retry with backoff
+  kDataLoss,           // persisted bytes are corrupt, truncated or torn
 };
 
 // Returns the canonical lower-case name of `code`, e.g. "invalid-argument".
@@ -55,6 +57,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

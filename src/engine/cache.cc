@@ -138,6 +138,22 @@ ArtifactCache::PutGenerated(const std::string& key, GeneratedSet set,
   return shared;
 }
 
+void ArtifactCache::InstallFsa(const std::string& key,
+                               std::shared_ptr<const Fsa> fsa) {
+  int64_t cost = static_cast<int64_t>(key.size()) + FsaCost(*fsa);
+  std::lock_guard<std::mutex> lock(mu_);
+  InsertLocked(Entry{key, std::move(fsa), nullptr, cost});
+}
+
+void ArtifactCache::ForEachFsa(
+    const std::function<void(const std::string& key, const Fsa& fsa)>& fn)
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Entry& entry : lru_) {
+    if (entry.fsa != nullptr) fn(entry.key, *entry.fsa);
+  }
+}
+
 ArtifactCache::Stats ArtifactCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;

@@ -2,6 +2,7 @@
 #define STRDB_ENGINE_CACHE_H_
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -86,6 +87,19 @@ class ArtifactCache {
   Result<std::shared_ptr<const GeneratedSet>> PutGenerated(
       const std::string& key, GeneratedSet set,
       ResourceBudget* budget = nullptr);
+
+  // Installs a prebuilt automaton artifact under `key`, as if a miss had
+  // just computed it — the durable-storage layer uses this to warm the
+  // cache from persisted automata at open time.  Normal LRU accounting
+  // applies (an oversize artifact is dropped, counted as an eviction).
+  void InstallFsa(const std::string& key, std::shared_ptr<const Fsa> fsa);
+
+  // Visits every cached automaton artifact, most recently used first —
+  // the persistence layer harvests these at checkpoint time.  `fn` runs
+  // under the cache lock: keep it cheap and reentrancy-free.
+  void ForEachFsa(
+      const std::function<void(const std::string& key, const Fsa& fsa)>& fn)
+      const;
 
   Stats stats() const;
   void Clear();

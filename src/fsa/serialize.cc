@@ -2,10 +2,13 @@
 
 #include <sstream>
 
+#include "core/io/crc32.h"
+
 namespace strdb {
 
 std::string SerializeFsa(const Fsa& fsa) {
   std::ostringstream out;
+  out << "strdbfsa " << kFsaFormatVersion << '\n';
   out << "fsa tapes=" << fsa.num_tapes() << " states=" << fsa.num_states()
       << " start=" << fsa.start() << " finals=";
   std::vector<int> finals = fsa.FinalStates();
@@ -23,7 +26,9 @@ std::string SerializeFsa(const Fsa& fsa) {
     }
     out << '\n';
   }
-  return out.str();
+  std::string payload = out.str();
+  payload += "crc32 " + Crc32Hex(Crc32(payload)) + '\n';
+  return payload;
 }
 
 namespace {
@@ -51,12 +56,59 @@ Result<int> ToInt(const std::string& s) {
   return value;
 }
 
+// Splits off and verifies the trailing "crc32 <hex>" line, returning the
+// checksummed payload (everything before that line).
+Result<std::string> CheckedPayload(const std::string& text) {
+  size_t line_start;
+  if (text.rfind("crc32 ", 0) == 0) {
+    line_start = 0;
+  } else {
+    size_t pos = text.rfind("\ncrc32 ");
+    if (pos == std::string::npos) {
+      return Status::DataLoss("missing crc32 trailer (truncated input?)");
+    }
+    line_start = pos + 1;
+  }
+  std::string hex = text.substr(line_start + 6);
+  while (!hex.empty() && (hex.back() == '\n' || hex.back() == '\r')) {
+    hex.pop_back();
+  }
+  uint32_t stated = 0;
+  if (!ParseCrc32Hex(hex, &stated)) {
+    return Status::DataLoss("malformed crc32 trailer '" + hex + "'");
+  }
+  std::string payload = text.substr(0, line_start);
+  uint32_t actual = Crc32(payload);
+  if (actual != stated) {
+    return Status::DataLoss("fsa checksum mismatch: stated " + hex +
+                            ", computed " + Crc32Hex(actual));
+  }
+  return payload;
+}
+
 }  // namespace
 
 Result<Fsa> DeserializeFsa(const Alphabet& alphabet,
                            const std::string& text) {
-  std::istringstream in(text);
+  std::istringstream header_in(text);
   std::string word;
+  if (!(header_in >> word) || word != "strdbfsa") {
+    return Status::InvalidArgument("missing 'strdbfsa <version>' header");
+  }
+  std::string version_s;
+  if (!(header_in >> version_s)) {
+    return Status::InvalidArgument("missing fsa format version");
+  }
+  STRDB_ASSIGN_OR_RETURN(int version, ToInt(version_s));
+  if (version != kFsaFormatVersion) {
+    return Status::Unimplemented("unsupported fsa format version " +
+                                 version_s + " (this build speaks " +
+                                 std::to_string(kFsaFormatVersion) + ")");
+  }
+  STRDB_ASSIGN_OR_RETURN(std::string payload, CheckedPayload(text));
+
+  std::istringstream in(payload);
+  in >> word >> word;  // consume the verified "strdbfsa <version>"
   if (!(in >> word) || word != "fsa") {
     return Status::InvalidArgument("missing 'fsa' header");
   }

@@ -8,19 +8,36 @@
 
 namespace strdb {
 
+// The current version of the text format below.  Bump on any change to
+// the line grammar; DeserializeFsa rejects other versions with
+// kUnimplemented so a newer (or older) build never misreads a persisted
+// automaton.
+inline constexpr int kFsaFormatVersion = 2;
+
 // A stable, human-readable text format for persisting compiled
 // automata (compilation is the expensive step; a cached automaton can
 // be reloaded and used for selection immediately):
 //
+//   strdbfsa 2
 //   fsa tapes=2 states=5 start=0 finals=4
 //   t 0 1 <places> +000+
 //   ...
+//   crc32 1c291ca3
 //
-// Reads use the AddTransitionSpec syntax ('<' = ⊢, '>' = ⊣), moves use
-// '+', '-', '0'.  The alphabet is not embedded: the caller supplies it
-// on load and it must cover every symbol in the text.
+// The first line is the format version; the last line is the CRC-32 of
+// every preceding byte, so torn or bit-flipped input is detected before
+// a corrupt machine can enter the artifact cache.  Reads use the
+// AddTransitionSpec syntax ('<' = ⊢, '>' = ⊣), moves use '+', '-', '0'.
+// The alphabet is not embedded: the caller supplies it on load and it
+// must cover every symbol in the text.
+//
+// Serialize → Deserialize → Serialize is byte-identical (the engine's
+// artifact cache keys automata by this text).
 std::string SerializeFsa(const Fsa& fsa);
 
+// Rejections are typed: kInvalidArgument for a malformed header or
+// body, kUnimplemented for a version this build does not speak,
+// kDataLoss for truncation or checksum mismatch.
 Result<Fsa> DeserializeFsa(const Alphabet& alphabet, const std::string& text);
 
 }  // namespace strdb

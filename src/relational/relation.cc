@@ -83,6 +83,42 @@ Status Database::Put(const std::string& name, int arity,
   return Put(name, std::move(rel));
 }
 
+Status Database::InsertTuples(const std::string& name,
+                              std::vector<Tuple> tuples) {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("relation '" + name + "' not in database");
+  }
+  // Validate everything before mutating so a failed call leaves the
+  // relation untouched.
+  for (const Tuple& t : tuples) {
+    if (static_cast<int>(t.size()) != it->second.arity()) {
+      return Status::InvalidArgument(
+          "tuple arity " + std::to_string(t.size()) +
+          " differs from relation arity " +
+          std::to_string(it->second.arity()));
+    }
+    for (const std::string& s : t) {
+      if (!alphabet_.Contains(s)) {
+        return Status::InvalidArgument("string \"" + s + "\" in relation '" +
+                                       name +
+                                       "' leaves the database alphabet");
+      }
+    }
+  }
+  for (Tuple& t : tuples) {
+    STRDB_RETURN_IF_ERROR(it->second.Insert(std::move(t)));
+  }
+  return Status::OK();
+}
+
+Status Database::Remove(const std::string& name) {
+  if (relations_.erase(name) == 0) {
+    return Status::NotFound("relation '" + name + "' not in database");
+  }
+  return Status::OK();
+}
+
 Result<const StringRelation*> Database::Get(const std::string& name) const {
   auto it = relations_.find(name);
   if (it == relations_.end()) {

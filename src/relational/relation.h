@@ -67,6 +67,13 @@ class Database {
   // Convenience: define from a tuple list.
   Status Put(const std::string& name, int arity, std::vector<Tuple> tuples);
 
+  // Adds tuples to an existing relation (kNotFound when it is missing;
+  // arity and alphabet are checked as in Put).
+  Status InsertTuples(const std::string& name, std::vector<Tuple> tuples);
+
+  // Drops relation `name`; kNotFound when it does not exist.
+  Status Remove(const std::string& name);
+
   Result<const StringRelation*> Get(const std::string& name) const;
   bool Has(const std::string& name) const { return relations_.count(name) > 0; }
 

@@ -1,0 +1,238 @@
+#include "storage/codec.h"
+
+#include "fsa/serialize.h"
+
+namespace strdb {
+
+namespace {
+
+void AppendLenPrefixed(std::string* out, const std::string& s) {
+  out->append(std::to_string(s.size()));
+  out->push_back(':');
+  out->append(s);
+}
+
+void AppendTuple(std::string* out, const Tuple& tuple) {
+  out->append("u ");
+  out->append(std::to_string(tuple.size()));
+  for (const std::string& s : tuple) {
+    out->push_back(' ');
+    AppendLenPrefixed(out, s);
+  }
+  out->push_back('\n');
+}
+
+// A bounds-checked cursor over an op payload.  Every reader returns
+// kDataLoss on malformed input: by the time DecodeOp runs, the payload
+// has already passed its frame checksum, so a parse failure means the
+// writer and reader disagree — corruption as far as recovery is
+// concerned.
+class Cursor {
+ public:
+  explicit Cursor(const std::string& data) : data_(data) {}
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+  Status ExpectChar(char c) {
+    if (pos_ >= data_.size() || data_[pos_] != c) {
+      return Status::DataLoss("op payload: expected '" + std::string(1, c) +
+                              "' at offset " + std::to_string(pos_));
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  // Reads the next run of non-separator characters (a keyword or number).
+  Result<std::string> ReadWord() {
+    size_t start = pos_;
+    while (pos_ < data_.size() && data_[pos_] != ' ' && data_[pos_] != '\n' &&
+           data_[pos_] != ':') {
+      ++pos_;
+    }
+    if (pos_ == start) return Status::DataLoss("op payload: empty token");
+    return data_.substr(start, pos_ - start);
+  }
+
+  Result<int64_t> ReadNumber() {
+    STRDB_ASSIGN_OR_RETURN(std::string word, ReadWord());
+    int64_t value = 0;
+    for (char c : word) {
+      if (c < '0' || c > '9') {
+        return Status::DataLoss("op payload: bad number '" + word + "'");
+      }
+      value = value * 10 + (c - '0');
+      if (value > (int64_t{1} << 40)) {
+        return Status::DataLoss("op payload: number out of range");
+      }
+    }
+    return value;
+  }
+
+  // Reads "<len>:<bytes>".
+  Result<std::string> ReadLenPrefixed() {
+    STRDB_ASSIGN_OR_RETURN(int64_t len, ReadNumber());
+    STRDB_RETURN_IF_ERROR(ExpectChar(':'));
+    if (pos_ + static_cast<size_t>(len) > data_.size()) {
+      return Status::DataLoss("op payload: length prefix overruns payload");
+    }
+    std::string out = data_.substr(pos_, static_cast<size_t>(len));
+    pos_ += static_cast<size_t>(len);
+    return out;
+  }
+
+  Result<Tuple> ReadTuple() {
+    STRDB_ASSIGN_OR_RETURN(std::string tag, ReadWord());
+    if (tag.size() != 1 || tag[0] != 'u') {
+      return Status::DataLoss("op payload: expected tuple line, got '" + tag +
+                              "'");
+    }
+    STRDB_RETURN_IF_ERROR(ExpectChar(' '));
+    STRDB_ASSIGN_OR_RETURN(int64_t k, ReadNumber());
+    if (k < 0 || k > 1'000'000) {
+      return Status::DataLoss("op payload: absurd tuple arity");
+    }
+    Tuple tuple;
+    tuple.reserve(static_cast<size_t>(k));
+    for (int64_t i = 0; i < k; ++i) {
+      STRDB_RETURN_IF_ERROR(ExpectChar(' '));
+      STRDB_ASSIGN_OR_RETURN(std::string s, ReadLenPrefixed());
+      tuple.push_back(std::move(s));
+    }
+    STRDB_RETURN_IF_ERROR(ExpectChar('\n'));
+    return tuple;
+  }
+
+ private:
+  const std::string& data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string EncodePut(const std::string& name,
+                      const StringRelation& relation) {
+  std::string out = "put ";
+  AppendLenPrefixed(&out, name);
+  out.push_back(' ');
+  out.append(std::to_string(relation.arity()));
+  out.push_back(' ');
+  out.append(std::to_string(relation.size()));
+  out.push_back('\n');
+  for (const Tuple& t : relation.tuples()) AppendTuple(&out, t);
+  return out;
+}
+
+std::string EncodeInsert(const std::string& name,
+                         const std::vector<Tuple>& tuples) {
+  std::string out = "ins ";
+  AppendLenPrefixed(&out, name);
+  out.push_back(' ');
+  out.append(std::to_string(tuples.size()));
+  out.push_back('\n');
+  for (const Tuple& t : tuples) AppendTuple(&out, t);
+  return out;
+}
+
+std::string EncodeDrop(const std::string& name) {
+  std::string out = "drop ";
+  AppendLenPrefixed(&out, name);
+  out.push_back('\n');
+  return out;
+}
+
+std::string EncodeFsa(const std::string& key, const std::string& fsa_text) {
+  std::string out = "fsa ";
+  AppendLenPrefixed(&out, key);
+  out.push_back(' ');
+  AppendLenPrefixed(&out, fsa_text);
+  out.push_back('\n');
+  return out;
+}
+
+std::string EncodeOp(const CatalogOp& op) {
+  switch (op.kind) {
+    case CatalogOp::kPut: {
+      std::string out = "put ";
+      AppendLenPrefixed(&out, op.name);
+      out.push_back(' ');
+      out.append(std::to_string(op.arity));
+      out.push_back(' ');
+      out.append(std::to_string(op.tuples.size()));
+      out.push_back('\n');
+      for (const Tuple& t : op.tuples) AppendTuple(&out, t);
+      return out;
+    }
+    case CatalogOp::kInsert:
+      return EncodeInsert(op.name, op.tuples);
+    case CatalogOp::kDrop:
+      return EncodeDrop(op.name);
+    case CatalogOp::kFsa:
+      return EncodeFsa(op.key, op.fsa_text);
+  }
+  return "";
+}
+
+Result<CatalogOp> DecodeOp(const std::string& payload) {
+  Cursor cur(payload);
+  CatalogOp op;
+  STRDB_ASSIGN_OR_RETURN(std::string kind, cur.ReadWord());
+  if (kind == "put" || kind == "ins") {
+    op.kind = kind == "put" ? CatalogOp::kPut : CatalogOp::kInsert;
+    STRDB_RETURN_IF_ERROR(cur.ExpectChar(' '));
+    STRDB_ASSIGN_OR_RETURN(op.name, cur.ReadLenPrefixed());
+    STRDB_RETURN_IF_ERROR(cur.ExpectChar(' '));
+    if (op.kind == CatalogOp::kPut) {
+      STRDB_ASSIGN_OR_RETURN(int64_t arity, cur.ReadNumber());
+      if (arity < 0 || arity > 1'000'000) {
+        return Status::DataLoss("op payload: absurd relation arity");
+      }
+      op.arity = static_cast<int>(arity);
+      STRDB_RETURN_IF_ERROR(cur.ExpectChar(' '));
+    }
+    STRDB_ASSIGN_OR_RETURN(int64_t count, cur.ReadNumber());
+    STRDB_RETURN_IF_ERROR(cur.ExpectChar('\n'));
+    op.tuples.reserve(static_cast<size_t>(count));
+    for (int64_t i = 0; i < count; ++i) {
+      STRDB_ASSIGN_OR_RETURN(Tuple t, cur.ReadTuple());
+      op.tuples.push_back(std::move(t));
+    }
+  } else if (kind == "drop") {
+    op.kind = CatalogOp::kDrop;
+    STRDB_RETURN_IF_ERROR(cur.ExpectChar(' '));
+    STRDB_ASSIGN_OR_RETURN(op.name, cur.ReadLenPrefixed());
+    STRDB_RETURN_IF_ERROR(cur.ExpectChar('\n'));
+  } else if (kind == "fsa") {
+    op.kind = CatalogOp::kFsa;
+    STRDB_RETURN_IF_ERROR(cur.ExpectChar(' '));
+    STRDB_ASSIGN_OR_RETURN(op.key, cur.ReadLenPrefixed());
+    STRDB_RETURN_IF_ERROR(cur.ExpectChar(' '));
+    STRDB_ASSIGN_OR_RETURN(op.fsa_text, cur.ReadLenPrefixed());
+    STRDB_RETURN_IF_ERROR(cur.ExpectChar('\n'));
+  } else {
+    return Status::DataLoss("op payload: unknown op kind '" + kind + "'");
+  }
+  if (!cur.AtEnd()) {
+    return Status::DataLoss("op payload: trailing bytes after op");
+  }
+  return op;
+}
+
+Status ApplyOp(const CatalogOp& op, const Alphabet& alphabet, Database* db,
+               std::map<std::string, std::string>* automata) {
+  switch (op.kind) {
+    case CatalogOp::kPut:
+      return db->Put(op.name, op.arity, op.tuples);
+    case CatalogOp::kInsert:
+      return db->InsertTuples(op.name, op.tuples);
+    case CatalogOp::kDrop:
+      return db->Remove(op.name);
+    case CatalogOp::kFsa: {
+      STRDB_RETURN_IF_ERROR(DeserializeFsa(alphabet, op.fsa_text).status());
+      (*automata)[op.key] = op.fsa_text;
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable op kind");
+}
+
+}  // namespace strdb

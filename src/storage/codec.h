@@ -1,0 +1,63 @@
+#ifndef STRDB_STORAGE_CODEC_H_
+#define STRDB_STORAGE_CODEC_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/alphabet.h"
+#include "core/result.h"
+#include "relational/relation.h"
+
+namespace strdb {
+
+// One catalog mutation, the unit both the WAL and the snapshot are made
+// of (a snapshot is just the canonical op sequence that rebuilds the
+// catalog: one kPut per relation, one kFsa per cached automaton).
+struct CatalogOp {
+  enum Kind {
+    kPut,     // create/replace a relation with its tuples
+    kInsert,  // add tuples to an existing relation
+    kDrop,    // remove a relation
+    kFsa,     // install a cached automaton (serialized text) under a key
+  };
+
+  Kind kind = kPut;
+  std::string name;           // kPut / kInsert / kDrop: relation name
+  int arity = 0;              // kPut
+  std::vector<Tuple> tuples;  // kPut / kInsert
+  std::string key;            // kFsa: artifact-cache key
+  std::string fsa_text;       // kFsa: SerializeFsa output (self-checksummed)
+};
+
+// Text encoding, binary-safe via length prefixes: every caller-chosen
+// string (relation names, tuple components, cache keys — which embed
+// newlines) is written as "<len>:<bytes>", so no escaping is needed and
+// a decoder can never over-read.
+//
+//   put <len>:<name> <arity> <ntuples>\n  then per tuple:  u <k> <len>:<s>...\n
+//   ins <len>:<name> <ntuples>\n          then tuple lines as above
+//   drop <len>:<name>\n
+//   fsa <len>:<key> <len>:<serialized-text>\n
+std::string EncodePut(const std::string& name, const StringRelation& relation);
+std::string EncodeInsert(const std::string& name,
+                         const std::vector<Tuple>& tuples);
+std::string EncodeDrop(const std::string& name);
+std::string EncodeFsa(const std::string& key, const std::string& fsa_text);
+
+std::string EncodeOp(const CatalogOp& op);
+
+// Decodes one op; kDataLoss on any malformed byte (the caller treats the
+// enclosing record as corrupt).
+Result<CatalogOp> DecodeOp(const std::string& payload);
+
+// Applies `op` to the in-memory catalog.  kFsa ops verify the embedded
+// automaton against `alphabet` (version + checksum + body) before
+// installing, so a corrupt machine can never re-enter the system through
+// recovery.
+Status ApplyOp(const CatalogOp& op, const Alphabet& alphabet, Database* db,
+               std::map<std::string, std::string>* automata);
+
+}  // namespace strdb
+
+#endif  // STRDB_STORAGE_CODEC_H_

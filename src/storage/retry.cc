@@ -1,0 +1,26 @@
+#include "storage/retry.h"
+
+#include "core/metrics.h"
+
+namespace strdb {
+
+Status RetryIo(Env* env, const RetryPolicy& policy, int64_t* retry_count,
+               const std::function<Status()>& fn) {
+  static Counter* retries =
+      MetricsRegistry::Global().GetCounter("storage.io.retries");
+  Status status = fn();
+  int64_t backoff = policy.backoff_initial_ms;
+  for (int attempt = 0;
+       !status.ok() && status.code() == StatusCode::kUnavailable &&
+       attempt < policy.max_retries;
+       ++attempt) {
+    env->SleepMs(backoff);
+    if (backoff < (int64_t{1} << 30)) backoff *= 2;
+    retries->Increment();
+    if (retry_count != nullptr) ++*retry_count;
+    status = fn();
+  }
+  return status;
+}
+
+}  // namespace strdb

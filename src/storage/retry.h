@@ -1,0 +1,32 @@
+#ifndef STRDB_STORAGE_RETRY_H_
+#define STRDB_STORAGE_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "core/io/env.h"
+#include "core/status.h"
+
+namespace strdb {
+
+// Bounded retry with exponential backoff for transient I/O faults.
+struct RetryPolicy {
+  int max_retries = 5;              // attempts beyond the first
+  int64_t backoff_initial_ms = 1;   // doubles per retry: 1, 2, 4, ...
+};
+
+// Runs `fn`; while it returns kUnavailable (the transient class — see
+// Env's error taxonomy) and the budget allows, sleeps through
+// `env->SleepMs` and retries.  Other codes return immediately.  Every
+// retry increments the process-wide "storage.io.retries" counter and
+// `*retry_count` (when non-null), so recovery reports and the shell's
+// `metrics` command can show how hard the disk fought back.
+//
+// The retried unit must be a SINGLE idempotent-or-framed Env call:
+// retrying a composite sequence could duplicate a WAL append.
+Status RetryIo(Env* env, const RetryPolicy& policy, int64_t* retry_count,
+               const std::function<Status()>& fn);
+
+}  // namespace strdb
+
+#endif  // STRDB_STORAGE_RETRY_H_

@@ -1,0 +1,49 @@
+#ifndef STRDB_STORAGE_SNAPSHOT_H_
+#define STRDB_STORAGE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "core/alphabet.h"
+#include "core/io/env.h"
+#include "core/result.h"
+#include "relational/relation.h"
+#include "storage/retry.h"
+
+namespace strdb {
+
+inline constexpr int kSnapshotFormatVersion = 1;
+
+// A snapshot is the whole catalog as one versioned, checksummed file:
+//
+//   strdbsnap 1
+//   alphabet <len>:<chars>
+//   ops <count>
+//   op <len>:<encoded CatalogOp>     (one per relation, one per automaton)
+//   ...
+//   crc32 <hex-of-everything-above>
+//
+// Snapshots are only ever installed with write-temp + fsync +
+// atomic-rename, so unlike the WAL a snapshot is all-or-nothing: a
+// checksum failure here is real data loss (kDataLoss), not a tail to
+// trim.
+
+// Writes the catalog to `path` via `tmp_path` (same directory) and
+// fsyncs `dir` so the rename survives a crash.
+Status WriteSnapshot(Env* env, const std::string& dir,
+                     const std::string& tmp_path, const std::string& path,
+                     const Database& db,
+                     const std::map<std::string, std::string>& automata,
+                     const RetryPolicy& retry, int64_t* io_retries = nullptr);
+
+// Loads `path` into `db` (which must be empty) and `automata`.
+// kDataLoss on corruption, kUnimplemented on a version mismatch,
+// kInvalidArgument when the stored alphabet differs from `db`'s.
+Status ReadSnapshot(Env* env, const std::string& path, Database* db,
+                    std::map<std::string, std::string>* automata,
+                    const RetryPolicy& retry, int64_t* io_retries = nullptr);
+
+}  // namespace strdb
+
+#endif  // STRDB_STORAGE_SNAPSHOT_H_

@@ -1,0 +1,344 @@
+#include "storage/store.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/metrics.h"
+#include "fsa/serialize.h"
+#include "storage/codec.h"
+#include "storage/snapshot.h"
+
+namespace strdb {
+
+namespace {
+
+struct StoreMetrics {
+  Counter* commits;
+  Counter* checkpoints;
+  Counter* recoveries;
+  Counter* replayed_records;
+  Counter* truncated_bytes;
+};
+
+const StoreMetrics& Metrics() {
+  static const StoreMetrics metrics = [] {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    return StoreMetrics{
+        reg.GetCounter("storage.commits"),
+        reg.GetCounter("storage.checkpoints"),
+        reg.GetCounter("storage.recoveries"),
+        reg.GetCounter("storage.recovery.replayed_records"),
+        reg.GetCounter("storage.recovery.truncated_bytes"),
+    };
+  }();
+  return metrics;
+}
+
+// Parses the CURRENT file: a single decimal generation number.
+Result<int64_t> ParseCurrent(const std::string& content) {
+  int64_t value = 0;
+  bool any = false;
+  for (char c : content) {
+    if (c == '\n') break;
+    if (c < '0' || c > '9') {
+      return Status::DataLoss("CURRENT file is corrupt: '" + content + "'");
+    }
+    value = value * 10 + (c - '0');
+    any = true;
+    if (value > (int64_t{1} << 40)) {
+      return Status::DataLoss("CURRENT file generation out of range");
+    }
+  }
+  if (!any) return Status::DataLoss("CURRENT file is empty");
+  return value;
+}
+
+int64_t CountTuples(const Database& db) {
+  int64_t n = 0;
+  for (const auto& [name, rel] : db.relations()) n += rel.size();
+  return n;
+}
+
+}  // namespace
+
+std::string RecoveryReport::ToString() const {
+  std::ostringstream out;
+  out << "recovered generation " << generation << ": " << relations
+      << " relation(s), " << tuples << " tuple(s), " << automata
+      << " cached automaton(a)";
+  if (snapshot_loaded) out << "; snapshot loaded";
+  out << "; wal: " << wal_records_replayed << " record(s) replayed";
+  if (wal_bytes_truncated > 0) {
+    out << ", " << wal_bytes_truncated << " torn byte(s) truncated ("
+        << wal_tail_error << ")";
+  }
+  if (wal_records_dropped > 0) {
+    out << ", " << wal_records_dropped << " intact record(s) dropped";
+  }
+  if (io_retries > 0) out << "; " << io_retries << " transient I/O retry(ies)";
+  return out.str();
+}
+
+CatalogStore::CatalogStore(std::string dir, const Alphabet& alphabet,
+                           const StoreOptions& options)
+    : dir_(std::move(dir)),
+      options_(options),
+      env_(options.env != nullptr ? options.env : Env::Posix()),
+      db_(alphabet) {}
+
+CatalogStore::~CatalogStore() { Close(); }
+
+std::string CatalogStore::SnapPath(int64_t gen) const {
+  return dir_ + "/snap-" + std::to_string(gen);
+}
+
+std::string CatalogStore::WalPath(int64_t gen) const {
+  return dir_ + "/wal-" + std::to_string(gen);
+}
+
+int64_t CatalogStore::generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return generation_;
+}
+
+Result<std::unique_ptr<CatalogStore>> CatalogStore::Open(
+    const std::string& dir, const Alphabet& alphabet,
+    const StoreOptions& options, RecoveryReport* report) {
+  std::unique_ptr<CatalogStore> store(
+      new CatalogStore(dir, alphabet, options));
+  RecoveryReport local;
+  STRDB_RETURN_IF_ERROR(store->OpenInternal(report ? report : &local));
+  return store;
+}
+
+Status CatalogStore::OpenInternal(RecoveryReport* report) {
+  *report = RecoveryReport{};
+  Metrics().recoveries->Increment();
+  STRDB_RETURN_IF_ERROR(RetryIo(env_, options_.retry, &io_retries_,
+                                [&] { return env_->CreateDir(dir_); }));
+
+  // Which generation is live?
+  std::string current_path = dir_ + "/CURRENT";
+  if (env_->FileExists(current_path)) {
+    report->opened_existing = true;
+    std::string content;
+    STRDB_RETURN_IF_ERROR(RetryIo(env_, options_.retry, &io_retries_, [&] {
+      auto read = env_->ReadFile(current_path);
+      if (!read.ok()) return read.status();
+      content = std::move(*read);
+      return Status::OK();
+    }));
+    STRDB_ASSIGN_OR_RETURN(generation_, ParseCurrent(content));
+  }
+  report->generation = generation_;
+
+  // Sweep leftovers from interrupted checkpoints: temp files and
+  // snapshots/WALs of generations CURRENT never committed.  Best effort —
+  // an orphan costs disk space, not correctness.
+  auto listed = env_->ListDir(dir_);
+  if (listed.ok()) {
+    for (const std::string& name : *listed) {
+      bool orphan = false;
+      if (name.rfind("tmp-", 0) == 0) {
+        orphan = true;
+      } else if (name.rfind("snap-", 0) == 0) {
+        orphan = name != "snap-" + std::to_string(generation_);
+      } else if (name.rfind("wal-", 0) == 0) {
+        orphan = name != "wal-" + std::to_string(generation_);
+      }
+      if (orphan) env_->Remove(dir_ + "/" + name);
+    }
+  }
+
+  // Load the live snapshot, if any.
+  if (generation_ > 0) {
+    STRDB_RETURN_IF_ERROR(ReadSnapshot(env_, SnapPath(generation_), &db_,
+                                       &automata_, options_.retry,
+                                       &io_retries_));
+    report->snapshot_loaded = true;
+  }
+
+  // Replay the WAL, salvaging whatever prefix survived.
+  std::string wal_path = WalPath(generation_);
+  if (env_->FileExists(wal_path)) {
+    report->opened_existing = true;
+    STRDB_ASSIGN_OR_RETURN(
+        WalSalvage salvage,
+        ReadWal(env_, wal_path, options_.retry, &io_retries_));
+    int64_t cut_at = salvage.valid_bytes;
+    std::string cut_why = salvage.tail_error;
+    for (const WalRecord& record : salvage.records) {
+      Result<CatalogOp> op = DecodeOp(record.payload);
+      Status applied =
+          op.ok() ? ApplyOp(*op, db_.alphabet(), &db_, &automata_)
+                  : op.status();
+      if (!applied.ok()) {
+        // A record that frames correctly but does not decode or apply
+        // cannot have been produced by a healthy writer against the
+        // state the log built: treat it — and everything after it — as
+        // the corrupt tail.
+        cut_at = record.offset;
+        cut_why = "record replay failed: " + applied.ToString();
+        report->wal_records_dropped =
+            static_cast<int64_t>(salvage.records.size()) -
+            report->wal_records_replayed;
+        break;
+      }
+      ++report->wal_records_replayed;
+    }
+    if (cut_at < salvage.file_bytes) {
+      STRDB_RETURN_IF_ERROR(RetryIo(env_, options_.retry, &io_retries_, [&] {
+        return env_->Truncate(wal_path, cut_at);
+      }));
+    }
+    report->wal_bytes_truncated = salvage.file_bytes - cut_at;
+    report->wal_tail_error = cut_why;
+  }
+
+  // Reopen the (repaired) log for appending.
+  wal_ = std::make_unique<WalWriter>(env_, wal_path, options_.sync,
+                                     options_.retry);
+  STRDB_RETURN_IF_ERROR(wal_->Open(/*truncate=*/false, &io_retries_));
+
+  report->relations = static_cast<int64_t>(db_.relations().size());
+  report->tuples = CountTuples(db_);
+  report->automata = static_cast<int64_t>(automata_.size());
+  report->io_retries = io_retries_;
+  Metrics().replayed_records->Increment(report->wal_records_replayed);
+  Metrics().truncated_bytes->Increment(report->wal_bytes_truncated);
+  return Status::OK();
+}
+
+Status CatalogStore::CommitPayload(const std::string& payload) {
+  if (wal_ == nullptr) return Status::Internal("store is closed");
+  STRDB_RETURN_IF_ERROR(wal_->Append(payload));
+  Metrics().commits->Increment();
+  return Status::OK();
+}
+
+Status CatalogStore::PutRelation(const std::string& name, int arity,
+                                 std::vector<Tuple> tuples) {
+  // Build and validate before logging, so the WAL only ever sees ops
+  // that apply cleanly.
+  STRDB_ASSIGN_OR_RETURN(StringRelation rel,
+                         StringRelation::Create(arity, std::move(tuples)));
+  for (const Tuple& t : rel.tuples()) {
+    for (const std::string& s : t) {
+      if (!db_.alphabet().Contains(s)) {
+        return Status::InvalidArgument("string \"" + s +
+                                       "\" leaves the database alphabet");
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  STRDB_RETURN_IF_ERROR(CommitPayload(EncodePut(name, rel)));
+  return db_.Put(name, std::move(rel));
+}
+
+Status CatalogStore::InsertTuples(const std::string& name,
+                                  std::vector<Tuple> tuples) {
+  std::lock_guard<std::mutex> lock(mu_);
+  STRDB_ASSIGN_OR_RETURN(const StringRelation* rel, db_.Get(name));
+  for (const Tuple& t : tuples) {
+    if (static_cast<int>(t.size()) != rel->arity()) {
+      return Status::InvalidArgument(
+          "tuple arity " + std::to_string(t.size()) +
+          " differs from relation arity " + std::to_string(rel->arity()));
+    }
+    for (const std::string& s : t) {
+      if (!db_.alphabet().Contains(s)) {
+        return Status::InvalidArgument("string \"" + s +
+                                       "\" leaves the database alphabet");
+      }
+    }
+  }
+  STRDB_RETURN_IF_ERROR(CommitPayload(EncodeInsert(name, tuples)));
+  return db_.InsertTuples(name, std::move(tuples));
+}
+
+Status CatalogStore::DropRelation(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!db_.Has(name)) {
+    return Status::NotFound("relation '" + name + "' not in database");
+  }
+  STRDB_RETURN_IF_ERROR(CommitPayload(EncodeDrop(name)));
+  return db_.Remove(name);
+}
+
+Status CatalogStore::InstallAutomaton(const std::string& key, const Fsa& fsa) {
+  return InstallAutomatonText(key, SerializeFsa(fsa));
+}
+
+Status CatalogStore::InstallAutomatonText(const std::string& key,
+                                          std::string fsa_text) {
+  // Verify before persisting: the WAL must never carry an automaton that
+  // will not deserialize on recovery.
+  STRDB_RETURN_IF_ERROR(DeserializeFsa(db_.alphabet(), fsa_text).status());
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = automata_.find(key);
+  if (it != automata_.end() && it->second == fsa_text) return Status::OK();
+  STRDB_RETURN_IF_ERROR(CommitPayload(EncodeFsa(key, fsa_text)));
+  automata_[key] = std::move(fsa_text);
+  return Status::OK();
+}
+
+Status CatalogStore::Checkpoint() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (wal_ == nullptr) return Status::Internal("store is closed");
+  int64_t next = generation_ + 1;
+
+  // 1. Materialise the snapshot file (atomic: temp + fsync + rename).
+  STRDB_RETURN_IF_ERROR(WriteSnapshot(
+      env_, dir_, dir_ + "/tmp-snap-" + std::to_string(next), SnapPath(next),
+      db_, automata_, options_.retry, &io_retries_));
+
+  // 2. Flip CURRENT — the commit point of the checkpoint.
+  {
+    std::string tmp = dir_ + "/tmp-CURRENT";
+    std::unique_ptr<WritableFile> file;
+    STRDB_RETURN_IF_ERROR(RetryIo(env_, options_.retry, &io_retries_, [&] {
+      auto opened = env_->NewWritableFile(tmp, /*truncate=*/true);
+      if (!opened.ok()) return opened.status();
+      file = std::move(*opened);
+      return Status::OK();
+    }));
+    std::string content = std::to_string(next) + "\n";
+    STRDB_RETURN_IF_ERROR(RetryIo(env_, options_.retry, &io_retries_,
+                                  [&] { return file->Append(content); }));
+    STRDB_RETURN_IF_ERROR(RetryIo(env_, options_.retry, &io_retries_,
+                                  [&] { return file->Sync(); }));
+    STRDB_RETURN_IF_ERROR(RetryIo(env_, options_.retry, &io_retries_,
+                                  [&] { return file->Close(); }));
+    STRDB_RETURN_IF_ERROR(RetryIo(env_, options_.retry, &io_retries_, [&] {
+      return env_->Rename(tmp, dir_ + "/CURRENT");
+    }));
+    STRDB_RETURN_IF_ERROR(RetryIo(env_, options_.retry, &io_retries_,
+                                  [&] { return env_->SyncDir(dir_); }));
+  }
+
+  // 3. Start the new (empty) log.  From here on the old generation's
+  // files are garbage; a crash leaves them for Open() to sweep.
+  Status closed = wal_->Close();
+  (void)closed;  // the old log is obsolete either way
+  wal_ = std::make_unique<WalWriter>(env_, WalPath(next), options_.sync,
+                                     options_.retry);
+  STRDB_RETURN_IF_ERROR(wal_->Open(/*truncate=*/true, &io_retries_));
+
+  // 4. Best-effort cleanup of the previous generation.
+  if (generation_ > 0) env_->Remove(SnapPath(generation_));
+  env_->Remove(WalPath(generation_));
+  env_->SyncDir(dir_);
+
+  generation_ = next;
+  Metrics().checkpoints->Increment();
+  return Status::OK();
+}
+
+Status CatalogStore::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (wal_ == nullptr) return Status::OK();
+  std::unique_ptr<WalWriter> wal = std::move(wal_);
+  return wal->Close();
+}
+
+}  // namespace strdb

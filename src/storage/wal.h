@@ -1,0 +1,79 @@
+#ifndef STRDB_STORAGE_WAL_H_
+#define STRDB_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/io/env.h"
+#include "core/result.h"
+#include "storage/retry.h"
+
+namespace strdb {
+
+// The append-only write-ahead log of catalog mutations.  A WAL file is a
+// sequence of CRC-framed records:
+//
+//   rec <payload-len> <crc32-hex-of-payload>\n
+//   <payload bytes>\n
+//
+// The frame makes every failure a real disk produces detectable: a torn
+// append leaves a half-frame (bad header, short payload or missing
+// terminator), a bit flip fails the CRC.  Recovery keeps the longest
+// intact record prefix and reports the rest as a cut tail — it never
+// propagates a partial record.
+class WalWriter {
+ public:
+  // `sync` = fsync after every framed append (the commit point).  Turning
+  // it off trades durability of the last few records for throughput.
+  WalWriter(Env* env, std::string path, bool sync, RetryPolicy retry);
+
+  // Opens (creating or truncating) the file.  `io_retries` (optional)
+  // accumulates transient-fault retries across this writer's lifetime.
+  Status Open(bool truncate, int64_t* io_retries = nullptr);
+
+  // Frames `payload` and appends it; with `sync` on, the record is on
+  // stable storage when this returns OK.
+  Status Append(const std::string& payload);
+
+  Status Close();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  Env* const env_;
+  const std::string path_;
+  const bool sync_;
+  const RetryPolicy retry_;
+  int64_t* io_retries_ = nullptr;
+  std::unique_ptr<WritableFile> file_;
+};
+
+// One intact record recovered from a WAL file, with its byte extent.
+struct WalRecord {
+  std::string payload;
+  int64_t offset = 0;      // frame start
+  int64_t end_offset = 0;  // one past the frame's terminator
+};
+
+// What a WAL read salvaged.
+struct WalSalvage {
+  std::vector<WalRecord> records;
+  int64_t file_bytes = 0;       // total bytes in the file
+  int64_t valid_bytes = 0;      // longest intact prefix (truncate target)
+  int64_t truncated_bytes = 0;  // file_bytes - valid_bytes
+  std::string tail_error;       // why the tail was cut; empty when clean
+};
+
+// Reads and frames `path` (which must exist).  Never fails on a corrupt
+// tail — that is the expected post-crash state — only on unreadable
+// files.  The caller is responsible for truncating the file to
+// `valid_bytes` before appending again.
+Result<WalSalvage> ReadWal(Env* env, const std::string& path,
+                           const RetryPolicy& retry,
+                           int64_t* io_retries = nullptr);
+
+}  // namespace strdb
+
+#endif  // STRDB_STORAGE_WAL_H_

@@ -266,6 +266,29 @@ TEST(MetricsTest, RegistryReturnsStablePointersAndDumpsJson) {
   EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
 }
 
+TEST(MetricsTest, DumpJsonEscapesHostileNames) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  // Instrument names flow straight into the dump as JSON keys; anything
+  // a caller can put in a std::string must come out escaped, not as
+  // broken JSON.
+  reg.GetCounter("hostile \"quoted\"\\back\nnew\tline\x01" "end")->Increment(9);
+  std::string json = reg.DumpJson();
+  EXPECT_NE(
+      json.find("\"hostile \\\"quoted\\\"\\\\back\\nnew\\tline\\u0001end\": 9"),
+      std::string::npos)
+      << json;
+  // No raw control character may survive inside a JSON string; the only
+  // ones in the dump are the pretty-printer's structural newlines.
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    if (json[i] == '"' && (i == 0 || json[i - 1] != '\\')) {
+      in_string = !in_string;
+    } else if (in_string) {
+      EXPECT_GE(static_cast<unsigned char>(json[i]), 0x20u) << "at byte " << i;
+    }
+  }
+}
+
 TEST(MetricsTest, HistogramIsThreadSafeUnderConcurrentRecords) {
   Histogram h;
   constexpr int kThreads = 4;

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "core/io/crc32.h"
 #include "core/rng.h"
 #include "fsa/compile.h"
 #include "fsa/serialize.h"
@@ -106,6 +107,94 @@ TEST(FsaSerializeTest, DeserializeRejectsGarbage) {
   Alphabet sigma = Alphabet::Binary();
   EXPECT_FALSE(DeserializeFsa(sigma, "").ok());
   EXPECT_FALSE(DeserializeFsa(sigma, "not an fsa").ok());
+}
+
+// The durable-format regression suite: the persisted text must carry a
+// version header and a checksum trailer, and the reader must reject —
+// with the right typed error — anything a crash or a bad disk can do to
+// the bytes.
+
+std::string SerializedSample(const Alphabet& sigma) {
+  return SerializeFsa(Compile("([x,y]l(x = y))* . [x,y]l(x = ~ & y = ~)",
+                              sigma, {"x", "y"}));
+}
+
+TEST(FsaSerializeFormatTest, CarriesVersionHeaderAndChecksumTrailer) {
+  Alphabet sigma = Alphabet::Binary();
+  std::string text = SerializedSample(sigma);
+  EXPECT_EQ(text.rfind("strdbfsa " + std::to_string(kFsaFormatVersion) + "\n",
+                       0),
+            0u);
+  // Trailer: a final "crc32 <8 hex>\n" line checksumming everything
+  // before it.
+  ASSERT_GE(text.size(), 16u);
+  size_t trailer = text.rfind("crc32 ");
+  ASSERT_NE(trailer, std::string::npos);
+  std::string hex = text.substr(trailer + 6, 8);
+  uint32_t stated = 0;
+  ASSERT_TRUE(ParseCrc32Hex(hex, &stated));
+  EXPECT_EQ(stated, Crc32(text.substr(0, trailer)));
+}
+
+TEST(FsaSerializeFormatTest, TruncatedInputIsRejectedWithTypedErrors) {
+  Alphabet sigma = Alphabet::Binary();
+  std::string text = SerializedSample(sigma);
+  size_t header_end = text.find('\n');
+  ASSERT_NE(header_end, std::string::npos);
+  // Every proper prefix must be rejected — cutting mid-line, at line
+  // boundaries, inside the trailer: a torn write can stop anywhere.
+  // Cuts inside the version header read as "not our format"
+  // (invalid-argument); anything after it is a verified-format
+  // truncation and must be data-loss.  (Cutting only the final '\n' is
+  // excluded: the checksum covers all content, so that one cosmetic
+  // truncation still verifies.)
+  for (size_t cut = 0; cut + 1 < text.size(); ++cut) {
+    Result<Fsa> r = DeserializeFsa(sigma, text.substr(0, cut));
+    ASSERT_FALSE(r.ok()) << "accepted a " << cut << "-byte prefix";
+    if (cut > header_end) {
+      EXPECT_EQ(r.status().code(), StatusCode::kDataLoss) << "cut=" << cut;
+    }
+  }
+}
+
+TEST(FsaSerializeFormatTest, FlippedBytesAreDetected) {
+  Alphabet sigma = Alphabet::Binary();
+  std::string text = SerializedSample(sigma);
+  size_t header_end = text.find('\n');
+  for (size_t i = 0; i < text.size(); ++i) {
+    std::string mutated = text;
+    mutated[i] ^= 0x04;  // keeps most bytes printable, still a real flip
+    Result<Fsa> r = DeserializeFsa(sigma, mutated);
+    ASSERT_FALSE(r.ok()) << "accepted a flip at byte " << i;
+    // A flip inside the header line may read as a foreign format or a
+    // foreign version; everything after it must fail the checksum.
+    if (i > header_end) {
+      EXPECT_EQ(r.status().code(), StatusCode::kDataLoss) << "flip at " << i;
+    }
+  }
+}
+
+TEST(FsaSerializeFormatTest, FutureVersionIsUnimplemented) {
+  Alphabet sigma = Alphabet::Binary();
+  std::string text = SerializedSample(sigma);
+  // Bump the version but keep the checksum honest: the reader must fail
+  // on the version line, not the crc.
+  std::string body = text.substr(0, text.rfind("crc32 "));
+  ASSERT_EQ(body.rfind("strdbfsa ", 0), 0u);
+  body.replace(0, body.find('\n'), "strdbfsa 99");
+  std::string mutated = body + "crc32 " + Crc32Hex(Crc32(body)) + "\n";
+  Result<Fsa> r = DeserializeFsa(sigma, mutated);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(FsaSerializeFormatTest, MissingHeaderIsInvalidArgument) {
+  Alphabet sigma = Alphabet::Binary();
+  std::string body = "fsa tapes=1 states=1 start=0 finals=0\n";
+  std::string text = body + "crc32 " + Crc32Hex(Crc32(body)) + "\n";
+  Result<Fsa> r = DeserializeFsa(sigma, text);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
 }
 
 }  // namespace
