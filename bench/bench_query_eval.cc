@@ -14,7 +14,21 @@
 // scale with the database, not with |Σ|^l; the engine must beat the
 // generator again by reusing specialised automata and generations
 // across the odometer and across runs.
+//
+// E24 (query side) — σ_A filtering of a materialised relation with the
+// compiled acceptance kernel on vs off (EngineOptions::enable_kernel).
+// `--json[=PATH]` (default BENCH_query_eval.json) writes the
+// machine-readable comparison; `--quick` shrinks it for CI smoke runs.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "calculus/eval.h"
@@ -183,8 +197,176 @@ void BM_ConcatQueryNaiveCalculus(benchmark::State& state) {
 }
 BENCHMARK(BM_ConcatQueryNaiveCalculus)->DenseRange(2, 6, 2)->Complexity();
 
+// --- E24 (query side): σ_A over a materialised relation, kernel on/off ---
+
+// An arity-3 relation of (x, y, z) triples, half of which satisfy
+// x = y·z — a pure filter-select workload (no Σ* generation), so the
+// acceptance check dominates and the kernel's effect is isolated.
+Database MakeTriples(int tuples, int max_len, uint64_t seed) {
+  Database db(Alphabet::Binary());
+  Rng rng(seed);
+  std::vector<Tuple> t;
+  for (int i = 0; i < tuples; ++i) {
+    std::string y = rng.String(db.alphabet(), 1, max_len);
+    std::string z = rng.String(db.alphabet(), 1, max_len);
+    std::string x = y + z;
+    if (i % 2 == 1) x.back() = x.back() == 'a' ? 'b' : 'a';
+    t.push_back({x, y, z});
+  }
+  if (!db.Put("T", 3, std::move(t)).ok()) std::abort();
+  return db;
+}
+
+AlgebraExpr FilterQuery(const Alphabet& alphabet) {
+  Fsa fsa = OrDie(CompileStringFormula(Parse(kConcatText), alphabet),
+                  "concat");
+  return OrDie(
+      AlgebraExpr::Select(AlgebraExpr::Relation("T", 3), std::move(fsa)),
+      "select");
+}
+
+void BM_FilterSelect(benchmark::State& state, bool enable_kernel) {
+  const int tuples = static_cast<int>(state.range(0));
+  Database db = MakeTriples(tuples, 24, 7);
+  AlgebraExpr query = FilterQuery(db.alphabet());
+  EvalOptions opts;
+  opts.truncation = 64;
+  EngineOptions eopts;
+  eopts.enable_kernel = enable_kernel;
+  Engine engine(eopts);
+  if (!engine.Execute(query, db, opts).ok()) std::abort();
+  int64_t answers = 0;
+  for (auto _ : state) {
+    Result<StringRelation> r = engine.Execute(query, db, opts);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      break;
+    }
+    answers = r->size();
+  }
+  state.counters["answers"] = static_cast<double>(answers);
+  state.SetComplexityN(tuples);
+}
+void BM_FilterSelectKernel(benchmark::State& state) {
+  BM_FilterSelect(state, true);
+}
+void BM_FilterSelectReference(benchmark::State& state) {
+  BM_FilterSelect(state, false);
+}
+BENCHMARK(BM_FilterSelectKernel)
+    ->RangeMultiplier(4)
+    ->Range(16, 1024)
+    ->Complexity();
+BENCHMARK(BM_FilterSelectReference)
+    ->RangeMultiplier(4)
+    ->Range(16, 1024)
+    ->Complexity();
+
+int64_t TimeNs(const std::function<void()>& fn) {
+  std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+int RunJsonMode(const std::string& path, bool quick) {
+  const int tuples = quick ? 128 : 1024;
+  const int max_len = quick ? 12 : 24;
+  Database db = MakeTriples(tuples, max_len, 7);
+  AlgebraExpr query = FilterQuery(db.alphabet());
+  EvalOptions opts;
+  opts.truncation = 2 * max_len + 2;
+
+  EngineOptions kernel_opts;
+  kernel_opts.enable_kernel = true;
+  EngineOptions reference_opts;
+  reference_opts.enable_kernel = false;
+  Engine kernel_engine(kernel_opts);
+  Engine reference_engine(reference_opts);
+
+  // Warm both engines and check they agree on the answer.
+  Result<StringRelation> a = kernel_engine.Execute(query, db, opts);
+  Result<StringRelation> b = reference_engine.Execute(query, db, opts);
+  if (!a.ok() || !b.ok() || a->size() != b->size()) {
+    std::fprintf(stderr, "kernel/reference answers disagree\n");
+    return 1;
+  }
+
+  int64_t one_pass = TimeNs([&] {
+    benchmark::DoNotOptimize(reference_engine.Execute(query, db, opts));
+  });
+  int64_t target_ns = quick ? 20'000'000 : 400'000'000;
+  int reps = static_cast<int>(target_ns / std::max<int64_t>(one_pass, 1));
+  reps = std::max(1, std::min(reps, 200));
+
+  int64_t reference_ns = TimeNs([&] {
+    for (int r = 0; r < reps; ++r) {
+      benchmark::DoNotOptimize(reference_engine.Execute(query, db, opts));
+    }
+  });
+  int64_t kernel_ns = TimeNs([&] {
+    for (int r = 0; r < reps; ++r) {
+      benchmark::DoNotOptimize(kernel_engine.Execute(query, db, opts));
+    }
+  });
+
+  double per = static_cast<double>(reps) * static_cast<double>(tuples);
+  double ref_per_tuple = static_cast<double>(reference_ns) / per;
+  double ker_per_tuple = static_cast<double>(kernel_ns) / per;
+  double speedup = ref_per_tuple / ker_per_tuple;
+
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  out << "{\n  \"experiment\": \"E24_filter_select\",\n"
+      << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+      << "  \"results\": [\n"
+      << "    {\"name\": \"sigma_concat_triples\", \"tuples\": " << tuples
+      << ", \"reps\": " << reps << ", \"answers\": " << a->size()
+      << ", \"reference_ns_per_tuple\": "
+      << static_cast<int64_t>(ref_per_tuple)
+      << ", \"kernel_ns_per_tuple\": " << static_cast<int64_t>(ker_per_tuple)
+      << ", \"speedup\": "
+      << static_cast<double>(static_cast<int64_t>(speedup * 100)) / 100
+      << "}\n  ]\n}\n";
+  std::printf("sigma_concat_triples  reference %8.0f ns/tuple  kernel %8.0f "
+              "ns/tuple  speedup %.2fx\n",
+              ref_per_tuple, ker_per_tuple, speedup);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace strdb
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool json = false;
+  bool quick = false;
+  std::vector<char*> rest;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+      json_path = "BENCH_query_eval.json";
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json = true;
+      json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  if (json) return strdb::bench::RunJsonMode(json_path, quick);
+  int rest_argc = static_cast<int>(rest.size());
+  benchmark::Initialize(&rest_argc, rest.data());
+  if (benchmark::ReportUnrecognizedArguments(rest_argc, rest.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

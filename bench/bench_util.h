@@ -30,6 +30,11 @@ inline StringFormula Parse(const std::string& text) {
 // The recurring §2 formulae.
 inline const char kEqualityText[] =
     "([x,y]l(x = y))* . [x,y]l(x = y = ~)";
+// Three-way equality selection σ(x = y = z): same scan, one more tape —
+// the configuration space grows to Π(|w_i|+2)·|Q| ~ n³ while the set of
+// *reachable* configurations stays linear in n.
+inline const char kEquality3Text[] =
+    "([x,y,z]l(x = y = z))* . [x,y,z]l(x = y = z = ~)";
 inline const char kConcatText[] =
     "([x,y]l(x = y))* . ([x,z]l(x = z))* . [x,y,z]l(x = y = z = ~)";
 inline const char kManifoldText[] =

@@ -57,6 +57,10 @@ int64_t ArtifactCache::FsaCost(const Fsa& fsa) {
          static_cast<int64_t>(fsa.num_transitions()) * per_transition;
 }
 
+int64_t ArtifactCache::KernelCost(const AcceptKernel& kernel) {
+  return kernel.MemoryCost();
+}
+
 int64_t ArtifactCache::GeneratedCost(const GeneratedSet& set) {
   // Red-black tree node (3 pointers + colour, rounded) + vector header
   // per tuple, string header + content per component.
@@ -106,7 +110,7 @@ Result<std::shared_ptr<const Fsa>> ArtifactCache::GetSpecialized(
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    InsertLocked(Entry{key, shared, nullptr, cost});
+    InsertLocked(Entry{key, shared, nullptr, nullptr, cost});
   }
   *derived_key = std::move(key);
   return shared;
@@ -134,7 +138,32 @@ ArtifactCache::PutGenerated(const std::string& key, GeneratedSet set,
     STRDB_RETURN_IF_ERROR(budget->ChargeCachedBytes(cost));
   }
   std::lock_guard<std::mutex> lock(mu_);
-  InsertLocked(Entry{key, nullptr, shared, cost});
+  InsertLocked(Entry{key, nullptr, shared, nullptr, cost});
+  return shared;
+}
+
+std::shared_ptr<const AcceptKernel> ArtifactCache::GetKernel(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    RecordMissLocked();
+    return nullptr;
+  }
+  RecordHitLocked();
+  TouchLocked(it->second);
+  return it->second->kernel;
+}
+
+Result<std::shared_ptr<const AcceptKernel>> ArtifactCache::PutKernel(
+    const std::string& key, AcceptKernel kernel, ResourceBudget* budget) {
+  auto shared = std::make_shared<const AcceptKernel>(std::move(kernel));
+  int64_t cost = static_cast<int64_t>(key.size()) + KernelCost(*shared);
+  if (budget != nullptr) {
+    STRDB_RETURN_IF_ERROR(budget->ChargeCachedBytes(cost));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  InsertLocked(Entry{key, nullptr, nullptr, shared, cost});
   return shared;
 }
 
@@ -142,7 +171,7 @@ void ArtifactCache::InstallFsa(const std::string& key,
                                std::shared_ptr<const Fsa> fsa) {
   int64_t cost = static_cast<int64_t>(key.size()) + FsaCost(*fsa);
   std::lock_guard<std::mutex> lock(mu_);
-  InsertLocked(Entry{key, std::move(fsa), nullptr, cost});
+  InsertLocked(Entry{key, std::move(fsa), nullptr, nullptr, cost});
 }
 
 void ArtifactCache::ForEachFsa(

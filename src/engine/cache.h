@@ -14,6 +14,7 @@
 #include "core/budget.h"
 #include "core/result.h"
 #include "fsa/fsa.h"
+#include "fsa/kernel.h"
 
 namespace strdb {
 
@@ -24,9 +25,10 @@ namespace strdb {
 // σ_A(F × (Σ*)^n) revisiting a factor value, two queries sharing a
 // compiled formula) skip respecialisation and regeneration entirely.
 //
-// Two artifact kinds are cached:
+// Three artifact kinds are cached:
 //   * specialised automata   — Specialize(A, tape := constant);
-//   * bounded generations    — EnumerateLanguage(A', max_len) results.
+//   * bounded generations    — EnumerateLanguage(A', max_len) results;
+//   * acceptance kernels     — AcceptKernel::Compile(A) for σ_A filters.
 // Both are pure functions of their key, so the cache never changes a
 // result; only budget *errors* can differ when a previously computed
 // artifact is reused under a smaller step budget.
@@ -68,6 +70,7 @@ class ArtifactCache {
   // and exposed for tests.
   static int64_t FsaCost(const Fsa& fsa);
   static int64_t GeneratedCost(const GeneratedSet& set);
+  static int64_t KernelCost(const AcceptKernel& kernel);
 
   // Returns Specialize(base, base tape `tape` := value), where `base` is
   // the machine identified by `base_key`; `*derived_key` receives the
@@ -86,6 +89,15 @@ class ArtifactCache {
   // if it is immediately evicted.
   Result<std::shared_ptr<const GeneratedSet>> PutGenerated(
       const std::string& key, GeneratedSet set,
+      ResourceBudget* budget = nullptr);
+
+  // Returns the cached compiled acceptance kernel for `key`, or nullptr.
+  std::shared_ptr<const AcceptKernel> GetKernel(const std::string& key);
+  // Caches `kernel` under `key`, charging its cost to `budget` (when
+  // given).  Returns the shared artifact so callers keep it alive even
+  // if it is immediately evicted.
+  Result<std::shared_ptr<const AcceptKernel>> PutKernel(
+      const std::string& key, AcceptKernel kernel,
       ResourceBudget* budget = nullptr);
 
   // Installs a prebuilt automaton artifact under `key`, as if a miss had
@@ -110,6 +122,7 @@ class ArtifactCache {
     std::string key;
     std::shared_ptr<const Fsa> fsa;
     std::shared_ptr<const GeneratedSet> generated;
+    std::shared_ptr<const AcceptKernel> kernel;
     int64_t cost = 0;
   };
 

@@ -10,6 +10,7 @@
 #include "core/metrics.h"
 #include "fsa/accept.h"
 #include "fsa/generate.h"
+#include "fsa/kernel.h"
 
 namespace strdb {
 
@@ -280,6 +281,29 @@ class Executor {
     return Status::Internal("unknown plan operator");
   }
 
+  // Fetches (or compiles) the acceptance kernel for `node`'s automaton.
+  // Returns nullptr when the kernel is disabled or uncompilable, in
+  // which case the caller falls back to the reference BFS.
+  Result<std::shared_ptr<const AcceptKernel>> KernelFor(PlanNode* node) {
+    if (!engine_options_.enable_kernel) return std::shared_ptr<const AcceptKernel>();
+    if (cache_ != nullptr) {
+      std::string key = node->fsa_key + "\n|kernel";
+      std::shared_ptr<const AcceptKernel> kernel = cache_->GetKernel(key);
+      if (kernel != nullptr) {
+        ++node->stats.cache_hits;
+        return kernel;
+      }
+      ++node->stats.cache_misses;
+      Result<AcceptKernel> compiled = AcceptKernel::Compile(*node->fsa);
+      if (!compiled.ok()) return std::shared_ptr<const AcceptKernel>();
+      return cache_->PutKernel(key, std::move(compiled).value(),
+                               options_.budget);
+    }
+    Result<AcceptKernel> compiled = AcceptKernel::Compile(*node->fsa);
+    if (!compiled.ok()) return std::shared_ptr<const AcceptKernel>();
+    return std::make_shared<const AcceptKernel>(std::move(compiled).value());
+  }
+
   Result<StringRelation> FilterSelect(PlanNode* node) {
     STRDB_ASSIGN_OR_RETURN(const StringRelation* child,
                            Eval(node->children[0].get()));
@@ -293,12 +317,21 @@ class Executor {
     std::vector<int64_t> steps(tuples.size(), 0);
     std::vector<Status> errors(tuples.size());
     const Fsa& fsa = *node->fsa;
+    STRDB_ASSIGN_OR_RETURN(std::shared_ptr<const AcceptKernel> kernel,
+                           KernelFor(node));
     AcceptOptions accept_opts;
     accept_opts.budget = options_.budget;  // shared account; charging is atomic
     auto check_range = [&](int64_t begin, int64_t end) {
+      // One scratch per pool thread, reused across chunks, batches and
+      // queries: the warm path allocates nothing per tuple.
+      thread_local AcceptScratch scratch;
       for (int64_t i = begin; i < end; ++i) {
-        Result<AcceptStats> res = AcceptsWithStats(
-            fsa, *tuples[static_cast<size_t>(i)], accept_opts);
+        Result<AcceptStats> res =
+            kernel != nullptr
+                ? scratch.Accept(*kernel, *tuples[static_cast<size_t>(i)],
+                                 accept_opts)
+                : AcceptsWithStats(fsa, *tuples[static_cast<size_t>(i)],
+                                   accept_opts);
         if (!res.ok()) {
           errors[static_cast<size_t>(i)] = res.status();
           continue;

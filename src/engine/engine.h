@@ -24,6 +24,12 @@ struct EngineOptions {
   // Byte bound of the artifact cache (LRU-evicted; <= 0 picks the
   // default).  The bound holds at all times, not just between queries.
   int64_t cache_max_bytes = ArtifactCache::kDefaultMaxBytes;
+  // Run σ_A filters through the compiled acceptance kernel
+  // (fsa/kernel): CSR-indexed transitions, a one-way fast path and
+  // reusable per-thread scratch.  Off = every tuple runs the reference
+  // Theorem 3.3 BFS (AcceptsWithStats); answers are identical either
+  // way, only speed differs.
+  bool enable_kernel = true;
   // Partition filter-select inputs across the thread pool.  Inputs
   // smaller than `parallel_threshold` tuples run on the calling thread.
   bool enable_parallel = true;

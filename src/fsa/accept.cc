@@ -1,13 +1,13 @@
 #include "fsa/accept.h"
 
-#include <deque>
-
 namespace strdb {
 
 namespace {
 
 // Dense configuration indexing: state-major, then tape positions in
-// mixed radix with radix |w_i|+2 per tape.
+// mixed radix with radix |w_i|+2 per tape.  Many tapes × long strings
+// can push Π(|w_i|+2)·|Q| past int64: the constructor detects the
+// overflow instead of wrapping, and callers refuse the search.
 class ConfigSpace {
  public:
   ConfigSpace(const Fsa& fsa, const std::vector<std::vector<Sym>>& tapes)
@@ -18,12 +18,20 @@ class ConfigSpace {
     for (const std::vector<Sym>& w : tapes) {
       radix_.push_back(static_cast<int64_t>(w.size()) + 2);
       stride_.push_back(stride);
-      stride *= radix_.back();
+      if (__builtin_mul_overflow(stride, radix_.back(), &stride)) {
+        overflowed_ = true;
+        return;
+      }
     }
     per_state_ = stride;
+    overflowed_ = __builtin_mul_overflow(
+        per_state_, static_cast<int64_t>(fsa_.num_states()), &total_);
   }
 
-  int64_t total() const { return per_state_ * fsa_.num_states(); }
+  // False iff the configuration count exceeds the int64 index range.
+  bool ok() const { return !overflowed_; }
+
+  int64_t total() const { return total_; }
 
   int64_t Encode(int state, const std::vector<int>& pos) const {
     int64_t idx = static_cast<int64_t>(state) * per_state_;
@@ -33,10 +41,11 @@ class ConfigSpace {
     return idx;
   }
 
+  // `pos` must already have one slot per tape (sized once by the caller,
+  // so the hot loop never reallocates).
   void Decode(int64_t idx, int* state, std::vector<int>* pos) const {
     *state = static_cast<int>(idx / per_state_);
     int64_t rest = idx % per_state_;
-    pos->resize(tapes_.size());
     for (size_t i = 0; i < tapes_.size(); ++i) {
       (*pos)[i] = static_cast<int>(rest % radix_[i]);
       rest /= radix_[i];
@@ -56,6 +65,8 @@ class ConfigSpace {
   std::vector<int64_t> radix_;
   std::vector<int64_t> stride_;
   int64_t per_state_ = 1;
+  int64_t total_ = 0;
+  bool overflowed_ = false;
 };
 
 }  // namespace
@@ -74,8 +85,16 @@ Result<AcceptStats> AcceptsWithStats(const Fsa& fsa,
   }
 
   ConfigSpace space(fsa, tapes);
+  if (!space.ok()) {
+    return Status::ResourceExhausted(
+        "configuration space exceeds int64 index range");
+  }
   std::vector<bool> visited(static_cast<size_t>(space.total()), false);
-  std::deque<int64_t> frontier;
+  // FIFO frontier as a growable vector with a head cursor: same visit
+  // order as the old std::deque, minus its chunked allocation.
+  std::vector<int64_t> frontier;
+  frontier.reserve(64);
+  size_t head = 0;
 
   std::vector<int> zero(static_cast<size_t>(fsa.num_tapes()), 0);
   int64_t init = space.Encode(fsa.start(), zero);
@@ -83,14 +102,13 @@ Result<AcceptStats> AcceptsWithStats(const Fsa& fsa,
   frontier.push_back(init);
 
   AcceptStats stats;
-  std::vector<int> pos;
-  std::vector<int> next_pos;
-  while (!frontier.empty()) {
+  std::vector<int> pos(static_cast<size_t>(fsa.num_tapes()));
+  std::vector<int> next_pos(static_cast<size_t>(fsa.num_tapes()));
+  while (head < frontier.size()) {
     if (options.budget != nullptr) {
       STRDB_RETURN_IF_ERROR(options.budget->ChargeSteps(1));
     }
-    int64_t idx = frontier.front();
-    frontier.pop_front();
+    int64_t idx = frontier[head++];
     ++stats.configurations_visited;
     int state;
     space.Decode(idx, &state, &pos);
