@@ -8,6 +8,7 @@
 #include "fsa/fsa.h"
 #include "strform/parser.h"
 #include "strform/string_formula.h"
+#include "testing/corpus.h"
 
 namespace strdb {
 namespace bench {
@@ -27,33 +28,17 @@ inline StringFormula Parse(const std::string& text) {
   return OrDie(ParseStringFormula(text), text.c_str());
 }
 
-// The recurring §2 formulae.
-inline const char kEqualityText[] =
-    "([x,y]l(x = y))* . [x,y]l(x = y = ~)";
-// Three-way equality selection σ(x = y = z): same scan, one more tape —
-// the configuration space grows to Π(|w_i|+2)·|Q| ~ n³ while the set of
-// *reachable* configurations stays linear in n.
-inline const char kEquality3Text[] =
-    "([x,y,z]l(x = y = z))* . [x,y,z]l(x = y = z = ~)";
-inline const char kConcatText[] =
-    "([x,y]l(x = y))* . ([x,z]l(x = z))* . [x,y,z]l(x = y = z = ~)";
-inline const char kManifoldText[] =
-    "(([x,y]l(x = y))* . [y]l(y = ~) . ([y]r(!(y = ~)))* . [y]r(y = ~))* "
-    ". ([x,y]l(x = y))* . [x,y]l(x = y = ~)";
-inline const char kShuffleText[] =
-    "(([x,y]l(x = y)) + ([x,z]l(x = z)))* . [x,y,z]l(x = y = z = ~)";
-
-// The B_s machine family of Eq. (8) with one unidirectional input x:
-// recognises (w, a^{s(|w|+1)}) — the witness that the linear limitation
-// bound of Theorem 5.2 is tight.  Tape 0 = input, tape 1 = output.
-Fsa MakeBs(const Alphabet& alphabet, int s);
-
-// The quadratic family B'_s (s even): a second, *bidirectional* input y
-// is wound to ⊣ in odd ring states and rewound in even ones, each step
-// printing output — outputs grow with (|y|+2)·(|x|+1), the Theorem 5.2
-// quadratic witness.  Tape 0 = x (uni input), tape 1 = y (bidi input),
-// tape 2 = output.
-Fsa MakeBsPrime(const Alphabet& alphabet, int s);
+// The §2 corpus (formula texts and the Theorem 5.2 witness families)
+// lives in src/testing/corpus.h so tests, benches and the conformance
+// harness agree on the exact artifacts; re-exported here to keep bench
+// call sites stable.
+using testgen::kConcatText;
+using testgen::kEquality3Text;
+using testgen::kEqualityText;
+using testgen::kManifoldText;
+using testgen::kShuffleText;
+using testgen::MakeBs;
+using testgen::MakeBsPrime;
 
 }  // namespace bench
 }  // namespace strdb

@@ -1,0 +1,36 @@
+#ifndef STRDB_FUZZ_FUZZ_COMMON_H_
+#define STRDB_FUZZ_FUZZ_COMMON_H_
+
+// Shared body of the differential libFuzzer entries: the input bytes
+// drive the same structure-aware generator the strdb_conformance CLI
+// uses (via ByteSource), the target's oracle runs once, and a
+// divergence aborts so libFuzzer saves the input as a crash.  Because
+// generation is total — exhausted inputs just draw zeros — every input
+// is a valid case and coverage feedback mutates cases structurally.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "testing/differential.h"
+#include "testing/random_source.h"
+
+namespace strdb {
+namespace testgen {
+
+inline void FuzzDifferentialTarget(const DiffTarget& target,
+                                   const uint8_t* data, size_t size) {
+  ByteSource source(data, size);
+  DiffTarget::CasePtr c = target.Generate(source);
+  if (auto divergence = target.Run(*c)) {
+    std::fprintf(stderr, "divergence in target '%s':\n%s\ncase:\n%s\n",
+                 target.name().c_str(), divergence->summary.c_str(),
+                 target.Serialize(*c).c_str());
+    std::abort();
+  }
+}
+
+}  // namespace testgen
+}  // namespace strdb
+
+#endif  // STRDB_FUZZ_FUZZ_COMMON_H_

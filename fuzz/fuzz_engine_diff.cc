@@ -1,0 +1,10 @@
+// libFuzzer: planning/parallel engine vs the naïve algebra evaluator,
+// including budgeted runs (which must fail typed, never answer wrong).
+#include "fuzz_common.h"
+#include "testing/targets.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  static const strdb::testgen::EngineDiffTarget target;
+  strdb::testgen::FuzzDifferentialTarget(target, data, size);
+  return 0;
+}

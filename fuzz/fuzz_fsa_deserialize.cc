@@ -1,0 +1,37 @@
+// libFuzzer: DeserializeFsa on raw attacker-controlled bytes.  Unlike
+// the roundtrip differential target (which mutates byte streams the
+// serializer produced), this feeds the parser arbitrary input directly:
+// it must reject with a typed code or accept with a re-serialization
+// fixpoint — never crash, hang or report an untyped error.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/alphabet.h"
+#include "core/status.h"
+#include "fsa/serialize.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string text(reinterpret_cast<const char*>(data), size);
+  strdb::Alphabet sigma = strdb::Alphabet::Binary();
+  strdb::Result<strdb::Fsa> fsa = strdb::DeserializeFsa(sigma, text);
+  if (!fsa.ok()) {
+    strdb::StatusCode code = fsa.status().code();
+    if (code != strdb::StatusCode::kInvalidArgument &&
+        code != strdb::StatusCode::kUnimplemented &&
+        code != strdb::StatusCode::kDataLoss) {
+      std::fprintf(stderr, "untyped rejection: %s\n",
+                   fsa.status().ToString().c_str());
+      std::abort();
+    }
+    return 0;
+  }
+  std::string again = strdb::SerializeFsa(*fsa);
+  strdb::Result<strdb::Fsa> twice = strdb::DeserializeFsa(sigma, again);
+  if (!twice.ok() || strdb::SerializeFsa(*twice) != again) {
+    std::fprintf(stderr, "accepted input is not a serialization fixpoint\n");
+    std::abort();
+  }
+  return 0;
+}

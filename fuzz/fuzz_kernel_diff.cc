@@ -1,0 +1,9 @@
+// libFuzzer: compiled acceptance kernel vs the Theorem 3.3 reference.
+#include "fuzz_common.h"
+#include "testing/targets.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  static const strdb::testgen::KernelDiffTarget target;
+  strdb::testgen::FuzzDifferentialTarget(target, data, size);
+  return 0;
+}

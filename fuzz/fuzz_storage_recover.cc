@@ -1,0 +1,10 @@
+// libFuzzer: catalog open → mutate → crash → recover against the
+// committed-prefix oracle, fully in memory (MemEnv + FaultInjectingEnv).
+#include "fuzz_common.h"
+#include "testing/targets.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  static const strdb::testgen::StorageRecoverTarget target;
+  strdb::testgen::FuzzDifferentialTarget(target, data, size);
+  return 0;
+}

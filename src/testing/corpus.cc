@@ -1,14 +1,18 @@
-#include "bench_util.h"
+#include "testing/corpus.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
 
 namespace strdb {
-namespace bench {
+namespace testgen {
 
 namespace {
 
 void MustAdd(Fsa* fsa, Transition t) {
   Status s = fsa->AddTransition(std::move(t));
   if (!s.ok()) {
-    std::fprintf(stderr, "bad bench transition: %s\n", s.ToString().c_str());
+    std::fprintf(stderr, "bad corpus transition: %s\n", s.ToString().c_str());
     std::abort();
   }
 }
@@ -125,5 +129,5 @@ Fsa MakeBsPrime(const Alphabet& alphabet, int s) {
   return fsa;
 }
 
-}  // namespace bench
+}  // namespace testgen
 }  // namespace strdb

@@ -1,0 +1,42 @@
+#ifndef STRDB_TESTING_CORPUS_H_
+#define STRDB_TESTING_CORPUS_H_
+
+#include "fsa/fsa.h"
+
+namespace strdb {
+namespace testgen {
+
+// The recurring §2 string formulae.  Defined once here so tests,
+// benches and the conformance harness agree on the exact text (and so a
+// distribution tweak in one place retunes every consumer).
+inline const char kEqualityText[] =
+    "([x,y]l(x = y))* . [x,y]l(x = y = ~)";
+// Three-way equality selection σ(x = y = z): same scan, one more tape —
+// the configuration space grows to Π(|w_i|+2)·|Q| ~ n³ while the set of
+// *reachable* configurations stays linear in n.
+inline const char kEquality3Text[] =
+    "([x,y,z]l(x = y = z))* . [x,y,z]l(x = y = z = ~)";
+inline const char kConcatText[] =
+    "([x,y]l(x = y))* . ([x,z]l(x = z))* . [x,y,z]l(x = y = z = ~)";
+inline const char kManifoldText[] =
+    "(([x,y]l(x = y))* . [y]l(y = ~) . ([y]r(!(y = ~)))* . [y]r(y = ~))* "
+    ". ([x,y]l(x = y))* . [x,y]l(x = y = ~)";
+inline const char kShuffleText[] =
+    "(([x,y]l(x = y)) + ([x,z]l(x = z)))* . [x,y,z]l(x = y = z = ~)";
+
+// The B_s machine family of Eq. (8) with one unidirectional input x:
+// recognises (w, a^{s(|w|+1)}) — the witness that the linear limitation
+// bound of Theorem 5.2 is tight.  Tape 0 = input, tape 1 = output.
+Fsa MakeBs(const Alphabet& alphabet, int s);
+
+// The quadratic family B'_s (s even): a second, *bidirectional* input y
+// is wound to ⊣ in odd ring states and rewound in even ones, each step
+// printing output — outputs grow with (|y|+2)·(|x|+1), the Theorem 5.2
+// quadratic witness.  Tape 0 = x (uni input), tape 1 = y (bidi input),
+// tape 2 = output.
+Fsa MakeBsPrime(const Alphabet& alphabet, int s);
+
+}  // namespace testgen
+}  // namespace strdb
+
+#endif  // STRDB_TESTING_CORPUS_H_

@@ -1,0 +1,139 @@
+#include "testing/mem_env.h"
+
+#include <utility>
+
+namespace strdb {
+namespace testgen {
+
+namespace {
+
+// The directory component of `path` ("" when none).
+std::string DirName(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+std::string BaseName(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+}  // namespace
+
+class MemWritableFile : public WritableFile {
+ public:
+  MemWritableFile(MemEnv* env, std::string path)
+      : env_(env), path_(std::move(path)) {}
+
+  Status Append(const std::string& data) override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    env_->files_[path_] += data;
+    return Status::OK();
+  }
+
+  Status Sync() override { return Status::OK(); }
+  Status Close() override { return Status::OK(); }
+
+ private:
+  MemEnv* env_;
+  std::string path_;
+};
+
+Result<std::unique_ptr<WritableFile>> MemEnv::NewWritableFile(
+    const std::string& path, bool truncate) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (truncate || it == files_.end()) files_[path] = "";
+  return std::unique_ptr<WritableFile>(new MemWritableFile(this, path));
+}
+
+Result<std::string> MemEnv::ReadFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::NotFound("read " + path + ": no such file");
+  }
+  return it->second;
+}
+
+bool MemEnv::FileExists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.count(path) > 0;
+}
+
+Result<std::vector<std::string>> MemEnv::ListDir(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dirs_.count(path) == 0) {
+    return Status::NotFound("opendir " + path + ": no such directory");
+  }
+  std::vector<std::string> names;
+  for (const auto& [file, contents] : files_) {
+    (void)contents;
+    if (DirName(file) == path) names.push_back(BaseName(file));
+  }
+  return names;
+}
+
+Status MemEnv::CreateDir(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  dirs_.insert(path);
+  return Status::OK();
+}
+
+Status MemEnv::Rename(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(from);
+  if (it == files_.end()) {
+    return Status::NotFound("rename " + from + ": no such file");
+  }
+  files_[to] = std::move(it->second);
+  files_.erase(it);
+  return Status::OK();
+}
+
+Status MemEnv::Remove(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (files_.erase(path) == 0) {
+    return Status::NotFound("unlink " + path + ": no such file");
+  }
+  return Status::OK();
+}
+
+Status MemEnv::Truncate(const std::string& path, int64_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::NotFound("truncate " + path + ": no such file");
+  }
+  it->second.resize(static_cast<size_t>(size), '\0');
+  return Status::OK();
+}
+
+Status MemEnv::SyncDir(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dirs_.count(path) == 0) {
+    return Status::NotFound("open(dir) " + path + ": no such directory");
+  }
+  return Status::OK();
+}
+
+void MemEnv::SleepMs(int64_t ms) { (void)ms; }
+
+std::string MemEnv::FileContents(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  return it == files_.end() ? std::string() : it->second;
+}
+
+Status MemEnv::SetFileContents(const std::string& path, std::string contents) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::NotFound("set " + path + ": no such file");
+  }
+  it->second = std::move(contents);
+  return Status::OK();
+}
+
+}  // namespace testgen
+}  // namespace strdb

@@ -1,0 +1,64 @@
+#ifndef STRDB_TESTING_MEM_ENV_H_
+#define STRDB_TESTING_MEM_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/io/env.h"
+
+namespace strdb {
+namespace testgen {
+
+// A purely in-memory Env: the storage fuzz targets run thousands of
+// open → mutate → crash → recover cycles per second against it, with no
+// filesystem residue and no dependence on the host's disk.  Layered
+// under FaultInjectingEnv it gives a fully hermetic crash-recovery
+// harness (the fault env injects the crashes and torn writes; this env
+// just remembers bytes).
+//
+// Semantics mirror PosixEnv where the storage layer can observe them:
+// ListDir returns basenames, Rename is atomic, Truncate extends with
+// NULs past EOF, missing paths are kNotFound.  Durability is trivially
+// satisfied (every Append is immediately "stable"); torn writes are
+// modelled above this layer by FaultInjectingEnv shortening the data
+// before it gets here.
+//
+// Thread safe.  WritableFiles must not outlive the env.
+class MemEnv : public Env {
+ public:
+  MemEnv() = default;
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override;
+  Result<std::string> ReadFile(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Result<std::vector<std::string>> ListDir(const std::string& path) override;
+  Status CreateDir(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Remove(const std::string& path) override;
+  Status Truncate(const std::string& path, int64_t size) override;
+  Status SyncDir(const std::string& path) override;
+  void SleepMs(int64_t ms) override;
+
+  // Test hooks: direct access to a file's bytes (empty when missing),
+  // and the file names under `dir` (like ListDir but infallible).
+  std::string FileContents(const std::string& path);
+  Status SetFileContents(const std::string& path, std::string contents);
+
+ private:
+  friend class MemWritableFile;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> files_;
+  std::set<std::string> dirs_;
+};
+
+}  // namespace testgen
+}  // namespace strdb
+
+#endif  // STRDB_TESTING_MEM_ENV_H_

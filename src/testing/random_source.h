@@ -1,0 +1,86 @@
+#ifndef STRDB_TESTING_RANDOM_SOURCE_H_
+#define STRDB_TESTING_RANDOM_SOURCE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/alphabet.h"
+#include "core/rng.h"
+
+namespace strdb {
+namespace testgen {
+
+// The randomness seam every generator in src/testing draws from.  Two
+// implementations: RngSource (a seeded splitmix64 stream — tests, the
+// strdb_conformance CLI) and ByteSource (a finite fuzzer input — the
+// libFuzzer front-ends).  Because both front-ends share the generators,
+// a libFuzzer crash input and a CLI seed exercise the same case space.
+class RandomSource {
+ public:
+  virtual ~RandomSource() = default;
+
+  virtual uint64_t Next() = 0;
+
+  // Uniform integer in [0, bound).  `bound` must be positive.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int Range(int lo, int hi) {
+    return lo + static_cast<int>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  bool Coin() { return (Next() & 1) != 0; }
+
+  // A random Σ-string with length in [min_len, max_len].
+  std::string String(const Alphabet& alphabet, int min_len, int max_len) {
+    int len = Range(min_len, max_len);
+    std::string out;
+    out.reserve(static_cast<size_t>(len));
+    for (int i = 0; i < len; ++i) {
+      out.push_back(alphabet.CharOf(
+          static_cast<Sym>(Below(static_cast<uint64_t>(alphabet.size())))));
+    }
+    return out;
+  }
+};
+
+// Seeded pseudo-random source: the deterministic CLI / test front-end.
+class RngSource : public RandomSource {
+ public:
+  explicit RngSource(uint64_t seed) : rng_(seed) {}
+
+  uint64_t Next() override { return rng_.Next(); }
+
+ private:
+  Rng rng_;
+};
+
+// A finite byte buffer as a randomness source: the libFuzzer front-end.
+// Draws consume 8 bytes at a time; an exhausted buffer yields zeros, so
+// every input maps to a definite (small) case and coverage feedback can
+// steer byte mutations into structural case mutations.
+class ByteSource : public RandomSource {
+ public:
+  ByteSource(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  uint64_t Next() override {
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v = (v << 8) | (pos_ < size_ ? data_[pos_++] : 0);
+    }
+    return v;
+  }
+
+  bool exhausted() const { return pos_ >= size_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace testgen
+}  // namespace strdb
+
+#endif  // STRDB_TESTING_RANDOM_SOURCE_H_

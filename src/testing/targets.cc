@@ -1,0 +1,1424 @@
+#include "testing/targets.h"
+
+#include <cstdlib>
+#include <iterator>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "core/budget.h"
+#include "core/io/fault_env.h"
+#include "fsa/compile.h"
+#include "fsa/serialize.h"
+#include "storage/store.h"
+#include "strform/parser.h"
+#include "testing/generators.h"
+
+namespace strdb {
+namespace testgen {
+
+namespace {
+
+// --- tiny text-format toolkit ----------------------------------------------
+//
+// Every case serialization below is line-oriented: fixed header lines,
+// length-prefixed tuple fields (so empty strings and arbitrary alphabet
+// characters survive), and embedded SerializeFsa blocks delimited by
+// their own trailing "crc32 <hex>" line.
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) {
+      if (start < text.size()) lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+struct LineCursor {
+  explicit LineCursor(const std::string& text) : lines(SplitLines(text)) {}
+
+  bool Done() const { return i >= lines.size(); }
+  Result<std::string> Take(const char* what) {
+    if (Done()) {
+      return Status::InvalidArgument(std::string("case text ends before ") +
+                                     what);
+    }
+    return lines[i++];
+  }
+
+  std::vector<std::string> lines;
+  size_t i = 0;
+};
+
+Result<int64_t> ParseInt(const std::string& token) {
+  if (token.empty()) return Status::InvalidArgument("empty integer field");
+  char* end = nullptr;
+  long long v = std::strtoll(token.c_str(), &end, 10);
+  if (end != token.c_str() + token.size()) {
+    return Status::InvalidArgument("bad integer '" + token + "'");
+  }
+  return static_cast<int64_t>(v);
+}
+
+Result<uint64_t> ParseU64(const std::string& token) {
+  if (token.empty()) return Status::InvalidArgument("empty integer field");
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+  if (end != token.c_str() + token.size()) {
+    return Status::InvalidArgument("bad integer '" + token + "'");
+  }
+  return static_cast<uint64_t>(v);
+}
+
+std::vector<std::string> SplitTokens(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string tok;
+  while (in >> tok) tokens.push_back(tok);
+  return tokens;
+}
+
+std::string AlphabetChars(const Alphabet& sigma) {
+  std::string chars;
+  for (int i = 0; i < sigma.size(); ++i) {
+    chars.push_back(sigma.CharOf(static_cast<Sym>(i)));
+  }
+  return chars;
+}
+
+std::string EncodeTupleLine(const Tuple& tuple) {
+  std::string line = "t";
+  for (const std::string& field : tuple) {
+    line += " " + std::to_string(field.size()) + ":" + field;
+  }
+  return line;
+}
+
+Result<Tuple> DecodeTupleLine(const std::string& line) {
+  if (line.empty() || line[0] != 't') {
+    return Status::InvalidArgument("expected tuple line, got '" + line + "'");
+  }
+  Tuple tuple;
+  size_t p = 1;
+  while (p < line.size()) {
+    if (line[p] != ' ') {
+      return Status::InvalidArgument("malformed tuple line '" + line + "'");
+    }
+    ++p;
+    size_t colon = line.find(':', p);
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("malformed tuple field in '" + line +
+                                     "'");
+    }
+    STRDB_ASSIGN_OR_RETURN(int64_t len, ParseInt(line.substr(p, colon - p)));
+    if (len < 0 || colon + 1 + static_cast<size_t>(len) > line.size()) {
+      return Status::InvalidArgument("tuple field length out of range in '" +
+                                     line + "'");
+    }
+    tuple.push_back(line.substr(colon + 1, static_cast<size_t>(len)));
+    p = colon + 1 + static_cast<size_t>(len);
+  }
+  return tuple;
+}
+
+// Consumes an embedded SerializeFsa block: every line up to and
+// including its "crc32 <hex>" trailer.
+Result<std::string> TakeFsaBlock(LineCursor* cursor) {
+  std::string block;
+  while (true) {
+    STRDB_ASSIGN_OR_RETURN(std::string line, cursor->Take("fsa block"));
+    block += line;
+    block += '\n';
+    if (line.rfind("crc32 ", 0) == 0) return block;
+  }
+}
+
+std::string QuoteTuple(const Tuple& tuple) {
+  std::string out = "(";
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (i) out += ", ";
+    out += "\"" + tuple[i] + "\"";
+  }
+  return out + ")";
+}
+
+Fsa CopyWithoutTransition(const Fsa& fsa, size_t skip) {
+  Fsa out(fsa.alphabet(), fsa.num_tapes());
+  while (out.num_states() < fsa.num_states()) out.AddState();
+  for (int s = 0; s < fsa.num_states(); ++s) {
+    if (fsa.IsFinal(s)) out.SetFinal(s);
+  }
+  out.SetStart(fsa.start());
+  for (size_t i = 0; i < fsa.transitions().size(); ++i) {
+    if (i == skip) continue;
+    // Re-adding a transition that was already valid cannot fail.
+    Status status = out.AddTransition(fsa.transitions()[i]);
+    (void)status;
+  }
+  return out;
+}
+
+std::string DescribeStatus(const Result<AcceptStats>& r) {
+  return r.ok() ? (r->accepted ? "accept" : "reject")
+                : r.status().ToString();
+}
+
+}  // namespace
+
+// --- KernelDiffTarget -------------------------------------------------------
+
+Result<AcceptStats> KernelDiffTarget::FastVerdict(const AcceptKernel& kernel,
+                                                  const Tuple& tuple) const {
+  return scratch_.Accept(kernel, tuple);
+}
+
+DiffTarget::CasePtr KernelDiffTarget::Generate(RandomSource& rand) const {
+  Alphabet sigma = Alphabet::Binary();
+  Fsa fsa = [&]() -> Fsa {
+    if (rand.Range(0, 2) == 0) {
+      // A compiled machine: the kernel must agree with the reference on
+      // the automata the compiler actually emits, not just on raw
+      // random transition soup.
+      std::string text = RandomStringFormulaText(rand, sigma, 2);
+      Result<StringFormula> formula = ParseStringFormula(text);
+      if (formula.ok()) {
+        Result<Fsa> compiled =
+            CompileStringFormula(*formula, sigma, {"x", "y"});
+        if (compiled.ok()) return std::move(*compiled);
+      }
+      // Fall through to a raw random machine on any failure: generation
+      // never fails, it just redistributes.
+    }
+    FsaGenOptions options;
+    options.one_way_only = rand.Coin();
+    return RandomFsa(rand, sigma, options);
+  }();
+
+  auto c = std::make_unique<KernelCase>(std::move(fsa));
+  int tapes = c->fsa.num_tapes();
+  int n = rand.Range(1, 6);
+  for (int i = 0; i < n; ++i) {
+    if (rand.Coin()) {
+      // Correlated tuple: components share a base string, so equality /
+      // prefix / concatenation machines actually reach accepting runs.
+      std::string base = rand.String(sigma, 0, 4);
+      Tuple tuple;
+      for (int tape = 0; tape < tapes; ++tape) {
+        switch (rand.Range(0, 2)) {
+          case 0:
+            tuple.push_back(base);
+            break;
+          case 1:
+            tuple.push_back(base.substr(
+                0, rand.Below(static_cast<uint64_t>(base.size()) + 1)));
+            break;
+          default:
+            tuple.push_back(rand.String(sigma, 0, 4));
+        }
+      }
+      c->tuples.push_back(std::move(tuple));
+    } else {
+      c->tuples.push_back(RandomTuple(rand, sigma, tapes, 4));
+    }
+  }
+  return c;
+}
+
+std::optional<Divergence> KernelDiffTarget::Run(const Case& c) const {
+  const auto& kc = static_cast<const KernelCase&>(c);
+  Result<AcceptKernel> kernel = AcceptKernel::Compile(kc.fsa);
+  if (!kernel.ok()) {
+    // Compile refusal (kResourceExhausted on absurd key spaces) is a
+    // documented outcome, not a divergence — but our generator cannot
+    // reach it, so surface anything else.
+    if (kernel.status().code() == StatusCode::kResourceExhausted) {
+      return std::nullopt;
+    }
+    return Divergence{"kernel compile failed unexpectedly: " +
+                      kernel.status().ToString()};
+  }
+  bool two_way = HasBackwardMove(kc.fsa);
+  if (kernel->one_way() == two_way) {
+    return Divergence{
+        std::string("one-way classification disagrees with the transition "
+                    "table: kernel says ") +
+        (kernel->one_way() ? "one-way" : "two-way") + "\n" +
+        kc.fsa.ToString()};
+  }
+  for (const Tuple& tuple : kc.tuples) {
+    Result<AcceptStats> reference = AcceptsWithStats(kc.fsa, tuple);
+    Result<AcceptStats> fast = FastVerdict(*kernel, tuple);
+    bool agree;
+    if (reference.ok() != fast.ok()) {
+      agree = false;
+    } else if (reference.ok()) {
+      agree = reference->accepted == fast->accepted;
+    } else {
+      agree = reference.status().code() == fast.status().code();
+    }
+    if (!agree) {
+      return Divergence{"kernel disagrees with reference on tuple " +
+                        QuoteTuple(tuple) + ": reference=" +
+                        DescribeStatus(reference) + " kernel=" +
+                        DescribeStatus(fast) + "\n" + kc.fsa.ToString()};
+    }
+  }
+  return std::nullopt;
+}
+
+std::string KernelDiffTarget::Serialize(const Case& c) const {
+  const auto& kc = static_cast<const KernelCase&>(c);
+  std::string out = "kernel 1\n";
+  out += "sigma " + AlphabetChars(kc.fsa.alphabet()) + "\n";
+  out += "tuples " + std::to_string(kc.tuples.size()) + "\n";
+  for (const Tuple& tuple : kc.tuples) out += EncodeTupleLine(tuple) + "\n";
+  out += SerializeFsa(kc.fsa);
+  return out;
+}
+
+Result<DiffTarget::CasePtr> KernelDiffTarget::Deserialize(
+    const std::string& text) const {
+  LineCursor cursor(text);
+  STRDB_ASSIGN_OR_RETURN(std::string header, cursor.Take("header"));
+  if (header != "kernel 1") {
+    return Status::InvalidArgument("bad kernel case header '" + header + "'");
+  }
+  STRDB_ASSIGN_OR_RETURN(std::string sigma_line, cursor.Take("sigma"));
+  std::vector<std::string> sigma_tokens = SplitTokens(sigma_line);
+  if (sigma_tokens.size() != 2 || sigma_tokens[0] != "sigma") {
+    return Status::InvalidArgument("bad sigma line '" + sigma_line + "'");
+  }
+  STRDB_ASSIGN_OR_RETURN(Alphabet sigma, Alphabet::Create(sigma_tokens[1]));
+  STRDB_ASSIGN_OR_RETURN(std::string count_line, cursor.Take("tuple count"));
+  std::vector<std::string> count_tokens = SplitTokens(count_line);
+  if (count_tokens.size() != 2 || count_tokens[0] != "tuples") {
+    return Status::InvalidArgument("bad tuples line '" + count_line + "'");
+  }
+  STRDB_ASSIGN_OR_RETURN(int64_t n, ParseInt(count_tokens[1]));
+  std::vector<Tuple> tuples;
+  for (int64_t i = 0; i < n; ++i) {
+    STRDB_ASSIGN_OR_RETURN(std::string line, cursor.Take("tuple"));
+    STRDB_ASSIGN_OR_RETURN(Tuple tuple, DecodeTupleLine(line));
+    tuples.push_back(std::move(tuple));
+  }
+  STRDB_ASSIGN_OR_RETURN(std::string fsa_text, TakeFsaBlock(&cursor));
+  STRDB_ASSIGN_OR_RETURN(Fsa fsa, DeserializeFsa(sigma, fsa_text));
+  auto c = std::make_unique<KernelCase>(std::move(fsa));
+  c->tuples = std::move(tuples);
+  return DiffTarget::CasePtr(std::move(c));
+}
+
+std::vector<DiffTarget::CasePtr> KernelDiffTarget::ShrinkCandidates(
+    const Case& c) const {
+  const auto& kc = static_cast<const KernelCase&>(c);
+  std::vector<CasePtr> out;
+  // Fewer tuples first: a one-tuple reproducer reads best.
+  for (size_t i = 0; i < kc.tuples.size(); ++i) {
+    auto cand = std::make_unique<KernelCase>(Fsa(kc.fsa));
+    cand->tuples = kc.tuples;
+    cand->tuples.erase(cand->tuples.begin() + static_cast<ptrdiff_t>(i));
+    out.push_back(std::move(cand));
+  }
+  // Then a sparser machine.
+  for (size_t i = 0; i < kc.fsa.transitions().size(); ++i) {
+    auto cand =
+        std::make_unique<KernelCase>(CopyWithoutTransition(kc.fsa, i));
+    cand->tuples = kc.tuples;
+    out.push_back(std::move(cand));
+  }
+  {
+    Fsa trimmed(kc.fsa);
+    trimmed.PruneToTrim();
+    auto cand = std::make_unique<KernelCase>(std::move(trimmed));
+    cand->tuples = kc.tuples;
+    out.push_back(std::move(cand));
+  }
+  // Then shorter strings.
+  for (size_t i = 0; i < kc.tuples.size(); ++i) {
+    for (size_t f = 0; f < kc.tuples[i].size(); ++f) {
+      if (kc.tuples[i][f].empty()) continue;
+      auto cand = std::make_unique<KernelCase>(Fsa(kc.fsa));
+      cand->tuples = kc.tuples;
+      cand->tuples[i][f] =
+          cand->tuples[i][f].substr(0, kc.tuples[i][f].size() / 2);
+      out.push_back(std::move(cand));
+    }
+  }
+  return out;
+}
+
+int64_t KernelDiffTarget::CaseSize(const Case& c) const {
+  const auto& kc = static_cast<const KernelCase&>(c);
+  int64_t size = kc.fsa.num_states() + kc.fsa.num_transitions();
+  for (const Tuple& tuple : kc.tuples) {
+    size += 1;
+    for (const std::string& field : tuple) {
+      size += static_cast<int64_t>(field.size());
+    }
+  }
+  return size;
+}
+
+// --- EngineDiffTarget -------------------------------------------------------
+
+namespace {
+
+// S-expression rendering of an AlgebraExpr with selection automata
+// interned into a side table (SerializeFsa text keyed, so structurally
+// identical machines share one entry).
+
+void CollectSelectFsas(const AlgebraExpr& expr, std::vector<std::string>* texts,
+                       std::map<std::string, int>* index) {
+  switch (expr.kind()) {
+    case AlgebraExpr::Kind::kRelation:
+    case AlgebraExpr::Kind::kSigmaStar:
+    case AlgebraExpr::Kind::kSigmaL:
+      return;
+    case AlgebraExpr::Kind::kUnion:
+    case AlgebraExpr::Kind::kDifference:
+    case AlgebraExpr::Kind::kProduct:
+      CollectSelectFsas(expr.Left(), texts, index);
+      CollectSelectFsas(expr.Right(), texts, index);
+      return;
+    case AlgebraExpr::Kind::kSelect: {
+      std::string text = SerializeFsa(expr.fsa());
+      if (index->emplace(text, static_cast<int>(texts->size())).second) {
+        texts->push_back(std::move(text));
+      }
+      CollectSelectFsas(expr.Left(), texts, index);
+      return;
+    }
+    case AlgebraExpr::Kind::kProject:
+    case AlgebraExpr::Kind::kRestrict:
+      CollectSelectFsas(expr.Left(), texts, index);
+      return;
+  }
+}
+
+std::string WriteSexpr(const AlgebraExpr& expr,
+                       const std::map<std::string, int>& index) {
+  switch (expr.kind()) {
+    case AlgebraExpr::Kind::kRelation:
+      return "(rel " + expr.relation_name() + " " +
+             std::to_string(expr.arity()) + ")";
+    case AlgebraExpr::Kind::kSigmaStar:
+      return "(sigmastar)";
+    case AlgebraExpr::Kind::kSigmaL:
+      return "(sigmal " + std::to_string(expr.sigma_l()) + ")";
+    case AlgebraExpr::Kind::kUnion:
+      return "(union " + WriteSexpr(expr.Left(), index) + " " +
+             WriteSexpr(expr.Right(), index) + ")";
+    case AlgebraExpr::Kind::kDifference:
+      return "(diff " + WriteSexpr(expr.Left(), index) + " " +
+             WriteSexpr(expr.Right(), index) + ")";
+    case AlgebraExpr::Kind::kProduct:
+      return "(product " + WriteSexpr(expr.Left(), index) + " " +
+             WriteSexpr(expr.Right(), index) + ")";
+    case AlgebraExpr::Kind::kProject: {
+      std::string cols = "(";
+      for (size_t i = 0; i < expr.columns().size(); ++i) {
+        if (i) cols += " ";
+        cols += std::to_string(expr.columns()[i]);
+      }
+      cols += ")";
+      return "(project " + cols + " " + WriteSexpr(expr.Left(), index) + ")";
+    }
+    case AlgebraExpr::Kind::kSelect:
+      return "(select " +
+             std::to_string(index.at(SerializeFsa(expr.fsa()))) + " " +
+             WriteSexpr(expr.Left(), index) + ")";
+    case AlgebraExpr::Kind::kRestrict:
+      return "(restrict " + WriteSexpr(expr.Left(), index) + ")";
+  }
+  return "";  // unreachable
+}
+
+std::vector<std::string> SexprTokens(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::string cur;
+  auto flush = [&] {
+    if (!cur.empty()) {
+      tokens.push_back(cur);
+      cur.clear();
+    }
+  };
+  for (char ch : text) {
+    if (ch == '(' || ch == ')') {
+      flush();
+      tokens.push_back(std::string(1, ch));
+    } else if (ch == ' ' || ch == '\t') {
+      flush();
+    } else {
+      cur.push_back(ch);
+    }
+  }
+  flush();
+  return tokens;
+}
+
+Result<AlgebraExpr> ParseSexpr(const std::vector<std::string>& tokens,
+                               size_t* pos, const std::vector<Fsa>& fsas) {
+  auto take = [&](const char* what) -> Result<std::string> {
+    if (*pos >= tokens.size()) {
+      return Status::InvalidArgument(std::string("expression ends before ") +
+                                     what);
+    }
+    return tokens[(*pos)++];
+  };
+  STRDB_ASSIGN_OR_RETURN(std::string open, take("'('"));
+  if (open != "(") {
+    return Status::InvalidArgument("expected '(' in expression, got '" +
+                                   open + "'");
+  }
+  STRDB_ASSIGN_OR_RETURN(std::string op, take("operator"));
+  auto close = [&]() -> Status {
+    auto tok = take("')'");
+    if (!tok.ok()) return tok.status();
+    if (*tok != ")") {
+      return Status::InvalidArgument("expected ')', got '" + *tok + "'");
+    }
+    return Status::OK();
+  };
+  if (op == "rel") {
+    STRDB_ASSIGN_OR_RETURN(std::string name, take("relation name"));
+    STRDB_ASSIGN_OR_RETURN(std::string arity_tok, take("relation arity"));
+    STRDB_ASSIGN_OR_RETURN(int64_t arity, ParseInt(arity_tok));
+    STRDB_RETURN_IF_ERROR(close());
+    return AlgebraExpr::Relation(name, static_cast<int>(arity));
+  }
+  if (op == "sigmastar") {
+    STRDB_RETURN_IF_ERROR(close());
+    return AlgebraExpr::SigmaStar();
+  }
+  if (op == "sigmal") {
+    STRDB_ASSIGN_OR_RETURN(std::string l_tok, take("sigma_l bound"));
+    STRDB_ASSIGN_OR_RETURN(int64_t l, ParseInt(l_tok));
+    STRDB_RETURN_IF_ERROR(close());
+    return AlgebraExpr::SigmaL(static_cast<int>(l));
+  }
+  if (op == "union" || op == "diff" || op == "product") {
+    STRDB_ASSIGN_OR_RETURN(AlgebraExpr a, ParseSexpr(tokens, pos, fsas));
+    STRDB_ASSIGN_OR_RETURN(AlgebraExpr b, ParseSexpr(tokens, pos, fsas));
+    STRDB_RETURN_IF_ERROR(close());
+    if (op == "union") return AlgebraExpr::Union(a, b);
+    if (op == "diff") return AlgebraExpr::Difference(a, b);
+    return AlgebraExpr::Product(a, b);
+  }
+  if (op == "project") {
+    STRDB_ASSIGN_OR_RETURN(std::string copen, take("column list"));
+    if (copen != "(") {
+      return Status::InvalidArgument("expected column list after project");
+    }
+    std::vector<int> cols;
+    while (true) {
+      STRDB_ASSIGN_OR_RETURN(std::string tok, take("column"));
+      if (tok == ")") break;
+      STRDB_ASSIGN_OR_RETURN(int64_t col, ParseInt(tok));
+      cols.push_back(static_cast<int>(col));
+    }
+    STRDB_ASSIGN_OR_RETURN(AlgebraExpr child, ParseSexpr(tokens, pos, fsas));
+    STRDB_RETURN_IF_ERROR(close());
+    return AlgebraExpr::Project(child, cols);
+  }
+  if (op == "select") {
+    STRDB_ASSIGN_OR_RETURN(std::string idx_tok, take("fsa index"));
+    STRDB_ASSIGN_OR_RETURN(int64_t idx, ParseInt(idx_tok));
+    if (idx < 0 || idx >= static_cast<int64_t>(fsas.size())) {
+      return Status::InvalidArgument("fsa index " + idx_tok +
+                                     " out of range");
+    }
+    STRDB_ASSIGN_OR_RETURN(AlgebraExpr child, ParseSexpr(tokens, pos, fsas));
+    STRDB_RETURN_IF_ERROR(close());
+    return AlgebraExpr::Select(child, Fsa(fsas[static_cast<size_t>(idx)]));
+  }
+  if (op == "restrict") {
+    STRDB_ASSIGN_OR_RETURN(AlgebraExpr child, ParseSexpr(tokens, pos, fsas));
+    STRDB_RETURN_IF_ERROR(close());
+    return AlgebraExpr::RestrictToDomain(child);
+  }
+  return Status::InvalidArgument("unknown expression operator '" + op + "'");
+}
+
+int64_t NodeCount(const AlgebraExpr& expr) {
+  switch (expr.kind()) {
+    case AlgebraExpr::Kind::kRelation:
+    case AlgebraExpr::Kind::kSigmaStar:
+    case AlgebraExpr::Kind::kSigmaL:
+      return 1;
+    case AlgebraExpr::Kind::kUnion:
+    case AlgebraExpr::Kind::kDifference:
+    case AlgebraExpr::Kind::kProduct:
+      return 1 + NodeCount(expr.Left()) + NodeCount(expr.Right());
+    case AlgebraExpr::Kind::kProject:
+    case AlgebraExpr::Kind::kSelect:
+    case AlgebraExpr::Kind::kRestrict:
+      return 1 + NodeCount(expr.Left());
+  }
+  return 1;  // unreachable
+}
+
+EvalOptions EngineSweepOptions() {
+  EvalOptions options;
+  options.truncation = 2;
+  options.max_tuples = 20000;
+  options.max_steps = 5'000'000;
+  return options;
+}
+
+EngineOptions PlainEngineOptions() {
+  EngineOptions options;
+  options.enable_rewrites = false;
+  options.enable_cache = false;
+  return options;
+}
+
+}  // namespace
+
+EngineDiffTarget::EngineDiffTarget()
+    : pool_(MakeFsaPool(Alphabet::Binary())),
+      engine_(),
+      plain_engine_(PlainEngineOptions()) {}
+
+DiffTarget::CasePtr EngineDiffTarget::Generate(RandomSource& rand) const {
+  Alphabet sigma = Alphabet::Binary();
+  Database db = RandomDatabase(rand, sigma);
+  AlgebraExpr expr = RandomAlgebraExpr(rand, pool_, 4);
+  auto c = std::make_unique<EngineCase>(std::move(db), std::move(expr));
+  if (rand.Range(0, 2) == 0) {
+    static constexpr int64_t kStepLimits[] = {1, 10, 100, 1000, 10000};
+    static constexpr int64_t kRowLimits[] = {1, 5, 50, 500, 0};
+    c->budgeted = true;
+    c->budget_steps = kStepLimits[rand.Range(0, 4)];
+    c->budget_rows = kRowLimits[rand.Range(0, 4)];
+  }
+  return c;
+}
+
+std::optional<Divergence> EngineDiffTarget::Run(const Case& c) const {
+  const auto& ec = static_cast<const EngineCase&>(c);
+  EvalOptions options = EngineSweepOptions();
+  Result<StringRelation> naive = EvalAlgebra(ec.expr, ec.db, options);
+  Result<StringRelation> opt = engine_.Execute(ec.expr, ec.db, options);
+  Result<StringRelation> plain = plain_engine_.Execute(ec.expr, ec.db, options);
+  if (!naive.ok()) {
+    // A per-call limit error must surface on every route.
+    if (opt.ok() || plain.ok()) {
+      return Divergence{"naive evaluation failed (" +
+                        naive.status().ToString() +
+                        ") but an engine route succeeded: " +
+                        ec.expr.ToString()};
+    }
+    return std::nullopt;
+  }
+  if (!opt.ok() || !plain.ok()) {
+    return Divergence{"engine failed where the naive evaluator succeeded: " +
+                      (opt.ok() ? plain.status() : opt.status()).ToString() +
+                      " on " + ec.expr.ToString()};
+  }
+  if (opt->tuples() != naive->tuples()) {
+    return Divergence{"optimised engine answer differs from naive: " +
+                      ec.expr.ToString() + "\nnaive:  " + naive->ToString() +
+                      "\nengine: " + opt->ToString()};
+  }
+  if (plain->tuples() != naive->tuples()) {
+    return Divergence{"plain (rewrites/cache off) answer differs from naive: " +
+                      ec.expr.ToString() + "\nnaive: " + naive->ToString() +
+                      "\nplain: " + plain->ToString()};
+  }
+  if (ec.budgeted) {
+    ResourceLimits limits;
+    limits.max_steps = ec.budget_steps;
+    limits.max_rows = ec.budget_rows;
+    ResourceBudget budget(limits);
+    EvalOptions budgeted = options;
+    budgeted.budget = &budget;
+    Result<StringRelation> out = engine_.Execute(ec.expr, ec.db, budgeted);
+    if (out.ok()) {
+      if (out->tuples() != naive->tuples()) {
+        return Divergence{
+            "budgeted run returned wrong tuples instead of failing: " +
+            ec.expr.ToString() + "\nnaive:    " + naive->ToString() +
+            "\nbudgeted: " + out->ToString()};
+      }
+    } else if (out.status().code() != StatusCode::kResourceExhausted) {
+      return Divergence{"budgeted run failed with a non-budget code: " +
+                        out.status().ToString() + " on " + ec.expr.ToString()};
+    }
+  }
+  return std::nullopt;
+}
+
+std::string EngineDiffTarget::Serialize(const Case& c) const {
+  const auto& ec = static_cast<const EngineCase&>(c);
+  std::string out = "engine 1\n";
+  out += "sigma " + AlphabetChars(ec.db.alphabet()) + "\n";
+  out += "budget " + std::string(ec.budgeted ? "1" : "0") + " " +
+         std::to_string(ec.budget_steps) + " " +
+         std::to_string(ec.budget_rows) + "\n";
+  out += "rels " + std::to_string(ec.db.relations().size()) + "\n";
+  for (const auto& [name, rel] : ec.db.relations()) {
+    out += "rel " + name + " " + std::to_string(rel.arity()) + " " +
+           std::to_string(rel.size()) + "\n";
+    for (const Tuple& tuple : rel.tuples()) out += EncodeTupleLine(tuple) + "\n";
+  }
+  std::vector<std::string> fsa_texts;
+  std::map<std::string, int> fsa_index;
+  CollectSelectFsas(ec.expr, &fsa_texts, &fsa_index);
+  out += "fsas " + std::to_string(fsa_texts.size()) + "\n";
+  for (const std::string& text : fsa_texts) out += text;
+  out += "expr " + WriteSexpr(ec.expr, fsa_index) + "\n";
+  return out;
+}
+
+Result<DiffTarget::CasePtr> EngineDiffTarget::Deserialize(
+    const std::string& text) const {
+  LineCursor cursor(text);
+  STRDB_ASSIGN_OR_RETURN(std::string header, cursor.Take("header"));
+  if (header != "engine 1") {
+    return Status::InvalidArgument("bad engine case header '" + header + "'");
+  }
+  STRDB_ASSIGN_OR_RETURN(std::string sigma_line, cursor.Take("sigma"));
+  std::vector<std::string> sigma_tokens = SplitTokens(sigma_line);
+  if (sigma_tokens.size() != 2 || sigma_tokens[0] != "sigma") {
+    return Status::InvalidArgument("bad sigma line '" + sigma_line + "'");
+  }
+  STRDB_ASSIGN_OR_RETURN(Alphabet sigma, Alphabet::Create(sigma_tokens[1]));
+
+  STRDB_ASSIGN_OR_RETURN(std::string budget_line, cursor.Take("budget"));
+  std::vector<std::string> budget_tokens = SplitTokens(budget_line);
+  if (budget_tokens.size() != 4 || budget_tokens[0] != "budget") {
+    return Status::InvalidArgument("bad budget line '" + budget_line + "'");
+  }
+  STRDB_ASSIGN_OR_RETURN(int64_t budgeted, ParseInt(budget_tokens[1]));
+  STRDB_ASSIGN_OR_RETURN(int64_t budget_steps, ParseInt(budget_tokens[2]));
+  STRDB_ASSIGN_OR_RETURN(int64_t budget_rows, ParseInt(budget_tokens[3]));
+
+  Database db(sigma);
+  STRDB_ASSIGN_OR_RETURN(std::string rels_line, cursor.Take("rels"));
+  std::vector<std::string> rels_tokens = SplitTokens(rels_line);
+  if (rels_tokens.size() != 2 || rels_tokens[0] != "rels") {
+    return Status::InvalidArgument("bad rels line '" + rels_line + "'");
+  }
+  STRDB_ASSIGN_OR_RETURN(int64_t num_rels, ParseInt(rels_tokens[1]));
+  for (int64_t r = 0; r < num_rels; ++r) {
+    STRDB_ASSIGN_OR_RETURN(std::string rel_line, cursor.Take("rel"));
+    std::vector<std::string> rel_tokens = SplitTokens(rel_line);
+    if (rel_tokens.size() != 4 || rel_tokens[0] != "rel") {
+      return Status::InvalidArgument("bad rel line '" + rel_line + "'");
+    }
+    STRDB_ASSIGN_OR_RETURN(int64_t arity, ParseInt(rel_tokens[2]));
+    STRDB_ASSIGN_OR_RETURN(int64_t n, ParseInt(rel_tokens[3]));
+    std::vector<Tuple> tuples;
+    for (int64_t i = 0; i < n; ++i) {
+      STRDB_ASSIGN_OR_RETURN(std::string line, cursor.Take("tuple"));
+      STRDB_ASSIGN_OR_RETURN(Tuple tuple, DecodeTupleLine(line));
+      tuples.push_back(std::move(tuple));
+    }
+    STRDB_RETURN_IF_ERROR(
+        db.Put(rel_tokens[1], static_cast<int>(arity), std::move(tuples)));
+  }
+
+  STRDB_ASSIGN_OR_RETURN(std::string fsas_line, cursor.Take("fsas"));
+  std::vector<std::string> fsas_tokens = SplitTokens(fsas_line);
+  if (fsas_tokens.size() != 2 || fsas_tokens[0] != "fsas") {
+    return Status::InvalidArgument("bad fsas line '" + fsas_line + "'");
+  }
+  STRDB_ASSIGN_OR_RETURN(int64_t num_fsas, ParseInt(fsas_tokens[1]));
+  std::vector<Fsa> fsas;
+  for (int64_t i = 0; i < num_fsas; ++i) {
+    STRDB_ASSIGN_OR_RETURN(std::string block, TakeFsaBlock(&cursor));
+    STRDB_ASSIGN_OR_RETURN(Fsa fsa, DeserializeFsa(sigma, block));
+    fsas.push_back(std::move(fsa));
+  }
+
+  STRDB_ASSIGN_OR_RETURN(std::string expr_line, cursor.Take("expr"));
+  if (expr_line.rfind("expr ", 0) != 0) {
+    return Status::InvalidArgument("bad expr line '" + expr_line + "'");
+  }
+  std::vector<std::string> tokens = SexprTokens(expr_line.substr(5));
+  size_t pos = 0;
+  STRDB_ASSIGN_OR_RETURN(AlgebraExpr expr, ParseSexpr(tokens, &pos, fsas));
+  if (pos != tokens.size()) {
+    return Status::InvalidArgument("trailing tokens after expression");
+  }
+
+  auto c = std::make_unique<EngineCase>(std::move(db), std::move(expr));
+  c->budgeted = budgeted != 0;
+  c->budget_steps = budget_steps;
+  c->budget_rows = budget_rows;
+  return DiffTarget::CasePtr(std::move(c));
+}
+
+std::vector<DiffTarget::CasePtr> EngineDiffTarget::ShrinkCandidates(
+    const Case& c) const {
+  const auto& ec = static_cast<const EngineCase&>(c);
+  std::vector<CasePtr> out;
+  auto with_expr = [&](AlgebraExpr expr) {
+    auto cand = std::make_unique<EngineCase>(Database(ec.db), std::move(expr));
+    cand->budgeted = ec.budgeted;
+    cand->budget_steps = ec.budget_steps;
+    cand->budget_rows = ec.budget_rows;
+    out.push_back(std::move(cand));
+  };
+  // Replace the expression by a direct subexpression.
+  switch (ec.expr.kind()) {
+    case AlgebraExpr::Kind::kUnion:
+    case AlgebraExpr::Kind::kDifference:
+    case AlgebraExpr::Kind::kProduct:
+      with_expr(ec.expr.Left());
+      with_expr(ec.expr.Right());
+      break;
+    case AlgebraExpr::Kind::kProject:
+    case AlgebraExpr::Kind::kSelect:
+    case AlgebraExpr::Kind::kRestrict:
+      with_expr(ec.expr.Left());
+      break;
+    default:
+      break;
+  }
+  // Drop one database tuple.
+  for (const auto& [name, rel] : ec.db.relations()) {
+    for (size_t skip = 0; skip < static_cast<size_t>(rel.size()); ++skip) {
+      Database db(ec.db.alphabet());
+      for (const auto& [other_name, other_rel] : ec.db.relations()) {
+        std::vector<Tuple> tuples(other_rel.tuples().begin(),
+                                  other_rel.tuples().end());
+        if (other_name == name) {
+          tuples.erase(tuples.begin() + static_cast<ptrdiff_t>(skip));
+        }
+        Status status = db.Put(other_name, other_rel.arity(),
+                               std::move(tuples));
+        (void)status;  // re-adding validated tuples cannot fail
+      }
+      auto cand =
+          std::make_unique<EngineCase>(std::move(db), AlgebraExpr(ec.expr));
+      cand->budgeted = ec.budgeted;
+      cand->budget_steps = ec.budget_steps;
+      cand->budget_rows = ec.budget_rows;
+      out.push_back(std::move(cand));
+    }
+  }
+  // Drop the budget dimension entirely.
+  if (ec.budgeted) {
+    auto cand =
+        std::make_unique<EngineCase>(Database(ec.db), AlgebraExpr(ec.expr));
+    out.push_back(std::move(cand));
+  }
+  return out;
+}
+
+int64_t EngineDiffTarget::CaseSize(const Case& c) const {
+  const auto& ec = static_cast<const EngineCase&>(c);
+  int64_t size = NodeCount(ec.expr) + (ec.budgeted ? 1 : 0);
+  for (const auto& [name, rel] : ec.db.relations()) {
+    (void)name;
+    for (const Tuple& tuple : rel.tuples()) {
+      size += 1;
+      for (const std::string& field : tuple) {
+        size += static_cast<int64_t>(field.size());
+      }
+    }
+  }
+  return size;
+}
+
+// --- RoundtripTarget --------------------------------------------------------
+
+DiffTarget::CasePtr RoundtripTarget::Generate(RandomSource& rand) const {
+  auto c = std::make_unique<RoundtripCase>(
+      RandomFsa(rand, Alphabet::Binary()));
+  switch (rand.Range(0, 2)) {
+    case 0:
+      c->mutation = Mutation::kNone;
+      break;
+    case 1:
+      c->mutation = Mutation::kFlip;
+      break;
+    default:
+      c->mutation = Mutation::kCut;
+      break;
+  }
+  c->offset = static_cast<int64_t>(rand.Next() & 0x7fffffff);
+  c->bit = rand.Range(0, 7);
+  return c;
+}
+
+std::optional<Divergence> RoundtripTarget::Run(const Case& c) const {
+  const auto& rc = static_cast<const RoundtripCase&>(c);
+  std::string text = SerializeFsa(rc.fsa);
+  if (rc.mutation == Mutation::kNone) {
+    Result<Fsa> back = DeserializeFsa(rc.fsa.alphabet(), text);
+    if (!back.ok()) {
+      return Divergence{"clean serialization was rejected: " +
+                        back.status().ToString() + "\n" + text};
+    }
+    std::string again = SerializeFsa(*back);
+    if (again != text) {
+      return Divergence{
+          "serialize→deserialize→serialize is not byte-identical\nfirst:\n" +
+          text + "second:\n" + again};
+    }
+    return std::nullopt;
+  }
+  // Mutated input: rejection must be typed, acceptance must re-serialize
+  // to a fixpoint.
+  std::string mutated = text;
+  size_t at = static_cast<size_t>(rc.offset) % text.size();
+  if (rc.mutation == Mutation::kFlip) {
+    mutated[at] = static_cast<char>(mutated[at] ^ (1u << rc.bit));
+  } else {
+    mutated = mutated.substr(0, at);
+  }
+  if (mutated == text) return std::nullopt;  // a no-op mutation
+  Result<Fsa> back = DeserializeFsa(rc.fsa.alphabet(), mutated);
+  if (!back.ok()) {
+    StatusCode code = back.status().code();
+    if (code != StatusCode::kInvalidArgument &&
+        code != StatusCode::kUnimplemented && code != StatusCode::kDataLoss) {
+      return Divergence{"mutated input rejected with an untyped code: " +
+                        back.status().ToString() + "\n" + mutated};
+    }
+    return std::nullopt;
+  }
+  std::string again = SerializeFsa(*back);
+  Result<Fsa> twice = DeserializeFsa(rc.fsa.alphabet(), again);
+  if (!twice.ok() || SerializeFsa(*twice) != again) {
+    return Divergence{
+        "accepted mutated input does not re-serialize to a fixpoint\n" +
+        mutated};
+  }
+  return std::nullopt;
+}
+
+std::string RoundtripTarget::Serialize(const Case& c) const {
+  const auto& rc = static_cast<const RoundtripCase&>(c);
+  const char* mutation = rc.mutation == Mutation::kNone   ? "none"
+                         : rc.mutation == Mutation::kFlip ? "flip"
+                                                          : "cut";
+  std::string out = "roundtrip 1\n";
+  out += "sigma " + AlphabetChars(rc.fsa.alphabet()) + "\n";
+  out += "mutation " + std::string(mutation) + " " +
+         std::to_string(rc.offset) + " " + std::to_string(rc.bit) + "\n";
+  out += SerializeFsa(rc.fsa);
+  return out;
+}
+
+Result<DiffTarget::CasePtr> RoundtripTarget::Deserialize(
+    const std::string& text) const {
+  LineCursor cursor(text);
+  STRDB_ASSIGN_OR_RETURN(std::string header, cursor.Take("header"));
+  if (header != "roundtrip 1") {
+    return Status::InvalidArgument("bad roundtrip case header '" + header +
+                                   "'");
+  }
+  STRDB_ASSIGN_OR_RETURN(std::string sigma_line, cursor.Take("sigma"));
+  std::vector<std::string> sigma_tokens = SplitTokens(sigma_line);
+  if (sigma_tokens.size() != 2 || sigma_tokens[0] != "sigma") {
+    return Status::InvalidArgument("bad sigma line '" + sigma_line + "'");
+  }
+  STRDB_ASSIGN_OR_RETURN(Alphabet sigma, Alphabet::Create(sigma_tokens[1]));
+  STRDB_ASSIGN_OR_RETURN(std::string mut_line, cursor.Take("mutation"));
+  std::vector<std::string> mut_tokens = SplitTokens(mut_line);
+  if (mut_tokens.size() != 4 || mut_tokens[0] != "mutation") {
+    return Status::InvalidArgument("bad mutation line '" + mut_line + "'");
+  }
+  Mutation mutation;
+  if (mut_tokens[1] == "none") {
+    mutation = Mutation::kNone;
+  } else if (mut_tokens[1] == "flip") {
+    mutation = Mutation::kFlip;
+  } else if (mut_tokens[1] == "cut") {
+    mutation = Mutation::kCut;
+  } else {
+    return Status::InvalidArgument("unknown mutation '" + mut_tokens[1] + "'");
+  }
+  STRDB_ASSIGN_OR_RETURN(int64_t offset, ParseInt(mut_tokens[2]));
+  STRDB_ASSIGN_OR_RETURN(int64_t bit, ParseInt(mut_tokens[3]));
+  if (bit < 0 || bit > 7) {
+    return Status::InvalidArgument("flip bit out of range");
+  }
+  STRDB_ASSIGN_OR_RETURN(std::string block, TakeFsaBlock(&cursor));
+  STRDB_ASSIGN_OR_RETURN(Fsa fsa, DeserializeFsa(sigma, block));
+  auto c = std::make_unique<RoundtripCase>(std::move(fsa));
+  c->mutation = mutation;
+  c->offset = offset;
+  c->bit = static_cast<int>(bit);
+  return DiffTarget::CasePtr(std::move(c));
+}
+
+std::vector<DiffTarget::CasePtr> RoundtripTarget::ShrinkCandidates(
+    const Case& c) const {
+  const auto& rc = static_cast<const RoundtripCase&>(c);
+  std::vector<CasePtr> out;
+  auto with_fsa = [&](Fsa fsa) {
+    auto cand = std::make_unique<RoundtripCase>(std::move(fsa));
+    cand->mutation = rc.mutation;
+    cand->offset = rc.offset;
+    cand->bit = rc.bit;
+    out.push_back(std::move(cand));
+  };
+  for (size_t i = 0; i < rc.fsa.transitions().size(); ++i) {
+    with_fsa(CopyWithoutTransition(rc.fsa, i));
+  }
+  {
+    Fsa trimmed(rc.fsa);
+    trimmed.PruneToTrim();
+    with_fsa(std::move(trimmed));
+  }
+  if (rc.mutation != Mutation::kNone) {
+    auto cand = std::make_unique<RoundtripCase>(Fsa(rc.fsa));
+    cand->mutation = Mutation::kNone;
+    out.push_back(std::move(cand));
+  }
+  return out;
+}
+
+int64_t RoundtripTarget::CaseSize(const Case& c) const {
+  const auto& rc = static_cast<const RoundtripCase&>(c);
+  return rc.fsa.num_states() + rc.fsa.num_transitions() +
+         (rc.mutation != Mutation::kNone ? 1 : 0);
+}
+
+// --- StorageRecoverTarget ---------------------------------------------------
+
+std::string CatalogSignature(const Database& db) {
+  std::string out;
+  for (const auto& [name, rel] : db.relations()) {
+    out += name + "/" + std::to_string(rel.arity()) + "=" + rel.ToString() +
+           ";";
+  }
+  return out;
+}
+
+namespace {
+
+constexpr char kStoreDir[] = "/store";
+
+Status ApplyStorageOp(CatalogStore* store,
+                      const StorageRecoverTarget::StorageOp& op) {
+  using Kind = StorageRecoverTarget::StorageOp::Kind;
+  switch (op.kind) {
+    case Kind::kPut:
+      return store->PutRelation(op.name, op.arity, op.tuples);
+    case Kind::kInsert:
+      return store->InsertTuples(op.name, op.tuples);
+    case Kind::kDrop:
+      return store->DropRelation(op.name);
+    case Kind::kFsa:
+      return store->InstallAutomatonText(op.key, op.fsa_text);
+    case Kind::kCheckpoint:
+      return store->Checkpoint();
+  }
+  return Status::Internal("unreachable");
+}
+
+Status ApplyStorageOpToShadow(const StorageRecoverTarget::StorageOp& op,
+                              Database* db,
+                              std::map<std::string, std::string>* automata) {
+  using Kind = StorageRecoverTarget::StorageOp::Kind;
+  switch (op.kind) {
+    case Kind::kPut:
+      return db->Put(op.name, op.arity, op.tuples);
+    case Kind::kInsert:
+      return db->InsertTuples(op.name, op.tuples);
+    case Kind::kDrop:
+      return db->Remove(op.name);
+    case Kind::kFsa:
+      (*automata)[op.key] = op.fsa_text;
+      return Status::OK();
+    case Kind::kCheckpoint:
+      return Status::OK();
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace
+
+void StorageRecoverTarget::CorruptBeforeRecovery(MemEnv* env,
+                                                 const std::string& dir) const {
+  // Default: recovery sees exactly what the crash left behind.  The
+  // planted-bug self-test overrides this to damage committed bytes and
+  // prove the committed-prefix oracle notices.
+  (void)env;
+  (void)dir;
+}
+
+DiffTarget::CasePtr StorageRecoverTarget::Generate(RandomSource& rand) const {
+  Alphabet sigma = Alphabet::Binary();
+  auto c = std::make_unique<StorageCase>();
+  static const char* kNames[] = {"A", "B", "C", "D"};
+  std::map<std::string, int> live;  // relation name -> arity
+
+  int n_ops = rand.Range(3, 12);
+  for (int i = 0; i < n_ops; ++i) {
+    StorageOp op;
+    int pick = rand.Range(0, 19);
+    if (pick >= 7 && pick <= 11 && live.empty()) pick = 0;   // ins -> put
+    if (pick >= 12 && pick <= 13 && live.empty()) pick = 0;  // drop -> put
+    if (pick <= 6) {
+      op.kind = StorageOp::Kind::kPut;
+      op.name = kNames[rand.Range(0, 3)];
+      op.arity = rand.Range(1, 2);
+      int n = rand.Range(0, 2);
+      for (int t = 0; t < n; ++t) {
+        op.tuples.push_back(RandomTuple(rand, sigma, op.arity, 2));
+      }
+      live[op.name] = op.arity;
+    } else if (pick <= 11) {
+      op.kind = StorageOp::Kind::kInsert;
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(
+                           rand.Below(static_cast<uint64_t>(live.size()))));
+      op.name = it->first;
+      int n = rand.Range(1, 2);
+      for (int t = 0; t < n; ++t) {
+        op.tuples.push_back(RandomTuple(rand, sigma, it->second, 2));
+      }
+    } else if (pick <= 13) {
+      op.kind = StorageOp::Kind::kDrop;
+      if (rand.Range(0, 9) == 0) {
+        op.name = "missing";  // exercise the semantic-rejection path
+      } else {
+        auto it = live.begin();
+        std::advance(it, static_cast<long>(
+                             rand.Below(static_cast<uint64_t>(live.size()))));
+        op.name = it->first;
+        live.erase(it);
+      }
+    } else if (pick <= 16) {
+      op.kind = StorageOp::Kind::kFsa;
+      op.key = std::string("k") + static_cast<char>('0' + rand.Range(0, 4));
+      FsaGenOptions small;
+      small.max_tapes = 2;
+      small.max_states = 4;
+      small.max_transitions = 6;
+      op.fsa_text = SerializeFsa(RandomFsa(rand, sigma, small));
+    } else {
+      op.kind = StorageOp::Kind::kCheckpoint;
+    }
+    c->ops.push_back(std::move(op));
+  }
+  c->crash_at_raw = rand.Next();
+  c->torn_seed = rand.Next();
+  return c;
+}
+
+std::optional<Divergence> StorageRecoverTarget::Run(const Case& c) const {
+  const auto& sc = static_cast<const StorageCase&>(c);
+  Alphabet sigma = Alphabet::Binary();
+
+  // Dry run on a throwaway env, to learn the fault-op count of the
+  // workload (semantic rejections and all — they are deterministic).
+  int64_t total_ops = 0;
+  {
+    MemEnv mem;
+    FaultInjectingEnv fenv(&mem, 1);
+    fenv.Reset({});
+    StoreOptions options;
+    options.env = &fenv;
+    auto store = CatalogStore::Open(kStoreDir, sigma, options);
+    if (!store.ok()) {
+      return Divergence{"fault-free open failed: " +
+                        store.status().ToString()};
+    }
+    for (const StorageOp& op : sc.ops) {
+      Status status = ApplyStorageOp(store->get(), op);
+      (void)status;  // semantic rejections are part of the workload
+    }
+    Status closed = (*store)->Close();
+    if (!closed.ok()) {
+      return Divergence{"fault-free close failed: " + closed.ToString()};
+    }
+    total_ops = fenv.ops();
+  }
+
+  // shadow[j] = (catalog, automata) after the first j successful
+  // mutations, precomputed for the WHOLE workload — when the dying op's
+  // WAL record reaches "disk" in full, recovery legitimately lands one
+  // state past the last acknowledgement.  op_mutates[i] says whether op
+  // i changes the catalog (checkpoints and deterministic semantic
+  // rejections do not); semantic outcomes depend only on the prefix
+  // state, so the shadow predicts them exactly.
+  Database shadow_db(sigma);
+  std::map<std::string, std::string> shadow_fsa;
+  std::vector<std::pair<std::string, std::map<std::string, std::string>>>
+      shadow;
+  shadow.emplace_back(CatalogSignature(shadow_db), shadow_fsa);
+  std::vector<bool> op_mutates;
+  for (const StorageOp& op : sc.ops) {
+    if (op.kind == StorageOp::Kind::kCheckpoint) {
+      op_mutates.push_back(false);
+      continue;
+    }
+    Status applied = ApplyStorageOpToShadow(op, &shadow_db, &shadow_fsa);
+    op_mutates.push_back(applied.ok());
+    if (applied.ok()) {
+      shadow.emplace_back(CatalogSignature(shadow_db), shadow_fsa);
+    }
+  }
+
+  // The real run: crash at a point derived from the case (the +4 slack
+  // leaves a band of crash-free runs covering clean shutdown).
+  MemEnv mem;
+  FaultInjectingEnv fenv(&mem, sc.torn_seed);
+  FaultPlan plan;
+  plan.crash_at_op =
+      static_cast<int64_t>(sc.crash_at_raw % static_cast<uint64_t>(total_ops + 4));
+  fenv.Reset(plan);
+  StoreOptions options;
+  options.env = &fenv;
+
+  int acked = 0;
+  bool failed_op_mutates = false;
+  {
+    auto store = CatalogStore::Open(kStoreDir, sigma, options);
+    if (store.ok()) {
+      for (size_t i = 0; i < sc.ops.size(); ++i) {
+        const StorageOp& op = sc.ops[i];
+        Status status = ApplyStorageOp(store->get(), op);
+        if (status.ok()) {
+          if (op.kind != StorageOp::Kind::kCheckpoint) {
+            if (!op_mutates[i]) {
+              return Divergence{
+                  "store acknowledged an op the shadow model rejects "
+                  "(op " + std::to_string(i) + ")"};
+            }
+            ++acked;
+          }
+          continue;
+        }
+        if (fenv.crashed()) {
+          failed_op_mutates = op_mutates[i];
+          break;
+        }
+        // A semantic rejection on a healthy env: the shadow must have
+        // predicted it (the only injected fault is the crash).
+        if (op_mutates[i]) {
+          return Divergence{"store rejected an op the shadow model accepts "
+                            "(op " + std::to_string(i) + "): " +
+                            status.ToString()};
+        }
+      }
+      // The store object dies with the simulated process; its destructor
+      // closing against a crashed env must be harmless.
+    } else if (!fenv.crashed()) {
+      return Divergence{"open failed without a crash: " +
+                        store.status().ToString()};
+    }
+  }
+
+  CorruptBeforeRecovery(&mem, kStoreDir);
+
+  // Restart on a healthy filesystem.
+  RecoveryReport report;
+  StoreOptions recover_options;
+  recover_options.env = &mem;
+  auto recovered = CatalogStore::Open(kStoreDir, sigma, recover_options,
+                                      &report);
+  if (!recovered.ok()) {
+    return Divergence{"recovery failed: " + recovered.status().ToString() +
+                      " (report: " + report.ToString() + ")"};
+  }
+  std::string sig = CatalogSignature((*recovered)->db());
+  int matched = -1;
+  for (int j = acked; j <= acked + (failed_op_mutates ? 1 : 0); ++j) {
+    if (j >= static_cast<int>(shadow.size())) break;
+    if (sig == shadow[static_cast<size_t>(j)].first &&
+        (*recovered)->automata() == shadow[static_cast<size_t>(j)].second) {
+      matched = j;
+      break;
+    }
+  }
+  if (matched == -1) {
+    return Divergence{
+        "recovered state is not a committed prefix: acked=" +
+        std::to_string(acked) + " crash_at=" +
+        std::to_string(plan.crash_at_op) + "\nrecovered: " + sig +
+        "\nexpected:  " + shadow[static_cast<size_t>(acked)].first +
+        "\nreport: " + report.ToString()};
+  }
+  for (const auto& [key, text] : (*recovered)->automata()) {
+    if (!DeserializeFsa(sigma, text).ok()) {
+      return Divergence{"automaton '" + key +
+                        "' recovered with a bad checksum"};
+    }
+  }
+  return std::nullopt;
+}
+
+std::string StorageRecoverTarget::Serialize(const Case& c) const {
+  const auto& sc = static_cast<const StorageCase&>(c);
+  std::string out = "storage 1\n";
+  out += "sigma " + AlphabetChars(Alphabet::Binary()) + "\n";
+  out += "crash " + std::to_string(sc.crash_at_raw) + "\n";
+  out += "torn " + std::to_string(sc.torn_seed) + "\n";
+  out += "ops " + std::to_string(sc.ops.size()) + "\n";
+  for (const StorageOp& op : sc.ops) {
+    switch (op.kind) {
+      case StorageOp::Kind::kPut:
+        out += "put " + op.name + " " + std::to_string(op.arity) + " " +
+               std::to_string(op.tuples.size()) + "\n";
+        for (const Tuple& tuple : op.tuples) {
+          out += EncodeTupleLine(tuple) + "\n";
+        }
+        break;
+      case StorageOp::Kind::kInsert:
+        out += "ins " + op.name + " " + std::to_string(op.tuples.size()) +
+               "\n";
+        for (const Tuple& tuple : op.tuples) {
+          out += EncodeTupleLine(tuple) + "\n";
+        }
+        break;
+      case StorageOp::Kind::kDrop:
+        out += "drop " + op.name + "\n";
+        break;
+      case StorageOp::Kind::kFsa:
+        out += "fsa " + op.key + "\n";
+        out += op.fsa_text;
+        break;
+      case StorageOp::Kind::kCheckpoint:
+        out += "ckpt\n";
+        break;
+    }
+  }
+  return out;
+}
+
+Result<DiffTarget::CasePtr> StorageRecoverTarget::Deserialize(
+    const std::string& text) const {
+  LineCursor cursor(text);
+  STRDB_ASSIGN_OR_RETURN(std::string header, cursor.Take("header"));
+  if (header != "storage 1") {
+    return Status::InvalidArgument("bad storage case header '" + header +
+                                   "'");
+  }
+  STRDB_ASSIGN_OR_RETURN(std::string sigma_line, cursor.Take("sigma"));
+  if (sigma_line.rfind("sigma ", 0) != 0) {
+    return Status::InvalidArgument("bad sigma line '" + sigma_line + "'");
+  }
+  auto c = std::make_unique<StorageCase>();
+  STRDB_ASSIGN_OR_RETURN(std::string crash_line, cursor.Take("crash"));
+  std::vector<std::string> crash_tokens = SplitTokens(crash_line);
+  if (crash_tokens.size() != 2 || crash_tokens[0] != "crash") {
+    return Status::InvalidArgument("bad crash line '" + crash_line + "'");
+  }
+  STRDB_ASSIGN_OR_RETURN(c->crash_at_raw, ParseU64(crash_tokens[1]));
+  STRDB_ASSIGN_OR_RETURN(std::string torn_line, cursor.Take("torn"));
+  std::vector<std::string> torn_tokens = SplitTokens(torn_line);
+  if (torn_tokens.size() != 2 || torn_tokens[0] != "torn") {
+    return Status::InvalidArgument("bad torn line '" + torn_line + "'");
+  }
+  STRDB_ASSIGN_OR_RETURN(c->torn_seed, ParseU64(torn_tokens[1]));
+  STRDB_ASSIGN_OR_RETURN(std::string ops_line, cursor.Take("ops"));
+  std::vector<std::string> ops_tokens = SplitTokens(ops_line);
+  if (ops_tokens.size() != 2 || ops_tokens[0] != "ops") {
+    return Status::InvalidArgument("bad ops line '" + ops_line + "'");
+  }
+  STRDB_ASSIGN_OR_RETURN(int64_t n_ops, ParseInt(ops_tokens[1]));
+  for (int64_t i = 0; i < n_ops; ++i) {
+    STRDB_ASSIGN_OR_RETURN(std::string line, cursor.Take("op"));
+    std::vector<std::string> tokens = SplitTokens(line);
+    if (tokens.empty()) {
+      return Status::InvalidArgument("empty op line");
+    }
+    StorageOp op;
+    if (tokens[0] == "put" && tokens.size() == 4) {
+      op.kind = StorageOp::Kind::kPut;
+      op.name = tokens[1];
+      STRDB_ASSIGN_OR_RETURN(int64_t arity, ParseInt(tokens[2]));
+      op.arity = static_cast<int>(arity);
+      STRDB_ASSIGN_OR_RETURN(int64_t n, ParseInt(tokens[3]));
+      for (int64_t t = 0; t < n; ++t) {
+        STRDB_ASSIGN_OR_RETURN(std::string tline, cursor.Take("tuple"));
+        STRDB_ASSIGN_OR_RETURN(Tuple tuple, DecodeTupleLine(tline));
+        op.tuples.push_back(std::move(tuple));
+      }
+    } else if (tokens[0] == "ins" && tokens.size() == 3) {
+      op.kind = StorageOp::Kind::kInsert;
+      op.name = tokens[1];
+      STRDB_ASSIGN_OR_RETURN(int64_t n, ParseInt(tokens[2]));
+      for (int64_t t = 0; t < n; ++t) {
+        STRDB_ASSIGN_OR_RETURN(std::string tline, cursor.Take("tuple"));
+        STRDB_ASSIGN_OR_RETURN(Tuple tuple, DecodeTupleLine(tline));
+        op.tuples.push_back(std::move(tuple));
+      }
+    } else if (tokens[0] == "drop" && tokens.size() == 2) {
+      op.kind = StorageOp::Kind::kDrop;
+      op.name = tokens[1];
+    } else if (tokens[0] == "fsa" && tokens.size() == 2) {
+      op.kind = StorageOp::Kind::kFsa;
+      op.key = tokens[1];
+      STRDB_ASSIGN_OR_RETURN(op.fsa_text, TakeFsaBlock(&cursor));
+    } else if (tokens[0] == "ckpt" && tokens.size() == 1) {
+      op.kind = StorageOp::Kind::kCheckpoint;
+    } else {
+      return Status::InvalidArgument("bad op line '" + line + "'");
+    }
+    c->ops.push_back(std::move(op));
+  }
+  return DiffTarget::CasePtr(std::move(c));
+}
+
+std::vector<DiffTarget::CasePtr> StorageRecoverTarget::ShrinkCandidates(
+    const Case& c) const {
+  const auto& sc = static_cast<const StorageCase&>(c);
+  std::vector<CasePtr> out;
+  auto clone = [&] {
+    auto cand = std::make_unique<StorageCase>();
+    cand->ops = sc.ops;
+    cand->crash_at_raw = sc.crash_at_raw;
+    cand->torn_seed = sc.torn_seed;
+    return cand;
+  };
+  for (size_t i = 0; i < sc.ops.size(); ++i) {
+    auto cand = clone();
+    cand->ops.erase(cand->ops.begin() + static_cast<ptrdiff_t>(i));
+    out.push_back(std::move(cand));
+  }
+  for (size_t i = 0; i < sc.ops.size(); ++i) {
+    for (size_t t = 0; t < sc.ops[i].tuples.size(); ++t) {
+      auto cand = clone();
+      cand->ops[i].tuples.erase(cand->ops[i].tuples.begin() +
+                                static_cast<ptrdiff_t>(t));
+      out.push_back(std::move(cand));
+    }
+  }
+  for (size_t i = 0; i < sc.ops.size(); ++i) {
+    for (size_t t = 0; t < sc.ops[i].tuples.size(); ++t) {
+      for (size_t f = 0; f < sc.ops[i].tuples[t].size(); ++f) {
+        if (sc.ops[i].tuples[t][f].empty()) continue;
+        auto cand = clone();
+        std::string& field = cand->ops[i].tuples[t][f];
+        field = field.substr(0, field.size() / 2);
+        out.push_back(std::move(cand));
+      }
+    }
+  }
+  return out;
+}
+
+int64_t StorageRecoverTarget::CaseSize(const Case& c) const {
+  const auto& sc = static_cast<const StorageCase&>(c);
+  int64_t size = 0;
+  for (const StorageOp& op : sc.ops) {
+    size += 1 + static_cast<int64_t>(op.name.size() + op.key.size() +
+                                     op.fsa_text.size());
+    for (const Tuple& tuple : op.tuples) {
+      size += 1;
+      for (const std::string& field : tuple) {
+        size += static_cast<int64_t>(field.size());
+      }
+    }
+  }
+  return size;
+}
+
+}  // namespace testgen
+}  // namespace strdb

@@ -1,0 +1,182 @@
+#ifndef STRDB_TESTING_TARGETS_H_
+#define STRDB_TESTING_TARGETS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "fsa/accept.h"
+#include "fsa/fsa.h"
+#include "fsa/kernel.h"
+#include "relational/algebra.h"
+#include "relational/relation.h"
+#include "testing/differential.h"
+#include "testing/generators.h"
+#include "testing/mem_env.h"
+
+namespace strdb {
+namespace testgen {
+
+// --- kernel vs Theorem 3.3 reference ---------------------------------------
+//
+// Case: a random k-FSA (raw random or compiled from a random string
+// formula; one-way and two-way) plus a batch of random tuples, half of
+// them correlated so accepting paths are actually exercised.  Oracle:
+// AcceptsWithStats (the reference BFS) and AcceptScratch::Accept (the
+// compiled kernel) must agree on ok-ness, status codes and verdicts,
+// and the kernel's one-way classification must match the transition
+// table.
+class KernelDiffTarget : public DiffTarget {
+ public:
+  struct KernelCase : Case {
+    explicit KernelCase(Fsa f) : fsa(std::move(f)) {}
+    Fsa fsa;
+    std::vector<Tuple> tuples;
+  };
+
+  std::string name() const override { return "kernel"; }
+  CasePtr Generate(RandomSource& rand) const override;
+  std::optional<Divergence> Run(const Case& c) const override;
+  std::string Serialize(const Case& c) const override;
+  Result<CasePtr> Deserialize(const std::string& text) const override;
+  std::vector<CasePtr> ShrinkCandidates(const Case& c) const override;
+  int64_t CaseSize(const Case& c) const override;
+
+ protected:
+  // The kernel side of the diff, overridable so the mutation self-test
+  // (tests/conformance_test.cc) can plant a deliberately wrong kernel
+  // and prove the harness catches, shrinks and reports it.
+  virtual Result<AcceptStats> FastVerdict(const AcceptKernel& kernel,
+                                          const Tuple& tuple) const;
+
+ private:
+  mutable AcceptScratch scratch_;
+};
+
+// --- engine vs naïve evaluator ---------------------------------------------
+//
+// Case: a random small database, a random algebra expression and an
+// optional resource budget.  Oracles: the naïve tree-walking
+// EvalAlgebra, the full engine and a rewrites-off/cache-off engine must
+// return identical relations (or all fail); a budgeted execution must
+// either return exactly the unbudgeted answer or fail with
+// kResourceExhausted — never wrong tuples.
+class EngineDiffTarget : public DiffTarget {
+ public:
+  struct EngineCase : Case {
+    EngineCase(Database d, AlgebraExpr e)
+        : db(std::move(d)), expr(std::move(e)) {}
+    Database db;
+    AlgebraExpr expr;
+    bool budgeted = false;
+    int64_t budget_steps = 0;  // 0 = unlimited in that dimension
+    int64_t budget_rows = 0;
+  };
+
+  EngineDiffTarget();
+
+  std::string name() const override { return "engine"; }
+  CasePtr Generate(RandomSource& rand) const override;
+  std::optional<Divergence> Run(const Case& c) const override;
+  std::string Serialize(const Case& c) const override;
+  Result<CasePtr> Deserialize(const std::string& text) const override;
+  std::vector<CasePtr> ShrinkCandidates(const Case& c) const override;
+  int64_t CaseSize(const Case& c) const override;
+
+ private:
+  FsaPool pool_;
+  // Shared across cases on purpose: cross-case artifact-cache reuse is
+  // part of what the sweep should exercise.  Answers must not depend on
+  // cache state — that is the property under test.
+  mutable Engine engine_;
+  mutable Engine plain_engine_;
+};
+
+// --- serialize → deserialize → re-serialize --------------------------------
+//
+// Case: a random FSA plus an optional byte mutation (bit flip or prefix
+// cut) of its serialized text.  Oracle: the unmutated text must
+// round-trip byte-identically; a mutated text must either be rejected
+// with a typed code (kInvalidArgument / kUnimplemented / kDataLoss) or
+// deserialize to a machine whose re-serialization round-trips — never
+// crash, never fail with an untyped code.
+class RoundtripTarget : public DiffTarget {
+ public:
+  enum class Mutation : uint8_t { kNone, kFlip, kCut };
+
+  struct RoundtripCase : Case {
+    explicit RoundtripCase(Fsa f) : fsa(std::move(f)) {}
+    Fsa fsa;
+    Mutation mutation = Mutation::kNone;
+    int64_t offset = 0;  // flip/cut position, reduced mod text size
+    int bit = 0;         // flip bit index, 0-7
+  };
+
+  std::string name() const override { return "roundtrip"; }
+  CasePtr Generate(RandomSource& rand) const override;
+  std::optional<Divergence> Run(const Case& c) const override;
+  std::string Serialize(const Case& c) const override;
+  Result<CasePtr> Deserialize(const std::string& text) const override;
+  std::vector<CasePtr> ShrinkCandidates(const Case& c) const override;
+  int64_t CaseSize(const Case& c) const override;
+};
+
+// --- catalog open → mutate → crash → recover -------------------------------
+//
+// Case: a workload of catalog mutations (puts, inserts, drops,
+// automaton installs, checkpoints) and a crash point.  The workload
+// runs against a FaultInjectingEnv over a MemEnv, dies at the crash
+// point (with a torn write when it lands on an append), and the store
+// is reopened on the surviving bytes.  Oracle: recovery must succeed
+// and yield exactly the catalog some committed prefix of the
+// acknowledged mutations produced (the acked state, or one past it when
+// the dying op's append reached "disk" in full), with every recovered
+// automaton passing its checksum.
+class StorageRecoverTarget : public DiffTarget {
+ public:
+  struct StorageOp {
+    enum class Kind : uint8_t { kPut, kInsert, kDrop, kFsa, kCheckpoint };
+    Kind kind = Kind::kPut;
+    std::string name;
+    int arity = 1;
+    std::vector<Tuple> tuples;
+    std::string key;       // kFsa
+    std::string fsa_text;  // kFsa
+  };
+
+  struct StorageCase : Case {
+    std::vector<StorageOp> ops;
+    // Reduced mod (total env ops + slack) at run time, so every value
+    // is meaningful and shrinking the workload keeps it so.
+    uint64_t crash_at_raw = 0;
+    uint64_t torn_seed = 0;
+  };
+
+  std::string name() const override { return "storage"; }
+  CasePtr Generate(RandomSource& rand) const override;
+  std::optional<Divergence> Run(const Case& c) const override;
+  std::string Serialize(const Case& c) const override;
+  Result<CasePtr> Deserialize(const std::string& text) const override;
+  std::vector<CasePtr> ShrinkCandidates(const Case& c) const override;
+  int64_t CaseSize(const Case& c) const override;
+
+ protected:
+  // Called between the crash and recovery, overridable so the mutation
+  // self-test can corrupt committed WAL bytes behind recovery's back
+  // and prove the committed-prefix oracle catches the loss.
+  virtual void CorruptBeforeRecovery(MemEnv* env,
+                                     const std::string& dir) const;
+};
+
+// A catalog fingerprint used by the storage oracle and its divergence
+// messages: relation names, arities and tuples, rendered canonically.
+std::string CatalogSignature(const Database& db);
+
+}  // namespace testgen
+}  // namespace strdb
+
+#endif  // STRDB_TESTING_TARGETS_H_

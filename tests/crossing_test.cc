@@ -174,8 +174,12 @@ TEST_P(NonemptinessConsistencyTest, MonoidAndGeneratorAgree) {
   // The generator is bounded, so it may miss long witnesses — but a
   // found witness forces nonemptiness, and a proven-empty language
   // forbids witnesses.
-  if (!found->empty()) EXPECT_TRUE(*nonempty) << GetParam();
-  if (!*nonempty) EXPECT_TRUE(found->empty()) << GetParam();
+  if (!found->empty()) {
+    EXPECT_TRUE(*nonempty) << GetParam();
+  }
+  if (!*nonempty) {
+    EXPECT_TRUE(found->empty()) << GetParam();
+  }
   // For this corpus short witnesses exist whenever any do:
   EXPECT_EQ(*nonempty, !found->empty()) << GetParam();
 }

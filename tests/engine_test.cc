@@ -12,7 +12,6 @@
 
 #include "core/budget.h"
 #include "core/metrics.h"
-#include "core/rng.h"
 #include "core/thread_pool.h"
 #include "engine/cache.h"
 #include "engine/engine.h"
@@ -20,9 +19,14 @@
 #include "fsa/compile.h"
 #include "relational/algebra.h"
 #include "strform/parser.h"
+#include "testing/generators.h"
+#include "testing/random_source.h"
 
 namespace strdb {
 namespace {
+
+using testgen::FsaPool;
+using testgen::RngSource;
 
 Fsa Compile(const std::string& text, const Alphabet& alphabet,
             const std::vector<std::string>& vars) {
@@ -364,7 +368,7 @@ TEST(EngineTest, SharedSubtreesEvaluateOnce) {
 
 TEST(EngineTest, FilterSelectParallelMatchesSerial) {
   Database db(Alphabet::Binary());
-  Rng rng(7);
+  RngSource rng(7);
   std::vector<Tuple> tuples;
   for (int i = 0; i < 200; ++i) {
     tuples.push_back({rng.String(db.alphabet(), 0, 4),
@@ -393,139 +397,24 @@ TEST(EngineTest, FilterSelectParallelMatchesSerial) {
 }
 
 // --- engine ≡ naïve on random expressions ----------------------------------
+//
+// Generators live in src/testing (shared with the strdb_conformance
+// driver and the libFuzzer entries); these are local names for them.
 
-struct FsaPool {
-  Fsa even1;    // 1 tape: even-length strings
-  Fsa eq2;      // 2 tapes: x = y
-  Fsa prefix2;  // 2 tapes: x a prefix of y
-  Fsa concat3;  // 3 tapes: x = y.z
-};
+FsaPool MakePool(const Alphabet& sigma) { return testgen::MakeFsaPool(sigma); }
 
-FsaPool MakePool(const Alphabet& sigma) {
-  return FsaPool{
-      Compile("([x]l(!(x = ~)) . [x]l(!(x = ~)))* . [x]l(x = ~)", sigma,
-              {"x"}),
-      Compile("([x,y]l(x = y))* . [x,y]l(x = ~ & y = ~)", sigma, {"x", "y"}),
-      Compile("([x,y]l(x = y))* . [x,y]l(x = ~)", sigma, {"x", "y"}),
-      Compile("([x,y]l(x = y))* . ([x,z]l(x = z))* . "
-              "[x,y,z]l(x = ~ & y = ~ & z = ~)",
-              sigma, {"x", "y", "z"}),
-  };
+Database RandomDb(RngSource& rng, const Alphabet& sigma) {
+  return testgen::RandomDatabase(rng, sigma);
 }
 
-const Fsa& PoolMachine(const FsaPool& pool, Rng& rng, int tapes) {
-  switch (tapes) {
-    case 1:
-      return pool.even1;
-    case 2:
-      return rng.Coin() ? pool.eq2 : pool.prefix2;
-    default:
-      return pool.concat3;
-  }
-}
-
-Database RandomDb(Rng& rng, const Alphabet& sigma) {
-  Database db(sigma);
-  auto fill = [&](const std::string& name, int arity) {
-    std::vector<Tuple> tuples;
-    int n = rng.Range(0, 3);
-    for (int i = 0; i < n; ++i) {
-      Tuple t;
-      for (int c = 0; c < arity; ++c) {
-        t.push_back(rng.String(sigma, 0, 2));
-      }
-      tuples.push_back(std::move(t));
-    }
-    EXPECT_TRUE(db.Put(name, arity, std::move(tuples)).ok());
-  };
-  fill("R0", 1);
-  fill("R1", 1);
-  fill("P", 2);
-  return db;
-}
-
-// A random expression of arity <= 3 and depth <= `depth`.  Bare Σ*
-// appears only in the finitely-evaluable form σ_A(F × (Σ*)^n), mirroring
-// the class the paper evaluates; everything else would make the naïve
-// reference explode.
-AlgebraExpr RandomExpr(Rng& rng, const FsaPool& pool, int depth) {
-  if (depth <= 0 || rng.Range(0, 5) == 0) {
-    switch (rng.Range(0, 3)) {
-      case 0:
-        return AlgebraExpr::Relation("R0", 1);
-      case 1:
-        return AlgebraExpr::Relation("R1", 1);
-      case 2:
-        return AlgebraExpr::Relation("P", 2);
-      default:
-        return AlgebraExpr::SigmaL(rng.Range(0, 2));
-    }
-  }
-  switch (rng.Range(0, 6)) {
-    case 0: {  // union / difference of equal-arity parts
-      AlgebraExpr a = RandomExpr(rng, pool, depth - 1);
-      AlgebraExpr b = RandomExpr(rng, pool, depth - 1);
-      if (a.arity() == b.arity()) {
-        Result<AlgebraExpr> r = rng.Coin() ? AlgebraExpr::Union(a, b)
-                                           : AlgebraExpr::Difference(a, b);
-        if (r.ok()) return *r;
-      }
-      return a;
-    }
-    case 1: {  // product, capped at arity 3
-      AlgebraExpr a = RandomExpr(rng, pool, depth - 1);
-      AlgebraExpr b = RandomExpr(rng, pool, depth - 1);
-      if (a.arity() + b.arity() <= 3) return AlgebraExpr::Product(a, b);
-      return a;
-    }
-    case 2: {  // random projection (a permutation of a subset)
-      AlgebraExpr child = RandomExpr(rng, pool, depth - 1);
-      std::vector<int> cols;
-      for (int c = 0; c < child.arity(); ++c) {
-        if (rng.Coin()) cols.push_back(c);
-      }
-      if (rng.Coin() && cols.size() > 1) std::swap(cols.front(), cols.back());
-      Result<AlgebraExpr> r = AlgebraExpr::Project(child, cols);
-      return r.ok() ? *r : child;
-    }
-    case 3: {  // filtering selection
-      AlgebraExpr child = RandomExpr(rng, pool, depth - 1);
-      Result<AlgebraExpr> r = AlgebraExpr::Select(
-          child, Fsa(PoolMachine(pool, rng, child.arity())));
-      return r.ok() ? *r : child;
-    }
-    case 4: {  // generator selection σ_A(... × Σ* × ...)
-      if (rng.Coin()) {
-        AlgebraExpr f = RandomExpr(rng, pool, 0);  // a leaf, arity 1 or 2
-        if (f.arity() == 1) {
-          AlgebraExpr body = rng.Coin()
-                                 ? AlgebraExpr::Product(AlgebraExpr::SigmaStar(), f)
-                                 : AlgebraExpr::Product(f, AlgebraExpr::SigmaStar());
-          Result<AlgebraExpr> r = AlgebraExpr::Select(
-              body, rng.Coin() ? Fsa(pool.eq2) : Fsa(pool.prefix2));
-          if (r.ok()) return *r;
-        }
-      }
-      // E8 shape: σ_concat(Σ* × F1 × F2).
-      AlgebraExpr f1 = RandomExpr(rng, pool, 0);
-      AlgebraExpr f2 = RandomExpr(rng, pool, 0);
-      if (f1.arity() == 1 && f2.arity() == 1) {
-        AlgebraExpr body = AlgebraExpr::Product(
-            AlgebraExpr::SigmaStar(), AlgebraExpr::Product(f1, f2));
-        Result<AlgebraExpr> r = AlgebraExpr::Select(body, Fsa(pool.concat3));
-        if (r.ok()) return *r;
-      }
-      return f1;
-    }
-    default:
-      return AlgebraExpr::RestrictToDomain(RandomExpr(rng, pool, depth - 1));
-  }
+AlgebraExpr RandomExpr(RngSource& rng, const FsaPool& pool, int depth) {
+  return testgen::RandomAlgebraExpr(rng, pool, depth);
 }
 
 TEST(EngineTest, MatchesNaiveEvaluatorOnRandomExpressions) {
   Alphabet sigma = Alphabet::Binary();
   FsaPool pool = MakePool(sigma);
-  Rng rng(20260805);
+  RngSource rng(20260805);
   EvalOptions opts;
   opts.truncation = 2;
   opts.max_tuples = 20000;
@@ -575,7 +464,7 @@ TEST(EngineTest, MatchesNaiveEvaluatorOnRandomExpressions) {
 TEST(EngineTest, CacheStaysBoundedUnderQueryChurn) {
   Alphabet sigma = Alphabet::Binary();
   FsaPool pool = MakePool(sigma);
-  Rng rng(42);
+  RngSource rng(42);
   EvalOptions opts;
   opts.truncation = 2;
   opts.max_tuples = 20000;
@@ -654,7 +543,7 @@ TEST(EngineTest, BudgetedRunsNeverReturnWrongTuples) {
   // exactly the unbudgeted answer — never a silently truncated relation.
   Alphabet sigma = Alphabet::Binary();
   FsaPool pool = MakePool(sigma);
-  Rng rng(77);
+  RngSource rng(77);
   EvalOptions opts;
   opts.truncation = 2;
   opts.max_tuples = 20000;

@@ -12,54 +12,27 @@
 #include <gtest/gtest.h>
 
 #include "core/budget.h"
-#include "core/rng.h"
 #include "engine/engine.h"
 #include "fsa/accept.h"
 #include "fsa/compile.h"
 #include "relational/algebra.h"
 #include "relational/relation.h"
 #include "strform/parser.h"
+#include "testing/generators.h"
+#include "testing/random_source.h"
 
 namespace strdb {
 namespace {
 
-Fsa RandomFsa(Rng& rng, const Alphabet& sigma, bool one_way_only) {
-  int tapes = rng.Range(1, 3);
-  Fsa fsa(sigma, tapes);
-  int states = rng.Range(2, 6);
-  while (fsa.num_states() < states) fsa.AddState();
-  for (int s = 0; s < states; ++s) {
-    if (rng.Range(0, 3) == 0) fsa.SetFinal(s);
-  }
-  int want = rng.Range(3, 12);
-  for (int t = 0; t < want; ++t) {
-    Transition tr;
-    tr.from = rng.Range(0, states - 1);
-    tr.to = rng.Range(0, states - 1);
-    for (int i = 0; i < tapes; ++i) {
-      int pick = rng.Range(0, sigma.size() + 1);
-      Sym read = pick < sigma.size()    ? static_cast<Sym>(pick)
-                 : pick == sigma.size() ? kLeftEnd
-                                        : kRightEnd;
-      Move move = one_way_only ? static_cast<Move>(rng.Range(0, 1))
-                               : static_cast<Move>(rng.Range(-1, 1));
-      if (read == kLeftEnd && move == kBack) move = kStay;
-      if (read == kRightEnd && move == kFwd) move = kStay;
-      tr.read.push_back(read);
-      tr.move.push_back(move);
-    }
-    EXPECT_TRUE(fsa.AddTransition(std::move(tr)).ok());
-  }
-  return fsa;
-}
+using testgen::HasBackwardMove;
+using testgen::RngSource;
 
-bool HasBackwardMove(const Fsa& fsa) {
-  for (const Transition& t : fsa.transitions()) {
-    for (Move m : t.move) {
-      if (m == kBack) return true;
-    }
-  }
-  return false;
+// The shared structure-aware generator (src/testing), pinned to this
+// suite's historical sweep: 1-3 tapes, 2-6 states, 3-12 transitions.
+Fsa RandomFsa(RngSource& rng, const Alphabet& sigma, bool one_way_only) {
+  testgen::FsaGenOptions options;
+  options.one_way_only = one_way_only;
+  return testgen::RandomFsa(rng, sigma, options);
 }
 
 // The headline property: >= 1000 random (automaton, tuple) pairs,
@@ -67,7 +40,7 @@ bool HasBackwardMove(const Fsa& fsa) {
 // reused across every trial.
 TEST(KernelDifferentialTest, AgreesWithOracleOnRandomAutomataAndTuples) {
   Alphabet sigma = Alphabet::Binary();
-  Rng rng(20260805);
+  RngSource rng(20260805);
   AcceptScratch scratch;
   int one_way_trials = 0;
   int two_way_trials = 0;
@@ -112,7 +85,7 @@ TEST(KernelDifferentialTest, AgreesWithOracleOnCompiledFormulae) {
       "(([x,y]l(x = y))* . [y]l(y = ~) . ([y]r(!(y = ~)))* . [y]r(y = ~))* "
       ". ([x,y]l(x = y))* . [x,y]l(x = y = ~)",
   };
-  Rng rng(42);
+  RngSource rng(42);
   AcceptScratch scratch;
   for (const char* text : texts) {
     Result<StringFormula> f = ParseStringFormula(text);
@@ -294,7 +267,7 @@ TEST(OverflowRegressionTest, AdversarialTapeLengthsAreRefusedTyped) {
 // must never leak between runs.
 TEST(KernelScratchTest, ReuseAcrossKernelsAndShapesStaysCorrect) {
   Alphabet sigma = Alphabet::Binary();
-  Rng rng(7);
+  RngSource rng(7);
   AcceptScratch scratch;
   std::vector<std::pair<Fsa, AcceptKernel>> machines;
   for (int i = 0; i < 6; ++i) {
@@ -336,7 +309,7 @@ TEST(KernelDifferentialTest, WideOneWayAutomatonUsesFallbackCorrectly) {
   EXPECT_TRUE(kernel->one_way());
   EXPECT_GT(kernel->num_states(), 64);
 
-  Rng rng(31);
+  RngSource rng(31);
   AcceptScratch scratch;
   int accepts = 0;
   for (int len = kChain - 4; len <= kChain; ++len) {
@@ -361,7 +334,7 @@ TEST(KernelDifferentialTest, WideOneWayAutomatonUsesFallbackCorrectly) {
 TEST(KernelEngineTest, FilterSelectMatchesWithKernelOnAndOff) {
   Alphabet sigma = Alphabet::Binary();
   Database db(sigma);
-  Rng rng(99);
+  RngSource rng(99);
   std::vector<Tuple> pairs;
   for (int i = 0; i < 64; ++i) {
     std::string w = rng.String(sigma, 0, 5);

@@ -19,6 +19,7 @@
 #include "relational/algebra.h"
 #include "safety/limitation.h"
 #include "strform/parser.h"
+#include "testing/corpus.h"
 
 namespace strdb {
 namespace {
@@ -164,23 +165,13 @@ TEST_P(StringFormulaPipelineTest, RoundTripThroughStateElimination) {
 INSTANTIATE_TEST_SUITE_P(
     PaperFormulae, StringFormulaPipelineTest,
     ::testing::Values(
-        FormulaCase{"equality", "([x,y]l(x = y))* . [x,y]l(x = y = ~)",
-                    "ab", 2},
+        FormulaCase{"equality", testgen::kEqualityText, "ab", 2},
         FormulaCase{"constant_ab",
                     "[x]l(x = 'a') . [x]l(x = 'b') . [x]l(x = ~)", "ab", 3},
         FormulaCase{"prefix_star", "([x,y]l(x = y))*", "ab", 2},
-        FormulaCase{"concat",
-                    "([x,y]l(x = y))* . ([x,z]l(x = z))* . "
-                    "[x,y,z]l(x = y = z = ~)",
-                    "ab", 1},
-        FormulaCase{"manifold",
-                    "(([x,y]l(x = y))* . [y]l(y = ~) . ([y]r(!(y = ~)))* . "
-                    "[y]r(y = ~))* . ([x,y]l(x = y))* . [x,y]l(x = y = ~)",
-                    "ab", 2},
-        FormulaCase{"shuffle",
-                    "(([x,y]l(x = y)) + ([x,z]l(x = z)))* . "
-                    "[x,y,z]l(x = y = z = ~)",
-                    "ab", 1},
+        FormulaCase{"concat", testgen::kConcatText, "ab", 1},
+        FormulaCase{"manifold", testgen::kManifoldText, "ab", 2},
+        FormulaCase{"shuffle", testgen::kShuffleText, "ab", 1},
         FormulaCase{"occurs_in",
                     "([y]l(true))* . ([x,y]l(x = y))* . [x]l(x = ~)", "ab",
                     2},
@@ -234,39 +225,26 @@ TEST_P(LimitationSweepTest, VerdictMatches) {
 INSTANTIATE_TEST_SUITE_P(
     PaperSafetyCases, LimitationSweepTest,
     ::testing::Values(
-        LimitationCase{"equality_fwd",
-                       "([x,y]l(x = y))* . [x,y]l(x = y = ~)", {"x"},
+        LimitationCase{"equality_fwd", testgen::kEqualityText, {"x"},
                        LimitationVerdict::kLimited, 1},
-        LimitationCase{"equality_none",
-                       "([x,y]l(x = y))* . [x,y]l(x = y = ~)", {},
+        LimitationCase{"equality_none", testgen::kEqualityText, {},
                        LimitationVerdict::kUnlimitedHard, 0},
         LimitationCase{"prefix_tail_easy", "[x]l(x = 'a')", {},
                        LimitationVerdict::kUnlimitedEasy, 0},
         LimitationCase{"omega",
                        "([x,y]l(x = y))* . [x,y]l(x = ~ & !(y = ~))", {"x"},
                        LimitationVerdict::kUnlimitedEasy, 0},
-        LimitationCase{"concat_fwd",
-                       "([x,y]l(x = y))* . ([x,z]l(x = z))* . "
-                       "[x,y,z]l(x = y = z = ~)",
+        LimitationCase{"concat_fwd", testgen::kConcatText,
                        {"y", "z"}, LimitationVerdict::kLimited, 1},
-        LimitationCase{"concat_bwd",
-                       "([x,y]l(x = y))* . ([x,z]l(x = z))* . "
-                       "[x,y,z]l(x = y = z = ~)",
+        LimitationCase{"concat_bwd", testgen::kConcatText,
                        {"x"}, LimitationVerdict::kLimited, 1},
-        LimitationCase{"manifold_fwd",
-                       "(([x,y]l(x = y))* . [y]l(y = ~) . "
-                       "([y]r(!(y = ~)))* . [y]r(y = ~))* . "
-                       "([x,y]l(x = y))* . [x,y]l(x = y = ~)",
+        LimitationCase{"manifold_fwd", testgen::kManifoldText,
                        {"x"}, LimitationVerdict::kLimited, 2},
-        LimitationCase{"manifold_bwd",
-                       "(([x,y]l(x = y))* . [y]l(y = ~) . "
-                       "([y]r(!(y = ~)))* . [y]r(y = ~))* . "
-                       "([x,y]l(x = y))* . [x,y]l(x = y = ~)",
+        LimitationCase{"manifold_bwd", testgen::kManifoldText,
                        {"y"}, LimitationVerdict::kUnlimitedHard, 0},
         LimitationCase{"unsat_vacuous", "[x]l(!true)", {},
                        LimitationVerdict::kEmptyLanguage, 0},
-        LimitationCase{"no_outputs",
-                       "([x,y]l(x = y))* . [x,y]l(x = y = ~)", {"x", "y"},
+        LimitationCase{"no_outputs", testgen::kEqualityText, {"x", "y"},
                        LimitationVerdict::kLimited, 1}),
     [](const ::testing::TestParamInfo<LimitationCase>& info) {
       return info.param.name;
