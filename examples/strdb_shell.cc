@@ -49,354 +49,23 @@
 //   > x | exists y, z: R1(y) & R1(z) & ([x,y]l(x = y))* .
 //         ([x,z]l(x = z))* . [x,y,z]l(x = y = z = ~)
 //   > save
+//
+// The command grammar itself lives in server/command.{h,cc}, shared with
+// strdb_server: this file is only the REPL loop (argument parsing, the
+// prompt, and printing each command's output to stdout).
 #include <cstdio>
 #include <fstream>
 #include <iostream>
-#include <memory>
-#include <sstream>
 #include <string>
+#include <vector>
 
-#include "calculus/query.h"
-#include "core/budget.h"
-#include "core/metrics.h"
-#include "engine/engine.h"
-#include "fsa/serialize.h"
-#include "relational/relation.h"
-#include "storage/store.h"
-
-namespace {
-
-using namespace strdb;
-
-std::vector<std::string> SplitWords(const std::string& line) {
-  std::istringstream in(line);
-  std::vector<std::string> words;
-  std::string w;
-  while (in >> w) words.push_back(w);
-  return words;
-}
-
-// Parses the shell's tuple syntax ("ab,ba", "-" for the empty string).
-std::vector<Tuple> ParseTuples(const std::vector<std::string>& words,
-                               size_t first) {
-  std::vector<Tuple> tuples;
-  for (size_t i = first; i < words.size(); ++i) {
-    Tuple tuple;
-    std::istringstream in(words[i]);
-    std::string part;
-    while (std::getline(in, part, ',')) {
-      tuple.push_back(part == "-" ? "" : part);
-    }
-    if (tuple.empty()) tuple.push_back("");
-    tuples.push_back(std::move(tuple));
-  }
-  return tuples;
-}
-
-void PrintLimits(const ResourceLimits& limits) {
-  auto show = [](int64_t v) {
-    return v > 0 ? std::to_string(v) : std::string("-");
-  };
-  std::printf("budget: steps=%s rows=%s ms=%s bytes=%s\n",
-              show(limits.max_steps).c_str(), show(limits.max_rows).c_str(),
-              show(limits.deadline_ms).c_str(),
-              show(limits.max_cached_bytes).c_str());
-}
-
-// The shell's state: an in-memory catalog, optionally backed by a
-// durable CatalogStore once `open` has run.  Every command handler
-// returns a Status; script mode turns the first failure into a nonzero
-// exit code.
-class Shell {
- public:
-  explicit Shell(Alphabet alphabet)
-      : alphabet_(std::move(alphabet)), db_(alphabet_) {}
-
-  // The catalog queries read: the durable store's once open.
-  const Database& db() const { return store_ ? store_->db() : db_; }
-
-  Status Execute(const std::string& line);
-
- private:
-  Status HandleRel(const std::vector<std::string>& words);
-  Status HandleInsert(const std::vector<std::string>& words);
-  Status HandleDrop(const std::vector<std::string>& words);
-  Status HandleOpen(const std::vector<std::string>& words);
-  Status HandleSave();
-  Status HandleClose();
-  Status HandleBudget(const std::vector<std::string>& words);
-  Status HandleQuery(const std::string& text);
-  Status HandleSafe(const std::string& text);
-  Status HandlePlan(const std::string& text);
-  Status HandleExplain(const std::string& text);
-
-  Alphabet alphabet_;
-  Database db_;
-  std::unique_ptr<CatalogStore> store_;
-  bool use_engine_ = true;
-  bool show_stats_ = false;
-  ResourceLimits limits_;
-};
-
-Status Shell::HandleRel(const std::vector<std::string>& words) {
-  if (words.size() < 3) {
-    return Status::InvalidArgument("usage: rel NAME tuple [tuple ...]");
-  }
-  const std::string& name = words[1];
-  std::vector<Tuple> tuples = ParseTuples(words, 2);
-  int arity = static_cast<int>(tuples.front().size());
-  for (const Tuple& t : tuples) {
-    if (static_cast<int>(t.size()) != arity) {
-      return Status::InvalidArgument("tuples of unequal arity");
-    }
-  }
-  size_t count = tuples.size();
-  if (store_ != nullptr) {
-    STRDB_RETURN_IF_ERROR(store_->PutRelation(name, arity, std::move(tuples)));
-  } else {
-    STRDB_RETURN_IF_ERROR(db_.Put(name, arity, std::move(tuples)));
-  }
-  std::printf("defined %s/%d with %zu tuples%s\n", name.c_str(), arity, count,
-              store_ ? " (durable)" : "");
-  return Status::OK();
-}
-
-Status Shell::HandleInsert(const std::vector<std::string>& words) {
-  if (words.size() < 3) {
-    return Status::InvalidArgument("usage: insert NAME tuple [tuple ...]");
-  }
-  const std::string& name = words[1];
-  std::vector<Tuple> tuples = ParseTuples(words, 2);
-  size_t count = tuples.size();
-  if (store_ != nullptr) {
-    STRDB_RETURN_IF_ERROR(store_->InsertTuples(name, std::move(tuples)));
-  } else {
-    STRDB_RETURN_IF_ERROR(db_.InsertTuples(name, std::move(tuples)));
-  }
-  std::printf("inserted %zu tuple(s) into %s%s\n", count, name.c_str(),
-              store_ ? " (durable)" : "");
-  return Status::OK();
-}
-
-Status Shell::HandleDrop(const std::vector<std::string>& words) {
-  if (words.size() != 2) return Status::InvalidArgument("usage: drop NAME");
-  if (store_ != nullptr) {
-    STRDB_RETURN_IF_ERROR(store_->DropRelation(words[1]));
-  } else {
-    STRDB_RETURN_IF_ERROR(db_.Remove(words[1]));
-  }
-  std::printf("dropped %s%s\n", words[1].c_str(), store_ ? " (durable)" : "");
-  return Status::OK();
-}
-
-Status Shell::HandleOpen(const std::vector<std::string>& words) {
-  if (words.size() != 2) return Status::InvalidArgument("usage: open DIR");
-  if (store_ != nullptr) {
-    return Status::InvalidArgument("a durable session is already open ('" +
-                                   store_->dir() + "'); close it first");
-  }
-  RecoveryReport report;
-  auto opened = CatalogStore::Open(words[1], alphabet_, {}, &report);
-  if (!opened.ok()) return opened.status();
-  store_ = std::move(*opened);
-  std::printf("%s\n", report.ToString().c_str());
-
-  // Warm the engine's artifact cache from the persisted automata, so the
-  // first query after a restart skips recompilation.
-  int warmed = 0;
-  for (const auto& [key, text] : store_->automata()) {
-    Result<Fsa> fsa = DeserializeFsa(alphabet_, text);
-    if (!fsa.ok()) continue;  // recovery already verified; belt and braces
-    Engine::Shared().cache().InstallFsa(
-        key, std::make_shared<const Fsa>(std::move(*fsa)));
-    ++warmed;
-  }
-  if (warmed > 0) {
-    std::printf("warmed %d automata into the engine cache\n", warmed);
-  }
-  return Status::OK();
-}
-
-Status Shell::HandleSave() {
-  if (store_ == nullptr) {
-    return Status::InvalidArgument("no durable session; run 'open DIR' first");
-  }
-  // Harvest the engine's compiled automata so the next open can warm
-  // from disk.  Collect first: ForEachFsa runs under the cache lock and
-  // persistence does real I/O.
-  std::vector<std::pair<std::string, std::string>> artifacts;
-  Engine::Shared().cache().ForEachFsa(
-      [&](const std::string& key, const Fsa& fsa) {
-        artifacts.emplace_back(key, SerializeFsa(fsa));
-      });
-  int persisted = 0;
-  for (auto& [key, text] : artifacts) {
-    STRDB_RETURN_IF_ERROR(store_->InstallAutomatonText(key, std::move(text)));
-    ++persisted;
-  }
-  STRDB_RETURN_IF_ERROR(store_->Checkpoint());
-  std::printf("checkpointed generation %lld (%zu relation(s), %d automata)\n",
-              static_cast<long long>(store_->generation()),
-              store_->db().relations().size(), persisted);
-  return Status::OK();
-}
-
-Status Shell::HandleClose() {
-  if (store_ == nullptr) {
-    return Status::InvalidArgument("no durable session to close");
-  }
-  db_ = store_->db();  // keep working on the catalog, now in memory only
-  Status closed = store_->Close();
-  store_.reset();
-  std::printf("closed durable session (catalog kept in memory)\n");
-  return closed;
-}
-
-Status Shell::HandleBudget(const std::vector<std::string>& words) {
-  if (words.size() == 2 && words[1] == "off") {
-    limits_ = ResourceLimits{};
-    PrintLimits(limits_);
-    return Status::OK();
-  }
-  if (words.size() % 2 != 1) {
-    return Status::InvalidArgument(
-        "usage: budget [steps|rows|ms|bytes N ...] | budget off");
-  }
-  ResourceLimits next = limits_;
-  for (size_t i = 1; i + 1 < words.size(); i += 2) {
-    int64_t value = std::atoll(words[i + 1].c_str());
-    if (words[i] == "steps") {
-      next.max_steps = value;
-    } else if (words[i] == "rows") {
-      next.max_rows = value;
-    } else if (words[i] == "ms") {
-      next.deadline_ms = value;
-    } else if (words[i] == "bytes") {
-      next.max_cached_bytes = value;
-    } else {
-      return Status::InvalidArgument("unknown budget dimension '" + words[i] +
-                                     "' (steps|rows|ms|bytes)");
-    }
-  }
-  limits_ = next;
-  PrintLimits(limits_);
-  return Status::OK();
-}
-
-Status Shell::HandleQuery(const std::string& text) {
-  int explicit_trunc = -1;
-  std::string body = text;
-  if (!body.empty() && body[0] == '!') {
-    size_t sp = body.find(' ');
-    if (sp == std::string::npos) {
-      return Status::InvalidArgument("usage: !N QUERY");
-    }
-    explicit_trunc = std::atoi(body.substr(1, sp - 1).c_str());
-    body = body.substr(sp + 1);
-  }
-  Result<Query> q = Query::Parse(body, db().alphabet());
-  if (!q.ok()) return q.status();
-  ExecStats stats;
-  QueryOptions opts;
-  opts.use_engine = use_engine_;
-  opts.stats = show_stats_ ? &stats : nullptr;
-  opts.limits = limits_;
-  Result<StringRelation> answer =
-      explicit_trunc >= 0 ? q->ExecuteTruncated(db(), explicit_trunc, opts)
-                          : q->Execute(db(), opts);
-  if (!answer.ok()) {
-    // A budget-exhausted query still fills the stats in: the plan
-    // annotations show which operator burnt the budget.
-    if (show_stats_ && use_engine_ && !stats.plan.empty()) {
-      std::printf("%s", stats.ToString().c_str());
-    }
-    if (explicit_trunc < 0) {
-      std::printf("hint: \"!N <query>\" evaluates at explicit "
-                  "truncation N\n");
-    }
-    return answer.status();
-  }
-  std::printf("%s   (%lld tuples)\n", answer->ToString().c_str(),
-              static_cast<long long>(answer->size()));
-  if (show_stats_ && use_engine_) {
-    std::printf("%s", stats.ToString().c_str());
-  }
-  return Status::OK();
-}
-
-Status Shell::HandleSafe(const std::string& text) {
-  Result<Query> q = Query::Parse(text, db().alphabet());
-  if (!q.ok()) return q.status();
-  Result<int> w = q->InferTruncation(db());
-  if (w.ok()) {
-    std::printf("SAFE; inferred truncation W(db) = %d\n", *w);
-  } else {
-    std::printf("NOT certified: %s\n", w.status().ToString().c_str());
-  }
-  return Status::OK();
-}
-
-Status Shell::HandlePlan(const std::string& text) {
-  Result<Query> q = Query::Parse(text, db().alphabet());
-  if (!q.ok()) return q.status();
-  std::printf("formula: %s\n", q->formula().ToString().c_str());
-  std::printf("plan:    %s\n", q->plan().ToString().c_str());
-  std::printf("finitely evaluable: %s\n",
-              q->plan().IsFinitelyEvaluable() ? "yes" : "no");
-  return Status::OK();
-}
-
-Status Shell::HandleExplain(const std::string& text) {
-  Result<Query> q = Query::Parse(text, db().alphabet());
-  if (!q.ok()) return q.status();
-  Result<std::string> plan = q->ExplainPlan(db());
-  if (!plan.ok()) return plan.status();
-  std::printf("%s", plan->c_str());
-  return Status::OK();
-}
-
-Status Shell::Execute(const std::string& line) {
-  std::vector<std::string> words = SplitWords(line);
-  if (words.empty()) return Status::OK();
-  if (words[0] == "rel") return HandleRel(words);
-  if (words[0] == "insert") return HandleInsert(words);
-  if (words[0] == "drop") return HandleDrop(words);
-  if (words[0] == "open") return HandleOpen(words);
-  if (words[0] == "save") return HandleSave();
-  if (words[0] == "close") return HandleClose();
-  if (words[0] == "show") {
-    for (const auto& [name, rel] : db().relations()) {
-      std::printf("%s/%d = %s\n", name.c_str(), rel.arity(),
-                  rel.ToString().c_str());
-    }
-    return Status::OK();
-  }
-  if (words[0] == "safe") return HandleSafe(line.substr(5));
-  if (words[0] == "plan") return HandlePlan(line.substr(5));
-  if (words[0] == "explain") {
-    return HandleExplain(line.size() > 8 ? line.substr(8) : "");
-  }
-  if (words[0] == "engine" && words.size() == 2) {
-    use_engine_ = words[1] != "off";
-    std::printf("engine %s\n", use_engine_ ? "on" : "off");
-    return Status::OK();
-  }
-  if (words[0] == "stats" && words.size() == 2) {
-    show_stats_ = words[1] != "off";
-    std::printf("stats %s\n", show_stats_ ? "on" : "off");
-    return Status::OK();
-  }
-  if (words[0] == "budget") return HandleBudget(words);
-  if (words[0] == "metrics" && words.size() == 1) {
-    std::printf("%s\n", MetricsRegistry::Global().DumpJson().c_str());
-    return Status::OK();
-  }
-  return HandleQuery(line);
-}
-
-}  // namespace
+#include "core/alphabet.h"
+#include "server/catalog.h"
+#include "server/command.h"
 
 int main(int argc, char** argv) {
+  using namespace strdb;
+
   std::string chars = "ab";
   std::vector<std::string> commands;
   bool script_mode = false;
@@ -441,12 +110,15 @@ int main(int argc, char** argv) {
                  alphabet.status().ToString().c_str());
     return 1;
   }
-  Shell shell(*alphabet);
+  SharedCatalog catalog(*alphabet);
+  CommandProcessor shell(&catalog, CommandProcessor::Mode::kShell);
 
   if (script_mode) {
     for (const std::string& command : commands) {
       if (command == ":quit" || command == ":q") break;
-      Status status = shell.Execute(command);
+      std::string out;
+      Status status = shell.Execute(command, &out);
+      std::fputs(out.c_str(), stdout);
       if (!status.ok()) {
         std::fprintf(stderr, "error: %s (while executing: %s)\n",
                      status.ToString().c_str(), command.c_str());
@@ -462,7 +134,9 @@ int main(int argc, char** argv) {
          std::getline(std::cin, line)) {
     if (line.empty()) continue;
     if (line == ":quit" || line == ":q") break;
-    Status status = shell.Execute(line);
+    std::string out;
+    Status status = shell.Execute(line, &out);
+    std::fputs(out.c_str(), stdout);
     if (!status.ok()) {
       std::printf("error: %s\n", status.ToString().c_str());
     }

@@ -1,0 +1,11 @@
+// libFuzzer: concurrent ServerCore vs serial replay — disjoint-session
+// determinism, typed admission rejections under overload, and snapshot
+// isolation against a racing writer (see ServerDiffTarget).
+#include "fuzz_common.h"
+#include "testing/targets.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  static const strdb::testgen::ServerDiffTarget target;
+  strdb::testgen::FuzzDifferentialTarget(target, data, size);
+  return 0;
+}

@@ -245,8 +245,8 @@ Result<StringRelation> Query::ExecuteTruncated(
   // The budget lives on the stack for exactly one execution: charges
   // accumulate across every operator of this query and no other.
   std::optional<ResourceBudget> budget;
-  if (AnyLimitSet(options.limits)) {
-    budget.emplace(options.limits);
+  if (AnyLimitSet(options.limits) || options.parent_budget != nullptr) {
+    budget.emplace(options.limits, options.parent_budget);
     opts.budget = &*budget;
   }
   if (options.use_engine) {

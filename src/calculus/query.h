@@ -30,6 +30,12 @@ struct QueryOptions {
   // it; an exhausted budget surfaces as kResourceExhausted with partial
   // ExecStats.  Applies to both routes.
   ResourceLimits limits;
+  // Optional parent account (not owned; must outlive the execution).
+  // When set, a per-query ResourceBudget is always opened (even with
+  // empty `limits`) as a child of it, so the query's in-flight usage
+  // rolls up into — and on completion is released from — the shared
+  // account.  The server threads its global admission budget here.
+  ResourceBudget* parent_budget = nullptr;
 };
 
 // The end-to-end query facility a string-database engine would expose:

@@ -10,8 +10,32 @@ std::string LimitText(int64_t limit) {
 
 }  // namespace
 
-ResourceBudget::ResourceBudget(ResourceLimits limits)
-    : limits_(limits), start_(std::chrono::steady_clock::now()) {}
+ResourceBudget::ResourceBudget(ResourceLimits limits, ResourceBudget* parent,
+                               const char* scope)
+    : limits_(limits),
+      parent_(parent),
+      scope_(scope),
+      start_(std::chrono::steady_clock::now()) {}
+
+ResourceBudget::~ResourceBudget() {
+  // Hand every forwarded charge back.  The counters hold exactly what
+  // was forwarded: charges are mirrored to the parent unconditionally,
+  // including the one that overshot a limit (charge-then-check on both
+  // sides keeps the two accounts in lockstep with no rollback paths).
+  if (parent_ != nullptr) {
+    parent_->Release(steps_used(), rows_used(), cached_bytes_used());
+  }
+}
+
+void ResourceBudget::Release(int64_t steps, int64_t rows,
+                             int64_t cached_bytes) {
+  if (steps != 0) steps_.fetch_sub(steps, std::memory_order_relaxed);
+  if (rows != 0) rows_.fetch_sub(rows, std::memory_order_relaxed);
+  if (cached_bytes != 0) {
+    cached_bytes_.fetch_sub(cached_bytes, std::memory_order_relaxed);
+  }
+  if (parent_ != nullptr) parent_->Release(steps, rows, cached_bytes);
+}
 
 int64_t ResourceBudget::elapsed_ms() const {
   return std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -22,15 +46,20 @@ int64_t ResourceBudget::elapsed_ms() const {
 Status ResourceBudget::Exhausted(const char* dimension, int64_t used,
                                  int64_t limit) const {
   return Status::ResourceExhausted(
-      std::string("query budget: ") + dimension + " (" + std::to_string(used) +
-      " of " + std::to_string(limit) + ") exhausted");
+      std::string(scope_) + " budget: " + dimension + " (" +
+      std::to_string(used) + " of " + std::to_string(limit) + ") exhausted");
 }
 
 Status ResourceBudget::ChargeSteps(int64_t n) {
   int64_t total = steps_.fetch_add(n, std::memory_order_relaxed) + n;
+  // Mirror into the parent before checking anything so the accounts
+  // never diverge; its verdict only surfaces when our own limit holds.
+  Status parent_verdict =
+      parent_ != nullptr ? parent_->ChargeSteps(n) : Status::OK();
   if (limits_.max_steps > 0 && total > limits_.max_steps) {
     return Exhausted("search steps", total, limits_.max_steps);
   }
+  STRDB_RETURN_IF_ERROR(parent_verdict);
   // The deadline needs a clock read; amortise it over charge batches.
   if (limits_.deadline_ms > 0 &&
       total / kDeadlineCheckInterval != (total - n) / kDeadlineCheckInterval) {
@@ -41,18 +70,22 @@ Status ResourceBudget::ChargeSteps(int64_t n) {
 
 Status ResourceBudget::ChargeRows(int64_t n) {
   int64_t total = rows_.fetch_add(n, std::memory_order_relaxed) + n;
+  Status parent_verdict =
+      parent_ != nullptr ? parent_->ChargeRows(n) : Status::OK();
   if (limits_.max_rows > 0 && total > limits_.max_rows) {
     return Exhausted("result rows", total, limits_.max_rows);
   }
-  return Status::OK();
+  return parent_verdict;
 }
 
 Status ResourceBudget::ChargeCachedBytes(int64_t n) {
   int64_t total = cached_bytes_.fetch_add(n, std::memory_order_relaxed) + n;
+  Status parent_verdict =
+      parent_ != nullptr ? parent_->ChargeCachedBytes(n) : Status::OK();
   if (limits_.max_cached_bytes > 0 && total > limits_.max_cached_bytes) {
     return Exhausted("cached bytes", total, limits_.max_cached_bytes);
   }
-  return Status::OK();
+  return parent_verdict;
 }
 
 Status ResourceBudget::CheckDeadline() const {
@@ -60,8 +93,9 @@ Status ResourceBudget::CheckDeadline() const {
   int64_t ms = elapsed_ms();
   if (ms > limits_.deadline_ms) {
     return Status::ResourceExhausted(
-        "query budget: wall-clock deadline (" + std::to_string(ms) + "ms of " +
-        std::to_string(limits_.deadline_ms) + "ms) exhausted");
+        std::string(scope_) + " budget: wall-clock deadline (" +
+        std::to_string(ms) + "ms of " + std::to_string(limits_.deadline_ms) +
+        "ms) exhausted");
   }
   return Status::OK();
 }

@@ -39,21 +39,44 @@ struct ResourceLimits {
 // wall-clock deadline is only consulted every kDeadlineCheckInterval
 // charged steps to keep clock reads off the hot path.
 //
+// Budgets compose hierarchically: a budget constructed with a `parent`
+// forwards every charge to the parent as well (parent limits bound the
+// *sum* across all live children — the server uses one long-lived
+// parent as a global in-flight admission account shared by every
+// session), and on destruction releases everything it forwarded, so a
+// finished query hands its in-flight usage back.  The invariant, which
+// tests/core_test.cc checks under TSan: at every instant the parent's
+// used totals equal the sum over live children of their used totals
+// (plus the parent's own direct charges), and after every child is
+// destroyed the parent is back at its baseline — no lost and no
+// double-counted charges.  Parent deadlines are not inherited: a child
+// checks its own clock only.
+//
 // Every exceeded dimension yields StatusCode::kResourceExhausted with a
-// message naming the dimension, so callers can distinguish a budget
-// error from a per-call GenerateOptions limit.
+// message naming the dimension (and the scope for parent budgets), so
+// callers can distinguish a budget error from a per-call GenerateOptions
+// limit and a per-query overrun from global admission pressure.
 class ResourceBudget {
  public:
   ResourceBudget() : ResourceBudget(ResourceLimits{}) {}
-  explicit ResourceBudget(ResourceLimits limits);
+  explicit ResourceBudget(ResourceLimits limits)
+      : ResourceBudget(limits, nullptr) {}
+  // `parent` (not owned, may be nullptr) must outlive this budget.
+  // `scope` names this account in error messages ("query", "server").
+  ResourceBudget(ResourceLimits limits, ResourceBudget* parent,
+                 const char* scope = "query");
+  ~ResourceBudget();
 
   ResourceBudget(const ResourceBudget&) = delete;
   ResourceBudget& operator=(const ResourceBudget&) = delete;
 
   const ResourceLimits& limits() const { return limits_; }
+  ResourceBudget* parent() const { return parent_; }
 
   // Charges `n` search steps; fails once the cumulative total passes
-  // max_steps or the deadline has passed (checked periodically).
+  // max_steps or the deadline has passed (checked periodically).  With a
+  // parent, the charge is forwarded (and the parent's verdict returned
+  // when this budget's own limit holds).
   Status ChargeSteps(int64_t n);
   // Charges `n` result rows against max_rows.
   Status ChargeRows(int64_t n);
@@ -62,6 +85,11 @@ class ResourceBudget {
   Status ChargeCachedBytes(int64_t n);
   // Explicit deadline check (operator boundaries, loop heads).
   Status CheckDeadline() const;
+
+  // Hands back previously charged amounts.  Used by child budgets (the
+  // destructor releases a child's full totals from its parent) and by
+  // long-lived admission accounts that track in-flight usage.
+  void Release(int64_t steps, int64_t rows, int64_t cached_bytes);
 
   int64_t steps_used() const { return steps_.load(std::memory_order_relaxed); }
   int64_t rows_used() const { return rows_.load(std::memory_order_relaxed); }
@@ -79,6 +107,8 @@ class ResourceBudget {
   Status Exhausted(const char* dimension, int64_t used, int64_t limit) const;
 
   const ResourceLimits limits_;
+  ResourceBudget* const parent_;
+  const char* const scope_;
   const std::chrono::steady_clock::time_point start_;
   std::atomic<int64_t> steps_{0};
   std::atomic<int64_t> rows_{0};

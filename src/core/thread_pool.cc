@@ -1,6 +1,7 @@
 #include "core/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 
 #include "core/metrics.h"
@@ -27,13 +28,17 @@ ThreadPool::~ThreadPool() {
   for (std::thread& w : workers_) w.join();
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+Status ThreadPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mu_);
+    if (!accepting_ || stop_) {
+      return Status::Unavailable("thread pool is shutting down");
+    }
     queue_.push_back(std::move(task));
     ++pending_;
   }
   work_cv_.notify_one();
+  return Status::OK();
 }
 
 void ThreadPool::Wait() {
@@ -44,6 +49,37 @@ void ThreadPool::Wait() {
     std::swap(rethrow, first_exception_);
   }
   if (rethrow != nullptr) std::rethrow_exception(rethrow);
+}
+
+void ThreadPool::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+Status ThreadPool::Shutdown(int64_t deadline_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  accepting_ = false;
+  if (deadline_ms <= 0) {
+    idle_cv_.wait(lock, [this] { return pending_ == 0; });
+    return Status::OK();
+  }
+  bool drained =
+      idle_cv_.wait_for(lock, std::chrono::milliseconds(deadline_ms),
+                        [this] { return pending_ == 0; });
+  if (drained) return Status::OK();
+  return Status::ResourceExhausted(
+      "thread pool shutdown deadline (" + std::to_string(deadline_ms) +
+      "ms) exhausted with " + std::to_string(pending_) + " task(s) pending");
+}
+
+bool ThreadPool::shutting_down() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return !accepting_ || stop_;
+}
+
+int64_t ThreadPool::queue_depth() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return static_cast<int64_t>(queue_.size());
 }
 
 void ThreadPool::ParallelFor(int64_t n,
@@ -71,7 +107,7 @@ void ThreadPool::ParallelFor(int64_t n,
   latch->remaining = (n + per - 1) / per;
   for (int64_t begin = 0; begin < n; begin += per) {
     int64_t end = std::min(n, begin + per);
-    Submit([latch, &fn, begin, end] {
+    auto chunk = [latch, &fn, begin, end] {
       try {
         fn(begin, end);
       } catch (...) {
@@ -82,7 +118,11 @@ void ThreadPool::ParallelFor(int64_t n,
       }
       std::lock_guard<std::mutex> lock(latch->mu);
       if (--latch->remaining == 0) latch->done_cv.notify_all();
-    });
+    };
+    // A pool mid-shutdown rejects the submission; the chunk then runs
+    // inline so the latch still drains and callers never deadlock on a
+    // closing pool.
+    if (!Submit(chunk).ok()) chunk();
   }
   std::exception_ptr rethrow;
   {

@@ -1,0 +1,146 @@
+#include "server/catalog.h"
+
+#include <utility>
+
+#include "engine/engine.h"
+#include "fsa/serialize.h"
+
+namespace strdb {
+
+SharedCatalog::SharedCatalog(Alphabet alphabet)
+    : alphabet_(std::move(alphabet)), db_(alphabet_) {
+  snapshot_ = std::make_shared<const Database>(db_);
+}
+
+std::shared_ptr<const Database> SharedCatalog::Snapshot() const {
+  // snapshot_mu_ is only ever held for pointer swaps and this read, so
+  // a reader grabbing its snapshot never queues behind a WAL fsync the
+  // writer is sitting in (the writer holds mu_, not snapshot_mu_,
+  // across I/O).  The store's SnapshotDb() makes the same guarantee on
+  // its side.
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return live_store_ != nullptr ? live_store_->SnapshotDb() : snapshot_;
+}
+
+void SharedCatalog::PublishLocked() {
+  auto fresh = std::make_shared<const Database>(db_);
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  snapshot_ = std::move(fresh);
+}
+
+Status SharedCatalog::PutRelation(const std::string& name, int arity,
+                                  std::vector<Tuple> tuples) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (store_ != nullptr) {
+    return store_->PutRelation(name, arity, std::move(tuples));
+  }
+  STRDB_RETURN_IF_ERROR(db_.Put(name, arity, std::move(tuples)));
+  PublishLocked();
+  return Status::OK();
+}
+
+Status SharedCatalog::InsertTuples(const std::string& name,
+                                   std::vector<Tuple> tuples) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (store_ != nullptr) {
+    return store_->InsertTuples(name, std::move(tuples));
+  }
+  STRDB_RETURN_IF_ERROR(db_.InsertTuples(name, std::move(tuples)));
+  PublishLocked();
+  return Status::OK();
+}
+
+Status SharedCatalog::DropRelation(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (store_ != nullptr) return store_->DropRelation(name);
+  STRDB_RETURN_IF_ERROR(db_.Remove(name));
+  PublishLocked();
+  return Status::OK();
+}
+
+bool SharedCatalog::durable() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return store_ != nullptr;
+}
+
+std::string SharedCatalog::durable_dir() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return store_ != nullptr ? store_->dir() : std::string();
+}
+
+Status SharedCatalog::OpenDurable(const std::string& dir,
+                                  RecoveryReport* report, int* warmed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (store_ != nullptr) {
+    return Status::InvalidArgument("a durable session is already open ('" +
+                                   store_->dir() + "'); close it first");
+  }
+  auto opened = CatalogStore::Open(dir, alphabet_, {}, report);
+  if (!opened.ok()) return opened.status();
+  store_ = std::move(*opened);
+  {
+    std::lock_guard<std::mutex> snap_lock(snapshot_mu_);
+    live_store_ = store_.get();
+  }
+
+  // Warm the engine's artifact cache from the persisted automata, so the
+  // first query after a restart skips recompilation.
+  int count = 0;
+  for (const auto& [key, text] : store_->automata()) {
+    Result<Fsa> fsa = DeserializeFsa(alphabet_, text);
+    if (!fsa.ok()) continue;  // recovery already verified; belt and braces
+    Engine::Shared().cache().InstallFsa(
+        key, std::make_shared<const Fsa>(std::move(*fsa)));
+    ++count;
+  }
+  if (warmed != nullptr) *warmed = count;
+  return Status::OK();
+}
+
+Status SharedCatalog::CheckpointDurable(int* persisted, int64_t* generation,
+                                        size_t* relations) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (store_ == nullptr) {
+    return Status::InvalidArgument("no durable session; run 'open DIR' first");
+  }
+  // Harvest the engine's compiled automata so the next open can warm
+  // from disk.  Collect first: ForEachFsa runs under the cache lock and
+  // persistence does real I/O.
+  std::vector<std::pair<std::string, std::string>> artifacts;
+  Engine::Shared().cache().ForEachFsa(
+      [&](const std::string& key, const Fsa& fsa) {
+        artifacts.emplace_back(key, SerializeFsa(fsa));
+      });
+  int count = 0;
+  for (auto& [key, text] : artifacts) {
+    STRDB_RETURN_IF_ERROR(store_->InstallAutomatonText(key, std::move(text)));
+    ++count;
+  }
+  STRDB_RETURN_IF_ERROR(store_->Checkpoint());
+  if (persisted != nullptr) *persisted = count;
+  if (generation != nullptr) *generation = store_->generation();
+  if (relations != nullptr) *relations = store_->db().relations().size();
+  return Status::OK();
+}
+
+Status SharedCatalog::CloseDurable() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (store_ == nullptr) {
+    return Status::InvalidArgument("no durable session to close");
+  }
+  db_ = store_->db();  // keep working on the catalog, now in memory only
+  // Point readers back at the in-memory snapshot *before* the store
+  // dies: a reader only dereferences live_store_ under snapshot_mu_, so
+  // once this block completes none can still be inside the store.
+  {
+    auto fresh = std::make_shared<const Database>(db_);
+    std::lock_guard<std::mutex> snap_lock(snapshot_mu_);
+    snapshot_ = std::move(fresh);
+    live_store_ = nullptr;
+  }
+  Status closed = store_->Close();
+  store_.reset();
+  return closed;
+}
+
+}  // namespace strdb

@@ -1,0 +1,98 @@
+#ifndef STRDB_SERVER_CATALOG_H_
+#define STRDB_SERVER_CATALOG_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/alphabet.h"
+#include "core/result.h"
+#include "relational/relation.h"
+#include "storage/store.h"
+
+namespace strdb {
+
+// The one catalog a process serves, shared by every session (the shell
+// is the degenerate single-session case).  Two jobs:
+//
+//  1. Writer serialization: rel/insert/drop (and the durable session
+//     verbs) serialize on an internal mutex, routed through a
+//     CatalogStore — WAL commit before apply, exactly as before — once
+//     a durable session is open, and through an in-memory Database
+//     otherwise.
+//
+//  2. Snapshot isolation for readers: Snapshot() returns an immutable
+//     shared handle to the current catalog.  Every committed mutation
+//     publishes a fresh copy-on-write Database, so a query evaluates
+//     one consistent catalog for its whole run while writers commit
+//     freely — readers never block the writer and never observe a
+//     half-applied mutation.  Grabbing a snapshot is a pointer copy
+//     under a short lock that is never held across I/O.
+//
+// Durable-session lifecycle mirrors the shell's historical behaviour:
+// OpenDurable shadows the in-memory catalog with the recovered store
+// (and warms the engine's artifact cache from the persisted automata);
+// CloseDurable copies the store's catalog back to memory and keeps
+// serving.
+class SharedCatalog {
+ public:
+  explicit SharedCatalog(Alphabet alphabet);
+
+  const Alphabet& alphabet() const { return alphabet_; }
+
+  // The current catalog as an immutable snapshot.  Never null; never
+  // waits behind writer I/O.
+  std::shared_ptr<const Database> Snapshot() const;
+
+  // Catalog mutations (durable once OpenDurable has run).
+  Status PutRelation(const std::string& name, int arity,
+                     std::vector<Tuple> tuples);
+  Status InsertTuples(const std::string& name, std::vector<Tuple> tuples);
+  Status DropRelation(const std::string& name);
+
+  bool durable() const;
+  // The open store's directory ("" when not durable).
+  std::string durable_dir() const;
+
+  // Attaches a CatalogStore over `dir` (creating it if necessary),
+  // replays its WAL and warms the engine artifact cache from the
+  // persisted automata.  `report` (optional) receives what recovery
+  // found; `warmed` (optional) the number of automata installed.
+  Status OpenDurable(const std::string& dir, RecoveryReport* report,
+                     int* warmed);
+
+  // Harvests the engine's compiled automata into the store and folds
+  // the WAL into a fresh snapshot generation.  Out-params (each
+  // optional) feed the shell's transcript.
+  Status CheckpointDurable(int* persisted, int64_t* generation,
+                           size_t* relations);
+
+  // Detaches the store; the catalog stays available in memory.
+  Status CloseDurable();
+
+ private:
+  // Rebuilds the published in-memory snapshot from db_ (writer lock
+  // held).  Only used while no store is attached — the store publishes
+  // its own snapshots.
+  void PublishLocked();
+
+  const Alphabet alphabet_;
+
+  mutable std::mutex mu_;  // serializes writers (including store I/O)
+  Database db_;            // the catalog while no store is attached
+  std::unique_ptr<CatalogStore> store_;
+
+  // Reader-side state, behind its own short-hold lock (never held
+  // across I/O): the published in-memory snapshot and, when a store is
+  // attached, the store pointer readers pull snapshots from.  Open and
+  // close republish both fields before the store object itself is
+  // created/destroyed, so readers never touch a dying store.
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const Database> snapshot_;
+  CatalogStore* live_store_ = nullptr;
+};
+
+}  // namespace strdb
+
+#endif  // STRDB_SERVER_CATALOG_H_

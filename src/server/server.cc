@@ -1,0 +1,177 @@
+#include "server/server.h"
+
+#include <future>
+#include <utility>
+
+namespace strdb {
+
+namespace {
+
+MetricsRegistry& Reg() { return MetricsRegistry::Global(); }
+
+}  // namespace
+
+ServerCore::ServerCore(Alphabet alphabet, ServerOptions options)
+    : options_(options),
+      catalog_(std::move(alphabet)),
+      global_budget_(options.global_limits, nullptr, "server"),
+      accepted_(Reg().GetCounter("server.accepted")),
+      rejected_admission_(Reg().GetCounter("server.rejected_admission")),
+      commands_(Reg().GetCounter("server.commands")),
+      errors_(Reg().GetCounter("server.errors")),
+      bytes_in_(Reg().GetCounter("server.bytes_in")),
+      bytes_out_(Reg().GetCounter("server.bytes_out")),
+      active_sessions_gauge_(Reg().GetGauge("server.active_sessions")),
+      queue_depth_gauge_(Reg().GetGauge("server.queue_depth")),
+      pool_(options.num_workers) {}
+
+ServerCore::~ServerCore() { Drain(); }
+
+Result<int64_t> ServerCore::OpenSession() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (draining_) return Status::Unavailable("server is draining");
+  if (options_.max_sessions > 0 &&
+      static_cast<int64_t>(sessions_.size()) >= options_.max_sessions) {
+    rejected_admission_->Increment();
+    return Status::ResourceExhausted(
+        "admission: session limit (" + std::to_string(options_.max_sessions) +
+        ") reached");
+  }
+  int64_t id = next_session_id_++;
+  auto session = std::make_shared<Session>(&catalog_);
+  session->processor.set_limits(options_.session_limits);
+  session->processor.set_parent_budget(&global_budget_);
+  sessions_.emplace(id, std::move(session));
+  accepted_->Increment();
+  active_sessions_gauge_->Set(static_cast<int64_t>(sessions_.size()));
+  return id;
+}
+
+Status ServerCore::CloseSession(int64_t session_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("unknown session " + std::to_string(session_id));
+  }
+  sessions_.erase(it);
+  active_sessions_gauge_->Set(static_cast<int64_t>(sessions_.size()));
+  return Status::OK();
+}
+
+std::shared_ptr<ServerCore::Session> ServerCore::FindSession(
+    int64_t session_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session_id);
+  return it != sessions_.end() ? it->second : nullptr;
+}
+
+void ServerCore::Respond(const Status& status, const std::string& body,
+                         const std::function<void(std::string)>& done) {
+  std::string response = FrameResponse(status, body);
+  bytes_out_->Increment(static_cast<int64_t>(response.size()));
+  if (!status.ok()) errors_->Increment();
+  done(std::move(response));
+}
+
+void ServerCore::Dispatch(int64_t session_id, std::string line,
+                          std::function<void(std::string)> done) {
+  bytes_in_->Increment(static_cast<int64_t>(line.size()) + 1);  // + '\n'
+  Status admit;  // non-OK => immediate inline response, nothing enqueued
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) {
+      rejected_admission_->Increment();
+      admit = Status::Unavailable("server is draining");
+    } else if (auto it = sessions_.find(session_id); it == sessions_.end()) {
+      admit = Status::NotFound("unknown session " +
+                               std::to_string(session_id));
+    } else if (options_.max_queue_depth > 0 &&
+               queued_ >= options_.max_queue_depth) {
+      rejected_admission_->Increment();
+      admit = Status::ResourceExhausted(
+          "admission: dispatch queue full (" +
+          std::to_string(options_.max_queue_depth) +
+          " command(s) already waiting); retry later");
+    } else {
+      session = it->second;
+      ++queued_;
+      queue_depth_gauge_->Set(queued_);
+    }
+  }
+  if (!admit.ok()) {
+    // A rejection is a response line, not a disconnect: the client
+    // keeps its connection and may retry after backing off.
+    Respond(admit, std::string(), done);
+    return;
+  }
+
+  // Shared so the Submit-failure path below can still answer after the
+  // rejected lambda (which owns a reference too) has been destroyed.
+  auto shared_done =
+      std::make_shared<std::function<void(std::string)>>(std::move(done));
+  Status submitted = pool_.Submit(
+      [this, session = std::move(session), line = std::move(line),
+       shared_done] {
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          --queued_;
+          queue_depth_gauge_->Set(queued_);
+        }
+        // One command at a time per session: the grammar state
+        // (budget/engine toggles) and the response stream both assume
+        // serial order within a session.
+        std::lock_guard<std::mutex> session_lock(session->mu);
+        std::string body;
+        Status status = session->processor.Execute(line, &body);
+        commands_->Increment();
+        Respond(status, body, *shared_done);
+      });
+  if (!submitted.ok()) {
+    // The pool closed intake between the admission check and here (a
+    // drain raced us).  Undo the queue accounting and answer typed.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --queued_;
+      queue_depth_gauge_->Set(queued_);
+    }
+    rejected_admission_->Increment();
+    Respond(Status::Unavailable("server is draining"), std::string(),
+            *shared_done);
+  }
+}
+
+std::string ServerCore::Execute(int64_t session_id, const std::string& line) {
+  std::promise<std::string> promise;
+  std::future<std::string> future = promise.get_future();
+  Dispatch(session_id, line,
+           [&promise](std::string response) {
+             promise.set_value(std::move(response));
+           });
+  return future.get();
+}
+
+Status ServerCore::Drain(int64_t deadline_ms) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    draining_ = true;
+  }
+  return pool_.Shutdown(deadline_ms);
+}
+
+bool ServerCore::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
+}
+
+int64_t ServerCore::active_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(sessions_.size());
+}
+
+int64_t ServerCore::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_;
+}
+
+}  // namespace strdb

@@ -1,0 +1,144 @@
+#ifndef STRDB_SERVER_SERVER_H_
+#define STRDB_SERVER_SERVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/alphabet.h"
+#include "core/budget.h"
+#include "core/metrics.h"
+#include "core/result.h"
+#include "core/thread_pool.h"
+#include "server/catalog.h"
+#include "server/command.h"
+
+namespace strdb {
+
+struct ServerOptions {
+  // Dispatcher pool size; <= 0 picks hardware_concurrency().  This pool
+  // runs whole commands; the engine's own pool (Engine::Shared())
+  // parallelises *inside* a query, so the two never compose into a
+  // worker-waits-for-worker deadlock.
+  int num_workers = 0;
+  // Admission bound: commands queued (accepted but not yet running) at
+  // once, across all sessions.  The bound is what turns overload into a
+  // typed, protocol-visible kResourceExhausted line instead of
+  // unbounded memory growth or a hung client.
+  int64_t max_queue_depth = 64;
+  // Concurrent sessions; OpenSession past this is rejected typed.
+  int64_t max_sessions = 256;
+  // Global in-flight resource account shared by every session's
+  // queries (zero fields = unlimited).  Charges roll up from per-query
+  // child budgets and are released when each query finishes, so this
+  // bounds *concurrent* work, not lifetime totals.
+  ResourceLimits global_limits;
+  // Default per-query limits every new session starts with (a session
+  // may lower/raise its own with the `budget` verb).
+  ResourceLimits session_limits;
+};
+
+// The transport-free heart of strdb_server: session registry, command
+// dispatcher and admission control over a SharedCatalog.  The TCP layer
+// (server/tcp.h) is a thin framing shim over this class, and the
+// server-vs-serial conformance target drives it directly in-process —
+// every concurrency property is testable without a socket.
+//
+// Dispatch model: each session holds one CommandProcessor (its grammar
+// state: engine route, stats, budget limits) and executes at most one
+// command at a time (a per-session lock enforces it even if a transport
+// misbehaves).  Commands from different sessions run concurrently on
+// the dispatcher pool; queries read an immutable catalog snapshot,
+// mutations serialize inside SharedCatalog — so readers never block the
+// writer and every response equals some serial execution of that
+// session's commands.
+//
+// Admission: a command is rejected up front — with a response line, not
+// a disconnect — when the dispatch queue is at max_queue_depth, when
+// the server is draining, or (mid-query, via the budget hierarchy) when
+// the global in-flight account is exhausted.
+//
+// Metrics (server.*): accepted, rejected_admission, commands, errors,
+// bytes_in, bytes_out counters; active_sessions, queue_depth gauges.
+class ServerCore {
+ public:
+  explicit ServerCore(Alphabet alphabet, ServerOptions options = {});
+  // Drains: equivalent to Drain() with no deadline.
+  ~ServerCore();
+
+  ServerCore(const ServerCore&) = delete;
+  ServerCore& operator=(const ServerCore&) = delete;
+
+  SharedCatalog& catalog() { return catalog_; }
+  const ServerOptions& options() const { return options_; }
+
+  // Registers a session.  Fails typed (kResourceExhausted) at the
+  // max_sessions bound, (kUnavailable) once draining.
+  Result<int64_t> OpenSession();
+  // Unregisters; an in-flight command finishes safely (the dispatch
+  // task keeps the session alive), later dispatches fail kNotFound.
+  Status CloseSession(int64_t session_id);
+
+  // Enqueues one command line for `session_id`.  `done` receives the
+  // framed protocol response (body + "ok"/"err ..." terminator; see
+  // FrameResponse) exactly once — on a pool worker normally, inline on
+  // admission rejection.  Never blocks on query execution.
+  void Dispatch(int64_t session_id, std::string line,
+                std::function<void(std::string)> done);
+
+  // Dispatch + wait: the transport's (and tests') synchronous form.
+  std::string Execute(int64_t session_id, const std::string& line);
+
+  // Graceful drain: stop admitting commands (and sessions), wait for
+  // in-flight work.  deadline_ms <= 0 waits indefinitely; otherwise a
+  // deadline overrun returns kResourceExhausted (stragglers keep
+  // draining in the background).  Idempotent.
+  Status Drain(int64_t deadline_ms = 0);
+  bool draining() const;
+
+  int64_t active_sessions() const;
+  int64_t queue_depth() const;
+
+ private:
+  struct Session {
+    explicit Session(SharedCatalog* catalog)
+        : processor(catalog, CommandProcessor::Mode::kServer) {}
+    std::mutex mu;  // one command at a time per session
+    CommandProcessor processor;
+  };
+
+  std::shared_ptr<Session> FindSession(int64_t session_id) const;
+  void Respond(const Status& status, const std::string& body,
+               const std::function<void(std::string)>& done);
+
+  const ServerOptions options_;
+  SharedCatalog catalog_;
+  ResourceBudget global_budget_;
+
+  Counter* const accepted_;
+  Counter* const rejected_admission_;
+  Counter* const commands_;
+  Counter* const errors_;
+  Counter* const bytes_in_;
+  Counter* const bytes_out_;
+  Gauge* const active_sessions_gauge_;
+  Gauge* const queue_depth_gauge_;
+
+  mutable std::mutex mu_;
+  std::map<int64_t, std::shared_ptr<Session>> sessions_;
+  int64_t next_session_id_ = 1;
+  int64_t queued_ = 0;  // accepted, not yet running
+  bool draining_ = false;
+
+  // Last member: its destructor (via Drain in ~ServerCore) runs before
+  // the fields above are torn down, so in-flight tasks always see a
+  // live catalog and metrics.
+  ThreadPool pool_;
+};
+
+}  // namespace strdb
+
+#endif  // STRDB_SERVER_SERVER_H_

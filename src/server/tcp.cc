@@ -1,0 +1,151 @@
+#include "server/tcp.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+namespace strdb {
+
+namespace {
+
+// send() the whole buffer; MSG_NOSIGNAL so a client that hung up turns
+// into a return value, not a process-wide SIGPIPE.
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+TcpServer::~TcpServer() { Stop(); }
+
+Status TcpServer::Listen(int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status status =
+        Status::Internal(std::string("bind: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 128) < 0) {
+    Status status =
+        Status::Internal(std::string("listen: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    Status status =
+        Status::Internal(std::string("getsockname: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  listen_fd_ = fd;
+  port_ = static_cast<int>(ntohs(addr.sin_port));
+  return Status::OK();
+}
+
+void TcpServer::Serve() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    // A finite timeout doubles as the stop-flag poll interval when no
+    // signal arrives to interrupt us.
+    int ready = ::poll(&pfd, 1, /*timeout_ms=*/200);
+    if (ready < 0) {
+      if (errno == EINTR) continue;  // signal: loop re-checks stop_
+      break;
+    }
+    if (ready == 0) continue;
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;  // listener closed (Stop) or unrecoverable
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_.load(std::memory_order_relaxed)) {
+      ::close(fd);
+      break;
+    }
+    conn_fds_.insert(fd);
+    conn_threads_.emplace_back([this, fd] { HandleConnection(fd); });
+  }
+}
+
+void TcpServer::RequestStop() {
+  stop_.store(true, std::memory_order_relaxed);
+}
+
+Status TcpServer::Stop(int64_t deadline_ms) {
+  stop_.store(true, std::memory_order_relaxed);
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    // SHUT_RD unblocks each connection thread's recv() with EOF; the
+    // write side stays open so an in-flight command can still deliver
+    // its response before the handler closes the socket.
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RD);
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads) t.join();
+  return core_->Drain(deadline_ms);
+}
+
+void TcpServer::HandleConnection(int fd) {
+  Result<int64_t> session = core_->OpenSession();
+  if (!session.ok()) {
+    // Admission rejection is protocol-visible: the client reads one
+    // typed error line instead of an unexplained hangup.
+    SendAll(fd, FrameResponse(session.status(), std::string()));
+  } else {
+    std::string buffer;
+    char chunk[4096];
+    bool alive = true;
+    while (alive) {
+      ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;
+      buffer.append(chunk, static_cast<size_t>(n));
+      size_t pos;
+      while (alive && (pos = buffer.find('\n')) != std::string::npos) {
+        std::string line = buffer.substr(0, pos);
+        buffer.erase(0, pos + 1);
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        alive = SendAll(fd, core_->Execute(*session, line));
+      }
+    }
+    (void)core_->CloseSession(*session);  // kNotFound only after a drain
+  }
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(mu_);
+  conn_fds_.erase(fd);
+}
+
+}  // namespace strdb

@@ -101,6 +101,19 @@ int64_t CatalogStore::generation() const {
   return generation_;
 }
 
+std::shared_ptr<const Database> CatalogStore::SnapshotDb() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_;
+}
+
+void CatalogStore::PublishSnapshotLocked() {
+  // Copy outside snapshot_mu_ so readers grabbing the previous snapshot
+  // only ever wait behind a pointer swap, never behind the copy.
+  auto fresh = std::make_shared<const Database>(db_);
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  snapshot_ = std::move(fresh);
+}
+
 Result<std::unique_ptr<CatalogStore>> CatalogStore::Open(
     const std::string& dir, const Alphabet& alphabet,
     const StoreOptions& options, RecoveryReport* report) {
@@ -206,6 +219,7 @@ Status CatalogStore::OpenInternal(RecoveryReport* report) {
   report->io_retries = io_retries_;
   Metrics().replayed_records->Increment(report->wal_records_replayed);
   Metrics().truncated_bytes->Increment(report->wal_bytes_truncated);
+  PublishSnapshotLocked();  // Open holds the store exclusively
   return Status::OK();
 }
 
@@ -232,7 +246,9 @@ Status CatalogStore::PutRelation(const std::string& name, int arity,
   }
   std::lock_guard<std::mutex> lock(mu_);
   STRDB_RETURN_IF_ERROR(CommitPayload(EncodePut(name, rel)));
-  return db_.Put(name, std::move(rel));
+  STRDB_RETURN_IF_ERROR(db_.Put(name, std::move(rel)));
+  PublishSnapshotLocked();
+  return Status::OK();
 }
 
 Status CatalogStore::InsertTuples(const std::string& name,
@@ -253,7 +269,9 @@ Status CatalogStore::InsertTuples(const std::string& name,
     }
   }
   STRDB_RETURN_IF_ERROR(CommitPayload(EncodeInsert(name, tuples)));
-  return db_.InsertTuples(name, std::move(tuples));
+  STRDB_RETURN_IF_ERROR(db_.InsertTuples(name, std::move(tuples)));
+  PublishSnapshotLocked();
+  return Status::OK();
 }
 
 Status CatalogStore::DropRelation(const std::string& name) {
@@ -262,7 +280,9 @@ Status CatalogStore::DropRelation(const std::string& name) {
     return Status::NotFound("relation '" + name + "' not in database");
   }
   STRDB_RETURN_IF_ERROR(CommitPayload(EncodeDrop(name)));
-  return db_.Remove(name);
+  STRDB_RETURN_IF_ERROR(db_.Remove(name));
+  PublishSnapshotLocked();
+  return Status::OK();
 }
 
 Status CatalogStore::InstallAutomaton(const std::string& key, const Fsa& fsa) {

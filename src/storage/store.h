@@ -70,7 +70,12 @@ struct RecoveryReport {
 // Thread safe: mutations serialize on an internal mutex.  db() returns a
 // reference readers may use between mutations (the shell is
 // single-threaded; concurrent readers must externally synchronize with
-// writers).
+// writers).  Concurrent readers that must not synchronize with writers
+// — the query server's sessions — use SnapshotDb() instead: every
+// committed mutation publishes a fresh immutable copy-on-write snapshot
+// under its own lock, so grabbing a snapshot never waits behind a WAL
+// fsync and a query keeps one consistent catalog for its whole run no
+// matter what writers commit meanwhile.
 class CatalogStore {
  public:
   // Opens (creating if necessary) the store in `dir`.  `report`
@@ -85,6 +90,12 @@ class CatalogStore {
   const std::string& dir() const { return dir_; }
   int64_t generation() const;
   const Database& db() const { return db_; }
+  // The current catalog as an immutable shared snapshot.  Cheap (one
+  // shared_ptr copy under a short lock that writers only take *after*
+  // commit I/O completes); the pointed-to Database never changes, so
+  // readers evaluate against it lock-free for as long as they hold the
+  // handle.  Never null.
+  std::shared_ptr<const Database> SnapshotDb() const;
   // Persisted automata: artifact-cache key -> SerializeFsa text.
   const std::map<std::string, std::string>& automata() const {
     return automata_;
@@ -118,6 +129,10 @@ class CatalogStore {
   // Write-ahead commit of one encoded op (append + fsync).  The caller
   // applies the op in memory only after this returns OK.
   Status CommitPayload(const std::string& payload);
+  // Copies db_ into a fresh immutable snapshot and installs it as the
+  // one SnapshotDb() hands out.  Called with mu_ held after every
+  // successful catalog mutation.
+  void PublishSnapshotLocked();
 
   std::string SnapPath(int64_t gen) const;
   std::string WalPath(int64_t gen) const;
@@ -132,6 +147,11 @@ class CatalogStore {
   std::map<std::string, std::string> automata_;
   std::unique_ptr<WalWriter> wal_;
   int64_t io_retries_ = 0;
+
+  // The published snapshot, behind its own mutex so readers never
+  // contend with mu_ (which writers hold across commit fsyncs).
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const Database> snapshot_;
 };
 
 }  // namespace strdb

@@ -172,6 +172,57 @@ class StorageRecoverTarget : public DiffTarget {
                                      const std::string& dir) const;
 };
 
+// --- concurrent server vs serial replay ------------------------------------
+//
+// Case: N >= 2 sessions' command logs (the server grammar), hammered at
+// a fresh in-process ServerCore concurrently, in one of three modes.
+//
+//   disjoint  every session works a private relation namespace
+//             (S<i>R<j>), so its response stream depends only on its
+//             own log.  Oracle: each session's concatenated responses
+//             must be byte-identical to a serial replay of its log
+//             (fresh catalog, one CommandProcessor per session).
+//   overload  a serially-installed shared catalog, then read-only
+//             queries fired from every session at once against a tiny
+//             dispatch queue and a tiny global in-flight budget.
+//             Oracle: every response is either byte-identical to its
+//             serial replay or ends in a typed "err resource-exhausted"
+//             line (admission or budget) — never wrong tuples, never a
+//             hang.
+//   snapshot  one writer session republishes relation R while reader
+//             sessions query it.  Oracle: every reader response equals
+//             the serial response over exactly one published version of
+//             R — a torn or mixed view matches none of them.
+//
+// This target drives ServerCore in-process (no sockets): the TCP layer
+// adds only framing, which FrameResponse covers byte-for-byte.
+class ServerDiffTarget : public DiffTarget {
+ public:
+  enum class Mode : uint8_t { kDisjoint, kOverload, kSnapshot };
+
+  struct ServerCase : Case {
+    Mode mode = Mode::kDisjoint;
+    // Serial preamble installing shared state (overload/snapshot).
+    std::vector<std::string> setup;
+    // logs[i]: session i's commands.  Disjoint: full grammar over the
+    // session's namespace, executed in order.  Overload/snapshot:
+    // read-only queries, fired concurrently.
+    std::vector<std::vector<std::string>> logs;
+    // Snapshot mode: the writer session's commands (each "rel R ...").
+    std::vector<std::string> writer;
+    int64_t global_steps = 0;  // overload: global in-flight step budget
+    int64_t queue_depth = 0;   // overload: admission bound (0 = none)
+  };
+
+  std::string name() const override { return "server"; }
+  CasePtr Generate(RandomSource& rand) const override;
+  std::optional<Divergence> Run(const Case& c) const override;
+  std::string Serialize(const Case& c) const override;
+  Result<CasePtr> Deserialize(const std::string& text) const override;
+  std::vector<CasePtr> ShrinkCandidates(const Case& c) const override;
+  int64_t CaseSize(const Case& c) const override;
+};
+
 // A catalog fingerprint used by the storage oracle and its divergence
 // messages: relation names, arities and tuples, rendered canonically.
 std::string CatalogSignature(const Database& db);

@@ -1,0 +1,156 @@
+// The shared command grammar (server/command.h): a golden transcript
+// pinning the exact bytes both front-ends (strdb_shell, strdb_server)
+// produce, plus the mode split (shell-only durable verbs) and the wire
+// framing.  The transcript is the behavior-preservation contract for
+// the shell-to-CommandProcessor extraction: these strings are the
+// shell's historical printf outputs, byte for byte.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/alphabet.h"
+#include "server/catalog.h"
+#include "server/command.h"
+
+namespace strdb {
+namespace {
+
+struct Exchange {
+  std::string command;
+  std::string output;       // expected `out` text
+  bool ok = true;           // expected status.ok()
+  std::string message_has;  // substring of the error message when !ok
+};
+
+void RunTranscript(CommandProcessor& proc,
+                   const std::vector<Exchange>& transcript) {
+  for (const Exchange& x : transcript) {
+    std::string out;
+    Status status = proc.Execute(x.command, &out);
+    EXPECT_EQ(status.ok(), x.ok) << x.command << ": " << status.ToString();
+    EXPECT_EQ(out, x.output) << x.command;
+    if (!x.ok) {
+      EXPECT_NE(status.ToString().find(x.message_has), std::string::npos)
+          << x.command << ": " << status.ToString();
+    }
+  }
+}
+
+TEST(CommandTest, GoldenTranscript) {
+  SharedCatalog catalog(Alphabet::Binary());
+  CommandProcessor proc(&catalog);
+  RunTranscript(
+      proc,
+      {
+          {"", "", true, ""},
+          {"ping", "pong\n", true, ""},
+          {"rel R ab ba", "defined R/1 with 2 tuples\n", true, ""},
+          {"insert R aa", "inserted 1 tuple(s) into R\n", true, ""},
+          {"rel Pairs ab,ba a,b",
+           "defined Pairs/2 with 2 tuples\n", true, ""},
+          {"show",
+           "Pairs/2 = {(\"a\",\"b\"), (\"ab\",\"ba\")}\n"
+           "R/1 = {(\"aa\"), (\"ab\"), (\"ba\")}\n",
+           true, ""},
+          {"x | R(x)", "{(\"aa\"), (\"ab\"), (\"ba\")}   (3 tuples)\n", true,
+           ""},
+          {"!1 x | R(x)", "{}   (0 tuples)\n", true, ""},
+          {"engine off", "engine off\n", true, ""},
+          {"x | R(x)", "{(\"aa\"), (\"ab\"), (\"ba\")}   (3 tuples)\n", true,
+           ""},
+          {"engine on", "engine on\n", true, ""},
+          {"budget steps 1000 rows 50",
+           "budget: steps=1000 rows=50 ms=- bytes=-\n", true, ""},
+          {"budget off", "budget: steps=- rows=- ms=- bytes=-\n", true, ""},
+          {"safe x | R(x)", "SAFE; inferred truncation W(db) = 2\n", true,
+           ""},
+          {"drop Pairs", "dropped Pairs\n", true, ""},
+          {"drop Pairs", "", false, "not in database"},
+          {"rel", "", false, "usage: rel NAME tuple [tuple ...]"},
+          {"rel Bad ab a,b", "", false, "tuples of unequal arity"},
+          {"insert Nope ab", "", false, "not in database"},
+      });
+}
+
+TEST(CommandTest, EmptyTupleSpelledAsDash) {
+  SharedCatalog catalog(Alphabet::Binary());
+  CommandProcessor proc(&catalog);
+  std::string out;
+  ASSERT_TRUE(proc.Execute("rel E - a", &out).ok());
+  EXPECT_EQ(out, "defined E/1 with 2 tuples\n");
+  out.clear();
+  ASSERT_TRUE(proc.Execute("show", &out).ok());
+  EXPECT_EQ(out, "E/1 = {(\"\"), (\"a\")}\n");
+}
+
+TEST(CommandTest, PlanIsDeterministicText) {
+  SharedCatalog catalog(Alphabet::Binary());
+  CommandProcessor proc(&catalog);
+  std::string out;
+  ASSERT_TRUE(proc.Execute("rel R ab", &out).ok());
+  std::string first;
+  ASSERT_TRUE(proc.Execute("plan x | R(x)", &first).ok());
+  EXPECT_NE(first.find("formula: "), std::string::npos);
+  EXPECT_NE(first.find("plan:    "), std::string::npos);
+  EXPECT_NE(first.find("finitely evaluable: "), std::string::npos);
+  std::string second;
+  ASSERT_TRUE(proc.Execute("plan x | R(x)", &second).ok());
+  EXPECT_EQ(first, second);
+}
+
+TEST(CommandTest, ServerModeRejectsDurableVerbsTyped) {
+  SharedCatalog catalog(Alphabet::Binary());
+  CommandProcessor proc(&catalog, CommandProcessor::Mode::kServer);
+  for (const char* verb : {"open /tmp/nowhere", "save", "close"}) {
+    std::string out;
+    Status status = proc.Execute(verb, &out);
+    ASSERT_FALSE(status.ok()) << verb;
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << verb;
+    EXPECT_NE(status.ToString().find("shell verb"), std::string::npos)
+        << verb;
+    EXPECT_EQ(out, "") << verb;
+  }
+}
+
+TEST(CommandTest, ShellModeStillOwnsDurableVerbs) {
+  SharedCatalog catalog(Alphabet::Binary());
+  CommandProcessor proc(&catalog);  // Mode::kShell
+  std::string out;
+  // No directory: `save`/`close` fail with the catalog's own error, not
+  // the server-mode rejection — proof the verbs are dispatched.
+  Status status = proc.Execute("save", &out);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("no durable session"), std::string::npos);
+}
+
+TEST(CommandTest, QueriesSeeTheCatalogSnapshot) {
+  SharedCatalog catalog(Alphabet::Binary());
+  CommandProcessor writer(&catalog);
+  CommandProcessor reader(&catalog);
+  std::string out;
+  ASSERT_TRUE(writer.Execute("rel R ab", &out).ok());
+  out.clear();
+  ASSERT_TRUE(reader.Execute("x | R(x)", &out).ok());
+  EXPECT_EQ(out, "{(\"ab\")}   (1 tuples)\n");
+  out.clear();
+  ASSERT_TRUE(writer.Execute("rel R ba bb", &out).ok());
+  out.clear();
+  ASSERT_TRUE(reader.Execute("x | R(x)", &out).ok());
+  EXPECT_EQ(out, "{(\"ba\"), (\"bb\")}   (2 tuples)\n");
+}
+
+TEST(CommandTest, FrameResponseTerminatesBodies) {
+  EXPECT_EQ(FrameResponse(Status::OK(), ""), "ok\n");
+  EXPECT_EQ(FrameResponse(Status::OK(), "pong\n"), "pong\nok\n");
+  EXPECT_EQ(FrameResponse(Status::OK(), "no trailing newline"),
+            "no trailing newline\nok\n");
+  EXPECT_EQ(FrameResponse(Status::NotFound("nope"), ""),
+            "err not-found nope\n");
+  // Multi-line error messages must not break the one-line terminator.
+  EXPECT_EQ(FrameResponse(Status::InvalidArgument("two\nlines"), "body\n"),
+            "body\nerr invalid-argument two lines\n");
+}
+
+}  // namespace
+}  // namespace strdb

@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -367,6 +369,189 @@ TEST(ResourceBudgetTest, ChargingIsThreadSafe) {
   for (std::thread& t : threads) t.join();
   EXPECT_EQ(budget.steps_used(), int64_t{kThreads} * kPerThread);
   EXPECT_GT(failures.load(), 0);
+}
+
+// --- ThreadPool lifecycle (Drain / Shutdown) -------------------------------
+
+TEST(ThreadPoolLifecycleTest, SubmitAfterShutdownIsTypedRejection) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.shutting_down());
+  EXPECT_TRUE(pool.Shutdown().ok());
+  EXPECT_TRUE(pool.shutting_down());
+  Status s = pool.Submit([] {});
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+}
+
+TEST(ThreadPoolLifecycleTest, SubmitDuringShutdownWaitIsTypedRejection) {
+  ThreadPool pool(1);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  ASSERT_TRUE(pool.Submit([&] {
+                    std::unique_lock<std::mutex> lock(mu);
+                    cv.wait(lock, [&] { return release; });
+                  })
+                  .ok());
+  std::thread closer([&pool] { EXPECT_TRUE(pool.Shutdown().ok()); });
+  // Intake closes as soon as Shutdown takes the lock, before the drain
+  // completes: a task enqueued during the wait must be rejected typed,
+  // not silently dropped or deadlocked on.
+  while (!pool.shutting_down()) std::this_thread::yield();
+  Status s = pool.Submit([] {});
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  closer.join();
+}
+
+TEST(ThreadPoolLifecycleTest, ShutdownDeadlineNamesStragglers) {
+  ThreadPool pool(1);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  ASSERT_TRUE(pool.Submit([&] {
+                    std::unique_lock<std::mutex> lock(mu);
+                    cv.wait(lock, [&] { return release; });
+                  })
+                  .ok());
+  Status s = pool.Shutdown(/*deadline_ms=*/50);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(s.ToString().find("1 task(s) pending"), std::string::npos);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  // A second call re-waits; the straggler has been released, so the
+  // drain now completes.
+  EXPECT_TRUE(pool.Shutdown().ok());
+}
+
+TEST(ThreadPoolLifecycleTest, DrainQuiescesWithoutClosingIntake) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(pool.Submit([&ran] { ++ran; }).ok());
+  }
+  pool.Drain();
+  EXPECT_EQ(ran.load(), 16);
+  EXPECT_FALSE(pool.shutting_down());
+  ASSERT_TRUE(pool.Submit([&ran] { ++ran; }).ok());
+  pool.Drain();
+  EXPECT_EQ(ran.load(), 17);
+}
+
+TEST(ThreadPoolLifecycleTest, ParallelForAfterShutdownRunsInline) {
+  ThreadPool pool(2);
+  EXPECT_TRUE(pool.Shutdown().ok());
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(100, [&sum](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) sum += i;
+  });
+  EXPECT_EQ(sum.load(), 99 * 100 / 2);
+}
+
+// --- hierarchical ResourceBudget -------------------------------------------
+
+TEST(ResourceBudgetHierarchyTest, ChildMirrorsChargesAndReleasesOnDeath) {
+  ResourceBudget parent;  // unlimited admission account
+  {
+    ResourceBudget child(ResourceLimits{}, &parent);
+    EXPECT_TRUE(child.ChargeSteps(10).ok());
+    EXPECT_TRUE(child.ChargeRows(4).ok());
+    EXPECT_TRUE(child.ChargeCachedBytes(256).ok());
+    EXPECT_EQ(parent.steps_used(), 10);
+    EXPECT_EQ(parent.rows_used(), 4);
+    EXPECT_EQ(parent.cached_bytes_used(), 256);
+  }
+  EXPECT_EQ(parent.steps_used(), 0);
+  EXPECT_EQ(parent.rows_used(), 0);
+  EXPECT_EQ(parent.cached_bytes_used(), 0);
+}
+
+TEST(ResourceBudgetHierarchyTest, ParentVerdictNamesItsScope) {
+  ResourceLimits global;
+  global.max_steps = 100;
+  ResourceBudget parent(global, nullptr, "server");
+  ResourceBudget child(ResourceLimits{}, &parent);
+  EXPECT_TRUE(child.ChargeSteps(100).ok());
+  Status s = child.ChargeSteps(1);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(s.ToString().find("server budget"), std::string::npos);
+}
+
+TEST(ResourceBudgetHierarchyTest, ChildDeathRestoresParentHeadroom) {
+  ResourceLimits global;
+  global.max_steps = 100;
+  ResourceBudget parent(global);
+  {
+    ResourceBudget child(ResourceLimits{}, &parent);
+    EXPECT_TRUE(child.ChargeSteps(100).ok());
+    EXPECT_FALSE(ResourceBudget(ResourceLimits{}, &parent)
+                     .ChargeSteps(1)
+                     .ok());  // account full while the child lives
+  }
+  ResourceBudget next(ResourceLimits{}, &parent);
+  EXPECT_TRUE(next.ChargeSteps(100).ok());  // in-flight usage handed back
+}
+
+// The server invariant, exercised the way the dispatcher does it: many
+// concurrent sessions each opening short-lived child budgets against
+// one global parent.  Run under TSan this doubles as a data-race check
+// on the charge/release paths; the assertions check no charge is lost
+// or double-counted.
+TEST(ResourceBudgetHierarchyTest, ConcurrentChildrenBalanceToZero) {
+  ResourceLimits global;
+  global.max_steps = 100;  // far below per-child demand: rejections happen
+  ResourceBudget parent(global, nullptr, "server");
+  constexpr int kThreads = 8;
+  constexpr int kQueriesPerThread = 50;
+  std::atomic<int64_t> rejected{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&parent, &rejected] {
+      for (int q = 0; q < kQueriesPerThread; ++q) {
+        ResourceBudget child(ResourceLimits{}, &parent);
+        for (int i = 0; i < 40; ++i) {
+          if (!child.ChargeSteps(5).ok()) {
+            ++rejected;
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // Every child released exactly what it mirrored (including the
+  // overshooting charge): the global account is back at baseline.
+  EXPECT_EQ(parent.steps_used(), 0);
+  EXPECT_EQ(parent.rows_used(), 0);
+  // 8 threads racing 200-step demands against a 100-step account: some
+  // children must have been turned away.
+  EXPECT_GT(rejected.load(), 0);
+}
+
+TEST(ResourceBudgetHierarchyTest, ExplicitReleaseUndoesAdmissionCharge) {
+  ResourceLimits global;
+  global.max_rows = 10;
+  ResourceBudget parent(global);
+  EXPECT_TRUE(parent.ChargeRows(10).ok());
+  // Charge-then-check means the rejected charge still lands (there are
+  // no rollback paths); the holder releases everything it charged,
+  // overshoot included, and the account returns to empty.
+  EXPECT_FALSE(parent.ChargeRows(1).ok());
+  EXPECT_EQ(parent.rows_used(), 11);
+  parent.Release(0, 11, 0);
+  EXPECT_EQ(parent.rows_used(), 0);
+  EXPECT_TRUE(parent.ChargeRows(10).ok());
 }
 
 }  // namespace

@@ -1,0 +1,264 @@
+// ServerCore: session lifecycle, dispatch, admission control, snapshot
+// isolation and the server.* metrics — all in-process, no sockets (the
+// TCP layer is framing only; the multi-client conformance target
+// `server` hammers the same core concurrently).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/alphabet.h"
+#include "core/metrics.h"
+#include "server/catalog.h"
+#include "server/command.h"
+#include "server/server.h"
+
+namespace strdb {
+namespace {
+
+// The response's terminator line ("ok" or "err <code> <msg>").
+std::string Terminator(const std::string& response) {
+  if (response.empty() || response.back() != '\n') return response;
+  size_t start = response.rfind('\n', response.size() - 2);
+  start = start == std::string::npos ? 0 : start + 1;
+  return response.substr(start, response.size() - 1 - start);
+}
+
+TEST(ServerCoreTest, SessionsExecuteFramedCommands) {
+  ServerCore core(Alphabet::Binary());
+  Result<int64_t> id = core.OpenSession();
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(core.active_sessions(), 1);
+
+  EXPECT_EQ(core.Execute(*id, "ping"), "pong\nok\n");
+  EXPECT_EQ(core.Execute(*id, "rel R ab ba"),
+            "defined R/1 with 2 tuples\nok\n");
+  EXPECT_EQ(core.Execute(*id, "x | R(x)"),
+            "{(\"ab\"), (\"ba\")}   (2 tuples)\nok\n");
+  EXPECT_EQ(core.Execute(*id, "drop Nope"),
+            "err not-found relation 'Nope' not in database\n");
+
+  ASSERT_TRUE(core.CloseSession(*id).ok());
+  EXPECT_EQ(core.active_sessions(), 0);
+  // Commands for a closed session fail typed, on the response stream.
+  EXPECT_EQ(Terminator(core.Execute(*id, "ping")),
+            "err not-found unknown session " + std::to_string(*id));
+}
+
+TEST(ServerCoreTest, SessionsAreIsolatedGrammarStates) {
+  ServerCore core(Alphabet::Binary());
+  Result<int64_t> a = core.OpenSession();
+  Result<int64_t> b = core.OpenSession();
+  ASSERT_TRUE(a.ok() && b.ok());
+  // Session A's budget/engine toggles must not leak into session B.
+  EXPECT_EQ(core.Execute(*a, "budget steps 7"),
+            "budget: steps=7 rows=- ms=- bytes=-\nok\n");
+  EXPECT_EQ(core.Execute(*b, "budget off"),
+            "budget: steps=- rows=- ms=- bytes=-\nok\n");
+  // ...but the catalog is shared.
+  EXPECT_EQ(core.Execute(*a, "rel R ab"), "defined R/1 with 1 tuples\nok\n");
+  EXPECT_EQ(core.Execute(*b, "x | R(x)"),
+            "{(\"ab\")}   (1 tuples)\nok\n");
+}
+
+TEST(ServerCoreTest, SessionLimitRejectsTyped) {
+  ServerOptions options;
+  options.max_sessions = 2;
+  ServerCore core(Alphabet::Binary(), options);
+  ASSERT_TRUE(core.OpenSession().ok());
+  ASSERT_TRUE(core.OpenSession().ok());
+  Result<int64_t> third = core.OpenSession();
+  ASSERT_FALSE(third.ok());
+  EXPECT_EQ(third.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(third.status().ToString().find("session limit (2)"),
+            std::string::npos);
+}
+
+TEST(ServerCoreTest, QueueDepthBoundRejectsTyped) {
+  ServerOptions options;
+  options.num_workers = 1;
+  options.max_queue_depth = 1;
+  ServerCore core(Alphabet::Binary(), options);
+  Result<int64_t> id = core.OpenSession();
+  ASSERT_TRUE(id.ok());
+  // All 64 binary words of length 6: the triple self-join below emits
+  // 64^3 = 262144 rows, which keeps the single worker busy for orders
+  // of magnitude longer than the two Dispatch calls racing it.
+  std::string rel = "rel R";
+  for (int w = 0; w < 64; ++w) {
+    rel += ' ';
+    for (int bit = 5; bit >= 0; --bit) rel += (w >> bit) & 1 ? 'b' : 'a';
+  }
+  EXPECT_EQ(core.Execute(*id, rel), "defined R/1 with 64 tuples\nok\n");
+  EXPECT_EQ(core.Execute(*id, "budget ms 300"),
+            "budget: steps=- rows=- ms=300 bytes=-\nok\n");
+  std::string slow_response, queued_response;
+  bool slow_done = false, queued_done = false;
+  core.Dispatch(*id, "x, y, z | R(x) & R(y) & R(z)", [&](std::string r) {
+    slow_response = std::move(r);
+    slow_done = true;
+  });
+  // Wait for the worker to pick the slow query up, so the queue is
+  // empty again and the next dispatch is the one that gets queued.
+  while (core.queue_depth() > 0) {
+  }
+  core.Dispatch(*id, "ping", [&](std::string r) {
+    queued_response = std::move(r);
+    queued_done = true;
+  });
+  // Queue now holds one command (its bound): the next one must be
+  // rejected inline, typed, without disconnecting anything.
+  std::string rejected;
+  core.Dispatch(*id, "ping", [&](std::string r) { rejected = std::move(r); });
+  EXPECT_EQ(rejected,
+            "err resource-exhausted admission: dispatch queue full (1 "
+            "command(s) already waiting); retry later\n");
+  ASSERT_TRUE(core.Drain().ok());  // waits for both dispatched commands
+  ASSERT_TRUE(slow_done && queued_done);
+  EXPECT_EQ(queued_response, "pong\nok\n");
+  // The contract under pressure: the heavy query either completes (its
+  // answer ends in `ok`) or dies typed at its deadline — never wrong
+  // tuples, never a hang.
+  std::string terminator = Terminator(slow_response);
+  EXPECT_TRUE(terminator == "ok" ||
+              terminator.find("err resource-exhausted") == 0)
+      << terminator;
+}
+
+TEST(ServerCoreTest, GlobalBudgetRejectsTyped) {
+  ServerOptions options;
+  options.global_limits.max_rows = 1;
+  ServerCore core(Alphabet::Binary(), options);
+  Result<int64_t> id = core.OpenSession();
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(core.Execute(*id, "rel R ab ba"),
+            "defined R/1 with 2 tuples\nok\n");  // writes are not charged
+  std::string response = core.Execute(*id, "x | R(x)");
+  std::string terminator = Terminator(response);
+  EXPECT_NE(terminator.find("err resource-exhausted"), std::string::npos)
+      << response;
+  EXPECT_NE(terminator.find("server budget"), std::string::npos) << response;
+}
+
+TEST(ServerCoreTest, GlobalBudgetIsInFlightNotLifetime) {
+  ServerOptions options;
+  options.global_limits.max_rows = 20;
+  ServerCore core(Alphabet::Binary(), options);
+  Result<int64_t> id = core.OpenSession();
+  ASSERT_TRUE(id.ok());
+  ASSERT_EQ(core.Execute(*id, "rel R ab ba"),
+            "defined R/1 with 2 tuples\nok\n");
+  // Each query's charges are handed back when it finishes, so a
+  // long-lived session can keep issuing queries forever — the account
+  // bounds concurrency, not session lifetime.
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_EQ(core.Execute(*id, "x | R(x)"),
+              "{(\"ab\"), (\"ba\")}   (2 tuples)\nok\n")
+        << "iteration " << i;
+  }
+}
+
+TEST(ServerCoreTest, SnapshotIsolatesReadersFromTheWriter) {
+  SharedCatalog catalog(Alphabet::Binary());
+  ASSERT_TRUE(catalog.PutRelation("R", 1, {{"ab"}}).ok());
+  // A reader (query mid-flight) pins its snapshot...
+  std::shared_ptr<const Database> snapshot = catalog.Snapshot();
+  // ...while the writer commits twice behind its back.
+  ASSERT_TRUE(catalog.PutRelation("R", 1, {{"ba"}, {"bb"}}).ok());
+  ASSERT_TRUE(catalog.DropRelation("R").ok());
+  // The pinned snapshot is immutable: still exactly one relation with
+  // the original tuple.
+  ASSERT_EQ(snapshot->relations().count("R"), 1u);
+  EXPECT_EQ(snapshot->relations().at("R").size(), 1u);
+  // A fresh snapshot sees the writer's latest commit.
+  EXPECT_EQ(catalog.Snapshot()->relations().count("R"), 0u);
+}
+
+TEST(ServerCoreTest, QueryEvaluatesAgainstOneSnapshot) {
+  // The server-level form of snapshot isolation: a query started before
+  // a commit answers from the pre-commit catalog even if the writer
+  // lands mid-parse — CommandProcessor grabs exactly one snapshot per
+  // command.  (The racing version of this check is the conformance
+  // target's snapshot mode.)
+  ServerCore core(Alphabet::Binary());
+  Result<int64_t> reader = core.OpenSession();
+  Result<int64_t> writer = core.OpenSession();
+  ASSERT_TRUE(reader.ok() && writer.ok());
+  ASSERT_EQ(core.Execute(*writer, "rel R ab"),
+            "defined R/1 with 1 tuples\nok\n");
+  EXPECT_EQ(core.Execute(*reader, "x | R(x)"),
+            "{(\"ab\")}   (1 tuples)\nok\n");
+  ASSERT_EQ(core.Execute(*writer, "rel R ba"),
+            "defined R/1 with 1 tuples\nok\n");
+  EXPECT_EQ(core.Execute(*reader, "x | R(x)"),
+            "{(\"ba\")}   (1 tuples)\nok\n");
+}
+
+TEST(ServerCoreTest, DrainStopsIntakeTyped) {
+  ServerCore core(Alphabet::Binary());
+  Result<int64_t> id = core.OpenSession();
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(core.Drain().ok());
+  EXPECT_TRUE(core.draining());
+  // New sessions are refused...
+  Result<int64_t> late = core.OpenSession();
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), StatusCode::kUnavailable);
+  // ...and commands get a response line, not a dropped connection.
+  EXPECT_EQ(core.Execute(*id, "ping"), "err unavailable server is draining\n");
+  // Idempotent.
+  EXPECT_TRUE(core.Drain().ok());
+}
+
+TEST(ServerCoreTest, MetricsVerbExposesServerCounters) {
+  ServerCore core(Alphabet::Binary());
+  Result<int64_t> id = core.OpenSession();
+  ASSERT_TRUE(id.ok());
+  (void)core.Execute(*id, "ping");
+  (void)core.Execute(*id, "drop Nope");  // one error, for server.errors
+  std::string response = core.Execute(*id, "metrics");
+  ASSERT_EQ(Terminator(response), "ok");
+  // JSON shape: every server.* metric is present, under its section.
+  for (const char* counter :
+       {"\"server.accepted\"", "\"server.rejected_admission\"",
+        "\"server.commands\"", "\"server.errors\"", "\"server.bytes_in\"",
+        "\"server.bytes_out\""}) {
+    EXPECT_NE(response.find(counter), std::string::npos) << counter;
+  }
+  for (const char* gauge :
+       {"\"server.active_sessions\"", "\"server.queue_depth\""}) {
+    EXPECT_NE(response.find(gauge), std::string::npos) << gauge;
+  }
+  EXPECT_NE(response.find("\"counters\""), std::string::npos);
+  EXPECT_NE(response.find("\"gauges\""), std::string::npos);
+}
+
+TEST(ServerCoreTest, MetricsCountTrafficAndSessions) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  int64_t accepted0 = reg.GetCounter("server.accepted")->value();
+  int64_t commands0 = reg.GetCounter("server.commands")->value();
+  int64_t errors0 = reg.GetCounter("server.errors")->value();
+  int64_t bytes_in0 = reg.GetCounter("server.bytes_in")->value();
+  int64_t bytes_out0 = reg.GetCounter("server.bytes_out")->value();
+
+  ServerCore core(Alphabet::Binary());
+  Result<int64_t> id = core.OpenSession();
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(reg.GetGauge("server.active_sessions")->value(), 1);
+  std::string pong = core.Execute(*id, "ping");
+  std::string err = core.Execute(*id, "drop Nope");
+  EXPECT_EQ(reg.GetCounter("server.accepted")->value(), accepted0 + 1);
+  EXPECT_EQ(reg.GetCounter("server.commands")->value(), commands0 + 2);
+  EXPECT_EQ(reg.GetCounter("server.errors")->value(), errors0 + 1);
+  // bytes_in counts each line + its newline; bytes_out counts framed
+  // responses.
+  EXPECT_EQ(reg.GetCounter("server.bytes_in")->value(),
+            bytes_in0 + 5 + 10);  // "ping\n" + "drop Nope\n"
+  EXPECT_EQ(reg.GetCounter("server.bytes_out")->value(),
+            bytes_out0 + static_cast<int64_t>(pong.size() + err.size()));
+  ASSERT_TRUE(core.CloseSession(*id).ok());
+  EXPECT_EQ(reg.GetGauge("server.active_sessions")->value(), 0);
+}
+
+}  // namespace
+}  // namespace strdb
