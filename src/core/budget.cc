@@ -51,17 +51,27 @@ Status ResourceBudget::Exhausted(const char* dimension, int64_t used,
 }
 
 Status ResourceBudget::ChargeSteps(int64_t n) {
+  return ChargeStepsImpl(n, /*direct=*/true);
+}
+
+Status ResourceBudget::ChargeStepsImpl(int64_t n, bool direct) {
   int64_t total = steps_.fetch_add(n, std::memory_order_relaxed) + n;
   // Mirror into the parent before checking anything so the accounts
   // never diverge; its verdict only surfaces when our own limit holds.
   Status parent_verdict =
-      parent_ != nullptr ? parent_->ChargeSteps(n) : Status::OK();
+      parent_ != nullptr ? parent_->ChargeStepsImpl(n, /*direct=*/false)
+                         : Status::OK();
   if (limits_.max_steps > 0 && total > limits_.max_steps) {
     return Exhausted("search steps", total, limits_.max_steps);
   }
   STRDB_RETURN_IF_ERROR(parent_verdict);
   // The deadline needs a clock read; amortise it over charge batches.
-  if (limits_.deadline_ms > 0 &&
+  // Only directly charged budgets consult their clock: a forwarded
+  // charge checks the parent's step limit but never its deadline, so a
+  // long-lived parent (the server's global admission account) with a
+  // deadline_ms set cannot start failing every child once its own
+  // uptime exceeds it.
+  if (direct && limits_.deadline_ms > 0 &&
       total / kDeadlineCheckInterval != (total - n) / kDeadlineCheckInterval) {
     return CheckDeadline();
   }

@@ -104,6 +104,12 @@ class ResourceBudget {
  private:
   static constexpr int64_t kDeadlineCheckInterval = 8192;
 
+  // `direct` is true for ChargeSteps callers, false for charges
+  // forwarded up from a child: forwarded charges check max_steps but
+  // never this budget's deadline (deadlines are not inherited, and a
+  // long-lived parent's clock must not fail its children's queries).
+  Status ChargeStepsImpl(int64_t n, bool direct);
+
   Status Exhausted(const char* dimension, int64_t used, int64_t limit) const;
 
   const ResourceLimits limits_;

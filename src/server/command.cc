@@ -294,8 +294,12 @@ Status CommandProcessor::Execute(const std::string& line, std::string* out) {
     }
     return Status::OK();
   }
-  if (words[0] == "safe") return HandleSafe(line.substr(5), out);
-  if (words[0] == "plan") return HandlePlan(line.substr(5), out);
+  if (words[0] == "safe") {
+    return HandleSafe(line.size() > 5 ? line.substr(5) : "", out);
+  }
+  if (words[0] == "plan") {
+    return HandlePlan(line.size() > 5 ? line.substr(5) : "", out);
+  }
   if (words[0] == "explain") {
     return HandleExplain(line.size() > 8 ? line.substr(8) : "", out);
   }

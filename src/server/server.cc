@@ -1,6 +1,8 @@
 #include "server/server.h"
 
+#include <exception>
 #include <future>
+#include <string>
 #include <utility>
 
 namespace strdb {
@@ -123,7 +125,20 @@ void ServerCore::Dispatch(int64_t session_id, std::string line,
         // serial order within a session.
         std::lock_guard<std::mutex> session_lock(session->mu);
         std::string body;
-        Status status = session->processor.Execute(line, &body);
+        Status status;
+        // A throwing command must not orphan its response: the pool
+        // worker swallows task exceptions, so an escape here would
+        // leave Execute() blocked on a future that never resolves (and
+        // the connection thread wedged forever).
+        try {
+          status = session->processor.Execute(line, &body);
+        } catch (const std::exception& e) {
+          body.clear();
+          status = Status::Internal(std::string("command threw: ") + e.what());
+        } catch (...) {
+          body.clear();
+          status = Status::Internal("command threw a non-exception");
+        }
         commands_->Increment();
         Respond(status, body, *shared_done);
       });

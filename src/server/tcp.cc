@@ -71,6 +71,7 @@ Status TcpServer::Listen(int port) {
 
 void TcpServer::Serve() {
   while (!stop_.load(std::memory_order_relaxed)) {
+    ReapFinished();
     pollfd pfd{listen_fd_, POLLIN, 0};
     // A finite timeout doubles as the stop-flag poll interval when no
     // signal arrives to interrupt us.
@@ -91,8 +92,27 @@ void TcpServer::Serve() {
       break;
     }
     conn_fds_.insert(fd);
-    conn_threads_.emplace_back([this, fd] { HandleConnection(fd); });
+    int64_t id = next_conn_id_++;
+    conn_threads_.emplace(
+        id, std::thread([this, id, fd] { HandleConnection(id, fd); }));
   }
+}
+
+void TcpServer::ReapFinished() {
+  std::vector<std::thread> finished;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int64_t id : finished_conn_ids_) {
+      auto it = conn_threads_.find(id);
+      if (it == conn_threads_.end()) continue;  // Stop() already took it
+      finished.push_back(std::move(it->second));
+      conn_threads_.erase(it);
+    }
+    finished_conn_ids_.clear();
+  }
+  // These threads announced completion as their last locked action, so
+  // each join returns (near-)immediately.
+  for (std::thread& t : finished) t.join();
 }
 
 void TcpServer::RequestStop() {
@@ -101,7 +121,7 @@ void TcpServer::RequestStop() {
 
 Status TcpServer::Stop(int64_t deadline_ms) {
   stop_.store(true, std::memory_order_relaxed);
-  std::vector<std::thread> threads;
+  std::map<int64_t, std::thread> threads;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (listen_fd_ >= 0) {
@@ -113,12 +133,13 @@ Status TcpServer::Stop(int64_t deadline_ms) {
     // its response before the handler closes the socket.
     for (int fd : conn_fds_) ::shutdown(fd, SHUT_RD);
     threads.swap(conn_threads_);
+    finished_conn_ids_.clear();
   }
-  for (std::thread& t : threads) t.join();
+  for (auto& [id, t] : threads) t.join();
   return core_->Drain(deadline_ms);
 }
 
-void TcpServer::HandleConnection(int fd) {
+void TcpServer::HandleConnection(int64_t conn_id, int fd) {
   Result<int64_t> session = core_->OpenSession();
   if (!session.ok()) {
     // Admission rejection is protocol-visible: the client reads one
@@ -143,9 +164,16 @@ void TcpServer::HandleConnection(int fd) {
     }
     (void)core_->CloseSession(*session);  // kNotFound only after a drain
   }
+  {
+    // The fd must leave conn_fds_ *before* close(): the kernel reuses
+    // closed descriptor numbers immediately, and Stop() must never
+    // shutdown() a number that now names someone else's fd (a fresh
+    // connection, the durable store's WAL).
+    std::lock_guard<std::mutex> lock(mu_);
+    conn_fds_.erase(fd);
+    finished_conn_ids_.push_back(conn_id);
+  }
   ::close(fd);
-  std::lock_guard<std::mutex> lock(mu_);
-  conn_fds_.erase(fd);
 }
 
 }  // namespace strdb

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <set>
 #include <string>
@@ -50,7 +51,11 @@ class TcpServer {
   Status Stop(int64_t deadline_ms = 0);
 
  private:
-  void HandleConnection(int fd);
+  void HandleConnection(int64_t conn_id, int fd);
+  // Joins connection threads that have announced completion.  Called
+  // from the accept loop each poll tick so a long-lived daemon holds
+  // one thread per *live* connection, not per connection ever served.
+  void ReapFinished();
 
   ServerCore* const core_;
   int listen_fd_ = -1;
@@ -59,7 +64,11 @@ class TcpServer {
 
   std::mutex mu_;
   std::set<int> conn_fds_;  // live connections (for shutdown on Stop)
-  std::vector<std::thread> conn_threads_;
+  int64_t next_conn_id_ = 0;
+  // Keyed by connection id, not fd: the kernel reuses fd numbers as
+  // soon as they close, so an fd cannot name a thread unambiguously.
+  std::map<int64_t, std::thread> conn_threads_;
+  std::vector<int64_t> finished_conn_ids_;  // done, awaiting join
 };
 
 }  // namespace strdb

@@ -99,6 +99,19 @@ TEST(CommandTest, PlanIsDeterministicText) {
   EXPECT_EQ(first, second);
 }
 
+TEST(CommandTest, BareVerbLinesGetTypedErrorsNotExceptions) {
+  SharedCatalog catalog(Alphabet::Binary());
+  CommandProcessor proc(&catalog);
+  // Regression: `safe`/`plan` with no argument used to slice past the
+  // end of the line and throw std::out_of_range — fatal on the server,
+  // whose pool workers swallow task exceptions and orphan the response.
+  for (const char* line : {"safe", "plan", "explain", "safe ", "plan "}) {
+    std::string out;
+    Status status = proc.Execute(line, &out);
+    EXPECT_FALSE(status.ok()) << line;  // empty query text: a parse error
+  }
+}
+
 TEST(CommandTest, ServerModeRejectsDurableVerbsTyped) {
   SharedCatalog catalog(Alphabet::Binary());
   CommandProcessor proc(&catalog, CommandProcessor::Mode::kServer);

@@ -554,5 +554,24 @@ TEST(ResourceBudgetHierarchyTest, ExplicitReleaseUndoesAdmissionCharge) {
   EXPECT_TRUE(parent.ChargeRows(10).ok());
 }
 
+TEST(ResourceBudgetHierarchyTest, ParentDeadlineNotInheritedByForwarding) {
+  ResourceLimits global;
+  global.deadline_ms = 1;  // long-lived parent whose uptime exceeds it
+  ResourceBudget parent(global, nullptr, "server");
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ResourceBudget child(ResourceLimits{}, &parent);
+  // Each charge is larger than the amortised deadline-check interval,
+  // so if forwarding consulted the parent's clock every one of these
+  // would fail; forwarded charges check max_steps, never the deadline.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(child.ChargeSteps(10000).ok()) << i;
+  }
+  // Charged directly, the parent still enforces its own deadline.
+  Status direct = parent.ChargeSteps(10000);
+  ASSERT_FALSE(direct.ok());
+  EXPECT_EQ(direct.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(direct.ToString().find("deadline"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace strdb

@@ -37,6 +37,10 @@ TEST(ServerCoreTest, SessionsExecuteFramedCommands) {
             "{(\"ab\"), (\"ba\")}   (2 tuples)\nok\n");
   EXPECT_EQ(core.Execute(*id, "drop Nope"),
             "err not-found relation 'Nope' not in database\n");
+  // A bare `safe` must produce a framed error line, never an orphaned
+  // response (regression: the slice past end-of-line threw inside the
+  // pool worker and this Execute blocked forever).
+  EXPECT_EQ(Terminator(core.Execute(*id, "safe")).rfind("err ", 0), 0u);
 
   ASSERT_TRUE(core.CloseSession(*id).ok());
   EXPECT_EQ(core.active_sessions(), 0);
