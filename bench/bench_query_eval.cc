@@ -19,6 +19,15 @@
 // compiled acceptance kernel on vs off (EngineOptions::enable_kernel).
 // `--json[=PATH]` (default BENCH_query_eval.json) writes the
 // machine-readable comparison; `--quick` shrinks it for CI smoke runs.
+//
+// `--paged` switches the JSON mode to the out-of-core variant (default
+// BENCH_storage_scan.json): the same filter workload with the relation
+// spilled to the paged heap format and streamed back through a buffer
+// pool much smaller than the heap, so the measured cost includes
+// dictionary decode plus page eviction/re-read traffic.  The paged
+// answer is checked against the in-memory engine before timing, and the
+// pool counters (including the peak-pinned high-water mark, which must
+// stay under the cap) land in the JSON.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -37,6 +46,8 @@
 #include "engine/engine.h"
 #include "fsa/compile.h"
 #include "relational/algebra.h"
+#include "storage/store.h"
+#include "testing/mem_env.h"
 
 namespace strdb {
 namespace bench {
@@ -340,6 +351,140 @@ int RunJsonMode(const std::string& path, bool quick) {
   return 0;
 }
 
+// --- Out-of-core variant: σ_A over T spilled to the paged heap format ---
+//
+// The store lives on a MemEnv so the measurement isolates the storage
+// layer's CPU cost (dictionary decode, run iteration, crc checks, pool
+// bookkeeping) from host-disk noise; the buffer pool is capped well
+// below the heap size so every scan pays real eviction/re-read traffic
+// instead of running out of a fully-resident cache.
+int RunPagedJsonMode(const std::string& path, bool quick) {
+  const int tuples = quick ? 512 : 8192;
+  const int max_len = quick ? 12 : 24;
+  Database db = MakeTriples(tuples, max_len, 7);
+  AlgebraExpr query = FilterQuery(db.alphabet());
+  EvalOptions opts;
+  opts.truncation = 2 * max_len + 2;
+
+  testgen::MemEnv env;
+  StoreOptions store_options;
+  store_options.env = &env;
+  store_options.sync = false;
+  store_options.spill_threshold_bytes = 1;  // everything non-empty spills
+  store_options.pager_capacity_bytes = 8 * kPageSize;
+  Result<std::unique_ptr<CatalogStore>> opened =
+      CatalogStore::Open("/bench", db.alphabet(), store_options);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "store open: %s\n",
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  CatalogStore& store = **opened;
+  for (const auto& [name, rel] : db.relations()) {
+    Status put = store.PutRelation(
+        name, rel.arity(),
+        std::vector<Tuple>(rel.tuples().begin(), rel.tuples().end()));
+    if (!put.ok()) {
+      std::fprintf(stderr, "put %s: %s\n", name.c_str(),
+                   put.ToString().c_str());
+      return 1;
+    }
+  }
+  if (Status ckpt = store.Checkpoint(); !ckpt.ok()) {
+    std::fprintf(stderr, "checkpoint: %s\n", ckpt.ToString().c_str());
+    return 1;
+  }
+  std::shared_ptr<const Database> snap;
+  std::shared_ptr<const PagedSet> paged;
+  store.SnapshotState(&snap, &paged);
+  if (paged->find("T") == paged->end()) {
+    std::fprintf(stderr, "T did not spill\n");
+    return 1;
+  }
+  EvalOptions paged_opts = opts;
+  paged_opts.paged = paged.get();
+
+  Engine paged_engine;  // enable_paged default: streams via PagedScan
+  Engine mem_engine;
+
+  // Warm both engines and check the paged route agrees with memory.
+  Result<StringRelation> a = paged_engine.Execute(query, *snap, paged_opts);
+  Result<StringRelation> b = mem_engine.Execute(query, db, opts);
+  if (!a.ok() || !b.ok() || !(*a == *b)) {
+    std::fprintf(stderr, "paged/in-memory answers disagree\n");
+    return 1;
+  }
+
+  int64_t one_pass = TimeNs([&] {
+    benchmark::DoNotOptimize(paged_engine.Execute(query, *snap, paged_opts));
+  });
+  int64_t target_ns = quick ? 20'000'000 : 400'000'000;
+  int reps = static_cast<int>(target_ns / std::max<int64_t>(one_pass, 1));
+  reps = std::max(1, std::min(reps, 200));
+
+  int64_t memory_ns = TimeNs([&] {
+    for (int r = 0; r < reps; ++r) {
+      benchmark::DoNotOptimize(mem_engine.Execute(query, db, opts));
+    }
+  });
+  int64_t paged_ns = TimeNs([&] {
+    for (int r = 0; r < reps; ++r) {
+      benchmark::DoNotOptimize(
+          paged_engine.Execute(query, *snap, paged_opts));
+    }
+  });
+
+  PagerStats stats = store.pager_stats();
+  if (stats.bytes_pinned != 0 ||
+      stats.peak_bytes_pinned > store.pager_capacity_bytes()) {
+    std::fprintf(stderr,
+                 "pager invariant violated: pinned %lld peak %lld cap %lld\n",
+                 static_cast<long long>(stats.bytes_pinned),
+                 static_cast<long long>(stats.peak_bytes_pinned),
+                 static_cast<long long>(store.pager_capacity_bytes()));
+    return 1;
+  }
+
+  double per = static_cast<double>(reps) * static_cast<double>(tuples);
+  double mem_per_tuple = static_cast<double>(memory_ns) / per;
+  double paged_per_tuple = static_cast<double>(paged_ns) / per;
+  double overhead = paged_per_tuple / mem_per_tuple;
+
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  out << "{\n  \"experiment\": \"E_storage_paged_scan\",\n"
+      << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+      << "  \"results\": [\n"
+      << "    {\"name\": \"sigma_concat_paged_scan\", \"tuples\": " << tuples
+      << ", \"reps\": " << reps << ", \"answers\": " << a->size()
+      << ", \"memory_ns_per_tuple\": " << static_cast<int64_t>(mem_per_tuple)
+      << ", \"paged_ns_per_tuple\": " << static_cast<int64_t>(paged_per_tuple)
+      << ", \"overhead\": "
+      << static_cast<double>(static_cast<int64_t>(overhead * 100)) / 100
+      << ",\n     \"pager\": {\"capacity_bytes\": "
+      << store.pager_capacity_bytes() << ", \"hits\": " << stats.hits
+      << ", \"misses\": " << stats.misses
+      << ", \"evictions\": " << stats.evictions
+      << ", \"peak_bytes_pinned\": " << stats.peak_bytes_pinned
+      << ", \"bytes_cached\": " << stats.bytes_cached << "}}\n  ]\n}\n";
+  std::printf("sigma_concat_paged_scan  memory %8.0f ns/tuple  paged %8.0f "
+              "ns/tuple  overhead %.2fx  (pool %lld B, peak pinned %lld B, "
+              "%lld evictions)\n",
+              mem_per_tuple, paged_per_tuple, overhead,
+              static_cast<long long>(store.pager_capacity_bytes()),
+              static_cast<long long>(stats.peak_bytes_pinned),
+              static_cast<long long>(stats.evictions));
+  std::printf("wrote %s\n", path.c_str());
+  if (Status closed = store.Close(); !closed.ok()) {
+    std::fprintf(stderr, "close: %s\n", closed.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace strdb
@@ -348,20 +493,27 @@ int main(int argc, char** argv) {
   std::string json_path;
   bool json = false;
   bool quick = false;
+  bool paged = false;
   std::vector<char*> rest;
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
-      json_path = "BENCH_query_eval.json";
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json = true;
       json_path = argv[i] + 7;
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    } else if (std::strcmp(argv[i], "--paged") == 0) {
+      paged = true;
+      json = true;  // the paged variant only has a JSON mode
     } else {
       rest.push_back(argv[i]);
     }
   }
+  if (json_path.empty()) {
+    json_path = paged ? "BENCH_storage_scan.json" : "BENCH_query_eval.json";
+  }
+  if (paged) return strdb::bench::RunPagedJsonMode(json_path, quick);
   if (json) return strdb::bench::RunJsonMode(json_path, quick);
   int rest_argc = static_cast<int>(rest.size());
   benchmark::Initialize(&rest_argc, rest.data());

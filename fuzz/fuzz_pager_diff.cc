@@ -1,0 +1,12 @@
+// libFuzzer: out-of-core paged storage vs the in-memory oracle — spill
+// through a checkpoint, evaluate paged vs in-memory (diff mode) and
+// crash-at-op-N recovery of spilled relations (crash mode), fully in
+// memory (MemEnv + FaultInjectingEnv).
+#include "fuzz_common.h"
+#include "testing/targets.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  static const strdb::testgen::PagerDiffTarget target;
+  strdb::testgen::FuzzDifferentialTarget(target, data, size);
+  return 0;
+}

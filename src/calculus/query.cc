@@ -131,7 +131,7 @@ Status FlattenConjunction(const CalcFormula& f,
 // string formulae propagate bounds to their remaining variables through
 // the Theorem 5.2 limitation analysis, iterated to a fixpoint.
 Result<int64_t> InferFromFormula(const CalcFormula& formula,
-                                 const Database& db,
+                                 const Database& db, const PagedSet* paged,
                                  const Alphabet& alphabet) {
   std::vector<CalcFormula> rel_atoms;
   std::vector<CalcFormula> str_leaves;
@@ -142,9 +142,18 @@ Result<int64_t> InferFromFormula(const CalcFormula& formula,
   std::map<std::string, int64_t> limit;
   std::set<std::string> all_vars;
   for (const CalcFormula& atom : rel_atoms) {
-    STRDB_ASSIGN_OR_RETURN(const StringRelation* rel,
-                           db.Get(atom.relation()));
-    int64_t w = rel->MaxStringLength();
+    int64_t w = 0;
+    Result<const StringRelation*> rel = db.Get(atom.relation());
+    if (rel.ok()) {
+      w = (*rel)->MaxStringLength();
+    } else {
+      // A spilled relation records its max string length in the heap
+      // header: Eq. (2)'s max(R, db) without touching a single page.
+      if (paged == nullptr) return rel.status();
+      auto spilled = paged->find(atom.relation());
+      if (spilled == paged->end()) return rel.status();
+      w = spilled->second->max_string_length();
+    }
     for (const std::string& v : atom.args()) {
       all_vars.insert(v);
       auto it = limit.find(v);
@@ -212,9 +221,10 @@ Result<int64_t> InferFromFormula(const CalcFormula& formula,
 
 }  // namespace
 
-Result<int> Query::InferTruncation(const Database& db) const {
+Result<int> Query::InferTruncation(const Database& db,
+                                   const PagedSet* paged) const {
   STRDB_ASSIGN_OR_RETURN(int64_t w,
-                         InferFromFormula(formula_, db, db.alphabet()));
+                         InferFromFormula(formula_, db, paged, db.alphabet()));
   if (w > kMaxTruncation) {
     return Status::ResourceExhausted(
         "the inferred limit " + std::to_string(w) +
@@ -225,7 +235,7 @@ Result<int> Query::InferTruncation(const Database& db) const {
 
 Result<StringRelation> Query::Execute(const Database& db,
                                       const QueryOptions& options) const {
-  STRDB_ASSIGN_OR_RETURN(int truncation, InferTruncation(db));
+  STRDB_ASSIGN_OR_RETURN(int truncation, InferTruncation(db, options.paged));
   return ExecuteTruncated(db, truncation, options);
 }
 
@@ -242,6 +252,7 @@ Result<StringRelation> Query::ExecuteTruncated(
     const Database& db, int truncation, const QueryOptions& options) const {
   EvalOptions opts;
   opts.truncation = truncation;
+  opts.paged = options.paged;
   // The budget lives on the stack for exactly one execution: charges
   // accumulate across every operator of this query and no other.
   std::optional<ResourceBudget> budget;
@@ -255,10 +266,12 @@ Result<StringRelation> Query::ExecuteTruncated(
   return EvalAlgebra(plan_, db, opts);
 }
 
-Result<std::string> Query::ExplainPlan(const Database& db) const {
-  STRDB_ASSIGN_OR_RETURN(int truncation, InferTruncation(db));
+Result<std::string> Query::ExplainPlan(const Database& db,
+                                       const PagedSet* paged) const {
+  STRDB_ASSIGN_OR_RETURN(int truncation, InferTruncation(db, paged));
   EvalOptions opts;
   opts.truncation = truncation;
+  opts.paged = paged;
   return Engine::Shared().Explain(plan_, db, opts);
 }
 

@@ -36,6 +36,12 @@ struct QueryOptions {
   // rolls up into — and on completion is released from — the shared
   // account.  The server threads its global admission budget here.
   ResourceBudget* parent_budget = nullptr;
+  // Spilled (out-of-core) relations, by name, disjoint from the
+  // database's inline relations (not owned; must outlive the
+  // execution).  Limit inference reads their stored max string length;
+  // evaluation scans them page-at-a-time.  The shell/server thread
+  // CatalogStore::PagedDb() here.
+  const PagedSet* paged = nullptr;
 };
 
 // The end-to-end query facility a string-database engine would expose:
@@ -74,7 +80,10 @@ class Query {
   const AlgebraExpr& plan() const { return plan_; }
 
   // The inferred limit W_φ(db), or an error naming the unsafe part.
-  Result<int> InferTruncation(const Database& db) const;
+  // `paged` extends Eq. (2)'s max(R, db) to spilled relations via the
+  // max string length recorded in their heap headers — no scan needed.
+  Result<int> InferTruncation(const Database& db,
+                              const PagedSet* paged = nullptr) const;
 
   // Evaluates at the inferred truncation: the paper's
   // ⟦φ⟧_db = db(E_φ ↓ W_φ(db)) for domain-independent φ (Eq. (6)).
@@ -89,7 +98,8 @@ class Query {
 
   // The engine's physical plan for this query at the inferred
   // truncation, rendered with planner estimates ("explain").
-  Result<std::string> ExplainPlan(const Database& db) const;
+  Result<std::string> ExplainPlan(const Database& db,
+                                  const PagedSet* paged = nullptr) const;
 
  private:
   Query(CalcFormula formula, std::vector<std::string> outputs,

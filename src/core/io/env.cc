@@ -99,6 +99,36 @@ class PosixEnv : public Env {
     return out;
   }
 
+  Result<std::string> ReadAt(const std::string& path, int64_t offset,
+                             int64_t n) override {
+    if (offset < 0 || n < 0) {
+      return Status::InvalidArgument("ReadAt: negative offset or length");
+    }
+    int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return ErrnoStatus("open", path, errno);
+    std::string out;
+    out.resize(static_cast<size_t>(n));
+    size_t done = 0;
+    while (done < out.size()) {
+      ssize_t got = ::pread(fd, &out[done], out.size() - done,
+                            static_cast<off_t>(offset) + done);
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        int err = errno;
+        ::close(fd);
+        return ErrnoStatus("pread", path, err);
+      }
+      if (got == 0) {
+        ::close(fd);
+        return Status::DataLoss("ReadAt '" + path + "': short read at offset " +
+                                std::to_string(offset + done));
+      }
+      done += static_cast<size_t>(got);
+    }
+    ::close(fd);
+    return out;
+  }
+
   bool FileExists(const std::string& path) override {
     return ::access(path.c_str(), F_OK) == 0;
   }
@@ -152,6 +182,21 @@ class PosixEnv : public Env {
 };
 
 }  // namespace
+
+Result<std::string> Env::ReadAt(const std::string& path, int64_t offset,
+                                int64_t n) {
+  if (offset < 0 || n < 0) {
+    return Status::InvalidArgument("ReadAt: negative offset or length");
+  }
+  Result<std::string> whole = ReadFile(path);
+  if (!whole.ok()) return whole.status();
+  const std::string& bytes = whole.value();
+  if (static_cast<uint64_t>(offset) + static_cast<uint64_t>(n) > bytes.size()) {
+    return Status::DataLoss("ReadAt '" + path + "': short read at offset " +
+                            std::to_string(offset));
+  }
+  return bytes.substr(static_cast<size_t>(offset), static_cast<size_t>(n));
+}
 
 void Env::SleepMs(int64_t ms) {
   std::this_thread::sleep_for(std::chrono::milliseconds(ms));

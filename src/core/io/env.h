@@ -44,6 +44,16 @@ class Env {
   // snapshot/WAL recovery wants the bytes contiguously anyway).
   virtual Result<std::string> ReadFile(const std::string& path) = 0;
 
+  // Reads exactly [offset, offset + n) of `path` — the paged-storage
+  // read primitive: the buffer pool fetches one 16 KiB page per call
+  // instead of slurping the file.  Reading past EOF (even partially) is
+  // kDataLoss: page extents come from a checksummed header, so a short
+  // file means the file is damaged, not that the caller guessed wrong.
+  // The base implementation reads the whole file and slices, which is
+  // correct for any Env; PosixEnv overrides it with pread(2).
+  virtual Result<std::string> ReadAt(const std::string& path, int64_t offset,
+                                     int64_t n);
+
   virtual bool FileExists(const std::string& path) = 0;
   virtual Result<std::vector<std::string>> ListDir(const std::string& path) = 0;
   // mkdir -p: OK when the directory already exists.

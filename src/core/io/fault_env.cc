@@ -117,6 +117,12 @@ Result<std::string> FaultInjectingEnv::ReadFile(const std::string& path) {
   return base_->ReadFile(path);
 }
 
+Result<std::string> FaultInjectingEnv::ReadAt(const std::string& path,
+                                              int64_t offset, int64_t n) {
+  STRDB_RETURN_IF_ERROR(Gate("readat"));
+  return base_->ReadAt(path, offset, n);
+}
+
 bool FaultInjectingEnv::FileExists(const std::string& path) {
   // Existence probes are metadata-only and failure-free; keeping them out
   // of the op count keeps sweep indices aligned with effectful I/O.

@@ -62,6 +62,8 @@ class FaultInjectingEnv : public Env {
   Result<std::unique_ptr<WritableFile>> NewWritableFile(
       const std::string& path, bool truncate) override;
   Result<std::string> ReadFile(const std::string& path) override;
+  Result<std::string> ReadAt(const std::string& path, int64_t offset,
+                             int64_t n) override;
   bool FileExists(const std::string& path) override;
   Result<std::vector<std::string>> ListDir(const std::string& path) override;
   Status CreateDir(const std::string& path) override;

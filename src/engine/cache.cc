@@ -105,13 +105,19 @@ Result<std::shared_ptr<const Fsa>> ArtifactCache::GetSpecialized(
   STRDB_ASSIGN_OR_RETURN(Fsa specialized, Specialize(base, fixed));
   auto shared = std::make_shared<const Fsa>(std::move(specialized));
   int64_t cost = static_cast<int64_t>(key.size()) + FsaCost(*shared);
+  // Charge before inserting (an exhausted budget must not grow the
+  // cache), refund if the insert is rejected — oversize artifact or a
+  // concurrent incumbent — so the account only ever holds bytes that
+  // are actually resident.
   if (budget != nullptr) {
     STRDB_RETURN_IF_ERROR(budget->ChargeCachedBytes(cost));
   }
+  bool inserted;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    InsertLocked(Entry{key, shared, nullptr, nullptr, cost});
+    inserted = InsertLocked(Entry{key, shared, nullptr, nullptr, cost});
   }
+  if (!inserted && budget != nullptr) budget->Release(0, 0, cost);
   *derived_key = std::move(key);
   return shared;
 }
@@ -137,8 +143,12 @@ ArtifactCache::PutGenerated(const std::string& key, GeneratedSet set,
   if (budget != nullptr) {
     STRDB_RETURN_IF_ERROR(budget->ChargeCachedBytes(cost));
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  InsertLocked(Entry{key, nullptr, shared, nullptr, cost});
+  bool inserted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    inserted = InsertLocked(Entry{key, nullptr, shared, nullptr, cost});
+  }
+  if (!inserted && budget != nullptr) budget->Release(0, 0, cost);
   return shared;
 }
 
@@ -162,8 +172,12 @@ Result<std::shared_ptr<const AcceptKernel>> ArtifactCache::PutKernel(
   if (budget != nullptr) {
     STRDB_RETURN_IF_ERROR(budget->ChargeCachedBytes(cost));
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  InsertLocked(Entry{key, nullptr, nullptr, shared, cost});
+  bool inserted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    inserted = InsertLocked(Entry{key, nullptr, nullptr, shared, cost});
+  }
+  if (!inserted && budget != nullptr) budget->Release(0, 0, cost);
   return shared;
 }
 
@@ -212,20 +226,20 @@ void ArtifactCache::RecordMissLocked() {
   Metrics().misses->Increment();
 }
 
-void ArtifactCache::InsertLocked(Entry entry) {
+bool ArtifactCache::InsertLocked(Entry entry) {
   auto existing = index_.find(entry.key);
   if (existing != index_.end()) {
     // A concurrent miss on the same key beat us to the insert; keep the
     // incumbent (equal by construction) and refresh its recency.
     TouchLocked(existing->second);
-    return;
+    return false;
   }
   if (entry.cost > max_bytes_) {
     // Too large to ever retain under the bound; hand it back uncached so
     // the invariant bytes_in_use <= max_bytes holds unconditionally.
     ++stats_.evictions;
     Metrics().evictions->Increment();
-    return;
+    return false;
   }
   // Make room first: the bound must hold at all times, not just between
   // inserts, so evict before the new entry's cost is ever accounted.
@@ -239,6 +253,7 @@ void ArtifactCache::InsertLocked(Entry entry) {
   Metrics().entries->Add(1);
   lru_.push_front(std::move(entry));
   index_.emplace(lru_.front().key, lru_.begin());
+  return true;
 }
 
 void ArtifactCache::EvictUntilFitsLocked(int64_t incoming) {

@@ -127,8 +127,13 @@ class ArtifactCache {
   };
 
   // Inserts an already-built entry, evicting from the LRU tail first so
-  // the byte bound is never exceeded even transiently.  Caller holds mu_.
-  void InsertLocked(Entry entry);
+  // the byte bound is never exceeded even transiently.  Returns false
+  // when the entry was NOT retained — oversize, or a concurrent miss on
+  // the same key already inserted an incumbent — so the caller can
+  // refund any budget bytes charged for it: a budget's cached-bytes
+  // account must only ever reflect bytes actually resident.  Caller
+  // holds mu_.
+  bool InsertLocked(Entry entry);
   void EvictUntilFitsLocked(int64_t incoming);
   void TouchLocked(std::list<Entry>::iterator it);
   void RecordHitLocked();

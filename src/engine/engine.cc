@@ -47,7 +47,9 @@ class Planner {
     auto it = memo_.find(e.node_identity());
     if (it != memo_.end()) return it->second;
     STRDB_ASSIGN_OR_RETURN(std::shared_ptr<PlanNode> node, LowerNew(e));
-    node->est_rows = EstimateCardinality(e, db_, options_.truncation);
+    node->est_rows = node->op == Op::kPagedScan
+                         ? static_cast<double>(node->source->tuple_count())
+                         : EstimateCardinality(e, db_, options_.truncation);
     memo_.emplace(e.node_identity(), node);
     return node;
   }
@@ -57,10 +59,27 @@ class Planner {
     auto node = std::make_shared<PlanNode>();
     node->arity = e.arity();
     switch (e.kind()) {
-      case Kind::kRelation:
-        node->op = Op::kScan;
+      case Kind::kRelation: {
         node->relation = e.relation_name();
+        // A name absent from the catalog but present in the paged set is
+        // a spilled relation: scan it out-of-core.
+        if (options_.paged != nullptr && !db_.Has(node->relation)) {
+          auto spilled = options_.paged->find(node->relation);
+          if (spilled != options_.paged->end()) {
+            if (spilled->second->arity() != node->arity) {
+              return Status::InvalidArgument(
+                  "relation '" + node->relation + "' has arity " +
+                  std::to_string(spilled->second->arity()) +
+                  ", expression expects " + std::to_string(node->arity));
+            }
+            node->op = Op::kPagedScan;
+            node->source = spilled->second;
+            return node;
+          }
+        }
+        node->op = Op::kScan;
         return node;
+      }
       case Kind::kSigmaStar:
         node->op = Op::kDomain;
         node->sigma_l = -1;
@@ -199,6 +218,15 @@ class Executor {
         }
         return *rel;
       }
+      case Op::kPagedScan: {
+        // Generic parents need the relation resident; only a FilterSelect
+        // parent streams (it intercepts before Eval reaches here).
+        if (node->source == nullptr) {
+          return Status::Internal("paged-scan node without a tuple source");
+        }
+        STRDB_ASSIGN_OR_RETURN(StringRelation out, node->source->Materialize());
+        return CheckSize(std::move(out));
+      }
       case Op::kDomain: {
         int l = node->sigma_l < 0 ? options_.truncation : node->sigma_l;
         StringRelation out(1);
@@ -305,8 +333,13 @@ class Executor {
   }
 
   Result<StringRelation> FilterSelect(PlanNode* node) {
-    STRDB_ASSIGN_OR_RETURN(const StringRelation* child,
-                           Eval(node->children[0].get()));
+    PlanNode* child_node = node->children[0].get();
+    if (child_node->op == Op::kPagedScan && engine_options_.enable_paged &&
+        child_node->source != nullptr &&
+        memo_.find(child_node) == memo_.end()) {
+      return StreamFilterSelect(node, child_node);
+    }
+    STRDB_ASSIGN_OR_RETURN(const StringRelation* child, Eval(child_node));
     node->stats.tuples_in = child->size();
     std::vector<const Tuple*> tuples;
     tuples.reserve(static_cast<size_t>(child->size()));
@@ -358,6 +391,90 @@ class Executor {
         STRDB_RETURN_IF_ERROR(out.Insert(*tuples[i]));
       }
     }
+    return out;
+  }
+
+  // σ_A over a spilled relation: pump the heap's decoded batches through
+  // acceptance and keep only survivors, so the input relation is never
+  // resident — peak memory is the buffer-pool cap plus one batch plus the
+  // (filtered) output.  Same verdicts as the materialise-then-filter
+  // path; only where budget errors surface can differ.
+  Result<StringRelation> StreamFilterSelect(PlanNode* node, PlanNode* child) {
+    Clock::time_point child_start = Clock::now();
+    const Fsa& fsa = *node->fsa;
+    STRDB_ASSIGN_OR_RETURN(std::shared_ptr<const AcceptKernel> kernel,
+                           KernelFor(node));
+    AcceptOptions accept_opts;
+    accept_opts.budget = options_.budget;
+    StringRelation out(node->arity);
+    STRDB_RETURN_IF_ERROR(child->source->Scan(
+        [&](const std::vector<Tuple>& batch) -> Status {
+          int64_t n = static_cast<int64_t>(batch.size());
+          node->stats.tuples_in += n;
+          child->stats.tuples_out += n;
+          if (options_.budget != nullptr) {
+            // Scanned rows are charged as the child materialisation
+            // would have been, so the flag changes memory, not cost.
+            STRDB_RETURN_IF_ERROR(options_.budget->ChargeRows(n));
+          }
+          bool parallel = engine_options_.enable_parallel &&
+                          pool_->num_threads() > 1 &&
+                          n >= engine_options_.parallel_threshold;
+          if (kernel != nullptr && !parallel) {
+            std::vector<const Tuple*> ptrs;
+            ptrs.reserve(batch.size());
+            for (const Tuple& t : batch) ptrs.push_back(&t);
+            thread_local AcceptScratch scratch;
+            KernelBatchResult res =
+                AcceptBatch(*kernel, ptrs, &scratch, accept_opts);
+            node->stats.fsa_steps += res.configurations_visited;
+            for (size_t i = 0; i < batch.size(); ++i) {
+              STRDB_RETURN_IF_ERROR(res.statuses[i]);
+              if (res.accepted[i]) {
+                STRDB_RETURN_IF_ERROR(out.Insert(batch[i]));
+              }
+            }
+          } else {
+            std::vector<char> accepted(batch.size(), 0);
+            std::vector<int64_t> steps(batch.size(), 0);
+            std::vector<Status> errors(batch.size());
+            auto check_range = [&](int64_t begin, int64_t end) {
+              thread_local AcceptScratch scratch;
+              for (int64_t i = begin; i < end; ++i) {
+                const Tuple& t = batch[static_cast<size_t>(i)];
+                Result<AcceptStats> res =
+                    kernel != nullptr
+                        ? scratch.Accept(*kernel, t, accept_opts)
+                        : AcceptsWithStats(fsa, t, accept_opts);
+                if (!res.ok()) {
+                  errors[static_cast<size_t>(i)] = res.status();
+                  continue;
+                }
+                accepted[static_cast<size_t>(i)] = res->accepted ? 1 : 0;
+                steps[static_cast<size_t>(i)] = res->configurations_visited;
+              }
+            };
+            if (parallel) {
+              pool_->ParallelFor(n, check_range);
+            } else {
+              check_range(0, n);
+            }
+            for (size_t i = 0; i < batch.size(); ++i) {
+              STRDB_RETURN_IF_ERROR(errors[i]);
+              node->stats.fsa_steps += steps[i];
+              if (accepted[i]) {
+                STRDB_RETURN_IF_ERROR(out.Insert(batch[i]));
+              }
+            }
+          }
+          if (out.size() > options_.max_tuples) {
+            return Status::ResourceExhausted("selection exceeds " +
+                                             std::to_string(options_.max_tuples) +
+                                             " tuples");
+          }
+          return Status::OK();
+        }));
+    child->stats.wall_ns += ElapsedNs(child_start);
     return out;
   }
 

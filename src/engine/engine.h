@@ -35,6 +35,11 @@ struct EngineOptions {
   bool enable_parallel = true;
   int num_threads = 0;  // <= 0 picks hardware_concurrency()
   int64_t parallel_threshold = 32;
+  // Stream spilled (out-of-core) relations through σ_A filters batch by
+  // batch instead of materialising them first.  Off = paged relations
+  // are materialised on first use (the differential oracle path);
+  // answers are identical either way, only peak memory differs.
+  bool enable_paged = true;
 };
 
 // Planning + execution engine for the alignment algebra: lowers an

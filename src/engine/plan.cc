@@ -9,6 +9,8 @@ std::string PlanNode::OpName() const {
   switch (op) {
     case Op::kScan:
       return "scan";
+    case Op::kPagedScan:
+      return "paged-scan";
     case Op::kDomain:
       return "domain";
     case Op::kUnion:
@@ -45,6 +47,9 @@ void ExplainNode(const PlanNode& node, int depth, bool with_stats,
   *out << std::string(static_cast<size_t>(depth) * 2, ' ') << node.OpName();
   switch (node.op) {
     case PlanNode::Op::kScan:
+      *out << " " << node.relation;
+      break;
+    case PlanNode::Op::kPagedScan:
       *out << " " << node.relation;
       break;
     case PlanNode::Op::kDomain:

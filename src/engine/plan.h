@@ -8,6 +8,7 @@
 
 #include "fsa/fsa.h"
 #include "relational/algebra.h"
+#include "relational/tuple_source.h"
 
 namespace strdb {
 
@@ -30,6 +31,7 @@ struct OperatorStats {
 struct PlanNode {
   enum class Op : uint8_t {
     kScan,            // a database relation
+    kPagedScan,       // a spilled (out-of-core) relation, read page-at-a-time
     kDomain,          // Σ^l, or Σ* read as Σ^truncation when sigma_l < 0
     kUnion,
     kDifference,
@@ -42,7 +44,11 @@ struct PlanNode {
 
   Op op = Op::kScan;
   int arity = 0;
-  std::string relation;            // kScan
+  std::string relation;            // kScan, kPagedScan
+  // kPagedScan: the out-of-core relation.  A FilterSelect parent streams
+  // its batches through acceptance without materialising; any other
+  // parent (or a disabled paged path) materialises it on first Eval.
+  std::shared_ptr<const TupleSource> source;
   int sigma_l = -1;                // kDomain
   std::vector<int> columns;        // kProject
   std::shared_ptr<const Fsa> fsa;  // the two select ops

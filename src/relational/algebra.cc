@@ -237,6 +237,19 @@ class AlgebraEvaluatorImpl {
   Result<StringRelation> EvalNode(const AlgebraExpr& e) {
     switch (e.kind()) {
       case AlgebraExpr::Kind::kRelation: {
+        if (options_.paged != nullptr && !db_.Has(e.relation_name())) {
+          auto it = options_.paged->find(e.relation_name());
+          if (it != options_.paged->end()) {
+            const TupleSource& source = *it->second;
+            if (source.arity() != e.arity()) {
+              return Status::InvalidArgument(
+                  "paged relation '" + e.relation_name() + "' has arity " +
+                  std::to_string(source.arity()) + ", expression expects " +
+                  std::to_string(e.arity()));
+            }
+            return source.Materialize();
+          }
+        }
         STRDB_ASSIGN_OR_RETURN(const StringRelation* rel,
                                db_.Get(e.relation_name()));
         if (rel->arity() != e.arity()) {

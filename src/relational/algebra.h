@@ -9,6 +9,7 @@
 #include "core/result.h"
 #include "fsa/fsa.h"
 #include "relational/relation.h"
+#include "relational/tuple_source.h"
 
 namespace strdb {
 
@@ -101,6 +102,10 @@ struct EvalOptions {
   // kResourceExhausted instead of burning one call-site limit at a time.
   // Not owned; must outlive the evaluation.  nullptr = unlimited.
   ResourceBudget* budget = nullptr;
+  // Out-of-core relations: a kRelation name missing from the Database is
+  // looked up here and materialised (the naive evaluator is the oracle —
+  // only the engine's PagedScan streams).  Not owned; nullptr = none.
+  const PagedSet* paged = nullptr;
 };
 
 // Evaluates db(E↓l).  Selections over products containing Σ* factors are

@@ -1,0 +1,17 @@
+#include "relational/tuple_source.h"
+
+namespace strdb {
+
+Result<StringRelation> TupleSource::Materialize() const {
+  StringRelation out(arity());
+  Status status = Scan([&out](const std::vector<Tuple>& batch) -> Status {
+    for (const Tuple& t : batch) {
+      STRDB_RETURN_IF_ERROR(out.Insert(t));
+    }
+    return Status::OK();
+  });
+  if (!status.ok()) return status;
+  return out;
+}
+
+}  // namespace strdb

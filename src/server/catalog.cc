@@ -22,6 +22,37 @@ std::shared_ptr<const Database> SharedCatalog::Snapshot() const {
   return live_store_ != nullptr ? live_store_->SnapshotDb() : snapshot_;
 }
 
+void SharedCatalog::SnapshotState(
+    std::shared_ptr<const Database>* db,
+    std::shared_ptr<const PagedSet>* paged) const {
+  static const std::shared_ptr<const PagedSet> kEmptyPaged =
+      std::make_shared<const PagedSet>();
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  if (live_store_ != nullptr) {
+    live_store_->SnapshotState(db, paged);
+    return;
+  }
+  *db = snapshot_;
+  *paged = kEmptyPaged;
+}
+
+void SharedCatalog::set_store_options(const StoreOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  store_options_ = options;
+}
+
+bool SharedCatalog::PagerStatus(PagerStats* stats, int64_t* capacity_bytes,
+                                size_t* spilled) const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  if (live_store_ == nullptr) return false;
+  if (stats != nullptr) *stats = live_store_->pager_stats();
+  if (capacity_bytes != nullptr) {
+    *capacity_bytes = live_store_->pager_capacity_bytes();
+  }
+  if (spilled != nullptr) *spilled = live_store_->PagedDb()->size();
+  return true;
+}
+
 void SharedCatalog::PublishLocked() {
   auto fresh = std::make_shared<const Database>(db_);
   std::lock_guard<std::mutex> lock(snapshot_mu_);
@@ -75,7 +106,7 @@ Status SharedCatalog::OpenDurable(const std::string& dir,
     return Status::InvalidArgument("a durable session is already open ('" +
                                    store_->dir() + "'); close it first");
   }
-  auto opened = CatalogStore::Open(dir, alphabet_, {}, report);
+  auto opened = CatalogStore::Open(dir, alphabet_, store_options_, report);
   if (!opened.ok()) return opened.status();
   store_ = std::move(*opened);
   {
@@ -119,7 +150,11 @@ Status SharedCatalog::CheckpointDurable(int* persisted, int64_t* generation,
   STRDB_RETURN_IF_ERROR(store_->Checkpoint());
   if (persisted != nullptr) *persisted = count;
   if (generation != nullptr) *generation = store_->generation();
-  if (relations != nullptr) *relations = store_->db().relations().size();
+  if (relations != nullptr) {
+    // Spilled relations are still relations: the count reflects the
+    // whole catalog, wherever each relation lives.
+    *relations = store_->db().relations().size() + store_->PagedDb()->size();
+  }
   return Status::OK();
 }
 
@@ -129,6 +164,20 @@ Status SharedCatalog::CloseDurable() {
     return Status::InvalidArgument("no durable session to close");
   }
   db_ = store_->db();  // keep working on the catalog, now in memory only
+  // Spilled relations live only in the store's heap files: pull them
+  // back in memory before detaching, or they would vanish from the
+  // in-memory catalog.  A read failure keeps the session open.
+  for (const auto& [name, source] : *store_->PagedDb()) {
+    Result<StringRelation> rel = source->Materialize();
+    if (!rel.ok()) {
+      db_ = Database(alphabet_);  // discard the half-built copy
+      return Status::DataLoss("cannot close: spilled relation '" + name +
+                              "' is unreadable: " +
+                              rel.status().ToString());
+    }
+    std::vector<Tuple> tuples(rel->tuples().begin(), rel->tuples().end());
+    STRDB_RETURN_IF_ERROR(db_.Put(name, rel->arity(), std::move(tuples)));
+  }
   // Point readers back at the in-memory snapshot *before* the store
   // dies: a reader only dereferences live_store_ under snapshot_mu_, so
   // once this block completes none can still be inside the store.

@@ -45,6 +45,24 @@ class SharedCatalog {
   // waits behind writer I/O.
   std::shared_ptr<const Database> Snapshot() const;
 
+  // The catalog and its spilled-relation set as one consistent pair
+  // (never null; the paged set is empty unless a durable store with a
+  // spill threshold is attached).  A checkpoint that spills a relation
+  // moves it between the two atomically w.r.t. this call.
+  void SnapshotState(std::shared_ptr<const Database>* db,
+                     std::shared_ptr<const PagedSet>* paged) const;
+
+  // Options the next OpenDurable passes to CatalogStore::Open (spill
+  // threshold, buffer-pool cap).  Takes effect at open, not on a live
+  // store.
+  void set_store_options(const StoreOptions& options);
+
+  // Buffer-pool counters and capacity of the attached store's pager,
+  // plus the number of currently spilled relations.  False when no
+  // durable session is open.
+  bool PagerStatus(PagerStats* stats, int64_t* capacity_bytes,
+                   size_t* spilled) const;
+
   // Catalog mutations (durable once OpenDurable has run).
   Status PutRelation(const std::string& name, int arity,
                      std::vector<Tuple> tuples);
@@ -81,6 +99,7 @@ class SharedCatalog {
 
   mutable std::mutex mu_;  // serializes writers (including store I/O)
   Database db_;            // the catalog while no store is attached
+  StoreOptions store_options_;  // applied at the next OpenDurable
   std::unique_ptr<CatalogStore> store_;
 
   // Reader-side state, behind its own short-hold lock (never held

@@ -124,7 +124,19 @@ Status CommandProcessor::HandleDrop(const std::vector<std::string>& words,
 
 Status CommandProcessor::HandleOpen(const std::vector<std::string>& words,
                                     std::string* out) {
-  if (words.size() != 2) return Status::InvalidArgument("usage: open DIR");
+  if (words.size() != 2 && !(words.size() == 4 && words[2] == "spill")) {
+    return Status::InvalidArgument("usage: open DIR [spill BYTES]");
+  }
+  if (words.size() == 4) {
+    int64_t threshold = std::atoll(words[3].c_str());
+    if (threshold <= 0) {
+      return Status::InvalidArgument(
+          "spill threshold must be a positive byte count");
+    }
+    StoreOptions store_opts;
+    store_opts.spill_threshold_bytes = threshold;
+    catalog_->set_store_options(store_opts);
+  }
   RecoveryReport report;
   int warmed = 0;
   STRDB_RETURN_IF_ERROR(catalog_->OpenDurable(words[1], &report, &warmed));
@@ -197,9 +209,11 @@ Status CommandProcessor::HandleQuery(const std::string& text,
     body = body.substr(sp + 1);
   }
   // One snapshot for the whole command: parse, truncation inference and
-  // evaluation all see the same catalog, whatever writers commit
-  // meanwhile.
-  std::shared_ptr<const Database> snapshot = catalog_->Snapshot();
+  // evaluation all see the same catalog — inline and spilled relations
+  // as one consistent pair — whatever writers commit meanwhile.
+  std::shared_ptr<const Database> snapshot;
+  std::shared_ptr<const PagedSet> paged;
+  catalog_->SnapshotState(&snapshot, &paged);
   Result<Query> q = Query::Parse(body, snapshot->alphabet());
   if (!q.ok()) return q.status();
   ExecStats stats;
@@ -208,6 +222,7 @@ Status CommandProcessor::HandleQuery(const std::string& text,
   opts.stats = show_stats_ ? &stats : nullptr;
   opts.limits = limits_;
   opts.parent_budget = parent_budget_;
+  opts.paged = paged.get();
   Result<StringRelation> answer =
       explicit_trunc >= 0
           ? q->ExecuteTruncated(*snapshot, explicit_trunc, opts)
@@ -234,10 +249,12 @@ Status CommandProcessor::HandleQuery(const std::string& text,
 
 Status CommandProcessor::HandleSafe(const std::string& text,
                                     std::string* out) {
-  std::shared_ptr<const Database> snapshot = catalog_->Snapshot();
+  std::shared_ptr<const Database> snapshot;
+  std::shared_ptr<const PagedSet> paged;
+  catalog_->SnapshotState(&snapshot, &paged);
   Result<Query> q = Query::Parse(text, snapshot->alphabet());
   if (!q.ok()) return q.status();
-  Result<int> w = q->InferTruncation(*snapshot);
+  Result<int> w = q->InferTruncation(*snapshot, paged.get());
   if (w.ok()) {
     AppendF(out, "SAFE; inferred truncation W(db) = %d\n", *w);
   } else {
@@ -260,10 +277,12 @@ Status CommandProcessor::HandlePlan(const std::string& text,
 
 Status CommandProcessor::HandleExplain(const std::string& text,
                                        std::string* out) {
-  std::shared_ptr<const Database> snapshot = catalog_->Snapshot();
+  std::shared_ptr<const Database> snapshot;
+  std::shared_ptr<const PagedSet> paged;
+  catalog_->SnapshotState(&snapshot, &paged);
   Result<Query> q = Query::Parse(text, snapshot->alphabet());
   if (!q.ok()) return q.status();
-  Result<std::string> plan = q->ExplainPlan(*snapshot);
+  Result<std::string> plan = q->ExplainPlan(*snapshot, paged.get());
   if (!plan.ok()) return plan.status();
   AppendF(out, "%s", plan->c_str());
   return Status::OK();
@@ -287,10 +306,16 @@ Status CommandProcessor::Execute(const std::string& line, std::string* out) {
   if (words[0] == "insert") return HandleInsert(words, out);
   if (words[0] == "drop") return HandleDrop(words, out);
   if (words[0] == "show") {
-    std::shared_ptr<const Database> snapshot = catalog_->Snapshot();
+    std::shared_ptr<const Database> snapshot;
+    std::shared_ptr<const PagedSet> paged;
+    catalog_->SnapshotState(&snapshot, &paged);
     for (const auto& [name, rel] : snapshot->relations()) {
       AppendF(out, "%s/%d = %s\n", name.c_str(), rel.arity(),
               rel.ToString().c_str());
+    }
+    for (const auto& [name, source] : *paged) {
+      AppendF(out, "%s/%d = <spilled: %lld tuples on disk>\n", name.c_str(),
+              source->arity(), static_cast<long long>(source->tuple_count()));
     }
     return Status::OK();
   }
@@ -316,6 +341,27 @@ Status CommandProcessor::Execute(const std::string& line, std::string* out) {
   if (words[0] == "budget") return HandleBudget(words, out);
   if (words[0] == "metrics" && words.size() == 1) {
     AppendF(out, "%s\n", MetricsRegistry::Global().DumpJson().c_str());
+    return Status::OK();
+  }
+  if (words[0] == "pager" && words.size() == 1) {
+    PagerStats stats;
+    int64_t capacity = 0;
+    size_t spilled = 0;
+    if (!catalog_->PagerStatus(&stats, &capacity, &spilled)) {
+      AppendF(out, "pager: no durable session\n");
+      return Status::OK();
+    }
+    AppendF(out,
+            "pager: capacity=%lld cached=%lld pinned=%lld peak_pinned=%lld\n",
+            static_cast<long long>(capacity),
+            static_cast<long long>(stats.bytes_cached),
+            static_cast<long long>(stats.bytes_pinned),
+            static_cast<long long>(stats.peak_bytes_pinned));
+    AppendF(out, "pager: hits=%lld misses=%lld evictions=%lld\n",
+            static_cast<long long>(stats.hits),
+            static_cast<long long>(stats.misses),
+            static_cast<long long>(stats.evictions));
+    AppendF(out, "pager: %zu spilled relation(s)\n", spilled);
     return Status::OK();
   }
   if (words[0] == "ping" && words.size() == 1) {

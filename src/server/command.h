@@ -22,9 +22,15 @@ namespace strdb {
 //   insert NAME tuple [...]       add tuples to an existing relation
 //   drop NAME                     remove a relation
 //   show                          list the relations
-//   open DIR / save / close       durable-session verbs (shell mode
+//   open DIR [spill BYTES] / save / close
+//                                 durable-session verbs (shell mode
 //                                 only — the server owns its store and
-//                                 rejects these with a typed error)
+//                                 rejects these with a typed error);
+//                                 `spill BYTES` makes save move
+//                                 relations that big out-of-core
+//   pager                         buffer-pool counters of the durable
+//                                 store's pager (spilled relations,
+//                                 cached/pinned bytes, hit rate)
 //   safe QUERY                    safety analysis only
 //   plan QUERY                    Theorem 4.2 algebra plan
 //   explain QUERY                 engine physical plan

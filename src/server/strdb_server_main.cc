@@ -10,6 +10,12 @@
 //                       automaton cache; rel/insert/drop then commit
 //                       through the WAL.  Without it the catalog is
 //                       memory-only.
+//   --spill BYTES       with --dir: relations whose in-memory footprint
+//                       reaches BYTES move out-of-core (paged heap
+//                       files) at each checkpoint; queries stream them
+//                       through the buffer pool (default 0 = never)
+//   --pager-cap BYTES   buffer-pool byte cap for reading spilled
+//                       relations (default 4 MiB)
 //   --workers N         dispatcher pool size (default: hardware)
 //   --queue-depth N     admission bound on queued commands (default 64)
 //   --max-sessions N    concurrent session bound (default 256)
@@ -72,6 +78,7 @@ int main(int argc, char** argv) {
   std::string dir;
   int port = 7411;
   ServerOptions options;
+  StoreOptions store_options;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&](const char* flag) -> const char* {
@@ -85,6 +92,12 @@ int main(int argc, char** argv) {
       port = static_cast<int>(ParseInt("--port", next("--port")));
     } else if (arg == "--dir") {
       dir = next("--dir");
+    } else if (arg == "--spill") {
+      store_options.spill_threshold_bytes =
+          ParseInt("--spill", next("--spill"));
+    } else if (arg == "--pager-cap") {
+      store_options.pager_capacity_bytes =
+          ParseInt("--pager-cap", next("--pager-cap"));
     } else if (arg == "--workers") {
       options.num_workers =
           static_cast<int>(ParseInt("--workers", next("--workers")));
@@ -128,6 +141,7 @@ int main(int argc, char** argv) {
   if (!dir.empty()) {
     RecoveryReport report;
     int warmed = 0;
+    core.catalog().set_store_options(store_options);
     Status opened = core.catalog().OpenDurable(dir, &report, &warmed);
     if (!opened.ok()) {
       std::fprintf(stderr, "cannot open durable catalog '%s': %s\n",

@@ -33,6 +33,9 @@ class Cursor {
 
   bool AtEnd() const { return pos_ == data_.size(); }
 
+  // Bytes not yet consumed — the budget any claimed count must fit in.
+  size_t Remaining() const { return data_.size() - pos_; }
+
   Status ExpectChar(char c) {
     if (pos_ >= data_.size() || data_[pos_] != c) {
       return Status::DataLoss("op payload: expected '" + std::string(1, c) +
@@ -90,6 +93,12 @@ class Cursor {
     STRDB_ASSIGN_OR_RETURN(int64_t k, ReadNumber());
     if (k < 0 || k > 1'000'000) {
       return Status::DataLoss("op payload: absurd tuple arity");
+    }
+    // Each component costs at least " 0:" (3 bytes), so an arity the
+    // remaining payload cannot possibly hold is corruption — reject it
+    // before reserve() turns it into an allocation.
+    if (static_cast<size_t>(k) > Remaining() / 3) {
+      return Status::DataLoss("op payload: tuple arity exceeds payload size");
     }
     Tuple tuple;
     tuple.reserve(static_cast<size_t>(k));
@@ -149,6 +158,25 @@ std::string EncodeFsa(const std::string& key, const std::string& fsa_text) {
   return out;
 }
 
+namespace {
+
+std::string EncodeSpill(const CatalogOp& op) {
+  std::string out = "spl ";
+  AppendLenPrefixed(&out, op.name);
+  out.push_back(' ');
+  out.append(std::to_string(op.arity));
+  out.push_back(' ');
+  out.append(std::to_string(op.max_string_length));
+  out.push_back(' ');
+  out.append(std::to_string(op.tuple_count));
+  out.push_back(' ');
+  AppendLenPrefixed(&out, op.file);
+  out.push_back('\n');
+  return out;
+}
+
+}  // namespace
+
 std::string EncodeOp(const CatalogOp& op) {
   switch (op.kind) {
     case CatalogOp::kPut: {
@@ -168,6 +196,8 @@ std::string EncodeOp(const CatalogOp& op) {
       return EncodeDrop(op.name);
     case CatalogOp::kFsa:
       return EncodeFsa(op.key, op.fsa_text);
+    case CatalogOp::kSpill:
+      return EncodeSpill(op);
   }
   return "";
 }
@@ -191,6 +221,14 @@ Result<CatalogOp> DecodeOp(const std::string& payload) {
     }
     STRDB_ASSIGN_OR_RETURN(int64_t count, cur.ReadNumber());
     STRDB_RETURN_IF_ERROR(cur.ExpectChar('\n'));
+    // ReadNumber admits anything up to 2^40; a corrupt-but-checksummed
+    // count that large would make the reserve() below throw bad_alloc
+    // and crash recovery.  Every tuple line costs at least "u 0\n"
+    // (4 bytes), so a count the remaining payload cannot hold is
+    // kDataLoss, same as any other malformed byte.
+    if (static_cast<size_t>(count) > cur.Remaining() / 4) {
+      return Status::DataLoss("op payload: tuple count exceeds payload size");
+    }
     op.tuples.reserve(static_cast<size_t>(count));
     for (int64_t i = 0; i < count; ++i) {
       STRDB_ASSIGN_OR_RETURN(Tuple t, cur.ReadTuple());
@@ -207,6 +245,24 @@ Result<CatalogOp> DecodeOp(const std::string& payload) {
     STRDB_ASSIGN_OR_RETURN(op.key, cur.ReadLenPrefixed());
     STRDB_RETURN_IF_ERROR(cur.ExpectChar(' '));
     STRDB_ASSIGN_OR_RETURN(op.fsa_text, cur.ReadLenPrefixed());
+    STRDB_RETURN_IF_ERROR(cur.ExpectChar('\n'));
+  } else if (kind == "spl") {
+    op.kind = CatalogOp::kSpill;
+    STRDB_RETURN_IF_ERROR(cur.ExpectChar(' '));
+    STRDB_ASSIGN_OR_RETURN(op.name, cur.ReadLenPrefixed());
+    STRDB_RETURN_IF_ERROR(cur.ExpectChar(' '));
+    STRDB_ASSIGN_OR_RETURN(int64_t arity, cur.ReadNumber());
+    if (arity < 0 || arity > 1'000'000) {
+      return Status::DataLoss("op payload: absurd relation arity");
+    }
+    op.arity = static_cast<int>(arity);
+    STRDB_RETURN_IF_ERROR(cur.ExpectChar(' '));
+    STRDB_ASSIGN_OR_RETURN(int64_t maxlen, cur.ReadNumber());
+    op.max_string_length = static_cast<int>(maxlen);
+    STRDB_RETURN_IF_ERROR(cur.ExpectChar(' '));
+    STRDB_ASSIGN_OR_RETURN(op.tuple_count, cur.ReadNumber());
+    STRDB_RETURN_IF_ERROR(cur.ExpectChar(' '));
+    STRDB_ASSIGN_OR_RETURN(op.file, cur.ReadLenPrefixed());
     STRDB_RETURN_IF_ERROR(cur.ExpectChar('\n'));
   } else {
     return Status::DataLoss("op payload: unknown op kind '" + kind + "'");
@@ -231,6 +287,9 @@ Status ApplyOp(const CatalogOp& op, const Alphabet& alphabet, Database* db,
       (*automata)[op.key] = op.fsa_text;
       return Status::OK();
     }
+    case CatalogOp::kSpill:
+      return Status::Internal(
+          "spill op requires storage context (CatalogStore handles it)");
   }
   return Status::Internal("unreachable op kind");
 }

@@ -20,14 +20,20 @@ struct CatalogOp {
     kInsert,  // add tuples to an existing relation
     kDrop,    // remove a relation
     kFsa,     // install a cached automaton (serialized text) under a key
+    kSpill,   // snapshot-only: relation lives out-of-core in a heap file
   };
 
   Kind kind = kPut;
-  std::string name;           // kPut / kInsert / kDrop: relation name
-  int arity = 0;              // kPut
+  std::string name;           // kPut / kInsert / kDrop / kSpill
+  int arity = 0;              // kPut / kSpill
   std::vector<Tuple> tuples;  // kPut / kInsert
   std::string key;            // kFsa: artifact-cache key
   std::string fsa_text;       // kFsa: SerializeFsa output (self-checksummed)
+  // kSpill: expected shape of the heap file (cross-checked against its
+  // header at recovery) and its basename inside the store directory.
+  int64_t tuple_count = 0;
+  int max_string_length = 0;
+  std::string file;
 };
 
 // Text encoding, binary-safe via length prefixes: every caller-chosen
@@ -39,6 +45,7 @@ struct CatalogOp {
 //   ins <len>:<name> <ntuples>\n          then tuple lines as above
 //   drop <len>:<name>\n
 //   fsa <len>:<key> <len>:<serialized-text>\n
+//   spl <len>:<name> <arity> <maxlen> <ntuples> <len>:<heap-file>\n
 std::string EncodePut(const std::string& name, const StringRelation& relation);
 std::string EncodeInsert(const std::string& name,
                          const std::vector<Tuple>& tuples);
@@ -54,7 +61,9 @@ Result<CatalogOp> DecodeOp(const std::string& payload);
 // Applies `op` to the in-memory catalog.  kFsa ops verify the embedded
 // automaton against `alphabet` (version + checksum + body) before
 // installing, so a corrupt machine can never re-enter the system through
-// recovery.
+// recovery.  kSpill needs storage context (a buffer pool and the store
+// directory) and is handled by CatalogStore itself; passing one here is
+// kInternal.
 Status ApplyOp(const CatalogOp& op, const Alphabet& alphabet, Database* db,
                std::map<std::string, std::string>* automata);
 

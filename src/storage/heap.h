@@ -1,0 +1,106 @@
+#ifndef STRDB_STORAGE_HEAP_H_
+#define STRDB_STORAGE_HEAP_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/io/env.h"
+#include "core/result.h"
+#include "relational/relation.h"
+#include "relational/tuple_source.h"
+#include "storage/pager.h"
+
+namespace strdb {
+
+// On-disk paged heap for one relation (DESIGN.md §10), after RDF-3X's
+// buildrdfstore: strings live once in a dictionary, tuples are fixed-
+// width rows of u32 dictionary ids in sorted runs, and a run directory
+// carries per-run min/max first-component prefixes so a selective scan
+// can skip whole runs without touching them.
+//
+// File layout (every page crc-framed by AppendPage):
+//   page 0                     header
+//   [dict index pages]         u64 byte offsets into the dict data region
+//   [dict data pages]          logical byte stream of (u32 len + bytes)
+//                              entries, in id order; entries may span
+//                              page boundaries
+//   [run directory pages]      fixed 24-byte entries: u32 row_count,
+//                              u32 reserved, char min[8], char max[8]
+//   [run pages]                one run per page: row_count rows of
+//                              arity × u32 ids
+//
+// Dictionary ids are assigned in sorted string order, so comparing ids
+// compares strings — id-row order is string-tuple order and the runs
+// stream out in lexicographic order with no duplicates.
+
+// Per-run directory entry, decoded at Open.
+struct RunInfo {
+  int64_t row_count = 0;
+  // First-component min/max, truncated to 8 bytes and NUL-padded: a
+  // sparse index good enough to skip runs for prefix-bounded σ_A.
+  char min_prefix[8];
+  char max_prefix[8];
+};
+
+// Serialises `rel` into the paged heap format and writes it through
+// `env` as `path` (truncating).  The caller is responsible for the
+// write-temp → fsync → rename commit dance; this writes and syncs only.
+Status WritePagedHeap(Env* env, const std::string& path,
+                      const StringRelation& rel);
+
+// A read-only view of a heap file through a BufferPool.  All reads are
+// page-at-a-time via the pool, so a scan's resident set is O(1) pages
+// regardless of relation size.  Thread safe (the pool serialises).
+class PagedHeap : public TupleSource {
+ public:
+  // Reads and validates the header + run directory (a handful of
+  // pages); tuple pages are only touched by Scan.
+  static Result<std::shared_ptr<const PagedHeap>> Open(BufferPool* pool,
+                                                       std::string path);
+
+  int arity() const override { return arity_; }
+  int64_t tuple_count() const override { return tuple_count_; }
+  int max_string_length() const override { return max_string_length_; }
+
+  // Streams runs in order; each on_batch call delivers one run's tuples.
+  Status Scan(const std::function<Status(const std::vector<Tuple>&)>& on_batch)
+      const override;
+
+  const std::vector<RunInfo>& runs() const { return runs_; }
+  const std::string& path() const { return path_; }
+  int64_t file_pages() const { return total_pages_; }
+
+  // Decodes run `index` into `out` (cleared first).
+  Status ScanRun(int64_t index, std::vector<Tuple>* out) const;
+
+ private:
+  PagedHeap(BufferPool* pool, std::string path)
+      : pool_(pool), path_(std::move(path)) {}
+
+  // Looks up dictionary entry `id` through the pool.
+  Status GetString(uint32_t id, std::string* out) const;
+  // Copies [offset, offset+n) of the logical dict data region.
+  Status ReadDictData(int64_t offset, int64_t n, std::string* out) const;
+
+  BufferPool* pool_;
+  std::string path_;
+
+  int arity_ = 0;
+  int64_t tuple_count_ = 0;
+  int max_string_length_ = 0;
+  int64_t dict_count_ = 0;
+  int64_t dict_index_first_page_ = 0;
+  int64_t dict_index_page_count_ = 0;
+  int64_t dict_data_first_page_ = 0;
+  int64_t dict_data_page_count_ = 0;
+  int64_t dict_data_bytes_ = 0;
+  int64_t run_first_page_ = 0;
+  int64_t total_pages_ = 0;
+  std::vector<RunInfo> runs_;
+};
+
+}  // namespace strdb
+
+#endif  // STRDB_STORAGE_HEAP_H_

@@ -1,0 +1,200 @@
+#include "storage/pager.h"
+
+#include <cstring>
+
+#include "core/io/crc32.h"
+#include "core/metrics.h"
+
+namespace strdb {
+
+namespace {
+
+struct PagerMetrics {
+  Counter* hits;
+  Counter* misses;
+  Counter* evictions;
+  Gauge* bytes_cached;
+  Gauge* bytes_pinned;
+  Gauge* peak_bytes_pinned;
+
+  static PagerMetrics& Get() {
+    static PagerMetrics* m = [] {
+      auto* metrics = new PagerMetrics();
+      MetricsRegistry& reg = MetricsRegistry::Global();
+      metrics->hits = reg.GetCounter("storage.pager.hits");
+      metrics->misses = reg.GetCounter("storage.pager.misses");
+      metrics->evictions = reg.GetCounter("storage.pager.evictions");
+      metrics->bytes_cached = reg.GetGauge("storage.pager.bytes_cached");
+      metrics->bytes_pinned = reg.GetGauge("storage.pager.bytes_pinned");
+      metrics->peak_bytes_pinned =
+          reg.GetGauge("storage.pager.bytes_pinned_peak");
+      return metrics;
+    }();
+    return *m;
+  }
+};
+
+}  // namespace
+
+void AppendPage(const std::string& payload, std::string* out) {
+  std::string page = payload;
+  page.resize(static_cast<size_t>(kPagePayload), '\0');
+  uint32_t crc = Crc32(page);
+  char trailer[4] = {static_cast<char>(crc & 0xff),
+                     static_cast<char>((crc >> 8) & 0xff),
+                     static_cast<char>((crc >> 16) & 0xff),
+                     static_cast<char>((crc >> 24) & 0xff)};
+  out->append(page);
+  out->append(trailer, 4);
+}
+
+struct BufferPool::Frame {
+  Key key;
+  std::string payload;  // kPagePayload bytes
+  int pins = 0;
+  // Position in lru_ when pins == 0 (frames under a pin are not listed).
+  std::list<Frame*>::iterator lru_pos;
+  bool in_lru = false;
+};
+
+BufferPool::BufferPool(BufferPoolOptions options)
+    : options_(options),
+      env_(options.env != nullptr ? options.env : Env::Posix()) {}
+
+BufferPool::~BufferPool() = default;
+
+Result<PageRef> BufferPool::Pin(const std::string& path, int64_t page_index) {
+  PagerMetrics& metrics = PagerMetrics::Get();
+  Key key{path, page_index};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = frames_.find(key);
+    if (it != frames_.end()) {
+      Frame* frame = it->second.get();
+      if (frame->in_lru) {
+        lru_.erase(frame->lru_pos);
+        frame->in_lru = false;
+      }
+      if (frame->pins++ == 0) {
+        stats_.bytes_pinned += kPageSize;
+        if (stats_.bytes_pinned > stats_.peak_bytes_pinned) {
+          stats_.peak_bytes_pinned = stats_.bytes_pinned;
+        }
+      }
+      stats_.hits++;
+      metrics.hits->Increment();
+      metrics.bytes_pinned->Set(stats_.bytes_pinned);
+      metrics.peak_bytes_pinned->Set(stats_.peak_bytes_pinned);
+      return PageRef(this, frame);
+    }
+  }
+
+  // Miss: read + verify outside the lock so slow I/O does not serialise
+  // unrelated pins.
+  STRDB_ASSIGN_OR_RETURN(
+      std::string page, env_->ReadAt(path, page_index * kPageSize, kPageSize));
+  uint32_t expect = static_cast<uint8_t>(page[kPagePayload]) |
+                    (static_cast<uint32_t>(
+                         static_cast<uint8_t>(page[kPagePayload + 1]))
+                     << 8) |
+                    (static_cast<uint32_t>(
+                         static_cast<uint8_t>(page[kPagePayload + 2]))
+                     << 16) |
+                    (static_cast<uint32_t>(
+                         static_cast<uint8_t>(page[kPagePayload + 3]))
+                     << 24);
+  page.resize(static_cast<size_t>(kPagePayload));
+  if (Crc32(page) != expect) {
+    return Status::DataLoss("page " + std::to_string(page_index) + " of '" +
+                            path + "': checksum mismatch");
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = frames_.find(key);
+  if (it == frames_.end()) {
+    auto frame = std::make_unique<Frame>();
+    frame->key = key;
+    frame->payload = std::move(page);
+    it = frames_.emplace(key, std::move(frame)).first;
+    stats_.bytes_cached += kPageSize;
+    stats_.misses++;
+    metrics.misses->Increment();
+    EvictUntilFitsLocked();
+  } else {
+    // A concurrent pin loaded it first; ours was wasted work.
+    stats_.hits++;
+    metrics.hits->Increment();
+  }
+  Frame* frame = it->second.get();
+  if (frame->in_lru) {
+    lru_.erase(frame->lru_pos);
+    frame->in_lru = false;
+  }
+  if (frame->pins++ == 0) {
+    stats_.bytes_pinned += kPageSize;
+    if (stats_.bytes_pinned > stats_.peak_bytes_pinned) {
+      stats_.peak_bytes_pinned = stats_.bytes_pinned;
+    }
+  }
+  metrics.bytes_cached->Set(stats_.bytes_cached);
+  metrics.bytes_pinned->Set(stats_.bytes_pinned);
+  metrics.peak_bytes_pinned->Set(stats_.peak_bytes_pinned);
+  return PageRef(this, frame);
+}
+
+void BufferPool::Unpin(void* opaque) {
+  PagerMetrics& metrics = PagerMetrics::Get();
+  std::lock_guard<std::mutex> lock(mu_);
+  Frame* frame = static_cast<Frame*>(opaque);
+  if (--frame->pins == 0) {
+    stats_.bytes_pinned -= kPageSize;
+    frame->lru_pos = lru_.insert(lru_.end(), frame);
+    frame->in_lru = true;
+    EvictUntilFitsLocked();
+    metrics.bytes_pinned->Set(stats_.bytes_pinned);
+    metrics.bytes_cached->Set(stats_.bytes_cached);
+  }
+}
+
+void BufferPool::EvictUntilFitsLocked() {
+  PagerMetrics& metrics = PagerMetrics::Get();
+  while (stats_.bytes_cached > options_.capacity_bytes && !lru_.empty()) {
+    Frame* victim = lru_.front();
+    lru_.pop_front();
+    frames_.erase(victim->key);  // frees victim
+    stats_.bytes_cached -= kPageSize;
+    stats_.evictions++;
+    metrics.evictions->Increment();
+  }
+  metrics.bytes_cached->Set(stats_.bytes_cached);
+}
+
+void BufferPool::Clear() {
+  PagerMetrics& metrics = PagerMetrics::Get();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Frame* frame : lru_) {
+    frames_.erase(frame->key);
+    stats_.bytes_cached -= kPageSize;
+  }
+  lru_.clear();
+  metrics.bytes_cached->Set(stats_.bytes_cached);
+}
+
+PagerStats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+const std::string& PageRef::data() const {
+  return static_cast<BufferPool::Frame*>(frame_)->payload;
+}
+
+void PageRef::Release() {
+  if (pool_ != nullptr && frame_ != nullptr) {
+    pool_->Unpin(frame_);
+  }
+  pool_ = nullptr;
+  frame_ = nullptr;
+}
+
+}  // namespace strdb

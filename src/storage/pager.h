@@ -1,0 +1,131 @@
+#ifndef STRDB_STORAGE_PAGER_H_
+#define STRDB_STORAGE_PAGER_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "core/io/env.h"
+#include "core/result.h"
+
+namespace strdb {
+
+// Fixed page geometry, after RDF-3X's BufferManager: every paged file is
+// a whole number of 16 KiB pages, each carrying its own crc32 trailer so
+// corruption is detected at page granularity (one flipped byte poisons
+// one page's reads, not the whole file).
+inline constexpr int64_t kPageSize = 16 * 1024;
+inline constexpr int64_t kPagePayload = kPageSize - 4;  // u32 crc trailer
+
+// Pads `payload` (at most kPagePayload bytes) to a full page with NULs,
+// appends the crc trailer, and appends the page to `out`.
+void AppendPage(const std::string& payload, std::string* out);
+
+// A pinned page: while a PageRef is live the page cannot be evicted and
+// data() stays valid.  Move-only RAII — destruction unpins.
+class BufferPool;
+class PageRef {
+ public:
+  PageRef() = default;
+  ~PageRef() { Release(); }
+
+  PageRef(PageRef&& other) noexcept
+      : pool_(other.pool_), frame_(other.frame_) {
+    other.pool_ = nullptr;
+    other.frame_ = nullptr;
+  }
+  PageRef& operator=(PageRef&& other) noexcept {
+    if (this != &other) {
+      Release();
+      pool_ = other.pool_;
+      frame_ = other.frame_;
+      other.pool_ = nullptr;
+      other.frame_ = nullptr;
+    }
+    return *this;
+  }
+  PageRef(const PageRef&) = delete;
+  PageRef& operator=(const PageRef&) = delete;
+
+  // The page payload (kPagePayload bytes, crc already verified).
+  const std::string& data() const;
+  explicit operator bool() const { return frame_ != nullptr; }
+
+ private:
+  friend class BufferPool;
+  PageRef(BufferPool* pool, void* frame) : pool_(pool), frame_(frame) {}
+  void Release();
+
+  BufferPool* pool_ = nullptr;
+  void* frame_ = nullptr;
+};
+
+struct BufferPoolOptions {
+  // Filesystem seam; nullptr = Env::Posix().  Reads go through
+  // Env::ReadAt so FaultInjectingEnv crash sweeps cover page fetches.
+  Env* env = nullptr;
+  // Bound on resident page bytes (pinned + cached).  Eviction frees
+  // unpinned pages LRU-first; pinned pages are never evicted, so a
+  // caller holding many pins can transiently exceed the cap (the scan
+  // operators pin O(1) pages at a time precisely so they do not).
+  int64_t capacity_bytes = 4 << 20;
+};
+
+// Counters for one pool.  The same numbers are mirrored into the global
+// MetricsRegistry under storage.pager.* so the shell/server `pager` verb
+// and tests can observe them.
+struct PagerStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t evictions = 0;
+  int64_t bytes_cached = 0;       // resident page bytes right now
+  int64_t bytes_pinned = 0;       // subset of bytes_cached under a pin
+  int64_t peak_bytes_pinned = 0;  // high-water mark of bytes_pinned
+};
+
+// A byte-bounded page cache over Env files.  Thread safe: server
+// sessions stream scans through one shared pool.  Pages verify their
+// crc once at load; a failed check is kDataLoss and nothing is cached.
+class BufferPool {
+ public:
+  explicit BufferPool(BufferPoolOptions options);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // Pins page `page_index` (0-based) of `path`, loading it on miss.
+  Result<PageRef> Pin(const std::string& path, int64_t page_index);
+
+  // Drops every unpinned cached page (a retired file generation's pages
+  // must not serve a same-named successor).  Pinned pages survive.
+  void Clear();
+
+  PagerStats stats() const;
+  int64_t capacity_bytes() const { return options_.capacity_bytes; }
+
+ private:
+  struct Frame;
+  using Key = std::pair<std::string, int64_t>;
+
+  friend class PageRef;
+  void Unpin(void* frame);
+  void EvictUntilFitsLocked();
+
+  const BufferPoolOptions options_;
+  Env* const env_;
+
+  mutable std::mutex mu_;
+  std::map<Key, std::unique_ptr<Frame>> frames_;
+  // LRU over *unpinned* frames only; front = coldest.
+  std::list<Frame*> lru_;
+  PagerStats stats_;
+};
+
+}  // namespace strdb
+
+#endif  // STRDB_STORAGE_PAGER_H_

@@ -16,7 +16,8 @@ void AppendLenPrefixed(std::string* out, const std::string& s) {
 }
 
 std::string RenderSnapshot(const Database& db,
-                           const std::map<std::string, std::string>& automata) {
+                           const std::map<std::string, std::string>& automata,
+                           const std::vector<CatalogOp>* spills) {
   std::string out = "strdbsnap ";
   out.append(std::to_string(kSnapshotFormatVersion));
   out.push_back('\n');
@@ -32,6 +33,9 @@ std::string RenderSnapshot(const Database& db,
   ops.reserve(db.relations().size() + automata.size());
   for (const auto& [name, rel] : db.relations()) {
     ops.push_back(EncodePut(name, rel));
+  }
+  if (spills != nullptr) {
+    for (const CatalogOp& op : *spills) ops.push_back(EncodeOp(op));
   }
   for (const auto& [key, text] : automata) {
     ops.push_back(EncodeFsa(key, text));
@@ -58,8 +62,9 @@ Status WriteSnapshot(Env* env, const std::string& dir,
                      const std::string& tmp_path, const std::string& path,
                      const Database& db,
                      const std::map<std::string, std::string>& automata,
-                     const RetryPolicy& retry, int64_t* io_retries) {
-  std::string content = RenderSnapshot(db, automata);
+                     const RetryPolicy& retry, int64_t* io_retries,
+                     const std::vector<CatalogOp>* spills) {
+  std::string content = RenderSnapshot(db, automata, spills);
   std::unique_ptr<WritableFile> file;
   STRDB_RETURN_IF_ERROR(RetryIo(env, retry, io_retries, [&] {
     auto opened = env->NewWritableFile(tmp_path, /*truncate=*/true);
@@ -82,7 +87,8 @@ Status WriteSnapshot(Env* env, const std::string& dir,
 
 Status ReadSnapshot(Env* env, const std::string& path, Database* db,
                     std::map<std::string, std::string>* automata,
-                    const RetryPolicy& retry, int64_t* io_retries) {
+                    const RetryPolicy& retry, int64_t* io_retries,
+                    std::vector<CatalogOp>* spills) {
   std::string data;
   STRDB_RETURN_IF_ERROR(RetryIo(env, retry, io_retries, [&] {
     auto read = env->ReadFile(path);
@@ -201,7 +207,15 @@ Status ReadSnapshot(Env* env, const std::string& path, Database* db,
     }
     ++pos;
     STRDB_ASSIGN_OR_RETURN(CatalogOp op, DecodeOp(payload));
-    STRDB_RETURN_IF_ERROR(ApplyOp(op, db->alphabet(), db, automata));
+    if (op.kind == CatalogOp::kSpill && spills != nullptr) {
+      if (db->Has(op.name)) {
+        return Status::DataLoss("snapshot '" + path + "': relation '" +
+                                op.name + "' both inline and spilled");
+      }
+      spills->push_back(std::move(op));
+    } else {
+      STRDB_RETURN_IF_ERROR(ApplyOp(op, db->alphabet(), db, automata));
+    }
     ++seen;
   }
   if (seen != declared) {

@@ -5,10 +5,13 @@
 #include <map>
 #include <string>
 
+#include <vector>
+
 #include "core/alphabet.h"
 #include "core/io/env.h"
 #include "core/result.h"
 #include "relational/relation.h"
+#include "storage/codec.h"
 #include "storage/retry.h"
 
 namespace strdb {
@@ -30,19 +33,27 @@ inline constexpr int kSnapshotFormatVersion = 1;
 // trim.
 
 // Writes the catalog to `path` via `tmp_path` (same directory) and
-// fsyncs `dir` so the rename survives a crash.
+// fsyncs `dir` so the rename survives a crash.  `spills` (may be null)
+// adds kSpill ops for relations living out-of-core in heap files — the
+// heap files themselves must already be durably in place, since CURRENT
+// flipping to this snapshot makes them live.
 Status WriteSnapshot(Env* env, const std::string& dir,
                      const std::string& tmp_path, const std::string& path,
                      const Database& db,
                      const std::map<std::string, std::string>& automata,
-                     const RetryPolicy& retry, int64_t* io_retries = nullptr);
+                     const RetryPolicy& retry, int64_t* io_retries = nullptr,
+                     const std::vector<CatalogOp>* spills = nullptr);
 
 // Loads `path` into `db` (which must be empty) and `automata`.
 // kDataLoss on corruption, kUnimplemented on a version mismatch,
 // kInvalidArgument when the stored alphabet differs from `db`'s.
+// kSpill ops are collected into `spills` for the caller (CatalogStore)
+// to open; a snapshot containing them is unreadable when `spills` is
+// null (kInternal via ApplyOp).
 Status ReadSnapshot(Env* env, const std::string& path, Database* db,
                     std::map<std::string, std::string>* automata,
-                    const RetryPolicy& retry, int64_t* io_retries = nullptr);
+                    const RetryPolicy& retry, int64_t* io_retries = nullptr,
+                    std::vector<CatalogOp>* spills = nullptr);
 
 }  // namespace strdb
 

@@ -1,6 +1,7 @@
 #include "storage/store.h"
 
 #include <algorithm>
+#include <set>
 #include <sstream>
 
 #include "core/metrics.h"
@@ -59,6 +60,19 @@ int64_t CountTuples(const Database& db) {
   return n;
 }
 
+// Rough in-memory footprint of a relation, the quantity the spill
+// threshold compares against: string payloads plus container overhead.
+int64_t ApproxBytes(const StringRelation& rel) {
+  int64_t bytes = 0;
+  for (const Tuple& t : rel.tuples()) {
+    bytes += 32;
+    for (const std::string& s : t) {
+      bytes += 32 + static_cast<int64_t>(s.size());
+    }
+  }
+  return bytes;
+}
+
 }  // namespace
 
 std::string RecoveryReport::ToString() const {
@@ -75,6 +89,10 @@ std::string RecoveryReport::ToString() const {
   if (wal_records_dropped > 0) {
     out << ", " << wal_records_dropped << " intact record(s) dropped";
   }
+  if (spilled_relations > 0) {
+    out << "; " << spilled_relations << " spilled relation(s) ("
+        << spilled_tuples << " tuple(s)) recovered as paged heaps";
+  }
   if (io_retries > 0) out << "; " << io_retries << " transient I/O retry(ies)";
   return out.str();
 }
@@ -84,7 +102,12 @@ CatalogStore::CatalogStore(std::string dir, const Alphabet& alphabet,
     : dir_(std::move(dir)),
       options_(options),
       env_(options.env != nullptr ? options.env : Env::Posix()),
-      db_(alphabet) {}
+      db_(alphabet) {
+  BufferPoolOptions pool_options;
+  pool_options.env = env_;
+  pool_options.capacity_bytes = options.pager_capacity_bytes;
+  pool_ = std::make_unique<BufferPool>(pool_options);
+}
 
 CatalogStore::~CatalogStore() { Close(); }
 
@@ -106,12 +129,48 @@ std::shared_ptr<const Database> CatalogStore::SnapshotDb() const {
   return snapshot_;
 }
 
+std::shared_ptr<const PagedSet> CatalogStore::PagedDb() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return paged_snapshot_;
+}
+
+void CatalogStore::SnapshotState(std::shared_ptr<const Database>* db,
+                                 std::shared_ptr<const PagedSet>* paged) const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  *db = snapshot_;
+  *paged = paged_snapshot_;
+}
+
 void CatalogStore::PublishSnapshotLocked() {
   // Copy outside snapshot_mu_ so readers grabbing the previous snapshot
   // only ever wait behind a pointer swap, never behind the copy.
   auto fresh = std::make_shared<const Database>(db_);
+  auto fresh_paged = std::make_shared<const PagedSet>(paged_);
   std::lock_guard<std::mutex> lock(snapshot_mu_);
   snapshot_ = std::move(fresh);
+  paged_snapshot_ = std::move(fresh_paged);
+}
+
+Status CatalogStore::MaterializePagedLocked(const std::string& name) {
+  auto it = paged_.find(name);
+  if (it == paged_.end()) {
+    return Status::Internal("relation '" + name + "' is not paged");
+  }
+  STRDB_ASSIGN_OR_RETURN(StringRelation rel, it->second->Materialize());
+  STRDB_RETURN_IF_ERROR(db_.Put(name, std::move(rel)));
+  DiscardPagedLocked(name);
+  return Status::OK();
+}
+
+void CatalogStore::DiscardPagedLocked(const std::string& name) {
+  auto it = spill_ops_.find(name);
+  if (it != spill_ops_.end()) {
+    // The live snapshot still references the file; it only becomes
+    // removable once the next checkpoint's snapshot stops mentioning it.
+    garbage_heaps_.push_back(it->second.file);
+    spill_ops_.erase(it);
+  }
+  paged_.erase(name);
 }
 
 Result<std::unique_ptr<CatalogStore>> CatalogStore::Open(
@@ -163,12 +222,50 @@ Status CatalogStore::OpenInternal(RecoveryReport* report) {
     }
   }
 
-  // Load the live snapshot, if any.
+  // Load the live snapshot, if any.  kSpill ops come back separately:
+  // only the store knows how to open heap files.
+  std::vector<CatalogOp> spills;
   if (generation_ > 0) {
     STRDB_RETURN_IF_ERROR(ReadSnapshot(env_, SnapPath(generation_), &db_,
                                        &automata_, options_.retry,
-                                       &io_retries_));
+                                       &io_retries_, &spills));
     report->snapshot_loaded = true;
+  }
+
+  // Open every spilled relation and cross-check the heap header against
+  // the snapshot's record of it — a mismatch means the file on disk is
+  // not the one the snapshot committed.
+  std::set<std::string> referenced_heaps;
+  for (CatalogOp& op : spills) {
+    referenced_heaps.insert(op.file);
+    if (db_.Has(op.name) || paged_.count(op.name) > 0) {
+      return Status::DataLoss("snapshot lists relation '" + op.name +
+                              "' twice");
+    }
+    STRDB_ASSIGN_OR_RETURN(std::shared_ptr<const PagedHeap> heap,
+                           PagedHeap::Open(pool_.get(), dir_ + "/" + op.file));
+    if (heap->arity() != op.arity || heap->tuple_count() != op.tuple_count ||
+        heap->max_string_length() != op.max_string_length) {
+      return Status::DataLoss("heap file '" + op.file +
+                              "' does not match snapshot record for '" +
+                              op.name + "'");
+    }
+    report->spilled_relations++;
+    report->spilled_tuples += op.tuple_count;
+    paged_[op.name] = heap;
+    spill_ops_[op.name] = std::move(op);
+  }
+
+  // Sweep heap files the live snapshot does not reference (a crashed
+  // checkpoint's half-spilled output, or heaps whose relation was later
+  // dropped).  Best effort, like the generation sweep above.
+  auto heap_listing = env_->ListDir(dir_);
+  if (heap_listing.ok()) {
+    for (const std::string& name : *heap_listing) {
+      if (name.rfind("heap-", 0) == 0 && referenced_heaps.count(name) == 0) {
+        env_->Remove(dir_ + "/" + name);
+      }
+    }
   }
 
   // Replay the WAL, salvaging whatever prefix survived.
@@ -182,9 +279,25 @@ Status CatalogStore::OpenInternal(RecoveryReport* report) {
     std::string cut_why = salvage.tail_error;
     for (const WalRecord& record : salvage.records) {
       Result<CatalogOp> op = DecodeOp(record.payload);
-      Status applied =
-          op.ok() ? ApplyOp(*op, db_.alphabet(), &db_, &automata_)
-                  : op.status();
+      Status applied;
+      if (!op.ok()) {
+        applied = op.status();
+      } else if (op->kind == CatalogOp::kDrop && paged_.count(op->name) > 0) {
+        DiscardPagedLocked(op->name);
+        applied = Status::OK();
+      } else {
+        // A put replaces a spilled relation outright; an insert must
+        // first pull it back in memory.  Heap I/O failing here is an
+        // open failure (the snapshot itself is unusable), not a corrupt
+        // WAL tail to trim.
+        if (op->kind == CatalogOp::kPut && paged_.count(op->name) > 0) {
+          DiscardPagedLocked(op->name);
+        } else if (op->kind == CatalogOp::kInsert &&
+                   paged_.count(op->name) > 0) {
+          STRDB_RETURN_IF_ERROR(MaterializePagedLocked(op->name));
+        }
+        applied = ApplyOp(*op, db_.alphabet(), &db_, &automata_);
+      }
       if (!applied.ok()) {
         // A record that frames correctly but does not decode or apply
         // cannot have been produced by a healthy writer against the
@@ -246,6 +359,7 @@ Status CatalogStore::PutRelation(const std::string& name, int arity,
   }
   std::lock_guard<std::mutex> lock(mu_);
   STRDB_RETURN_IF_ERROR(CommitPayload(EncodePut(name, rel)));
+  if (paged_.count(name) > 0) DiscardPagedLocked(name);  // put replaces
   STRDB_RETURN_IF_ERROR(db_.Put(name, std::move(rel)));
   PublishSnapshotLocked();
   return Status::OK();
@@ -254,6 +368,13 @@ Status CatalogStore::PutRelation(const std::string& name, int arity,
 Status CatalogStore::InsertTuples(const std::string& name,
                                   std::vector<Tuple> tuples) {
   std::lock_guard<std::mutex> lock(mu_);
+  // Inserting into a spilled relation pulls it back in memory first (it
+  // re-spills at the next checkpoint if still over threshold).  Done
+  // before the WAL commit so the durable order matches the in-memory
+  // order a replay reproduces.
+  if (paged_.count(name) > 0) {
+    STRDB_RETURN_IF_ERROR(MaterializePagedLocked(name));
+  }
   STRDB_ASSIGN_OR_RETURN(const StringRelation* rel, db_.Get(name));
   for (const Tuple& t : tuples) {
     if (static_cast<int>(t.size()) != rel->arity()) {
@@ -276,11 +397,16 @@ Status CatalogStore::InsertTuples(const std::string& name,
 
 Status CatalogStore::DropRelation(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (!db_.Has(name)) {
+  bool paged = paged_.count(name) > 0;
+  if (!paged && !db_.Has(name)) {
     return Status::NotFound("relation '" + name + "' not in database");
   }
   STRDB_RETURN_IF_ERROR(CommitPayload(EncodeDrop(name)));
-  STRDB_RETURN_IF_ERROR(db_.Remove(name));
+  if (paged) {
+    DiscardPagedLocked(name);
+  } else {
+    STRDB_RETURN_IF_ERROR(db_.Remove(name));
+  }
   PublishSnapshotLocked();
   return Status::OK();
 }
@@ -307,10 +433,65 @@ Status CatalogStore::Checkpoint() {
   if (wal_ == nullptr) return Status::Internal("store is closed");
   int64_t next = generation_ + 1;
 
+  // 0. Spill phase: write heap files for over-threshold relations, each
+  // committed tmp → fsync → rename *before* the snapshot that references
+  // them exists.  A crash anywhere leaves the old generation live and
+  // the new heap files as unreferenced orphans for Open() to sweep.
+  // Nothing in db_/paged_ mutates until the whole checkpoint commits.
+  std::vector<CatalogOp> new_spill_ops;
+  std::map<std::string, std::shared_ptr<const TupleSource>> new_paged;
+  if (options_.spill_threshold_bytes > 0) {
+    int64_t seq = 0;
+    for (const auto& [name, rel] : db_.relations()) {
+      if (ApproxBytes(rel) < options_.spill_threshold_bytes) continue;
+      CatalogOp op;
+      op.kind = CatalogOp::kSpill;
+      op.name = name;
+      op.arity = rel.arity();
+      op.max_string_length = rel.MaxStringLength();
+      op.tuple_count = rel.size();
+      op.file = "heap-" + std::to_string(next) + "-" + std::to_string(seq++);
+      std::string tmp = dir_ + "/tmp-" + op.file;
+      STRDB_RETURN_IF_ERROR(WritePagedHeap(env_, tmp, rel));
+      STRDB_RETURN_IF_ERROR(RetryIo(env_, options_.retry, &io_retries_, [&] {
+        return env_->Rename(tmp, dir_ + "/" + op.file);
+      }));
+      new_spill_ops.push_back(std::move(op));
+    }
+    if (!new_spill_ops.empty()) {
+      STRDB_RETURN_IF_ERROR(RetryIo(env_, options_.retry, &io_retries_,
+                                    [&] { return env_->SyncDir(dir_); }));
+      for (const CatalogOp& op : new_spill_ops) {
+        STRDB_ASSIGN_OR_RETURN(
+            std::shared_ptr<const PagedHeap> heap,
+            PagedHeap::Open(pool_.get(), dir_ + "/" + op.file));
+        new_paged[op.name] = heap;
+      }
+    }
+  }
+
+  // The snapshot carries still-spilled relations as kSpill records and
+  // the newly spilled ones the same way — their tuples stay out of it.
+  std::vector<CatalogOp> spills;
+  spills.reserve(spill_ops_.size() + new_spill_ops.size());
+  for (const auto& [name, op] : spill_ops_) spills.push_back(op);
+  for (const CatalogOp& op : new_spill_ops) spills.push_back(op);
+
   // 1. Materialise the snapshot file (atomic: temp + fsync + rename).
-  STRDB_RETURN_IF_ERROR(WriteSnapshot(
-      env_, dir_, dir_ + "/tmp-snap-" + std::to_string(next), SnapPath(next),
-      db_, automata_, options_.retry, &io_retries_));
+  if (new_spill_ops.empty()) {
+    STRDB_RETURN_IF_ERROR(WriteSnapshot(
+        env_, dir_, dir_ + "/tmp-snap-" + std::to_string(next), SnapPath(next),
+        db_, automata_, options_.retry, &io_retries_,
+        spills.empty() ? nullptr : &spills));
+  } else {
+    Database pruned = db_;
+    for (const CatalogOp& op : new_spill_ops) {
+      STRDB_RETURN_IF_ERROR(pruned.Remove(op.name));
+    }
+    STRDB_RETURN_IF_ERROR(WriteSnapshot(
+        env_, dir_, dir_ + "/tmp-snap-" + std::to_string(next), SnapPath(next),
+        pruned, automata_, options_.retry, &io_retries_, &spills));
+  }
 
   // 2. Flip CURRENT — the commit point of the checkpoint.
   {
@@ -344,10 +525,27 @@ Status CatalogStore::Checkpoint() {
                                      options_.retry);
   STRDB_RETURN_IF_ERROR(wal_->Open(/*truncate=*/true, &io_retries_));
 
-  // 4. Best-effort cleanup of the previous generation.
+  // 4. Best-effort cleanup of the previous generation, plus heap files
+  // the new snapshot no longer references.
   if (generation_ > 0) env_->Remove(SnapPath(generation_));
   env_->Remove(WalPath(generation_));
+  for (const std::string& file : garbage_heaps_) {
+    env_->Remove(dir_ + "/" + file);
+  }
+  garbage_heaps_.clear();
   env_->SyncDir(dir_);
+
+  // 5. The checkpoint committed: newly spilled relations move out of
+  // db_ and become paged views.
+  if (!new_spill_ops.empty()) {
+    for (CatalogOp& op : new_spill_ops) {
+      Status removed = db_.Remove(op.name);
+      (void)removed;  // validated present during the spill phase
+      paged_[op.name] = new_paged[op.name];
+      spill_ops_[op.name] = std::move(op);
+    }
+    PublishSnapshotLocked();
+  }
 
   generation_ = next;
   Metrics().checkpoints->Increment();

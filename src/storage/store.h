@@ -13,6 +13,10 @@
 #include "core/result.h"
 #include "fsa/fsa.h"
 #include "relational/relation.h"
+#include "relational/tuple_source.h"
+#include "storage/codec.h"
+#include "storage/heap.h"
+#include "storage/pager.h"
 #include "storage/retry.h"
 #include "storage/wal.h"
 
@@ -27,6 +31,13 @@ struct StoreOptions {
   bool sync = true;
   // Transient-fault retry budget, applied to every individual I/O call.
   RetryPolicy retry;
+  // Relations whose approximate in-memory footprint reaches this many
+  // bytes are spilled to the paged heap format at the next Checkpoint()
+  // and stay out-of-core until mutated.  0 disables spilling.
+  int64_t spill_threshold_bytes = 0;
+  // Buffer-pool cap for reading spilled relations back (pinned + cached
+  // page bytes).
+  int64_t pager_capacity_bytes = 4 << 20;
 };
 
 // What Open() salvaged, for the shell's transcript and for tests.
@@ -42,6 +53,8 @@ struct RecoveryReport {
   int64_t tuples = 0;
   int64_t automata = 0;
   int64_t io_retries = 0;         // transient faults absorbed during open
+  int64_t spilled_relations = 0;  // relations recovered as paged heaps
+  int64_t spilled_tuples = 0;     // their tuple total (not rescanned)
 
   std::string ToString() const;
 };
@@ -96,6 +109,18 @@ class CatalogStore {
   // readers evaluate against it lock-free for as long as they hold the
   // handle.  Never null.
   std::shared_ptr<const Database> SnapshotDb() const;
+  // The spilled (out-of-core) relations as an immutable shared map,
+  // published in lockstep with SnapshotDb(): a name is in exactly one of
+  // the two.  Never null (empty map when nothing is spilled).
+  std::shared_ptr<const PagedSet> PagedDb() const;
+  // Both snapshots as one consistent pair: a checkpoint that spills a
+  // relation moves it between the two atomically w.r.t. this call, so a
+  // reader never sees a name in both maps or in neither.
+  void SnapshotState(std::shared_ptr<const Database>* db,
+                     std::shared_ptr<const PagedSet>* paged) const;
+  // Buffer-pool counters for the shell/server `pager` verb.
+  PagerStats pager_stats() const { return pool_->stats(); }
+  int64_t pager_capacity_bytes() const { return pool_->capacity_bytes(); }
   // Persisted automata: artifact-cache key -> SerializeFsa text.
   const std::map<std::string, std::string>& automata() const {
     return automata_;
@@ -129,10 +154,15 @@ class CatalogStore {
   // Write-ahead commit of one encoded op (append + fsync).  The caller
   // applies the op in memory only after this returns OK.
   Status CommitPayload(const std::string& payload);
-  // Copies db_ into a fresh immutable snapshot and installs it as the
-  // one SnapshotDb() hands out.  Called with mu_ held after every
-  // successful catalog mutation.
+  // Copies db_ (and the paged map) into fresh immutable snapshots and
+  // installs them as the ones SnapshotDb()/PagedDb() hand out.  Called
+  // with mu_ held after every successful catalog mutation.
   void PublishSnapshotLocked();
+  // Pulls a spilled relation back into db_ (its heap file becomes
+  // garbage, reclaimed at the next checkpoint or open).  With mu_ held.
+  Status MaterializePagedLocked(const std::string& name);
+  // Forgets a spilled relation without materialising (drop/replace).
+  void DiscardPagedLocked(const std::string& name);
 
   std::string SnapPath(int64_t gen) const;
   std::string WalPath(int64_t gen) const;
@@ -140,11 +170,21 @@ class CatalogStore {
   const std::string dir_;
   const StoreOptions options_;
   Env* const env_;
+  std::unique_ptr<BufferPool> pool_;
 
   mutable std::mutex mu_;
   int64_t generation_ = 0;
   Database db_;
   std::map<std::string, std::string> automata_;
+  // Spilled relations: open heap views plus the kSpill ops that re-
+  // describe them in the next snapshot.  Keys mirror each other and are
+  // disjoint from db_'s relation names.
+  PagedSet paged_;
+  std::map<std::string, CatalogOp> spill_ops_;
+  // Heap files whose relation was dropped/replaced/materialised since
+  // the last checkpoint: still referenced by the live snapshot, deleted
+  // only after the next generation flip stops referencing them.
+  std::vector<std::string> garbage_heaps_;
   std::unique_ptr<WalWriter> wal_;
   int64_t io_retries_ = 0;
 
@@ -152,6 +192,7 @@ class CatalogStore {
   // contend with mu_ (which writers hold across commit fsyncs).
   mutable std::mutex snapshot_mu_;
   std::shared_ptr<const Database> snapshot_;
+  std::shared_ptr<const PagedSet> paged_snapshot_;
 };
 
 }  // namespace strdb

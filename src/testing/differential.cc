@@ -178,6 +178,7 @@ const std::vector<const DiffTarget*>& AllTargets() {
     v->push_back(new EngineDiffTarget());
     v->push_back(new RoundtripTarget());
     v->push_back(new StorageRecoverTarget());
+    v->push_back(new PagerDiffTarget());
     v->push_back(new ServerDiffTarget());
     return v;
   }();

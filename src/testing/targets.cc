@@ -1420,5 +1420,777 @@ int64_t StorageRecoverTarget::CaseSize(const Case& c) const {
   return size;
 }
 
+// --- PagerDiffTarget --------------------------------------------------------
+
+namespace {
+
+constexpr char kPagerDir[] = "/pagerstore";
+
+// Truncation 3 (not the engine sweep's 2): spilling needs relations
+// with more than a handful of distinct tuples, and length-3 strings
+// over Σ = {a, b} give 15 distinct values per column while keeping the
+// naive reference cheap.
+EvalOptions PagerSweepOptions() {
+  EvalOptions options;
+  options.truncation = 3;
+  options.max_tuples = 20000;
+  options.max_steps = 5'000'000;
+  return options;
+}
+
+EngineOptions UnpagedEngineOptions() {
+  EngineOptions options;
+  options.enable_paged = false;
+  return options;
+}
+
+Status ApplyPagerOp(CatalogStore* store,
+                    const PagerDiffTarget::PagerOp& op) {
+  using Kind = PagerDiffTarget::PagerOp::Kind;
+  switch (op.kind) {
+    case Kind::kPut:
+      return store->PutRelation(op.name, op.arity, op.tuples);
+    case Kind::kInsert:
+      return store->InsertTuples(op.name, op.tuples);
+    case Kind::kDrop:
+      return store->DropRelation(op.name);
+    case Kind::kCheckpoint:
+      return store->Checkpoint();
+  }
+  return Status::Internal("unreachable");
+}
+
+Status ApplyPagerOpToShadow(const PagerDiffTarget::PagerOp& op,
+                            Database* db) {
+  using Kind = PagerDiffTarget::PagerOp::Kind;
+  switch (op.kind) {
+    case Kind::kPut:
+      return db->Put(op.name, op.arity, op.tuples);
+    case Kind::kInsert:
+      return db->InsertTuples(op.name, op.tuples);
+    case Kind::kDrop:
+      return db->Remove(op.name);
+    case Kind::kCheckpoint:
+      return Status::OK();
+  }
+  return Status::Internal("unreachable");
+}
+
+// The store's logical catalog with spilled relations folded back in by
+// materialisation — representation (inline vs paged) never affects the
+// comparison, only contents do.
+Result<std::string> PagedCatalogSignature(const CatalogStore& store) {
+  std::shared_ptr<const Database> snap;
+  std::shared_ptr<const PagedSet> paged;
+  store.SnapshotState(&snap, &paged);
+  Database merged(*snap);
+  for (const auto& [name, source] : *paged) {
+    if (merged.Has(name)) {
+      return Status::Internal("relation '" + name +
+                              "' is in both the snapshot and the paged set");
+    }
+    STRDB_ASSIGN_OR_RETURN(StringRelation rel, source->Materialize());
+    std::vector<Tuple> tuples(rel.tuples().begin(), rel.tuples().end());
+    STRDB_RETURN_IF_ERROR(
+        merged.Put(name, source->arity(), std::move(tuples)));
+  }
+  return CatalogSignature(merged);
+}
+
+std::string DescribeEval(const Result<StringRelation>& r) {
+  return r.ok() ? r->ToString() : r.status().ToString();
+}
+
+}  // namespace
+
+PagerDiffTarget::PagerDiffTarget()
+    : pool_(MakeFsaPool(Alphabet::Binary())),
+      engine_(),
+      unpaged_engine_(UnpagedEngineOptions()) {}
+
+DiffTarget::CasePtr PagerDiffTarget::Generate(RandomSource& rand) const {
+  Alphabet sigma = Alphabet::Binary();
+  auto c = std::make_unique<PagerCase>();
+  if (rand.Range(0, 4) <= 2) {
+    // diff mode (3/5 of cases).
+    c->mode = Mode::kDiff;
+    c->db = RandomDatabase(rand, sigma);
+    if (rand.Range(0, 2) != 0) {
+      // Bulk up the binary relation so the checkpoint writes a heap
+      // with a real dictionary and multiple tuples per run, not just a
+      // header.  Set semantics dedupe the draws.
+      std::vector<Tuple> bulk;
+      int n = rand.Range(40, 120);
+      for (int i = 0; i < n; ++i) {
+        bulk.push_back(RandomTuple(rand, sigma, 2, 3));
+      }
+      Status inflated = c->db.InsertTuples("P", std::move(bulk));
+      (void)inflated;  // P always exists in RandomDatabase's schema
+    }
+    c->expr = RandomAlgebraExpr(rand, pool_, 3);
+    // 1 spills every non-empty relation; the larger thresholds leave
+    // the small unary relations inline so the mixed snapshot/paged
+    // lookup path is exercised too.
+    static constexpr int64_t kThresholds[] = {1, 1, 512, 4096};
+    c->spill_threshold = kThresholds[rand.Range(0, 3)];
+  } else {
+    c->mode = Mode::kCrash;
+    c->spill_threshold = rand.Coin() ? 1 : 256;
+    static const char* kNames[] = {"A", "B", "C"};
+    std::map<std::string, int> live;  // relation name -> arity
+    int n_ops = rand.Range(4, 12);
+    for (int i = 0; i < n_ops; ++i) {
+      PagerOp op;
+      int pick = rand.Range(0, 9);
+      if (pick >= 4 && pick <= 6 && live.empty()) pick = 0;
+      if (pick <= 3) {
+        op.kind = PagerOp::Kind::kPut;
+        op.name = kNames[rand.Range(0, 2)];
+        if (rand.Range(0, 2) == 0) {
+          // A put big enough that the next checkpoint spills it even at
+          // the larger threshold.
+          op.arity = 2;
+          int n = rand.Range(16, 48);
+          for (int t = 0; t < n; ++t) {
+            op.tuples.push_back(RandomTuple(rand, sigma, 2, 3));
+          }
+        } else {
+          op.arity = rand.Range(1, 2);
+          int n = rand.Range(0, 3);
+          for (int t = 0; t < n; ++t) {
+            op.tuples.push_back(RandomTuple(rand, sigma, op.arity, 2));
+          }
+        }
+        live[op.name] = op.arity;
+      } else if (pick <= 6) {
+        op.kind = PagerOp::Kind::kInsert;
+        auto it = live.begin();
+        std::advance(it, static_cast<long>(
+                             rand.Below(static_cast<uint64_t>(live.size()))));
+        op.name = it->first;
+        int n = rand.Range(1, 3);
+        for (int t = 0; t < n; ++t) {
+          op.tuples.push_back(RandomTuple(rand, sigma, it->second, 2));
+        }
+      } else if (pick == 7) {
+        op.kind = PagerOp::Kind::kDrop;
+        if (live.empty() || rand.Range(0, 7) == 0) {
+          op.name = "missing";  // the semantic-rejection path
+        } else {
+          auto it = live.begin();
+          std::advance(it, static_cast<long>(
+                               rand.Below(static_cast<uint64_t>(live.size()))));
+          op.name = it->first;
+          live.erase(it);
+        }
+      } else {
+        // Checkpoints are the spill points, so they appear often.
+        op.kind = PagerOp::Kind::kCheckpoint;
+      }
+      c->ops.push_back(std::move(op));
+    }
+    c->crash_at_raw = rand.Next();
+    c->torn_seed = rand.Next();
+  }
+  c->pager_capacity =
+      static_cast<int64_t>(4 + rand.Range(0, 4)) * kPageSize;
+  return c;
+}
+
+std::optional<Divergence> PagerDiffTarget::Run(const Case& c) const {
+  const auto& pc = static_cast<const PagerCase&>(c);
+  return pc.mode == Mode::kDiff ? RunDiff(pc) : RunCrash(pc);
+}
+
+std::optional<Divergence> PagerDiffTarget::RunDiff(const PagerCase& pc) const {
+  const Alphabet& sigma = pc.db.alphabet();
+  MemEnv mem;
+  StoreOptions store_options;
+  store_options.env = &mem;
+  store_options.spill_threshold_bytes = pc.spill_threshold;
+  store_options.pager_capacity_bytes = pc.pager_capacity;
+  auto store = CatalogStore::Open(kPagerDir, sigma, store_options);
+  if (!store.ok()) {
+    return Divergence{"paged store open failed: " +
+                      store.status().ToString()};
+  }
+  for (const auto& [name, rel] : pc.db.relations()) {
+    std::vector<Tuple> tuples(rel.tuples().begin(), rel.tuples().end());
+    Status put = (*store)->PutRelation(name, rel.arity(), std::move(tuples));
+    if (!put.ok()) {
+      return Divergence{"put of '" + name + "' failed: " + put.ToString()};
+    }
+  }
+  Status checkpointed = (*store)->Checkpoint();
+  if (!checkpointed.ok()) {
+    return Divergence{"spilling checkpoint failed: " +
+                      checkpointed.ToString()};
+  }
+
+  std::shared_ptr<const Database> snap;
+  std::shared_ptr<const PagedSet> paged;
+  (*store)->SnapshotState(&snap, &paged);
+  for (const auto& [name, rel] : pc.db.relations()) {
+    bool inline_rel = snap->Has(name);
+    auto it = paged->find(name);
+    if (inline_rel == (it != paged->end())) {
+      return Divergence{
+          "relation '" + name + "' is in " +
+          (inline_rel ? "both the snapshot and the paged set"
+                      : "neither the snapshot nor the paged set")};
+    }
+    if (it != paged->end()) {
+      Result<StringRelation> back = it->second->Materialize();
+      if (!back.ok()) {
+        return Divergence{"spilled relation '" + name +
+                          "' failed to materialise: " +
+                          back.status().ToString()};
+      }
+      if (!(*back == rel)) {
+        return Divergence{"spilled relation '" + name +
+                          "' materialises to different tuples\nsource: " +
+                          rel.ToString() + "\npaged:  " + back->ToString()};
+      }
+    }
+  }
+
+  EvalOptions options = PagerSweepOptions();
+  Result<StringRelation> oracle = EvalAlgebra(pc.expr, pc.db, options);
+  EvalOptions paged_options = options;
+  paged_options.paged = paged.get();
+  Result<StringRelation> naive_paged =
+      EvalAlgebra(pc.expr, *snap, paged_options);
+  Result<StringRelation> streamed =
+      engine_.Execute(pc.expr, *snap, paged_options);
+  Result<StringRelation> materialised =
+      unpaged_engine_.Execute(pc.expr, *snap, paged_options);
+  if (!oracle.ok()) {
+    // A per-call limit error must surface on every route.
+    if (naive_paged.ok() || streamed.ok() || materialised.ok()) {
+      return Divergence{"in-memory oracle failed (" +
+                        oracle.status().ToString() +
+                        ") but a paged route succeeded: " +
+                        pc.expr.ToString()};
+    }
+  } else {
+    struct Route {
+      const char* label;
+      const Result<StringRelation>* result;
+    };
+    const Route routes[] = {{"naive-paged", &naive_paged},
+                            {"paged-scan engine", &streamed},
+                            {"paged-off engine", &materialised}};
+    for (const Route& route : routes) {
+      if (!route.result->ok()) {
+        return Divergence{std::string(route.label) +
+                          " failed where the in-memory oracle succeeded: " +
+                          route.result->status().ToString() + " on " +
+                          pc.expr.ToString()};
+      }
+      if ((*route.result)->tuples() != oracle->tuples()) {
+        return Divergence{std::string(route.label) +
+                          " answer differs from the in-memory oracle: " +
+                          pc.expr.ToString() + "\noracle: " +
+                          DescribeEval(oracle) + "\npaged:  " +
+                          DescribeEval(*route.result)};
+      }
+    }
+  }
+
+  PagerStats stats = (*store)->pager_stats();
+  if (stats.bytes_pinned != 0) {
+    return Divergence{"buffer pool still holds " +
+                      std::to_string(stats.bytes_pinned) +
+                      " pinned bytes after evaluation"};
+  }
+  if (stats.peak_bytes_pinned > pc.pager_capacity) {
+    return Divergence{"peak pinned bytes " +
+                      std::to_string(stats.peak_bytes_pinned) +
+                      " exceeded the pool cap " +
+                      std::to_string(pc.pager_capacity)};
+  }
+  if (stats.bytes_cached > pc.pager_capacity) {
+    return Divergence{"resident page bytes " +
+                      std::to_string(stats.bytes_cached) +
+                      " exceed the pool cap " +
+                      std::to_string(pc.pager_capacity)};
+  }
+
+  size_t spilled = paged->size();
+  Status closed = (*store)->Close();
+  if (!closed.ok()) {
+    return Divergence{"close failed: " + closed.ToString()};
+  }
+  RecoveryReport report;
+  auto reopened = CatalogStore::Open(kPagerDir, sigma, store_options, &report);
+  if (!reopened.ok()) {
+    return Divergence{"reopen failed: " + reopened.status().ToString() +
+                      " (report: " + report.ToString() + ")"};
+  }
+  if (static_cast<size_t>(report.spilled_relations) != spilled) {
+    return Divergence{"reopen recovered " +
+                      std::to_string(report.spilled_relations) +
+                      " spilled relations, expected " +
+                      std::to_string(spilled)};
+  }
+  Result<std::string> sig = PagedCatalogSignature(**reopened);
+  if (!sig.ok()) {
+    return Divergence{"recovered catalog failed to materialise: " +
+                      sig.status().ToString()};
+  }
+  if (*sig != CatalogSignature(pc.db)) {
+    return Divergence{"recovered catalog differs from the source\nsource:    " +
+                      CatalogSignature(pc.db) + "\nrecovered: " + *sig};
+  }
+  return std::nullopt;
+}
+
+std::optional<Divergence> PagerDiffTarget::RunCrash(const PagerCase& pc) const {
+  Alphabet sigma = Alphabet::Binary();
+  StoreOptions base;
+  base.spill_threshold_bytes = pc.spill_threshold;
+  base.pager_capacity_bytes = pc.pager_capacity;
+
+  // Dry run on a throwaway env, to learn the fault-op count of the
+  // workload (semantic rejections included — they are deterministic).
+  int64_t total_ops = 0;
+  {
+    MemEnv mem;
+    FaultInjectingEnv fenv(&mem, 1);
+    fenv.Reset({});
+    StoreOptions options = base;
+    options.env = &fenv;
+    auto store = CatalogStore::Open(kPagerDir, sigma, options);
+    if (!store.ok()) {
+      return Divergence{"fault-free open failed: " +
+                        store.status().ToString()};
+    }
+    for (const PagerOp& op : pc.ops) {
+      Status status = ApplyPagerOp(store->get(), op);
+      (void)status;
+    }
+    Status closed = (*store)->Close();
+    if (!closed.ok()) {
+      return Divergence{"fault-free close failed: " + closed.ToString()};
+    }
+    total_ops = fenv.ops();
+  }
+
+  // shadow[j] = logical catalog after the first j successful mutations
+  // (checkpoints spill but never change the logical catalog).
+  Database shadow_db(sigma);
+  std::vector<std::string> shadow;
+  shadow.push_back(CatalogSignature(shadow_db));
+  std::vector<bool> op_mutates;
+  for (const PagerOp& op : pc.ops) {
+    if (op.kind == PagerOp::Kind::kCheckpoint) {
+      op_mutates.push_back(false);
+      continue;
+    }
+    Status applied = ApplyPagerOpToShadow(op, &shadow_db);
+    op_mutates.push_back(applied.ok());
+    if (applied.ok()) shadow.push_back(CatalogSignature(shadow_db));
+  }
+
+  // The real run: crash at a point derived from the case (+4 slack
+  // keeps a band of crash-free runs covering clean shutdown).
+  MemEnv mem;
+  FaultInjectingEnv fenv(&mem, pc.torn_seed);
+  FaultPlan plan;
+  plan.crash_at_op = static_cast<int64_t>(
+      pc.crash_at_raw % static_cast<uint64_t>(total_ops + 4));
+  fenv.Reset(plan);
+  StoreOptions options = base;
+  options.env = &fenv;
+
+  int acked = 0;
+  bool failed_op_mutates = false;
+  {
+    auto store = CatalogStore::Open(kPagerDir, sigma, options);
+    if (store.ok()) {
+      for (size_t i = 0; i < pc.ops.size(); ++i) {
+        const PagerOp& op = pc.ops[i];
+        Status status = ApplyPagerOp(store->get(), op);
+        if (status.ok()) {
+          if (op.kind != PagerOp::Kind::kCheckpoint) {
+            if (!op_mutates[i]) {
+              return Divergence{
+                  "store acknowledged an op the shadow model rejects (op " +
+                  std::to_string(i) + ")"};
+            }
+            ++acked;
+          }
+          continue;
+        }
+        if (fenv.crashed()) {
+          failed_op_mutates = op_mutates[i];
+          break;
+        }
+        if (op_mutates[i]) {
+          return Divergence{"store rejected an op the shadow model accepts "
+                            "(op " + std::to_string(i) + "): " +
+                            status.ToString()};
+        }
+      }
+      // The store object dies with the simulated process; its destructor
+      // closing against a crashed env must be harmless.
+    } else if (!fenv.crashed()) {
+      return Divergence{"open failed without a crash: " +
+                        store.status().ToString()};
+    }
+  }
+
+  // Restart on a healthy filesystem, spill options still engaged.
+  RecoveryReport report;
+  StoreOptions recover_options = base;
+  recover_options.env = &mem;
+  auto recovered = CatalogStore::Open(kPagerDir, sigma, recover_options,
+                                      &report);
+  if (!recovered.ok()) {
+    return Divergence{"recovery failed: " + recovered.status().ToString() +
+                      " (report: " + report.ToString() + ")"};
+  }
+  Result<std::string> sig = PagedCatalogSignature(**recovered);
+  if (!sig.ok()) {
+    return Divergence{"a recovered spilled relation failed to materialise: " +
+                      sig.status().ToString() +
+                      " (report: " + report.ToString() + ")"};
+  }
+  int matched = -1;
+  for (int j = acked; j <= acked + (failed_op_mutates ? 1 : 0); ++j) {
+    if (j >= static_cast<int>(shadow.size())) break;
+    if (*sig == shadow[static_cast<size_t>(j)]) {
+      matched = j;
+      break;
+    }
+  }
+  if (matched == -1) {
+    return Divergence{
+        "recovered state is not a committed prefix: acked=" +
+        std::to_string(acked) + " crash_at=" +
+        std::to_string(plan.crash_at_op) + "\nrecovered: " + *sig +
+        "\nexpected:  " + shadow[static_cast<size_t>(acked)] +
+        "\nreport: " + report.ToString()};
+  }
+  return std::nullopt;
+}
+
+std::string PagerDiffTarget::Serialize(const Case& c) const {
+  const auto& pc = static_cast<const PagerCase&>(c);
+  std::string out = "pager 1\n";
+  out += "sigma " + AlphabetChars(pc.db.alphabet()) + "\n";
+  out += std::string("mode ") +
+         (pc.mode == Mode::kDiff ? "diff" : "crash") + "\n";
+  out += "spill " + std::to_string(pc.spill_threshold) + "\n";
+  out += "cap " + std::to_string(pc.pager_capacity) + "\n";
+  out += "crash " + std::to_string(pc.crash_at_raw) + "\n";
+  out += "torn " + std::to_string(pc.torn_seed) + "\n";
+  if (pc.mode == Mode::kDiff) {
+    out += "rels " + std::to_string(pc.db.relations().size()) + "\n";
+    for (const auto& [name, rel] : pc.db.relations()) {
+      out += "rel " + name + " " + std::to_string(rel.arity()) + " " +
+             std::to_string(rel.size()) + "\n";
+      for (const Tuple& tuple : rel.tuples()) {
+        out += EncodeTupleLine(tuple) + "\n";
+      }
+    }
+    std::vector<std::string> fsa_texts;
+    std::map<std::string, int> fsa_index;
+    CollectSelectFsas(pc.expr, &fsa_texts, &fsa_index);
+    out += "fsas " + std::to_string(fsa_texts.size()) + "\n";
+    for (const std::string& text : fsa_texts) out += text;
+    out += "expr " + WriteSexpr(pc.expr, fsa_index) + "\n";
+  } else {
+    out += "ops " + std::to_string(pc.ops.size()) + "\n";
+    for (const PagerOp& op : pc.ops) {
+      switch (op.kind) {
+        case PagerOp::Kind::kPut:
+          out += "put " + op.name + " " + std::to_string(op.arity) + " " +
+                 std::to_string(op.tuples.size()) + "\n";
+          for (const Tuple& tuple : op.tuples) {
+            out += EncodeTupleLine(tuple) + "\n";
+          }
+          break;
+        case PagerOp::Kind::kInsert:
+          out += "ins " + op.name + " " + std::to_string(op.tuples.size()) +
+                 "\n";
+          for (const Tuple& tuple : op.tuples) {
+            out += EncodeTupleLine(tuple) + "\n";
+          }
+          break;
+        case PagerOp::Kind::kDrop:
+          out += "drop " + op.name + "\n";
+          break;
+        case PagerOp::Kind::kCheckpoint:
+          out += "ckpt\n";
+          break;
+      }
+    }
+  }
+  return out;
+}
+
+Result<DiffTarget::CasePtr> PagerDiffTarget::Deserialize(
+    const std::string& text) const {
+  LineCursor cursor(text);
+  STRDB_ASSIGN_OR_RETURN(std::string header, cursor.Take("header"));
+  if (header != "pager 1") {
+    return Status::InvalidArgument("bad pager case header '" + header + "'");
+  }
+  STRDB_ASSIGN_OR_RETURN(std::string sigma_line, cursor.Take("sigma"));
+  std::vector<std::string> sigma_tokens = SplitTokens(sigma_line);
+  if (sigma_tokens.size() != 2 || sigma_tokens[0] != "sigma") {
+    return Status::InvalidArgument("bad sigma line '" + sigma_line + "'");
+  }
+  STRDB_ASSIGN_OR_RETURN(Alphabet sigma, Alphabet::Create(sigma_tokens[1]));
+
+  auto c = std::make_unique<PagerCase>();
+  STRDB_ASSIGN_OR_RETURN(std::string mode_line, cursor.Take("mode"));
+  std::vector<std::string> mode_tokens = SplitTokens(mode_line);
+  if (mode_tokens.size() != 2 || mode_tokens[0] != "mode") {
+    return Status::InvalidArgument("bad mode line '" + mode_line + "'");
+  }
+  if (mode_tokens[1] == "diff") {
+    c->mode = Mode::kDiff;
+  } else if (mode_tokens[1] == "crash") {
+    c->mode = Mode::kCrash;
+  } else {
+    return Status::InvalidArgument("unknown pager mode '" + mode_tokens[1] +
+                                   "'");
+  }
+  auto take_int = [&](const char* keyword, int64_t* out) -> Status {
+    auto line = cursor.Take(keyword);
+    if (!line.ok()) return line.status();
+    std::vector<std::string> tokens = SplitTokens(*line);
+    if (tokens.size() != 2 || tokens[0] != keyword) {
+      return Status::InvalidArgument(std::string("bad ") + keyword +
+                                     " line '" + *line + "'");
+    }
+    STRDB_ASSIGN_OR_RETURN(*out, ParseInt(tokens[1]));
+    return Status::OK();
+  };
+  STRDB_RETURN_IF_ERROR(take_int("spill", &c->spill_threshold));
+  STRDB_RETURN_IF_ERROR(take_int("cap", &c->pager_capacity));
+  if (c->spill_threshold < 0 || c->pager_capacity < kPageSize) {
+    return Status::InvalidArgument("pager case limits out of range");
+  }
+  STRDB_ASSIGN_OR_RETURN(std::string crash_line, cursor.Take("crash"));
+  std::vector<std::string> crash_tokens = SplitTokens(crash_line);
+  if (crash_tokens.size() != 2 || crash_tokens[0] != "crash") {
+    return Status::InvalidArgument("bad crash line '" + crash_line + "'");
+  }
+  STRDB_ASSIGN_OR_RETURN(c->crash_at_raw, ParseU64(crash_tokens[1]));
+  STRDB_ASSIGN_OR_RETURN(std::string torn_line, cursor.Take("torn"));
+  std::vector<std::string> torn_tokens = SplitTokens(torn_line);
+  if (torn_tokens.size() != 2 || torn_tokens[0] != "torn") {
+    return Status::InvalidArgument("bad torn line '" + torn_line + "'");
+  }
+  STRDB_ASSIGN_OR_RETURN(c->torn_seed, ParseU64(torn_tokens[1]));
+
+  if (c->mode == Mode::kDiff) {
+    Database db(sigma);
+    STRDB_ASSIGN_OR_RETURN(std::string rels_line, cursor.Take("rels"));
+    std::vector<std::string> rels_tokens = SplitTokens(rels_line);
+    if (rels_tokens.size() != 2 || rels_tokens[0] != "rels") {
+      return Status::InvalidArgument("bad rels line '" + rels_line + "'");
+    }
+    STRDB_ASSIGN_OR_RETURN(int64_t num_rels, ParseInt(rels_tokens[1]));
+    for (int64_t r = 0; r < num_rels; ++r) {
+      STRDB_ASSIGN_OR_RETURN(std::string rel_line, cursor.Take("rel"));
+      std::vector<std::string> rel_tokens = SplitTokens(rel_line);
+      if (rel_tokens.size() != 4 || rel_tokens[0] != "rel") {
+        return Status::InvalidArgument("bad rel line '" + rel_line + "'");
+      }
+      STRDB_ASSIGN_OR_RETURN(int64_t arity, ParseInt(rel_tokens[2]));
+      STRDB_ASSIGN_OR_RETURN(int64_t n, ParseInt(rel_tokens[3]));
+      std::vector<Tuple> tuples;
+      for (int64_t i = 0; i < n; ++i) {
+        STRDB_ASSIGN_OR_RETURN(std::string line, cursor.Take("tuple"));
+        STRDB_ASSIGN_OR_RETURN(Tuple tuple, DecodeTupleLine(line));
+        tuples.push_back(std::move(tuple));
+      }
+      STRDB_RETURN_IF_ERROR(
+          db.Put(rel_tokens[1], static_cast<int>(arity), std::move(tuples)));
+    }
+    STRDB_ASSIGN_OR_RETURN(std::string fsas_line, cursor.Take("fsas"));
+    std::vector<std::string> fsas_tokens = SplitTokens(fsas_line);
+    if (fsas_tokens.size() != 2 || fsas_tokens[0] != "fsas") {
+      return Status::InvalidArgument("bad fsas line '" + fsas_line + "'");
+    }
+    STRDB_ASSIGN_OR_RETURN(int64_t num_fsas, ParseInt(fsas_tokens[1]));
+    std::vector<Fsa> fsas;
+    for (int64_t i = 0; i < num_fsas; ++i) {
+      STRDB_ASSIGN_OR_RETURN(std::string block, TakeFsaBlock(&cursor));
+      STRDB_ASSIGN_OR_RETURN(Fsa fsa, DeserializeFsa(sigma, block));
+      fsas.push_back(std::move(fsa));
+    }
+    STRDB_ASSIGN_OR_RETURN(std::string expr_line, cursor.Take("expr"));
+    if (expr_line.rfind("expr ", 0) != 0) {
+      return Status::InvalidArgument("bad expr line '" + expr_line + "'");
+    }
+    std::vector<std::string> tokens = SexprTokens(expr_line.substr(5));
+    size_t pos = 0;
+    STRDB_ASSIGN_OR_RETURN(AlgebraExpr expr, ParseSexpr(tokens, &pos, fsas));
+    if (pos != tokens.size()) {
+      return Status::InvalidArgument("trailing tokens after expression");
+    }
+    c->db = std::move(db);
+    c->expr = std::move(expr);
+    return DiffTarget::CasePtr(std::move(c));
+  }
+
+  STRDB_ASSIGN_OR_RETURN(std::string ops_line, cursor.Take("ops"));
+  std::vector<std::string> ops_tokens = SplitTokens(ops_line);
+  if (ops_tokens.size() != 2 || ops_tokens[0] != "ops") {
+    return Status::InvalidArgument("bad ops line '" + ops_line + "'");
+  }
+  STRDB_ASSIGN_OR_RETURN(int64_t n_ops, ParseInt(ops_tokens[1]));
+  for (int64_t i = 0; i < n_ops; ++i) {
+    STRDB_ASSIGN_OR_RETURN(std::string line, cursor.Take("op"));
+    std::vector<std::string> tokens = SplitTokens(line);
+    if (tokens.empty()) {
+      return Status::InvalidArgument("empty op line");
+    }
+    PagerOp op;
+    if (tokens[0] == "put" && tokens.size() == 4) {
+      op.kind = PagerOp::Kind::kPut;
+      op.name = tokens[1];
+      STRDB_ASSIGN_OR_RETURN(int64_t arity, ParseInt(tokens[2]));
+      op.arity = static_cast<int>(arity);
+      STRDB_ASSIGN_OR_RETURN(int64_t n, ParseInt(tokens[3]));
+      for (int64_t t = 0; t < n; ++t) {
+        STRDB_ASSIGN_OR_RETURN(std::string tline, cursor.Take("tuple"));
+        STRDB_ASSIGN_OR_RETURN(Tuple tuple, DecodeTupleLine(tline));
+        op.tuples.push_back(std::move(tuple));
+      }
+    } else if (tokens[0] == "ins" && tokens.size() == 3) {
+      op.kind = PagerOp::Kind::kInsert;
+      op.name = tokens[1];
+      STRDB_ASSIGN_OR_RETURN(int64_t n, ParseInt(tokens[2]));
+      for (int64_t t = 0; t < n; ++t) {
+        STRDB_ASSIGN_OR_RETURN(std::string tline, cursor.Take("tuple"));
+        STRDB_ASSIGN_OR_RETURN(Tuple tuple, DecodeTupleLine(tline));
+        op.tuples.push_back(std::move(tuple));
+      }
+    } else if (tokens[0] == "drop" && tokens.size() == 2) {
+      op.kind = PagerOp::Kind::kDrop;
+      op.name = tokens[1];
+    } else if (tokens[0] == "ckpt" && tokens.size() == 1) {
+      op.kind = PagerOp::Kind::kCheckpoint;
+    } else {
+      return Status::InvalidArgument("bad op line '" + line + "'");
+    }
+    c->ops.push_back(std::move(op));
+  }
+  return DiffTarget::CasePtr(std::move(c));
+}
+
+std::vector<DiffTarget::CasePtr> PagerDiffTarget::ShrinkCandidates(
+    const Case& c) const {
+  const auto& pc = static_cast<const PagerCase&>(c);
+  std::vector<CasePtr> out;
+  auto clone = [&] {
+    auto cand = std::make_unique<PagerCase>();
+    cand->mode = pc.mode;
+    cand->spill_threshold = pc.spill_threshold;
+    cand->pager_capacity = pc.pager_capacity;
+    cand->db = pc.db;
+    cand->expr = pc.expr;
+    cand->ops = pc.ops;
+    cand->crash_at_raw = pc.crash_at_raw;
+    cand->torn_seed = pc.torn_seed;
+    return cand;
+  };
+  if (pc.mode == Mode::kDiff) {
+    // Replace the expression by a direct subexpression.
+    switch (pc.expr.kind()) {
+      case AlgebraExpr::Kind::kUnion:
+      case AlgebraExpr::Kind::kDifference:
+      case AlgebraExpr::Kind::kProduct: {
+        auto left = clone();
+        left->expr = pc.expr.Left();
+        out.push_back(std::move(left));
+        auto right = clone();
+        right->expr = pc.expr.Right();
+        out.push_back(std::move(right));
+        break;
+      }
+      case AlgebraExpr::Kind::kProject:
+      case AlgebraExpr::Kind::kSelect:
+      case AlgebraExpr::Kind::kRestrict: {
+        auto cand = clone();
+        cand->expr = pc.expr.Left();
+        out.push_back(std::move(cand));
+        break;
+      }
+      default:
+        break;
+    }
+    // Drop one database tuple.
+    for (const auto& [name, rel] : pc.db.relations()) {
+      for (size_t skip = 0; skip < static_cast<size_t>(rel.size()); ++skip) {
+        auto cand = clone();
+        Database db(pc.db.alphabet());
+        for (const auto& [other_name, other_rel] : pc.db.relations()) {
+          std::vector<Tuple> tuples(other_rel.tuples().begin(),
+                                    other_rel.tuples().end());
+          if (other_name == name) {
+            tuples.erase(tuples.begin() + static_cast<ptrdiff_t>(skip));
+          }
+          Status status =
+              db.Put(other_name, other_rel.arity(), std::move(tuples));
+          (void)status;  // re-adding validated tuples cannot fail
+        }
+        cand->db = std::move(db);
+        out.push_back(std::move(cand));
+      }
+    }
+    return out;
+  }
+  // Crash mode: drop one op, then one tuple.
+  for (size_t i = 0; i < pc.ops.size(); ++i) {
+    auto cand = clone();
+    cand->ops.erase(cand->ops.begin() + static_cast<ptrdiff_t>(i));
+    out.push_back(std::move(cand));
+  }
+  for (size_t i = 0; i < pc.ops.size(); ++i) {
+    for (size_t t = 0; t < pc.ops[i].tuples.size(); ++t) {
+      auto cand = clone();
+      cand->ops[i].tuples.erase(cand->ops[i].tuples.begin() +
+                                static_cast<ptrdiff_t>(t));
+      out.push_back(std::move(cand));
+    }
+  }
+  return out;
+}
+
+int64_t PagerDiffTarget::CaseSize(const Case& c) const {
+  const auto& pc = static_cast<const PagerCase&>(c);
+  int64_t size = 0;
+  if (pc.mode == Mode::kDiff) {
+    size += NodeCount(pc.expr);
+    for (const auto& [name, rel] : pc.db.relations()) {
+      (void)name;
+      for (const Tuple& tuple : rel.tuples()) {
+        size += 1;
+        for (const std::string& field : tuple) {
+          size += static_cast<int64_t>(field.size());
+        }
+      }
+    }
+    return size;
+  }
+  for (const PagerOp& op : pc.ops) {
+    size += 1 + static_cast<int64_t>(op.name.size());
+    for (const Tuple& tuple : op.tuples) {
+      size += 1;
+      for (const std::string& field : tuple) {
+        size += static_cast<int64_t>(field.size());
+      }
+    }
+  }
+  return size;
+}
+
 }  // namespace testgen
 }  // namespace strdb

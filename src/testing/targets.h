@@ -172,6 +172,80 @@ class StorageRecoverTarget : public DiffTarget {
                                      const std::string& dir) const;
 };
 
+// --- paged (out-of-core) storage vs in-memory oracle -----------------------
+//
+// Two modes under one target name, mixed by generation:
+//
+//   diff   a random database is pushed through a CatalogStore with a
+//          small spill threshold and checkpointed, so relations land in
+//          the paged heap format (DESIGN.md §10).  A random algebra
+//          expression is then evaluated four ways: the naive evaluator
+//          over the original in-memory database (the oracle), the naive
+//          evaluator over snapshot + paged set (materialise-on-touch),
+//          the engine with streaming PagedScan, and the engine with the
+//          paged path disabled.  All four must agree tuple-for-tuple
+//          (or all fail alike).  Additionally: every relation must live
+//          in exactly one of the snapshot and the paged set, spilled
+//          relations must materialise back to exactly their source
+//          tuples, the buffer pool must end with zero pinned bytes and
+//          never exceed its byte cap, and a close/reopen must recover
+//          the identical catalog.
+//
+//   crash  the StorageRecoverTarget discipline pointed at spilling
+//          checkpoints: a workload of puts/inserts/drops/checkpoints
+//          runs over a FaultInjectingEnv with the spill threshold
+//          engaged, dies at a case-chosen fault-op, and recovery on the
+//          surviving bytes must yield exactly a committed prefix of the
+//          acknowledged mutations — with spilled relations compared by
+//          materialised contents, so the paged representation cannot
+//          hide a loss.
+class PagerDiffTarget : public DiffTarget {
+ public:
+  enum class Mode : uint8_t { kDiff, kCrash };
+
+  struct PagerOp {
+    enum class Kind : uint8_t { kPut, kInsert, kDrop, kCheckpoint };
+    Kind kind = Kind::kPut;
+    std::string name;
+    int arity = 1;
+    std::vector<Tuple> tuples;
+  };
+
+  struct PagerCase : Case {
+    Mode mode = Mode::kDiff;
+    int64_t spill_threshold = 1;
+    int64_t pager_capacity = 0;
+    // kDiff: the catalog under test and the expression diffed over it.
+    Database db{Alphabet::Binary()};
+    AlgebraExpr expr = AlgebraExpr::SigmaStar();
+    // kCrash: the mutation workload and the crash point (reduced mod
+    // the workload's fault-op count at run time, like StorageCase).
+    std::vector<PagerOp> ops;
+    uint64_t crash_at_raw = 0;
+    uint64_t torn_seed = 0;
+  };
+
+  PagerDiffTarget();
+
+  std::string name() const override { return "pager"; }
+  CasePtr Generate(RandomSource& rand) const override;
+  std::optional<Divergence> Run(const Case& c) const override;
+  std::string Serialize(const Case& c) const override;
+  Result<CasePtr> Deserialize(const std::string& text) const override;
+  std::vector<CasePtr> ShrinkCandidates(const Case& c) const override;
+  int64_t CaseSize(const Case& c) const override;
+
+ private:
+  std::optional<Divergence> RunDiff(const PagerCase& pc) const;
+  std::optional<Divergence> RunCrash(const PagerCase& pc) const;
+
+  FsaPool pool_;
+  // Shared across cases like EngineDiffTarget's: artifact-cache reuse
+  // across paged evaluations is part of what the sweep exercises.
+  mutable Engine engine_;
+  mutable Engine unpaged_engine_;
+};
+
 // --- concurrent server vs serial replay ------------------------------------
 //
 // Case: N >= 2 sessions' command logs (the server grammar), hammered at

@@ -8,6 +8,7 @@
 #include <atomic>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/budget.h"
@@ -207,6 +208,70 @@ TEST(ArtifactCacheTest, ColdInsertsChargeTheBudget) {
   // A hit is free: cache the artifact without a budget, then re-fetch.
   ASSERT_TRUE(cache.PutGenerated("k", payload).ok());
   EXPECT_NE(cache.GetGenerated("k"), nullptr);
+}
+
+// Regression: the put paths used to charge the budget *before*
+// InsertLocked, which can reject the entry (oversize, or a concurrent
+// miss on the same key raced us to the insert) — the charged bytes were
+// then never resident and never refunded, so a long-lived admission
+// account drifted upward until it falsely exhausted.  The account must
+// only ever hold bytes that are actually resident in the cache.
+TEST(ArtifactCacheTest, RejectedInsertsRefundTheBudget) {
+  ArtifactCache::GeneratedSet payload = {{"aaaa"}, {"bbbb"}};
+  // Oversize: returned to the caller, not retained, fully refunded.
+  {
+    ArtifactCache tiny(/*max_bytes=*/16);
+    ResourceBudget budget;
+    auto put = tiny.PutGenerated("big", payload, &budget);
+    ASSERT_TRUE(put.ok()) << put.status();
+    EXPECT_EQ(tiny.stats().bytes_in_use, 0);
+    EXPECT_EQ(budget.cached_bytes_used(), 0);
+  }
+  // Duplicate key: the incumbent wins, the loser's charge is refunded.
+  {
+    ArtifactCache cache;
+    ResourceBudget budget;
+    ASSERT_TRUE(cache.PutGenerated("k", payload, &budget).ok());
+    int64_t after_first = budget.cached_bytes_used();
+    EXPECT_EQ(after_first, cache.stats().bytes_in_use);
+    ASSERT_TRUE(cache.PutGenerated("k", payload, &budget).ok());
+    EXPECT_EQ(budget.cached_bytes_used(), after_first);  // not doubled
+    EXPECT_EQ(cache.stats().entries, 1);
+  }
+}
+
+// The concurrent version, against a shared admission account: N threads
+// race identical puts; exactly one insert wins per key, so the account
+// must end up holding exactly the resident bytes — and return to zero
+// once those are released — no matter how the races resolve.
+TEST(ArtifactCacheTest, ConcurrentPutsLeaveTheGlobalAccountBalanced) {
+  ArtifactCache cache;
+  ResourceBudget account;  // unlimited; plays the server's global account
+  constexpr int kThreads = 8;
+  constexpr int kKeys = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &account] {
+      for (int key = 0; key < kKeys; ++key) {
+        ArtifactCache::GeneratedSet payload = {
+            {"key" + std::to_string(key)}, {"payload"}};
+        auto put = cache.PutGenerated("shared-" + std::to_string(key),
+                                      std::move(payload), &account);
+        ASSERT_TRUE(put.ok()) << put.status();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // One resident entry per key; the account holds exactly those bytes,
+  // not the (kThreads - 1) losing charges per key.
+  EXPECT_EQ(cache.stats().entries, kKeys);
+  EXPECT_EQ(account.cached_bytes_used(), cache.stats().bytes_in_use);
+
+  // Releasing what is resident brings the global account back to zero.
+  account.Release(0, 0, cache.stats().bytes_in_use);
+  EXPECT_EQ(account.cached_bytes_used(), 0);
 }
 
 // --- rewrites --------------------------------------------------------------

@@ -362,6 +362,97 @@ TEST(CodecTest, MalformedOpsAreDataLoss) {
   }
 }
 
+// Regression: a corrupt-but-checksummed payload used to reach
+// op.tuples.reserve(count) with a count as large as 2^40 and die on
+// std::bad_alloc instead of returning the typed corruption error every
+// other malformed byte gets.  Counts and length prefixes must be
+// validated against the bytes actually present before any allocation.
+TEST(CodecTest, HostileCountsAreDataLossNotBadAlloc) {
+  const std::string huge = std::to_string(int64_t{1} << 40);
+  const std::vector<std::string> hostiles = {
+           // Tuple count claims 2^40 tuples in an empty body.
+      "put 1:R 1 " + huge + "\n",
+      "ins 1:R " + huge + "\n",
+      // A large-but-plausible count with no tuple lines behind it.
+      "put 1:R 1 1000000\n",
+      // Per-tuple arity the remaining bytes cannot possibly hold.
+      "put 1:R 2 1\nu 1000000 0:\n",
+      // String length prefix overrunning the payload.
+      "put 1:R 1 1\nu 1 " + huge + ":x\n",
+      "fsa 3:key " + huge + ":x\n",
+  };
+  for (const std::string& hostile : hostiles) {
+    auto decoded = DecodeOp(hostile);
+    ASSERT_FALSE(decoded.ok()) << "accepted: " << hostile;
+    EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss) << hostile;
+  }
+}
+
+// Exhaustive robustness sweep over the codec: for every op kind, every
+// single-byte flip and every prefix cut of the encoded payload must
+// decode to either an op or a typed error — never a crash, hang, or
+// runaway allocation — and any mutant the decoder accepts must also go
+// through ApplyOp without crashing (its Status may of course be an
+// error; corrupt automata, unknown relations, etc.).
+TEST(CodecTest, EveryByteFlipAndPrefixCutDecodesOrFailsCleanly) {
+  Alphabet sigma = Alphabet::Binary();
+  CatalogOp put;
+  put.kind = CatalogOp::kPut;
+  put.name = "R";
+  put.arity = 2;
+  put.tuples = {{"ab", ""}, {"ba", "abba"}};
+  CatalogOp ins;
+  ins.kind = CatalogOp::kInsert;
+  ins.name = "R";
+  ins.tuples = {{"a", "b"}};
+  CatalogOp drop;
+  drop.kind = CatalogOp::kDrop;
+  drop.name = "R";
+  CatalogOp fsa_op;
+  fsa_op.kind = CatalogOp::kFsa;
+  fsa_op.key = "some\nkey";
+  fsa_op.fsa_text = SerializeFsa(TinyFsa(sigma, 2));
+  CatalogOp spill;
+  spill.kind = CatalogOp::kSpill;
+  spill.name = "Q";
+  spill.arity = 1;
+  spill.max_string_length = 8;
+  spill.tuple_count = 200;
+  spill.file = "heap-3-0";
+
+  int64_t mutants = 0, accepted = 0;
+  auto check = [&](const std::string& mutant) {
+    ++mutants;
+    auto decoded = DecodeOp(mutant);
+    if (!decoded.ok()) return;  // a typed error is a fine outcome
+    ++accepted;
+    Database db(sigma);
+    ASSERT_TRUE(db.Put("R", 2, {{"aa", "bb"}}).ok());
+    std::map<std::string, std::string> automata;
+    (void)ApplyOp(*decoded, sigma, &db, &automata);  // must not crash
+  };
+
+  for (const CatalogOp& op : {put, ins, drop, fsa_op, spill}) {
+    const std::string good = EncodeOp(op);
+    ASSERT_TRUE(DecodeOp(good).ok());
+    for (size_t i = 0; i < good.size(); ++i) {
+      std::string flipped = good;
+      flipped[i] = static_cast<char>(flipped[i] ^ (1 << (i % 8)));
+      check(flipped);
+      flipped = good;
+      flipped[i] = static_cast<char>(flipped[i] ^ 0xff);
+      check(flipped);
+    }
+    for (size_t cut = 0; cut < good.size(); ++cut) {
+      check(good.substr(0, cut));
+    }
+  }
+  // The unmutated payloads decode; sanity-check the sweep actually ran.
+  EXPECT_GT(mutants, 500);
+  std::cout << "codec-mutation-sweep: mutants=" << mutants
+            << " accepted=" << accepted << "\n";
+}
+
 // --- Store -----------------------------------------------------------------
 
 std::string CatalogSig(const Database& db) {
