@@ -28,8 +28,12 @@ void Usage() {
       stderr,
       "usage: strdb_conformance --target <name>|all [--runs N] [--seed S]\n"
       "                         [--repro-dir DIR] [--no-shrink]\n"
+      "                         [--server-bin PATH]\n"
       "       strdb_conformance --replay FILE\n"
-      "       strdb_conformance --list\n");
+      "       strdb_conformance --list\n"
+      "\n"
+      "--server-bin PATH exports STRDB_SERVER_BIN for the `chaos` target\n"
+      "(real server processes; by name only — `all` never spawns).\n");
 }
 
 int Replay(const std::string& path) {
@@ -79,10 +83,14 @@ int main(int argc, char** argv) {
       options.shrink = false;
     } else if (arg == "--replay") {
       replay_path = value();
+    } else if (arg == "--server-bin") {
+      ::setenv("STRDB_SERVER_BIN", value(), /*overwrite=*/1);
     } else if (arg == "--list") {
       for (const auto* target : strdb::testgen::AllTargets()) {
         std::printf("%s\n", target->name().c_str());
       }
+      // By-name-only targets (excluded from `all`).
+      std::printf("chaos\n");
       return 0;
     } else {
       Usage();

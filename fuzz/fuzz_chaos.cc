@@ -1,0 +1,15 @@
+// libFuzzer: end-to-end chaos — real strdb_server processes under
+// concurrent resilient clients, SIGKILL + restart, acked-durability
+// checked against a serial oracle (see ChaosTarget).  Needs
+// STRDB_SERVER_BIN in the environment; without it every input reports
+// the missing binary loudly instead of passing silently.  Run with
+// -fork=0 (the target forks server processes itself) and a generous
+// -timeout: one case spawns, kills and restarts a real server.
+#include "fuzz_common.h"
+#include "testing/targets.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  static const strdb::testgen::ChaosTarget target;
+  strdb::testgen::FuzzDifferentialTarget(target, data, size);
+  return 0;
+}

@@ -1,0 +1,161 @@
+#include "client/client.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace strdb {
+
+namespace {
+
+// First whitespace-delimited word of `line`.
+std::string FirstWord(const std::string& line) {
+  size_t begin = line.find_first_not_of(" \t");
+  if (begin == std::string::npos) return std::string();
+  size_t end = line.find_first_of(" \t", begin);
+  return line.substr(begin, end == std::string::npos ? std::string::npos
+                                                     : end - begin);
+}
+
+}  // namespace
+
+StrdbClient::StrdbClient(EndpointProvider provider, ClientOptions options,
+                         std::unique_ptr<ClientTransport> transport)
+    : provider_(std::move(provider)),
+      options_(std::move(options)),
+      transport_(std::move(transport)),
+      env_(options_.env != nullptr ? options_.env : Env::Posix()),
+      rng_(options_.jitter_seed) {
+  if (transport_ == nullptr) {
+    transport_ = std::make_unique<TcpClientTransport>();
+  }
+}
+
+StrdbClient::StrdbClient(int port, ClientOptions options,
+                         std::unique_ptr<ClientTransport> transport)
+    : StrdbClient([port]() -> Result<int> { return port; },
+                  std::move(options), std::move(transport)) {}
+
+StrdbClient::~StrdbClient() { Disconnect(); }
+
+void StrdbClient::Disconnect() {
+  transport_->Close();
+  buffer_.clear();  // half-received frames die with the connection
+}
+
+bool StrdbClient::IsMutation(const std::string& line) {
+  std::string word = FirstWord(line);
+  return word == "rel" || word == "insert" || word == "drop";
+}
+
+void StrdbClient::Backoff(int attempt) {
+  // Capped doubling with equal jitter, same discipline as RetryPolicy
+  // (storage/retry.h): deterministic under jitter_seed.
+  int64_t base = options_.backoff_initial_ms;
+  for (int i = 0; i < attempt && base < options_.backoff_cap_ms; ++i) {
+    base *= 2;
+  }
+  base = std::min(base, options_.backoff_cap_ms);
+  int64_t sleep = base;
+  if (options_.jitter > 0 && base > 0) {
+    int64_t spread = static_cast<int64_t>(base * options_.jitter);
+    if (spread > 0) {
+      sleep = base - spread +
+              static_cast<int64_t>(
+                  rng_.Below(static_cast<uint64_t>(2 * spread + 1)));
+    }
+  }
+  if (sleep > 0) {
+    backoff_ms_total_ += sleep;
+    env_->SleepMs(sleep);
+  }
+}
+
+Result<ServerResponse> StrdbClient::ReadResponse() {
+  // A response frame is body lines followed by a terminator line that
+  // starts with "ok" or "err".  Scan whole lines as they accumulate;
+  // keep any bytes past the terminator for the next call (the server
+  // never pipelines, but a faulty transport can glue frames together).
+  size_t scanned = 0;
+  for (;;) {
+    size_t newline;
+    while ((newline = buffer_.find('\n', scanned)) != std::string::npos) {
+      std::string line = buffer_.substr(scanned, newline - scanned);
+      scanned = newline + 1;
+      std::string word = FirstWord(line);
+      if (word == "ok" || word == "err") {
+        ServerResponse response;
+        response.ok = (word == "ok");
+        // Everything before this line is body.
+        response.body = buffer_.substr(0, scanned - line.size() - 1);
+        if (!response.ok) {
+          size_t code_begin = line.find_first_not_of(" \t", 3);
+          if (code_begin != std::string::npos) {
+            size_t code_end = line.find_first_of(" \t", code_begin);
+            response.error_code =
+                line.substr(code_begin, code_end == std::string::npos
+                                            ? std::string::npos
+                                            : code_end - code_begin);
+            if (code_end != std::string::npos) {
+              size_t msg_begin = line.find_first_not_of(" \t", code_end);
+              if (msg_begin != std::string::npos) {
+                response.error_message = line.substr(msg_begin);
+              }
+            }
+          }
+        }
+        buffer_.erase(0, scanned);
+        return response;
+      }
+    }
+    Result<std::string> got = transport_->Recv();
+    if (!got.ok()) return got.status();
+    if (got->empty()) {
+      // Clean EOF mid-frame: the connection died before the terminator
+      // arrived.  Transient — the caller reconnects and retries.
+      return Status::Unavailable("connection closed mid-response");
+    }
+    buffer_ += *got;
+  }
+}
+
+Result<ServerResponse> StrdbClient::Attempt(const std::string& wire) {
+  if (!transport_->connected()) {
+    Result<int> port = provider_();
+    if (!port.ok()) return port.status();
+    Status connected = transport_->Connect(options_.host, *port);
+    if (!connected.ok()) return connected;
+    ++reconnects_;
+    buffer_.clear();
+  }
+  Status sent = transport_->Send(wire);
+  if (!sent.ok()) return sent;
+  return ReadResponse();
+}
+
+Result<ServerResponse> StrdbClient::Call(const std::string& line) {
+  std::string wire = line;
+  if (!options_.client_id.empty() && IsMutation(line)) {
+    // One seq per logical request; every retry below re-sends the SAME
+    // tag, which is what lets the server dedup a retry whose original
+    // ack got lost.
+    wire = "req " + options_.client_id + ":" +
+           std::to_string(next_seq_++) + " " + line;
+  }
+  wire += '\n';
+
+  Status last = Status::Unavailable("no attempt made");
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    if (attempt > 0) Backoff(attempt - 1);
+    Result<ServerResponse> got = Attempt(wire);
+    if (got.ok()) return got;
+    last = got.status();
+    if (last.code() != StatusCode::kUnavailable) return last;
+    // The connection is suspect; force a clean reconnect next attempt.
+    Disconnect();
+  }
+  return Status::Unavailable("retries exhausted after " +
+                             std::to_string(options_.max_attempts) +
+                             " attempts: " + std::string(last.message()));
+}
+
+}  // namespace strdb

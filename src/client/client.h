@@ -1,0 +1,117 @@
+#ifndef STRDB_CLIENT_CLIENT_H_
+#define STRDB_CLIENT_CLIENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/io/env.h"
+#include "core/result.h"
+#include "core/rng.h"
+#include "server/transport.h"
+
+namespace strdb {
+
+// One server command's verdict as the client sees it.  A typed server
+// error ("err <code> <msg>") is a *successful* call with ok == false —
+// the protocol worked; the command failed.  Only transport-level
+// exhaustion (could not get an answer within the retry budget) comes
+// back as a non-OK Result from StrdbClient::Call.
+struct ServerResponse {
+  bool ok = false;
+  std::string body;           // lines before the terminator (may be empty)
+  std::string error_code;     // "deadline-exceeded", ... ("" when ok)
+  std::string error_message;  // rest of the err line ("" when ok)
+};
+
+struct ClientOptions {
+  // Idempotent-request identity: when non-empty, every mutation
+  // (rel/insert/drop) is sent as "req <client_id>:<seq> <command>" with
+  // a per-client monotonically increasing seq, and a retry re-sends the
+  // SAME tag — the server's applied window then guarantees exactly-once
+  // application across lost acks, reconnects and server restarts.
+  std::string client_id;
+  // Attempts per Call (connect + send + read-response counts as one).
+  int max_attempts = 8;
+  // Capped exponential backoff with equal jitter between attempts,
+  // deterministic under jitter_seed (same discipline as RetryPolicy in
+  // storage/retry.h).
+  int64_t backoff_initial_ms = 10;
+  int64_t backoff_cap_ms = 2000;
+  double jitter = 0.25;
+  uint64_t jitter_seed = 0x5eedfULL;
+  // Sleeps route through this seam (nullptr = Env::Posix()), so tests
+  // can observe the backoff schedule without waiting it out.
+  Env* env = nullptr;
+  std::string host = "127.0.0.1";
+};
+
+// The resilient client: newline-framed commands over a ClientTransport,
+// with reconnect-on-drop, capped jittered backoff and idempotent
+// request IDs for durable mutations.  Call() retries until it has a
+// complete framed response or the attempt budget is spent; because a
+// mutation retry carries the same request tag, "retry until acked" is
+// safe even when the ack — not the request — was what got lost.
+//
+// Not thread-safe: one StrdbClient per session/thread (the per-client
+// seq window the server keeps assumes requests are serial per client,
+// which this client enforces by construction).
+class StrdbClient {
+ public:
+  // Asks for the server's current port before every (re)connect — the
+  // seam that lets a chaos harness restart the server on a new
+  // ephemeral port mid-session.  Returning a non-OK Result means "no
+  // endpoint right now"; the client backs off and asks again.
+  using EndpointProvider = std::function<Result<int>()>;
+
+  // `transport` may be nullptr for the real TCP transport; tests pass a
+  // FaultyTransport.
+  StrdbClient(EndpointProvider provider, ClientOptions options = {},
+              std::unique_ptr<ClientTransport> transport = nullptr);
+  // Fixed-port convenience.
+  StrdbClient(int port, ClientOptions options = {},
+              std::unique_ptr<ClientTransport> transport = nullptr);
+
+  ~StrdbClient();
+  StrdbClient(const StrdbClient&) = delete;
+  StrdbClient& operator=(const StrdbClient&) = delete;
+
+  // Executes one command line (no trailing newline) and returns the
+  // framed response.  Mutations are tagged (see ClientOptions) and any
+  // command is retried across reconnects — safe because mutations dedup
+  // server-side and everything else is read-only.
+  Result<ServerResponse> Call(const std::string& line);
+
+  // Drops the connection (the next Call reconnects).
+  void Disconnect();
+
+  // Observability for tests: reconnect attempts made and total backoff
+  // milliseconds requested so far.
+  int64_t reconnects() const { return reconnects_; }
+  int64_t backoff_ms_total() const { return backoff_ms_total_; }
+  // The seq the next tagged mutation will use.
+  uint64_t next_seq() const { return next_seq_; }
+
+ private:
+  // True when `line` is a durable mutation that must carry a tag.
+  static bool IsMutation(const std::string& line);
+  // One attempt: ensure connected, send, read a full framed response.
+  Result<ServerResponse> Attempt(const std::string& wire);
+  Result<ServerResponse> ReadResponse();
+  void Backoff(int attempt);
+
+  EndpointProvider provider_;
+  ClientOptions options_;
+  std::unique_ptr<ClientTransport> transport_;
+  Env* env_;
+  Rng rng_;
+  std::string buffer_;  // bytes received past the last complete response
+  uint64_t next_seq_ = 1;
+  int64_t reconnects_ = 0;
+  int64_t backoff_ms_total_ = 0;
+};
+
+}  // namespace strdb
+
+#endif  // STRDB_CLIENT_CLIENT_H_

@@ -1,0 +1,106 @@
+// strdb_cli: a resilient line-mode client for strdb_server.
+//
+//   $ ./strdb_cli [flags] < commands.txt
+//
+//   --port N            server port on 127.0.0.1 (default 7411)
+//   --host H            server address (default 127.0.0.1)
+//   --client-id ID      tag durable mutations (rel/insert/drop) with
+//                       idempotent request IDs "req ID:SEQ ..." so a
+//                       retry after a lost ack applies exactly once
+//                       (default: none — mutations are untagged)
+//   --max-attempts N    attempts per command before giving up (default 8)
+//   --backoff-ms N      initial reconnect backoff, doubles per retry
+//                       capped at --backoff-cap-ms (defaults 10/2000)
+//   --backoff-cap-ms N
+//
+// Reads one command per line from stdin, prints each response's body
+// followed by its "ok" / "err <code> <msg>" terminator, and keeps going
+// through server restarts: a dropped connection is retried with capped
+// jittered backoff, and tagged mutations survive retry without double
+// application.  Exits 0 when stdin ends, 1 if any command exhausted its
+// retry budget.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "client/client.h"
+
+namespace {
+
+int64_t ParseInt(const char* flag, const char* text) {
+  char* end = nullptr;
+  long long v = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || v < 0) {
+    std::fprintf(stderr, "%s expects a non-negative integer, got '%s'\n",
+                 flag, text);
+    std::exit(2);
+  }
+  return static_cast<int64_t>(v);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace strdb;
+
+  int port = 7411;
+  ClientOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires an argument\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      port = static_cast<int>(ParseInt("--port", next("--port")));
+    } else if (arg == "--host") {
+      options.host = next("--host");
+    } else if (arg == "--client-id") {
+      options.client_id = next("--client-id");
+    } else if (arg == "--max-attempts") {
+      options.max_attempts = static_cast<int>(
+          ParseInt("--max-attempts", next("--max-attempts")));
+    } else if (arg == "--backoff-ms") {
+      options.backoff_initial_ms =
+          ParseInt("--backoff-ms", next("--backoff-ms"));
+    } else if (arg == "--backoff-cap-ms") {
+      options.backoff_cap_ms =
+          ParseInt("--backoff-cap-ms", next("--backoff-cap-ms"));
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  StrdbClient client(port, options);
+  bool any_failed = false;
+  std::string line;
+  for (int c = std::getchar(); c != EOF; c = std::getchar()) {
+    if (c != '\n') {
+      line.push_back(static_cast<char>(c));
+      continue;
+    }
+    if (!line.empty()) {
+      Result<ServerResponse> got = client.Call(line);
+      if (!got.ok()) {
+        std::fprintf(stderr, "transport: %s\n",
+                     got.status().ToString().c_str());
+        any_failed = true;
+      } else {
+        std::fputs(got->body.c_str(), stdout);
+        if (got->ok) {
+          std::puts("ok");
+        } else {
+          std::printf("err %s %s\n", got->error_code.c_str(),
+                      got->error_message.c_str());
+        }
+        std::fflush(stdout);
+      }
+    }
+    line.clear();
+  }
+  return any_failed ? 1 : 0;
+}

@@ -24,6 +24,8 @@ const char* StatusCodeName(StatusCode code) {
       return "unavailable";
     case StatusCode::kDataLoss:
       return "data-loss";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline-exceeded";
   }
   return "unknown";
 }

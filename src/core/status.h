@@ -20,6 +20,7 @@ enum class StatusCode {
   kInternal,           // invariant violation inside the library
   kUnavailable,        // transient I/O failure; safe to retry with backoff
   kDataLoss,           // persisted bytes are corrupt, truncated or torn
+  kDeadlineExceeded,   // a wall-clock deadline elapsed before completion
 };
 
 // Returns the canonical lower-case name of `code`, e.g. "invalid-argument".
@@ -63,6 +64,9 @@ class Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

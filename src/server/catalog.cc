@@ -61,32 +61,100 @@ void SharedCatalog::PublishLocked() {
 
 Status SharedCatalog::PutRelation(const std::string& name, int arity,
                                   std::vector<Tuple> tuples) {
+  return PutRelation(name, arity, std::move(tuples), ReqId{}, nullptr);
+}
+
+Status SharedCatalog::PutRelation(const std::string& name, int arity,
+                                  std::vector<Tuple> tuples, const ReqId& req,
+                                  bool* deduped) {
+  if (deduped != nullptr) *deduped = false;
   std::lock_guard<std::mutex> lock(mu_);
   if (store_ != nullptr) {
-    return store_->PutRelation(name, arity, std::move(tuples));
+    return store_->PutRelation(name, arity, std::move(tuples), req, deduped);
+  }
+  if (AlreadyAppliedLocked(req)) {
+    if (deduped != nullptr) *deduped = true;
+    return Status::OK();
   }
   STRDB_RETURN_IF_ERROR(db_.Put(name, arity, std::move(tuples)));
+  RecordReqLocked(req);
   PublishLocked();
   return Status::OK();
 }
 
 Status SharedCatalog::InsertTuples(const std::string& name,
                                    std::vector<Tuple> tuples) {
+  return InsertTuples(name, std::move(tuples), ReqId{}, nullptr);
+}
+
+Status SharedCatalog::InsertTuples(const std::string& name,
+                                   std::vector<Tuple> tuples,
+                                   const ReqId& req, bool* deduped) {
+  if (deduped != nullptr) *deduped = false;
   std::lock_guard<std::mutex> lock(mu_);
   if (store_ != nullptr) {
-    return store_->InsertTuples(name, std::move(tuples));
+    return store_->InsertTuples(name, std::move(tuples), req, deduped);
+  }
+  if (AlreadyAppliedLocked(req)) {
+    if (deduped != nullptr) *deduped = true;
+    return Status::OK();
   }
   STRDB_RETURN_IF_ERROR(db_.InsertTuples(name, std::move(tuples)));
+  RecordReqLocked(req);
   PublishLocked();
   return Status::OK();
 }
 
 Status SharedCatalog::DropRelation(const std::string& name) {
+  return DropRelation(name, ReqId{}, nullptr);
+}
+
+Status SharedCatalog::DropRelation(const std::string& name, const ReqId& req,
+                                   bool* deduped) {
+  if (deduped != nullptr) *deduped = false;
   std::lock_guard<std::mutex> lock(mu_);
-  if (store_ != nullptr) return store_->DropRelation(name);
+  if (store_ != nullptr) return store_->DropRelation(name, req, deduped);
+  if (AlreadyAppliedLocked(req)) {
+    if (deduped != nullptr) *deduped = true;
+    return Status::OK();
+  }
   STRDB_RETURN_IF_ERROR(db_.Remove(name));
+  RecordReqLocked(req);
   PublishLocked();
   return Status::OK();
+}
+
+bool SharedCatalog::AlreadyAppliedLocked(const ReqId& req) const {
+  if (!req.valid()) return false;
+  auto it = applied_reqs_.find(req.client);
+  return it != applied_reqs_.end() && it->second >= req.seq;
+}
+
+void SharedCatalog::RecordReqLocked(const ReqId& req) {
+  if (!req.valid()) return;
+  uint64_t& cur = applied_reqs_[req.client];
+  if (req.seq > cur) cur = req.seq;
+}
+
+std::map<std::string, std::string> SharedCatalog::LostRelations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (store_ == nullptr) return {};
+  return store_->LostRelations();
+}
+
+Status SharedCatalog::ScrubNow(ScrubReport* report) {
+  // Deliberately not under mu_: a scrub pass is bulk I/O, and the store
+  // takes its own locks in the phases that need them.  The store_
+  // pointer only changes under mu_, so guard the read alone.
+  CatalogStore* store = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    store = store_.get();
+    if (store == nullptr) {
+      return Status::InvalidArgument("no durable session; nothing to scrub");
+    }
+  }
+  return store->ScrubNow(report);
 }
 
 bool SharedCatalog::durable() const {
@@ -166,8 +234,13 @@ Status SharedCatalog::CloseDurable() {
   db_ = store_->db();  // keep working on the catalog, now in memory only
   // Spilled relations live only in the store's heap files: pull them
   // back in memory before detaching, or they would vanish from the
-  // in-memory catalog.  A read failure keeps the session open.
+  // in-memory catalog.  A read failure keeps the session open — except
+  // for relations the scrubber already quarantined: their data is gone
+  // by definition, and wedging shutdown on them would turn one bad heap
+  // into an unclosable store.
+  std::map<std::string, std::string> lost = store_->LostRelations();
   for (const auto& [name, source] : *store_->PagedDb()) {
+    if (lost.count(name) > 0) continue;  // quarantined: nothing to copy
     Result<StringRelation> rel = source->Materialize();
     if (!rel.ok()) {
       db_ = Database(alphabet_);  // discard the half-built copy

@@ -1,6 +1,7 @@
 #ifndef STRDB_SERVER_CATALOG_H_
 #define STRDB_SERVER_CATALOG_H_
 
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -69,6 +70,29 @@ class SharedCatalog {
   Status InsertTuples(const std::string& name, std::vector<Tuple> tuples);
   Status DropRelation(const std::string& name);
 
+  // Idempotent-retry variants: when `req` is valid and already inside
+  // the applied window, the call is a success no-op with `*deduped =
+  // true`.  Durable sessions persist the window through the store (WAL
+  // tags + snapshot kReqId ops); memory-only catalogs keep it in
+  // process, so a client retrying over one server lifetime still
+  // dedups either way.
+  Status PutRelation(const std::string& name, int arity,
+                     std::vector<Tuple> tuples, const ReqId& req,
+                     bool* deduped);
+  Status InsertTuples(const std::string& name, std::vector<Tuple> tuples,
+                      const ReqId& req, bool* deduped);
+  Status DropRelation(const std::string& name, const ReqId& req,
+                      bool* deduped);
+
+  // Relations the durable store has quarantined (name -> reason); empty
+  // when none or when no store is attached.
+  std::map<std::string, std::string> LostRelations() const;
+
+  // One synchronous scrub pass over the attached store (see
+  // CatalogStore::ScrubNow).  kInvalidArgument without a durable
+  // session.
+  Status ScrubNow(ScrubReport* report);
+
   bool durable() const;
   // The open store's directory ("" when not durable).
   std::string durable_dir() const;
@@ -97,10 +121,18 @@ class SharedCatalog {
 
   const Alphabet alphabet_;
 
+  // In-memory half of AlreadyApplied/Record for the non-durable path.
+  // With mu_ held.
+  bool AlreadyAppliedLocked(const ReqId& req) const;
+  void RecordReqLocked(const ReqId& req);
+
   mutable std::mutex mu_;  // serializes writers (including store I/O)
   Database db_;            // the catalog while no store is attached
   StoreOptions store_options_;  // applied at the next OpenDurable
   std::unique_ptr<CatalogStore> store_;
+  // Idempotent-request window while no store is attached (the store
+  // keeps its own, durably).
+  std::map<std::string, uint64_t> applied_reqs_;
 
   // Reader-side state, behind its own short-hold lock (never held
   // across I/O): the published in-memory snapshot and, when a store is

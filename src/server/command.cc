@@ -76,8 +76,19 @@ void AppendLimits(const ResourceLimits& limits, std::string* out) {
 CommandProcessor::CommandProcessor(SharedCatalog* catalog, Mode mode)
     : catalog_(catalog), mode_(mode) {}
 
+// A dedup'd retry answers with the same success text the original
+// application produced (the text is a pure function of the command
+// line), so the retrying client cannot tell — which is the point.
+static void CountDeduped(bool deduped) {
+  if (deduped) {
+    MetricsRegistry::Global()
+        .GetCounter("server.retried_requests_deduped")
+        ->Increment();
+  }
+}
+
 Status CommandProcessor::HandleRel(const std::vector<std::string>& words,
-                                   std::string* out) {
+                                   const ReqId& req, std::string* out) {
   if (words.size() < 3) {
     return Status::InvalidArgument("usage: rel NAME tuple [tuple ...]");
   }
@@ -91,14 +102,17 @@ Status CommandProcessor::HandleRel(const std::vector<std::string>& words,
   }
   size_t count = tuples.size();
   bool durable = catalog_->durable();
-  STRDB_RETURN_IF_ERROR(catalog_->PutRelation(name, arity, std::move(tuples)));
+  bool deduped = false;
+  STRDB_RETURN_IF_ERROR(
+      catalog_->PutRelation(name, arity, std::move(tuples), req, &deduped));
+  CountDeduped(deduped);
   AppendF(out, "defined %s/%d with %zu tuples%s\n", name.c_str(), arity, count,
           durable ? " (durable)" : "");
   return Status::OK();
 }
 
 Status CommandProcessor::HandleInsert(const std::vector<std::string>& words,
-                                      std::string* out) {
+                                      const ReqId& req, std::string* out) {
   if (words.size() < 3) {
     return Status::InvalidArgument("usage: insert NAME tuple [tuple ...]");
   }
@@ -106,17 +120,22 @@ Status CommandProcessor::HandleInsert(const std::vector<std::string>& words,
   std::vector<Tuple> tuples = ParseTuples(words, 2);
   size_t count = tuples.size();
   bool durable = catalog_->durable();
-  STRDB_RETURN_IF_ERROR(catalog_->InsertTuples(name, std::move(tuples)));
+  bool deduped = false;
+  STRDB_RETURN_IF_ERROR(
+      catalog_->InsertTuples(name, std::move(tuples), req, &deduped));
+  CountDeduped(deduped);
   AppendF(out, "inserted %zu tuple(s) into %s%s\n", count, name.c_str(),
           durable ? " (durable)" : "");
   return Status::OK();
 }
 
 Status CommandProcessor::HandleDrop(const std::vector<std::string>& words,
-                                    std::string* out) {
+                                    const ReqId& req, std::string* out) {
   if (words.size() != 2) return Status::InvalidArgument("usage: drop NAME");
   bool durable = catalog_->durable();
-  STRDB_RETURN_IF_ERROR(catalog_->DropRelation(words[1]));
+  bool deduped = false;
+  STRDB_RETURN_IF_ERROR(catalog_->DropRelation(words[1], req, &deduped));
+  CountDeduped(deduped);
   AppendF(out, "dropped %s%s\n", words[1].c_str(),
           durable ? " (durable)" : "");
   return Status::OK();
@@ -223,6 +242,16 @@ Status CommandProcessor::HandleQuery(const std::string& text,
   opts.limits = limits_;
   opts.parent_budget = parent_budget_;
   opts.paged = paged.get();
+  // The server's per-request deadline rides the same budget machinery
+  // as the session's own `budget ms`; it binds only when tighter, and
+  // only then does an overrun convert to kDeadlineExceeded below.
+  bool request_deadline_binding = false;
+  if (request_deadline_ms_ > 0 && (opts.limits.deadline_ms <= 0 ||
+                                   request_deadline_ms_ <
+                                       opts.limits.deadline_ms)) {
+    opts.limits.deadline_ms = request_deadline_ms_;
+    request_deadline_binding = true;
+  }
   Result<StringRelation> answer =
       explicit_trunc >= 0
           ? q->ExecuteTruncated(*snapshot, explicit_trunc, opts)
@@ -237,7 +266,16 @@ Status CommandProcessor::HandleQuery(const std::string& text,
       AppendF(out, "hint: \"!N <query>\" evaluates at explicit "
                    "truncation N\n");
     }
-    return answer.status();
+    Status status = answer.status();
+    if (request_deadline_binding &&
+        status.code() == StatusCode::kResourceExhausted &&
+        status.message().find("wall-clock deadline") != std::string::npos) {
+      MetricsRegistry::Global()
+          .GetCounter("server.deadline_exceeded")
+          ->Increment();
+      status = Status::DeadlineExceeded(status.message());
+    }
+    return status;
   }
   AppendF(out, "%s   (%lld tuples)\n", answer->ToString().c_str(),
           static_cast<long long>(answer->size()));
@@ -291,6 +329,43 @@ Status CommandProcessor::HandleExplain(const std::string& text,
 Status CommandProcessor::Execute(const std::string& line, std::string* out) {
   std::vector<std::string> words = SplitWords(line);
   if (words.empty()) return Status::OK();
+
+  // Optional idempotent-request prefix: "req CLIENT:SEQ COMMAND...".
+  // Strip it here so the rest of the dispatcher sees the bare command;
+  // only the mutation handlers consume the tag.
+  ReqId req;
+  std::string cmd = line;
+  if (words[0] == "req") {
+    if (words.size() < 3) {
+      return Status::InvalidArgument("usage: req CLIENT:SEQ COMMAND ...");
+    }
+    const std::string& tag = words[1];
+    size_t colon = tag.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= tag.size()) {
+      return Status::InvalidArgument("malformed request tag '" + tag +
+                                     "' (want CLIENT:SEQ)");
+    }
+    char* end = nullptr;
+    unsigned long long seq = std::strtoull(tag.c_str() + colon + 1, &end, 10);
+    if (end == tag.c_str() + colon + 1 || *end != '\0') {
+      return Status::InvalidArgument("malformed request sequence in '" + tag +
+                                     "'");
+    }
+    req.client = tag.substr(0, colon);
+    req.seq = static_cast<uint64_t>(seq);
+    // Cut the first two whitespace-delimited tokens off the raw line so
+    // free-text commands (queries) keep their spacing.
+    size_t pos = line.find_first_not_of(" \t");
+    pos = line.find_first_of(" \t", pos);       // end of "req"
+    pos = line.find_first_not_of(" \t", pos);   // start of the tag
+    pos = line.find_first_of(" \t", pos);       // end of the tag
+    pos = line.find_first_not_of(" \t", pos);   // start of the command
+    cmd = pos == std::string::npos ? std::string() : line.substr(pos);
+    words.erase(words.begin(), words.begin() + 2);
+    if (words.empty()) return Status::OK();
+  }
+
   if (words[0] == "open" || words[0] == "save" || words[0] == "close") {
     if (mode_ == Mode::kServer) {
       return Status::InvalidArgument(
@@ -302,9 +377,9 @@ Status CommandProcessor::Execute(const std::string& line, std::string* out) {
     if (words[0] == "save") return HandleSave(out);
     return HandleClose(out);
   }
-  if (words[0] == "rel") return HandleRel(words, out);
-  if (words[0] == "insert") return HandleInsert(words, out);
-  if (words[0] == "drop") return HandleDrop(words, out);
+  if (words[0] == "rel") return HandleRel(words, req, out);
+  if (words[0] == "insert") return HandleInsert(words, req, out);
+  if (words[0] == "drop") return HandleDrop(words, req, out);
   if (words[0] == "show") {
     std::shared_ptr<const Database> snapshot;
     std::shared_ptr<const PagedSet> paged;
@@ -320,13 +395,13 @@ Status CommandProcessor::Execute(const std::string& line, std::string* out) {
     return Status::OK();
   }
   if (words[0] == "safe") {
-    return HandleSafe(line.size() > 5 ? line.substr(5) : "", out);
+    return HandleSafe(cmd.size() > 5 ? cmd.substr(5) : "", out);
   }
   if (words[0] == "plan") {
-    return HandlePlan(line.size() > 5 ? line.substr(5) : "", out);
+    return HandlePlan(cmd.size() > 5 ? cmd.substr(5) : "", out);
   }
   if (words[0] == "explain") {
-    return HandleExplain(line.size() > 8 ? line.substr(8) : "", out);
+    return HandleExplain(cmd.size() > 8 ? cmd.substr(8) : "", out);
   }
   if (words[0] == "engine" && words.size() == 2) {
     use_engine_ = words[1] != "off";
@@ -368,7 +443,7 @@ Status CommandProcessor::Execute(const std::string& line, std::string* out) {
     AppendF(out, "pong\n");
     return Status::OK();
   }
-  return HandleQuery(line, out);
+  return HandleQuery(cmd, out);
 }
 
 std::string FrameResponse(const Status& status, const std::string& body) {

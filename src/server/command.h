@@ -39,6 +39,15 @@ namespace strdb {
 //   budget [DIM N ...] | off      per-session query resource limits
 //   metrics                       process metrics registry as JSON
 //   ping                          liveness probe ("pong")
+//   req CLIENT:SEQ COMMAND...     idempotent-request prefix: CLIENT is a
+//                                 client-chosen id, SEQ its monotonically
+//                                 increasing request number.  A mutation
+//                                 (rel/insert/drop) whose SEQ is already
+//                                 inside the client's applied window is
+//                                 acknowledged without re-applying — the
+//                                 response text is identical — so a
+//                                 client may retry after a lost ack.
+//                                 Non-mutations ignore the tag.
 //   QUERY                         evaluate ("!N QUERY" for an explicit
 //                                 truncation)
 //
@@ -72,10 +81,20 @@ class CommandProcessor {
   // owned; must outlive the processor.
   void set_parent_budget(ResourceBudget* parent) { parent_budget_ = parent; }
 
+  // Server-imposed per-request wall-clock cap (0 = none).  Tighter than
+  // the session's own `budget ms` it wins, and an overrun it caused
+  // comes back as typed kDeadlineExceeded (counted in
+  // server.deadline_exceeded) instead of kResourceExhausted, so clients
+  // can tell "the server cut me off" from "my budget ran out".
+  void set_request_deadline_ms(int64_t ms) { request_deadline_ms_ = ms; }
+
  private:
-  Status HandleRel(const std::vector<std::string>& words, std::string* out);
-  Status HandleInsert(const std::vector<std::string>& words, std::string* out);
-  Status HandleDrop(const std::vector<std::string>& words, std::string* out);
+  Status HandleRel(const std::vector<std::string>& words, const ReqId& req,
+                   std::string* out);
+  Status HandleInsert(const std::vector<std::string>& words, const ReqId& req,
+                      std::string* out);
+  Status HandleDrop(const std::vector<std::string>& words, const ReqId& req,
+                    std::string* out);
   Status HandleOpen(const std::vector<std::string>& words, std::string* out);
   Status HandleSave(std::string* out);
   Status HandleClose(std::string* out);
@@ -91,6 +110,7 @@ class CommandProcessor {
   bool show_stats_ = false;
   ResourceLimits limits_;
   ResourceBudget* parent_budget_ = nullptr;
+  int64_t request_deadline_ms_ = 0;
 };
 
 // Frames one command's outcome as the server's wire response: the body

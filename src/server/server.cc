@@ -25,7 +25,12 @@ ServerCore::ServerCore(Alphabet alphabet, ServerOptions options)
       bytes_out_(Reg().GetCounter("server.bytes_out")),
       active_sessions_gauge_(Reg().GetGauge("server.active_sessions")),
       queue_depth_gauge_(Reg().GetGauge("server.queue_depth")),
-      pool_(options.num_workers) {}
+      pool_(options.num_workers) {
+  // Fault-path counters, registered eagerly so the `metrics` verb shows
+  // them at zero instead of omitting them until the first incident.
+  Reg().GetCounter("server.deadline_exceeded");
+  Reg().GetCounter("server.retried_requests_deduped");
+}
 
 ServerCore::~ServerCore() { Drain(); }
 
@@ -43,6 +48,7 @@ Result<int64_t> ServerCore::OpenSession() {
   auto session = std::make_shared<Session>(&catalog_);
   session->processor.set_limits(options_.session_limits);
   session->processor.set_parent_budget(&global_budget_);
+  session->processor.set_request_deadline_ms(options_.request_deadline_ms);
   sessions_.emplace(id, std::move(session));
   accepted_->Increment();
   active_sessions_gauge_->Set(static_cast<int64_t>(sessions_.size()));

@@ -39,6 +39,17 @@ struct ServerOptions {
   // Default per-query limits every new session starts with (a session
   // may lower/raise its own with the `budget` verb).
   ResourceLimits session_limits;
+  // Server-imposed wall-clock cap per request (0 = none).  Binds when
+  // tighter than the session's own `budget ms`; a query it cancels gets
+  // a typed "err deadline-exceeded" response (counted in
+  // server.deadline_exceeded) instead of wedging its session.
+  int64_t request_deadline_ms = 0;
+  // TCP read deadline (0 = none): a connection that stalls mid-command
+  // (bytes received but no terminating newline) for this long gets a
+  // typed "err deadline-exceeded" line and is closed — a slow-loris
+  // client cannot pin a connection thread forever.  Idle connections
+  // with no partial command pending are unaffected.
+  int64_t read_deadline_ms = 0;
 };
 
 // The transport-free heart of strdb_server: session registry, command

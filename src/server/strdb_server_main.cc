@@ -24,6 +24,19 @@
 //   --session-steps N   default per-query step limit per session
 //   --session-rows N    default per-query row limit per session
 //   --session-ms N      default per-query deadline per session
+//   --request-deadline-ms N
+//                       server-imposed wall-clock cap per request; a
+//                       query it cancels gets "err deadline-exceeded"
+//                       (default 0 = none)
+//   --read-deadline-ms N
+//                       cut a connection that stalls mid-command for
+//                       this long with "err deadline-exceeded" (default
+//                       0 = none; idle connections are unaffected)
+//   --scrub-interval-ms N
+//                       with --dir: background-scrub the snapshot, WAL
+//                       and spilled heaps every N ms, quarantining
+//                       relations whose pages fail their CRCs (default
+//                       0 = no scrub thread)
 //
 // Protocol: one command per line (the shell grammar; see
 // server/command.h), response = body lines + "ok" or "err <code> <msg>"
@@ -122,6 +135,15 @@ int main(int argc, char** argv) {
     } else if (arg == "--session-ms") {
       options.session_limits.deadline_ms =
           ParseInt("--session-ms", next("--session-ms"));
+    } else if (arg == "--request-deadline-ms") {
+      options.request_deadline_ms =
+          ParseInt("--request-deadline-ms", next("--request-deadline-ms"));
+    } else if (arg == "--read-deadline-ms") {
+      options.read_deadline_ms =
+          ParseInt("--read-deadline-ms", next("--read-deadline-ms"));
+    } else if (arg == "--scrub-interval-ms") {
+      store_options.scrub_interval_ms =
+          ParseInt("--scrub-interval-ms", next("--scrub-interval-ms"));
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
       return 2;

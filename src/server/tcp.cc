@@ -64,7 +64,7 @@ Status TcpServer::Listen(int port) {
     ::close(fd);
     return status;
   }
-  listen_fd_ = fd;
+  listen_fd_.store(fd, std::memory_order_release);
   port_ = static_cast<int>(ntohs(addr.sin_port));
   return Status::OK();
 }
@@ -72,7 +72,9 @@ Status TcpServer::Listen(int port) {
 void TcpServer::Serve() {
   while (!stop_.load(std::memory_order_relaxed)) {
     ReapFinished();
-    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int listen_fd = listen_fd_.load(std::memory_order_acquire);
+    if (listen_fd < 0) break;  // Stop() already closed the listener
+    pollfd pfd{listen_fd, POLLIN, 0};
     // A finite timeout doubles as the stop-flag poll interval when no
     // signal arrives to interrupt us.
     int ready = ::poll(&pfd, 1, /*timeout_ms=*/200);
@@ -81,7 +83,7 @@ void TcpServer::Serve() {
       break;
     }
     if (ready == 0) continue;
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR || errno == ECONNABORTED) continue;
       break;  // listener closed (Stop) or unrecoverable
@@ -124,10 +126,8 @@ Status TcpServer::Stop(int64_t deadline_ms) {
   std::map<int64_t, std::thread> threads;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (listen_fd_ >= 0) {
-      ::close(listen_fd_);
-      listen_fd_ = -1;
-    }
+    int listen_fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+    if (listen_fd >= 0) ::close(listen_fd);
     // SHUT_RD unblocks each connection thread's recv() with EOF; the
     // write side stays open so an in-flight command can still deliver
     // its response before the handler closes the socket.
@@ -146,10 +146,33 @@ void TcpServer::HandleConnection(int64_t conn_id, int fd) {
     // typed error line instead of an unexplained hangup.
     SendAll(fd, FrameResponse(session.status(), std::string()));
   } else {
+    const int64_t read_deadline_ms = core_->options().read_deadline_ms;
     std::string buffer;
     char chunk[4096];
     bool alive = true;
     while (alive) {
+      // The read deadline arms only mid-command: once any bytes of an
+      // unterminated line are buffered, the rest must arrive within the
+      // deadline or the connection is cut with a typed error — a
+      // slow-loris writer cannot pin this thread.  An idle connection
+      // (empty buffer) may sit quietly forever.
+      if (read_deadline_ms > 0 && !buffer.empty()) {
+        pollfd pfd{fd, POLLIN, 0};
+        int ready = ::poll(&pfd, 1, static_cast<int>(read_deadline_ms));
+        if (ready < 0 && errno == EINTR) continue;
+        if (ready == 0) {
+          MetricsRegistry::Global()
+              .GetCounter("server.deadline_exceeded")
+              ->Increment();
+          SendAll(fd, FrameResponse(
+                          Status::DeadlineExceeded(
+                              "read stalled mid-command for " +
+                              std::to_string(read_deadline_ms) + "ms"),
+                          std::string()));
+          break;
+        }
+        if (ready < 0) break;
+      }
       ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
       if (n < 0 && errno == EINTR) continue;
       if (n <= 0) break;

@@ -58,7 +58,11 @@ class TcpServer {
   void ReapFinished();
 
   ServerCore* const core_;
-  int listen_fd_ = -1;
+  // Atomic: Serve() polls/accepts on it lock-free while Stop() (another
+  // thread) closes it and writes -1.  The close-while-blocked-in-accept
+  // wakeup is the intended stop mechanism; the atomic only makes the
+  // descriptor handoff itself race-free.
+  std::atomic<int> listen_fd_{-1};
   int port_ = 0;
   std::atomic<bool> stop_{false};
 

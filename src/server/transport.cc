@@ -1,0 +1,192 @@
+#include "server/transport.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+namespace strdb {
+
+// --- TcpClientTransport -----------------------------------------------------
+
+TcpClientTransport::~TcpClientTransport() { Close(); }
+
+Status TcpClientTransport::Connect(const std::string& host, int port) {
+  Close();
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Unavailable(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status status =
+        Status::Unavailable(std::string("connect: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  fd_ = fd;
+  return Status::OK();
+}
+
+Status TcpClientTransport::Send(const std::string& data) {
+  if (fd_ < 0) return Status::Unavailable("not connected");
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status status =
+          Status::Unavailable(std::string("send: ") + std::strerror(errno));
+      Close();
+      return status;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<std::string> TcpClientTransport::Recv() {
+  if (fd_ < 0) return Status::Unavailable("not connected");
+  char chunk[4096];
+  for (;;) {
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status status =
+          Status::Unavailable(std::string("recv: ") + std::strerror(errno));
+      Close();
+      return status;
+    }
+    if (n == 0) {
+      Close();
+      return std::string();  // clean EOF
+    }
+    return std::string(chunk, static_cast<size_t>(n));
+  }
+}
+
+void TcpClientTransport::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+// --- FaultyTransport --------------------------------------------------------
+
+FaultyTransport::FaultyTransport(std::unique_ptr<ClientTransport> base,
+                                 TransportFaultPlan plan)
+    : base_(std::move(base)), plan_(std::move(plan)), rng_(plan_.seed) {}
+
+void FaultyTransport::Reset(TransportFaultPlan plan) {
+  plan_ = std::move(plan);
+  rng_ = Rng(plan_.seed);
+  ops_ = 0;
+  faults_ = 0;
+}
+
+FaultyTransport::Verdict FaultyTransport::Gate() {
+  int64_t index = ops_++;
+  auto listed = [index](const std::vector<int64_t>& v) {
+    return std::find(v.begin(), v.end(), index) != v.end();
+  };
+  if (listed(plan_.drop_at) ||
+      (plan_.drop_every > 0 &&
+       index % plan_.drop_every == plan_.drop_every - 1)) {
+    return Verdict::kDrop;
+  }
+  if (listed(plan_.tear_at)) return Verdict::kTear;
+  if (listed(plan_.stall_at)) return Verdict::kStall;
+  return Verdict::kProceed;
+}
+
+size_t FaultyTransport::TornLength(size_t n) {
+  if (n <= 1) return 0;
+  return static_cast<size_t>(rng_.Below(static_cast<uint64_t>(n)));
+}
+
+Status FaultyTransport::Connect(const std::string& host, int port) {
+  Verdict verdict = Gate();
+  if (verdict == Verdict::kDrop) {
+    ++faults_;
+    base_->Close();
+    return Status::Unavailable("injected: connection refused");
+  }
+  // Tears and stalls are about in-flight bytes; a Connect just proceeds.
+  return base_->Connect(host, port);
+}
+
+Status FaultyTransport::Send(const std::string& data) {
+  switch (Gate()) {
+    case Verdict::kDrop:
+      ++faults_;
+      base_->Close();
+      return Status::Unavailable("injected: connection dropped before send");
+    case Verdict::kTear: {
+      ++faults_;
+      // The server sees a torn request frame (no terminating newline),
+      // then EOF — exactly what a connection dying mid-write produces.
+      std::string prefix = data.substr(0, TornLength(data.size()));
+      if (!prefix.empty()) (void)base_->Send(prefix);
+      base_->Close();
+      return Status::Unavailable("injected: connection torn mid-send");
+    }
+    case Verdict::kStall:
+      if (plan_.stall_ms > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(plan_.stall_ms));
+      }
+      break;
+    case Verdict::kProceed:
+      break;
+  }
+  return base_->Send(data);
+}
+
+Result<std::string> FaultyTransport::Recv() {
+  switch (Gate()) {
+    case Verdict::kDrop:
+      ++faults_;
+      base_->Close();
+      return Status::Unavailable("injected: connection dropped before recv");
+    case Verdict::kTear: {
+      ++faults_;
+      // The client sees a strict prefix of the response frame, then the
+      // connection is gone: a torn response.  Deliver the prefix so the
+      // caller's framing logic has to cope with a half-line.
+      Result<std::string> got = base_->Recv();
+      base_->Close();
+      if (!got.ok() || got->empty()) {
+        return Status::Unavailable("injected: connection torn mid-recv");
+      }
+      return got->substr(0, TornLength(got->size()));
+    }
+    case Verdict::kStall:
+      if (plan_.stall_ms > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(plan_.stall_ms));
+      }
+      break;
+    case Verdict::kProceed:
+      break;
+  }
+  return base_->Recv();
+}
+
+void FaultyTransport::Close() { base_->Close(); }
+
+}  // namespace strdb

@@ -1,0 +1,127 @@
+#ifndef STRDB_SERVER_TRANSPORT_H_
+#define STRDB_SERVER_TRANSPORT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/result.h"
+#include "core/rng.h"
+
+namespace strdb {
+
+// The client side of the newline-framed protocol, behind a seam so the
+// resilient client (client/client.h) can be driven over a real socket
+// in production and over a fault-injecting wrapper in tests.  One
+// transport object represents one logical peer: Connect() may be called
+// again after a drop, and implementations must make a failed or closed
+// transport safe to reconnect.
+class ClientTransport {
+ public:
+  virtual ~ClientTransport() = default;
+
+  // (Re)establishes the connection.  Any previous connection is closed
+  // first.
+  virtual Status Connect(const std::string& host, int port) = 0;
+
+  // Writes the whole buffer.  kUnavailable when the connection died
+  // (the caller reconnects and retries).
+  virtual Status Send(const std::string& data) = 0;
+
+  // Reads some bytes (at least one).  An empty string is a clean EOF —
+  // the peer closed.  kUnavailable on a broken connection.
+  virtual Result<std::string> Recv() = 0;
+
+  virtual void Close() = 0;
+  virtual bool connected() const = 0;
+};
+
+// The real thing: a blocking TCP connection.
+class TcpClientTransport : public ClientTransport {
+ public:
+  TcpClientTransport() = default;
+  ~TcpClientTransport() override;
+
+  Status Connect(const std::string& host, int port) override;
+  Status Send(const std::string& data) override;
+  Result<std::string> Recv() override;
+  void Close() override;
+  bool connected() const override { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+};
+
+// What a FaultyTransport should break.  Operation indices are 0-based
+// and count every transport call (Connect, Send, Recv) in execution
+// order — deterministic for a deterministic workload, exactly like
+// FaultPlan's op indices over Env calls (core/io/fault_env.h), which is
+// what makes a fault-point sweep over a client session possible.
+struct TransportFaultPlan {
+  // Seeds torn-frame prefix lengths.
+  uint64_t seed = 1;
+  // Op indices at which the connection tears mid-byte: a Send landing
+  // here transmits only a seeded strict prefix of its bytes before the
+  // connection drops (the server sees a torn request frame); a Recv
+  // landing here delivers only a seeded strict prefix of what arrived
+  // and then the connection drops (the client sees a torn response
+  // frame).  Connect is unaffected by a tear index.
+  std::vector<int64_t> tear_at;
+  // Op indices that drop the connection instead of executing: the op
+  // fails kUnavailable and the underlying connection is closed.
+  std::vector<int64_t> drop_at;
+  // > 0: every op with index % drop_every == drop_every - 1 drops, a
+  // flaky-network soak mode (composes with the explicit lists).
+  int64_t drop_every = 0;
+  // Op indices at which a Recv stalls (slow-loris): the call sleeps
+  // stall_ms before proceeding.  Non-Recv ops ignore stall indices.
+  std::vector<int64_t> stall_at;
+  int64_t stall_ms = 0;
+};
+
+// A deterministic fault-injecting decorator over another transport.
+// All traffic passes through to `base` until the plan says otherwise.
+// Unlike FaultInjectingEnv there is no terminal "crashed" state: a
+// dropped connection is exactly what the resilient client is built to
+// survive, so the very next Connect proceeds normally (unless its own
+// index is listed).  Thread-compatible: one client session drives one
+// transport.
+class FaultyTransport : public ClientTransport {
+ public:
+  // `base` is owned.
+  FaultyTransport(std::unique_ptr<ClientTransport> base,
+                  TransportFaultPlan plan);
+
+  // Installs a new plan and rewinds the op counter.
+  void Reset(TransportFaultPlan plan);
+  // Ops attempted so far (including faulted ones).
+  int64_t ops() const { return ops_; }
+  // Faults injected so far (tears + drops; stalls are delays, not
+  // faults).
+  int64_t faults() const { return faults_; }
+
+  Status Connect(const std::string& host, int port) override;
+  Status Send(const std::string& data) override;
+  Result<std::string> Recv() override;
+  void Close() override;
+  bool connected() const override { return base_->connected(); }
+
+ private:
+  enum class Verdict { kProceed, kDrop, kTear, kStall };
+  Verdict Gate();  // charges one op against the plan
+
+  // Seeded strict-prefix length for a torn frame of `n` bytes.
+  size_t TornLength(size_t n);
+
+  std::unique_ptr<ClientTransport> base_;
+  TransportFaultPlan plan_;
+  Rng rng_;
+  int64_t ops_ = 0;
+  int64_t faults_ = 0;
+};
+
+}  // namespace strdb
+
+#endif  // STRDB_SERVER_TRANSPORT_H_

@@ -149,6 +149,16 @@ std::string EncodeDrop(const std::string& name) {
   return out;
 }
 
+void AppendReqTagLine(std::string* payload, const std::string& client,
+                      uint64_t seq) {
+  if (client.empty()) return;
+  payload->append("req ");
+  AppendLenPrefixed(payload, client);
+  payload->push_back(' ');
+  payload->append(std::to_string(seq));
+  payload->push_back('\n');
+}
+
 std::string EncodeFsa(const std::string& key, const std::string& fsa_text) {
   std::string out = "fsa ";
   AppendLenPrefixed(&out, key);
@@ -159,6 +169,35 @@ std::string EncodeFsa(const std::string& key, const std::string& fsa_text) {
 }
 
 namespace {
+
+// Trailing idempotent-request tag, appended after a mutation's body.
+void AppendReqTag(std::string* out, const CatalogOp& op) {
+  AppendReqTagLine(out, op.req_client, op.req_seq);
+}
+
+std::string EncodeReqId(const CatalogOp& op) {
+  std::string out = "rid ";
+  AppendLenPrefixed(&out, op.req_client);
+  out.push_back(' ');
+  out.append(std::to_string(op.req_seq));
+  out.push_back('\n');
+  return out;
+}
+
+std::string EncodeLost(const CatalogOp& op) {
+  std::string out = "lost ";
+  AppendLenPrefixed(&out, op.name);
+  out.push_back(' ');
+  out.append(std::to_string(op.arity));
+  out.push_back(' ');
+  out.append(std::to_string(op.tuple_count));
+  out.push_back(' ');
+  out.append(std::to_string(op.max_string_length));
+  out.push_back(' ');
+  AppendLenPrefixed(&out, op.reason);
+  out.push_back('\n');
+  return out;
+}
 
 std::string EncodeSpill(const CatalogOp& op) {
   std::string out = "spl ";
@@ -188,16 +227,27 @@ std::string EncodeOp(const CatalogOp& op) {
       out.append(std::to_string(op.tuples.size()));
       out.push_back('\n');
       for (const Tuple& t : op.tuples) AppendTuple(&out, t);
+      AppendReqTag(&out, op);
       return out;
     }
-    case CatalogOp::kInsert:
-      return EncodeInsert(op.name, op.tuples);
-    case CatalogOp::kDrop:
-      return EncodeDrop(op.name);
+    case CatalogOp::kInsert: {
+      std::string out = EncodeInsert(op.name, op.tuples);
+      AppendReqTag(&out, op);
+      return out;
+    }
+    case CatalogOp::kDrop: {
+      std::string out = EncodeDrop(op.name);
+      AppendReqTag(&out, op);
+      return out;
+    }
     case CatalogOp::kFsa:
       return EncodeFsa(op.key, op.fsa_text);
     case CatalogOp::kSpill:
       return EncodeSpill(op);
+    case CatalogOp::kReqId:
+      return EncodeReqId(op);
+    case CatalogOp::kLost:
+      return EncodeLost(op);
   }
   return "";
 }
@@ -264,8 +314,49 @@ Result<CatalogOp> DecodeOp(const std::string& payload) {
     STRDB_RETURN_IF_ERROR(cur.ExpectChar(' '));
     STRDB_ASSIGN_OR_RETURN(op.file, cur.ReadLenPrefixed());
     STRDB_RETURN_IF_ERROR(cur.ExpectChar('\n'));
+  } else if (kind == "rid") {
+    op.kind = CatalogOp::kReqId;
+    STRDB_RETURN_IF_ERROR(cur.ExpectChar(' '));
+    STRDB_ASSIGN_OR_RETURN(op.req_client, cur.ReadLenPrefixed());
+    STRDB_RETURN_IF_ERROR(cur.ExpectChar(' '));
+    STRDB_ASSIGN_OR_RETURN(int64_t seq, cur.ReadNumber());
+    op.req_seq = static_cast<uint64_t>(seq);
+    STRDB_RETURN_IF_ERROR(cur.ExpectChar('\n'));
+  } else if (kind == "lost") {
+    op.kind = CatalogOp::kLost;
+    STRDB_RETURN_IF_ERROR(cur.ExpectChar(' '));
+    STRDB_ASSIGN_OR_RETURN(op.name, cur.ReadLenPrefixed());
+    STRDB_RETURN_IF_ERROR(cur.ExpectChar(' '));
+    STRDB_ASSIGN_OR_RETURN(int64_t arity, cur.ReadNumber());
+    if (arity < 0 || arity > 1'000'000) {
+      return Status::DataLoss("op payload: absurd relation arity");
+    }
+    op.arity = static_cast<int>(arity);
+    STRDB_RETURN_IF_ERROR(cur.ExpectChar(' '));
+    STRDB_ASSIGN_OR_RETURN(op.tuple_count, cur.ReadNumber());
+    STRDB_RETURN_IF_ERROR(cur.ExpectChar(' '));
+    STRDB_ASSIGN_OR_RETURN(int64_t maxlen, cur.ReadNumber());
+    op.max_string_length = static_cast<int>(maxlen);
+    STRDB_RETURN_IF_ERROR(cur.ExpectChar(' '));
+    STRDB_ASSIGN_OR_RETURN(op.reason, cur.ReadLenPrefixed());
+    STRDB_RETURN_IF_ERROR(cur.ExpectChar('\n'));
   } else {
     return Status::DataLoss("op payload: unknown op kind '" + kind + "'");
+  }
+  // Mutations may carry one trailing idempotent-request tag.
+  if (!cur.AtEnd() &&
+      (op.kind == CatalogOp::kPut || op.kind == CatalogOp::kInsert ||
+       op.kind == CatalogOp::kDrop)) {
+    STRDB_ASSIGN_OR_RETURN(std::string tag, cur.ReadWord());
+    if (tag != "req") {
+      return Status::DataLoss("op payload: trailing bytes after op");
+    }
+    STRDB_RETURN_IF_ERROR(cur.ExpectChar(' '));
+    STRDB_ASSIGN_OR_RETURN(op.req_client, cur.ReadLenPrefixed());
+    STRDB_RETURN_IF_ERROR(cur.ExpectChar(' '));
+    STRDB_ASSIGN_OR_RETURN(int64_t seq, cur.ReadNumber());
+    op.req_seq = static_cast<uint64_t>(seq);
+    STRDB_RETURN_IF_ERROR(cur.ExpectChar('\n'));
   }
   if (!cur.AtEnd()) {
     return Status::DataLoss("op payload: trailing bytes after op");
@@ -290,6 +381,12 @@ Status ApplyOp(const CatalogOp& op, const Alphabet& alphabet, Database* db,
     case CatalogOp::kSpill:
       return Status::Internal(
           "spill op requires storage context (CatalogStore handles it)");
+    case CatalogOp::kReqId:
+      return Status::Internal(
+          "reqid op requires storage context (CatalogStore handles it)");
+    case CatalogOp::kLost:
+      return Status::Internal(
+          "lost op requires storage context (CatalogStore handles it)");
   }
   return Status::Internal("unreachable op kind");
 }

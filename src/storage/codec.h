@@ -21,11 +21,13 @@ struct CatalogOp {
     kDrop,    // remove a relation
     kFsa,     // install a cached automaton (serialized text) under a key
     kSpill,   // snapshot-only: relation lives out-of-core in a heap file
+    kReqId,   // snapshot-only: one client's highest applied request seq
+    kLost,    // snapshot-only: relation quarantined after scrub/corruption
   };
 
   Kind kind = kPut;
-  std::string name;           // kPut / kInsert / kDrop / kSpill
-  int arity = 0;              // kPut / kSpill
+  std::string name;           // kPut / kInsert / kDrop / kSpill / kLost
+  int arity = 0;              // kPut / kSpill / kLost
   std::vector<Tuple> tuples;  // kPut / kInsert
   std::string key;            // kFsa: artifact-cache key
   std::string fsa_text;       // kFsa: SerializeFsa output (self-checksummed)
@@ -34,6 +36,15 @@ struct CatalogOp {
   int64_t tuple_count = 0;
   int max_string_length = 0;
   std::string file;
+  // Idempotent-request tag.  A mutation op (kPut/kInsert/kDrop) may
+  // carry the client id + sequence number of the request that produced
+  // it; WAL replay rebuilds the per-client applied-seq window from
+  // these, so a retried request after a lost ack is applied exactly
+  // once across crashes.  kReqId side-ops persist the same window
+  // through snapshots (one op per client).  Empty client = untagged.
+  std::string req_client;     // any mutation (tag) / kReqId
+  uint64_t req_seq = 0;       // any mutation (tag) / kReqId
+  std::string reason;         // kLost: human-readable quarantine cause
 };
 
 // Text encoding, binary-safe via length prefixes: every caller-chosen
@@ -46,11 +57,23 @@ struct CatalogOp {
 //   drop <len>:<name>\n
 //   fsa <len>:<key> <len>:<serialized-text>\n
 //   spl <len>:<name> <arity> <maxlen> <ntuples> <len>:<heap-file>\n
+//   rid <len>:<client> <seq>\n
+//   lost <len>:<name> <arity> <ntuples> <maxlen> <len>:<reason>\n
+//
+// A mutation op (put/ins/drop) may additionally end with one trailing
+//   req <len>:<client> <seq>\n
+// line carrying its idempotent-request tag.
 std::string EncodePut(const std::string& name, const StringRelation& relation);
 std::string EncodeInsert(const std::string& name,
                          const std::vector<Tuple>& tuples);
 std::string EncodeDrop(const std::string& name);
 std::string EncodeFsa(const std::string& key, const std::string& fsa_text);
+
+// Appends the trailing idempotent-request tag line ("req <len>:<client>
+// <seq>\n") to an already-encoded mutation payload.  No-op when
+// `client` is empty.
+void AppendReqTagLine(std::string* payload, const std::string& client,
+                      uint64_t seq);
 
 std::string EncodeOp(const CatalogOp& op);
 

@@ -193,8 +193,16 @@ Status WritePagedHeap(Env* env, const std::string& path,
 
 Result<std::shared_ptr<const PagedHeap>> PagedHeap::Open(BufferPool* pool,
                                                          std::string path) {
-  std::shared_ptr<PagedHeap> heap(new PagedHeap(pool, std::move(path)));
-  STRDB_ASSIGN_OR_RETURN(PageRef header, pool->Pin(heap->path_, 0));
+  // Non-owning alias: the caller guarantees the pool outlives the view.
+  return Open(std::shared_ptr<BufferPool>(pool, [](BufferPool*) {}),
+              std::move(path));
+}
+
+Result<std::shared_ptr<const PagedHeap>> PagedHeap::Open(
+    std::shared_ptr<BufferPool> pool, std::string path) {
+  std::shared_ptr<PagedHeap> heap(
+      new PagedHeap(std::move(pool), std::move(path)));
+  STRDB_ASSIGN_OR_RETURN(PageRef header, heap->pool_->Pin(heap->path_, 0));
   const std::string& h = header.data();
   if (h.compare(0, kMagicLen, kMagic, kMagicLen) != 0) {
     return HeapCorrupt(heap->path_, "bad magic");
@@ -256,7 +264,8 @@ Result<std::shared_ptr<const PagedHeap>> PagedHeap::Open(BufferPool* pool,
   for (int64_t run = 0; run < run_count; ++run) {
     int64_t dir_page = rundir_first + run / kRunDirPerPage;
     int64_t slot = run % kRunDirPerPage;
-    STRDB_ASSIGN_OR_RETURN(PageRef page, pool->Pin(heap->path_, dir_page));
+    STRDB_ASSIGN_OR_RETURN(PageRef page,
+                           heap->pool_->Pin(heap->path_, dir_page));
     const char* e = page.data().data() + slot * kRunDirEntryBytes;
     RunInfo info;
     info.row_count = static_cast<int64_t>(GetU32(e));

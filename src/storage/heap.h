@@ -56,7 +56,14 @@ Status WritePagedHeap(Env* env, const std::string& path,
 class PagedHeap : public TupleSource {
  public:
   // Reads and validates the header + run directory (a handful of
-  // pages); tuple pages are only touched by Scan.
+  // pages); tuple pages are only touched by Scan.  The shared_ptr
+  // overload makes the view co-own the pool: the pool stays alive for
+  // as long as any heap (and the page pins its scans hold) does, so a
+  // store tearing down cannot yank the pool from under a streaming
+  // paged scan.  The raw overload borrows the pool (callers guarantee
+  // it outlives the view — the tests' stack pools).
+  static Result<std::shared_ptr<const PagedHeap>> Open(
+      std::shared_ptr<BufferPool> pool, std::string path);
   static Result<std::shared_ptr<const PagedHeap>> Open(BufferPool* pool,
                                                        std::string path);
 
@@ -76,15 +83,15 @@ class PagedHeap : public TupleSource {
   Status ScanRun(int64_t index, std::vector<Tuple>* out) const;
 
  private:
-  PagedHeap(BufferPool* pool, std::string path)
-      : pool_(pool), path_(std::move(path)) {}
+  PagedHeap(std::shared_ptr<BufferPool> pool, std::string path)
+      : pool_(std::move(pool)), path_(std::move(path)) {}
 
   // Looks up dictionary entry `id` through the pool.
   Status GetString(uint32_t id, std::string* out) const;
   // Copies [offset, offset+n) of the logical dict data region.
   Status ReadDictData(int64_t offset, int64_t n, std::string* out) const;
 
-  BufferPool* pool_;
+  std::shared_ptr<BufferPool> pool_;
   std::string path_;
 
   int arity_ = 0;

@@ -1,6 +1,9 @@
 #include "storage/retry.h"
 
+#include <algorithm>
+
 #include "core/metrics.h"
+#include "core/rng.h"
 
 namespace strdb {
 
@@ -8,13 +11,43 @@ Status RetryIo(Env* env, const RetryPolicy& policy, int64_t* retry_count,
                const std::function<Status()>& fn) {
   static Counter* retries =
       MetricsRegistry::Global().GetCounter("storage.io.retries");
+  static Counter* giveups =
+      MetricsRegistry::Global().GetCounter("storage.io.retry_giveups");
   Status status = fn();
-  int64_t backoff = policy.backoff_initial_ms;
+  if (status.ok() || status.code() != StatusCode::kUnavailable) return status;
+  Rng rng(policy.jitter_seed);
+  int64_t backoff = std::max<int64_t>(policy.backoff_initial_ms, 1);
+  int64_t slept_ms = 0;
   for (int attempt = 0;
-       !status.ok() && status.code() == StatusCode::kUnavailable &&
-       attempt < policy.max_retries;
+       !status.ok() && status.code() == StatusCode::kUnavailable;
        ++attempt) {
-    env->SleepMs(backoff);
+    if (attempt >= policy.max_retries) {
+      giveups->Increment();
+      break;
+    }
+    int64_t sleep_ms = backoff;
+    if (policy.jitter > 0) {
+      // Equal jitter: keep the expected value at `backoff` but spread
+      // each draw across [backoff*(1-j), backoff*(1+j)] so concurrent
+      // retriers don't re-collide in lockstep.
+      int64_t span = static_cast<int64_t>(
+          static_cast<double>(backoff) * policy.jitter);
+      if (span > 0) {
+        sleep_ms = backoff - span +
+                   static_cast<int64_t>(
+                       rng.Below(static_cast<uint64_t>(2 * span + 1)));
+      }
+    }
+    if (policy.backoff_cap_ms > 0) {
+      sleep_ms = std::min(sleep_ms, policy.backoff_cap_ms);
+    }
+    if (policy.total_backoff_cap_ms > 0 &&
+        slept_ms + sleep_ms > policy.total_backoff_cap_ms) {
+      giveups->Increment();
+      break;
+    }
+    env->SleepMs(sleep_ms);
+    slept_ms += sleep_ms;
     if (backoff < (int64_t{1} << 30)) backoff *= 2;
     retries->Increment();
     if (retry_count != nullptr) ++*retry_count;

@@ -13,6 +13,19 @@ namespace strdb {
 struct RetryPolicy {
   int max_retries = 5;              // attempts beyond the first
   int64_t backoff_initial_ms = 1;   // doubles per retry: 1, 2, 4, ...
+  int64_t backoff_cap_ms = 1000;    // per-sleep ceiling after jitter
+  // Total sleep budget across all retries of one call; once the next
+  // backoff would push past it the call gives up with the last
+  // transient status instead of sleeping.  0 disables the cap.
+  int64_t total_backoff_cap_ms = 0;
+  // Equal-jitter fraction in [0, 1): each sleep is drawn uniformly from
+  // [backoff*(1-jitter), backoff*(1+jitter)] so a thundering herd of
+  // retriers decorrelates.  0 keeps the exact doubling sequence.
+  double jitter = 0.25;
+  // Seed for the jitter draw.  The sequence of sleeps is a pure
+  // function of (policy, seed), which is what makes backoff testable:
+  // same seed, same sleeps.
+  uint64_t jitter_seed = 0x5eedfu;
 };
 
 // Runs `fn`; while it returns kUnavailable (the transient class — see
@@ -20,7 +33,9 @@ struct RetryPolicy {
 // `env->SleepMs` and retries.  Other codes return immediately.  Every
 // retry increments the process-wide "storage.io.retries" counter and
 // `*retry_count` (when non-null), so recovery reports and the shell's
-// `metrics` command can show how hard the disk fought back.
+// `metrics` command can show how hard the disk fought back.  Exhausting
+// either budget (attempts or total backoff time) bumps
+// "storage.io.retry_giveups" and returns the last transient status.
 //
 // The retried unit must be a SINGLE idempotent-or-framed Env call:
 // retrying a composite sequence could duplicate a WAL append.

@@ -207,8 +207,10 @@ Status ReadSnapshot(Env* env, const std::string& path, Database* db,
     }
     ++pos;
     STRDB_ASSIGN_OR_RETURN(CatalogOp op, DecodeOp(payload));
-    if (op.kind == CatalogOp::kSpill && spills != nullptr) {
-      if (db->Has(op.name)) {
+    if ((op.kind == CatalogOp::kSpill || op.kind == CatalogOp::kReqId ||
+         op.kind == CatalogOp::kLost) &&
+        spills != nullptr) {
+      if (op.kind != CatalogOp::kReqId && db->Has(op.name)) {
         return Status::DataLoss("snapshot '" + path + "': relation '" +
                                 op.name + "' both inline and spilled");
       }

@@ -1,9 +1,11 @@
 #include "storage/store.h"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
 #include <sstream>
 
+#include "core/io/crc32.h"
 #include "core/metrics.h"
 #include "fsa/serialize.h"
 #include "storage/codec.h"
@@ -19,6 +21,10 @@ struct StoreMetrics {
   Counter* recoveries;
   Counter* replayed_records;
   Counter* truncated_bytes;
+  Counter* scrub_passes;
+  Counter* scrub_pages_verified;
+  Counter* scrub_crc_failures;
+  Counter* scrub_quarantines;
 };
 
 const StoreMetrics& Metrics() {
@@ -30,6 +36,10 @@ const StoreMetrics& Metrics() {
         reg.GetCounter("storage.recoveries"),
         reg.GetCounter("storage.recovery.replayed_records"),
         reg.GetCounter("storage.recovery.truncated_bytes"),
+        reg.GetCounter("storage.scrub.passes"),
+        reg.GetCounter("storage.scrub.pages_verified"),
+        reg.GetCounter("storage.scrub.crc_failures"),
+        reg.GetCounter("storage.scrub.quarantines"),
     };
   }();
   return metrics;
@@ -73,6 +83,92 @@ int64_t ApproxBytes(const StringRelation& rel) {
   return bytes;
 }
 
+// Stand-in for a quarantined relation: keeps the name (and the shape
+// the snapshot recorded) in the catalog, but every read is a typed
+// kDataLoss — the failure stays scoped to this relation instead of
+// taking the whole store down.
+class LostTupleSource : public TupleSource {
+ public:
+  LostTupleSource(std::string name, int arity, int64_t tuple_count,
+                  int max_string_length, std::string reason)
+      : name_(std::move(name)),
+        arity_(arity),
+        tuple_count_(tuple_count),
+        max_string_length_(max_string_length),
+        reason_(std::move(reason)) {}
+
+  int arity() const override { return arity_; }
+  int64_t tuple_count() const override { return tuple_count_; }
+  int max_string_length() const override { return max_string_length_; }
+
+  Status Scan(const std::function<Status(const std::vector<Tuple>&)>&)
+      const override {
+    return Status::DataLoss("relation '" + name_ +
+                            "' is quarantined: " + reason_);
+  }
+
+ private:
+  std::string name_;
+  int arity_;
+  int64_t tuple_count_;
+  int max_string_length_;
+  std::string reason_;
+};
+
+// Verifies the crc32 trailer of a snapshot file's bytes (the same check
+// ReadSnapshot performs before parsing anything).
+bool SnapshotChecksumOk(const std::string& data, std::string* why) {
+  size_t crc_pos = data.rfind("\ncrc32 ");
+  if (crc_pos == std::string::npos) {
+    *why = "missing crc32 trailer (truncated?)";
+    return false;
+  }
+  std::string hex = data.substr(crc_pos + 7);
+  while (!hex.empty() && (hex.back() == '\n' || hex.back() == '\r')) {
+    hex.pop_back();
+  }
+  uint32_t stated = 0;
+  if (!ParseCrc32Hex(hex, &stated)) {
+    *why = "malformed crc32 trailer";
+    return false;
+  }
+  if (Crc32(data.substr(0, crc_pos + 1)) != stated) {
+    *why = "checksum mismatch";
+    return false;
+  }
+  return true;
+}
+
+// CRC-walks the raw bytes of a paged file.  Returns the number of pages
+// verified before the first failure; `why` is set (and false returned)
+// on any bad page or ragged size.
+bool VerifyPagedBytes(const std::string& content, int64_t* pages_ok,
+                      std::string* why) {
+  *pages_ok = 0;
+  if (content.size() % static_cast<size_t>(kPageSize) != 0) {
+    *why = "file size " + std::to_string(content.size()) +
+           " is not a whole number of pages";
+    return false;
+  }
+  int64_t pages = static_cast<int64_t>(content.size()) / kPageSize;
+  for (int64_t i = 0; i < pages; ++i) {
+    const char* page = content.data() + i * kPageSize;
+    const unsigned char* t =
+        reinterpret_cast<const unsigned char*>(page + kPagePayload);
+    uint32_t stated = static_cast<uint32_t>(t[0]) |
+                      (static_cast<uint32_t>(t[1]) << 8) |
+                      (static_cast<uint32_t>(t[2]) << 16) |
+                      (static_cast<uint32_t>(t[3]) << 24);
+    if (Crc32(std::string(page, static_cast<size_t>(kPagePayload))) !=
+        stated) {
+      *why = "page " + std::to_string(i) + " checksum mismatch";
+      return false;
+    }
+    ++*pages_ok;
+  }
+  return true;
+}
+
 }  // namespace
 
 std::string RecoveryReport::ToString() const {
@@ -93,7 +189,28 @@ std::string RecoveryReport::ToString() const {
     out << "; " << spilled_relations << " spilled relation(s) ("
         << spilled_tuples << " tuple(s)) recovered as paged heaps";
   }
+  if (quarantined_relations > 0) {
+    out << "; " << quarantined_relations
+        << " relation(s) quarantined (heap missing/corrupt)";
+  }
+  if (req_clients > 0) {
+    out << "; " << req_clients << " request-id window(s)";
+  }
   if (io_retries > 0) out << "; " << io_retries << " transient I/O retry(ies)";
+  return out.str();
+}
+
+std::string ScrubReport::ToString() const {
+  std::ostringstream out;
+  out << "scrub: " << pages_verified << " page(s) verified across "
+      << heaps_scanned << " heap(s)";
+  if (!snapshot_ok) out << "; snapshot FAILED";
+  if (!wal_ok) out << "; wal FAILED";
+  if (crc_failures > 0) out << "; " << crc_failures << " crc failure(s)";
+  for (const std::string& name : quarantined) {
+    out << "; quarantined '" << name << "'";
+  }
+  for (const std::string& err : errors) out << "; " << err;
   return out.str();
 }
 
@@ -106,7 +223,7 @@ CatalogStore::CatalogStore(std::string dir, const Alphabet& alphabet,
   BufferPoolOptions pool_options;
   pool_options.env = env_;
   pool_options.capacity_bytes = options.pager_capacity_bytes;
-  pool_ = std::make_unique<BufferPool>(pool_options);
+  pool_ = std::make_shared<BufferPool>(pool_options);
 }
 
 CatalogStore::~CatalogStore() { Close(); }
@@ -170,7 +287,51 @@ void CatalogStore::DiscardPagedLocked(const std::string& name) {
     garbage_heaps_.push_back(it->second.file);
     spill_ops_.erase(it);
   }
+  // A lost relation has no file to garbage-collect (it was moved aside
+  // when quarantined); dropping or replacing it just clears the marker.
+  lost_ops_.erase(name);
   paged_.erase(name);
+}
+
+bool CatalogStore::AlreadyAppliedLocked(const ReqId& req) const {
+  if (!req.valid()) return false;
+  auto it = applied_reqs_.find(req.client);
+  return it != applied_reqs_.end() && it->second >= req.seq;
+}
+
+void CatalogStore::RecordReqLocked(const ReqId& req) {
+  if (!req.valid()) return;
+  uint64_t& cur = applied_reqs_[req.client];
+  if (req.seq > cur) cur = req.seq;
+}
+
+void CatalogStore::MarkLostLocked(const std::string& name, int arity,
+                                  int64_t tuple_count, int max_string_length,
+                                  const std::string& reason) {
+  auto it = spill_ops_.find(name);
+  if (it != spill_ops_.end()) {
+    if (tuple_count == 0) tuple_count = it->second.tuple_count;
+    if (max_string_length == 0) max_string_length = it->second.max_string_length;
+    if (arity == 0) arity = it->second.arity;
+    spill_ops_.erase(it);
+  }
+  CatalogOp op;
+  op.kind = CatalogOp::kLost;
+  op.name = name;
+  op.arity = arity;
+  op.tuple_count = tuple_count;
+  op.max_string_length = max_string_length;
+  op.reason = reason;
+  lost_ops_[name] = op;
+  paged_[name] = std::make_shared<LostTupleSource>(
+      name, arity, tuple_count, max_string_length, reason);
+}
+
+std::map<std::string, std::string> CatalogStore::LostRelations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, std::string> out;
+  for (const auto& [name, op] : lost_ops_) out[name] = op.reason;
+  return out;
 }
 
 Result<std::unique_ptr<CatalogStore>> CatalogStore::Open(
@@ -206,7 +367,9 @@ Status CatalogStore::OpenInternal(RecoveryReport* report) {
 
   // Sweep leftovers from interrupted checkpoints: temp files and
   // snapshots/WALs of generations CURRENT never committed.  Best effort —
-  // an orphan costs disk space, not correctness.
+  // an orphan costs disk space, not correctness.  quarantine-* files are
+  // deliberately spared: they are the forensic record of scrubbed-out
+  // corruption.
   auto listed = env_->ListDir(dir_);
   if (listed.ok()) {
     for (const std::string& name : *listed) {
@@ -222,8 +385,8 @@ Status CatalogStore::OpenInternal(RecoveryReport* report) {
     }
   }
 
-  // Load the live snapshot, if any.  kSpill ops come back separately:
-  // only the store knows how to open heap files.
+  // Load the live snapshot, if any.  Side ops (kSpill/kReqId/kLost)
+  // come back separately: only the store knows what to do with them.
   std::vector<CatalogOp> spills;
   if (generation_ > 0) {
     STRDB_RETURN_IF_ERROR(ReadSnapshot(env_, SnapPath(generation_), &db_,
@@ -233,26 +396,58 @@ Status CatalogStore::OpenInternal(RecoveryReport* report) {
   }
 
   // Open every spilled relation and cross-check the heap header against
-  // the snapshot's record of it — a mismatch means the file on disk is
-  // not the one the snapshot committed.
+  // the snapshot's record of it.  A heap that is missing or corrupt is
+  // quarantined — moved aside and answered with kDataLoss — instead of
+  // failing the whole catalog: every other relation keeps its data.
   std::set<std::string> referenced_heaps;
   for (CatalogOp& op : spills) {
+    if (op.kind == CatalogOp::kReqId) {
+      uint64_t& cur = applied_reqs_[op.req_client];
+      if (op.req_seq > cur) cur = op.req_seq;
+      continue;
+    }
+    if (op.kind == CatalogOp::kLost) {
+      if (db_.Has(op.name) || paged_.count(op.name) > 0) {
+        return Status::DataLoss("snapshot lists relation '" + op.name +
+                                "' twice");
+      }
+      MarkLostLocked(op.name, op.arity, op.tuple_count, op.max_string_length,
+                     op.reason);
+      continue;
+    }
     referenced_heaps.insert(op.file);
     if (db_.Has(op.name) || paged_.count(op.name) > 0) {
       return Status::DataLoss("snapshot lists relation '" + op.name +
                               "' twice");
     }
-    STRDB_ASSIGN_OR_RETURN(std::shared_ptr<const PagedHeap> heap,
-                           PagedHeap::Open(pool_.get(), dir_ + "/" + op.file));
-    if (heap->arity() != op.arity || heap->tuple_count() != op.tuple_count ||
-        heap->max_string_length() != op.max_string_length) {
-      return Status::DataLoss("heap file '" + op.file +
-                              "' does not match snapshot record for '" +
-                              op.name + "'");
+    auto opened = PagedHeap::Open(pool_, dir_ + "/" + op.file);
+    std::string bad;
+    if (!opened.ok()) {
+      if (opened.status().code() == StatusCode::kDataLoss ||
+          opened.status().code() == StatusCode::kNotFound) {
+        bad = opened.status().ToString();
+      } else {
+        return opened.status();  // infra failure (e.g. transient I/O)
+      }
+    } else {
+      const PagedHeap& heap = **opened;
+      if (heap.arity() != op.arity || heap.tuple_count() != op.tuple_count ||
+          heap.max_string_length() != op.max_string_length) {
+        bad = "heap file '" + op.file +
+              "' does not match snapshot record for '" + op.name + "'";
+      }
+    }
+    if (!bad.empty()) {
+      env_->Rename(dir_ + "/" + op.file, dir_ + "/quarantine-" + op.file);
+      MarkLostLocked(op.name, op.arity, op.tuple_count, op.max_string_length,
+                     "quarantined at open: " + bad);
+      report->quarantined_relations++;
+      Metrics().scrub_quarantines->Increment();
+      continue;
     }
     report->spilled_relations++;
     report->spilled_tuples += op.tuple_count;
-    paged_[op.name] = heap;
+    paged_[op.name] = *opened;
     spill_ops_[op.name] = std::move(op);
   }
 
@@ -270,6 +465,7 @@ Status CatalogStore::OpenInternal(RecoveryReport* report) {
 
   // Replay the WAL, salvaging whatever prefix survived.
   std::string wal_path = WalPath(generation_);
+  int64_t wal_committed_bytes = 0;
   if (env_->FileExists(wal_path)) {
     report->opened_existing = true;
     STRDB_ASSIGN_OR_RETURN(
@@ -284,6 +480,16 @@ Status CatalogStore::OpenInternal(RecoveryReport* report) {
         applied = op.status();
       } else if (op->kind == CatalogOp::kDrop && paged_.count(op->name) > 0) {
         DiscardPagedLocked(op->name);
+        applied = Status::OK();
+      } else if (op->kind == CatalogOp::kLost) {
+        // A quarantine committed before the crash: the heap file was
+        // already moved aside, so just (re)install the marker.
+        if (paged_.count(op->name) > 0) {
+          spill_ops_.erase(op->name);
+          paged_.erase(op->name);
+        }
+        MarkLostLocked(op->name, op->arity, op->tuple_count,
+                       op->max_string_length, op->reason);
         applied = Status::OK();
       } else {
         // A put replaces a spilled relation outright; an insert must
@@ -310,6 +516,12 @@ Status CatalogStore::OpenInternal(RecoveryReport* report) {
             report->wal_records_replayed;
         break;
       }
+      // Rebuild the idempotent-request window from mutation tags, so a
+      // retry that raced the crash still dedups after recovery.
+      if (op.ok() && !op->req_client.empty()) {
+        uint64_t& cur = applied_reqs_[op->req_client];
+        if (op->req_seq > cur) cur = op->req_seq;
+      }
       ++report->wal_records_replayed;
     }
     if (cut_at < salvage.file_bytes) {
@@ -319,20 +531,27 @@ Status CatalogStore::OpenInternal(RecoveryReport* report) {
     }
     report->wal_bytes_truncated = salvage.file_bytes - cut_at;
     report->wal_tail_error = cut_why;
+    wal_committed_bytes = cut_at;
   }
 
   // Reopen the (repaired) log for appending.
   wal_ = std::make_unique<WalWriter>(env_, wal_path, options_.sync,
                                      options_.retry);
   STRDB_RETURN_IF_ERROR(wal_->Open(/*truncate=*/false, &io_retries_));
+  wal_->ResetCommittedBytes(wal_committed_bytes);
 
   report->relations = static_cast<int64_t>(db_.relations().size());
   report->tuples = CountTuples(db_);
   report->automata = static_cast<int64_t>(automata_.size());
+  report->req_clients = static_cast<int64_t>(applied_reqs_.size());
   report->io_retries = io_retries_;
   Metrics().replayed_records->Increment(report->wal_records_replayed);
   Metrics().truncated_bytes->Increment(report->wal_bytes_truncated);
   PublishSnapshotLocked();  // Open holds the store exclusively
+
+  if (options_.scrub_interval_ms > 0) {
+    scrub_thread_ = std::thread([this] { ScrubThreadMain(); });
+  }
   return Status::OK();
 }
 
@@ -345,6 +564,13 @@ Status CatalogStore::CommitPayload(const std::string& payload) {
 
 Status CatalogStore::PutRelation(const std::string& name, int arity,
                                  std::vector<Tuple> tuples) {
+  return PutRelation(name, arity, std::move(tuples), ReqId{}, nullptr);
+}
+
+Status CatalogStore::PutRelation(const std::string& name, int arity,
+                                 std::vector<Tuple> tuples, const ReqId& req,
+                                 bool* deduped) {
+  if (deduped != nullptr) *deduped = false;
   // Build and validate before logging, so the WAL only ever sees ops
   // that apply cleanly.
   STRDB_ASSIGN_OR_RETURN(StringRelation rel,
@@ -358,16 +584,37 @@ Status CatalogStore::PutRelation(const std::string& name, int arity,
     }
   }
   std::lock_guard<std::mutex> lock(mu_);
-  STRDB_RETURN_IF_ERROR(CommitPayload(EncodePut(name, rel)));
+  if (AlreadyAppliedLocked(req)) {
+    if (deduped != nullptr) *deduped = true;
+    return Status::OK();
+  }
+  std::string payload = EncodePut(name, rel);
+  AppendReqTagLine(&payload, req.client, req.seq);
+  STRDB_RETURN_IF_ERROR(CommitPayload(payload));
   if (paged_.count(name) > 0) DiscardPagedLocked(name);  // put replaces
   STRDB_RETURN_IF_ERROR(db_.Put(name, std::move(rel)));
+  RecordReqLocked(req);
   PublishSnapshotLocked();
   return Status::OK();
 }
 
 Status CatalogStore::InsertTuples(const std::string& name,
                                   std::vector<Tuple> tuples) {
+  return InsertTuples(name, std::move(tuples), ReqId{}, nullptr);
+}
+
+Status CatalogStore::InsertTuples(const std::string& name,
+                                  std::vector<Tuple> tuples, const ReqId& req,
+                                  bool* deduped) {
+  if (deduped != nullptr) *deduped = false;
   std::lock_guard<std::mutex> lock(mu_);
+  // The dedup check comes before validation: a retried request whose
+  // first application already committed must succeed even if the state
+  // has since moved on (e.g. the relation was later dropped).
+  if (AlreadyAppliedLocked(req)) {
+    if (deduped != nullptr) *deduped = true;
+    return Status::OK();
+  }
   // Inserting into a spilled relation pulls it back in memory first (it
   // re-spills at the next checkpoint if still over threshold).  Done
   // before the WAL commit so the durable order matches the in-memory
@@ -389,24 +636,40 @@ Status CatalogStore::InsertTuples(const std::string& name,
       }
     }
   }
-  STRDB_RETURN_IF_ERROR(CommitPayload(EncodeInsert(name, tuples)));
+  std::string payload = EncodeInsert(name, tuples);
+  AppendReqTagLine(&payload, req.client, req.seq);
+  STRDB_RETURN_IF_ERROR(CommitPayload(payload));
   STRDB_RETURN_IF_ERROR(db_.InsertTuples(name, std::move(tuples)));
+  RecordReqLocked(req);
   PublishSnapshotLocked();
   return Status::OK();
 }
 
 Status CatalogStore::DropRelation(const std::string& name) {
+  return DropRelation(name, ReqId{}, nullptr);
+}
+
+Status CatalogStore::DropRelation(const std::string& name, const ReqId& req,
+                                  bool* deduped) {
+  if (deduped != nullptr) *deduped = false;
   std::lock_guard<std::mutex> lock(mu_);
+  if (AlreadyAppliedLocked(req)) {
+    if (deduped != nullptr) *deduped = true;
+    return Status::OK();
+  }
   bool paged = paged_.count(name) > 0;
   if (!paged && !db_.Has(name)) {
     return Status::NotFound("relation '" + name + "' not in database");
   }
-  STRDB_RETURN_IF_ERROR(CommitPayload(EncodeDrop(name)));
+  std::string payload = EncodeDrop(name);
+  AppendReqTagLine(&payload, req.client, req.seq);
+  STRDB_RETURN_IF_ERROR(CommitPayload(payload));
   if (paged) {
     DiscardPagedLocked(name);
   } else {
     STRDB_RETURN_IF_ERROR(db_.Remove(name));
   }
+  RecordReqLocked(req);
   PublishSnapshotLocked();
   return Status::OK();
 }
@@ -464,7 +727,7 @@ Status CatalogStore::Checkpoint() {
       for (const CatalogOp& op : new_spill_ops) {
         STRDB_ASSIGN_OR_RETURN(
             std::shared_ptr<const PagedHeap> heap,
-            PagedHeap::Open(pool_.get(), dir_ + "/" + op.file));
+            PagedHeap::Open(pool_, dir_ + "/" + op.file));
         new_paged[op.name] = heap;
       }
     }
@@ -472,10 +735,21 @@ Status CatalogStore::Checkpoint() {
 
   // The snapshot carries still-spilled relations as kSpill records and
   // the newly spilled ones the same way — their tuples stay out of it.
+  // Lost (quarantined) relations ride as kLost markers, and the
+  // idempotent-request window as one kReqId record per client.
   std::vector<CatalogOp> spills;
-  spills.reserve(spill_ops_.size() + new_spill_ops.size());
+  spills.reserve(spill_ops_.size() + new_spill_ops.size() +
+                 lost_ops_.size() + applied_reqs_.size());
   for (const auto& [name, op] : spill_ops_) spills.push_back(op);
   for (const CatalogOp& op : new_spill_ops) spills.push_back(op);
+  for (const auto& [name, op] : lost_ops_) spills.push_back(op);
+  for (const auto& [client, seq] : applied_reqs_) {
+    CatalogOp op;
+    op.kind = CatalogOp::kReqId;
+    op.req_client = client;
+    op.req_seq = seq;
+    spills.push_back(std::move(op));
+  }
 
   // 1. Materialise the snapshot file (atomic: temp + fsync + rename).
   if (new_spill_ops.empty()) {
@@ -552,7 +826,180 @@ Status CatalogStore::Checkpoint() {
   return Status::OK();
 }
 
+CatalogStore::QuarantineOutcome CatalogStore::QuarantineHeap(
+    const std::string& name, const std::string& file,
+    const std::string& reason) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (wal_ == nullptr) return QuarantineOutcome::kStale;
+  auto it = spill_ops_.find(name);
+  if (it == spill_ops_.end() || it->second.file != file) {
+    // The relation moved on (materialised, dropped, re-spilled) between
+    // the scan and this call: nothing to quarantine any more.
+    return QuarantineOutcome::kStale;
+  }
+  Metrics().scrub_quarantines->Increment();
+  CatalogOp spill = it->second;
+
+  // Rescue attempt while the file is still in place: stream whatever
+  // pages still verify.  Success means the snapshot+WAL path (heap
+  // included) could reproduce every committed tuple — re-commit them
+  // inline through the WAL *before* touching the file, so a crash at
+  // any point leaves either the old spilled state or the rescued one.
+  auto pit = paged_.find(name);
+  if (pit != paged_.end()) {
+    Result<StringRelation> rescued = pit->second->Materialize();
+    if (rescued.ok() &&
+        static_cast<int64_t>(rescued->size()) == spill.tuple_count) {
+      Status committed = CommitPayload(EncodePut(name, *rescued));
+      if (committed.ok()) {
+        spill_ops_.erase(name);
+        paged_.erase(name);
+        Status put = db_.Put(name, std::move(*rescued));
+        (void)put;  // name was paged, so it cannot collide
+        env_->Rename(dir_ + "/" + file, dir_ + "/quarantine-" + file);
+        pool_->Clear();  // drop cached pages of the poisoned file
+        PublishSnapshotLocked();
+        return QuarantineOutcome::kRescued;
+      }
+    }
+  }
+
+  // Unrescuable: move the file aside and mark the relation lost.  The
+  // kLost marker is WAL-committed first so the quarantine itself obeys
+  // the same write-ahead discipline as every other state change.
+  CatalogOp lost;
+  lost.kind = CatalogOp::kLost;
+  lost.name = name;
+  lost.arity = spill.arity;
+  lost.tuple_count = spill.tuple_count;
+  lost.max_string_length = spill.max_string_length;
+  lost.reason = reason;
+  Status committed = CommitPayload(EncodeOp(lost));
+  (void)committed;  // quarantine proceeds in memory even on a dying disk
+  env_->Rename(dir_ + "/" + file, dir_ + "/quarantine-" + file);
+  pool_->Clear();
+  MarkLostLocked(name, spill.arity, spill.tuple_count,
+                 spill.max_string_length, reason);
+  PublishSnapshotLocked();
+  return QuarantineOutcome::kLost;
+}
+
+Status CatalogStore::ScrubNow(ScrubReport* out) {
+  ScrubReport report;
+  // Phase 1 under mu_: the snapshot file and the WAL, verified against
+  // a quiesced writer (the WAL check needs the committed-bytes
+  // watermark and no concurrent append).
+  std::vector<std::pair<std::string, CatalogOp>> heaps;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (wal_ == nullptr) return Status::Internal("store is closed");
+    if (generation_ > 0) {
+      auto read = env_->ReadFile(SnapPath(generation_));
+      std::string why;
+      if (!read.ok()) {
+        report.snapshot_ok = false;
+        report.crc_failures++;
+        report.errors.push_back("snapshot unreadable: " +
+                                read.status().ToString());
+      } else if (!SnapshotChecksumOk(*read, &why)) {
+        report.snapshot_ok = false;
+        report.crc_failures++;
+        report.errors.push_back("snapshot: " + why);
+      } else {
+        report.pages_verified +=
+            (static_cast<int64_t>(read->size()) + kPageSize - 1) / kPageSize;
+      }
+    }
+    std::string wal_path = WalPath(generation_);
+    int64_t committed = wal_->committed_bytes();
+    if (env_->FileExists(wal_path)) {
+      auto salvage = ReadWal(env_, wal_path, options_.retry, nullptr);
+      if (!salvage.ok()) {
+        report.wal_ok = false;
+        report.crc_failures++;
+        report.errors.push_back("wal unreadable: " +
+                                salvage.status().ToString());
+      } else if (salvage->valid_bytes < committed) {
+        // The log must hold at least every byte the writer acked.  A
+        // shorter intact prefix means committed records rotted.
+        report.wal_ok = false;
+        report.crc_failures++;
+        report.errors.push_back(
+            "wal lost committed bytes: intact prefix " +
+            std::to_string(salvage->valid_bytes) + " < committed " +
+            std::to_string(committed) +
+            (salvage->tail_error.empty() ? "" : " (" + salvage->tail_error +
+                                                    ")"));
+      } else {
+        report.pages_verified +=
+            (salvage->file_bytes + kPageSize - 1) / kPageSize;
+      }
+    }
+    for (const auto& [name, op] : spill_ops_) heaps.emplace_back(name, op);
+  }
+
+  // Phase 2 without mu_: CRC-walk every spilled heap.  This is the bulk
+  // of the work and must not block writers; a heap that changes under us
+  // (materialised/dropped) is detected inside QuarantineHeap and
+  // skipped.
+  for (const auto& [name, op] : heaps) {
+    report.heaps_scanned++;
+    auto read = env_->ReadFile(dir_ + "/" + op.file);
+    std::string why;
+    bool bad = false;
+    if (!read.ok()) {
+      bad = true;
+      why = "heap unreadable: " + read.status().ToString();
+    } else {
+      int64_t pages_ok = 0;
+      bad = !VerifyPagedBytes(*read, &pages_ok, &why);
+      report.pages_verified += pages_ok;
+    }
+    if (bad) {
+      QuarantineOutcome outcome = QuarantineHeap(name, op.file, why);
+      if (outcome == QuarantineOutcome::kStale) continue;  // raced a writer
+      report.crc_failures++;
+      report.quarantined.push_back(name);
+      report.errors.push_back(
+          "'" + name + "': " + why +
+          (outcome == QuarantineOutcome::kRescued ? " (rescued in full)"
+                                                  : " (marked lost)"));
+    }
+  }
+
+  Metrics().scrub_passes->Increment();
+  Metrics().scrub_pages_verified->Increment(report.pages_verified);
+  Metrics().scrub_crc_failures->Increment(report.crc_failures);
+  if (out != nullptr) *out = std::move(report);
+  return Status::OK();
+}
+
+void CatalogStore::ScrubThreadMain() {
+  // Low priority by construction: one pass per interval, all heavy I/O
+  // done without holding the store mutex.
+  std::unique_lock<std::mutex> lock(scrub_mu_);
+  while (!scrub_stop_) {
+    if (scrub_cv_.wait_for(lock,
+                           std::chrono::milliseconds(
+                               options_.scrub_interval_ms),
+                           [&] { return scrub_stop_; })) {
+      break;
+    }
+    lock.unlock();
+    ScrubReport report;
+    Status scrubbed = ScrubNow(&report);
+    (void)scrubbed;  // a closed store just ends the loop next iteration
+    lock.lock();
+  }
+}
+
 Status CatalogStore::Close() {
+  {
+    std::lock_guard<std::mutex> lock(scrub_mu_);
+    scrub_stop_ = true;
+  }
+  scrub_cv_.notify_all();
+  if (scrub_thread_.joinable()) scrub_thread_.join();
   std::lock_guard<std::mutex> lock(mu_);
   if (wal_ == nullptr) return Status::OK();
   std::unique_ptr<WalWriter> wal = std::move(wal_);

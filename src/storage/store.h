@@ -1,11 +1,13 @@
 #ifndef STRDB_STORAGE_STORE_H_
 #define STRDB_STORAGE_STORE_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/alphabet.h"
@@ -21,6 +23,21 @@
 #include "storage/wal.h"
 
 namespace strdb {
+
+// Idempotent-request identity for durable mutations: a client-chosen id
+// plus a per-client sequence number that only ever increases.  The store
+// remembers the highest sequence it applied for each client (persisted
+// through WAL tags and snapshot kReqId ops), so a client that retries a
+// request after a lost ack gets it applied exactly once.  The window is
+// one seq per client, which is only sound because a client retries the
+// SAME request until acked before issuing the next — StrdbClient
+// enforces that.
+struct ReqId {
+  std::string client;  // empty = untagged request (no dedup)
+  uint64_t seq = 0;
+
+  bool valid() const { return !client.empty(); }
+};
 
 struct StoreOptions {
   // All filesystem access goes through this seam; nullptr = Env::Posix().
@@ -38,6 +55,11 @@ struct StoreOptions {
   // Buffer-pool cap for reading spilled relations back (pinned + cached
   // page bytes).
   int64_t pager_capacity_bytes = 4 << 20;
+  // Background scrub cadence: every this-many milliseconds a low-
+  // priority thread walks the snapshot, the WAL and every spilled heap
+  // verifying CRCs, quarantining what fails (see ScrubNow).  0 disables
+  // the thread; ScrubNow() stays callable either way.
+  int64_t scrub_interval_ms = 0;
 };
 
 // What Open() salvaged, for the shell's transcript and for tests.
@@ -55,6 +77,24 @@ struct RecoveryReport {
   int64_t io_retries = 0;         // transient faults absorbed during open
   int64_t spilled_relations = 0;  // relations recovered as paged heaps
   int64_t spilled_tuples = 0;     // their tuple total (not rescanned)
+  // Relations whose heap file was missing/corrupt at open: moved aside
+  // and answered with kDataLoss instead of failing the whole catalog.
+  int64_t quarantined_relations = 0;
+  int64_t req_clients = 0;        // idempotent-request windows recovered
+
+  std::string ToString() const;
+};
+
+// One background/foreground scrub pass over everything the live
+// generation references.
+struct ScrubReport {
+  int64_t pages_verified = 0;   // 16 KiB heap pages + snapshot/WAL files
+  int64_t crc_failures = 0;
+  int64_t heaps_scanned = 0;
+  bool snapshot_ok = true;
+  bool wal_ok = true;
+  std::vector<std::string> quarantined;  // relation names this pass
+  std::vector<std::string> errors;       // human-readable findings
 
   std::string ToString() const;
 };
@@ -78,7 +118,7 @@ struct RecoveryReport {
 //
 // Recovery and commit activity feed the process metrics registry
 // ("storage.*": commits, checkpoints, recovery.replayed_records,
-// recovery.truncated_bytes, io.retries).
+// recovery.truncated_bytes, io.retries, scrub.*).
 //
 // Thread safe: mutations serialize on an internal mutex.  db() returns a
 // reference readers may use between mutations (the shell is
@@ -121,6 +161,9 @@ class CatalogStore {
   // Buffer-pool counters for the shell/server `pager` verb.
   PagerStats pager_stats() const { return pool_->stats(); }
   int64_t pager_capacity_bytes() const { return pool_->capacity_bytes(); }
+  // The pool itself, shared so a caller streaming a paged scan can keep
+  // it alive past the store (ServerCore::Drain holds one).
+  std::shared_ptr<BufferPool> pool() const { return pool_; }
   // Persisted automata: artifact-cache key -> SerializeFsa text.
   const std::map<std::string, std::string>& automata() const {
     return automata_;
@@ -128,10 +171,23 @@ class CatalogStore {
 
   // Catalog mutations.  Each validates against the current state,
   // commits to the WAL (append + fsync), then applies in memory.
+  //
+  // The `req` overloads implement idempotent retries: when `req` is
+  // valid and its seq is not beyond the client's applied window, the
+  // call is a no-op that reports success with `*deduped = true` — the
+  // original application already committed.  Otherwise the op commits
+  // with the req tag and advances the window atomically with it.
   Status PutRelation(const std::string& name, int arity,
                      std::vector<Tuple> tuples);
+  Status PutRelation(const std::string& name, int arity,
+                     std::vector<Tuple> tuples, const ReqId& req,
+                     bool* deduped);
   Status InsertTuples(const std::string& name, std::vector<Tuple> tuples);
+  Status InsertTuples(const std::string& name, std::vector<Tuple> tuples,
+                      const ReqId& req, bool* deduped);
   Status DropRelation(const std::string& name);
+  Status DropRelation(const std::string& name, const ReqId& req,
+                      bool* deduped);
   // Persists a compiled automaton under its artifact-cache key.  A key
   // already stored with identical text is a no-op (harvesting the cache
   // repeatedly does not grow the log).
@@ -142,8 +198,24 @@ class CatalogStore {
   // WAL.  On failure the previous generation remains live.
   Status Checkpoint();
 
-  // Flushes and closes the WAL.  Called by the destructor; exposed so
-  // callers can observe the Status.
+  // One synchronous scrub pass: verifies the live snapshot's checksum,
+  // re-frames the WAL against the writer's committed watermark, and
+  // CRC-checks every page of every spilled heap.  A heap that fails is
+  // quarantined: the file moves aside as quarantine-<file>, the relation
+  // is re-materialized from whatever intact pages allow — and when that
+  // is impossible it is marked lost, so queries touching it get a typed
+  // kDataLoss while the rest of the catalog keeps answering.  Feeds
+  // storage.scrub.{pages_verified,crc_failures,quarantines}.  Returns
+  // non-OK only for infrastructure failures (store closed); corruption
+  // findings live in the report.
+  Status ScrubNow(ScrubReport* report = nullptr);
+
+  // Relations currently marked lost (quarantined, unrescuable), with the
+  // reason each one stopped answering.
+  std::map<std::string, std::string> LostRelations() const;
+
+  // Flushes and closes the WAL (stopping the scrub thread first).
+  // Called by the destructor; exposed so callers can observe the Status.
   Status Close();
 
  private:
@@ -163,6 +235,28 @@ class CatalogStore {
   Status MaterializePagedLocked(const std::string& name);
   // Forgets a spilled relation without materialising (drop/replace).
   void DiscardPagedLocked(const std::string& name);
+  // True (with the applied seq window advanced virtually) when `req`
+  // was already applied; the caller must return success without
+  // re-applying.  With mu_ held.
+  bool AlreadyAppliedLocked(const ReqId& req) const;
+  // Records `req` as applied.  With mu_ held, after the WAL commit.
+  void RecordReqLocked(const ReqId& req);
+  // Installs a lost marker for `name` (kDataLoss tuple source + lost
+  // op), dropping any paged/spill state without queueing the heap file
+  // as garbage (the caller already moved or lost the file).  With mu_
+  // held.
+  void MarkLostLocked(const std::string& name, int arity,
+                      int64_t tuple_count, int max_string_length,
+                      const std::string& reason);
+  // Quarantines the spilled relation `name` whose heap file `file`
+  // failed its CRC walk: moves the file aside, tries to rescue the
+  // relation back into memory (durably, via a WAL put), else marks it
+  // lost.  Returns what happened for the scrub report.
+  enum class QuarantineOutcome { kStale, kRescued, kLost };
+  QuarantineOutcome QuarantineHeap(const std::string& name,
+                                   const std::string& file,
+                                   const std::string& reason);
+  void ScrubThreadMain();
 
   std::string SnapPath(int64_t gen) const;
   std::string WalPath(int64_t gen) const;
@@ -170,7 +264,9 @@ class CatalogStore {
   const std::string dir_;
   const StoreOptions options_;
   Env* const env_;
-  std::unique_ptr<BufferPool> pool_;
+  // Shared with every PagedHeap view handed out through snapshots, so
+  // the pool cannot die while a streaming scan still holds page pins.
+  std::shared_ptr<BufferPool> pool_;
 
   mutable std::mutex mu_;
   int64_t generation_ = 0;
@@ -181,6 +277,13 @@ class CatalogStore {
   // disjoint from db_'s relation names.
   PagedSet paged_;
   std::map<std::string, CatalogOp> spill_ops_;
+  // Quarantined-and-unrescued relations: their kLost ops ride every
+  // snapshot until a put/drop supersedes them.  Keys are disjoint from
+  // both db_ and spill_ops_; paged_ holds a kDataLoss source under the
+  // same name so readers get a typed error instead of a vanished name.
+  std::map<std::string, CatalogOp> lost_ops_;
+  // Idempotent-request window: client id -> highest applied seq.
+  std::map<std::string, uint64_t> applied_reqs_;
   // Heap files whose relation was dropped/replaced/materialised since
   // the last checkpoint: still referenced by the live snapshot, deleted
   // only after the next generation flip stops referencing them.
@@ -193,6 +296,12 @@ class CatalogStore {
   mutable std::mutex snapshot_mu_;
   std::shared_ptr<const Database> snapshot_;
   std::shared_ptr<const PagedSet> paged_snapshot_;
+
+  // Background scrubber plumbing.
+  std::thread scrub_thread_;
+  std::mutex scrub_mu_;
+  std::condition_variable scrub_cv_;
+  bool scrub_stop_ = false;
 };
 
 }  // namespace strdb

@@ -25,6 +25,7 @@ WalWriter::WalWriter(Env* env, std::string path, bool sync, RetryPolicy retry)
 
 Status WalWriter::Open(bool truncate, int64_t* io_retries) {
   io_retries_ = io_retries;
+  if (truncate) committed_bytes_ = 0;
   return RetryIo(env_, retry_, io_retries_, [&] {
     auto file = env_->NewWritableFile(path_, truncate);
     if (!file.ok()) return file.status();
@@ -46,6 +47,7 @@ Status WalWriter::Append(const std::string& payload) {
     STRDB_RETURN_IF_ERROR(
         RetryIo(env_, retry_, io_retries_, [&] { return file_->Sync(); }));
   }
+  committed_bytes_ += static_cast<int64_t>(frame.size());
   return Status::OK();
 }
 

@@ -41,12 +41,22 @@ class WalWriter {
 
   const std::string& path() const { return path_; }
 
+  // Bytes of intact frames known to be in the file: what Open saw (via
+  // ResetCommittedBytes after recovery truncation) plus every frame
+  // appended since.  The background scrubber compares a fresh salvage of
+  // the file against this watermark — anything short of it means the log
+  // lost committed bytes; anything past it is an in-flight append, not
+  // corruption.
+  int64_t committed_bytes() const { return committed_bytes_; }
+  void ResetCommittedBytes(int64_t bytes) { committed_bytes_ = bytes; }
+
  private:
   Env* const env_;
   const std::string path_;
   const bool sync_;
   const RetryPolicy retry_;
   int64_t* io_retries_ = nullptr;
+  int64_t committed_bytes_ = 0;
   std::unique_ptr<WritableFile> file_;
 };
 

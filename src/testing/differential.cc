@@ -189,6 +189,11 @@ const DiffTarget* FindTarget(const std::string& name) {
   for (const DiffTarget* target : AllTargets()) {
     if (target->name() == name) return target;
   }
+  // The chaos target spawns real server processes, so it resolves by
+  // name (reproducers, --target chaos) but stays out of AllTargets():
+  // `--target all` must remain process-spawn-free.
+  static const ChaosTarget* const chaos = new ChaosTarget();
+  if (name == chaos->name()) return chaos;
   return nullptr;
 }
 

@@ -297,6 +297,62 @@ class ServerDiffTarget : public DiffTarget {
   int64_t CaseSize(const Case& c) const override;
 };
 
+// End-to-end chaos: real strdb_server processes under concurrent
+// resilient clients, SIGKILL mid-workload, restart on the same --dir,
+// and the acked-durability contract checked against a serial in-memory
+// oracle.
+//
+// The server binary comes from the STRDB_SERVER_BIN environment
+// variable (the conformance CLI's --server-bin flag sets it); Run
+// reports a divergence when it is missing rather than silently passing.
+//
+// Per-client relation namespaces keep the clients' mutation logs
+// commutative across clients, so the expected end state is each log
+// replayed serially through an in-memory SharedCatalog regardless of
+// the real interleaving.  Each client retries through kills with
+// idempotent request tags, so every mutation is eventually acked and
+// the contract collapses to three checkable facts: every client's
+// response transcript matches serial replay byte-for-byte (lost-ack
+// retries dedup to the identical text), the post-SIGKILL-recovery
+// catalog matches serial replay (acked implies durable; no partial
+// tuples, no duplicate applications across drop/recreate chains), and
+// no client starves within its retry budget.
+//
+// Unlike the other targets, Run is deterministic only in what it
+// *checks*, not in the interleaving it explores: the kill lands after
+// `kill_after_acks` acknowledged mutations, wherever that falls.  A
+// reproducer file replays the same workload and kill point, which in
+// practice re-finds timing bugs within a few replays.
+//
+// Registered with FindTarget (so reproducers and `--target chaos`
+// resolve it) but deliberately NOT in AllTargets(): `--target all`
+// must stay process-spawn-free.
+class ChaosTarget : public DiffTarget {
+ public:
+  struct ChaosCase : Case {
+    uint64_t seed = 1;  // seeds client-side transport fault prefixes
+    // logs[i]: client i's mutation commands over its private namespace.
+    std::vector<std::vector<std::string>> logs;
+    // SIGKILL the server once this many mutations have been acked
+    // (0 = never; the run still ends with a kill-9 + recovery check).
+    int64_t kill_after_acks = 0;
+    // --spill threshold handed to the server (0 = in-memory catalog
+    // persistence only).
+    int64_t spill_threshold = 0;
+    // > 0: wrap every client in a FaultyTransport dropping every Nth
+    // transport op, exercising reconnect + dedup under network faults.
+    int64_t drop_every = 0;
+  };
+
+  std::string name() const override { return "chaos"; }
+  CasePtr Generate(RandomSource& rand) const override;
+  std::optional<Divergence> Run(const Case& c) const override;
+  std::string Serialize(const Case& c) const override;
+  Result<CasePtr> Deserialize(const std::string& text) const override;
+  std::vector<CasePtr> ShrinkCandidates(const Case& c) const override;
+  int64_t CaseSize(const Case& c) const override;
+};
+
 // A catalog fingerprint used by the storage oracle and its divergence
 // messages: relation names, arities and tuples, rendered canonically.
 std::string CatalogSignature(const Database& db);

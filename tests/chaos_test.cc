@@ -1,0 +1,69 @@
+// The chaos driver: N seeded rounds of the `chaos` differential target
+// — real strdb_server processes under 4 concurrent resilient clients,
+// SIGKILL at a seeded ack count, restart on the same directory, and the
+// acked-durability contract checked against a serial oracle (plus a
+// final kill-9 + recovery probe every round).  See ChaosTarget in
+// src/testing/targets.h.
+//
+//   chaos_test --server-bin PATH [--rounds N] [--seed S] [--repro-dir D]
+//
+// CI wires two entries: a short smoke on every leg and the full sweep
+// (>= 200 rounds) nightly, with failing rounds written out as
+// minimised, replayable .repro files.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "testing/differential.h"
+
+int main(int argc, char** argv) {
+  std::string server_bin;
+  strdb::testgen::ConformanceOptions options;
+  options.runs = 200;
+  options.seed = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires an argument\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--server-bin") {
+      server_bin = value();
+    } else if (arg == "--rounds") {
+      options.runs = std::atoll(value());
+    } else if (arg == "--seed") {
+      options.seed = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--repro-dir") {
+      options.repro_dir = value();
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (server_bin.empty()) {
+    std::fprintf(stderr,
+                 "chaos_test --server-bin PATH [--rounds N] [--seed S] "
+                 "[--repro-dir D]\n");
+    return 2;
+  }
+  ::setenv("STRDB_SERVER_BIN", server_bin.c_str(), /*overwrite=*/1);
+
+  const strdb::testgen::DiffTarget* target =
+      strdb::testgen::FindTarget("chaos");
+  if (target == nullptr) {
+    std::fprintf(stderr, "chaos target not registered\n");
+    return 2;
+  }
+  auto report = strdb::testgen::RunConformance(*target, options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("%s\n", report->ToString().c_str());
+  return report->divergences > 0 ? 1 : 0;
+}

@@ -1,0 +1,433 @@
+// The background scrubber and its quarantine state machine: byte-flip
+// corruption of spilled heap pages must be detected 100% of the time,
+// quarantine must never take the rest of the catalog down with it,
+// warm-cache corruption is rescued durably, cold corruption degrades to
+// a typed kDataLoss per relation, and the metrics/JSON surface exposes
+// all of it.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/alphabet.h"
+#include "core/io/env.h"
+#include "core/metrics.h"
+#include "server/catalog.h"
+#include "server/command.h"
+#include "storage/store.h"
+
+namespace strdb {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path TestRoot() {
+  static const fs::path root = [] {
+    std::error_code ec;
+    fs::path base = fs::exists("/dev/shm", ec) ? fs::path("/dev/shm")
+                                               : fs::temp_directory_path();
+    fs::path dir = base / ("strdb_scrub_test." + std::to_string(::getpid()));
+    fs::remove_all(dir, ec);
+    fs::create_directories(dir, ec);
+    return dir;
+  }();
+  return root;
+}
+
+std::string FreshDir(const std::string& name) {
+  fs::path dir = TestRoot() / name;
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  return dir.string();
+}
+
+std::string BitString(int64_t value, int width) {
+  std::string out;
+  for (int bit = width - 1; bit >= 0; --bit) {
+    out += (value >> bit) & 1 ? 'b' : 'a';
+  }
+  return out;
+}
+
+std::vector<Tuple> BigTuples(int64_t n) {
+  std::vector<Tuple> tuples;
+  for (int64_t i = 0; i < n; ++i) tuples.push_back({BitString(i, 8)});
+  return tuples;
+}
+
+// The store's spilled heap files, by directory listing.
+std::vector<std::string> HeapFiles(const std::string& dir) {
+  std::vector<std::string> heaps;
+  auto entries = Env::Posix()->ListDir(dir);
+  EXPECT_TRUE(entries.ok()) << entries.status();
+  if (entries.ok()) {
+    for (const std::string& name : *entries) {
+      if (name.rfind("heap-", 0) == 0) heaps.push_back(name);
+    }
+  }
+  return heaps;
+}
+
+std::vector<std::string> QuarantineFiles(const std::string& dir) {
+  std::vector<std::string> files;
+  auto entries = Env::Posix()->ListDir(dir);
+  EXPECT_TRUE(entries.ok()) << entries.status();
+  if (entries.ok()) {
+    for (const std::string& name : *entries) {
+      if (name.rfind("quarantine-", 0) == 0) files.push_back(name);
+    }
+  }
+  return files;
+}
+
+void FlipByte(const std::string& path, size_t offset) {
+  auto read = Env::Posix()->ReadFile(path);
+  ASSERT_TRUE(read.ok()) << read.status();
+  ASSERT_LT(offset, read->size());
+  std::string data = *read;
+  data[offset] ^= 0x5a;
+  auto file = Env::Posix()->NewWritableFile(path, /*truncate=*/true);
+  ASSERT_TRUE(file.ok()) << file.status();
+  ASSERT_TRUE((*file)->Append(data).ok());
+  ASSERT_TRUE((*file)->Close().ok());
+}
+
+// Opens a store in `dir` with one spilled relation Q (200 tuples) and
+// one inline relation tiny, checkpointed so Q's heap file exists.
+Result<std::unique_ptr<CatalogStore>> OpenSpilled(const std::string& dir) {
+  StoreOptions options;
+  options.spill_threshold_bytes = 4096;
+  auto store = CatalogStore::Open(dir, Alphabet::Binary(), options);
+  if (!store.ok()) return store.status();
+  Status put = (*store)->PutRelation("Q", 1, BigTuples(200));
+  if (!put.ok()) return put;
+  put = (*store)->PutRelation("tiny", 1, {{"ab"}});
+  if (!put.ok()) return put;
+  Status checkpointed = (*store)->Checkpoint();
+  if (!checkpointed.ok()) return checkpointed;
+  return store;
+}
+
+TEST(ScrubTest, CleanPassVerifiesEverythingAndFindsNothing)
+{
+  std::string dir = FreshDir("clean");
+  auto store = OpenSpilled(dir);
+  ASSERT_TRUE(store.ok()) << store.status();
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  int64_t passes0 = reg.GetCounter("storage.scrub.passes")->value();
+  int64_t pages0 = reg.GetCounter("storage.scrub.pages_verified")->value();
+
+  ScrubReport report;
+  ASSERT_TRUE((*store)->ScrubNow(&report).ok());
+  EXPECT_TRUE(report.snapshot_ok);
+  EXPECT_TRUE(report.wal_ok);
+  EXPECT_EQ(report.crc_failures, 0);
+  EXPECT_EQ(report.heaps_scanned, 1);
+  EXPECT_GT(report.pages_verified, 0);
+  EXPECT_TRUE(report.quarantined.empty());
+  EXPECT_TRUE(report.errors.empty());
+
+  EXPECT_EQ(reg.GetCounter("storage.scrub.passes")->value(), passes0 + 1);
+  EXPECT_GE(reg.GetCounter("storage.scrub.pages_verified")->value(),
+            pages0 + report.pages_verified);
+}
+
+TEST(ScrubTest, ByteFlipSweepDetectsEveryCorruption) {
+  // Build one pristine spilled store, then for a sweep of byte offsets
+  // across the heap file (both pages and their CRC trailers): restore,
+  // flip one byte, reopen, scrub.  Every single flip must surface —
+  // either as an open-time quarantine (shape-breaking flips) or as a
+  // scrub CRC failure.  100% or bust: a scrubber that misses one offset
+  // class is a scrubber that misses real rot.
+  std::string dir = FreshDir("byteflip");
+  {
+    auto store = OpenSpilled(dir);
+    ASSERT_TRUE(store.ok()) << store.status();
+    ASSERT_TRUE((*store)->Close().ok());
+  }
+  std::vector<std::string> heaps = HeapFiles(dir);
+  ASSERT_EQ(heaps.size(), 1u);
+  std::string heap_path = dir + "/" + heaps[0];
+  auto pristine = Env::Posix()->ReadFile(heap_path);
+  ASSERT_TRUE(pristine.ok());
+  const size_t size = pristine->size();
+  ASSERT_GT(size, 0u);
+
+  StoreOptions options;
+  options.spill_threshold_bytes = 4096;
+  int detected = 0, swept = 0;
+  // 64 offsets evenly spaced, plus the first and last byte.
+  std::vector<size_t> offsets = {0, size - 1};
+  for (int i = 1; i <= 64; ++i) {
+    offsets.push_back((size * static_cast<size_t>(i)) / 66);
+  }
+  for (size_t offset : offsets) {
+    ++swept;
+    {
+      auto file = Env::Posix()->NewWritableFile(heap_path, /*truncate=*/true);
+      ASSERT_TRUE(file.ok());
+      ASSERT_TRUE((*file)->Append(*pristine).ok());
+      ASSERT_TRUE((*file)->Close().ok());
+    }
+    FlipByte(heap_path, offset);
+    RecoveryReport recovery;
+    auto store = CatalogStore::Open(dir, Alphabet::Binary(), options,
+                                    &recovery);
+    ASSERT_TRUE(store.ok()) << store.status() << " at offset " << offset;
+    if (recovery.quarantined_relations > 0) {
+      ++detected;  // the flip broke the header; open already moved it aside
+    } else {
+      ScrubReport report;
+      ASSERT_TRUE((*store)->ScrubNow(&report).ok());
+      if (report.crc_failures > 0) ++detected;
+    }
+    ASSERT_TRUE((*store)->Close().ok());
+    // Reset for the next flip: clear quarantine fallout and put the
+    // pristine directory state back.
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+    auto rebuilt = OpenSpilled(dir);
+    ASSERT_TRUE(rebuilt.ok());
+    ASSERT_TRUE((*rebuilt)->Close().ok());
+    heaps = HeapFiles(dir);
+    ASSERT_EQ(heaps.size(), 1u);
+    heap_path = dir + "/" + heaps[0];
+    pristine = Env::Posix()->ReadFile(heap_path);
+    ASSERT_TRUE(pristine.ok());
+    ASSERT_EQ(pristine->size(), size);  // rebuild is deterministic
+  }
+  EXPECT_EQ(detected, swept) << "scrubber missed a corrupted offset";
+}
+
+TEST(ScrubTest, ColdQuarantineDegradesToTypedDataLossAndSparesTheRest) {
+  std::string dir = FreshDir("cold_quarantine");
+  {
+    auto built = OpenSpilled(dir);
+    ASSERT_TRUE(built.ok()) << built.status();
+    ASSERT_TRUE((*built)->Close().ok());
+  }
+  // Reopen: the spill left the buffer pool warm enough to rescue from,
+  // which is the *other* test.  A fresh open has a cold pool — the
+  // on-disk bytes are the only copy.
+  StoreOptions options;
+  options.spill_threshold_bytes = 4096;
+  auto store = CatalogStore::Open(dir, Alphabet::Binary(), options);
+  ASSERT_TRUE(store.ok()) << store.status();
+  std::vector<std::string> heaps = HeapFiles(dir);
+  ASSERT_EQ(heaps.size(), 1u);
+
+  // A reader holding the pre-quarantine snapshot (an "in-flight query").
+  std::shared_ptr<const Database> old_snap;
+  std::shared_ptr<const PagedSet> old_paged;
+  (*store)->SnapshotState(&old_snap, &old_paged);
+  ASSERT_EQ(old_paged->count("Q"), 1u);
+
+  // Corrupt a tuple-run page (the file tail).  The pool is cold — open
+  // only touched the header and run directory — so the rescue path
+  // cannot reconstruct the tuples and the relation is lost.  (A header
+  // flip would NOT do here: the header is already decoded in memory,
+  // so even a cold store rescues that in full.)
+  auto heap_bytes = Env::Posix()->ReadFile(dir + "/" + heaps[0]);
+  ASSERT_TRUE(heap_bytes.ok());
+  FlipByte(dir + "/" + heaps[0], heap_bytes->size() - 100);
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  int64_t quarantines0 = reg.GetCounter("storage.scrub.quarantines")->value();
+  ScrubReport report;
+  ASSERT_TRUE((*store)->ScrubNow(&report).ok());
+  ASSERT_EQ(report.quarantined.size(), 1u);
+  EXPECT_EQ(report.quarantined[0], "Q");
+  EXPECT_EQ(reg.GetCounter("storage.scrub.quarantines")->value(),
+            quarantines0 + 1);
+
+  // The relation answers with a typed kDataLoss, not a crash and not a
+  // silent vanish.
+  auto lost = (*store)->LostRelations();
+  ASSERT_EQ(lost.count("Q"), 1u);
+  std::shared_ptr<const Database> snap;
+  std::shared_ptr<const PagedSet> paged;
+  (*store)->SnapshotState(&snap, &paged);
+  ASSERT_EQ(paged->count("Q"), 1u);
+  Status scan = paged->at("Q")->Scan(
+      [](const std::vector<Tuple>&) { return Status::OK(); });
+  ASSERT_FALSE(scan.ok());
+  EXPECT_EQ(scan.code(), StatusCode::kDataLoss);
+  // The shape survives for planning even though the tuples are gone.
+  EXPECT_EQ(paged->at("Q")->tuple_count(), 200);
+
+  // The in-flight reader's snapshot still holds the old source; its
+  // scan may fail (the file moved aside) but must fail *typed*.
+  Status old_scan = old_paged->at("Q")->Scan(
+      [](const std::vector<Tuple>&) { return Status::OK(); });
+  if (!old_scan.ok()) {
+    EXPECT_TRUE(old_scan.code() == StatusCode::kDataLoss ||
+                old_scan.code() == StatusCode::kNotFound ||
+                old_scan.code() == StatusCode::kUnavailable)
+        << old_scan.ToString();
+  }
+
+  // Unaffected relations keep answering, and the store keeps accepting
+  // mutations — including one that resurrects the lost name.
+  EXPECT_TRUE(snap->Has("tiny"));
+  ASSERT_TRUE((*store)->InsertTuples("tiny", {{"ba"}}).ok());
+  ASSERT_TRUE((*store)->PutRelation("Q", 1, {{"aa"}}).ok());
+  EXPECT_EQ((*store)->LostRelations().count("Q"), 0u);
+  (*store)->SnapshotState(&snap, &paged);
+  EXPECT_TRUE(snap->Has("Q"));
+
+  // The poisoned file is kept aside as forensics, and the quarantine
+  // survives... nothing: the resurrection superseded it.  The file
+  // stays either way.
+  EXPECT_EQ(QuarantineFiles(dir).size(), 1u);
+  ASSERT_TRUE((*store)->Close().ok());
+
+  // Reopen: the re-put Q and the mutated tiny are durable.
+  store = CatalogStore::Open(dir, Alphabet::Binary());
+  ASSERT_TRUE(store.ok()) << store.status();
+  EXPECT_TRUE((*store)->db().Has("Q"));
+  EXPECT_EQ((*store)->db().relations().at("tiny").size(), 2u);
+  EXPECT_EQ((*store)->LostRelations().count("Q"), 0u);
+}
+
+TEST(ScrubTest, WarmCacheCorruptionIsRescuedDurably) {
+  std::string dir = FreshDir("rescue");
+  auto store = OpenSpilled(dir);
+  ASSERT_TRUE(store.ok()) << store.status();
+  std::vector<std::string> heaps = HeapFiles(dir);
+  ASSERT_EQ(heaps.size(), 1u);
+
+  // Warm the buffer pool: stream every page of Q while the file is
+  // still intact.
+  std::shared_ptr<const Database> snap;
+  std::shared_ptr<const PagedSet> paged;
+  (*store)->SnapshotState(&snap, &paged);
+  auto warmed = paged->at("Q")->Materialize();
+  ASSERT_TRUE(warmed.ok()) << warmed.status();
+  ASSERT_EQ(warmed->size(), 200u);
+
+  // Now the disk rots.  Scrub reads the raw file, sees the bad CRC, and
+  // rescues the relation from the still-good cached pages — durably,
+  // via a WAL re-put, before the poisoned file moves aside.
+  FlipByte(dir + "/" + heaps[0], 4096 + 17);
+  ScrubReport report;
+  ASSERT_TRUE((*store)->ScrubNow(&report).ok());
+  ASSERT_EQ(report.quarantined.size(), 1u);
+  ASSERT_EQ(report.errors.size(), 1u);
+  EXPECT_NE(report.errors[0].find("rescued in full"), std::string::npos)
+      << report.errors[0];
+  EXPECT_TRUE((*store)->LostRelations().empty());
+  EXPECT_TRUE((*store)->db().Has("Q"));
+  EXPECT_EQ((*store)->db().relations().at("Q").size(), 200u);
+  EXPECT_EQ(QuarantineFiles(dir).size(), 1u);
+  ASSERT_TRUE((*store)->Close().ok());
+
+  // The rescue is durable: a reopen (WAL replay) serves all 200 tuples
+  // without the heap file.
+  store = CatalogStore::Open(dir, Alphabet::Binary());
+  ASSERT_TRUE(store.ok()) << store.status();
+  EXPECT_TRUE((*store)->db().Has("Q"));
+  EXPECT_EQ((*store)->db().relations().at("Q").size(), 200u);
+}
+
+TEST(ScrubTest, ShapeBreakingCorruptionQuarantinesAtOpen) {
+  std::string dir = FreshDir("open_quarantine");
+  {
+    auto store = OpenSpilled(dir);
+    ASSERT_TRUE(store.ok()) << store.status();
+    ASSERT_TRUE((*store)->Close().ok());
+  }
+  std::vector<std::string> heaps = HeapFiles(dir);
+  ASSERT_EQ(heaps.size(), 1u);
+  // Truncate the heap to a stub: the header cannot parse, so the open
+  // path (not the scrubber) must quarantine — and still open the store.
+  ASSERT_TRUE(Env::Posix()->Truncate(dir + "/" + heaps[0], 10).ok());
+
+  RecoveryReport report;
+  auto store = CatalogStore::Open(dir, Alphabet::Binary(), {}, &report);
+  ASSERT_TRUE(store.ok()) << store.status();
+  EXPECT_EQ(report.quarantined_relations, 1);
+  auto lost = (*store)->LostRelations();
+  ASSERT_EQ(lost.count("Q"), 1u);
+  EXPECT_TRUE((*store)->db().Has("tiny"));
+  EXPECT_EQ(QuarantineFiles(dir).size(), 1u);
+  EXPECT_TRUE(HeapFiles(dir).empty());
+}
+
+TEST(ScrubTest, TruncatedWalBelowCommittedWatermarkIsReported) {
+  std::string dir = FreshDir("wal_rot");
+  StoreOptions options;
+  auto store = CatalogStore::Open(dir, Alphabet::Binary(), options);
+  ASSERT_TRUE(store.ok()) << store.status();
+  ASSERT_TRUE((*store)->PutRelation("R", 1, {{"ab"}, {"ba"}}).ok());
+
+  // Chop committed bytes off the live WAL behind the writer's back.
+  std::string wal_path =
+      dir + "/wal-" + std::to_string((*store)->generation());
+  auto wal = Env::Posix()->ReadFile(wal_path);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_GT(wal->size(), 4u);
+  ASSERT_TRUE(Env::Posix()->Truncate(wal_path, 4).ok());
+
+  ScrubReport report;
+  ASSERT_TRUE((*store)->ScrubNow(&report).ok());
+  EXPECT_FALSE(report.wal_ok);
+  EXPECT_GE(report.crc_failures, 1);
+  ASSERT_FALSE(report.errors.empty());
+  EXPECT_NE(report.errors[0].find("committed"), std::string::npos)
+      << report.errors[0];
+}
+
+TEST(ScrubTest, BackgroundThreadScrubsOnItsOwn) {
+  std::string dir = FreshDir("background");
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  int64_t passes0 = reg.GetCounter("storage.scrub.passes")->value();
+  StoreOptions options;
+  options.scrub_interval_ms = 5;
+  auto store = CatalogStore::Open(dir, Alphabet::Binary(), options);
+  ASSERT_TRUE(store.ok()) << store.status();
+  ASSERT_TRUE((*store)->PutRelation("R", 1, {{"ab"}}).ok());
+  // Wait (bounded) for at least two autonomous passes.
+  for (int i = 0; i < 1000; ++i) {
+    if (reg.GetCounter("storage.scrub.passes")->value() >= passes0 + 2) break;
+    Env::Posix()->SleepMs(5);
+  }
+  EXPECT_GE(reg.GetCounter("storage.scrub.passes")->value(), passes0 + 2);
+  // Close() must stop the thread cleanly (no use-after-free, no hang).
+  ASSERT_TRUE((*store)->Close().ok());
+}
+
+TEST(ScrubTest, CatalogScrubVerbAndMetricsShape) {
+  // The server-facing surface: SharedCatalog::ScrubNow plus the
+  // storage.scrub.* counters visible through the `metrics` verb's JSON.
+  SharedCatalog catalog(Alphabet::Binary());
+  ScrubReport report;
+  Status no_store = catalog.ScrubNow(&report);
+  EXPECT_EQ(no_store.code(), StatusCode::kInvalidArgument);
+
+  std::string dir = FreshDir("catalog_scrub");
+  CommandProcessor shell(&catalog);
+  std::string out;
+  ASSERT_TRUE(shell.Execute("open " + dir, &out).ok()) << out;
+  ASSERT_TRUE(shell.Execute("rel R ab ba", &out).ok());
+  ASSERT_TRUE(catalog.ScrubNow(&report).ok());
+  EXPECT_TRUE(report.snapshot_ok);
+  EXPECT_TRUE(report.wal_ok);
+  EXPECT_EQ(report.crc_failures, 0);
+
+  out.clear();
+  ASSERT_TRUE(shell.Execute("metrics", &out).ok());
+  for (const char* name :
+       {"\"storage.scrub.passes\"", "\"storage.scrub.pages_verified\"",
+        "\"storage.scrub.crc_failures\"", "\"storage.scrub.quarantines\"",
+        "\"storage.io.retry_giveups\""}) {
+    EXPECT_NE(out.find(name), std::string::npos) << name;
+  }
+  ASSERT_TRUE(shell.Execute("close", &out).ok());
+}
+
+}  // namespace
+}  // namespace strdb

@@ -1,10 +1,22 @@
 // ServerCore: session lifecycle, dispatch, admission control, snapshot
-// isolation and the server.* metrics — all in-process, no sockets (the
-// TCP layer is framing only; the multi-client conformance target
-// `server` hammers the same core concurrently).
+// isolation, the server.* metrics, idempotent request dedup, request
+// deadlines — plus socket-level framing tests against a real TcpServer
+// (partial frames, mid-command stalls vs the read deadline) and the
+// drain-vs-paged-scan shutdown ordering.
 #include <gtest/gtest.h>
 
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/alphabet.h"
@@ -12,6 +24,8 @@
 #include "server/catalog.h"
 #include "server/command.h"
 #include "server/server.h"
+#include "server/tcp.h"
+#include "storage/store.h"
 
 namespace strdb {
 namespace {
@@ -262,6 +276,318 @@ TEST(ServerCoreTest, MetricsCountTrafficAndSessions) {
             bytes_out0 + static_cast<int64_t>(pong.size() + err.size()));
   ASSERT_TRUE(core.CloseSession(*id).ok());
   EXPECT_EQ(reg.GetGauge("server.active_sessions")->value(), 0);
+}
+
+// --- idempotent request tags ------------------------------------------------
+
+TEST(ServerCoreTest, ReqTagDedupsRetriedMutationsWithIdenticalText) {
+  ServerCore core(Alphabet::Binary());
+  Result<int64_t> id = core.OpenSession();
+  ASSERT_TRUE(id.ok());
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  int64_t deduped0 = reg.GetCounter("server.retried_requests_deduped")->value();
+
+  std::string first = core.Execute(*id, "req alice:1 rel R ab");
+  EXPECT_EQ(first, "defined R/1 with 1 tuples\nok\n");
+  // The retry (same tag) answers byte-identically without re-applying.
+  EXPECT_EQ(core.Execute(*id, "req alice:1 rel R ab"), first);
+  EXPECT_EQ(reg.GetCounter("server.retried_requests_deduped")->value(),
+            deduped0 + 1);
+
+  // A deduped insert must not have doubled anything.
+  std::string inserted = core.Execute(*id, "req alice:2 insert R ba");
+  EXPECT_EQ(inserted, "inserted 1 tuple(s) into R\nok\n");
+  EXPECT_EQ(core.Execute(*id, "req alice:2 insert R ba"), inserted);
+  EXPECT_EQ(core.Execute(*id, "x | R(x)"),
+            "{(\"ab\"), (\"ba\")}   (2 tuples)\nok\n");
+
+  // Windows are per client: bob's seq 1 is fresh even though alice's
+  // seq 1 is spent.
+  EXPECT_EQ(core.Execute(*id, "req bob:1 insert R bb"),
+            "inserted 1 tuple(s) into R\nok\n");
+  EXPECT_EQ(core.Execute(*id, "x | R(x)"),
+            "{(\"ab\"), (\"ba\"), (\"bb\")}   (3 tuples)\nok\n");
+}
+
+TEST(ServerCoreTest, ReqTagRetryAfterDropDoesNotResurrect) {
+  // The lost-ack drop scenario: drop R acks, the ack is lost, the
+  // client retries.  The retry must dedup — answering "dropped" again —
+  // and must NOT recreate or re-drop anything, even after later
+  // mutations moved the catalog on.
+  ServerCore core(Alphabet::Binary());
+  Result<int64_t> id = core.OpenSession();
+  ASSERT_TRUE(id.ok());
+  ASSERT_EQ(core.Execute(*id, "req c:1 rel R ab"),
+            "defined R/1 with 1 tuples\nok\n");
+  std::string dropped = core.Execute(*id, "req c:2 drop R");
+  EXPECT_EQ(dropped, "dropped R\nok\n");
+  // Seq 3 recreates R under a new definition...
+  ASSERT_EQ(core.Execute(*id, "req c:3 rel R ba"),
+            "defined R/1 with 1 tuples\nok\n");
+  // ...and the stale retry of seq 2 dedups instead of dropping the NEW R.
+  EXPECT_EQ(core.Execute(*id, "req c:2 drop R"), dropped);
+  EXPECT_EQ(core.Execute(*id, "x | R(x)"), "{(\"ba\")}   (1 tuples)\nok\n");
+}
+
+TEST(ServerCoreTest, ReqTagParsesStrictly) {
+  ServerCore core(Alphabet::Binary());
+  Result<int64_t> id = core.OpenSession();
+  ASSERT_TRUE(id.ok());
+  // Malformed tags are typed errors, not silently-untagged mutations.
+  EXPECT_EQ(Terminator(core.Execute(*id, "req noseq rel R ab")).rfind("err ", 0),
+            0u);
+  EXPECT_EQ(Terminator(core.Execute(*id, "req :1 rel R ab")).rfind("err ", 0),
+            0u);
+  EXPECT_EQ(Terminator(core.Execute(*id, "req c:x rel R ab")).rfind("err ", 0),
+            0u);
+  // Non-mutations pass through a valid tag untouched.
+  EXPECT_EQ(core.Execute(*id, "req c:1 ping"), "pong\nok\n");
+}
+
+// --- request deadlines ------------------------------------------------------
+
+TEST(ServerCoreTest, RequestDeadlineCancelsTyped) {
+  ServerOptions options;
+  options.request_deadline_ms = 50;
+  ServerCore core(Alphabet::Binary(), options);
+  Result<int64_t> id = core.OpenSession();
+  ASSERT_TRUE(id.ok());
+  // All 64 binary words of length 6; the triple self-join's 262144 rows
+  // take far longer than 50ms to enumerate.
+  std::string rel = "rel R";
+  for (int w = 0; w < 64; ++w) {
+    rel += ' ';
+    for (int bit = 5; bit >= 0; --bit) rel += (w >> bit) & 1 ? 'b' : 'a';
+  }
+  ASSERT_EQ(core.Execute(*id, rel), "defined R/1 with 64 tuples\nok\n");
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  int64_t exceeded0 = reg.GetCounter("server.deadline_exceeded")->value();
+  std::string response = core.Execute(*id, "x, y, z | R(x) & R(y) & R(z)");
+  EXPECT_EQ(Terminator(response).rfind("err deadline-exceeded", 0), 0u)
+      << response;
+  EXPECT_EQ(reg.GetCounter("server.deadline_exceeded")->value(),
+            exceeded0 + 1);
+  // The session survives — a deadline cancels the request, not the
+  // connection.
+  EXPECT_EQ(core.Execute(*id, "ping"), "pong\nok\n");
+}
+
+TEST(ServerCoreTest, SessionBudgetTighterThanRequestDeadlineStaysTyped) {
+  // When the session's own `budget ms` is the binding constraint, the
+  // failure keeps its resource-exhausted type: deadline-exceeded is
+  // reserved for the server-imposed cap.
+  ServerOptions options;
+  options.request_deadline_ms = 10000;
+  ServerCore core(Alphabet::Binary(), options);
+  Result<int64_t> id = core.OpenSession();
+  ASSERT_TRUE(id.ok());
+  std::string rel = "rel R";
+  for (int w = 0; w < 64; ++w) {
+    rel += ' ';
+    for (int bit = 5; bit >= 0; --bit) rel += (w >> bit) & 1 ? 'b' : 'a';
+  }
+  ASSERT_EQ(core.Execute(*id, rel), "defined R/1 with 64 tuples\nok\n");
+  ASSERT_EQ(core.Execute(*id, "budget ms 30"),
+            "budget: steps=- rows=- ms=30 bytes=-\nok\n");
+  std::string response = core.Execute(*id, "x, y, z | R(x) & R(y) & R(z)");
+  EXPECT_EQ(Terminator(response).rfind("err resource-exhausted", 0), 0u)
+      << response;
+}
+
+// --- socket-level framing ---------------------------------------------------
+
+namespace tcp {
+
+int Dial(int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  return fd;
+}
+
+// Reads until the buffer ends with a full terminator line or `deadline`
+// elapses.
+std::string ReadResponse(int fd, int deadline_ms = 5000) {
+  std::string buffer;
+  for (;;) {
+    pollfd pfd{fd, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, deadline_ms);
+    if (ready <= 0) return buffer;
+    char chunk[4096];
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return buffer;
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t last = buffer.rfind('\n');
+    if (last == std::string::npos) continue;
+    size_t start = buffer.rfind('\n', last == 0 ? 0 : last - 1);
+    start = start == std::string::npos ? 0 : start + 1;
+    std::string line = buffer.substr(start, last - start);
+    if (line == "ok" || line.rfind("err ", 0) == 0) return buffer;
+  }
+}
+
+}  // namespace tcp
+
+TEST(TcpServerTest, ByteAtATimeClientGetsAWholeResponse) {
+  ServerOptions options;
+  options.read_deadline_ms = 2000;  // armed, but this client is merely slow
+  ServerCore core(Alphabet::Binary(), options);
+  TcpServer server(&core);
+  ASSERT_TRUE(server.Listen(0).ok());
+  std::thread serve([&] { server.Serve(); });
+
+  int fd = tcp::Dial(server.port());
+  const std::string command = "rel R ab ba\n";
+  for (char c : command) {
+    ASSERT_EQ(::send(fd, &c, 1, 0), 1);
+    ::usleep(1000);
+  }
+  EXPECT_EQ(tcp::ReadResponse(fd), "defined R/1 with 2 tuples\nok\n");
+  ::close(fd);
+  server.RequestStop();
+  ASSERT_TRUE(server.Stop().ok());
+  serve.join();
+}
+
+TEST(TcpServerTest, MidCommandStallerGetsTypedTimeoutNotAHungThread) {
+  ServerOptions options;
+  options.read_deadline_ms = 100;
+  ServerCore core(Alphabet::Binary(), options);
+  TcpServer server(&core);
+  ASSERT_TRUE(server.Listen(0).ok());
+  std::thread serve([&] { server.Serve(); });
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  int64_t exceeded0 = reg.GetCounter("server.deadline_exceeded")->value();
+
+  // The slow-loris: half a command, then silence past the deadline.
+  int fd = tcp::Dial(server.port());
+  ASSERT_EQ(::send(fd, "rel R ", 6, 0), 6);
+  std::string response = tcp::ReadResponse(fd, 3000);
+  EXPECT_EQ(response.rfind("err deadline-exceeded", 0), 0u) << response;
+  EXPECT_NE(response.find("stalled mid-command"), std::string::npos)
+      << response;
+  EXPECT_EQ(reg.GetCounter("server.deadline_exceeded")->value(),
+            exceeded0 + 1);
+  // The connection is closed after the typed error...
+  char byte;
+  EXPECT_EQ(::recv(fd, &byte, 1, 0), 0);
+  ::close(fd);
+
+  // ...and the listener is alive and undamaged: a fresh, honest client
+  // is served immediately (the stalled thread was reclaimed, not hung).
+  int fd2 = tcp::Dial(server.port());
+  ASSERT_EQ(::send(fd2, "ping\n", 5, 0), 5);
+  EXPECT_EQ(tcp::ReadResponse(fd2), "pong\nok\n");
+  ::close(fd2);
+  server.RequestStop();
+  ASSERT_TRUE(server.Stop().ok());
+  serve.join();
+}
+
+TEST(TcpServerTest, IdleConnectionIsNotCutByTheReadDeadline) {
+  ServerOptions options;
+  options.read_deadline_ms = 50;
+  ServerCore core(Alphabet::Binary(), options);
+  TcpServer server(&core);
+  ASSERT_TRUE(server.Listen(0).ok());
+  std::thread serve([&] { server.Serve(); });
+
+  // No bytes in flight: the deadline must not arm.  After 4x the
+  // deadline the connection still answers.
+  int fd = tcp::Dial(server.port());
+  ::usleep(200 * 1000);
+  ASSERT_EQ(::send(fd, "ping\n", 5, 0), 5);
+  EXPECT_EQ(tcp::ReadResponse(fd), "pong\nok\n");
+  ::close(fd);
+  server.RequestStop();
+  ASSERT_TRUE(server.Stop().ok());
+  serve.join();
+}
+
+TEST(TcpServerTest, EofMidCommandDiscardsThePartialLine) {
+  // A torn request frame (no terminating newline, then EOF) must never
+  // execute: half an `insert` applied would be a partial-tuple bug.
+  ServerCore core(Alphabet::Binary());
+  TcpServer server(&core);
+  ASSERT_TRUE(server.Listen(0).ok());
+  std::thread serve([&] { server.Serve(); });
+
+  int setup = tcp::Dial(server.port());
+  ASSERT_EQ(::send(setup, "rel R ab\n", 9, 0), 9);
+  EXPECT_EQ(tcp::ReadResponse(setup), "defined R/1 with 1 tuples\nok\n");
+
+  int torn = tcp::Dial(server.port());
+  ASSERT_EQ(::send(torn, "insert R ba", 11, 0), 11);  // no newline
+  ::close(torn);  // EOF mid-command
+
+  // Give the handler a moment, then verify nothing was applied.
+  ::usleep(100 * 1000);
+  ASSERT_EQ(::send(setup, "x | R(x)\n", 9, 0), 9);
+  EXPECT_EQ(tcp::ReadResponse(setup), "{(\"ab\")}   (1 tuples)\nok\n");
+  ::close(setup);
+  server.RequestStop();
+  ASSERT_TRUE(server.Stop().ok());
+  serve.join();
+}
+
+// --- drain vs in-flight paged scans ----------------------------------------
+
+TEST(ServerCoreTest, DrainDuringActivePagedScanIsPinSafe) {
+  // A streaming kPagedScan holds buffer-pool page pins; Drain() and
+  // CloseDurable() must not tear the pool or the heap files out from
+  // under it.  Run under TSan this doubles as a lifetime-race detector.
+  namespace fs = std::filesystem;
+  std::string dir =
+      (fs::temp_directory_path() /
+       ("strdb_drain_scan." + std::to_string(::getpid())))
+          .string();
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+
+  ServerCore core(Alphabet::Binary());
+  StoreOptions store_options;
+  store_options.spill_threshold_bytes = 1024;
+  core.catalog().set_store_options(store_options);
+  RecoveryReport report;
+  ASSERT_TRUE(core.catalog().OpenDurable(dir, &report, nullptr).ok());
+  Result<int64_t> id = core.OpenSession();
+  ASSERT_TRUE(id.ok());
+  // A relation big enough to spill and to keep a scan busy.
+  std::string rel = "rel Big";
+  for (int w = 0; w < 256; ++w) {
+    rel += ' ';
+    for (int bit = 7; bit >= 0; --bit) rel += (w >> bit) & 1 ? 'b' : 'a';
+  }
+  ASSERT_EQ(Terminator(core.Execute(*id, rel)).rfind("ok", 0), 0u);
+  int persisted = 0;
+  int64_t generation = 0;
+  ASSERT_TRUE(
+      core.catalog().CheckpointDurable(&persisted, &generation, nullptr).ok());
+
+  // Dispatch a self-join over the paged relation (a long streaming
+  // scan), then immediately drain and close the store while it runs.
+  std::atomic<bool> done{false};
+  std::string response;
+  core.Dispatch(*id, "x, y | Big(x) & Big(y)", [&](std::string r) {
+    response = std::move(r);
+    done.store(true);
+  });
+  while (core.queue_depth() > 0) {
+  }
+  ASSERT_TRUE(core.Drain().ok());  // waits for the in-flight command
+  ASSERT_TRUE(done.load());
+  // The query either finished or died typed; the process did not crash
+  // on a dangling pool and the pins all returned.
+  std::string terminator = Terminator(response);
+  EXPECT_TRUE(terminator == "ok" || terminator.rfind("err ", 0) == 0)
+      << terminator;
+  ASSERT_TRUE(core.catalog().CloseDurable().ok());
+  fs::remove_all(dir, ec);
 }
 
 }  // namespace

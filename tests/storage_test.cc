@@ -9,6 +9,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <filesystem>
 #include <iostream>
@@ -319,6 +320,107 @@ TEST(RetryTest, GivesUpAfterBudgetAndPropagatesOtherCodes) {
   });
   EXPECT_EQ(not_found.code(), StatusCode::kNotFound);
   EXPECT_EQ(retries, 0);
+}
+
+// An Env shim that records the exact SleepMs sequence (FaultInjectingEnv
+// only totals it) — the backoff *schedule* is the unit under test here.
+class SleepRecordingEnv : public Env {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override {
+    return Env::Posix()->NewWritableFile(path, truncate);
+  }
+  Result<std::string> ReadFile(const std::string& path) override {
+    return Env::Posix()->ReadFile(path);
+  }
+  bool FileExists(const std::string& path) override {
+    return Env::Posix()->FileExists(path);
+  }
+  Result<std::vector<std::string>> ListDir(const std::string& path) override {
+    return Env::Posix()->ListDir(path);
+  }
+  Status CreateDir(const std::string& path) override {
+    return Env::Posix()->CreateDir(path);
+  }
+  Status Rename(const std::string& from, const std::string& to) override {
+    return Env::Posix()->Rename(from, to);
+  }
+  Status Remove(const std::string& path) override {
+    return Env::Posix()->Remove(path);
+  }
+  Status Truncate(const std::string& path, int64_t size) override {
+    return Env::Posix()->Truncate(path, size);
+  }
+  Status SyncDir(const std::string& path) override {
+    return Env::Posix()->SyncDir(path);
+  }
+  void SleepMs(int64_t ms) override { sleeps.push_back(ms); }
+
+  std::vector<int64_t> sleeps;
+};
+
+TEST(RetryTest, BackoffScheduleIsAPureFunctionOfPolicyAndSeed) {
+  // The regression the jitter work demands: same (policy, jitter_seed)
+  // must produce the identical sleep sequence run-to-run, and each
+  // sleep must stay inside the equal-jitter envelope around the capped
+  // doubling curve.
+  RetryPolicy policy;
+  policy.max_retries = 6;
+  policy.backoff_initial_ms = 8;
+  policy.backoff_cap_ms = 40;
+  policy.jitter = 0.25;
+  policy.jitter_seed = 0xfeedu;
+  auto schedule = [&](uint64_t seed) {
+    RetryPolicy p = policy;
+    p.jitter_seed = seed;
+    SleepRecordingEnv env;
+    int64_t retries = 0;
+    Status status = RetryIo(&env, p, &retries, [] {
+      return Status::Unavailable("always transient");
+    });
+    EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+    EXPECT_EQ(retries, 6);
+    return env.sleeps;
+  };
+  std::vector<int64_t> a = schedule(0xfeedu);
+  std::vector<int64_t> b = schedule(0xfeedu);
+  std::vector<int64_t> c = schedule(0xfeedu + 1);
+  EXPECT_EQ(a, b);            // same seed → bit-identical schedule
+  EXPECT_NE(a, c);            // different seed → different jitter draws
+  ASSERT_EQ(a.size(), 6u);    // one sleep per retry
+  int64_t base = policy.backoff_initial_ms;
+  for (int64_t ms : a) {
+    // Equal jitter: [base*(1-j), base*(1+j)], after the per-sleep cap.
+    EXPECT_GE(ms, base - base / 4);
+    EXPECT_LE(ms, base + base / 4);
+    base = std::min<int64_t>(base * 2, policy.backoff_cap_ms);
+  }
+}
+
+TEST(RetryTest, TotalBackoffCapGivesUpEarlyAndCountsIt) {
+  // With a 20ms total budget against an 8/16/32... schedule, the loop
+  // must stop sleeping once the next backoff would blow the budget —
+  // well before max_retries — and bump storage.io.retry_giveups.
+  RetryPolicy policy;
+  policy.max_retries = 50;
+  policy.backoff_initial_ms = 8;
+  policy.backoff_cap_ms = 1000;
+  policy.total_backoff_cap_ms = 20;
+  policy.jitter = 0.0;  // exact doubling: 8, 16 (24 total > 20 → stop)
+  Counter* giveups =
+      MetricsRegistry::Global().GetCounter("storage.io.retry_giveups");
+  int64_t before = giveups->value();
+  SleepRecordingEnv env;
+  int64_t retries = 0;
+  Status status = RetryIo(&env, policy, &retries, [] {
+    return Status::Unavailable("always transient");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(giveups->value(), before + 1);
+  EXPECT_LT(retries, 50);  // the time budget bound, not the count budget
+  int64_t total = 0;
+  for (int64_t ms : env.sleeps) total += ms;
+  EXPECT_LE(total, policy.total_backoff_cap_ms);
 }
 
 // --- Codec -----------------------------------------------------------------
