@@ -8,7 +8,7 @@
 //      machine).
 #include <benchmark/benchmark.h>
 
-#include "bench_util.h"
+#include "testing/bench_support.h"
 #include "core/rng.h"
 #include "engine/engine.h"
 #include "fsa/compile.h"

@@ -2,11 +2,16 @@
 // input lengths.  Sweeps input length for the workhorse §2 formulae and
 // reports the measured complexity alongside configuration counts.
 //
-// E24 — the compiled acceptance kernel (fsa/kernel) against the
-// reference BFS on warm tuple batches.  `--json[=PATH]` (default
-// BENCH_accept.json) skips the google-benchmark sweeps and instead
-// writes machine-readable ns/tuple, tuples/s and speedup rows;
-// `--quick` shrinks the workloads for CI smoke runs.
+// E24 — the acceptance tiers (the compiled CSR kernel of fsa/kernel
+// and the determinised bytecode DFA of fsa/codegen, scalar and batch)
+// against the reference BFS on warm tuple batches.  `--json[=PATH]`
+// (default BENCH_accept.json) skips the google-benchmark sweeps and
+// instead writes machine-readable ns/tuple, tuples/s and speedup rows
+// for all three tiers; `--quick` shrinks the workloads for CI smoke
+// runs.  Machines outside the DFA tier's class (two-way, or one-way
+// with a nondeterministic head schedule like the concatenation tester)
+// report dfa_compiled=false — exactly the rows the engine serves from
+// the kernel.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -18,9 +23,10 @@
 #include <string>
 #include <vector>
 
-#include "bench_util.h"
+#include "testing/bench_support.h"
 #include "core/rng.h"
 #include "fsa/accept.h"
+#include "fsa/codegen/program.h"
 #include "fsa/compile.h"
 #include "fsa/kernel.h"
 
@@ -170,7 +176,26 @@ BENCHMARK(BM_AcceptManifoldKernel)
     ->Range(8, 512)
     ->Complexity();
 
-// --- E24: the machine-readable kernel-vs-baseline batch comparison ---
+// DFA counterpart of the kernel sweep: subset-construct + minimise
+// once, then run the threaded bytecode per tuple.
+void BM_AcceptEqualityDfa(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::string w(static_cast<size_t>(n), 'a');
+  DfaProgram program =
+      OrDie(DfaProgram::Compile(EqualityFsa()), "equality dfa");
+  DfaScratch scratch;
+  for (auto _ : state) {
+    Result<AcceptStats> r = program.Accept({w, w}, &scratch);
+    if (!r.ok() || !r->accepted) state.SkipWithError("acceptance failed");
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_AcceptEqualityDfa)
+    ->RangeMultiplier(2)
+    ->Range(8, 512)
+    ->Complexity();
+
+// --- E24: the machine-readable tier-vs-baseline batch comparison ---
 
 using Clock = std::chrono::steady_clock;
 
@@ -182,6 +207,12 @@ struct JsonRow {
   double baseline_ns_per_tuple = 0;
   double kernel_ns_per_tuple = 0;
   double speedup = 0;
+  // DFA tier: absent (dfa_compiled=false, zeros) when the machine is
+  // outside the one-way move-deterministic class.
+  bool dfa_compiled = false;
+  double dfa_ns_per_tuple = 0;        // scalar bytecode interpreter
+  double dfa_batch_ns_per_tuple = 0;  // 64-lane batch interpreter
+  double dfa_speedup_vs_kernel = 0;   // kernel ns / batch-DFA ns
 };
 
 int64_t TimeNs(const std::function<void()>& fn) {
@@ -251,6 +282,42 @@ JsonRow MeasureWorkload(const std::string& name, const Fsa& fsa,
   row.baseline_ns_per_tuple = static_cast<double>(baseline_ns) / per;
   row.kernel_ns_per_tuple = static_cast<double>(kernel_ns) / per;
   row.speedup = row.baseline_ns_per_tuple / row.kernel_ns_per_tuple;
+
+  // The DFA tier, where the machine admits it: verdict-check both
+  // interpreters against the oracle verdicts the kernel already
+  // matched, then time the scalar chain and the 64-lane batch.
+  Result<DfaProgram> dfa = DfaProgram::Compile(fsa);
+  if (dfa.ok()) {
+    DfaScratch dscratch;
+    DfaBatchResult check = AcceptBatch(*dfa, tuples, &dscratch);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      Result<AcceptStats> scalar = dfa->Accept(batch[i], &dscratch);
+      if (!check.statuses[i].ok() || !scalar.ok() ||
+          (check.accepted[i] != 0) != (warm.accepted[i] != 0) ||
+          scalar->accepted != (warm.accepted[i] != 0)) {
+        std::fprintf(stderr, "%s: dfa/kernel mismatch on tuple %zu\n",
+                     name.c_str(), i);
+        std::abort();
+      }
+    }
+    int64_t dfa_scalar_ns = TimeNs([&] {
+      for (int r = 0; r < reps; ++r) {
+        for (const std::vector<std::string>& t : batch) {
+          benchmark::DoNotOptimize(dfa->Accept(t, &dscratch));
+        }
+      }
+    });
+    int64_t dfa_batch_ns = TimeNs([&] {
+      for (int r = 0; r < reps; ++r) {
+        benchmark::DoNotOptimize(AcceptBatch(*dfa, tuples, &dscratch));
+      }
+    });
+    row.dfa_compiled = true;
+    row.dfa_ns_per_tuple = static_cast<double>(dfa_scalar_ns) / per;
+    row.dfa_batch_ns_per_tuple = static_cast<double>(dfa_batch_ns) / per;
+    row.dfa_speedup_vs_kernel =
+        row.kernel_ns_per_tuple / row.dfa_batch_ns_per_tuple;
+  }
   return row;
 }
 
@@ -317,9 +384,38 @@ int RunJsonMode(const std::string& path, bool quick) {
     manifold.push_back({x, y});
   }
 
+  // DFA-tier showcases: the 2-tape pair-equality scanner and a
+  // single-tape substring-membership machine.  Both are one-way and
+  // move-deterministic, so they run on all three tiers; membership is
+  // the regex-reachable workload (LIKE '%abab%') where the batch
+  // interpreter's shared rank arena pays off most.
+  std::vector<std::vector<std::string>> equality;
+  for (size_t i = 0; i < count; ++i) {
+    std::string w = rng.String(sigma, len / 2, len);
+    std::string v = w;
+    if (i % 4 == 1) {
+      v.back() = v.back() == 'a' ? 'b' : 'a';
+    } else if (i % 4 > 1) {
+      v = rng.String(sigma, static_cast<int>(w.size()),
+                     static_cast<int>(w.size()));
+    }
+    equality.push_back({w, v});
+  }
+  const Fsa member_fsa = MakeMember(sigma, "abab");
+  std::vector<std::vector<std::string>> member;
+  for (size_t i = 0; i < count; ++i) {
+    std::string w = rng.String(sigma, len, 2 * len);
+    if (i % 4 == 0) w += "abab";  // guaranteed hit at the end
+    member.push_back({w});
+  }
+
   std::vector<JsonRow> rows;
   rows.push_back(
+      MeasureWorkload("equality_oneway", EqualityFsa(), equality, quick));
+  rows.push_back(
       MeasureWorkload("equality3_oneway", Equality3Fsa(), equality3, quick));
+  rows.push_back(
+      MeasureWorkload("member1_oneway", member_fsa, member, quick));
   rows.push_back(
       MeasureWorkload("concat_oneway", ConcatFsa(), concat, quick));
   rows.push_back(
@@ -347,11 +443,34 @@ int RunJsonMode(const std::string& path, bool quick) {
         << static_cast<int64_t>(1e9 / r.kernel_ns_per_tuple)
         << ", \"speedup\": "
         << static_cast<double>(static_cast<int64_t>(r.speedup * 100)) / 100
-        << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
-    std::printf("%-18s one_way=%d  baseline %8.0f ns/tuple  kernel %8.0f "
-                "ns/tuple  speedup %.2fx\n",
-                r.name.c_str(), r.one_way ? 1 : 0, r.baseline_ns_per_tuple,
-                r.kernel_ns_per_tuple, r.speedup);
+        << ", \"dfa_compiled\": " << (r.dfa_compiled ? "true" : "false");
+    if (r.dfa_compiled) {
+      out << ", \"dfa_ns_per_tuple\": "
+          << static_cast<int64_t>(r.dfa_ns_per_tuple)
+          << ", \"dfa_batch_ns_per_tuple\": "
+          << static_cast<int64_t>(r.dfa_batch_ns_per_tuple)
+          << ", \"dfa_tuples_per_s\": "
+          << static_cast<int64_t>(1e9 / r.dfa_batch_ns_per_tuple)
+          << ", \"dfa_speedup_vs_kernel\": "
+          << static_cast<double>(
+                 static_cast<int64_t>(r.dfa_speedup_vs_kernel * 100)) /
+                 100;
+    }
+    out << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+    if (r.dfa_compiled) {
+      std::printf("%-18s one_way=%d  baseline %8.0f ns/tuple  kernel %8.0f "
+                  "ns/tuple  dfa %6.0f/%6.0f ns/tuple (scalar/batch)  "
+                  "speedup %.2fx  dfa-vs-kernel %.2fx\n",
+                  r.name.c_str(), r.one_way ? 1 : 0, r.baseline_ns_per_tuple,
+                  r.kernel_ns_per_tuple, r.dfa_ns_per_tuple,
+                  r.dfa_batch_ns_per_tuple, r.speedup,
+                  r.dfa_speedup_vs_kernel);
+    } else {
+      std::printf("%-18s one_way=%d  baseline %8.0f ns/tuple  kernel %8.0f "
+                  "ns/tuple  speedup %.2fx  (dfa: not compiled)\n",
+                  r.name.c_str(), r.one_way ? 1 : 0, r.baseline_ns_per_tuple,
+                  r.kernel_ns_per_tuple, r.speedup);
+    }
   }
   out << "  ]\n}\n";
   std::printf("wrote %s\n", path.c_str());

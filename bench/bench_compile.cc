@@ -4,7 +4,7 @@
 // growing alphabets.
 #include <benchmark/benchmark.h>
 
-#include "bench_util.h"
+#include "testing/bench_support.h"
 #include "fsa/compile.h"
 #include "fsa/to_formula.h"
 

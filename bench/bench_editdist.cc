@@ -5,7 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "baseline/matchers.h"
-#include "bench_util.h"
+#include "testing/bench_support.h"
 #include "core/rng.h"
 #include "fsa/accept.h"
 #include "fsa/compile.h"

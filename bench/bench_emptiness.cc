@@ -4,7 +4,7 @@
 // grows much faster — the PSPACE-hardness shape.
 #include <benchmark/benchmark.h>
 
-#include "bench_util.h"
+#include "testing/bench_support.h"
 #include "fsa/compile.h"
 #include "fsa/generate.h"
 #include "queries/lba.h"

@@ -4,7 +4,7 @@
 // truncation.  This is the per-example companion to bench_acceptance.
 #include <benchmark/benchmark.h>
 
-#include "bench_util.h"
+#include "testing/bench_support.h"
 #include "calculus/eval.h"
 #include "fsa/accept.h"
 #include "fsa/compile.h"

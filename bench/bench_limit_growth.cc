@@ -5,7 +5,7 @@
 // the reported counters.
 #include <benchmark/benchmark.h>
 
-#include "bench_util.h"
+#include "testing/bench_support.h"
 #include "fsa/generate.h"
 #include "safety/limitation.h"
 

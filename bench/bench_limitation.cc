@@ -2,7 +2,7 @@
 // §2 query formulae and the B_s machine family.
 #include <benchmark/benchmark.h>
 
-#include "bench_util.h"
+#include "testing/bench_support.h"
 #include "safety/limitation.h"
 
 namespace strdb {

@@ -6,7 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "baseline/regex.h"
-#include "bench_util.h"
+#include "testing/bench_support.h"
 #include "core/rng.h"
 #include "fsa/accept.h"
 #include "fsa/compile.h"

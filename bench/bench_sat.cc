@@ -5,7 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "baseline/sat_solver.h"
-#include "bench_util.h"
+#include "testing/bench_support.h"
 #include "core/rng.h"
 #include "queries/sat_encoding.h"
 

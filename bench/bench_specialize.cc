@@ -3,7 +3,7 @@
 // product-automaton size.
 #include <benchmark/benchmark.h>
 
-#include "bench_util.h"
+#include "testing/bench_support.h"
 #include "fsa/compile.h"
 #include "fsa/specialize.h"
 

@@ -61,6 +61,15 @@ int64_t ArtifactCache::KernelCost(const AcceptKernel& kernel) {
   return kernel.MemoryCost();
 }
 
+int64_t ArtifactCache::DfaCost(const DfaCompilation& compilation) {
+  int64_t bytes = static_cast<int64_t>(sizeof(DfaCompilation)) +
+                  static_cast<int64_t>(compilation.failure.message().size());
+  if (compilation.program != nullptr) {
+    bytes += compilation.program->MemoryCost();
+  }
+  return bytes;
+}
+
 int64_t ArtifactCache::GeneratedCost(const GeneratedSet& set) {
   // Red-black tree node (3 pointers + colour, rounded) + vector header
   // per tuple, string header + content per component.
@@ -115,7 +124,8 @@ Result<std::shared_ptr<const Fsa>> ArtifactCache::GetSpecialized(
   bool inserted;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    inserted = InsertLocked(Entry{key, shared, nullptr, nullptr, cost});
+    inserted =
+        InsertLocked(Entry{key, shared, nullptr, nullptr, nullptr, cost});
   }
   if (!inserted && budget != nullptr) budget->Release(0, 0, cost);
   *derived_key = std::move(key);
@@ -146,7 +156,8 @@ ArtifactCache::PutGenerated(const std::string& key, GeneratedSet set,
   bool inserted;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    inserted = InsertLocked(Entry{key, nullptr, shared, nullptr, cost});
+    inserted =
+        InsertLocked(Entry{key, nullptr, shared, nullptr, nullptr, cost});
   }
   if (!inserted && budget != nullptr) budget->Release(0, 0, cost);
   return shared;
@@ -175,7 +186,39 @@ Result<std::shared_ptr<const AcceptKernel>> ArtifactCache::PutKernel(
   bool inserted;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    inserted = InsertLocked(Entry{key, nullptr, nullptr, shared, cost});
+    inserted =
+        InsertLocked(Entry{key, nullptr, nullptr, shared, nullptr, cost});
+  }
+  if (!inserted && budget != nullptr) budget->Release(0, 0, cost);
+  return shared;
+}
+
+std::shared_ptr<const DfaCompilation> ArtifactCache::GetDfa(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    RecordMissLocked();
+    return nullptr;
+  }
+  RecordHitLocked();
+  TouchLocked(it->second);
+  return it->second->dfa;
+}
+
+Result<std::shared_ptr<const DfaCompilation>> ArtifactCache::PutDfa(
+    const std::string& key, DfaCompilation compilation,
+    ResourceBudget* budget) {
+  auto shared = std::make_shared<const DfaCompilation>(std::move(compilation));
+  int64_t cost = static_cast<int64_t>(key.size()) + DfaCost(*shared);
+  if (budget != nullptr) {
+    STRDB_RETURN_IF_ERROR(budget->ChargeCachedBytes(cost));
+  }
+  bool inserted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    inserted =
+        InsertLocked(Entry{key, nullptr, nullptr, nullptr, shared, cost});
   }
   if (!inserted && budget != nullptr) budget->Release(0, 0, cost);
   return shared;
@@ -185,7 +228,7 @@ void ArtifactCache::InstallFsa(const std::string& key,
                                std::shared_ptr<const Fsa> fsa) {
   int64_t cost = static_cast<int64_t>(key.size()) + FsaCost(*fsa);
   std::lock_guard<std::mutex> lock(mu_);
-  InsertLocked(Entry{key, std::move(fsa), nullptr, nullptr, cost});
+  InsertLocked(Entry{key, std::move(fsa), nullptr, nullptr, nullptr, cost});
 }
 
 void ArtifactCache::ForEachFsa(

@@ -13,6 +13,7 @@
 
 #include "core/budget.h"
 #include "core/result.h"
+#include "fsa/codegen/program.h"
 #include "fsa/fsa.h"
 #include "fsa/kernel.h"
 
@@ -25,11 +26,15 @@ namespace strdb {
 // σ_A(F × (Σ*)^n) revisiting a factor value, two queries sharing a
 // compiled formula) skip respecialisation and regeneration entirely.
 //
-// Three artifact kinds are cached:
+// Four artifact kinds are cached:
 //   * specialised automata   — Specialize(A, tape := constant);
 //   * bounded generations    — EnumerateLanguage(A', max_len) results;
-//   * acceptance kernels     — AcceptKernel::Compile(A) for σ_A filters.
-// Both are pure functions of their key, so the cache never changes a
+//   * acceptance kernels     — AcceptKernel::Compile(A) for σ_A filters;
+//   * DFA programs           — DfaProgram::Compile(A) outcomes, *including
+//     typed refusals*: an automaton outside the DFA tier's applicability
+//     class is classified once, and every later query on it goes
+//     straight to the kernel without re-running the subset construction.
+// All are pure functions of their key, so the cache never changes a
 // result; only budget *errors* can differ when a previously computed
 // artifact is reused under a smaller step budget.
 //
@@ -71,6 +76,7 @@ class ArtifactCache {
   static int64_t FsaCost(const Fsa& fsa);
   static int64_t GeneratedCost(const GeneratedSet& set);
   static int64_t KernelCost(const AcceptKernel& kernel);
+  static int64_t DfaCost(const DfaCompilation& compilation);
 
   // Returns Specialize(base, base tape `tape` := value), where `base` is
   // the machine identified by `base_key`; `*derived_key` receives the
@@ -100,6 +106,16 @@ class ArtifactCache {
       const std::string& key, AcceptKernel kernel,
       ResourceBudget* budget = nullptr);
 
+  // Returns the cached DFA compile outcome for `key`, or nullptr when
+  // the machine has not been classified yet.  A non-null result with a
+  // null `program` is a cached refusal.
+  std::shared_ptr<const DfaCompilation> GetDfa(const std::string& key);
+  // Caches a compile outcome (program or typed refusal) under `key`,
+  // charging its cost to `budget` (when given).
+  Result<std::shared_ptr<const DfaCompilation>> PutDfa(
+      const std::string& key, DfaCompilation compilation,
+      ResourceBudget* budget = nullptr);
+
   // Installs a prebuilt automaton artifact under `key`, as if a miss had
   // just computed it — the durable-storage layer uses this to warm the
   // cache from persisted automata at open time.  Normal LRU accounting
@@ -123,6 +139,7 @@ class ArtifactCache {
     std::shared_ptr<const Fsa> fsa;
     std::shared_ptr<const GeneratedSet> generated;
     std::shared_ptr<const AcceptKernel> kernel;
+    std::shared_ptr<const DfaCompilation> dfa;
     int64_t cost = 0;
   };
 

@@ -9,6 +9,7 @@
 
 #include "core/metrics.h"
 #include "fsa/accept.h"
+#include "fsa/codegen/program.h"
 #include "fsa/generate.h"
 #include "fsa/kernel.h"
 
@@ -332,6 +333,55 @@ class Executor {
     return std::make_shared<const AcceptKernel>(std::move(compiled).value());
   }
 
+  // Fetches (or compiles) the DFA-tier program for `node`'s automaton.
+  // Returns nullptr when the tier is disabled, the machine is outside
+  // its applicability class (two-way, nondeterministic head schedule)
+  // or past the subset-construction caps — the caller then falls back
+  // to the kernel.  Refusals are cached too, so an inapplicable machine
+  // pays the classification once, not per query.
+  Result<std::shared_ptr<const DfaProgram>> DfaFor(PlanNode* node) {
+    if (!engine_options_.enable_dfa) {
+      return std::shared_ptr<const DfaProgram>();
+    }
+    static Counter* const hits =
+        MetricsRegistry::Global().GetCounter("fsa.dfa.cache_hits");
+    static Counter* const fallbacks =
+        MetricsRegistry::Global().GetCounter("fsa.dfa.fallbacks");
+    if (cache_ != nullptr) {
+      std::string key = node->fsa_key + "\n|dfa";
+      std::shared_ptr<const DfaCompilation> cached = cache_->GetDfa(key);
+      if (cached != nullptr) {
+        if (cached->program != nullptr) {
+          ++node->stats.cache_hits;
+          hits->Increment();
+          return cached->program;
+        }
+        fallbacks->Increment();
+        return std::shared_ptr<const DfaProgram>();
+      }
+      ++node->stats.cache_misses;
+      DfaCompilation fresh;
+      Result<DfaProgram> compiled = DfaProgram::Compile(*node->fsa);
+      if (compiled.ok()) {
+        fresh.program =
+            std::make_shared<const DfaProgram>(std::move(compiled).value());
+      } else {
+        fresh.failure = compiled.status();
+        fallbacks->Increment();
+      }
+      STRDB_ASSIGN_OR_RETURN(std::shared_ptr<const DfaCompilation> stored,
+                             cache_->PutDfa(key, std::move(fresh),
+                                            options_.budget));
+      return stored->program;
+    }
+    Result<DfaProgram> compiled = DfaProgram::Compile(*node->fsa);
+    if (!compiled.ok()) {
+      fallbacks->Increment();
+      return std::shared_ptr<const DfaProgram>();
+    }
+    return std::make_shared<const DfaProgram>(std::move(compiled).value());
+  }
+
   Result<StringRelation> FilterSelect(PlanNode* node) {
     PlanNode* child_node = node->children[0].get();
     if (child_node->op == Op::kPagedScan && engine_options_.enable_paged &&
@@ -350,14 +400,42 @@ class Executor {
     std::vector<int64_t> steps(tuples.size(), 0);
     std::vector<Status> errors(tuples.size());
     const Fsa& fsa = *node->fsa;
-    STRDB_ASSIGN_OR_RETURN(std::shared_ptr<const AcceptKernel> kernel,
-                           KernelFor(node));
+    // Fallback ladder: DFA program → CSR kernel → reference BFS.  The
+    // kernel is only compiled when the DFA tier bowed out.
+    STRDB_ASSIGN_OR_RETURN(std::shared_ptr<const DfaProgram> dfa,
+                           DfaFor(node));
+    std::shared_ptr<const AcceptKernel> kernel;
+    if (dfa == nullptr) {
+      STRDB_ASSIGN_OR_RETURN(kernel, KernelFor(node));
+    }
     AcceptOptions accept_opts;
     accept_opts.budget = options_.budget;  // shared account; charging is atomic
     auto check_range = [&](int64_t begin, int64_t end) {
       // One scratch per pool thread, reused across chunks, batches and
       // queries: the warm path allocates nothing per tuple.
       thread_local AcceptScratch scratch;
+      thread_local DfaScratch dfa_scratch;
+      if (dfa != nullptr) {
+        if (begin >= end) return;
+        // The whole chunk advances through the row table lanes-at-a-time.
+        std::vector<const Tuple*> slice(
+            tuples.begin() + static_cast<ptrdiff_t>(begin),
+            tuples.begin() + static_cast<ptrdiff_t>(end));
+        DfaBatchResult res = AcceptBatch(*dfa, slice, &dfa_scratch,
+                                         accept_opts);
+        for (size_t j = 0; j < slice.size(); ++j) {
+          size_t i = static_cast<size_t>(begin) + j;
+          if (!res.statuses[j].ok()) {
+            errors[i] = res.statuses[j];
+            continue;
+          }
+          accepted[i] = res.accepted[j];
+        }
+        // The batch reports aggregate chain steps; park them on the
+        // chunk's first slot so the input-order merge sums correctly.
+        steps[static_cast<size_t>(begin)] = res.configurations_visited;
+        return;
+      }
       for (int64_t i = begin; i < end; ++i) {
         Result<AcceptStats> res =
             kernel != nullptr
@@ -402,8 +480,12 @@ class Executor {
   Result<StringRelation> StreamFilterSelect(PlanNode* node, PlanNode* child) {
     Clock::time_point child_start = Clock::now();
     const Fsa& fsa = *node->fsa;
-    STRDB_ASSIGN_OR_RETURN(std::shared_ptr<const AcceptKernel> kernel,
-                           KernelFor(node));
+    STRDB_ASSIGN_OR_RETURN(std::shared_ptr<const DfaProgram> dfa,
+                           DfaFor(node));
+    std::shared_ptr<const AcceptKernel> kernel;
+    if (dfa == nullptr) {
+      STRDB_ASSIGN_OR_RETURN(kernel, KernelFor(node));
+    }
     AcceptOptions accept_opts;
     accept_opts.budget = options_.budget;
     StringRelation out(node->arity);
@@ -420,7 +502,23 @@ class Executor {
           bool parallel = engine_options_.enable_parallel &&
                           pool_->num_threads() > 1 &&
                           n >= engine_options_.parallel_threshold;
-          if (kernel != nullptr && !parallel) {
+          if (dfa != nullptr && !parallel) {
+            // The streamed batch drives the DFA tier's lane interpreter
+            // directly: one page's worth of tuples per AcceptBatch call.
+            std::vector<const Tuple*> ptrs;
+            ptrs.reserve(batch.size());
+            for (const Tuple& t : batch) ptrs.push_back(&t);
+            thread_local DfaScratch scratch;
+            DfaBatchResult res = AcceptBatch(*dfa, ptrs, &scratch,
+                                             accept_opts);
+            node->stats.fsa_steps += res.configurations_visited;
+            for (size_t i = 0; i < batch.size(); ++i) {
+              STRDB_RETURN_IF_ERROR(res.statuses[i]);
+              if (res.accepted[i]) {
+                STRDB_RETURN_IF_ERROR(out.Insert(batch[i]));
+              }
+            }
+          } else if (kernel != nullptr && !parallel) {
             std::vector<const Tuple*> ptrs;
             ptrs.reserve(batch.size());
             for (const Tuple& t : batch) ptrs.push_back(&t);
@@ -440,10 +538,13 @@ class Executor {
             std::vector<Status> errors(batch.size());
             auto check_range = [&](int64_t begin, int64_t end) {
               thread_local AcceptScratch scratch;
+              thread_local DfaScratch dfa_scratch;
               for (int64_t i = begin; i < end; ++i) {
                 const Tuple& t = batch[static_cast<size_t>(i)];
                 Result<AcceptStats> res =
-                    kernel != nullptr
+                    dfa != nullptr
+                        ? dfa->Accept(t, &dfa_scratch, accept_opts)
+                    : kernel != nullptr
                         ? scratch.Accept(*kernel, t, accept_opts)
                         : AcceptsWithStats(fsa, t, accept_opts);
                 if (!res.ok()) {

@@ -30,6 +30,14 @@ struct EngineOptions {
   // Theorem 3.3 BFS (AcceptsWithStats); answers are identical either
   // way, only speed differs.
   bool enable_kernel = true;
+  // Route σ_A filters through the DFA codegen tier (fsa/dfa +
+  // fsa/codegen) when the automaton is one-way and move-deterministic:
+  // subset-constructed, minimised and lowered to threaded bytecode with
+  // a batched execution path.  Machines outside the class — or past the
+  // subset-construction caps — silently fall back to the CSR kernel
+  // (and the kernel to the reference BFS), so the fallback ladder is
+  // DFA → kernel → BFS and answers are identical at every rung.
+  bool enable_dfa = true;
   // Partition filter-select inputs across the thread pool.  Inputs
   // smaller than `parallel_threshold` tuples run on the calling thread.
   bool enable_parallel = true;

@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "fsa/accept.h"
+#include "fsa/codegen/program.h"
 #include "fsa/generate.h"
 
 namespace strdb {
@@ -356,8 +357,24 @@ class AlgebraEvaluatorImpl {
       StringRelation out(e.arity());
       AcceptOptions accept_opts;
       accept_opts.budget = options_.budget;
+      // The DFA tier, compiled per call (no cache at this layer): a
+      // refusal — two-way machine, head-schedule nondeterminism, subset
+      // blowup — silently drops to the reference BFS.
+      std::optional<DfaProgram> dfa;
+      if (options_.enable_dfa) {
+        Result<DfaProgram> compiled = DfaProgram::Compile(fsa);
+        if (compiled.ok()) dfa.emplace(std::move(compiled).value());
+      }
+      DfaScratch dfa_scratch;
       for (const Tuple& t : child.tuples()) {
-        STRDB_ASSIGN_OR_RETURN(bool acc, Accepts(fsa, t, accept_opts));
+        bool acc;
+        if (dfa.has_value()) {
+          STRDB_ASSIGN_OR_RETURN(AcceptStats stats,
+                                 dfa->Accept(t, &dfa_scratch, accept_opts));
+          acc = stats.accepted;
+        } else {
+          STRDB_ASSIGN_OR_RETURN(acc, Accepts(fsa, t, accept_opts));
+        }
         if (acc) {
           STRDB_RETURN_IF_ERROR(out.Insert(t));
         }

@@ -106,6 +106,12 @@ struct EvalOptions {
   // looked up here and materialised (the naive evaluator is the oracle —
   // only the engine's PagedScan streams).  Not owned; nullptr = none.
   const PagedSet* paged = nullptr;
+  // Run plain-filtering σ_A through the DFA codegen tier when the
+  // automaton admits it (one-way, move-deterministic, within the subset
+  // caps), falling back to the reference BFS otherwise.  Answers are
+  // identical either way; differential oracles pin this to false so the
+  // naive evaluator stays an independent implementation.
+  bool enable_dfa = true;
 };
 
 // Evaluates db(E↓l).  Selections over products containing Σ* factors are

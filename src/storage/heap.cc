@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <iterator>
 #include <map>
 
 namespace strdb {
@@ -366,11 +367,28 @@ Status PagedHeap::Scan(
     }
     return Status::OK();
   }
-  std::vector<Tuple> batch;
+  // Coalesce consecutive runs until a batch reaches kScanBatchMinRows:
+  // run granularity is a storage artifact (whatever fit one page at
+  // write time), but each on_batch call downstream is one shot of the
+  // engine's batch acceptance tiers — the CSR kernel and the DFA's
+  // 64-lane interpreter — which under-fill on page-sized crumbs.  At
+  // most one coalesced batch is resident at a time, so the peak-memory
+  // contract only grows from "one run" to "one batch".
+  std::vector<Tuple> batch, run_rows;
   for (int64_t run = 0; run < static_cast<int64_t>(runs_.size()); ++run) {
-    STRDB_RETURN_IF_ERROR(ScanRun(run, &batch));
-    STRDB_RETURN_IF_ERROR(on_batch(batch));
+    STRDB_RETURN_IF_ERROR(ScanRun(run, &run_rows));
+    if (batch.empty()) {
+      batch.swap(run_rows);
+    } else {
+      batch.insert(batch.end(), std::make_move_iterator(run_rows.begin()),
+                   std::make_move_iterator(run_rows.end()));
+    }
+    if (static_cast<int64_t>(batch.size()) >= kScanBatchMinRows) {
+      STRDB_RETURN_IF_ERROR(on_batch(batch));
+      batch.clear();
+    }
   }
+  if (!batch.empty()) STRDB_RETURN_IF_ERROR(on_batch(batch));
   return Status::OK();
 }
 

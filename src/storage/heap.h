@@ -35,6 +35,12 @@ namespace strdb {
 // compares strings — id-row order is string-tuple order and the runs
 // stream out in lexicographic order with no duplicates.
 
+// Minimum tuples per Scan batch: consecutive runs are coalesced until
+// a batch reaches this many rows, so downstream batch consumers (the
+// engine's streamed σ_A via the CSR kernel or the DFA tier's 64-lane
+// interpreter) see full batches even when individual runs are small.
+inline constexpr int64_t kScanBatchMinRows = 256;
+
 // Per-run directory entry, decoded at Open.
 struct RunInfo {
   int64_t row_count = 0;
@@ -71,7 +77,10 @@ class PagedHeap : public TupleSource {
   int64_t tuple_count() const override { return tuple_count_; }
   int max_string_length() const override { return max_string_length_; }
 
-  // Streams runs in order; each on_batch call delivers one run's tuples.
+  // Streams runs in order, coalescing consecutive runs until each
+  // on_batch call carries at least kScanBatchMinRows tuples (the final
+  // batch flushes whatever remains).  Batch boundaries always align
+  // with run boundaries.
   Status Scan(const std::function<Status(const std::vector<Tuple>&)>& on_batch)
       const override;
 

@@ -1,6 +1,7 @@
-#ifndef STRDB_BENCH_BENCH_UTIL_H_
-#define STRDB_BENCH_BENCH_UTIL_H_
+#ifndef STRDB_TESTING_BENCH_SUPPORT_H_
+#define STRDB_TESTING_BENCH_SUPPORT_H_
 
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 
@@ -29,7 +30,7 @@ inline StringFormula Parse(const std::string& text) {
 }
 
 // The §2 corpus (formula texts and the Theorem 5.2 witness families)
-// lives in src/testing/corpus.h so tests, benches and the conformance
+// lives in testing/corpus.h so tests, benches and the conformance
 // harness agree on the exact artifacts; re-exported here to keep bench
 // call sites stable.
 using testgen::kConcatText;
@@ -37,10 +38,12 @@ using testgen::kEquality3Text;
 using testgen::kEqualityText;
 using testgen::kManifoldText;
 using testgen::kShuffleText;
+using testgen::MakeBlowup;
 using testgen::MakeBs;
 using testgen::MakeBsPrime;
+using testgen::MakeMember;
 
 }  // namespace bench
 }  // namespace strdb
 
-#endif  // STRDB_BENCH_BENCH_UTIL_H_
+#endif  // STRDB_TESTING_BENCH_SUPPORT_H_

@@ -129,5 +129,46 @@ Fsa MakeBsPrime(const Alphabet& alphabet, int s) {
   return fsa;
 }
 
+Fsa MakeMember(const Alphabet& alphabet, const std::string& pattern) {
+  Fsa fsa(alphabet, 1);
+  std::vector<int> chain = {fsa.start()};
+  for (size_t i = 0; i < pattern.size(); ++i) chain.push_back(fsa.AddState());
+  fsa.SetFinal(chain.back());
+  for (Sym c = 0; c < alphabet.size(); ++c) {
+    MustAdd(&fsa, Transition{fsa.start(), fsa.start(), {c}, {+1}});
+  }
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    Result<Sym> c = alphabet.SymOf(pattern[i]);
+    if (!c.ok()) {
+      std::fprintf(stderr, "bad member pattern: %s\n",
+                   c.status().ToString().c_str());
+      std::abort();
+    }
+    MustAdd(&fsa, Transition{chain[i], chain[i + 1], {*c}, {+1}});
+  }
+  return fsa;
+}
+
+Fsa MakeBlowup(const Alphabet& alphabet, int n) {
+  Fsa fsa(alphabet, 1);
+  const Sym a = 0;
+  std::vector<int> chain = {fsa.start()};
+  for (int i = 0; i <= n; ++i) chain.push_back(fsa.AddState());
+  fsa.SetFinal(chain.back());
+  for (Sym c = 0; c < alphabet.size(); ++c) {
+    MustAdd(&fsa, Transition{fsa.start(), fsa.start(), {c}, {+1}});
+  }
+  MustAdd(&fsa, Transition{chain[0], chain[1], {a}, {+1}});
+  for (int i = 1; i <= n; ++i) {
+    for (Sym c = 0; c < alphabet.size(); ++c) {
+      MustAdd(&fsa, Transition{chain[static_cast<size_t>(i)],
+                               chain[static_cast<size_t>(i) + 1],
+                               {c},
+                               {+1}});
+    }
+  }
+  return fsa;
+}
+
 }  // namespace testgen
 }  // namespace strdb

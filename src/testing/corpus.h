@@ -36,6 +36,21 @@ Fsa MakeBs(const Alphabet& alphabet, int s);
 // tape 2 = output.
 Fsa MakeBsPrime(const Alphabet& alphabet, int s);
 
+// Single-tape substring membership σ(pattern ⊑ x) as the textbook NFA:
+// a self-loop on Σ guesses where the match starts, a chain spells
+// `pattern`, and the exit-free final state stuck-accepts at the first
+// completed match.  One-way and move-deterministic, so it determinises —
+// the classic subset-construction showcase, used by the DFA tier's
+// benches.  `pattern` characters must belong to `alphabet`.
+Fsa MakeMember(const Alphabet& alphabet, const std::string& pattern);
+
+// The (a|b)*·a·(a|b)^n family over Σ = {a, b}: remembering which of the
+// last n+1 positions carried an 'a' needs 2^(n+1) subsets, the textbook
+// exponential lower bound for determinisation.  Pins the DFA tier's
+// subset-construction cap (n = 18 at the default 4096-state cap must be
+// refused; small n must compile).
+Fsa MakeBlowup(const Alphabet& alphabet, int n);
+
 }  // namespace testgen
 }  // namespace strdb
 

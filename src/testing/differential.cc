@@ -175,6 +175,7 @@ const std::vector<const DiffTarget*>& AllTargets() {
   static const std::vector<const DiffTarget*>* const targets = [] {
     auto* v = new std::vector<const DiffTarget*>();
     v->push_back(new KernelDiffTarget());
+    v->push_back(new DfaDiffTarget());
     v->push_back(new EngineDiffTarget());
     v->push_back(new RoundtripTarget());
     v->push_back(new StorageRecoverTarget());

@@ -12,6 +12,7 @@
 #include "fsa/serialize.h"
 #include "storage/store.h"
 #include "strform/parser.h"
+#include "testing/corpus.h"
 #include "testing/generators.h"
 
 namespace strdb {
@@ -366,6 +367,368 @@ int64_t KernelDiffTarget::CaseSize(const Case& c) const {
   return size;
 }
 
+// --- DfaDiffTarget ----------------------------------------------------------
+
+namespace {
+
+// The engine falls back from the DFA tier on exactly these two codes;
+// anything else out of DfaProgram::Compile is a bug, not a refusal.
+bool IsSanctionedDfaRefusal(const Status& status) {
+  return status.code() == StatusCode::kUnimplemented ||
+         status.code() == StatusCode::kResourceExhausted;
+}
+
+// "Same outcome" for two acceptance runs: equal ok-ness, then equal
+// verdicts (ok) or equal status codes (error).
+bool OutcomesAgree(const Result<AcceptStats>& a, const Result<AcceptStats>& b) {
+  if (a.ok() != b.ok()) return false;
+  if (a.ok()) return a->accepted == b->accepted;
+  return a.status().code() == b.status().code();
+}
+
+// A budgeted rerun is sound iff it reproduces the unbudgeted outcome or
+// degrades to a typed kResourceExhausted — never a different verdict.
+bool BudgetedOutcomeSound(const Result<AcceptStats>& unbudgeted,
+                          const Result<AcceptStats>& budgeted) {
+  if (!budgeted.ok() &&
+      budgeted.status().code() == StatusCode::kResourceExhausted) {
+    return true;
+  }
+  return OutcomesAgree(unbudgeted, budgeted);
+}
+
+ResourceBudget MakeStepBudget(int64_t max_steps) {
+  ResourceLimits limits;
+  limits.max_steps = max_steps;
+  return ResourceBudget(limits);
+}
+
+}  // namespace
+
+DiffTarget::CasePtr DfaDiffTarget::Generate(RandomSource& rand) const {
+  Alphabet sigma = Alphabet::Binary();
+  Fsa fsa = [&]() -> Fsa {
+    switch (rand.Range(0, 5)) {
+      case 0: {
+        // Compiled machine: the tier must hold on what the compiler
+        // actually emits (equality scanners compile, concatenation
+        // testers are refused — both paths are interesting).
+        std::string text = RandomStringFormulaText(rand, sigma, 2);
+        Result<StringFormula> formula = ParseStringFormula(text);
+        if (formula.ok()) {
+          Result<Fsa> compiled =
+              CompileStringFormula(*formula, sigma, {"x", "y"});
+          if (compiled.ok()) return std::move(*compiled);
+        }
+        break;  // fall through to a raw random machine
+      }
+      case 1:
+        // Substring membership: single-tape, always compiles, and its
+        // subset automaton genuinely exercises minimisation.
+        return MakeMember(sigma, rand.String(sigma, 1, 5));
+      case 2:
+        // The 2^n blowup family: small n compiles, larger n must trip
+        // the cap and be refused as kResourceExhausted.
+        return MakeBlowup(sigma, static_cast<int>(rand.Range(2, 8)));
+      default:
+        break;
+    }
+    FsaGenOptions options;
+    options.one_way_only = rand.Coin();
+    return RandomFsa(rand, sigma, options);
+  }();
+
+  auto c = std::make_unique<DfaCase>(std::move(fsa));
+  if (rand.Range(0, 3) == 0) c->budget_steps = rand.Range(1, 64);
+  if (rand.Range(0, 4) == 0) c->max_states = 2;  // forced-fallback case
+  int tapes = c->fsa.num_tapes();
+  int n = static_cast<int>(rand.Range(1, 6));
+  for (int i = 0; i < n; ++i) {
+    if (rand.Coin()) {
+      std::string base = rand.String(sigma, 0, 4);
+      Tuple tuple;
+      for (int tape = 0; tape < tapes; ++tape) {
+        switch (rand.Range(0, 2)) {
+          case 0:
+            tuple.push_back(base);
+            break;
+          case 1:
+            tuple.push_back(base.substr(
+                0, rand.Below(static_cast<uint64_t>(base.size()) + 1)));
+            break;
+          default:
+            tuple.push_back(rand.String(sigma, 0, 4));
+        }
+      }
+      c->tuples.push_back(std::move(tuple));
+    } else {
+      c->tuples.push_back(RandomTuple(rand, sigma, tapes, 4));
+    }
+  }
+  return c;
+}
+
+std::optional<Divergence> DfaDiffTarget::Run(const Case& c) const {
+  const auto& dc = static_cast<const DfaCase&>(c);
+
+  DfaBuildOptions build;
+  if (dc.max_states > 0) build.max_states = dc.max_states;
+  Result<DfaProgram> dfa = DfaProgram::Compile(dc.fsa, build);
+  if (!dfa.ok() && !IsSanctionedDfaRefusal(dfa.status())) {
+    return Divergence{"DFA compile failed with an unsanctioned code: " +
+                      dfa.status().ToString() + "\n" + dc.fsa.ToString()};
+  }
+  if (!dfa.ok() && !HasBackwardMove(dc.fsa) &&
+      dfa.status().code() == StatusCode::kUnimplemented &&
+      dc.fsa.num_tapes() == 1) {
+    // Single-tape one-way machines have no head schedule to be
+    // nondeterministic about: every applicable move advances the one
+    // head.  kUnimplemented here would mean the conflict detector is
+    // broken.
+    return Divergence{"single-tape one-way machine refused as " +
+                      dfa.status().ToString() + "\n" + dc.fsa.ToString()};
+  }
+
+  Result<AcceptKernel> kernel = AcceptKernel::Compile(dc.fsa);
+  if (!kernel.ok()) {
+    // Same documented escape hatch as the kernel target.
+    if (kernel.status().code() == StatusCode::kResourceExhausted) {
+      return std::nullopt;
+    }
+    return Divergence{"kernel compile failed unexpectedly: " +
+                      kernel.status().ToString()};
+  }
+
+  // Scalar three-way parity, unbudgeted.
+  std::vector<Result<AcceptStats>> reference_out;
+  for (const Tuple& tuple : dc.tuples) {
+    Result<AcceptStats> reference = AcceptsWithStats(dc.fsa, tuple);
+    Result<AcceptStats> fast = kernel_scratch_.Accept(*kernel, tuple);
+    if (!OutcomesAgree(reference, fast)) {
+      return Divergence{"kernel disagrees with reference on tuple " +
+                        QuoteTuple(tuple) + ": reference=" +
+                        DescribeStatus(reference) + " kernel=" +
+                        DescribeStatus(fast) + "\n" + dc.fsa.ToString()};
+    }
+    if (dfa.ok()) {
+      Result<AcceptStats> compiled = dfa->Accept(tuple, &dfa_scratch_);
+      if (!OutcomesAgree(reference, compiled)) {
+        return Divergence{"DFA disagrees with reference on tuple " +
+                          QuoteTuple(tuple) + ": reference=" +
+                          DescribeStatus(reference) + " dfa=" +
+                          DescribeStatus(compiled) + "\n" + dc.fsa.ToString()};
+      }
+    }
+    reference_out.push_back(std::move(reference));
+  }
+
+  // Batch interpreter parity: one AcceptBatch over the whole case must
+  // reproduce the scalar outcomes tuple by tuple.
+  if (dfa.ok() && !dc.tuples.empty()) {
+    std::vector<const Tuple*> batch;
+    for (const Tuple& tuple : dc.tuples) batch.push_back(&tuple);
+    DfaBatchResult batched = AcceptBatch(*dfa, batch, &dfa_scratch_);
+    for (size_t i = 0; i < dc.tuples.size(); ++i) {
+      const Result<AcceptStats>& reference = reference_out[i];
+      bool agree;
+      if (reference.ok() != batched.statuses[i].ok()) {
+        agree = false;
+      } else if (reference.ok()) {
+        agree = (batched.accepted[i] != 0) == reference->accepted;
+      } else {
+        agree = reference.status().code() == batched.statuses[i].code();
+      }
+      if (!agree) {
+        return Divergence{
+            "DFA batch disagrees with scalar on tuple " +
+            QuoteTuple(dc.tuples[i]) + ": reference=" +
+            DescribeStatus(reference) + " batch=" +
+            (batched.statuses[i].ok()
+                 ? std::string(batched.accepted[i] ? "accept" : "reject")
+                 : batched.statuses[i].ToString()) +
+            "\n" + dc.fsa.ToString()};
+      }
+    }
+  }
+
+  // Budgeted reruns: every evaluator gets a fresh budget per tuple and
+  // must land on the unbudgeted outcome or a typed exhaustion.
+  if (dc.budget_steps > 0) {
+    for (size_t i = 0; i < dc.tuples.size(); ++i) {
+      const Tuple& tuple = dc.tuples[i];
+      {
+        ResourceBudget budget = MakeStepBudget(dc.budget_steps);
+        AcceptOptions options;
+        options.budget = &budget;
+        Result<AcceptStats> budgeted = AcceptsWithStats(dc.fsa, tuple, options);
+        if (!BudgetedOutcomeSound(reference_out[i], budgeted)) {
+          return Divergence{"budgeted reference neither agrees nor exhausts "
+                            "on tuple " +
+                            QuoteTuple(tuple) + ": " +
+                            DescribeStatus(budgeted) + "\n" +
+                            dc.fsa.ToString()};
+        }
+      }
+      if (dfa.ok()) {
+        ResourceBudget budget = MakeStepBudget(dc.budget_steps);
+        AcceptOptions options;
+        options.budget = &budget;
+        Result<AcceptStats> budgeted =
+            dfa->Accept(tuple, &dfa_scratch_, options);
+        if (!BudgetedOutcomeSound(reference_out[i], budgeted)) {
+          return Divergence{"budgeted DFA neither agrees nor exhausts on "
+                            "tuple " +
+                            QuoteTuple(tuple) + ": " +
+                            DescribeStatus(budgeted) + "\n" +
+                            dc.fsa.ToString()};
+        }
+      }
+    }
+    if (dfa.ok() && !dc.tuples.empty()) {
+      ResourceBudget budget = MakeStepBudget(dc.budget_steps);
+      AcceptOptions options;
+      options.budget = &budget;
+      std::vector<const Tuple*> batch;
+      for (const Tuple& tuple : dc.tuples) batch.push_back(&tuple);
+      DfaBatchResult batched = AcceptBatch(*dfa, batch, &dfa_scratch_, options);
+      for (size_t i = 0; i < dc.tuples.size(); ++i) {
+        AcceptStats stats;
+        stats.accepted = batched.accepted[i] != 0;
+        Result<AcceptStats> as_result =
+            batched.statuses[i].ok() ? Result<AcceptStats>(stats)
+                                     : Result<AcceptStats>(batched.statuses[i]);
+        if (!BudgetedOutcomeSound(reference_out[i], as_result)) {
+          return Divergence{"budgeted DFA batch neither agrees nor exhausts "
+                            "on tuple " +
+                            QuoteTuple(dc.tuples[i]) + ": " +
+                            DescribeStatus(as_result) + "\n" +
+                            dc.fsa.ToString()};
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::string DfaDiffTarget::Serialize(const Case& c) const {
+  const auto& dc = static_cast<const DfaCase&>(c);
+  std::string out = "dfa 1\n";
+  out += "sigma " + AlphabetChars(dc.fsa.alphabet()) + "\n";
+  out += "budget " + std::to_string(dc.budget_steps) + "\n";
+  out += "maxstates " + std::to_string(dc.max_states) + "\n";
+  out += "tuples " + std::to_string(dc.tuples.size()) + "\n";
+  for (const Tuple& tuple : dc.tuples) out += EncodeTupleLine(tuple) + "\n";
+  out += SerializeFsa(dc.fsa);
+  return out;
+}
+
+Result<DiffTarget::CasePtr> DfaDiffTarget::Deserialize(
+    const std::string& text) const {
+  LineCursor cursor(text);
+  STRDB_ASSIGN_OR_RETURN(std::string header, cursor.Take("header"));
+  if (header != "dfa 1") {
+    return Status::InvalidArgument("bad dfa case header '" + header + "'");
+  }
+  STRDB_ASSIGN_OR_RETURN(std::string sigma_line, cursor.Take("sigma"));
+  std::vector<std::string> sigma_tokens = SplitTokens(sigma_line);
+  if (sigma_tokens.size() != 2 || sigma_tokens[0] != "sigma") {
+    return Status::InvalidArgument("bad sigma line '" + sigma_line + "'");
+  }
+  STRDB_ASSIGN_OR_RETURN(Alphabet sigma, Alphabet::Create(sigma_tokens[1]));
+  STRDB_ASSIGN_OR_RETURN(std::string budget_line, cursor.Take("budget"));
+  std::vector<std::string> budget_tokens = SplitTokens(budget_line);
+  if (budget_tokens.size() != 2 || budget_tokens[0] != "budget") {
+    return Status::InvalidArgument("bad budget line '" + budget_line + "'");
+  }
+  STRDB_ASSIGN_OR_RETURN(int64_t budget_steps, ParseInt(budget_tokens[1]));
+  STRDB_ASSIGN_OR_RETURN(std::string cap_line, cursor.Take("maxstates"));
+  std::vector<std::string> cap_tokens = SplitTokens(cap_line);
+  if (cap_tokens.size() != 2 || cap_tokens[0] != "maxstates") {
+    return Status::InvalidArgument("bad maxstates line '" + cap_line + "'");
+  }
+  STRDB_ASSIGN_OR_RETURN(int64_t max_states, ParseInt(cap_tokens[1]));
+  STRDB_ASSIGN_OR_RETURN(std::string count_line, cursor.Take("tuple count"));
+  std::vector<std::string> count_tokens = SplitTokens(count_line);
+  if (count_tokens.size() != 2 || count_tokens[0] != "tuples") {
+    return Status::InvalidArgument("bad tuples line '" + count_line + "'");
+  }
+  STRDB_ASSIGN_OR_RETURN(int64_t n, ParseInt(count_tokens[1]));
+  std::vector<Tuple> tuples;
+  for (int64_t i = 0; i < n; ++i) {
+    STRDB_ASSIGN_OR_RETURN(std::string line, cursor.Take("tuple"));
+    STRDB_ASSIGN_OR_RETURN(Tuple tuple, DecodeTupleLine(line));
+    tuples.push_back(std::move(tuple));
+  }
+  STRDB_ASSIGN_OR_RETURN(std::string fsa_text, TakeFsaBlock(&cursor));
+  STRDB_ASSIGN_OR_RETURN(Fsa fsa, DeserializeFsa(sigma, fsa_text));
+  auto c = std::make_unique<DfaCase>(std::move(fsa));
+  c->tuples = std::move(tuples);
+  c->budget_steps = budget_steps;
+  c->max_states = static_cast<int>(max_states);
+  return DiffTarget::CasePtr(std::move(c));
+}
+
+std::vector<DiffTarget::CasePtr> DfaDiffTarget::ShrinkCandidates(
+    const Case& c) const {
+  const auto& dc = static_cast<const DfaCase&>(c);
+  std::vector<CasePtr> out;
+  auto clone = [&](Fsa fsa) {
+    auto cand = std::make_unique<DfaCase>(std::move(fsa));
+    cand->tuples = dc.tuples;
+    cand->budget_steps = dc.budget_steps;
+    cand->max_states = dc.max_states;
+    return cand;
+  };
+  // A reproducer without the budget / forced-cap knobs reads best.
+  if (dc.budget_steps > 0) {
+    auto cand = clone(Fsa(dc.fsa));
+    cand->budget_steps = 0;
+    out.push_back(std::move(cand));
+  }
+  if (dc.max_states > 0) {
+    auto cand = clone(Fsa(dc.fsa));
+    cand->max_states = 0;
+    out.push_back(std::move(cand));
+  }
+  for (size_t i = 0; i < dc.tuples.size(); ++i) {
+    auto cand = clone(Fsa(dc.fsa));
+    cand->tuples.erase(cand->tuples.begin() + static_cast<ptrdiff_t>(i));
+    out.push_back(std::move(cand));
+  }
+  for (size_t i = 0; i < dc.fsa.transitions().size(); ++i) {
+    out.push_back(clone(CopyWithoutTransition(dc.fsa, i)));
+  }
+  {
+    Fsa trimmed(dc.fsa);
+    trimmed.PruneToTrim();
+    out.push_back(clone(std::move(trimmed)));
+  }
+  for (size_t i = 0; i < dc.tuples.size(); ++i) {
+    for (size_t f = 0; f < dc.tuples[i].size(); ++f) {
+      if (dc.tuples[i][f].empty()) continue;
+      auto cand = clone(Fsa(dc.fsa));
+      cand->tuples[i][f] =
+          cand->tuples[i][f].substr(0, dc.tuples[i][f].size() / 2);
+      out.push_back(std::move(cand));
+    }
+  }
+  return out;
+}
+
+int64_t DfaDiffTarget::CaseSize(const Case& c) const {
+  const auto& dc = static_cast<const DfaCase&>(c);
+  int64_t size = dc.fsa.num_states() + dc.fsa.num_transitions();
+  for (const Tuple& tuple : dc.tuples) {
+    size += 1;
+    for (const std::string& field : tuple) {
+      size += static_cast<int64_t>(field.size());
+    }
+  }
+  if (dc.budget_steps > 0) size += 1;
+  if (dc.max_states > 0) size += 1;
+  return size;
+}
+
 // --- EngineDiffTarget -------------------------------------------------------
 
 namespace {
@@ -569,6 +932,9 @@ EvalOptions EngineSweepOptions() {
   options.truncation = 2;
   options.max_tuples = 20000;
   options.max_steps = 5'000'000;
+  // The naive evaluator is this target's oracle: keep it on the
+  // reference BFS so it stays independent of the tier under test.
+  options.enable_dfa = false;
   return options;
 }
 
@@ -1435,6 +1801,8 @@ EvalOptions PagerSweepOptions() {
   options.truncation = 3;
   options.max_tuples = 20000;
   options.max_steps = 5'000'000;
+  // Both naive routes are oracles here; pin them to the reference BFS.
+  options.enable_dfa = false;
   return options;
 }
 

@@ -10,6 +10,7 @@
 
 #include "engine/engine.h"
 #include "fsa/accept.h"
+#include "fsa/codegen/program.h"
 #include "fsa/fsa.h"
 #include "fsa/kernel.h"
 #include "relational/algebra.h"
@@ -55,6 +56,42 @@ class KernelDiffTarget : public DiffTarget {
 
  private:
   mutable AcceptScratch scratch_;
+};
+
+// --- DFA codegen tier vs kernel vs Theorem 3.3 reference --------------------
+//
+// Case: a random k-FSA (compiled formulas, raw random machines and the
+// deliberate 2^n subset-blowup family), a batch of tuples, an optional
+// per-evaluator step budget and an optional forced subset-construction
+// cap.  Three-way oracle: on machines the DFA tier compiles, the
+// bytecode interpreter (scalar AND batch), the CSR kernel and the
+// reference BFS must agree on verdicts and typed-error codes; machines
+// it refuses must be refused with exactly kUnimplemented (outside the
+// one-way move-deterministic class) or kResourceExhausted (past the
+// caps) — the codes the engine's fallback ladder silently catches.  A
+// budgeted run must return the unbudgeted verdict or kResourceExhausted,
+// never a wrong verdict.
+class DfaDiffTarget : public DiffTarget {
+ public:
+  struct DfaCase : Case {
+    explicit DfaCase(Fsa f) : fsa(std::move(f)) {}
+    Fsa fsa;
+    std::vector<Tuple> tuples;
+    int64_t budget_steps = 0;  // 0 = run unbudgeted only
+    int max_states = 0;        // 0 = default cap; > 0 forces the cap
+  };
+
+  std::string name() const override { return "dfa"; }
+  CasePtr Generate(RandomSource& rand) const override;
+  std::optional<Divergence> Run(const Case& c) const override;
+  std::string Serialize(const Case& c) const override;
+  Result<CasePtr> Deserialize(const std::string& text) const override;
+  std::vector<CasePtr> ShrinkCandidates(const Case& c) const override;
+  int64_t CaseSize(const Case& c) const override;
+
+ private:
+  mutable AcceptScratch kernel_scratch_;
+  mutable DfaScratch dfa_scratch_;
 };
 
 // --- engine vs naïve evaluator ---------------------------------------------

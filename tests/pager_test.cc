@@ -274,19 +274,30 @@ TEST(PagedHeapTest, RoundTripMatchesTheSourceRelation) {
   ASSERT_TRUE(back.ok()) << back.status();
   EXPECT_EQ(*back, rel);
 
-  // Scan streams the tuples in strict lexicographic order, one run per
-  // batch, with batch sizes matching the run directory.
+  // Scan streams the tuples in strict lexicographic order in batches
+  // coalesced from consecutive runs: every batch boundary aligns with a
+  // run boundary, and every batch except the final flush carries at
+  // least kScanBatchMinRows tuples.
   std::vector<Tuple> all;
-  size_t batch_index = 0;
+  std::vector<size_t> batch_sizes;
+  size_t run_cursor = 0;
   Status scanned = (*heap)->Scan([&](const std::vector<Tuple>& batch) {
-    EXPECT_LT(batch_index, (*heap)->runs().size());
-    EXPECT_EQ(static_cast<int64_t>(batch.size()),
-              (*heap)->runs()[batch_index].row_count);
-    ++batch_index;
+    int64_t covered = 0;
+    while (covered < static_cast<int64_t>(batch.size()) &&
+           run_cursor < (*heap)->runs().size()) {
+      covered += (*heap)->runs()[run_cursor].row_count;
+      ++run_cursor;
+    }
+    EXPECT_EQ(covered, static_cast<int64_t>(batch.size()));
+    batch_sizes.push_back(batch.size());
     all.insert(all.end(), batch.begin(), batch.end());
     return Status::OK();
   });
   ASSERT_TRUE(scanned.ok()) << scanned;
+  EXPECT_EQ(run_cursor, (*heap)->runs().size());
+  for (size_t i = 0; i + 1 < batch_sizes.size(); ++i) {
+    EXPECT_GE(static_cast<int64_t>(batch_sizes[i]), kScanBatchMinRows);
+  }
   ASSERT_EQ(all.size(), static_cast<size_t>(rel.size()));
   EXPECT_TRUE(std::is_sorted(all.begin(), all.end()));
   EXPECT_EQ(std::set<Tuple>(all.begin(), all.end()), rel.tuples());
