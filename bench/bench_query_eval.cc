@@ -390,6 +390,140 @@ Result<QueryEvalRow> MeasureQueryEval(const std::string& name,
   return row;
 }
 
+// --- E26: cost-based DP planner vs the heuristic product order ---
+//
+// A skewed 3-way product chain built to fool the heuristic's fixed 1/4
+// selectivity assumption:
+//   * σ_member(a)(Big)      — keeps every row (all rows contain 'a'),
+//                             but the heuristic estimates |Big|/4;
+//   * Mid                   — a plain relation, estimated exactly;
+//   * σ_member(pat)(Huge)   — keeps nothing (every Huge row is shorter
+//                             than the twelve-character needle), but the
+//                             heuristic estimates |Huge|/4 — the largest
+//                             estimate of the three.
+// Ascending by those estimates, the heuristic materialises Big×Mid
+// first and applies the empty filter last — the worst left-deep order,
+// and the one the query is written in.  The DP planner's DFA
+// acceptance-density estimate ranks the needle filter first, so the
+// downstream products never materialise a single tuple.
+Database MakePlannerDb(int big, int mid, int huge_rows, uint64_t seed,
+                       const std::string& pattern) {
+  Database db(Alphabet::Binary());
+  Rng rng(seed);
+  std::vector<Tuple> b, m, h;
+  for (int i = 0; i < big; ++i) {
+    std::string s = rng.String(db.alphabet(), 2, 8);
+    s[0] = 'a';  // every Big row passes the member("a") filter
+    b.push_back({std::move(s)});
+  }
+  for (int i = 0; i < mid; ++i) {
+    m.push_back({rng.String(db.alphabet(), 1, 8)});
+  }
+  for (int i = 0; i < huge_rows; ++i) {
+    // Strictly shorter than `pattern`, so none of these can contain it.
+    h.push_back({rng.String(db.alphabet(), 1,
+                            static_cast<int>(pattern.size()) - 2)});
+  }
+  if (!db.Put("Big", 1, std::move(b)).ok() ||
+      !db.Put("Mid", 1, std::move(m)).ok() ||
+      !db.Put("Huge", 1, std::move(h)).ok()) {
+    std::abort();
+  }
+  return db;
+}
+
+AlgebraExpr PlannerChainQuery(const Alphabet& alphabet,
+                              const std::string& pattern) {
+  AlgebraExpr big = OrDie(
+      AlgebraExpr::Select(AlgebraExpr::Relation("Big", 1),
+                          MakeMember(alphabet, "a")),
+      "select Big");
+  AlgebraExpr huge = OrDie(
+      AlgebraExpr::Select(AlgebraExpr::Relation("Huge", 1),
+                          MakeMember(alphabet, pattern)),
+      "select Huge");
+  return AlgebraExpr::Product(
+      AlgebraExpr::Product(std::move(big), AlgebraExpr::Relation("Mid", 1)),
+      std::move(huge));
+}
+
+struct PlannerChainRow {
+  std::string name;
+  int tuples = 0;
+  int reps = 0;
+  size_t answers = 0;
+  double worst_ns_per_tuple = 0;      // reordering off, worst written order
+  double heuristic_ns_per_tuple = 0;  // heuristic reorder (picks the same)
+  double dp_ns_per_tuple = 0;         // cost-based DP planner
+  double dp_speedup = 0;              // worst / dp
+};
+
+Result<PlannerChainRow> MeasurePlannerChain(bool quick) {
+  // Same workload in quick and full mode (the per-pass cost is a few
+  // milliseconds either way) so the regression gate compares
+  // like-for-like ns/tuple; --quick only trims the rep budget.
+  const int big = 512;
+  const int mid = 140;
+  const int huge_rows = 2048;
+  const std::string pattern = "abbabaababba";
+  Database db = MakePlannerDb(big, mid, huge_rows, 11, pattern);
+  AlgebraExpr query = PlannerChainQuery(db.alphabet(), pattern);
+  EvalOptions opts;
+  opts.truncation = 16;
+
+  EngineOptions worst_opts;
+  worst_opts.enable_cost_planner = false;
+  worst_opts.rewrites.reorder_products = false;  // pinned to written order
+  EngineOptions heuristic_opts;
+  heuristic_opts.enable_cost_planner = false;
+  Engine worst_engine(worst_opts);
+  Engine heuristic_engine(heuristic_opts);
+  Engine dp_engine;  // defaults: cost planner on
+
+  Result<StringRelation> a = dp_engine.Execute(query, db, opts);
+  Result<StringRelation> b = heuristic_engine.Execute(query, db, opts);
+  Result<StringRelation> c = worst_engine.Execute(query, db, opts);
+  if (!a.ok() || !b.ok() || !c.ok() || !(*a == *b) || !(*b == *c)) {
+    return Status::Internal("planner_chain: plan routes disagree");
+  }
+
+  // Per-engine rep calibration: the three plans are orders of magnitude
+  // apart, so a shared rep count would measure the fast plan over a few
+  // cold passes.  Each engine gets warmup passes and enough reps to
+  // amortise them.
+  const int tuples = big + mid + huge_rows;
+  int64_t target_ns = quick ? 150'000'000 : 800'000'000;
+  int min_reps = 0;
+  auto measure = [&](Engine& engine) {
+    for (int w = 0; w < 5; ++w) {
+      benchmark::DoNotOptimize(engine.Execute(query, db, opts));
+    }
+    int64_t one_pass = TimeNs(
+        [&] { benchmark::DoNotOptimize(engine.Execute(query, db, opts)); });
+    int reps = static_cast<int>(target_ns / std::max<int64_t>(one_pass, 1));
+    reps = std::max(1, std::min(reps, 400));
+    if (min_reps == 0 || reps < min_reps) min_reps = reps;
+    int64_t total = TimeNs([&] {
+      for (int r = 0; r < reps; ++r) {
+        benchmark::DoNotOptimize(engine.Execute(query, db, opts));
+      }
+    });
+    return static_cast<double>(total) /
+           (static_cast<double>(reps) * static_cast<double>(tuples));
+  };
+
+  PlannerChainRow row;
+  row.name = "planner_skewed_chain";
+  row.tuples = tuples;
+  row.answers = a->size();
+  row.worst_ns_per_tuple = measure(worst_engine);
+  row.heuristic_ns_per_tuple = measure(heuristic_engine);
+  row.dp_ns_per_tuple = measure(dp_engine);
+  row.reps = min_reps;  // the smallest of the three calibrated counts
+  row.dp_speedup = row.worst_ns_per_tuple / row.dp_ns_per_tuple;
+  return row;
+}
+
 int RunJsonMode(const std::string& path, bool quick) {
   const int tuples = quick ? 128 : 1024;
   const int max_len = quick ? 12 : 24;
@@ -415,6 +549,12 @@ int RunJsonMode(const std::string& path, bool quick) {
     rows.push_back(*row);
   }
 
+  Result<PlannerChainRow> planner = MeasurePlannerChain(quick);
+  if (!planner.ok()) {
+    std::fprintf(stderr, "%s\n", planner.status().ToString().c_str());
+    return 1;
+  }
+
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -437,12 +577,29 @@ int RunJsonMode(const std::string& path, bool quick) {
         << ", \"dfa_speedup\": "
         << static_cast<double>(static_cast<int64_t>(r.dfa_speedup * 100)) /
                100
-        << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+        << "},\n";
     std::printf("%-20s reference %8.0f ns/tuple  kernel %8.0f ns/tuple  "
                 "dfa %8.0f ns/tuple  speedup %.2fx  dfa %.2fx\n",
                 r.name.c_str(), r.reference_ns_per_tuple,
                 r.kernel_ns_per_tuple, r.dfa_ns_per_tuple, r.speedup,
                 r.dfa_speedup);
+  }
+  {
+    const PlannerChainRow& p = *planner;
+    out << "    {\"name\": \"" << p.name << "\", \"tuples\": " << p.tuples
+        << ", \"reps\": " << p.reps << ", \"answers\": " << p.answers
+        << ", \"worst_ns_per_tuple\": "
+        << static_cast<int64_t>(p.worst_ns_per_tuple)
+        << ", \"heuristic_ns_per_tuple\": "
+        << static_cast<int64_t>(p.heuristic_ns_per_tuple)
+        << ", \"dp_ns_per_tuple\": "
+        << static_cast<int64_t>(p.dp_ns_per_tuple) << ", \"dp_speedup\": "
+        << static_cast<double>(static_cast<int64_t>(p.dp_speedup * 100)) / 100
+        << "}\n";
+    std::printf("%-20s worst %8.0f ns/tuple  heuristic %8.0f ns/tuple  "
+                "dp %8.0f ns/tuple  dp speedup %.2fx\n",
+                p.name.c_str(), p.worst_ns_per_tuple, p.heuristic_ns_per_tuple,
+                p.dp_ns_per_tuple, p.dp_speedup);
   }
   out << "  ]\n}\n";
   std::printf("wrote %s\n", path.c_str());

@@ -253,6 +253,7 @@ Result<StringRelation> Query::ExecuteTruncated(
   EvalOptions opts;
   opts.truncation = truncation;
   opts.paged = options.paged;
+  opts.stats = options.relation_stats;
   // The budget lives on the stack for exactly one execution: charges
   // accumulate across every operator of this query and no other.
   std::optional<ResourceBudget> budget;
@@ -267,11 +268,13 @@ Result<StringRelation> Query::ExecuteTruncated(
 }
 
 Result<std::string> Query::ExplainPlan(const Database& db,
-                                       const PagedSet* paged) const {
+                                       const PagedSet* paged,
+                                       const StatsMap* stats) const {
   STRDB_ASSIGN_OR_RETURN(int truncation, InferTruncation(db, paged));
   EvalOptions opts;
   opts.truncation = truncation;
   opts.paged = paged;
+  opts.stats = stats;
   return Engine::Shared().Explain(plan_, db, opts);
 }
 

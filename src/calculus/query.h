@@ -42,6 +42,10 @@ struct QueryOptions {
   // evaluation scans them page-at-a-time.  The shell/server thread
   // CatalogStore::PagedDb() here.
   const PagedSet* paged = nullptr;
+  // Per-relation statistics for the cost-based planner (not owned; must
+  // outlive the execution).  Advisory: estimates only, never answers.
+  // The shell/server thread CatalogStore::StatsSnapshot() here.
+  const StatsMap* relation_stats = nullptr;
 };
 
 // The end-to-end query facility a string-database engine would expose:
@@ -97,9 +101,11 @@ class Query {
       const QueryOptions& options = {}) const;
 
   // The engine's physical plan for this query at the inferred
-  // truncation, rendered with planner estimates ("explain").
+  // truncation, rendered with planner estimates ("explain").  `stats`
+  // (optional) feeds the cost planner's cardinality estimates.
   Result<std::string> ExplainPlan(const Database& db,
-                                  const PagedSet* paged = nullptr) const;
+                                  const PagedSet* paged = nullptr,
+                                  const StatsMap* stats = nullptr) const;
 
  private:
   Query(CalcFormula formula, std::vector<std::string> outputs,

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/metrics.h"
+#include "engine/cost.h"
 #include "fsa/accept.h"
 #include "fsa/codegen/program.h"
 #include "fsa/generate.h"
@@ -41,16 +42,22 @@ void FlattenProduct(const AlgebraExpr& e, std::vector<AlgebraExpr>* out) {
 // to one PlanNode, which the executor evaluates once.
 class Planner {
  public:
-  Planner(const Database& db, const EvalOptions& options)
-      : db_(db), options_(options) {}
+  Planner(const Database& db, const EvalOptions& options,
+          const CostPlannerContext* cost_ctx)
+      : db_(db), options_(options), cost_ctx_(cost_ctx) {}
 
   Result<std::shared_ptr<PlanNode>> Lower(const AlgebraExpr& e) {
     auto it = memo_.find(e.node_identity());
     if (it != memo_.end()) return it->second;
     STRDB_ASSIGN_OR_RETURN(std::shared_ptr<PlanNode> node, LowerNew(e));
-    node->est_rows = node->op == Op::kPagedScan
-                         ? static_cast<double>(node->source->tuple_count())
-                         : EstimateCardinality(e, db_, options_.truncation);
+    if (cost_ctx_ != nullptr) {
+      node->est_rows = EstimateRows(e, *cost_ctx_);
+    } else {
+      node->est_rows =
+          node->op == Op::kPagedScan
+              ? static_cast<double>(node->source->tuple_count())
+              : EstimateCardinality(e, db_, options_.truncation);
+    }
     memo_.emplace(e.node_identity(), node);
     return node;
   }
@@ -156,6 +163,7 @@ class Planner {
 
   const Database& db_;
   const EvalOptions& options_;
+  const CostPlannerContext* cost_ctx_;  // nullptr = heuristic estimates
   std::unordered_map<const AlgebraExpr::Node*, std::shared_ptr<PlanNode>>
       memo_;
 };
@@ -697,7 +705,27 @@ void SumStats(const PlanNode& node, std::set<const PlanNode*>* seen,
   stats->cache_misses += node.stats.cache_misses;
   stats->fsa_steps += node.stats.fsa_steps;
   stats->memo_hits += node.stats.memo_hits;
+  stats->operators.push_back(
+      {node.OpName(), node.est_rows, node.stats.tuples_out});
   for (const auto& child : node.children) SumStats(*child, seen, stats);
+}
+
+// Feeds each σ_A filter's observed selectivity back to the engine's
+// correction table — the adaptive loop that shrinks systematic model
+// error on repeated machines.  Nodes that never saw input carry no
+// signal and are skipped.
+void RecordSelectivities(const PlanNode& node,
+                         std::set<const PlanNode*>* seen,
+                         SelectivityFeedback* feedback) {
+  if (!seen->insert(&node).second) return;
+  if (node.op == Op::kFilterSelect && node.stats.tuples_in > 0) {
+    feedback->Record(node.fsa_key,
+                     static_cast<double>(node.stats.tuples_out) /
+                         static_cast<double>(node.stats.tuples_in));
+  }
+  for (const auto& child : node.children) {
+    RecordSelectivities(*child, seen, feedback);
+  }
 }
 
 // Fills `stats` from the executed (possibly partially executed) plan and
@@ -710,6 +738,7 @@ void FillStats(const PlanNode& root, const EvalOptions& options,
   stats->fsa_steps = 0;
   stats->memo_hits = 0;
   stats->rows_out = rows_out;
+  stats->operators.clear();
   std::set<const PlanNode*> seen;
   SumStats(root, &seen, stats);
   if (options.budget != nullptr) {
@@ -745,12 +774,27 @@ Engine::Engine(EngineOptions options)
 Result<std::shared_ptr<PlanNode>> Engine::Plan(const AlgebraExpr& expr,
                                                const Database& db,
                                                const EvalOptions& options) {
+  CostPlannerContext cost_ctx;
+  cost_ctx.db = &db;
+  cost_ctx.paged = options.paged;
+  cost_ctx.stored_stats = options.stats;
+  cost_ctx.stats = &stats_catalog_;
+  cost_ctx.feedback = &feedback_;
+  cost_ctx.densities = &densities_;
+  cost_ctx.cache = options_.enable_cache ? &cache_ : nullptr;
+  cost_ctx.truncation = options.truncation;
+  cost_ctx.enable_dfa = options_.enable_dfa && options.enable_dfa;
   AlgebraExpr target = expr;
   if (options_.enable_rewrites) {
+    RewriteOptions rewrites = options_.rewrites;
+    if (options_.enable_cost_planner) {
+      rewrites.cost_planner = &cost_ctx;
+    }
     STRDB_ASSIGN_OR_RETURN(target,
-                           RewriteExpr(expr, db, options, options_.rewrites));
+                           RewriteExpr(expr, db, options, rewrites));
   }
-  Planner planner(db, options);
+  Planner planner(db, options,
+                  options_.enable_cost_planner ? &cost_ctx : nullptr);
   return planner.Lower(target);
 }
 
@@ -768,6 +812,10 @@ Result<StringRelation> Engine::Execute(const AlgebraExpr& expr,
   Result<const StringRelation*> result = executor.Eval(root.get());
   int64_t wall_ns = ElapsedNs(start);
   metrics.wall_us->Record(wall_ns / 1000);
+  if (options_.enable_cost_planner) {
+    std::set<const PlanNode*> seen;
+    RecordSelectivities(*root, &seen, &feedback_);
+  }
   if (!result.ok()) {
     // The plan nodes keep whatever counters the partial run accumulated,
     // so a budget-exhausted query is still fully observable.

@@ -9,6 +9,7 @@
 #include "engine/cache.h"
 #include "engine/plan.h"
 #include "engine/rewrite.h"
+#include "engine/stats.h"
 #include "relational/algebra.h"
 #include "relational/relation.h"
 
@@ -48,6 +49,14 @@ struct EngineOptions {
   // are materialised on first use (the differential oracle path);
   // answers are identical either way, only peak memory differs.
   bool enable_paged = true;
+  // Replace the heuristic product-reordering pass with the cost-based
+  // DP planner (engine/planner): statistics-backed cardinalities, σ_A
+  // selectivity from DFA acceptance density, Selinger bitset DP over
+  // product factors (with tape permutation under a σ), and observed
+  // selectivities fed back as adaptive corrections.  Any estimation
+  // failure falls back to the heuristic order; answers are identical
+  // either way, only plan shape differs.
+  bool enable_cost_planner = true;
 };
 
 // Planning + execution engine for the alignment algebra: lowers an
@@ -80,6 +89,9 @@ class Engine {
   const EngineOptions& options() const { return options_; }
   ArtifactCache& cache() { return cache_; }
   ThreadPool& pool() { return pool_; }
+  StatsCatalog& stats_catalog() { return stats_catalog_; }
+  SelectivityFeedback& feedback() { return feedback_; }
+  DensityCache& densities() { return densities_; }
 
   // The process-wide engine instance the Query facade routes through.
   static Engine& Shared();
@@ -94,6 +106,11 @@ class Engine {
   const EngineOptions options_;
   ArtifactCache cache_;
   ThreadPool pool_;
+  // Cost-planner state: epoch-cached relation statistics, adaptive
+  // selectivity corrections, and memoised acceptance densities.
+  StatsCatalog stats_catalog_;
+  SelectivityFeedback feedback_;
+  DensityCache densities_;
 };
 
 }  // namespace strdb

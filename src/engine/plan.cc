@@ -72,7 +72,9 @@ void ExplainNode(const PlanNode& node, int depth, bool with_stats,
     default:
       break;
   }
-  *out << "  (arity " << node.arity << ", est " << node.est_rows << ")";
+  *out << "  (arity " << node.arity << ", est=" << node.est_rows;
+  if (with_stats) *out << ", act=" << node.stats.tuples_out;
+  *out << ")";
   if (with_stats) {
     const OperatorStats& s = node.stats;
     *out << "  [in=" << s.tuples_in << " out=" << s.tuples_out;

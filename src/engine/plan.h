@@ -80,6 +80,16 @@ std::string ExplainPlan(const PlanNode& root, bool with_stats = false);
 // query remains observable: the plan annotations show exactly which
 // operator burnt the budget.
 struct ExecStats {
+  // One row per plan operator (DAG order, shared nodes once): the
+  // planner's cardinality estimate next to the executed row count —
+  // the explain surface's `est=… act=…`, and the planner differential
+  // target's estimate-sanity oracle.
+  struct EstActRow {
+    std::string op;
+    double est = 0;
+    int64_t act = 0;
+  };
+
   int64_t wall_ns = 0;
   int64_t cache_hits = 0;
   int64_t cache_misses = 0;
@@ -92,6 +102,7 @@ struct ExecStats {
   int64_t budget_rows_used = 0;
   int64_t budget_cached_bytes_used = 0;
   std::string plan;  // ExplainPlan(root, /*with_stats=*/true)
+  std::vector<EstActRow> operators;
 
   std::string ToString() const;
 };

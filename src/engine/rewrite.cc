@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/planner.h"
 #include "fsa/serialize.h"
 #include "fsa/specialize.h"
 
@@ -540,7 +541,18 @@ Result<AlgebraExpr> RewriteExpr(const AlgebraExpr& expr, const Database& db,
     guard(SpecializeConstants(current, db));
   }
   if (rewrites.reorder_products) {
-    guard(ReorderProducts(current, db, options.truncation));
+    bool cost_based = false;
+    if (rewrites.cost_planner != nullptr) {
+      const AlgebraExpr before = current;
+      guard(CostBasedReorder(current, *rewrites.cost_planner));
+      // The guard leaves `current` untouched when the DP pass errors or
+      // violates an invariant; fall through to the heuristic then.
+      cost_based = current.node_identity() != before.node_identity();
+      if (!cost_based) current = before;
+    }
+    if (!cost_based) {
+      guard(ReorderProducts(current, db, options.truncation));
+    }
   }
   if (rewrites.common_subexpressions) {
     HashCons cse;

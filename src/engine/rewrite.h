@@ -7,6 +7,8 @@
 
 namespace strdb {
 
+struct CostPlannerContext;
+
 // Which passes of the rewrite pipeline run (in the order listed).
 struct RewriteOptions {
   // σ_A(E ∪ F) → σ_A(E) ∪ σ_A(F), and σ_A(E × F) → σ_{A'}(E) × F when
@@ -24,6 +26,12 @@ struct RewriteOptions {
   // Hash-consing over the shared AST: structurally identical subtrees
   // are unified into one node, which the executor then evaluates once.
   bool common_subexpressions = true;
+  // When set, the reordering pass runs the cost-based DP planner
+  // (engine/planner.h) — statistics-backed cardinalities, DFA-derived
+  // σ_A selectivities, and tape permutation for products under a σ —
+  // falling back to the heuristic sort if the DP pass errors out.  Not
+  // owned; must outlive the RewriteExpr call.
+  const CostPlannerContext* cost_planner = nullptr;
 };
 
 // Applies the pipeline.  The database supplies cardinalities (product

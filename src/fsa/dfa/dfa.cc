@@ -315,4 +315,167 @@ Result<Dfa> BuildDfa(const Fsa& fsa, const DfaBuildOptions& options) {
   return dfa;
 }
 
+namespace {
+
+// Head phases of the density walk.  kAtStart reads ⊢ surely; kInString
+// reads ⊣ with the geometric stop probability and a character
+// otherwise; kAtEnd reads ⊣ surely.  The phase is committed the moment
+// a digit is *chosen*, so a head parked on ⊣ keeps reading ⊣ instead of
+// re-rolling the string length.
+enum Phase : int { kAtStart = 0, kInString = 1, kAtEnd = 2 };
+
+struct DigitChoice {
+  int32_t rank = 0;
+  double prob = 0;
+  int next_phase = kInString;
+};
+
+}  // namespace
+
+Result<double> AcceptanceDensity(const Dfa& dfa,
+                                 const DensityOptions& options) {
+  const int k = dfa.num_tapes;
+  const int sigma = dfa.radix - 2;
+  if (k <= 0 || k > 8 || sigma <= 0 || dfa.num_states <= 0) {
+    return Status::InvalidArgument("density: degenerate automaton");
+  }
+  // Per-tape digit menus by phase.  kAtStart and kAtEnd are singletons;
+  // kInString lists ⊣ plus every character with positive weight.
+  std::vector<std::vector<DigitChoice>> in_string(static_cast<size_t>(k));
+  for (int t = 0; t < k; ++t) {
+    double len = t < static_cast<int>(options.expected_len.size())
+                     ? options.expected_len[static_cast<size_t>(t)]
+                     : 2.0;
+    if (!(len >= 0) || len > 1e6) len = 2.0;
+    const double p_end = 1.0 / (1.0 + len);
+    // Character weights folded through char_rank: several bytes can
+    // share a rank; outside-Σ bytes are dropped.
+    std::vector<double> by_rank(static_cast<size_t>(sigma), 0.0);
+    double total = 0;
+    if (t < static_cast<int>(options.char_weight.size())) {
+      const std::vector<double>& w = options.char_weight[static_cast<size_t>(t)];
+      for (size_t b = 0; b < w.size() && b < 256; ++b) {
+        int16_t rank = dfa.char_rank[b];
+        if (rank < 0 || w[b] <= 0) continue;
+        by_rank[static_cast<size_t>(rank)] += w[b];
+        total += w[b];
+      }
+    }
+    if (total <= 0) {
+      std::fill(by_rank.begin(), by_rank.end(), 1.0);
+      total = static_cast<double>(sigma);
+    }
+    std::vector<DigitChoice>& menu = in_string[static_cast<size_t>(t)];
+    menu.push_back({static_cast<int32_t>(sigma + 1), p_end, kAtEnd});
+    for (int r = 0; r < sigma; ++r) {
+      if (by_rank[static_cast<size_t>(r)] <= 0) continue;
+      menu.push_back({static_cast<int32_t>(r),
+                      (1.0 - p_end) * by_rank[static_cast<size_t>(r)] / total,
+                      kInString});
+    }
+  }
+
+  // Sparse distribution over state·3^k + phase-code.
+  int64_t pow3 = 1;
+  for (int t = 0; t < k; ++t) pow3 *= 3;
+  std::map<int64_t, double> dist;
+  dist[static_cast<int64_t>(dfa.start) * pow3] = 1.0;  // all heads at ⊢
+  double accepted = 0, dead = 0;
+  int64_t work = 0;
+
+  std::vector<DigitChoice> single(1);
+  for (int step = 0; step < options.max_steps && !dist.empty(); ++step) {
+    std::map<int64_t, double> next_dist;
+    for (const auto& [code, mass] : dist) {
+      const int32_t state = static_cast<int32_t>(code / pow3);
+      int64_t phase_code = code % pow3;
+      int phases[8];
+      for (int t = 0; t < k; ++t) {
+        phases[t] = static_cast<int>(phase_code % 3);
+        phase_code /= 3;
+      }
+      // Enumerate digit combinations tape by tape.
+      struct Frame {
+        int32_t key;
+        int64_t phases;  // packed base-3, little-endian by tape
+        double prob;
+      };
+      std::vector<Frame> combos = {{0, 0, 1.0}};
+      for (int t = 0; t < k; ++t) {
+        const std::vector<DigitChoice>* menu;
+        if (phases[t] == kAtStart) {
+          single[0] = {static_cast<int32_t>(sigma), 1.0, kAtStart};
+          menu = &single;
+        } else if (phases[t] == kAtEnd) {
+          single[0] = {static_cast<int32_t>(sigma + 1), 1.0, kAtEnd};
+          menu = &single;
+        } else {
+          menu = &in_string[static_cast<size_t>(t)];
+        }
+        std::vector<Frame> grown;
+        grown.reserve(combos.size() * menu->size());
+        int64_t tape_pow = 1;
+        for (int i = 0; i < t; ++i) tape_pow *= 3;
+        for (const Frame& f : combos) {
+          for (const DigitChoice& d : *menu) {
+            grown.push_back(
+                {f.key + d.rank * dfa.pow[static_cast<size_t>(t)],
+                 f.phases + static_cast<int64_t>(d.next_phase) * tape_pow,
+                 f.prob * d.prob});
+          }
+        }
+        combos = std::move(grown);
+        work += static_cast<int64_t>(combos.size());
+        if (work > options.max_work) {
+          return Status::ResourceExhausted("density: work guard exceeded");
+        }
+      }
+      for (const Frame& f : combos) {
+        const uint32_t row =
+            dfa.rows[static_cast<size_t>(state) *
+                         static_cast<size_t>(dfa.num_keys) +
+                     static_cast<size_t>(f.key)];
+        const int32_t next_state = static_cast<int32_t>(row & 0xFFFFFF);
+        const uint32_t move_mask = row >> 24;
+        const double p = mass * f.prob;
+        if (p <= 0) continue;
+        if (next_state == dfa.accept_state) {
+          accepted += p;
+          continue;
+        }
+        if (next_state == dfa.dead_state) {
+          dead += p;
+          continue;
+        }
+        // Advancing off ⊢ enters the string; every other advance is
+        // already reflected in the committed phase (geometric lengths
+        // are memoryless, so "still inside w" needs no position).
+        int64_t new_phases = 0;
+        int64_t packed = f.phases;
+        int64_t tape_pow = 1;
+        for (int t = 0; t < k; ++t) {
+          int phase = static_cast<int>(packed % 3);
+          packed /= 3;
+          if (phase == kAtStart && ((move_mask >> t) & 1u) != 0) {
+            phase = kInString;
+          }
+          new_phases += static_cast<int64_t>(phase) * tape_pow;
+          tape_pow *= 3;
+        }
+        next_dist[static_cast<int64_t>(next_state) * pow3 + new_phases] += p;
+      }
+    }
+    dist = std::move(next_dist);
+    double residual = 0;
+    for (const auto& [code, mass] : dist) residual += mass;
+    if (residual < 1e-6) {
+      dist.clear();
+    }
+  }
+  double residual = 0;
+  for (const auto& [code, mass] : dist) residual += mass;
+  (void)dead;
+  return std::clamp(accepted + 0.5 * residual, 0.0, 1.0);
+}
+
 }  // namespace strdb

@@ -98,6 +98,34 @@ struct Dfa {
 //                         blowup defence), or the key space overflows.
 Result<Dfa> BuildDfa(const Fsa& fsa, const DfaBuildOptions& options = {});
 
+// Inputs to the acceptance-density estimate: a per-tape model of random
+// strings — independent characters drawn from `char_weight` (indexed by
+// byte value; weights are normalised internally, an empty or all-zero
+// vector means uniform over Σ) with geometric lengths of the given
+// mean.  Both vectors may be shorter than num_tapes; missing tapes use
+// the defaults.
+struct DensityOptions {
+  std::vector<std::vector<double>> char_weight;  // [tape][byte]
+  std::vector<double> expected_len;              // per tape; default 2.0
+  // Chain steps to propagate mass before declaring the walk converged.
+  int max_steps = 512;
+  // Guard on (distribution entries × digit combinations) summed over
+  // steps; past it the walk aborts with kResourceExhausted and the
+  // caller falls back to a flat selectivity guess.
+  int64_t max_work = int64_t{1} << 22;
+};
+
+// Estimates the probability that the DFA accepts a random tuple under
+// the model above — the planner's σ_A selectivity.  Propagates a sparse
+// distribution over (state, per-tape head phase) through the chain,
+// where a head's phase ∈ {at ⊢, inside w (char or ⊣ next, geometric),
+// at ⊣}; character-frequency statistics weight each row choice.  Mass
+// reaching accept_state/dead_state is absorbed; residual mass after
+// max_steps counts half.  Always in [0, 1]; kResourceExhausted when the
+// work guard trips.
+Result<double> AcceptanceDensity(const Dfa& dfa,
+                                 const DensityOptions& options = {});
+
 }  // namespace strdb
 
 #endif  // STRDB_FSA_DFA_DFA_H_

@@ -9,6 +9,7 @@
 #include "core/result.h"
 #include "fsa/fsa.h"
 #include "relational/relation.h"
+#include "relational/stats.h"
 #include "relational/tuple_source.h"
 
 namespace strdb {
@@ -106,6 +107,13 @@ struct EvalOptions {
   // looked up here and materialised (the naive evaluator is the oracle —
   // only the engine's PagedScan streams).  Not owned; nullptr = none.
   const PagedSet* paged = nullptr;
+  // Persisted relation statistics (from the durable catalog's snapshot)
+  // for the cost-based planner: covers paged relations the in-memory
+  // Database cannot summarise, and spares re-scanning inline ones.
+  // Advisory only — never consulted for answers, so stale entries cost
+  // plan quality, not correctness.  Not owned; nullptr = recompute from
+  // the Database on demand.
+  const StatsMap* stats = nullptr;
   // Run plain-filtering σ_A through the DFA codegen tier when the
   // automaton admits it (one-way, move-deterministic, within the subset
   // caps), falling back to the reference BFS otherwise.  Answers are

@@ -1,8 +1,21 @@
 #include "relational/relation.h"
 
 #include <algorithm>
+#include <atomic>
 
 namespace strdb {
+
+namespace {
+
+// Process-wide epoch source: distinct mutations — even of equally named
+// relations in unrelated databases — never share an epoch, so a stats
+// cache keyed (name, epoch) can never serve data for the wrong content.
+uint64_t NextStatsEpoch() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
 
 Result<StringRelation> StringRelation::Create(int arity,
                                               std::vector<Tuple> tuples) {
@@ -73,6 +86,7 @@ Status Database::Put(const std::string& name, StringRelation relation) {
     }
   }
   relations_.insert_or_assign(name, std::move(relation));
+  epochs_[name] = NextStatsEpoch();
   return Status::OK();
 }
 
@@ -109,6 +123,7 @@ Status Database::InsertTuples(const std::string& name,
   for (Tuple& t : tuples) {
     STRDB_RETURN_IF_ERROR(it->second.Insert(std::move(t)));
   }
+  epochs_[name] = NextStatsEpoch();
   return Status::OK();
 }
 
@@ -116,6 +131,7 @@ Status Database::Remove(const std::string& name) {
   if (relations_.erase(name) == 0) {
     return Status::NotFound("relation '" + name + "' not in database");
   }
+  epochs_.erase(name);
   return Status::OK();
 }
 
@@ -125,6 +141,11 @@ Result<const StringRelation*> Database::Get(const std::string& name) const {
     return Status::NotFound("relation '" + name + "' not in database");
   }
   return &it->second;
+}
+
+uint64_t Database::stats_epoch(const std::string& name) const {
+  auto it = epochs_.find(name);
+  return it == epochs_.end() ? 0 : it->second;
 }
 
 int Database::MaxStringLength() const {

@@ -1,6 +1,7 @@
 #ifndef STRDB_RELATIONAL_RELATION_H_
 #define STRDB_RELATIONAL_RELATION_H_
 
+#include <cstdint>
 #include <map>
 #include <set>
 #include <string>
@@ -85,9 +86,18 @@ class Database {
     return relations_;
   }
 
+  // Mutation epoch of relation `name`: a value drawn from a process-wide
+  // monotone counter every time Put/InsertTuples touches the relation
+  // (0 when the relation is absent).  Copies of a Database keep their
+  // epochs, so derived artifacts cached on (name, epoch) — the planner's
+  // statistics — stay valid across copy-on-write snapshots and only
+  // recompute after an actual mutation.
+  uint64_t stats_epoch(const std::string& name) const;
+
  private:
   Alphabet alphabet_;
   std::map<std::string, StringRelation> relations_;
+  std::map<std::string, uint64_t> epochs_;
 };
 
 }  // namespace strdb

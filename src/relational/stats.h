@@ -1,0 +1,76 @@
+#ifndef STRDB_RELATIONAL_STATS_H_
+#define STRDB_RELATIONAL_STATS_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "core/result.h"
+#include "relational/relation.h"
+
+namespace strdb {
+
+// Per-column summaries of a string relation, the planner's raw material:
+// length histogram (expected string length sizes Σ* generation and the
+// DFA acceptance-density chain), per-byte character frequency (weights
+// the density walk's transitions), and a bounded distinct-prefix set
+// (run locality for the paged scans).  All fields are additive over
+// tuple inserts, so incremental maintenance and recomputation agree —
+// the prefix set keeps the lexicographically smallest `kMaxPrefixes`
+// members, which is insertion-order independent.
+struct ColumnStats {
+  // Lengths 0..15 bucket exactly; everything longer lands in the last.
+  static constexpr int kLenBuckets = 17;
+  static constexpr int kPrefixBytes = 4;
+  static constexpr int kMaxPrefixes = 4096;
+
+  int64_t total_chars = 0;
+  int64_t max_len = 0;
+  std::array<int64_t, kLenBuckets> len_hist{};
+  std::array<int64_t, 256> char_freq{};
+  // Distinct first-min(kPrefixBytes,|w|) byte prefixes; saturated means
+  // more than kMaxPrefixes were seen and only the smallest are kept.
+  std::set<std::string> prefixes;
+  bool prefixes_saturated = false;
+
+  // Mean string length over `rows` strings (0 for an empty column).
+  double ExpectedLength(int64_t rows) const;
+
+  bool operator==(const ColumnStats& other) const;
+};
+
+// Statistics for one relation: cardinality plus per-column summaries.
+struct RelationStats {
+  int arity = 0;
+  int64_t rows = 0;
+  std::vector<ColumnStats> columns;
+
+  bool operator==(const RelationStats& other) const;
+};
+
+// A catalog's worth of statistics, keyed by relation name — the unit the
+// storage layer persists and snapshots publish.
+using StatsMap = std::map<std::string, RelationStats>;
+
+// Full recomputation from the relation's tuples.
+RelationStats ComputeRelationStats(const StringRelation& relation);
+// Same, from a raw tuple list (the WAL-replay path, which has the op's
+// tuples in hand but not yet a StringRelation).
+RelationStats ComputeRelationStats(int arity, const std::vector<Tuple>& tuples);
+
+// Incremental maintenance: folds `tuples` (all of `stats->arity`) into
+// existing statistics.  Equivalent to recomputing over the union as long
+// as the tuples are actually new to the relation.
+void AddTuplesToStats(RelationStats* stats, const std::vector<Tuple>& tuples);
+
+// Deterministic, binary-safe text codec (strings are length-prefixed),
+// byte-identical across encode→decode→encode — the storage layer relies
+// on this for exact round-trips through snapshots.
+std::string EncodeRelationStats(const RelationStats& stats);
+Result<RelationStats> DecodeRelationStats(const std::string& text);
+
+}  // namespace strdb
+
+#endif  // STRDB_RELATIONAL_STATS_H_

@@ -10,6 +10,7 @@ namespace strdb {
 SharedCatalog::SharedCatalog(Alphabet alphabet)
     : alphabet_(std::move(alphabet)), db_(alphabet_) {
   snapshot_ = std::make_shared<const Database>(db_);
+  stats_snapshot_ = std::make_shared<const StatsMap>();
 }
 
 std::shared_ptr<const Database> SharedCatalog::Snapshot() const {
@@ -25,15 +26,23 @@ std::shared_ptr<const Database> SharedCatalog::Snapshot() const {
 void SharedCatalog::SnapshotState(
     std::shared_ptr<const Database>* db,
     std::shared_ptr<const PagedSet>* paged) const {
+  SnapshotState(db, paged, nullptr);
+}
+
+void SharedCatalog::SnapshotState(
+    std::shared_ptr<const Database>* db,
+    std::shared_ptr<const PagedSet>* paged,
+    std::shared_ptr<const StatsMap>* stats) const {
   static const std::shared_ptr<const PagedSet> kEmptyPaged =
       std::make_shared<const PagedSet>();
   std::lock_guard<std::mutex> lock(snapshot_mu_);
   if (live_store_ != nullptr) {
-    live_store_->SnapshotState(db, paged);
+    live_store_->SnapshotState(db, paged, stats);
     return;
   }
   *db = snapshot_;
   *paged = kEmptyPaged;
+  if (stats != nullptr) *stats = stats_snapshot_;
 }
 
 void SharedCatalog::set_store_options(const StoreOptions& options) {
@@ -55,8 +64,16 @@ bool SharedCatalog::PagerStatus(PagerStats* stats, int64_t* capacity_bytes,
 
 void SharedCatalog::PublishLocked() {
   auto fresh = std::make_shared<const Database>(db_);
+  // Recomputing stats on publish matches the cost of the catalog copy
+  // itself (both walk every tuple); the store path maintains them
+  // incrementally instead.
+  auto fresh_stats = std::make_shared<StatsMap>();
+  for (const auto& [name, rel] : db_.relations()) {
+    (*fresh_stats)[name] = ComputeRelationStats(rel);
+  }
   std::lock_guard<std::mutex> lock(snapshot_mu_);
   snapshot_ = std::move(fresh);
+  stats_snapshot_ = std::move(fresh_stats);
 }
 
 Status SharedCatalog::PutRelation(const std::string& name, int arity,

@@ -52,6 +52,12 @@ class SharedCatalog {
   // moves it between the two atomically w.r.t. this call.
   void SnapshotState(std::shared_ptr<const Database>* db,
                      std::shared_ptr<const PagedSet>* paged) const;
+  // Same, plus the relation-statistics snapshot published in lockstep
+  // (never null; without a durable store the stats are recomputed on
+  // each publish from the in-memory catalog).  Pass nullptr to skip.
+  void SnapshotState(std::shared_ptr<const Database>* db,
+                     std::shared_ptr<const PagedSet>* paged,
+                     std::shared_ptr<const StatsMap>* stats) const;
 
   // Options the next OpenDurable passes to CatalogStore::Open (spill
   // threshold, buffer-pool cap).  Takes effect at open, not on a live
@@ -141,6 +147,7 @@ class SharedCatalog {
   // created/destroyed, so readers never touch a dying store.
   mutable std::mutex snapshot_mu_;
   std::shared_ptr<const Database> snapshot_;
+  std::shared_ptr<const StatsMap> stats_snapshot_;
   CatalogStore* live_store_ = nullptr;
 };
 

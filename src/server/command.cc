@@ -232,7 +232,8 @@ Status CommandProcessor::HandleQuery(const std::string& text,
   // as one consistent pair — whatever writers commit meanwhile.
   std::shared_ptr<const Database> snapshot;
   std::shared_ptr<const PagedSet> paged;
-  catalog_->SnapshotState(&snapshot, &paged);
+  std::shared_ptr<const StatsMap> rel_stats;
+  catalog_->SnapshotState(&snapshot, &paged, &rel_stats);
   Result<Query> q = Query::Parse(body, snapshot->alphabet());
   if (!q.ok()) return q.status();
   ExecStats stats;
@@ -242,6 +243,7 @@ Status CommandProcessor::HandleQuery(const std::string& text,
   opts.limits = limits_;
   opts.parent_budget = parent_budget_;
   opts.paged = paged.get();
+  opts.relation_stats = rel_stats.get();
   // The server's per-request deadline rides the same budget machinery
   // as the session's own `budget ms`; it binds only when tighter, and
   // only then does an overrun convert to kDeadlineExceeded below.
@@ -317,10 +319,12 @@ Status CommandProcessor::HandleExplain(const std::string& text,
                                        std::string* out) {
   std::shared_ptr<const Database> snapshot;
   std::shared_ptr<const PagedSet> paged;
-  catalog_->SnapshotState(&snapshot, &paged);
+  std::shared_ptr<const StatsMap> rel_stats;
+  catalog_->SnapshotState(&snapshot, &paged, &rel_stats);
   Result<Query> q = Query::Parse(text, snapshot->alphabet());
   if (!q.ok()) return q.status();
-  Result<std::string> plan = q->ExplainPlan(*snapshot, paged.get());
+  Result<std::string> plan =
+      q->ExplainPlan(*snapshot, paged.get(), rel_stats.get());
   if (!plan.ok()) return plan.status();
   AppendF(out, "%s", plan->c_str());
   return Status::OK();

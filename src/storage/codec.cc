@@ -199,6 +199,15 @@ std::string EncodeLost(const CatalogOp& op) {
   return out;
 }
 
+std::string EncodeStats(const CatalogOp& op) {
+  std::string out = "stat ";
+  AppendLenPrefixed(&out, op.name);
+  out.push_back(' ');
+  AppendLenPrefixed(&out, op.stats_text);
+  out.push_back('\n');
+  return out;
+}
+
 std::string EncodeSpill(const CatalogOp& op) {
   std::string out = "spl ";
   AppendLenPrefixed(&out, op.name);
@@ -248,6 +257,8 @@ std::string EncodeOp(const CatalogOp& op) {
       return EncodeReqId(op);
     case CatalogOp::kLost:
       return EncodeLost(op);
+    case CatalogOp::kStats:
+      return EncodeStats(op);
   }
   return "";
 }
@@ -340,6 +351,13 @@ Result<CatalogOp> DecodeOp(const std::string& payload) {
     STRDB_RETURN_IF_ERROR(cur.ExpectChar(' '));
     STRDB_ASSIGN_OR_RETURN(op.reason, cur.ReadLenPrefixed());
     STRDB_RETURN_IF_ERROR(cur.ExpectChar('\n'));
+  } else if (kind == "stat") {
+    op.kind = CatalogOp::kStats;
+    STRDB_RETURN_IF_ERROR(cur.ExpectChar(' '));
+    STRDB_ASSIGN_OR_RETURN(op.name, cur.ReadLenPrefixed());
+    STRDB_RETURN_IF_ERROR(cur.ExpectChar(' '));
+    STRDB_ASSIGN_OR_RETURN(op.stats_text, cur.ReadLenPrefixed());
+    STRDB_RETURN_IF_ERROR(cur.ExpectChar('\n'));
   } else {
     return Status::DataLoss("op payload: unknown op kind '" + kind + "'");
   }
@@ -387,6 +405,9 @@ Status ApplyOp(const CatalogOp& op, const Alphabet& alphabet, Database* db,
     case CatalogOp::kLost:
       return Status::Internal(
           "lost op requires storage context (CatalogStore handles it)");
+    case CatalogOp::kStats:
+      return Status::Internal(
+          "stats op requires storage context (CatalogStore handles it)");
   }
   return Status::Internal("unreachable op kind");
 }

@@ -23,6 +23,7 @@ struct CatalogOp {
     kSpill,   // snapshot-only: relation lives out-of-core in a heap file
     kReqId,   // snapshot-only: one client's highest applied request seq
     kLost,    // snapshot-only: relation quarantined after scrub/corruption
+    kStats,   // snapshot-only: persisted statistics of one relation
   };
 
   Kind kind = kPut;
@@ -45,6 +46,9 @@ struct CatalogOp {
   std::string req_client;     // any mutation (tag) / kReqId
   uint64_t req_seq = 0;       // any mutation (tag) / kReqId
   std::string reason;         // kLost: human-readable quarantine cause
+  // kStats: EncodeRelationStats output for relation `name` (itself
+  // length-prefixed on the wire, so its embedded newlines are safe).
+  std::string stats_text;
 };
 
 // Text encoding, binary-safe via length prefixes: every caller-chosen
@@ -59,6 +63,7 @@ struct CatalogOp {
 //   spl <len>:<name> <arity> <maxlen> <ntuples> <len>:<heap-file>\n
 //   rid <len>:<client> <seq>\n
 //   lost <len>:<name> <arity> <ntuples> <maxlen> <len>:<reason>\n
+//   stat <len>:<name> <len>:<encoded-stats>\n
 //
 // A mutation op (put/ins/drop) may additionally end with one trailing
 //   req <len>:<client> <seq>\n

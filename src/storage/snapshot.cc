@@ -208,9 +208,12 @@ Status ReadSnapshot(Env* env, const std::string& path, Database* db,
     ++pos;
     STRDB_ASSIGN_OR_RETURN(CatalogOp op, DecodeOp(payload));
     if ((op.kind == CatalogOp::kSpill || op.kind == CatalogOp::kReqId ||
-         op.kind == CatalogOp::kLost) &&
+         op.kind == CatalogOp::kLost || op.kind == CatalogOp::kStats) &&
         spills != nullptr) {
-      if (op.kind != CatalogOp::kReqId && db->Has(op.name)) {
+      // kStats legitimately names an inline relation (its statistics);
+      // only the relation-shaped side-ops are exclusive with inline.
+      if (op.kind != CatalogOp::kReqId && op.kind != CatalogOp::kStats &&
+          db->Has(op.name)) {
         return Status::DataLoss("snapshot '" + path + "': relation '" +
                                 op.name + "' both inline and spilled");
       }

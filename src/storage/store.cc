@@ -253,9 +253,21 @@ std::shared_ptr<const PagedSet> CatalogStore::PagedDb() const {
 
 void CatalogStore::SnapshotState(std::shared_ptr<const Database>* db,
                                  std::shared_ptr<const PagedSet>* paged) const {
+  SnapshotState(db, paged, nullptr);
+}
+
+void CatalogStore::SnapshotState(std::shared_ptr<const Database>* db,
+                                 std::shared_ptr<const PagedSet>* paged,
+                                 std::shared_ptr<const StatsMap>* stats) const {
   std::lock_guard<std::mutex> lock(snapshot_mu_);
   *db = snapshot_;
   *paged = paged_snapshot_;
+  if (stats != nullptr) *stats = stats_snapshot_;
+}
+
+std::shared_ptr<const StatsMap> CatalogStore::StatsSnapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return stats_snapshot_;
 }
 
 void CatalogStore::PublishSnapshotLocked() {
@@ -263,9 +275,11 @@ void CatalogStore::PublishSnapshotLocked() {
   // only ever wait behind a pointer swap, never behind the copy.
   auto fresh = std::make_shared<const Database>(db_);
   auto fresh_paged = std::make_shared<const PagedSet>(paged_);
+  auto fresh_stats = std::make_shared<const StatsMap>(stats_);
   std::lock_guard<std::mutex> lock(snapshot_mu_);
   snapshot_ = std::move(fresh);
   paged_snapshot_ = std::move(fresh_paged);
+  stats_snapshot_ = std::move(fresh_stats);
 }
 
 Status CatalogStore::MaterializePagedLocked(const std::string& name) {
@@ -325,6 +339,9 @@ void CatalogStore::MarkLostLocked(const std::string& name, int arity,
   lost_ops_[name] = op;
   paged_[name] = std::make_shared<LostTupleSource>(
       name, arity, tuple_count, max_string_length, reason);
+  // A quarantined relation answers nothing, so there is nothing its
+  // statistics could usefully describe.
+  stats_.erase(name);
 }
 
 std::map<std::string, std::string> CatalogStore::LostRelations() const {
@@ -406,6 +423,14 @@ Status CatalogStore::OpenInternal(RecoveryReport* report) {
       if (op.req_seq > cur) cur = op.req_seq;
       continue;
     }
+    if (op.kind == CatalogOp::kStats) {
+      // Statistics are advisory: an op that does not decode is dropped
+      // (the relation just plans without stats, or gets them recomputed
+      // below) instead of failing recovery.
+      Result<RelationStats> decoded = DecodeRelationStats(op.stats_text);
+      if (decoded.ok()) stats_[op.name] = std::move(*decoded);
+      continue;
+    }
     if (op.kind == CatalogOp::kLost) {
       if (db_.Has(op.name) || paged_.count(op.name) > 0) {
         return Status::DataLoss("snapshot lists relation '" + op.name +
@@ -476,6 +501,10 @@ Status CatalogStore::OpenInternal(RecoveryReport* report) {
     for (const WalRecord& record : salvage.records) {
       Result<CatalogOp> op = DecodeOp(record.payload);
       Status applied;
+      // For kInsert: the subset of the batch not already present before
+      // the op applies — the tuples the set-semantics insert will
+      // actually add, which is what the stats update below must count.
+      std::vector<Tuple> fresh_inserts;
       if (!op.ok()) {
         applied = op.status();
       } else if (op->kind == CatalogOp::kDrop && paged_.count(op->name) > 0) {
@@ -502,6 +531,17 @@ Status CatalogStore::OpenInternal(RecoveryReport* report) {
                    paged_.count(op->name) > 0) {
           STRDB_RETURN_IF_ERROR(MaterializePagedLocked(op->name));
         }
+        if (op->kind == CatalogOp::kInsert) {
+          auto existing = db_.Get(op->name);
+          if (existing.ok()) {
+            std::set<Tuple> batch_seen;
+            for (const Tuple& t : op->tuples) {
+              if (!(*existing)->Contains(t) && batch_seen.insert(t).second) {
+                fresh_inserts.push_back(t);
+              }
+            }
+          }
+        }
         applied = ApplyOp(*op, db_.alphabet(), &db_, &automata_);
       }
       if (!applied.ok()) {
@@ -522,6 +562,28 @@ Status CatalogStore::OpenInternal(RecoveryReport* report) {
         uint64_t& cur = applied_reqs_[op->req_client];
         if (op->req_seq > cur) cur = op->req_seq;
       }
+      // Rebuild statistics alongside the catalog, the same incremental
+      // way the live writer maintained them — so a reopened store's
+      // stats equal the ones a non-crashing run would hold.
+      if (op.ok()) {
+        switch (op->kind) {
+          case CatalogOp::kPut:
+            stats_[op->name] = ComputeRelationStats(op->arity, op->tuples);
+            break;
+          case CatalogOp::kInsert: {
+            auto sit = stats_.find(op->name);
+            if (sit != stats_.end()) {
+              AddTuplesToStats(&sit->second, fresh_inserts);
+            }
+            break;
+          }
+          case CatalogOp::kDrop:
+            stats_.erase(op->name);
+            break;
+          default:
+            break;  // kLost handled by MarkLostLocked; others carry none
+        }
+      }
       ++report->wal_records_replayed;
     }
     if (cut_at < salvage.file_bytes) {
@@ -532,6 +594,23 @@ Status CatalogStore::OpenInternal(RecoveryReport* report) {
     report->wal_bytes_truncated = salvage.file_bytes - cut_at;
     report->wal_tail_error = cut_why;
     wal_committed_bytes = cut_at;
+  }
+
+  // Reconcile statistics with the recovered catalog: inline relations
+  // missing stats (a store from before stats existed, or a dropped
+  // kStats op) are recomputed from their tuples; entries whose relation
+  // no longer exists are pruned.  Spilled relations without stats stay
+  // without — recomputing would mean scanning the whole heap, and the
+  // planner degrades gracefully to the heap's tuple count.
+  for (const auto& [name, rel] : db_.relations()) {
+    if (stats_.count(name) == 0) stats_[name] = ComputeRelationStats(rel);
+  }
+  for (auto it = stats_.begin(); it != stats_.end();) {
+    if (!db_.Has(it->first) && spill_ops_.count(it->first) == 0) {
+      it = stats_.erase(it);
+    } else {
+      ++it;
+    }
   }
 
   // Reopen the (repaired) log for appending.
@@ -590,9 +669,11 @@ Status CatalogStore::PutRelation(const std::string& name, int arity,
   }
   std::string payload = EncodePut(name, rel);
   AppendReqTagLine(&payload, req.client, req.seq);
+  RelationStats stats = ComputeRelationStats(rel);
   STRDB_RETURN_IF_ERROR(CommitPayload(payload));
   if (paged_.count(name) > 0) DiscardPagedLocked(name);  // put replaces
   STRDB_RETURN_IF_ERROR(db_.Put(name, std::move(rel)));
+  stats_[name] = std::move(stats);
   RecordReqLocked(req);
   PublishSnapshotLocked();
   return Status::OK();
@@ -638,7 +719,27 @@ Status CatalogStore::InsertTuples(const std::string& name,
   }
   std::string payload = EncodeInsert(name, tuples);
   AppendReqTagLine(&payload, req.client, req.seq);
+  // Statistics only count tuples the set-semantics insert will actually
+  // add, so incremental maintenance stays exactly equal to recomputing
+  // from the relation (the planner differential target pins this).
+  std::vector<Tuple> fresh;
+  {
+    std::set<Tuple> batch_seen;
+    for (const Tuple& t : tuples) {
+      if (!rel->Contains(t) && batch_seen.insert(t).second) fresh.push_back(t);
+    }
+  }
   STRDB_RETURN_IF_ERROR(CommitPayload(payload));
+  auto sit = stats_.find(name);
+  if (sit != stats_.end()) {
+    AddTuplesToStats(&sit->second, fresh);
+  } else {
+    // No stats yet (store predates them): seed from the full relation,
+    // which after this insert means old tuples + the new batch.
+    RelationStats seeded = ComputeRelationStats(*rel);
+    AddTuplesToStats(&seeded, fresh);
+    stats_[name] = std::move(seeded);
+  }
   STRDB_RETURN_IF_ERROR(db_.InsertTuples(name, std::move(tuples)));
   RecordReqLocked(req);
   PublishSnapshotLocked();
@@ -669,6 +770,7 @@ Status CatalogStore::DropRelation(const std::string& name, const ReqId& req,
   } else {
     STRDB_RETURN_IF_ERROR(db_.Remove(name));
   }
+  stats_.erase(name);
   RecordReqLocked(req);
   PublishSnapshotLocked();
   return Status::OK();
@@ -739,7 +841,7 @@ Status CatalogStore::Checkpoint() {
   // idempotent-request window as one kReqId record per client.
   std::vector<CatalogOp> spills;
   spills.reserve(spill_ops_.size() + new_spill_ops.size() +
-                 lost_ops_.size() + applied_reqs_.size());
+                 lost_ops_.size() + applied_reqs_.size() + stats_.size());
   for (const auto& [name, op] : spill_ops_) spills.push_back(op);
   for (const CatalogOp& op : new_spill_ops) spills.push_back(op);
   for (const auto& [name, op] : lost_ops_) spills.push_back(op);
@@ -748,6 +850,16 @@ Status CatalogStore::Checkpoint() {
     op.kind = CatalogOp::kReqId;
     op.req_client = client;
     op.req_seq = seq;
+    spills.push_back(std::move(op));
+  }
+  // Statistics ride the snapshot as kStats side-ops, one per relation
+  // (inline and spilled alike) — a reopened store plans with the exact
+  // statistics the live one held, without rescanning anything.
+  for (const auto& [name, st] : stats_) {
+    CatalogOp op;
+    op.kind = CatalogOp::kStats;
+    op.name = name;
+    op.stats_text = EncodeRelationStats(st);
     spills.push_back(std::move(op));
   }
 

@@ -15,6 +15,7 @@
 #include "core/result.h"
 #include "fsa/fsa.h"
 #include "relational/relation.h"
+#include "relational/stats.h"
 #include "relational/tuple_source.h"
 #include "storage/codec.h"
 #include "storage/heap.h"
@@ -155,9 +156,20 @@ class CatalogStore {
   std::shared_ptr<const PagedSet> PagedDb() const;
   // Both snapshots as one consistent pair: a checkpoint that spills a
   // relation moves it between the two atomically w.r.t. this call, so a
-  // reader never sees a name in both maps or in neither.
+  // reader never sees a name in both maps or in neither.  The three-way
+  // overload additionally hands out the statistics snapshot published in
+  // the same instant (pass nullptr to skip it).
   void SnapshotState(std::shared_ptr<const Database>* db,
                      std::shared_ptr<const PagedSet>* paged) const;
+  void SnapshotState(std::shared_ptr<const Database>* db,
+                     std::shared_ptr<const PagedSet>* paged,
+                     std::shared_ptr<const StatsMap>* stats) const;
+  // Per-relation statistics of the current catalog (inline and spilled
+  // relations alike), maintained incrementally on every mutation and
+  // persisted through snapshots as kStats side-ops.  Advisory: the cost
+  // planner reads them, no query answer ever depends on them.  Never
+  // null (empty map when nothing has stats).
+  std::shared_ptr<const StatsMap> StatsSnapshot() const;
   // Buffer-pool counters for the shell/server `pager` verb.
   PagerStats pager_stats() const { return pool_->stats(); }
   int64_t pager_capacity_bytes() const { return pool_->capacity_bytes(); }
@@ -284,6 +296,11 @@ class CatalogStore {
   std::map<std::string, CatalogOp> lost_ops_;
   // Idempotent-request window: client id -> highest applied seq.
   std::map<std::string, uint64_t> applied_reqs_;
+  // Per-relation statistics, covering inline (db_) and spilled (paged_)
+  // relations.  Maintained incrementally by every mutation, rebuilt by
+  // WAL replay, persisted as kStats snapshot side-ops; a relation with
+  // no entry (old store, undecodable op) simply plans without stats.
+  StatsMap stats_;
   // Heap files whose relation was dropped/replaced/materialised since
   // the last checkpoint: still referenced by the live snapshot, deleted
   // only after the next generation flip stops referencing them.
@@ -296,6 +313,7 @@ class CatalogStore {
   mutable std::mutex snapshot_mu_;
   std::shared_ptr<const Database> snapshot_;
   std::shared_ptr<const PagedSet> paged_snapshot_;
+  std::shared_ptr<const StatsMap> stats_snapshot_;
 
   // Background scrubber plumbing.
   std::thread scrub_thread_;

@@ -134,6 +134,10 @@ Fsa MakeMember(const Alphabet& alphabet, const std::string& pattern) {
   std::vector<int> chain = {fsa.start()};
   for (size_t i = 0; i < pattern.size(); ++i) chain.push_back(fsa.AddState());
   fsa.SetFinal(chain.back());
+  // The head starts on ⊢ (position 0), which none of the Σ loops can
+  // read: without this step-off transition the machine is stuck in its
+  // non-final start state and rejects every input.
+  MustAdd(&fsa, Transition{fsa.start(), fsa.start(), {kLeftEnd}, {+1}});
   for (Sym c = 0; c < alphabet.size(); ++c) {
     MustAdd(&fsa, Transition{fsa.start(), fsa.start(), {c}, {+1}});
   }
@@ -155,6 +159,9 @@ Fsa MakeBlowup(const Alphabet& alphabet, int n) {
   std::vector<int> chain = {fsa.start()};
   for (int i = 0; i <= n; ++i) chain.push_back(fsa.AddState());
   fsa.SetFinal(chain.back());
+  // Step off ⊢ first (same as MakeMember): the Σ self-loop alone leaves
+  // the machine stuck on the left endmarker.
+  MustAdd(&fsa, Transition{fsa.start(), fsa.start(), {kLeftEnd}, {+1}});
   for (Sym c = 0; c < alphabet.size(); ++c) {
     MustAdd(&fsa, Transition{fsa.start(), fsa.start(), {c}, {+1}});
   }

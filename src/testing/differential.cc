@@ -180,6 +180,7 @@ const std::vector<const DiffTarget*>& AllTargets() {
     v->push_back(new RoundtripTarget());
     v->push_back(new StorageRecoverTarget());
     v->push_back(new PagerDiffTarget());
+    v->push_back(new PlannerDiffTarget());
     v->push_back(new ServerDiffTarget());
     return v;
   }();

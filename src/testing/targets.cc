@@ -1,5 +1,6 @@
 #include "testing/targets.h"
 
+#include <cmath>
 #include <cstdlib>
 #include <iterator>
 #include <map>
@@ -2549,6 +2550,630 @@ int64_t PagerDiffTarget::CaseSize(const Case& c) const {
     return size;
   }
   for (const PagerOp& op : pc.ops) {
+    size += 1 + static_cast<int64_t>(op.name.size());
+    for (const Tuple& tuple : op.tuples) {
+      size += 1;
+      for (const std::string& field : tuple) {
+        size += static_cast<int64_t>(field.size());
+      }
+    }
+  }
+  return size;
+}
+
+// --- PlannerDiffTarget ------------------------------------------------------
+
+namespace {
+
+constexpr char kPlannerDir[] = "/plannerstore";
+
+EngineOptions HeuristicEngineOptions() {
+  EngineOptions options;
+  options.enable_cost_planner = false;
+  return options;
+}
+
+Status ApplyPlannerOp(CatalogStore* store,
+                      const PlannerDiffTarget::PlannerOp& op) {
+  using Kind = PlannerDiffTarget::PlannerOp::Kind;
+  switch (op.kind) {
+    case Kind::kPut:
+      return store->PutRelation(op.name, op.arity, op.tuples);
+    case Kind::kInsert:
+      return store->InsertTuples(op.name, op.tuples);
+    case Kind::kDrop:
+      return store->DropRelation(op.name);
+    case Kind::kCheckpoint:
+      return store->Checkpoint();
+  }
+  return Status::Internal("unreachable");
+}
+
+// First difference between two statistics maps, for divergence reports.
+std::string DescribeStatsDiff(const StatsMap& got, const StatsMap& want) {
+  for (const auto& [name, stats] : want) {
+    auto it = got.find(name);
+    if (it == got.end()) return "no stats entry for relation '" + name + "'";
+    if (!(it->second == stats)) {
+      return "stats for relation '" + name + "' differ\n got:  " +
+             EncodeRelationStats(it->second) + "\n want: " +
+             EncodeRelationStats(stats);
+    }
+  }
+  for (const auto& [name, stats] : got) {
+    (void)stats;
+    if (want.count(name) == 0) {
+      return "stats entry for '" + name + "' has no relation";
+    }
+  }
+  return "maps identical";
+}
+
+// The incremental ≡ recompute oracle: the store's published statistics
+// must equal a full recomputation from its relations, inline and
+// spilled alike, and cover exactly the live relation set.
+std::optional<Divergence> CheckStoreStats(const CatalogStore& store,
+                                          const char* label) {
+  std::shared_ptr<const Database> snap;
+  std::shared_ptr<const PagedSet> paged;
+  std::shared_ptr<const StatsMap> stats;
+  store.SnapshotState(&snap, &paged, &stats);
+  StatsMap recomputed;
+  for (const auto& [name, rel] : snap->relations()) {
+    recomputed[name] = ComputeRelationStats(rel);
+  }
+  for (const auto& [name, source] : *paged) {
+    Result<StringRelation> rel = source->Materialize();
+    if (!rel.ok()) {
+      return Divergence{std::string(label) + ": spilled relation '" + name +
+                        "' failed to materialise: " +
+                        rel.status().ToString()};
+    }
+    recomputed[name] = ComputeRelationStats(*rel);
+  }
+  if (*stats != recomputed) {
+    return Divergence{std::string(label) +
+                      " statistics differ from a full recomputation: " +
+                      DescribeStatsDiff(*stats, recomputed)};
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+PlannerDiffTarget::PlannerDiffTarget()
+    : pool_(MakeFsaPool(Alphabet::Binary())),
+      cost_engine_(),
+      heuristic_engine_(HeuristicEngineOptions()) {}
+
+DiffTarget::CasePtr PlannerDiffTarget::Generate(RandomSource& rand) const {
+  Alphabet sigma = Alphabet::Binary();
+  auto c = std::make_unique<PlannerCase>();
+  if (rand.Range(0, 3) != 0) {
+    // diff mode (3/4 of cases).
+    c->mode = Mode::kDiff;
+    c->db = RandomDatabase(rand, sigma);
+    if (rand.Range(0, 2) != 0) {
+      // Skew the cardinalities: a bulked-up P gives the DP enumeration a
+      // reason to deviate from the heuristic order, which is exactly the
+      // regime where plan shape could change answers.
+      std::vector<Tuple> bulk;
+      int n = rand.Range(20, 80);
+      for (int i = 0; i < n; ++i) {
+        bulk.push_back(RandomTuple(rand, sigma, 2, 3));
+      }
+      Status inflated = c->db.InsertTuples("P", std::move(bulk));
+      (void)inflated;  // P always exists in RandomDatabase's schema
+    }
+    c->expr = RandomAlgebraExpr(rand, pool_, 4);
+    if (rand.Coin()) {
+      // Hand the planner statistics from a catalog that has since lost
+      // tuples: c->db plays "after heavy deletes", stale_db "before".
+      c->stale_stats = true;
+      c->stale_db = c->db;
+      std::vector<Tuple> extra;
+      int n = rand.Range(1, 40);
+      for (int i = 0; i < n; ++i) {
+        extra.push_back(RandomTuple(rand, sigma, 2, 3));
+      }
+      Status grown = c->stale_db.InsertTuples("P", std::move(extra));
+      (void)grown;
+    }
+  } else {
+    c->mode = Mode::kCrash;
+    c->spill_threshold = rand.Coin() ? 1 : 256;
+    static const char* kNames[] = {"A", "B", "C"};
+    std::map<std::string, int> live;  // relation name -> arity
+    int n_ops = rand.Range(4, 12);
+    for (int i = 0; i < n_ops; ++i) {
+      PlannerOp op;
+      int pick = rand.Range(0, 9);
+      if (pick >= 4 && pick <= 6 && live.empty()) pick = 0;
+      if (pick <= 3) {
+        op.kind = PlannerOp::Kind::kPut;
+        op.name = kNames[rand.Range(0, 2)];
+        op.arity = rand.Range(1, 2);
+        int n = rand.Range(0, 6);
+        for (int t = 0; t < n; ++t) {
+          op.tuples.push_back(RandomTuple(rand, sigma, op.arity, 2));
+        }
+        live[op.name] = op.arity;
+      } else if (pick <= 6) {
+        // Short binary strings collide constantly, so these batches
+        // routinely re-insert existing tuples — the set-semantics no-op
+        // the incremental stats maintenance must not count.
+        op.kind = PlannerOp::Kind::kInsert;
+        auto it = live.begin();
+        std::advance(it, static_cast<long>(
+                             rand.Below(static_cast<uint64_t>(live.size()))));
+        op.name = it->first;
+        int n = rand.Range(1, 4);
+        for (int t = 0; t < n; ++t) {
+          op.tuples.push_back(RandomTuple(rand, sigma, it->second, 2));
+        }
+      } else if (pick == 7) {
+        op.kind = PlannerOp::Kind::kDrop;
+        if (live.empty() || rand.Range(0, 7) == 0) {
+          op.name = "missing";  // the semantic-rejection path
+        } else {
+          auto it = live.begin();
+          std::advance(it, static_cast<long>(
+                               rand.Below(static_cast<uint64_t>(live.size()))));
+          op.name = it->first;
+          live.erase(it);
+        }
+      } else {
+        // Checkpoints persist kStats side-ops and spill relations, so
+        // they appear often.
+        op.kind = PlannerOp::Kind::kCheckpoint;
+      }
+      c->ops.push_back(std::move(op));
+    }
+  }
+  return c;
+}
+
+std::optional<Divergence> PlannerDiffTarget::Run(const Case& c) const {
+  const auto& pc = static_cast<const PlannerCase&>(c);
+  return pc.mode == Mode::kDiff ? RunDiff(pc) : RunCrash(pc);
+}
+
+std::optional<Divergence> PlannerDiffTarget::RunDiff(
+    const PlannerCase& pc) const {
+  // The naive evaluator is the oracle: reference BFS, no planner.
+  EvalOptions options = EngineSweepOptions();
+  Result<StringRelation> naive = EvalAlgebra(pc.expr, pc.db, options);
+
+  StatsMap supplied;
+  const Database& stats_src = pc.stale_stats ? pc.stale_db : pc.db;
+  for (const auto& [name, rel] : stats_src.relations()) {
+    supplied[name] = ComputeRelationStats(rel);
+  }
+
+  // The engine routes run the full tier ladder (dfa ≡ kernel ≡ BFS is
+  // the dfa target's theorem; this target varies plan shape on top).
+  EvalOptions engine_options = options;
+  engine_options.enable_dfa = true;
+  EvalOptions with_stats = engine_options;
+  with_stats.stats = &supplied;
+  ExecStats exec;
+  Result<StringRelation> costed =
+      cost_engine_.Execute(pc.expr, pc.db, with_stats, &exec);
+  Result<StringRelation> self_stats =
+      cost_engine_.Execute(pc.expr, pc.db, engine_options);
+  Result<StringRelation> heuristic =
+      heuristic_engine_.Execute(pc.expr, pc.db, engine_options);
+
+  if (!naive.ok()) {
+    // A per-call limit error must surface on every route.
+    if (costed.ok() || self_stats.ok() || heuristic.ok()) {
+      return Divergence{"naive evaluation failed (" +
+                        naive.status().ToString() +
+                        ") but a planner route succeeded: " +
+                        pc.expr.ToString()};
+    }
+  } else {
+    struct Route {
+      const char* label;
+      const Result<StringRelation>* result;
+    };
+    const Route routes[] = {
+        {pc.stale_stats ? "cost planner (stale stats)"
+                        : "cost planner (supplied stats)",
+         &costed},
+        {"cost planner (self-computed stats)", &self_stats},
+        {"heuristic planner", &heuristic}};
+    for (const Route& route : routes) {
+      if (!route.result->ok()) {
+        return Divergence{std::string(route.label) +
+                          " failed where the naive evaluator succeeded: " +
+                          route.result->status().ToString() + " on " +
+                          pc.expr.ToString()};
+      }
+      if ((*route.result)->tuples() != naive->tuples()) {
+        return Divergence{std::string(route.label) +
+                          " answer differs from naive: " + pc.expr.ToString() +
+                          "\nnaive:   " + naive->ToString() + "\nplanner: " +
+                          (*route.result)->ToString()};
+      }
+    }
+  }
+
+  // Estimates are advisory but must stay sane — also on a failed run,
+  // whose partial counters the engine still fills in.
+  for (const ExecStats::EstActRow& row : exec.operators) {
+    if (!std::isfinite(row.est) || row.est < 0) {
+      return Divergence{"operator '" + row.op +
+                        "' has an insane cardinality estimate " +
+                        std::to_string(row.est) + " on " + pc.expr.ToString()};
+    }
+    if (row.act < 0) {
+      return Divergence{"operator '" + row.op +
+                        "' reports a negative actual row count " +
+                        std::to_string(row.act) + " on " + pc.expr.ToString()};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Divergence> PlannerDiffTarget::RunCrash(
+    const PlannerCase& pc) const {
+  Alphabet sigma = Alphabet::Binary();
+  MemEnv mem;
+  StoreOptions options;
+  options.env = &mem;
+  options.spill_threshold_bytes = pc.spill_threshold;
+  auto store = CatalogStore::Open(kPlannerDir, sigma, options);
+  if (!store.ok()) {
+    return Divergence{"store open failed: " + store.status().ToString()};
+  }
+  for (const PlannerOp& op : pc.ops) {
+    Status status = ApplyPlannerOp(store->get(), op);
+    (void)status;  // semantic rejections are part of the workload
+  }
+  if (auto d = CheckStoreStats(**store, "live")) return d;
+
+  StatsMap pre_close = *(*store)->StatsSnapshot();
+  Status closed = (*store)->Close();
+  if (!closed.ok()) {
+    return Divergence{"close failed: " + closed.ToString()};
+  }
+  RecoveryReport report;
+  auto reopened = CatalogStore::Open(kPlannerDir, sigma, options, &report);
+  if (!reopened.ok()) {
+    return Divergence{"reopen failed: " + reopened.status().ToString() +
+                      " (report: " + report.ToString() + ")"};
+  }
+  StatsMap recovered = *(*reopened)->StatsSnapshot();
+  if (recovered != pre_close) {
+    return Divergence{
+        "reopened statistics differ from the pre-close map (report: " +
+        report.ToString() + "): " + DescribeStatsDiff(recovered, pre_close)};
+  }
+  if (auto d = CheckStoreStats(**reopened, "recovered")) return d;
+  return std::nullopt;
+}
+
+std::string PlannerDiffTarget::Serialize(const Case& c) const {
+  const auto& pc = static_cast<const PlannerCase&>(c);
+  std::string out = "planner 1\n";
+  out += "sigma " + AlphabetChars(pc.db.alphabet()) + "\n";
+  out += std::string("mode ") +
+         (pc.mode == Mode::kDiff ? "diff" : "crash") + "\n";
+  out += "stale " + std::string(pc.stale_stats ? "1" : "0") + "\n";
+  out += "spill " + std::to_string(pc.spill_threshold) + "\n";
+  auto append_rels = [&out](const char* keyword, const Database& db) {
+    out += std::string(keyword) + " " + std::to_string(db.relations().size()) +
+           "\n";
+    for (const auto& [name, rel] : db.relations()) {
+      out += "rel " + name + " " + std::to_string(rel.arity()) + " " +
+             std::to_string(rel.size()) + "\n";
+      for (const Tuple& tuple : rel.tuples()) {
+        out += EncodeTupleLine(tuple) + "\n";
+      }
+    }
+  };
+  if (pc.mode == Mode::kDiff) {
+    append_rels("rels", pc.db);
+    if (pc.stale_stats) append_rels("srels", pc.stale_db);
+    std::vector<std::string> fsa_texts;
+    std::map<std::string, int> fsa_index;
+    CollectSelectFsas(pc.expr, &fsa_texts, &fsa_index);
+    out += "fsas " + std::to_string(fsa_texts.size()) + "\n";
+    for (const std::string& text : fsa_texts) out += text;
+    out += "expr " + WriteSexpr(pc.expr, fsa_index) + "\n";
+  } else {
+    out += "ops " + std::to_string(pc.ops.size()) + "\n";
+    for (const PlannerOp& op : pc.ops) {
+      switch (op.kind) {
+        case PlannerOp::Kind::kPut:
+          out += "put " + op.name + " " + std::to_string(op.arity) + " " +
+                 std::to_string(op.tuples.size()) + "\n";
+          for (const Tuple& tuple : op.tuples) {
+            out += EncodeTupleLine(tuple) + "\n";
+          }
+          break;
+        case PlannerOp::Kind::kInsert:
+          out += "ins " + op.name + " " + std::to_string(op.tuples.size()) +
+                 "\n";
+          for (const Tuple& tuple : op.tuples) {
+            out += EncodeTupleLine(tuple) + "\n";
+          }
+          break;
+        case PlannerOp::Kind::kDrop:
+          out += "drop " + op.name + "\n";
+          break;
+        case PlannerOp::Kind::kCheckpoint:
+          out += "ckpt\n";
+          break;
+      }
+    }
+  }
+  return out;
+}
+
+Result<DiffTarget::CasePtr> PlannerDiffTarget::Deserialize(
+    const std::string& text) const {
+  LineCursor cursor(text);
+  STRDB_ASSIGN_OR_RETURN(std::string header, cursor.Take("header"));
+  if (header != "planner 1") {
+    return Status::InvalidArgument("bad planner case header '" + header + "'");
+  }
+  STRDB_ASSIGN_OR_RETURN(std::string sigma_line, cursor.Take("sigma"));
+  std::vector<std::string> sigma_tokens = SplitTokens(sigma_line);
+  if (sigma_tokens.size() != 2 || sigma_tokens[0] != "sigma") {
+    return Status::InvalidArgument("bad sigma line '" + sigma_line + "'");
+  }
+  STRDB_ASSIGN_OR_RETURN(Alphabet sigma, Alphabet::Create(sigma_tokens[1]));
+
+  auto c = std::make_unique<PlannerCase>();
+  STRDB_ASSIGN_OR_RETURN(std::string mode_line, cursor.Take("mode"));
+  std::vector<std::string> mode_tokens = SplitTokens(mode_line);
+  if (mode_tokens.size() != 2 || mode_tokens[0] != "mode") {
+    return Status::InvalidArgument("bad mode line '" + mode_line + "'");
+  }
+  if (mode_tokens[1] == "diff") {
+    c->mode = Mode::kDiff;
+  } else if (mode_tokens[1] == "crash") {
+    c->mode = Mode::kCrash;
+  } else {
+    return Status::InvalidArgument("unknown planner mode '" + mode_tokens[1] +
+                                   "'");
+  }
+  STRDB_ASSIGN_OR_RETURN(std::string stale_line, cursor.Take("stale"));
+  std::vector<std::string> stale_tokens = SplitTokens(stale_line);
+  if (stale_tokens.size() != 2 || stale_tokens[0] != "stale") {
+    return Status::InvalidArgument("bad stale line '" + stale_line + "'");
+  }
+  c->stale_stats = stale_tokens[1] == "1";
+  STRDB_ASSIGN_OR_RETURN(std::string spill_line, cursor.Take("spill"));
+  std::vector<std::string> spill_tokens = SplitTokens(spill_line);
+  if (spill_tokens.size() != 2 || spill_tokens[0] != "spill") {
+    return Status::InvalidArgument("bad spill line '" + spill_line + "'");
+  }
+  STRDB_ASSIGN_OR_RETURN(c->spill_threshold, ParseInt(spill_tokens[1]));
+  if (c->spill_threshold < 0) {
+    return Status::InvalidArgument("negative spill threshold");
+  }
+
+  auto take_rels = [&cursor, &sigma](const char* keyword,
+                                     Database* db) -> Status {
+    auto rels_line = cursor.Take(keyword);
+    if (!rels_line.ok()) return rels_line.status();
+    std::vector<std::string> rels_tokens = SplitTokens(*rels_line);
+    if (rels_tokens.size() != 2 || rels_tokens[0] != keyword) {
+      return Status::InvalidArgument(std::string("bad ") + keyword +
+                                     " line '" + *rels_line + "'");
+    }
+    STRDB_ASSIGN_OR_RETURN(int64_t num_rels, ParseInt(rels_tokens[1]));
+    for (int64_t r = 0; r < num_rels; ++r) {
+      STRDB_ASSIGN_OR_RETURN(std::string rel_line, cursor.Take("rel"));
+      std::vector<std::string> rel_tokens = SplitTokens(rel_line);
+      if (rel_tokens.size() != 4 || rel_tokens[0] != "rel") {
+        return Status::InvalidArgument("bad rel line '" + rel_line + "'");
+      }
+      STRDB_ASSIGN_OR_RETURN(int64_t arity, ParseInt(rel_tokens[2]));
+      STRDB_ASSIGN_OR_RETURN(int64_t n, ParseInt(rel_tokens[3]));
+      std::vector<Tuple> tuples;
+      for (int64_t i = 0; i < n; ++i) {
+        STRDB_ASSIGN_OR_RETURN(std::string line, cursor.Take("tuple"));
+        STRDB_ASSIGN_OR_RETURN(Tuple tuple, DecodeTupleLine(line));
+        tuples.push_back(std::move(tuple));
+      }
+      STRDB_RETURN_IF_ERROR(
+          db->Put(rel_tokens[1], static_cast<int>(arity), std::move(tuples)));
+    }
+    return Status::OK();
+  };
+
+  if (c->mode == Mode::kDiff) {
+    Database db(sigma);
+    STRDB_RETURN_IF_ERROR(take_rels("rels", &db));
+    c->db = std::move(db);
+    if (c->stale_stats) {
+      Database stale(sigma);
+      STRDB_RETURN_IF_ERROR(take_rels("srels", &stale));
+      c->stale_db = std::move(stale);
+    }
+    STRDB_ASSIGN_OR_RETURN(std::string fsas_line, cursor.Take("fsas"));
+    std::vector<std::string> fsas_tokens = SplitTokens(fsas_line);
+    if (fsas_tokens.size() != 2 || fsas_tokens[0] != "fsas") {
+      return Status::InvalidArgument("bad fsas line '" + fsas_line + "'");
+    }
+    STRDB_ASSIGN_OR_RETURN(int64_t num_fsas, ParseInt(fsas_tokens[1]));
+    std::vector<Fsa> fsas;
+    for (int64_t i = 0; i < num_fsas; ++i) {
+      STRDB_ASSIGN_OR_RETURN(std::string block, TakeFsaBlock(&cursor));
+      STRDB_ASSIGN_OR_RETURN(Fsa fsa, DeserializeFsa(sigma, block));
+      fsas.push_back(std::move(fsa));
+    }
+    STRDB_ASSIGN_OR_RETURN(std::string expr_line, cursor.Take("expr"));
+    if (expr_line.rfind("expr ", 0) != 0) {
+      return Status::InvalidArgument("bad expr line '" + expr_line + "'");
+    }
+    std::vector<std::string> tokens = SexprTokens(expr_line.substr(5));
+    size_t pos = 0;
+    STRDB_ASSIGN_OR_RETURN(AlgebraExpr expr, ParseSexpr(tokens, &pos, fsas));
+    if (pos != tokens.size()) {
+      return Status::InvalidArgument("trailing tokens after expression");
+    }
+    c->expr = std::move(expr);
+    return DiffTarget::CasePtr(std::move(c));
+  }
+
+  STRDB_ASSIGN_OR_RETURN(std::string ops_line, cursor.Take("ops"));
+  std::vector<std::string> ops_tokens = SplitTokens(ops_line);
+  if (ops_tokens.size() != 2 || ops_tokens[0] != "ops") {
+    return Status::InvalidArgument("bad ops line '" + ops_line + "'");
+  }
+  STRDB_ASSIGN_OR_RETURN(int64_t n_ops, ParseInt(ops_tokens[1]));
+  for (int64_t i = 0; i < n_ops; ++i) {
+    STRDB_ASSIGN_OR_RETURN(std::string line, cursor.Take("op"));
+    std::vector<std::string> tokens = SplitTokens(line);
+    if (tokens.empty()) {
+      return Status::InvalidArgument("empty op line");
+    }
+    PlannerOp op;
+    if (tokens[0] == "put" && tokens.size() == 4) {
+      op.kind = PlannerOp::Kind::kPut;
+      op.name = tokens[1];
+      STRDB_ASSIGN_OR_RETURN(int64_t arity, ParseInt(tokens[2]));
+      op.arity = static_cast<int>(arity);
+      STRDB_ASSIGN_OR_RETURN(int64_t n, ParseInt(tokens[3]));
+      for (int64_t t = 0; t < n; ++t) {
+        STRDB_ASSIGN_OR_RETURN(std::string tline, cursor.Take("tuple"));
+        STRDB_ASSIGN_OR_RETURN(Tuple tuple, DecodeTupleLine(tline));
+        op.tuples.push_back(std::move(tuple));
+      }
+    } else if (tokens[0] == "ins" && tokens.size() == 3) {
+      op.kind = PlannerOp::Kind::kInsert;
+      op.name = tokens[1];
+      STRDB_ASSIGN_OR_RETURN(int64_t n, ParseInt(tokens[2]));
+      for (int64_t t = 0; t < n; ++t) {
+        STRDB_ASSIGN_OR_RETURN(std::string tline, cursor.Take("tuple"));
+        STRDB_ASSIGN_OR_RETURN(Tuple tuple, DecodeTupleLine(tline));
+        op.tuples.push_back(std::move(tuple));
+      }
+    } else if (tokens[0] == "drop" && tokens.size() == 2) {
+      op.kind = PlannerOp::Kind::kDrop;
+      op.name = tokens[1];
+    } else if (tokens[0] == "ckpt" && tokens.size() == 1) {
+      op.kind = PlannerOp::Kind::kCheckpoint;
+    } else {
+      return Status::InvalidArgument("bad op line '" + line + "'");
+    }
+    c->ops.push_back(std::move(op));
+  }
+  return DiffTarget::CasePtr(std::move(c));
+}
+
+std::vector<DiffTarget::CasePtr> PlannerDiffTarget::ShrinkCandidates(
+    const Case& c) const {
+  const auto& pc = static_cast<const PlannerCase&>(c);
+  std::vector<CasePtr> out;
+  auto clone = [&] {
+    auto cand = std::make_unique<PlannerCase>();
+    cand->mode = pc.mode;
+    cand->db = pc.db;
+    cand->expr = pc.expr;
+    cand->stale_stats = pc.stale_stats;
+    cand->stale_db = pc.stale_db;
+    cand->ops = pc.ops;
+    cand->spill_threshold = pc.spill_threshold;
+    return cand;
+  };
+  if (pc.mode == Mode::kDiff) {
+    // Replace the expression by a direct subexpression.
+    switch (pc.expr.kind()) {
+      case AlgebraExpr::Kind::kUnion:
+      case AlgebraExpr::Kind::kDifference:
+      case AlgebraExpr::Kind::kProduct: {
+        auto left = clone();
+        left->expr = pc.expr.Left();
+        out.push_back(std::move(left));
+        auto right = clone();
+        right->expr = pc.expr.Right();
+        out.push_back(std::move(right));
+        break;
+      }
+      case AlgebraExpr::Kind::kProject:
+      case AlgebraExpr::Kind::kSelect:
+      case AlgebraExpr::Kind::kRestrict: {
+        auto cand = clone();
+        cand->expr = pc.expr.Left();
+        out.push_back(std::move(cand));
+        break;
+      }
+      default:
+        break;
+    }
+    // Drop the stale-statistics dimension entirely.
+    if (pc.stale_stats) {
+      auto cand = clone();
+      cand->stale_stats = false;
+      cand->stale_db = Database(pc.db.alphabet());
+      out.push_back(std::move(cand));
+    }
+    // Drop one database tuple (the stale catalog keeps its copy, so the
+    // statistics stay just as wrong while the case shrinks).
+    for (const auto& [name, rel] : pc.db.relations()) {
+      for (size_t skip = 0; skip < static_cast<size_t>(rel.size()); ++skip) {
+        auto cand = clone();
+        Database db(pc.db.alphabet());
+        for (const auto& [other_name, other_rel] : pc.db.relations()) {
+          std::vector<Tuple> tuples(other_rel.tuples().begin(),
+                                    other_rel.tuples().end());
+          if (other_name == name) {
+            tuples.erase(tuples.begin() + static_cast<ptrdiff_t>(skip));
+          }
+          Status status =
+              db.Put(other_name, other_rel.arity(), std::move(tuples));
+          (void)status;  // re-adding validated tuples cannot fail
+        }
+        cand->db = std::move(db);
+        out.push_back(std::move(cand));
+      }
+    }
+    return out;
+  }
+  // Crash mode: drop one op, then one tuple.
+  for (size_t i = 0; i < pc.ops.size(); ++i) {
+    auto cand = clone();
+    cand->ops.erase(cand->ops.begin() + static_cast<ptrdiff_t>(i));
+    out.push_back(std::move(cand));
+  }
+  for (size_t i = 0; i < pc.ops.size(); ++i) {
+    for (size_t t = 0; t < pc.ops[i].tuples.size(); ++t) {
+      auto cand = clone();
+      cand->ops[i].tuples.erase(cand->ops[i].tuples.begin() +
+                                static_cast<ptrdiff_t>(t));
+      out.push_back(std::move(cand));
+    }
+  }
+  return out;
+}
+
+int64_t PlannerDiffTarget::CaseSize(const Case& c) const {
+  const auto& pc = static_cast<const PlannerCase&>(c);
+  int64_t size = 0;
+  auto count_db = [&size](const Database& db) {
+    for (const auto& [name, rel] : db.relations()) {
+      (void)name;
+      for (const Tuple& tuple : rel.tuples()) {
+        size += 1;
+        for (const std::string& field : tuple) {
+          size += static_cast<int64_t>(field.size());
+        }
+      }
+    }
+  };
+  if (pc.mode == Mode::kDiff) {
+    size += NodeCount(pc.expr) + (pc.stale_stats ? 1 : 0);
+    count_db(pc.db);
+    if (pc.stale_stats) count_db(pc.stale_db);
+    return size;
+  }
+  for (const PlannerOp& op : pc.ops) {
     size += 1 + static_cast<int64_t>(op.name.size());
     for (const Tuple& tuple : op.tuples) {
       size += 1;

@@ -283,6 +283,80 @@ class PagerDiffTarget : public DiffTarget {
   mutable Engine unpaged_engine_;
 };
 
+// --- cost-based planner vs heuristic vs naïve evaluator ---------------------
+//
+// Two modes under one target name, mixed by generation:
+//
+//   diff   a random database and algebra expression, evaluated four
+//          ways: the naive tree-walking evaluator (the oracle), the
+//          engine with the cost-based DP planner on and statistics
+//          supplied, the same engine with no statistics supplied (the
+//          engine computes its own through the epoch cache), and the
+//          engine with the cost planner off (heuristic reorder).  All
+//          four must agree tuple-for-tuple or all fail alike — plan
+//          shape must never change answers.  Half of the statistics-fed
+//          runs are handed deliberately *stale* statistics (computed
+//          from the catalog before heavy deletes), which must still
+//          yield correct answers: statistics are advisory, never load-
+//          bearing.  The cost-planner run's per-operator estimates must
+//          additionally be sane — finite, non-negative, no NaN.
+//
+//   crash  a workload of puts/inserts/drops/checkpoints runs against a
+//          CatalogStore over a MemEnv with the statistics subsystem
+//          engaged.  Oracle: the live statistics snapshot must equal a
+//          full recomputation from the recovered relations (incremental
+//          maintenance ≡ recompute), and a close + reopen — replaying
+//          the kStats snapshot ops and rebuilding the WAL suffix — must
+//          reproduce the pre-close statistics map *exactly*.
+class PlannerDiffTarget : public DiffTarget {
+ public:
+  enum class Mode : uint8_t { kDiff, kCrash };
+
+  struct PlannerOp {
+    enum class Kind : uint8_t { kPut, kInsert, kDrop, kCheckpoint };
+    Kind kind = Kind::kPut;
+    std::string name;
+    int arity = 1;
+    std::vector<Tuple> tuples;
+  };
+
+  struct PlannerCase : Case {
+    Mode mode = Mode::kDiff;
+    // kDiff: the catalog under test and the expression diffed over it.
+    Database db{Alphabet::Binary()};
+    AlgebraExpr expr = AlgebraExpr::SigmaStar();
+    // kDiff: when set, statistics are computed from `stale_db` (the
+    // catalog before deletions) instead of `db`.
+    bool stale_stats = false;
+    Database stale_db{Alphabet::Binary()};
+    // kCrash: the mutation workload (spill threshold exercises stats
+    // for paged relations too).
+    std::vector<PlannerOp> ops;
+    int64_t spill_threshold = 0;
+  };
+
+  PlannerDiffTarget();
+
+  std::string name() const override { return "planner"; }
+  CasePtr Generate(RandomSource& rand) const override;
+  std::optional<Divergence> Run(const Case& c) const override;
+  std::string Serialize(const Case& c) const override;
+  Result<CasePtr> Deserialize(const std::string& text) const override;
+  std::vector<CasePtr> ShrinkCandidates(const Case& c) const override;
+  int64_t CaseSize(const Case& c) const override;
+
+ private:
+  std::optional<Divergence> RunDiff(const PlannerCase& pc) const;
+  std::optional<Divergence> RunCrash(const PlannerCase& pc) const;
+
+  FsaPool pool_;
+  // Shared across cases like EngineDiffTarget's engines: answers must
+  // not depend on accumulated cache/feedback state — that independence
+  // is part of what the sweep proves.
+  mutable Engine cost_engine_;
+  mutable Engine heuristic_engine_;
+};
+
 // --- concurrent server vs serial replay ------------------------------------
 //
 // Case: N >= 2 sessions' command logs (the server grammar), hammered at

@@ -105,6 +105,7 @@ TEST(DfaDifferentialTest, MemberPatternAgreesWithOracle) {
   ASSERT_TRUE(dfa.ok()) << dfa.status();
   DfaScratch scratch;
   RngSource rng(11);
+  int accepts = 0;
   for (int rep = 0; rep < 200; ++rep) {
     std::string w = rng.String(sigma, 0, 12);
     if (rep % 4 == 0) w += "abab";  // force accepting paths
@@ -112,7 +113,11 @@ TEST(DfaDifferentialTest, MemberPatternAgreesWithOracle) {
     Result<AcceptStats> chain = dfa->Accept({w}, &scratch);
     ASSERT_TRUE(oracle.ok() && chain.ok());
     ASSERT_EQ(oracle->accepted, chain->accepted) << "\"" << w << "\"";
+    if (oracle->accepted) ++accepts;
   }
+  // Agreement alone is vacuous if both sides reject everything — the
+  // machine once silently did exactly that by never stepping off ⊢.
+  EXPECT_GE(accepts, 50);  // at least the forced-suffix quarter
 }
 
 // Random one-way sweep: every machine the tier accepts must agree with

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <optional>
 #include <string>
 #include <thread>
@@ -15,10 +16,14 @@
 #include "core/metrics.h"
 #include "core/thread_pool.h"
 #include "engine/cache.h"
+#include "engine/cost.h"
 #include "engine/engine.h"
+#include "engine/planner.h"
 #include "engine/rewrite.h"
+#include "fsa/accept.h"
 #include "fsa/compile.h"
 #include "relational/algebra.h"
+#include "relational/stats.h"
 #include "strform/parser.h"
 #include "testing/generators.h"
 #include "testing/random_source.h"
@@ -655,6 +660,189 @@ TEST(EngineTest, NaiveEvaluatorHonoursTheBudgetToo) {
   Result<StringRelation> out = EvalAlgebra(query, db, opts);
   ASSERT_FALSE(out.ok());
   EXPECT_EQ(out.status().code(), StatusCode::kResourceExhausted);
+}
+
+// --- relation statistics ---------------------------------------------------
+
+TEST(RelationStatsTest, IncrementalMatchesRecompute) {
+  std::vector<Tuple> all = {{"a", ""},
+                            {"ab", "b"},
+                            {"", "ba"},
+                            {"bb", "bb"},
+                            {"aab", "a"}};
+  RelationStats incremental;
+  incremental.arity = 2;
+  incremental.columns.resize(2);
+  AddTuplesToStats(&incremental, {all[0], all[1]});
+  AddTuplesToStats(&incremental, {all[2]});
+  AddTuplesToStats(&incremental, {all[3], all[4]});
+  EXPECT_TRUE(incremental == ComputeRelationStats(2, all));
+}
+
+TEST(RelationStatsTest, InsertionOrderDoesNotMatter) {
+  std::vector<Tuple> forward = {{"a"}, {"b"}, {"ab"}, {"ba"}, {""}};
+  std::vector<Tuple> backward(forward.rbegin(), forward.rend());
+  EXPECT_TRUE(ComputeRelationStats(1, forward) ==
+              ComputeRelationStats(1, backward));
+}
+
+TEST(RelationStatsTest, CodecRoundTripIsByteExact) {
+  std::vector<Tuple> all = {{"a", ""}, {"ab", "b"}, {"", "ba"}, {"bb", "bb"}};
+  RelationStats stats = ComputeRelationStats(2, all);
+  std::string encoded = EncodeRelationStats(stats);
+  Result<RelationStats> decoded = DecodeRelationStats(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_TRUE(*decoded == stats);
+  EXPECT_EQ(EncodeRelationStats(*decoded), encoded);
+  EXPECT_FALSE(DecodeRelationStats("not a stats blob").ok());
+  EXPECT_FALSE(DecodeRelationStats("").ok());
+}
+
+// --- cost-based planner ----------------------------------------------------
+
+TEST(PlannerTest, DpOrdersFactorsAscendingAndKeepsTies) {
+  CostModel model;
+  EXPECT_EQ(DpOrderFactors({100, 1, 10}, model), (std::vector<int>{1, 2, 0}));
+  // Exact ties must reconstruct the identity: a plan reorder the cost
+  // model cannot justify is pure churn.
+  EXPECT_EQ(DpOrderFactors({5, 5, 5}, model), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(DpOrderFactors({7}, model), (std::vector<int>{0}));
+  EXPECT_EQ(DpOrderFactors({}, model), (std::vector<int>{}));
+}
+
+TEST(PlannerTest, PermuteTapesAcceptsPermutedTuples) {
+  Alphabet sigma = Alphabet::Binary();
+  FsaPool pool = testgen::MakeFsaPool(sigma);
+  Result<Fsa> swapped = PermuteTapes(pool.prefix2, {1, 0});
+  ASSERT_TRUE(swapped.ok()) << swapped.status();
+  const std::vector<std::string> words = {"", "a", "b", "ab", "ba", "aab"};
+  for (const std::string& x : words) {
+    for (const std::string& y : words) {
+      Result<bool> fwd = Accepts(pool.prefix2, {x, y});
+      Result<bool> rev = Accepts(*swapped, {y, x});
+      ASSERT_TRUE(fwd.ok() && rev.ok());
+      EXPECT_EQ(*fwd, *rev) << "x=" << x << " y=" << y;
+    }
+  }
+}
+
+TEST(PlannerTest, EstimateRowsIsFiniteWithAndWithoutStats) {
+  Database db = MakeDb();
+  AlgebraExpr product = AlgebraExpr::Product(
+      AlgebraExpr::Relation("R1", 1),
+      AlgebraExpr::Product(AlgebraExpr::Relation("Pairs", 2),
+                           AlgebraExpr::SigmaStar()));
+  StatsMap stats;
+  for (const auto& [name, rel] : db.relations()) {
+    stats[name] = ComputeRelationStats(rel);
+  }
+  CostPlannerContext bare;
+  bare.db = &db;
+  bare.truncation = 2;
+  CostPlannerContext with_stats = bare;
+  with_stats.stored_stats = &stats;
+  for (const CostPlannerContext* ctx : {&bare, &with_stats}) {
+    double est = EstimateRows(product, *ctx);
+    EXPECT_TRUE(std::isfinite(est));
+    EXPECT_GE(est, 0);
+  }
+  // With exact statistics the scan estimates are exact.
+  EXPECT_DOUBLE_EQ(
+      EstimateRows(AlgebraExpr::Relation("Pairs", 2), with_stats), 3.0);
+}
+
+TEST(EngineTest, CostPlannerAgreesWithHeuristicAndNaive) {
+  Alphabet sigma = Alphabet::Binary();
+  FsaPool pool = testgen::MakeFsaPool(sigma);
+  RngSource rand(20260807);
+  Engine cost;  // enable_cost_planner defaults on
+  EngineOptions heuristic_options;
+  heuristic_options.enable_cost_planner = false;
+  Engine heuristic(heuristic_options);
+  EvalOptions opts;
+  opts.truncation = 2;
+  opts.max_tuples = 20000;
+  opts.max_steps = 5'000'000;
+  opts.enable_dfa = false;  // keep the naive oracle on the reference BFS
+  for (int trial = 0; trial < 100; ++trial) {
+    Database db = testgen::RandomDatabase(rand, sigma);
+    if (trial % 2 == 0) {
+      // Skew P so the DP order actually deviates from the heuristic one.
+      std::vector<Tuple> bulk;
+      for (int i = 0; i < 40; ++i) {
+        bulk.push_back(testgen::RandomTuple(rand, sigma, 2, 3));
+      }
+      ASSERT_TRUE(db.InsertTuples("P", std::move(bulk)).ok());
+    }
+    AlgebraExpr expr = testgen::RandomAlgebraExpr(rand, pool, 4);
+    Result<StringRelation> naive = EvalAlgebra(expr, db, opts);
+    Result<StringRelation> costed = cost.Execute(expr, db, opts);
+    Result<StringRelation> plain = heuristic.Execute(expr, db, opts);
+    if (!naive.ok()) {
+      EXPECT_FALSE(costed.ok()) << trial << ": " << expr.ToString();
+      EXPECT_FALSE(plain.ok()) << trial << ": " << expr.ToString();
+      continue;
+    }
+    ASSERT_TRUE(costed.ok()) << trial << ": " << costed.status();
+    ASSERT_TRUE(plain.ok()) << trial << ": " << plain.status();
+    EXPECT_EQ(costed->tuples(), naive->tuples())
+        << trial << ": " << expr.ToString();
+    EXPECT_EQ(plain->tuples(), naive->tuples())
+        << trial << ": " << expr.ToString();
+  }
+}
+
+TEST(EngineTest, StaleStatisticsNeverChangeAnswers) {
+  Alphabet sigma = Alphabet::Binary();
+  FsaPool pool = testgen::MakeFsaPool(sigma);
+  RngSource rand(7);
+  Engine engine;
+  EvalOptions opts;
+  opts.truncation = 2;
+  opts.max_tuples = 20000;
+  opts.max_steps = 5'000'000;
+  for (int trial = 0; trial < 40; ++trial) {
+    Database db = testgen::RandomDatabase(rand, sigma);
+    // Statistics from a catalog that has since lost most of P: wildly
+    // wrong cardinalities, which may change the plan but never the rows.
+    Database stale(db);
+    std::vector<Tuple> extra;
+    for (int i = 0; i < 50; ++i) {
+      extra.push_back(testgen::RandomTuple(rand, sigma, 2, 3));
+    }
+    ASSERT_TRUE(stale.InsertTuples("P", std::move(extra)).ok());
+    StatsMap stale_stats;
+    for (const auto& [name, rel] : stale.relations()) {
+      stale_stats[name] = ComputeRelationStats(rel);
+    }
+    AlgebraExpr expr = testgen::RandomAlgebraExpr(rand, pool, 3);
+    Result<StringRelation> fresh = engine.Execute(expr, db, opts);
+    EvalOptions with_stale = opts;
+    with_stale.stats = &stale_stats;
+    Result<StringRelation> misled = engine.Execute(expr, db, with_stale);
+    ASSERT_EQ(fresh.ok(), misled.ok()) << trial << ": " << expr.ToString();
+    if (fresh.ok()) {
+      EXPECT_EQ(misled->tuples(), fresh->tuples())
+          << trial << ": " << expr.ToString();
+    }
+  }
+}
+
+TEST(EngineTest, ExplainAnnotatesEstimatedAndActualRows) {
+  Database db = MakeDb();
+  AlgebraExpr query = ConcatQuery(db.alphabet());
+  Engine engine;
+  ExecStats stats;
+  Result<StringRelation> out = engine.Execute(query, db, kOpts, &stats);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_NE(stats.plan.find("est="), std::string::npos) << stats.plan;
+  EXPECT_NE(stats.plan.find("act="), std::string::npos) << stats.plan;
+  ASSERT_FALSE(stats.operators.empty());
+  for (const ExecStats::EstActRow& row : stats.operators) {
+    EXPECT_TRUE(std::isfinite(row.est)) << row.op;
+    EXPECT_GE(row.est, 0) << row.op;
+    EXPECT_GE(row.act, 0) << row.op;
+  }
 }
 
 }  // namespace

@@ -629,6 +629,83 @@ TEST(StoreTest, CheckpointFoldsTheLogAndReopensFromSnapshot) {
   EXPECT_TRUE(Env::Posix()->FileExists(dir + "/snap-2"));
 }
 
+// Relation statistics are maintained incrementally on every mutation,
+// persisted as kStats snapshot side-ops and rebuilt during WAL replay.
+// All paths must agree with a full recomputation *exactly* — the cost
+// planner's estimates are advisory, but the maintenance is not.
+
+TEST(StoreTest, StatisticsSurviveCheckpointAndReopenExactly) {
+  Alphabet sigma = Alphabet::Binary();
+  std::string dir = FreshDir("store_stats_ckpt");
+  auto store = CatalogStore::Open(dir, sigma);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->PutRelation("R", 1, {{"ab"}, {"ba"}, {""}}).ok());
+  ASSERT_TRUE((*store)->PutRelation("P", 2, {{"a", "bb"}, {"", "a"}}).ok());
+  ASSERT_TRUE((*store)->Checkpoint().ok());
+  StatsMap pre = *(*store)->StatsSnapshot();
+  ASSERT_EQ(pre.size(), 2u);
+  for (const auto& [name, rel] : (*store)->db().relations()) {
+    EXPECT_TRUE(pre.at(name) == ComputeRelationStats(rel)) << name;
+  }
+  ASSERT_TRUE((*store)->Close().ok());
+
+  RecoveryReport report;
+  auto reopened = CatalogStore::Open(dir, sigma, {}, &report);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_TRUE(report.snapshot_loaded);
+  // The kStats round-trip is exact, not merely equivalent.
+  EXPECT_TRUE(*(*reopened)->StatsSnapshot() == pre);
+}
+
+TEST(StoreTest, StatisticsRebuiltIncrementallyByWalReplay) {
+  Alphabet sigma = Alphabet::Binary();
+  std::string dir = FreshDir("store_stats_wal");
+  auto store = CatalogStore::Open(dir, sigma);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->PutRelation("R", 1, {{"ab"}}).ok());
+  ASSERT_TRUE((*store)->Checkpoint().ok());
+  // Post-checkpoint mutations live only in the WAL suffix: an insert
+  // (with a duplicate the set semantics swallow), a replacing put and a
+  // drop all have to be folded into the statistics during replay.
+  ASSERT_TRUE((*store)->InsertTuples("R", {{"ba"}, {"ab"}, {"ba"}}).ok());
+  ASSERT_TRUE((*store)->PutRelation("Q", 2, {{"a", "b"}}).ok());
+  ASSERT_TRUE((*store)->PutRelation("Q", 2, {{"bb", ""}, {"a", "a"}}).ok());
+  ASSERT_TRUE((*store)->PutRelation("Gone", 1, {{"b"}}).ok());
+  ASSERT_TRUE((*store)->DropRelation("Gone").ok());
+  StatsMap pre = *(*store)->StatsSnapshot();
+  ASSERT_TRUE((*store)->Close().ok());
+
+  RecoveryReport report;
+  auto reopened = CatalogStore::Open(dir, sigma, {}, &report);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_GT(report.wal_records_replayed, 0);
+  StatsMap recovered = *(*reopened)->StatsSnapshot();
+  EXPECT_TRUE(recovered == pre);
+  ASSERT_EQ(recovered.count("Gone"), 0u);
+  for (const auto& [name, rel] : (*reopened)->db().relations()) {
+    EXPECT_TRUE(recovered.at(name) == ComputeRelationStats(rel)) << name;
+  }
+}
+
+TEST(StoreTest, DuplicateInsertsDoNotInflateStatistics) {
+  Alphabet sigma = Alphabet::Binary();
+  std::string dir = FreshDir("store_stats_dup");
+  auto store = CatalogStore::Open(dir, sigma);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->PutRelation("R", 1, {{"ab"}}).ok());
+  // One genuinely new tuple, one already present, one duplicated inside
+  // the batch itself: the relation gains exactly one tuple and the
+  // statistics must agree.
+  ASSERT_TRUE((*store)->InsertTuples("R", {{"ab"}, {"ba"}, {"ba"}}).ok());
+  StatsMap live = *(*store)->StatsSnapshot();
+  ASSERT_EQ(live.count("R"), 1u);
+  EXPECT_EQ(live.at("R").rows, 2);
+  auto rel = (*store)->db().Get("R");
+  ASSERT_TRUE(rel.ok());
+  EXPECT_TRUE(live.at("R") == ComputeRelationStats(**rel));
+  ASSERT_TRUE((*store)->Close().ok());
+}
+
 TEST(StoreTest, TornWalTailIsSalvagedOnOpen) {
   Alphabet sigma = Alphabet::Binary();
   std::string dir = FreshDir("store_torn");

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare a fresh --quick bench JSON to a baseline.
+
+Usage:
+    bench_check.py --baseline BENCH_accept.json --current bench_accept_quick.json \
+                   [--threshold 0.35]
+
+Rows are matched by their "name" field.  Every numeric field ending in
+`_ns_per_tuple` in a matched row is compared against the baseline; the
+check fails if any such field regressed (grew) by more than the
+threshold fraction.  Speedups, answer counts and rep counts are
+informational only — wall-clock per tuple is the contract.
+
+Baselines are full-mode runs and the CI gate runs --quick, so absolute
+values differ by design; only *relative* regressions against the last
+committed quick run of the same machine class would be exact.  The 35%
+default threshold absorbs that plus runner jitter while still catching
+a tier falling off a cliff (e.g. the DFA path silently degrading to
+BFS, an 11x change).
+
+Exit codes: 0 ok, 1 regression or missing row, 2 usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_check: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    rows = doc.get("results")
+    if not isinstance(rows, list):
+        print(f"bench_check: {path} has no 'results' array", file=sys.stderr)
+        sys.exit(2)
+    by_name = {}
+    for row in rows:
+        name = row.get("name")
+        if isinstance(name, str):
+            by_name[name] = row
+    return by_name
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--baseline", required=True,
+                        help="committed JSON (e.g. BENCH_query_eval.json)")
+    parser.add_argument("--current", required=True,
+                        help="freshly generated JSON from a --quick run")
+    parser.add_argument("--threshold", type=float, default=0.35,
+                        help="allowed fractional growth per ns/tuple field "
+                             "(default 0.35 = 35%%)")
+    args = parser.parse_args()
+
+    baseline = load_rows(args.baseline)
+    current = load_rows(args.current)
+
+    failures = []
+    checked = 0
+    for name, base_row in sorted(baseline.items()):
+        cur_row = current.get(name)
+        if cur_row is None:
+            failures.append(f"row '{name}' missing from {args.current}")
+            continue
+        for field, base_value in sorted(base_row.items()):
+            if not field.endswith("_ns_per_tuple"):
+                continue
+            if not isinstance(base_value, (int, float)) or base_value <= 0:
+                continue
+            cur_value = cur_row.get(field)
+            if not isinstance(cur_value, (int, float)):
+                failures.append(f"{name}.{field}: missing from current run")
+                continue
+            checked += 1
+            ratio = cur_value / base_value
+            verdict = "FAIL" if ratio > 1.0 + args.threshold else "ok"
+            print(f"{verdict:4} {name}.{field}: baseline {base_value:.0f} "
+                  f"current {cur_value:.0f} ({ratio:.0%} of baseline)")
+            if ratio > 1.0 + args.threshold:
+                failures.append(
+                    f"{name}.{field} regressed {ratio - 1.0:+.0%} "
+                    f"({base_value:.0f} -> {cur_value:.0f} ns/tuple, "
+                    f"threshold {args.threshold:.0%})")
+
+    # New rows in the current run are fine (a bench gained a scenario);
+    # note them so the baseline gets refreshed eventually.
+    for name in sorted(set(current) - set(baseline)):
+        print(f"note {name}: not in baseline (new scenario?)")
+
+    if checked == 0:
+        failures.append("no ns/tuple fields compared — wrong files?")
+
+    if failures:
+        print(f"\nbench_check: {len(failures)} failure(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nbench_check: {checked} field(s) within "
+          f"{args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
